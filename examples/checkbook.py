@@ -1,0 +1,70 @@
+"""The balanced-checkbook tableau of Figure 3 / Example 2.4, plus containment.
+
+Run:  python examples/checkbook.py
+"""
+
+from fractions import Fraction
+
+from repro import GeneralizedDatabase, RealPolynomialTheory
+from repro.constraints.real_poly import poly_eq
+from repro.poly.polynomial import Polynomial
+from repro.tableaux.containment import contained_linear, evaluate_tableau, find_homomorphism
+from repro.tableaux.tableau import TableauQuery, TableauRow, checkbook_query
+
+
+def main() -> None:
+    theory = RealPolynomialTheory()
+    query = checkbook_query()
+    print("the Figure 3 tableau (normal form: distinct variables + constraints):")
+    print(query)
+    print()
+
+    db = GeneralizedDatabase(theory)
+    expenses = db.create_relation("Expenses", ("z", "f", "r", "m"))
+    savings = db.create_relation("Savings", ("z", "s", "d1", "d2"))
+    income = db.create_relation("Income", ("z", "w", "i", "d3"))
+
+    # user 1: food 300 + rent 900 + misc 100 + savings 200 = wages 1450 + interest 50
+    expenses.add_point([1, 300, 900, 100])
+    savings.add_point([1, 200, 0, 0])
+    income.add_point([1, 1450, 50, 0])
+    # user 2: the books do not balance
+    expenses.add_point([2, 300, 900, 100])
+    savings.add_point([2, 200, 0, 0])
+    income.add_point([2, 1400, 50, 0])
+
+    result = evaluate_tableau(query, db)
+    print("balanced users:")
+    for user in (1, 2):
+        status = "balanced" if result.contains_values([Fraction(user)]) else "NOT balanced"
+        print(f"  user {user}: {status}")
+    assert result.contains_values([Fraction(1)])
+    assert not result.contains_values([Fraction(2)])
+    print()
+
+    # Theorem 2.6 in action: a stricter checkbook (no interest: i = 0) is
+    # contained in the general one, witnessed by a homomorphism
+    strict = TableauQuery(
+        query.summary,
+        query.rows,
+        query.constraints
+        + (poly_eq(Polynomial.variable(_income_interest_var(query)), 0),),
+        name="BalancedNoInterest",
+    )
+    print("containment (Theorem 2.6): BalancedNoInterest vs Balanced")
+    print("  strict <= general:", contained_linear(strict, query))
+    print("  general <= strict:", contained_linear(query, strict))
+    witness = find_homomorphism(query, strict)
+    print(f"  homomorphism witness maps {len(witness)} symbols")
+    assert contained_linear(strict, query)
+    assert not contained_linear(query, strict)
+
+
+def _income_interest_var(query: TableauQuery) -> str:
+    # the Income row's third column is the interest variable
+    income_row = next(r for r in query.rows if r.tag == "Income")
+    return income_row.symbols[2]
+
+
+if __name__ == "__main__":
+    main()

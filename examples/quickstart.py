@@ -1,0 +1,75 @@
+"""Quickstart: the rectangle-intersection query of Example 1.1 / Figure 2.
+
+A generalized tuple is a conjunction of constraints; a rectangle named n is
+simply the ternary generalized tuple
+
+    Rect(z, x, y)  with  z = n and a <= x <= c and b <= y <= d
+
+and "the set of all intersecting rectangles can now be expressed as
+
+    { (n1, n2) | n1 != n2 and exists x, y (Rect(n1,x,y) and Rect(n2,x,y)) }"
+
+-- one line, no case analysis, and the same program works for any shapes.
+
+Run:  python examples/quickstart.py
+"""
+
+from fractions import Fraction
+
+from repro import DenseOrderTheory, GeneralizedDatabase, evaluate_calculus
+from repro.logic.parser import parse_query
+
+
+def main() -> None:
+    order = DenseOrderTheory()
+    db = GeneralizedDatabase(order)
+
+    rect = db.create_relation("Rect", ("n", "x", "y"))
+    rectangles = {
+        1: (0, 0, 4, 4),
+        2: (3, 3, 7, 7),  # overlaps 1
+        3: (5, 0, 9, 2),  # overlaps nothing but 4
+        4: (8, 1, 12, 6),  # overlaps 3 and 5
+        5: (10, 5, 13, 9),  # overlaps 4
+    }
+    for name, (a, b, c, d) in rectangles.items():
+        rect.add_tuple(
+            [
+                order.eq("n", name),
+                order.le(a, "x"),
+                order.le("x", c),
+                order.le(b, "y"),
+                order.le("y", d),
+            ]
+        )
+
+    query = parse_query(
+        "exists x, y . Rect(n1, x, y) and Rect(n2, x, y) and n1 != n2",
+        theory=order,
+    )
+    result = evaluate_calculus(query, db, output=("n1", "n2"))
+
+    print("generalized database: 5 rectangles as generalized tuples")
+    print(rect)
+    print()
+    print("query: exists x, y . Rect(n1,x,y) and Rect(n2,x,y) and n1 != n2")
+    print()
+    print("intersecting pairs (closed-form output, a generalized relation):")
+    pairs = sorted(
+        (m, n)
+        for m in rectangles
+        for n in rectangles
+        if result.contains_values([Fraction(m), Fraction(n)])
+    )
+    for m, n in pairs:
+        if m < n:
+            print(f"  rectangle {m} intersects rectangle {n}")
+    expected = {(1, 2), (3, 4), (4, 5)}
+    assert {(m, n) for m, n in pairs if m < n} == expected
+    print()
+    print("output relation representation:")
+    print(result)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,129 @@
+"""Spatial queries with real polynomial constraints (Sections 2.1, Examples
+2.1 and 2.2): convex hull as a relational calculus query, disk intersection,
+and the Voronoi dual.
+
+Run:  python examples/spatial.py
+"""
+
+from fractions import Fraction
+
+from repro import GeneralizedDatabase, RealPolynomialTheory, evaluate_calculus
+from repro.constraints.real_poly import poly_eq, poly_le, poly_lt
+from repro.geometry.convex_hull import convex_hull_graham, in_triangle
+from repro.geometry.voronoi import voronoi_dual_naive
+from repro.logic.parser import parse_query
+from repro.poly.polynomial import Polynomial
+
+
+def convex_hull_as_query() -> None:
+    """Example 2.1: a point is on the hull iff no 3 db points triangle it.
+
+    The Intriangle predicate is a polynomial constraint formula; here we run
+    Floyd's method directly with the same exact orientation predicates the
+    constraint formula denotes, and cross-check with Graham scan.
+    """
+    points = [
+        (Fraction(0), Fraction(0)),
+        (Fraction(6), Fraction(1)),
+        (Fraction(5), Fraction(6)),
+        (Fraction(1), Fraction(5)),
+        (Fraction(3), Fraction(3)),  # interior
+        (Fraction(2), Fraction(2)),  # interior
+    ]
+    hull = []
+    for p in points:
+        others = [q for q in points if q != p]
+        import itertools
+
+        inside = any(
+            in_triangle(p, a, b, c)
+            for a, b, c in itertools.combinations(others, 3)
+            if not _collinear(a, b, c)
+        )
+        if not inside:
+            hull.append(p)
+    fast = set(convex_hull_graham(points))
+    assert set(hull) == fast
+    print("convex hull (Floyd's method = the Example 2.1 query semantics):")
+    for p in hull:
+        print(f"  ({p[0]}, {p[1]})")
+    print()
+
+
+def _collinear(a, b, c) -> bool:
+    return (b[0] - a[0]) * (c[1] - a[1]) == (b[1] - a[1]) * (c[0] - a[0])
+
+
+def disk_intersection() -> None:
+    """Example 1.1 for non-rectangles: the same program intersects disks."""
+    theory = RealPolynomialTheory()
+    db = GeneralizedDatabase(theory)
+    disks = db.create_relation("Shape", ("n", "x", "y"))
+    x, y, n = (Polynomial.variable(v) for v in ("x", "y", "n"))
+    definitions = {
+        1: poly_le(x * x + y * y, 4),                      # disk at origin, r=2
+        2: poly_le((x - 3) ** 2 + y * y, 4),               # disk at (3,0), r=2
+        3: poly_le((x - 10) ** 2 + (y - 10) ** 2, 1),      # far away
+    }
+    for name, constraint in definitions.items():
+        disks.add_tuple([poly_eq(n, name), constraint])
+    query = parse_query(
+        "exists x, y . Shape(n1, x, y) and Shape(n2, x, y) and n1 != n2",
+        theory=theory,
+    )
+    result = evaluate_calculus(query, db, output=("n1", "n2"))
+    print("disk intersections (same one-line program as rectangles):")
+    for a in definitions:
+        for b in definitions:
+            if a < b and result.contains_values([Fraction(a), Fraction(b)]):
+                print(f"  disk {a} intersects disk {b}")
+    assert result.contains_values([Fraction(1), Fraction(2)])
+    assert not result.contains_values([Fraction(1), Fraction(3)])
+    print()
+
+
+def voronoi_dual() -> None:
+    """Example 2.2: u, v adjacent iff the segment uv is closest to u or v."""
+    points = [
+        (Fraction(0), Fraction(0)),
+        (Fraction(4), Fraction(0)),
+        (Fraction(2), Fraction(3)),
+        (Fraction(2), Fraction(-3)),
+    ]
+    dual = voronoi_dual_naive(points)
+    print("Voronoi dual (Delaunay adjacency) of 4 points:")
+    seen = set()
+    for u, v in sorted(dual):
+        if (v, u) in seen:
+            continue
+        seen.add((u, v))
+        print(f"  ({u[0]},{u[1]}) -- ({v[0]},{v[1]})")
+    print()
+
+
+def circle_projection() -> None:
+    """Quantifier elimination in action: the shadow of a circle."""
+    theory = RealPolynomialTheory()
+    db = GeneralizedDatabase(theory)
+    x, y = Polynomial.variable("x"), Polynomial.variable("y")
+    circle = db.create_relation("C", ("x", "y"))
+    circle.add_tuple([poly_eq(x * x + y * y, 1)])
+    query = parse_query("exists y . C(x, y)", theory=theory)
+    shadow = evaluate_calculus(query, db, output=("x",))
+    print("projection of the unit circle onto the x-axis:")
+    for value in (-2, -1, 0, 1, 2):
+        mark = "in" if shadow.contains_values([Fraction(value)]) else "out"
+        print(f"  x = {value}: {mark}")
+    assert shadow.contains_values([Fraction(1)])
+    assert not shadow.contains_values([Fraction(2)])
+
+
+def main() -> None:
+    convex_hull_as_query()
+    disk_intersection()
+    voronoi_dual()
+    circle_projection()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""``python -m repro`` launches the interactive constraint-database shell."""
+
+from repro.cli import main
+
+main()

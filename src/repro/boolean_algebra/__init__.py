@@ -1,0 +1,56 @@
+"""Boolean equality constraints over free boolean algebras (Section 5).
+
+* :mod:`repro.boolean_algebra.algebra` -- the free boolean algebra ``B_m`` on
+  m generators (minterm-set representation; Stone's theorem makes this exact),
+  plus interpretation homomorphisms into other boolean algebras;
+* :mod:`repro.boolean_algebra.terms` -- boolean term syntax, evaluation, and
+  the disjunctive-normal-form *tables* used as canonical forms (the paper's
+  termination argument for Theorem 5.6 counts exactly these);
+* :mod:`repro.boolean_algebra.boole` -- Boole's quantifier elimination lemma
+  (Lemma 5.3) and equation solving (the parametric solution construction);
+* :mod:`repro.boolean_algebra.datalog_bool` -- bottom-up evaluation of
+  Datalog with boolean equality constraints (Theorem 5.6), parametric in the
+  interpreting algebra (Remark G);
+* :mod:`repro.boolean_algebra.qbf` -- the Pi-2-p machinery: the Lemma 5.9
+  correspondence between AE-quantified boolean formulas and constraint
+  solvability in ``B_m``, a brute-force QBF checker for cross-validation, and
+  the Theorem 5.11 Datalog reduction.
+"""
+
+from repro.boolean_algebra.algebra import FreeBooleanAlgebra
+from repro.boolean_algebra.terms import (
+    BAnd,
+    BConst,
+    BNot,
+    BOne,
+    BOr,
+    BVar,
+    BXor,
+    BoolTerm,
+    BZero,
+)
+from repro.boolean_algebra.boole import (
+    boole_eliminate_table,
+    constraint_has_solution,
+    solve_constraint,
+)
+from repro.boolean_algebra.datalog_bool import BooleanDatalogProgram, BooleanFact, BooleanRule
+
+__all__ = [
+    "BAnd",
+    "BConst",
+    "BNot",
+    "BOne",
+    "BOr",
+    "BVar",
+    "BXor",
+    "BZero",
+    "BoolTerm",
+    "BooleanDatalogProgram",
+    "BooleanFact",
+    "BooleanRule",
+    "FreeBooleanAlgebra",
+    "boole_eliminate_table",
+    "constraint_has_solution",
+    "solve_constraint",
+]

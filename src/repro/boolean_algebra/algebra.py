@@ -1,0 +1,141 @@
+"""The free boolean algebra B_m and interpretations (Section 5.1).
+
+By Stone's theorem every finite boolean algebra is the power set of a finite
+set; the free algebra on ``m`` generators is the algebra of boolean functions
+``{0,1}^m -> {0,1}``, i.e. the power set of the 2^m *minterms*.  An element
+is represented as a ``frozenset`` of minterm indices (integers whose bit i
+records the value of generator i) -- the set of generator assignments on
+which the element's DNF is true.  This representation is the disjunctive
+normal form of Section 5.1 in executable clothing: equality of elements is
+equality of DNFs, which is what the Theorem 5.6 termination argument counts.
+
+``B_0`` is the two-element algebra {0, 1}.
+
+Interpretations (the paper's (B, sigma) pairs) are evaluation homomorphisms:
+:meth:`FreeBooleanAlgebra.interpret` maps an element of ``B_m`` into any
+other free algebra, given images for the m generators, exercising Remark G
+(parametric evaluation commutes with interpretation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+Element = frozenset[int]
+
+
+@dataclass(frozen=True)
+class FreeBooleanAlgebra:
+    """The free boolean algebra on ``generator_names`` (possibly zero) generators."""
+
+    generator_names: tuple[str, ...] = ()
+
+    @staticmethod
+    def with_generators(count: int, prefix: str = "c") -> "FreeBooleanAlgebra":
+        return FreeBooleanAlgebra(tuple(f"{prefix}{i}" for i in range(count)))
+
+    @property
+    def m(self) -> int:
+        return len(self.generator_names)
+
+    @property
+    def size(self) -> int:
+        """Number of elements: 2^(2^m)."""
+        return 2 ** (2**self.m)
+
+    # ------------------------------------------------------------- elements
+    def zero(self) -> Element:
+        return frozenset()
+
+    def one(self) -> Element:
+        return frozenset(range(2**self.m))
+
+    def generator(self, index: int) -> Element:
+        """The index-th free generator."""
+        if not 0 <= index < self.m:
+            raise IndexError(f"no generator {index} in B_{self.m}")
+        return frozenset(a for a in range(2**self.m) if a & (1 << index))
+
+    def generator_by_name(self, name: str) -> Element:
+        return self.generator(self.generator_names.index(name))
+
+    def from_bool(self, value: bool) -> Element:
+        return self.one() if value else self.zero()
+
+    def element_from_minterms(self, minterms: Iterable[int]) -> Element:
+        universe = 2**self.m
+        result = frozenset(minterms)
+        if any(a < 0 or a >= universe for a in result):
+            raise ValueError("minterm index out of range")
+        return result
+
+    def all_elements(self) -> Iterable[Element]:
+        """Every element (2^(2^m) of them -- only sensible for tiny m)."""
+        universe = list(range(2**self.m))
+        for mask in range(2 ** len(universe)):
+            yield frozenset(a for i, a in enumerate(universe) if mask & (1 << i))
+
+    # ------------------------------------------------------------ operations
+    def meet(self, a: Element, b: Element) -> Element:
+        return a & b
+
+    def join(self, a: Element, b: Element) -> Element:
+        return a | b
+
+    def complement(self, a: Element) -> Element:
+        return self.one() - a
+
+    def xor(self, a: Element, b: Element) -> Element:
+        """Exclusive-or: ``(a and not b) or (not a and b)`` (Section 5.1)."""
+        return a ^ b
+
+    def is_zero(self, a: Element) -> bool:
+        return not a
+
+    def leq(self, a: Element, b: Element) -> bool:
+        """The natural partial order ``a <= b`` iff ``a and b = a``."""
+        return a <= b
+
+    # -------------------------------------------------------- interpretation
+    def interpret(
+        self,
+        element: Element,
+        images: Sequence[Element],
+        target: "FreeBooleanAlgebra",
+    ) -> Element:
+        """Apply the homomorphism sending generator i to ``images[i]``.
+
+        The element is a join of minterms; each minterm maps to the meet of
+        the (possibly complemented) generator images.
+        """
+        if len(images) != self.m:
+            raise ValueError(f"need {self.m} generator images, got {len(images)}")
+        result = target.zero()
+        for minterm in element:
+            factor = target.one()
+            for i in range(self.m):
+                image = images[i]
+                if not (minterm & (1 << i)):
+                    image = target.complement(image)
+                factor = target.meet(factor, image)
+            result = target.join(result, factor)
+        return result
+
+    # ------------------------------------------------------------ rendering
+    def dnf_string(self, element: Element) -> str:
+        """Human-readable DNF over the generator names."""
+        if not element:
+            return "0"
+        if element == self.one():
+            return "1"
+        clauses = []
+        for minterm in sorted(element):
+            literals = []
+            for i, name in enumerate(self.generator_names):
+                if minterm & (1 << i):
+                    literals.append(name)
+                else:
+                    literals.append(f"{name}'")
+            clauses.append(" & ".join(literals) if literals else "1")
+        return " | ".join(f"({c})" for c in clauses)

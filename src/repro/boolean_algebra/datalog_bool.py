@@ -1,0 +1,335 @@
+"""Datalog with boolean equality constraints (Section 5.2, Theorem 5.6).
+
+Syntax (mirroring the paper):
+
+* facts:  ``R0(xs) :- psi0(xs) = 0``
+* rules:  ``R0(xs) :- R1(xs, ys), ..., Rk(xs, ys), psi(xs, ys) = 0``
+
+where every head variable appears in the body and the ``ys`` are body-only.
+Several constraints per body are allowed; they are merged into one
+(``a = 0 and b = 0  iff  a | b = 0``).
+
+Bottom-up evaluation fires rules by substituting the facts' constraints for
+the body atoms, merging constraints by join, eliminating the body-only
+variables with Boole's lemma, and normalizing to the DNF table -- the
+canonical form whose finiteness (at most ``2^(2^m)`` coefficients per entry,
+``2^arity`` entries) guarantees termination, exactly as in the proof of
+Theorem 5.6.
+
+The evaluation is *parametric* (Remark G): run over the free algebra ``B_m``
+with constants mapped to generators, the derived facts are syntactically the
+same for every interpretation ``(B, sigma)``; :meth:`BooleanDatalogProgram.
+interpret_fact` pushes a derived fact through a concrete interpretation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from repro.boolean_algebra.algebra import Element, FreeBooleanAlgebra
+from repro.boolean_algebra.boole import boole_eliminate_table
+from repro.boolean_algebra.terms import (
+    BoolTerm,
+    BOne,
+    BZero,
+    Table,
+    standard_constants,
+    table_extend,
+    table_or,
+    term_table,
+)
+from repro.errors import ArityError, EvaluationError, UnknownRelationError
+
+
+@dataclass(frozen=True)
+class BooleanFact:
+    """``predicate(variables) :- constraint = 0`` in canonical table form."""
+
+    predicate: str
+    arity: int
+    table: Table  # over the canonical variable tuple ("_0", ..., "_arity-1")
+
+    def variable_names(self) -> tuple[str, ...]:
+        return canonical_variables(self.arity)
+
+
+def canonical_variables(arity: int) -> tuple[str, ...]:
+    return tuple(f"_{i}" for i in range(arity))
+
+
+@dataclass(frozen=True)
+class BodyAtom:
+    """An occurrence ``predicate(arguments)`` in a rule body."""
+
+    predicate: str
+    arguments: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class BooleanRule:
+    """``head_predicate(head_arguments) :- body..., constraint = 0``."""
+
+    head_predicate: str
+    head_arguments: tuple[str, ...]
+    body: tuple[BodyAtom, ...]
+    constraint: BoolTerm = field(default_factory=BZero)
+
+    def __post_init__(self) -> None:
+        if len(set(self.head_arguments)) != len(self.head_arguments):
+            raise ValueError("head arguments must be distinct variables")
+        body_vars = {v for atom in self.body for v in atom.arguments}
+        body_vars |= self.constraint.variables()
+        missing = set(self.head_arguments) - body_vars
+        if missing:
+            raise ValueError(
+                f"head variables {sorted(missing)} do not appear in the body"
+            )
+
+    def all_variables(self) -> tuple[str, ...]:
+        seen: list[str] = []
+        for atom in self.body:
+            for name in atom.arguments:
+                if name not in seen:
+                    seen.append(name)
+        for name in sorted(self.constraint.variables()):
+            if name not in seen:
+                seen.append(name)
+        for name in self.head_arguments:
+            if name not in seen:
+                seen.append(name)
+        return tuple(seen)
+
+
+class BooleanDatalogProgram:
+    """A Datalog + boolean-equality-constraints program over ``B_m``."""
+
+    def __init__(
+        self,
+        algebra: FreeBooleanAlgebra,
+        rules: Iterable[BooleanRule] = (),
+        constants: Mapping[str, Element] | None = None,
+    ) -> None:
+        self.algebra = algebra
+        self.constants = dict(
+            constants if constants is not None else standard_constants(algebra)
+        )
+        self.rules: list[BooleanRule] = list(rules)
+        self._facts: dict[str, set[BooleanFact]] = {}
+        self._arities: dict[str, int] = {}
+
+    # ----------------------------------------------------------------- input
+    def add_rule(self, rule: BooleanRule) -> None:
+        self.rules.append(rule)
+
+    def add_fact(
+        self, predicate: str, variables: Sequence[str], constraint: BoolTerm
+    ) -> BooleanFact:
+        """Add ``predicate(variables) :- constraint = 0`` (an EDB fact)."""
+        arity = len(variables)
+        self._check_arity(predicate, arity)
+        renaming = {
+            name: canonical for name, canonical in zip(variables, canonical_variables(arity))
+        }
+        from repro.boolean_algebra.terms import BVar
+
+        canonical_term = constraint.substitute(
+            {name: BVar(renaming[name]) for name in renaming}
+        )
+        table = term_table(
+            canonical_term, canonical_variables(arity), self.algebra, self.constants
+        )
+        fact = BooleanFact(predicate, arity, table)
+        self._facts.setdefault(predicate, set()).add(fact)
+        return fact
+
+    def add_ground_fact(self, predicate: str, values: Sequence[Element]) -> BooleanFact:
+        """Add a classical tuple by encoding each value as an equality constraint.
+
+        ``R(v1, ..., vk)`` becomes ``R(xs) :- (x1 ^ v1) | ... | (xk ^ vk) = 0``.
+        """
+        arity = len(values)
+        names = canonical_variables(arity)
+        term: BoolTerm = BZero()
+        from repro.boolean_algebra.terms import BVar
+
+        elements = list(values)
+        assignment_term = None
+        for name, value in zip(names, elements):
+            clause = _xor_with_element(BVar(name), value, self.algebra)
+            assignment_term = (
+                clause if assignment_term is None else assignment_term | clause
+            )
+        term = assignment_term if assignment_term is not None else BZero()
+        self._check_arity(predicate, arity)
+        table = term_table(term, names, self.algebra, self.constants)
+        fact = BooleanFact(predicate, arity, table)
+        self._facts.setdefault(predicate, set()).add(fact)
+        return fact
+
+    def _check_arity(self, predicate: str, arity: int) -> None:
+        known = self._arities.get(predicate)
+        if known is not None and known != arity:
+            raise ArityError(
+                f"{predicate} used with arity {arity}, previously {known}"
+            )
+        self._arities[predicate] = arity
+
+    # ------------------------------------------------------------ evaluation
+    def facts(self, predicate: str) -> set[BooleanFact]:
+        return set(self._facts.get(predicate, set()))
+
+    def evaluate(self, max_iterations: int = 10_000) -> dict[str, set[BooleanFact]]:
+        """Naive bottom-up evaluation to the least fixpoint (Theorem 5.6)."""
+        iterations = 0
+        while True:
+            iterations += 1
+            if iterations > max_iterations:
+                raise EvaluationError(
+                    f"boolean Datalog did not converge in {max_iterations} iterations"
+                )
+            new_facts: list[BooleanFact] = []
+            for rule in self.rules:
+                new_facts.extend(self._fire_rule(rule))
+            changed = False
+            for fact in new_facts:
+                bucket = self._facts.setdefault(fact.predicate, set())
+                if fact not in bucket:
+                    bucket.add(fact)
+                    changed = True
+            if not changed:
+                return {name: set(facts) for name, facts in self._facts.items()}
+
+    def _fire_rule(self, rule: BooleanRule) -> list[BooleanFact]:
+        """All facts derivable by one firing of ``rule`` from current facts."""
+        scope = rule.all_variables()
+        base_constraint = term_table(
+            rule.constraint, scope, self.algebra, self.constants
+        )
+        choices: list[list[Table]] = []
+        for atom in self.body_atoms_with_facts(rule):
+            atom_tables = []
+            for fact in atom[1]:
+                if fact.arity != len(atom[0].arguments):
+                    raise ArityError(
+                        f"{atom[0].predicate} arity mismatch in rule body"
+                    )
+                renamed = _rename_table(
+                    fact.table, fact.variable_names(), atom[0].arguments, scope
+                )
+                atom_tables.append(renamed)
+            choices.append(atom_tables)
+        derived: list[BooleanFact] = []
+        for combination in _product(choices):
+            merged = base_constraint
+            for table in combination:
+                merged = table_or(merged, table, self.algebra)
+            table, names = merged, scope
+            for name in scope:
+                if name not in rule.head_arguments:
+                    table, names = boole_eliminate_table(table, names, name)
+            missing = [w for w in rule.head_arguments if w not in names]
+            if missing:
+                raise UnknownRelationError(
+                    f"head variables {missing} were eliminated from the body"
+                )
+            canonical = canonical_variables(len(rule.head_arguments))
+            targets = tuple(
+                canonical[rule.head_arguments.index(name)] for name in names
+            )
+            head_table = _rename_table(table, names, targets, canonical)
+            derived.append(
+                BooleanFact(
+                    rule.head_predicate, len(rule.head_arguments), head_table
+                )
+            )
+        return derived
+
+    def body_atoms_with_facts(
+        self, rule: BooleanRule
+    ) -> list[tuple[BodyAtom, list[BooleanFact]]]:
+        result = []
+        for atom in rule.body:
+            facts = sorted(
+                self._facts.get(atom.predicate, set()), key=lambda f: hash(f)
+            )
+            result.append((atom, facts))
+        return result
+
+    # -------------------------------------------------------- interpretation
+    def interpret_fact(
+        self,
+        fact: BooleanFact,
+        images: Sequence[Element],
+        target: FreeBooleanAlgebra,
+    ) -> BooleanFact:
+        """Push a parametric fact through an interpretation (Remark G)."""
+        table = tuple(
+            self.algebra.interpret(entry, images, target) for entry in fact.table
+        )
+        return BooleanFact(fact.predicate, fact.arity, table)
+
+
+def _xor_with_element(
+    variable_term: BoolTerm, value: Element, algebra: FreeBooleanAlgebra
+) -> BoolTerm:
+    """The term ``variable ^ value`` with the element rendered as a term."""
+    from repro.boolean_algebra.terms import BXor
+
+    return BXor(variable_term, element_as_term(value, algebra))
+
+
+def element_as_term(value: Element, algebra: FreeBooleanAlgebra) -> BoolTerm:
+    """Render an element of ``B_m`` as a ground term over the constant symbols."""
+    from repro.boolean_algebra.terms import BAnd, BConst, BNot, BOne, BOr, BZero
+
+    if algebra.is_zero(value):
+        return BZero()
+    if value == algebra.one():
+        return BOne()
+    clauses: list[BoolTerm] = []
+    for minterm in sorted(value):
+        factors: list[BoolTerm] = []
+        for i, name in enumerate(algebra.generator_names):
+            literal: BoolTerm = BConst(name)
+            if not (minterm & (1 << i)):
+                literal = BNot(literal)
+            factors.append(literal)
+        clause: BoolTerm = factors[0]
+        for factor in factors[1:]:
+            clause = BAnd(clause, factor)
+        clauses.append(clause)
+    result: BoolTerm = clauses[0]
+    for clause in clauses[1:]:
+        result = BOr(result, clause)
+    return result
+
+
+def _rename_table(
+    table: Table,
+    from_names: Sequence[str],
+    to_names: Sequence[str],
+    scope: Sequence[str],
+) -> Table:
+    """Reinterpret ``table`` (over from_names) as a table over ``scope``,
+    with from_names[i] read as scope-variable to_names[i]."""
+    if len(from_names) != len(to_names):
+        raise ArityError("renaming length mismatch")
+    positions = [scope.index(name) for name in to_names]
+    entries = []
+    for mask in range(2 ** len(scope)):
+        source_mask = 0
+        for i, position in enumerate(positions):
+            if mask & (1 << position):
+                source_mask |= 1 << i
+        entries.append(table[source_mask])
+    return tuple(entries)
+
+
+def _product(choices: list[list[Table]]):
+    if not choices:
+        yield ()
+        return
+    import itertools
+
+    yield from itertools.product(*choices)

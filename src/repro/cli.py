@@ -1,0 +1,222 @@
+"""An interactive constraint-database shell.
+
+A small REPL over the CQL engines, so the system can be explored without
+writing Python::
+
+    $ python -m repro
+    cql> .theory dense_order
+    cql> .relation R(n, x)
+    cql> .tuple R: n = 1 and 0 <= x and x <= 4
+    cql> .point R: 2, 9
+    cql> .query exists x . R(n, x) and x < 2
+    result(n):
+      (n) where n = 1
+    cql> .rule T(a, b) :- E(a, b).
+    cql> .run
+    cql> .quit
+
+Commands: ``.theory``, ``.relation``, ``.tuple``, ``.point``, ``.query``,
+``.rule``, ``.run``, ``.show``, ``.list``, ``.help``, ``.quit``.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Callable, TextIO
+
+from repro.constraints.dense_order import DenseOrderTheory
+from repro.constraints.equality import EqualityTheory
+from repro.constraints.real_poly import RealPolynomialTheory
+from repro.core.calculus import evaluate_calculus
+from repro.core.datalog import DatalogProgram, Rule
+from repro.core.generalized import GeneralizedDatabase
+from repro.errors import ReproError
+from repro.logic.parser import _Parser, parse_query, parse_rules
+from repro.logic.syntax import And, Atom, Formula
+
+THEORIES: dict[str, Callable[[], object]] = {
+    "dense_order": DenseOrderTheory,
+    "equality": EqualityTheory,
+    "real_poly": RealPolynomialTheory,
+}
+
+HELP = """commands:
+  .theory NAME            switch theory (dense_order | equality | real_poly);
+                          resets the database
+  .relation R(x, y)       declare a generalized relation
+  .tuple R: CONSTRAINTS   add a generalized tuple, e.g. .tuple R: 0 <= x and x <= 4
+  .point R: v1, v2        add a classical ground tuple
+  .query FORMULA          evaluate a calculus query, e.g. exists x . R(n, x)
+  .rule HEAD :- BODY.     add a Datalog rule
+  .run                    evaluate the accumulated rules to their fixpoint
+  .show R                 print a relation
+  .list                   list relations and rules
+  .help                   this text
+  .quit                   leave"""
+
+
+class Shell:
+    """State and command dispatch for the REPL (testable without a TTY)."""
+
+    def __init__(self, out: TextIO | None = None) -> None:
+        import sys
+
+        self.out = out or sys.stdout
+        self.theory_name = "dense_order"
+        self.theory = DenseOrderTheory()
+        self.db = GeneralizedDatabase(self.theory)
+        self.rules: list[Rule] = []
+
+    def write(self, text: str) -> None:
+        print(text, file=self.out)
+
+    # ------------------------------------------------------------- dispatch
+    def handle(self, line: str) -> bool:
+        """Process one line; returns False when the shell should exit."""
+        line = line.strip()
+        if not line:
+            return True
+        try:
+            return self._dispatch(line)
+        except ReproError as error:
+            self.write(f"error: {error}")
+            return True
+        except (ValueError, KeyError) as error:
+            self.write(f"error: {error}")
+            return True
+
+    def _dispatch(self, line: str) -> bool:
+        if line in (".quit", ".exit"):
+            return False
+        if line == ".help":
+            self.write(HELP)
+            return True
+        if line == ".list":
+            self._list()
+            return True
+        if line == ".run":
+            self._run_rules()
+            return True
+        command, _, rest = line.partition(" ")
+        rest = rest.strip()
+        if command == ".theory":
+            self._set_theory(rest)
+        elif command == ".relation":
+            self._declare_relation(rest)
+        elif command == ".tuple":
+            self._add_tuple(rest)
+        elif command == ".point":
+            self._add_point(rest)
+        elif command == ".query":
+            self._query(rest)
+        elif command == ".rule":
+            self.rules.extend(parse_rules(rest, theory=self.theory))
+            self.write(f"rule added ({len(self.rules)} total)")
+        elif command == ".show":
+            self.write(str(self.db.relation(rest)))
+        else:
+            self.write(f"unknown command {command!r}; try .help")
+        return True
+
+    # ------------------------------------------------------------- commands
+    def _set_theory(self, name: str) -> None:
+        factory = THEORIES.get(name)
+        if factory is None:
+            self.write(f"unknown theory {name!r}; options: {sorted(THEORIES)}")
+            return
+        self.theory_name = name
+        self.theory = factory()  # type: ignore[assignment]
+        self.db = GeneralizedDatabase(self.theory)  # type: ignore[arg-type]
+        self.rules = []
+        self.write(f"theory set to {name}; database reset")
+
+    def _declare_relation(self, spec: str) -> None:
+        name, _, args = spec.partition("(")
+        if not args.endswith(")"):
+            self.write("usage: .relation R(x, y)")
+            return
+        variables = tuple(a.strip() for a in args[:-1].split(",") if a.strip())
+        self.db.create_relation(name.strip(), variables)
+        self.write(f"relation {name.strip()}/{len(variables)} created")
+
+    def _parse_conjunction(self, text: str) -> tuple[Atom, ...]:
+        formula = parse_query(text, theory=self.theory)
+        atoms: list[Atom] = []
+
+        def collect(node: Formula) -> None:
+            if isinstance(node, And):
+                for child in node.children:
+                    collect(child)
+            elif isinstance(node, Atom):
+                atoms.append(node)
+            else:
+                raise ReproError(
+                    "a generalized tuple is a conjunction of constraint atoms"
+                )
+
+        collect(formula)
+        return tuple(atoms)
+
+    def _add_tuple(self, spec: str) -> None:
+        name, _, constraints = spec.partition(":")
+        relation = self.db.relation(name.strip())
+        added = relation.add_tuple(self._parse_conjunction(constraints.strip()))
+        self.write("tuple added" if added else "tuple already present (or unsatisfiable)")
+
+    def _add_point(self, spec: str) -> None:
+        name, _, values = spec.partition(":")
+        relation = self.db.relation(name.strip())
+        parsed = []
+        for raw in values.split(","):
+            raw = raw.strip()
+            try:
+                parsed.append(Fraction(raw))
+            except ValueError:
+                parsed.append(raw)
+        added = relation.add_point(parsed)
+        self.write("point added" if added else "point already present")
+
+    def _query(self, text: str) -> None:
+        query = parse_query(text, theory=self.theory)
+        result = evaluate_calculus(query, self.db)
+        self.write(str(result))
+
+    def _run_rules(self) -> None:
+        if not self.rules:
+            self.write("no rules; add some with .rule")
+            return
+        program = DatalogProgram(self.rules, self.theory)
+        world, stats = program.evaluate(self.db)
+        self.db = world
+        self.write(
+            f"fixpoint in {stats.iterations} iterations, "
+            f"{stats.tuples_added} tuples added"
+        )
+        for name in sorted(program.idb_predicates()):
+            self.write(str(world.relation(name)))
+
+    def _list(self) -> None:
+        self.write(f"theory: {self.theory_name}")
+        for name in self.db.names():
+            relation = self.db.relation(name)
+            self.write(f"  {name}/{relation.arity}: {len(relation)} tuples")
+        for rule in self.rules:
+            self.write(f"  rule: {rule}")
+
+
+def main() -> None:
+    """Entry point for ``python -m repro``."""
+    shell = Shell()
+    shell.write("constraint query language shell -- .help for commands")
+    while True:
+        try:
+            line = input("cql> ")
+        except (EOFError, KeyboardInterrupt):
+            shell.write("")
+            break
+        if not shell.handle(line):
+            break
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

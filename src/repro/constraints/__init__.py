@@ -1,0 +1,46 @@
+"""Constraint theories for the CQL framework (Definition 1.2 of the paper).
+
+Each theory packages, behind the :class:`~repro.constraints.base.ConstraintTheory`
+interface, everything the generic evaluators need:
+
+* atom validation, negation (into a disjunction of atoms), ground evaluation;
+* satisfiability and entailment of conjunctions;
+* canonicalization of conjunctions (for duplicate elimination and fixpoint
+  termination);
+* quantifier elimination of a conjunction (the nontrivial "projection"
+  operation of the generalized relational algebra, Section 2.1).
+
+Theories provided:
+
+* :class:`~repro.constraints.dense_order.DenseOrderTheory` -- dense linear
+  order inequality constraints over the rationals (Section 3);
+* :class:`~repro.constraints.equality.EqualityTheory` -- equality constraints
+  over an infinite domain (Section 4);
+* :class:`~repro.constraints.real_poly.RealPolynomialTheory` -- real
+  polynomial inequality constraints (Section 2);
+* :class:`~repro.constraints.boolean.BooleanTheory` -- boolean equality
+  constraints over a free boolean algebra (Section 5).
+"""
+
+from repro.constraints.base import ConstraintTheory
+from repro.constraints.terms import Const, Term, Var, term_str
+from repro.constraints.dense_order import DenseOrderTheory, OrderAtom
+from repro.constraints.equality import EqualityAtom, EqualityTheory
+from repro.constraints.real_poly import PolyAtom, RealPolynomialTheory
+from repro.constraints.boolean import BooleanConstraintAtom, BooleanTheory
+
+__all__ = [
+    "BooleanConstraintAtom",
+    "BooleanTheory",
+    "Const",
+    "ConstraintTheory",
+    "DenseOrderTheory",
+    "EqualityAtom",
+    "EqualityTheory",
+    "OrderAtom",
+    "PolyAtom",
+    "RealPolynomialTheory",
+    "Term",
+    "Var",
+    "term_str",
+]

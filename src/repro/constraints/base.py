@@ -1,0 +1,153 @@
+"""The interface every constraint theory implements.
+
+The CQL design principles (Section 1.1) require, for each theory, exactly the
+operations below: deciding satisfiability of a generalized tuple, negating an
+atom inside the theory, eliminating existential quantifiers in closed form,
+and producing canonical representations so that bottom-up fixpoints can detect
+convergence.  The generic evaluators in :mod:`repro.core` are written purely
+against this interface.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.errors import TheoryError
+from repro.logic.syntax import Atom, Formula
+
+Conjunction = tuple[Atom, ...]
+
+
+class ConstraintTheory(ABC):
+    """Operations on conjunctions of constraint atoms of one theory.
+
+    A *conjunction* is a tuple of atoms, i.e. a generalized tuple's
+    constraint part (Definition 1.3.1).  ``None`` is used throughout as the
+    canonical unsatisfiable conjunction.
+    """
+
+    #: short identifier, e.g. ``"dense_order"``
+    name: str = "abstract"
+
+    # ------------------------------------------------------------------ atoms
+    @abstractmethod
+    def validate_atom(self, atom: Atom) -> None:
+        """Raise :class:`TheoryError` if ``atom`` is not of this theory."""
+
+    @abstractmethod
+    def negate_atom(self, atom: Atom) -> Formula:
+        """A formula (disjunction of atoms of this theory) equivalent to ``not atom``."""
+
+    @abstractmethod
+    def equality(self, left: object, right: object) -> Atom:
+        """The atom ``left = right`` (used to compile constants in relation atoms)."""
+
+    def constant(self, value: object) -> object:
+        """Wrap a raw Python value as an unambiguous domain constant.
+
+        Used by :meth:`GeneralizedRelation.add_point`, where every value is a
+        constant (never a variable name, even if it is a string).
+        """
+        return value
+
+    @abstractmethod
+    def atom_constants(self, atom: Atom) -> frozenset:
+        """The domain constants mentioned by ``atom``."""
+
+    # ---------------------------------------------------------- conjunctions
+    @abstractmethod
+    def is_satisfiable(self, atoms: Sequence[Atom]) -> bool:
+        """Whether the conjunction has at least one solution in the domain."""
+
+    @abstractmethod
+    def canonicalize(self, atoms: Sequence[Atom]) -> Conjunction | None:
+        """A canonical equivalent conjunction, or ``None`` if unsatisfiable.
+
+        Canonical forms are deterministic, and equal for equal solution sets
+        in the pointwise theories (dense order, equality); for the polynomial
+        theory they are a sound normal form used only for duplicate
+        elimination.
+        """
+
+    @abstractmethod
+    def eliminate(
+        self, atoms: Sequence[Atom], drop: Iterable[str]
+    ) -> list[Conjunction]:
+        """Quantifier elimination: ``exists drop . conjunction`` as a DNF.
+
+        Returns a list of conjunctions whose disjunction is equivalent to the
+        existential formula; the empty list means *false*.  This is the
+        "projection" of the generalized relational algebra (Section 2.1).
+        """
+
+    @abstractmethod
+    def sample_point(
+        self, atoms: Sequence[Atom], variables: Sequence[str]
+    ) -> dict[str, Any] | None:
+        """A satisfying assignment for ``variables``, or ``None`` if unsat.
+
+        Variables unconstrained by the conjunction receive an arbitrary
+        domain element.  Used by tests, by the Herbrand machinery of
+        Section 3.2 (which checks ``F(xi) -> C`` by evaluating at one point,
+        justified by Lemmas 3.9/3.10), and by example programs.
+        """
+
+    # ------------------------------------------------- derived functionality
+    def entails(self, atoms: Sequence[Atom], consequence: Atom) -> bool:
+        """Exact entailment: ``conjunction |= consequence``.
+
+        Implemented as unsatisfiability of ``conjunction and not consequence``;
+        the negation is a disjunction of atoms, each branch checked separately.
+        """
+        negated = self.negate_atom(consequence)
+        for branch in _formula_disjuncts(negated):
+            if self.is_satisfiable(tuple(atoms) + branch):
+                return False
+        return True
+
+    def entails_all(self, atoms: Sequence[Atom], consequences: Sequence[Atom]) -> bool:
+        """Whether the conjunction entails every atom in ``consequences``."""
+        return all(self.entails(atoms, c) for c in consequences)
+
+    def equivalent(self, left: Sequence[Atom], right: Sequence[Atom]) -> bool:
+        """Exact solution-set equality of two conjunctions."""
+        left_sat = self.is_satisfiable(left)
+        right_sat = self.is_satisfiable(right)
+        if not left_sat or not right_sat:
+            return left_sat == right_sat
+        return self.entails_all(left, right) and self.entails_all(right, left)
+
+    def holds(self, atoms: Sequence[Atom], assignment: Mapping[str, Any]) -> bool:
+        """Evaluate the conjunction at a ground point."""
+        return all(atom.holds(assignment) for atom in atoms)
+
+    def validate_conjunction(self, atoms: Sequence[Atom]) -> None:
+        """Validate every atom of the conjunction."""
+        for atom in atoms:
+            self.validate_atom(atom)
+
+    def conjunction_constants(self, atoms: Sequence[Atom]) -> frozenset:
+        """All constants mentioned by the conjunction."""
+        result: frozenset = frozenset()
+        for atom in atoms:
+            result |= self.atom_constants(atom)
+        return result
+
+
+def _formula_disjuncts(formula: Formula) -> list[Conjunction]:
+    """Flatten a formula built of Or/And/atoms into DNF conjunctions."""
+    from repro.logic.transform import to_dnf
+
+    dnf = to_dnf(formula)
+    result: list[Conjunction] = []
+    for conjunct in dnf:
+        atoms: list[Atom] = []
+        for literal in conjunct:
+            if not isinstance(literal, Atom):
+                raise TheoryError(
+                    f"negation produced a non-atom literal: {literal!r}"
+                )
+            atoms.append(literal)
+        result.append(tuple(atoms))
+    return result

@@ -1,0 +1,236 @@
+"""Boolean equality constraints as a :class:`ConstraintTheory` (Section 5).
+
+The domain is a free boolean algebra ``B_m``; an atom is a single equation
+``t(xs, cs) = 0`` (one equation per generalized tuple suffices -- Section 5.2
+shows how to merge several).  Quantifier elimination is Boole's lemma and
+canonical forms are DNF tables, so the theory plugs into the generic CQL
+machinery; note however that, as the paper discusses (Section 5.3), this
+theory is *not* "efficient" like the pointwise ones -- the data complexity is
+Pi-2-p-hard (Theorem 5.11) -- and negation is not supported (``t != 0`` is
+not a boolean equation), so only positive Datalog applies.
+
+The heavy lifting lives in :mod:`repro.boolean_algebra`; this module adapts
+it to the shared interface used by the generic evaluators and the parser.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.boolean_algebra.algebra import Element, FreeBooleanAlgebra
+from repro.boolean_algebra.boole import boole_eliminate_table, solve_constraint
+from repro.boolean_algebra.datalog_bool import element_as_term
+from repro.boolean_algebra.terms import (
+    BoolTerm,
+    BVar,
+    BXor,
+    Table,
+    standard_constants,
+    term_table,
+)
+from repro.constraints.base import Conjunction, ConstraintTheory
+from repro.errors import TheoryError
+from repro.logic.syntax import Atom, Formula
+
+
+@dataclass(frozen=True, slots=True)
+class BooleanConstraintAtom(Atom):
+    """The constraint ``term = 0`` over the given free algebra."""
+
+    term: BoolTerm
+    algebra: FreeBooleanAlgebra
+
+    def variables(self) -> frozenset[str]:
+        return self.term.variables()
+
+    def rename(self, mapping: Mapping[str, str]) -> "BooleanConstraintAtom":
+        substitution = {old: BVar(new) for old, new in mapping.items()}
+        return BooleanConstraintAtom(self.term.substitute(substitution), self.algebra)
+
+    def holds(self, assignment: Mapping[str, Any]) -> bool:
+        constants = standard_constants(self.algebra)
+        value = self.term.evaluate(self.algebra, constants, assignment)
+        return self.algebra.is_zero(value)
+
+    def __str__(self) -> str:
+        return f"{self.term} = 0"
+
+
+class BooleanTheory(ConstraintTheory):
+    """Boolean equality constraints over a fixed free algebra ``B_m``."""
+
+    name = "boolean"
+
+    def __init__(self, algebra: FreeBooleanAlgebra) -> None:
+        self.algebra = algebra
+        self.constants = standard_constants(algebra)
+
+    # ------------------------------------------------------------- builders
+    def zero_of(self, term: BoolTerm) -> BooleanConstraintAtom:
+        """The atom ``term = 0``."""
+        return BooleanConstraintAtom(term, self.algebra)
+
+    def equals(self, left: BoolTerm, right: BoolTerm) -> BooleanConstraintAtom:
+        """``left = right`` encoded as ``left xor right = 0``."""
+        return BooleanConstraintAtom(BXor(left, right), self.algebra)
+
+    # ---------------------------------------------------------------- theory
+    def validate_atom(self, atom: Atom) -> None:
+        if not isinstance(atom, BooleanConstraintAtom):
+            raise TheoryError(f"{atom!r} is not a boolean constraint atom")
+        if atom.algebra != self.algebra:
+            raise TheoryError("atom belongs to a different boolean algebra")
+
+    def negate_atom(self, atom: Atom) -> Formula:
+        raise TheoryError(
+            "boolean equality constraints are not closed under negation; "
+            "use positive Datalog (Section 5 of the paper)"
+        )
+
+    def equality(self, left: object, right: object) -> BooleanConstraintAtom:
+        return self.equals(self._as_term(left), self._as_term(right))
+
+    def _as_term(self, value: object) -> BoolTerm:
+        if isinstance(value, BoolTerm):
+            return value
+        if isinstance(value, str):
+            return BVar(value)
+        if isinstance(value, frozenset):
+            return element_as_term(value, self.algebra)
+        raise TheoryError(f"cannot interpret {value!r} as a boolean term")
+
+    def atom_constants(self, atom: Atom) -> frozenset:
+        self.validate_atom(atom)
+        assert isinstance(atom, BooleanConstraintAtom)
+        return atom.term.constants()
+
+    # ---------------------------------------------------------------- solver
+    def _joined(self, atoms: Sequence[Atom]) -> tuple[Table, tuple[str, ...]]:
+        """Merge a conjunction into one table (``a=0 and b=0`` iff ``a|b=0``)."""
+        variables = sorted({v for a in self._checked(atoms) for v in a.variables()})
+        merged: Table | None = None
+        for atom in self._checked(atoms):
+            table = term_table(atom.term, variables, self.algebra, self.constants)
+            if merged is None:
+                merged = table
+            else:
+                merged = tuple(
+                    self.algebra.join(a, b) for a, b in zip(merged, table)
+                )
+        if merged is None:
+            merged = (self.algebra.zero(),)
+            variables = []
+        return merged, tuple(variables)
+
+    def is_satisfiable(self, atoms: Sequence[Atom]) -> bool:
+        table, names = self._joined(atoms)
+        current, remaining = table, names
+        for name in names:
+            current, remaining = boole_eliminate_table(current, remaining, name)
+        return self.algebra.is_zero(current[0])
+
+    def canonicalize(self, atoms: Sequence[Atom]) -> Conjunction | None:
+        if not self.is_satisfiable(atoms):
+            return None
+        table, names = self._joined(atoms)
+        term = self._table_as_term(table, names)
+        return (BooleanConstraintAtom(term, self.algebra),)
+
+    def _table_as_term(self, table: Table, names: Sequence[str]) -> BoolTerm:
+        """The DNF term of a table (the Section 5.1 disjunctive normal form)."""
+        from repro.boolean_algebra.terms import BAnd, BNot, BOr, BZero
+
+        clauses: list[BoolTerm] = []
+        for mask, coefficient in enumerate(table):
+            if self.algebra.is_zero(coefficient):
+                continue
+            clause: BoolTerm = element_as_term(coefficient, self.algebra)
+            for i, name in enumerate(names):
+                literal: BoolTerm = BVar(name)
+                if not (mask & (1 << i)):
+                    literal = BNot(literal)
+                clause = BAnd(clause, literal)
+            clauses.append(clause)
+        if not clauses:
+            return BZero()
+        result = clauses[0]
+        for clause in clauses[1:]:
+            result = BOr(result, clause)
+        return result
+
+    # ---------------------------------------------------- quantifier elimination
+    def eliminate(
+        self, atoms: Sequence[Atom], drop: Iterable[str]
+    ) -> list[Conjunction]:
+        table, names = self._joined(atoms)
+        for name in drop:
+            table, names = boole_eliminate_table(table, names, name)
+        if len(names) == 0 and not self.algebra.is_zero(table[0]):
+            return []
+        term = self._table_as_term(table, names)
+        return [(BooleanConstraintAtom(term, self.algebra),)]
+
+    # ----------------------------------------------------------- sample points
+    def sample_point(
+        self, atoms: Sequence[Atom], variables: Sequence[str]
+    ) -> dict[str, Any] | None:
+        merged_term = None
+        for atom in self._checked(atoms):
+            merged_term = (
+                atom.term if merged_term is None else merged_term | atom.term
+            )
+        if merged_term is None:
+            return {name: self.algebra.zero() for name in variables}
+        solution = solve_constraint(merged_term, self.algebra, self.constants)
+        if solution is None:
+            return None
+        for name in variables:
+            solution.setdefault(name, self.algebra.zero())
+        return solution
+
+    # ------------------------------------------------- approximate entailment
+    def entails(self, atoms: Sequence[Atom], consequence: Atom) -> bool:
+        """Sufficient test: pointwise order of tables.
+
+        ``t1 = 0`` entails ``t2 = 0`` whenever ``t2 <= t1`` as functions.
+        (Complete entailment would require negation, which the theory lacks.)
+        """
+        self.validate_atom(consequence)
+        assert isinstance(consequence, BooleanConstraintAtom)
+        scope = sorted(
+            {v for a in self._checked(atoms) for v in a.variables()}
+            | consequence.variables()
+        )
+        table, names = self._joined(atoms)
+        from repro.boolean_algebra.terms import table_extend
+
+        if tuple(scope) != names:
+            table = table_extend(table, names, tuple(scope))
+        other = term_table(
+            consequence.term, tuple(scope), self.algebra, self.constants
+        )
+        return all(self.algebra.leq(b, a) for a, b in zip(table, other))
+
+    def equivalent(self, left: Sequence[Atom], right: Sequence[Atom]) -> bool:
+        """Exact when both sides are satisfiable (tables determine solution
+        sets then); unsatisfiable sides compare by satisfiability only."""
+        left_sat = self.is_satisfiable(left)
+        right_sat = self.is_satisfiable(right)
+        if not left_sat or not right_sat:
+            return left_sat == right_sat
+        left_table, left_names = self._joined(left)
+        right_table, right_names = self._joined(right)
+        if left_names != right_names:
+            union = sorted(set(left_names) | set(right_names))
+            from repro.boolean_algebra.terms import table_extend
+
+            left_table = table_extend(left_table, left_names, union)
+            right_table = table_extend(right_table, right_names, union)
+        return left_table == right_table
+
+    # -------------------------------------------------------------- internals
+    def _checked(self, atoms: Sequence[Atom]) -> tuple[BooleanConstraintAtom, ...]:
+        for atom in atoms:
+            self.validate_atom(atom)
+        return tuple(atoms)  # type: ignore[arg-type]

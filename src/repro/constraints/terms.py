@@ -1,0 +1,90 @@
+"""Terms shared by the pointwise constraint theories.
+
+Dense-order and equality atoms relate two *terms*, each either a variable or
+a constant of the domain D (Definition 1.2).  Terms are immutable and
+hashable; a total :func:`term_sort_key` makes canonical forms deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Any, Mapping, Union
+
+
+@dataclass(frozen=True, slots=True)
+class Var:
+    """A variable ranging over the constraint domain."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, slots=True)
+class Const:
+    """A constant element of the constraint domain."""
+
+    value: Any
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+Term = Union[Var, Const]
+
+
+def as_term(value: object) -> Term:
+    """Coerce a convenience value into a :class:`Term`.
+
+    Strings become variables; numbers become rational constants; existing
+    terms pass through.  This is the coercion used throughout the public
+    constructors, so that callers can write ``order.lt("x", 3)``.
+    """
+    if isinstance(value, (Var, Const)):
+        return value
+    if isinstance(value, str):
+        return Var(value)
+    if isinstance(value, bool):
+        raise TypeError("booleans are not domain elements of a pointwise theory")
+    if isinstance(value, (int, Fraction)):
+        return Const(Fraction(value))
+    if isinstance(value, float):
+        return Const(Fraction(value).limit_denominator(10**12))
+    raise TypeError(f"cannot interpret {value!r} as a term")
+
+
+def term_sort_key(term: Term) -> tuple:
+    """A deterministic total order on terms: variables first, then constants."""
+    if isinstance(term, Var):
+        return (0, term.name)
+    return (1, _const_key(term.value))
+
+
+def _const_key(value: Any) -> tuple:
+    """Order constants of mixed types deterministically (type name, then value)."""
+    try:
+        hash(value)
+    except TypeError as exc:  # pragma: no cover - defensive
+        raise TypeError(f"constants must be hashable, got {value!r}") from exc
+    return (type(value).__name__, str(value), repr(value))
+
+
+def rename_term(term: Term, mapping: Mapping[str, str]) -> Term:
+    """Rename a variable term according to ``mapping``; constants unchanged."""
+    if isinstance(term, Var):
+        return Var(mapping.get(term.name, term.name))
+    return term
+
+
+def eval_term(term: Term, assignment: Mapping[str, Any]) -> Any:
+    """Value of a term at a ground point."""
+    if isinstance(term, Var):
+        return assignment[term.name]
+    return term.value
+
+
+def term_str(term: Term) -> str:
+    """Human-readable rendering of a term."""
+    return str(term)

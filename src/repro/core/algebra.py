@@ -1,0 +1,160 @@
+"""The generalized relational algebra (Section 2.1).
+
+"One can think of Tarski's procedure as a generalized relational algebra,
+where all the operations are simple variants of the familiar database ones
+except for projection.  Projection corresponds to quantifier elimination and
+is the nontrivial operation."
+
+Operators over generalized relations:
+
+* ``select``    -- conjoin constraint atoms to every tuple (satisfiability-pruned);
+* ``project``   -- existentially quantify dropped attributes (theory QE);
+* ``join``      -- natural join: conjoin constraint parts over the union schema;
+* ``union``     -- concatenate tuple sets (schemas must match);
+* ``rename``    -- rename attributes;
+* ``complement``-- the unrestricted-relation complement, via theory negation;
+* ``difference``-- complement + join.
+
+Each operator returns a new canonicalized generalized relation; together
+they evaluate exactly the relational calculus (the calculus evaluator in
+:mod:`repro.core.calculus` is their composition).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.constraints.base import ConstraintTheory
+from repro.core.calculus import complement_dnf
+from repro.core.generalized import GeneralizedRelation, GeneralizedTuple
+from repro.errors import ArityError, EvaluationError
+from repro.logic.syntax import Atom
+
+
+def select(
+    relation: GeneralizedRelation,
+    atoms: Iterable[Atom],
+    name: str = "select",
+) -> GeneralizedRelation:
+    """Conjoin the constraint atoms to every generalized tuple."""
+    extra = tuple(atoms)
+    scope = set(relation.variables)
+    for atom in extra:
+        loose = atom.variables() - scope
+        if loose:
+            raise ArityError(
+                f"selection constraint {atom} uses {sorted(loose)} outside "
+                f"the schema {relation.variables}"
+            )
+    result = GeneralizedRelation(name, relation.variables, relation.theory)
+    for item in relation:
+        result.add_tuple(tuple(item.atoms) + extra)
+    return result
+
+
+def project(
+    relation: GeneralizedRelation,
+    attributes: Sequence[str],
+    name: str = "project",
+) -> GeneralizedRelation:
+    """Projection = existential quantification of the dropped attributes.
+
+    The nontrivial operation: each tuple's conjunction goes through the
+    theory's quantifier elimination; the result is a DNF, i.e. possibly
+    several output tuples per input tuple.
+    """
+    missing = [a for a in attributes if a not in relation.variables]
+    if missing:
+        raise ArityError(f"cannot project onto unknown attributes {missing}")
+    drop = [v for v in relation.variables if v not in attributes]
+    result = GeneralizedRelation(name, tuple(attributes), relation.theory)
+    for item in relation:
+        for conjunction in relation.theory.eliminate(item.atoms, drop):
+            result.add(GeneralizedTuple(tuple(attributes), conjunction))
+    return result
+
+
+def rename(
+    relation: GeneralizedRelation,
+    mapping: Mapping[str, str],
+    name: str = "rename",
+) -> GeneralizedRelation:
+    """Rename attributes (bijectively on the schema)."""
+    new_variables = tuple(mapping.get(v, v) for v in relation.variables)
+    result = GeneralizedRelation(name, new_variables, relation.theory)
+    for item in relation:
+        result.add(item.rename(new_variables))
+    return result
+
+
+def union(
+    left: GeneralizedRelation,
+    right: GeneralizedRelation,
+    name: str = "union",
+) -> GeneralizedRelation:
+    """Set union of the represented point sets (same schema required)."""
+    if left.variables != right.variables:
+        raise ArityError(
+            f"union schemas differ: {left.variables} vs {right.variables}"
+        )
+    result = GeneralizedRelation(name, left.variables, left.theory)
+    for item in left:
+        result.add(item)
+    for item in right:
+        result.add(item)
+    return result
+
+
+def join(
+    left: GeneralizedRelation,
+    right: GeneralizedRelation,
+    name: str = "join",
+) -> GeneralizedRelation:
+    """Natural join: conjoin constraints over the union of the schemas.
+
+    Shared attributes are identified by name (the generalized analogue of
+    the equality join); unsatisfiable combinations are pruned.
+    """
+    if left.theory is not right.theory:
+        raise EvaluationError("cannot join relations over different theories")
+    right_only = [v for v in right.variables if v not in left.variables]
+    schema = tuple(left.variables) + tuple(right_only)
+    result = GeneralizedRelation(name, schema, left.theory)
+    for left_item in left:
+        for right_item in right:
+            result.add_tuple(tuple(left_item.atoms) + tuple(right_item.atoms))
+    return result
+
+
+def complement(
+    relation: GeneralizedRelation, name: str = "complement"
+) -> GeneralizedRelation:
+    """The complement of the represented (unrestricted) relation in D^k.
+
+    Uses theory-level atom negation with satisfiability pruning; for the
+    pointwise theories the result is again polynomially sized for fixed
+    arity.
+    """
+    dnf = [tuple(item.atoms) for item in relation]
+    result = GeneralizedRelation(name, relation.variables, relation.theory)
+    for conjunction in complement_dnf(dnf, relation.theory):
+        result.add_tuple(conjunction)
+    return result
+
+
+def difference(
+    left: GeneralizedRelation,
+    right: GeneralizedRelation,
+    name: str = "difference",
+) -> GeneralizedRelation:
+    """Points of ``left`` not in ``right`` (same schema required)."""
+    if left.variables != right.variables:
+        raise ArityError(
+            f"difference schemas differ: {left.variables} vs {right.variables}"
+        )
+    right_complement = complement(right, name="_not_right")
+    result = GeneralizedRelation(name, left.variables, left.theory)
+    for left_item in left:
+        for other in right_complement:
+            result.add_tuple(tuple(left_item.atoms) + tuple(other.atoms))
+    return result

@@ -1,0 +1,252 @@
+"""Bottom-up, closed-form evaluation of relational calculus + constraints.
+
+This is the Figure 1 pipeline: a query program phi with database atoms is
+interpreted by treating each atom R(z1..zk) as a shorthand for the input
+relation's DNF formula (Remark D), and the resulting constraint-theory
+formula is evaluated to a *generalized relation* -- quantifiers are
+eliminated by the theory, so the output is closed form (Definitions 1.6-1.8).
+
+Evaluation is structural recursion producing DNFs of constraint atoms:
+
+* a constraint atom is a one-conjunct DNF;
+* a database atom contributes one conjunct per input generalized tuple
+  (variables renamed to the atom's arguments);
+* a negated database atom contributes the *complement* of the input
+  relation, computed by De Morgan expansion with satisfiability pruning and
+  canonical deduplication (polynomially many cells for a fixed arity);
+* conjunction distributes (with satisfiability pruning), disjunction unions;
+* ``exists`` calls the theory's quantifier elimination per conjunct;
+* ``forall`` is rewritten as not-exists-not during the NNF pass, so general
+  negation only ever applies to database atoms and theory atoms.
+
+For a fixed query the whole computation is polynomial in the database size,
+which is the data-complexity discipline of Definition 1.13 (the sharper
+LOGSPACE bound of Theorem 3.14 is realized by the verbatim EVAL-phi
+implementation in :mod:`repro.core.rconfig`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.constraints.base import Conjunction, ConstraintTheory
+from repro.core.generalized import (
+    GeneralizedDatabase,
+    GeneralizedRelation,
+)
+from repro.errors import ArityError, EvaluationError
+from repro.logic.syntax import (
+    And,
+    Atom,
+    Exists,
+    ForAll,
+    Formula,
+    Not,
+    Or,
+    RelationAtom,
+    free_variables,
+)
+from repro.logic.transform import to_nnf
+
+Dnf = list[Conjunction]
+
+
+def evaluate_calculus(
+    query: Formula,
+    database: GeneralizedDatabase,
+    output: Sequence[str] | None = None,
+    name: str = "result",
+) -> GeneralizedRelation:
+    """Evaluate a relational calculus + constraints query program.
+
+    ``output`` fixes the result relation's variable order; it must equal the
+    query's free variables as a set (default: sorted free variables).
+    Returns a generalized relation -- the closed-form requirement of the CQL
+    design principles.
+    """
+    free = free_variables(query)
+    if output is None:
+        output = tuple(sorted(free))
+    if set(output) != set(free):
+        raise EvaluationError(
+            f"output variables {tuple(output)} differ from the query's free "
+            f"variables {tuple(sorted(free))}"
+        )
+    _validate_arities(query, database)
+    theory = database.theory
+    nnf = to_nnf(query, theory.negate_atom)
+    dnf = _eval(nnf, database, theory)
+    result = GeneralizedRelation(name, tuple(output), theory)
+    for conjunction in dnf:
+        result.add_tuple(conjunction)
+    return result
+
+
+def _validate_arities(query: Formula, database: GeneralizedDatabase) -> None:
+    from repro.logic.syntax import all_relation_atoms
+
+    for atom in all_relation_atoms(query):
+        relation = database.relation(atom.name)
+        if relation.arity != len(atom.args):
+            raise ArityError(
+                f"{atom.name} has arity {relation.arity}, used with "
+                f"{len(atom.args)} arguments"
+            )
+
+
+def _eval(
+    formula: Formula, database: GeneralizedDatabase, theory: ConstraintTheory
+) -> Dnf:
+    if isinstance(formula, RelationAtom):
+        relation = database.relation(formula.name)
+        return [
+            tuple(t.rename(formula.args).atoms) for t in relation
+        ]
+    if isinstance(formula, Atom):
+        canonical = theory.canonicalize((formula,))
+        return [] if canonical is None else [canonical]
+    if isinstance(formula, Not):
+        child = formula.child
+        if not isinstance(child, RelationAtom):
+            raise EvaluationError(
+                f"negation of {child} survived NNF; this is a bug"
+            )
+        relation = database.relation(child.name)
+        renamed = [tuple(t.rename(child.args).atoms) for t in relation]
+        return complement_dnf(renamed, theory)
+    if isinstance(formula, And):
+        result: Dnf = [()]
+        for part in formula.children:
+            part_dnf = _eval(part, database, theory)
+            result = conjoin_dnf(result, part_dnf, theory)
+            if not result:
+                return []
+        return result
+    if isinstance(formula, Or):
+        merged: Dnf = []
+        seen: set[frozenset[Atom]] = set()
+        for part in formula.children:
+            for conjunction in _eval(part, database, theory):
+                key = frozenset(conjunction)
+                if key not in seen:
+                    seen.add(key)
+                    merged.append(conjunction)
+        return merged
+    if isinstance(formula, Exists):
+        inner = _eval(formula.child, database, theory)
+        result = []
+        seen = set()
+        for conjunction in inner:
+            for eliminated in theory.eliminate(conjunction, formula.variables_bound):
+                canonical = theory.canonicalize(eliminated)
+                if canonical is None:
+                    continue
+                key = frozenset(canonical)
+                if key not in seen:
+                    seen.add(key)
+                    result.append(canonical)
+        return result
+    if isinstance(formula, ForAll):
+        # forall v . psi  ==  not exists v . not psi.  The inner complement
+        # works on the evaluated DNF of psi.
+        inner = _eval(formula.child, database, theory)
+        complemented = complement_dnf(inner, theory)
+        eliminated: Dnf = []
+        seen = set()
+        for conjunction in complemented:
+            for reduced in theory.eliminate(conjunction, formula.variables_bound):
+                canonical = theory.canonicalize(reduced)
+                if canonical is None:
+                    continue
+                key = frozenset(canonical)
+                if key not in seen:
+                    seen.add(key)
+                    eliminated.append(canonical)
+        return complement_dnf(eliminated, theory)
+    raise EvaluationError(f"cannot evaluate {formula!r}")
+
+
+def conjoin_dnf(left: Dnf, right: Dnf, theory: ConstraintTheory) -> Dnf:
+    """Distribute a conjunction of two DNFs, pruning unsatisfiable conjuncts."""
+    result: Dnf = []
+    seen: set[frozenset[Atom]] = set()
+    for a in left:
+        for b in right:
+            merged = a + b
+            canonical = theory.canonicalize(merged)
+            if canonical is None:
+                continue
+            key = frozenset(canonical)
+            if key not in seen:
+                seen.add(key)
+                result.append(canonical)
+    return result
+
+
+def complement_dnf(dnf: Dnf, theory: ConstraintTheory) -> Dnf:
+    """The complement of a DNF of constraint atoms, as a DNF.
+
+    ``not (t1 or ... or tN) = and_i (not t_i)``; each ``not t_i`` is a
+    disjunction of negated atoms (theory-level negation), and the big
+    conjunction is expanded incrementally with satisfiability pruning and
+    canonical deduplication.  For a fixed arity the distinct canonical cells
+    are polynomial in the constraint count, so the expansion stays
+    polynomial despite the naive 2^N bound.
+    """
+    from repro.logic.transform import to_dnf
+
+    result: Dnf = [()]
+    for conjunction in dnf:
+        negated_branches: list[tuple[Atom, ...]] = []
+        for atom in conjunction:
+            negation = theory.negate_atom(atom)
+            for branch in to_dnf(negation):
+                negated_branches.append(tuple(branch))  # type: ignore[arg-type]
+        if not conjunction:
+            return []  # complement of "true" is "false"
+        step: Dnf = []
+        seen: set[frozenset[Atom]] = set()
+        for existing in result:
+            for branch in negated_branches:
+                canonical = theory.canonicalize(existing + branch)
+                if canonical is None:
+                    continue
+                key = frozenset(canonical)
+                if key not in seen:
+                    seen.add(key)
+                    step.append(canonical)
+        result = _prune_subsumed(step)
+        if not result:
+            return []
+    return result
+
+
+def _prune_subsumed(dnf: Dnf) -> Dnf:
+    """Drop conjunctions whose atom set strictly contains another's.
+
+    A superset conjunction denotes a subset of points, so removing it keeps
+    the union unchanged; this keeps the complement expansion at the minimal
+    covers instead of all 2^N branch combinations.
+    """
+    keyed = sorted(
+        ((frozenset(conj), conj) for conj in dnf), key=lambda kv: len(kv[0])
+    )
+    kept: list[tuple[frozenset[Atom], tuple[Atom, ...]]] = []
+    for key, conj in keyed:
+        if any(other <= key for other, _ in kept):
+            continue
+        kept.append((key, conj))
+    return [conj for _, conj in kept]
+
+
+def evaluate_boolean_query(
+    query: Formula, database: GeneralizedDatabase
+) -> bool:
+    """Evaluate a closed query program to true/false."""
+    free = free_variables(query)
+    if free:
+        raise EvaluationError(
+            f"boolean query must be closed; free variables {sorted(free)}"
+        )
+    result = evaluate_calculus(query, database, output=())
+    return len(result) > 0

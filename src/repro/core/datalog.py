@@ -1,0 +1,494 @@
+"""Datalog and inflationary Datalog-not with constraints (Sections 1.2, 3, 4).
+
+A rule is ``head :- literals`` where the head is a database atom with
+distinct variables and each body literal is a database atom, a negated
+database atom (Datalog-not only), or a constraint atom of the active theory
+(Definition 1.10).  The engine provides:
+
+* **naive** and **semi-naive** bottom-up evaluation to the least fixpoint
+  for positive programs -- rule firing joins the body tuples' constraint
+  conjunctions, checks satisfiability, eliminates body-only variables
+  (closed form!), canonicalizes, and adds the head tuple;
+* **inflationary semantics** for Datalog-not (facts derived in an iteration
+  are added to those of previous iterations; negated atoms are evaluated
+  against the current relation by complementation), per [1, 22, 33] as the
+  paper prescribes;
+* a **closure guard**: recursion over the real-polynomial theory is refused
+  with :class:`NotClosedError` (Example 1.12 -- the transitive closure of
+  ``y = 2x`` has no finite representation); the Example 1.12 divergence
+  experiment opts in via ``allow_unsafe_recursion`` + ``max_iterations``.
+
+Termination for the dense-order and equality theories follows the paper's
+argument: derived tuples are canonical conjunctions over a fixed variable
+count and the fixed constant set of program + database, of which there are
+finitely many (polynomially many for fixed arity -- the PTIME bound of
+Theorems 3.14.2 / 4.11.2).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.constraints.base import ConstraintTheory
+from repro.constraints.real_poly import RealPolynomialTheory
+from repro.core.calculus import complement_dnf
+from repro.core.generalized import (
+    GeneralizedDatabase,
+    GeneralizedRelation,
+    GeneralizedTuple,
+)
+from repro.errors import (
+    ArityError,
+    EvaluationError,
+    FixpointDivergenceError,
+    NotClosedError,
+)
+from repro.logic.syntax import Atom, Not, RelationAtom
+
+
+@dataclass(frozen=True)
+class Rule:
+    """``head :- body`` with constraint atoms allowed in the body."""
+
+    head: RelationAtom
+    body: tuple[object, ...]  # RelationAtom | Not(RelationAtom) | theory Atom
+
+    def __post_init__(self) -> None:
+        head_vars = set(self.head.args)
+        body_vars: set[str] = set()
+        for literal in self.body:
+            if isinstance(literal, RelationAtom):
+                body_vars |= set(literal.args)
+            elif isinstance(literal, Not):
+                if not isinstance(literal.child, RelationAtom):
+                    raise EvaluationError(
+                        "negation in rule bodies applies to database atoms only"
+                    )
+                body_vars |= set(literal.child.args)
+            elif isinstance(literal, Atom):
+                body_vars |= literal.variables()
+            else:
+                raise EvaluationError(f"bad body literal {literal!r}")
+        missing = head_vars - body_vars
+        if missing:
+            raise EvaluationError(
+                f"head variables {sorted(missing)} do not occur in the body "
+                f"of rule {self}"
+            )
+
+    @property
+    def positive_atoms(self) -> list[RelationAtom]:
+        return [l for l in self.body if isinstance(l, RelationAtom)]
+
+    @property
+    def negative_atoms(self) -> list[RelationAtom]:
+        return [l.child for l in self.body if isinstance(l, Not)]  # type: ignore[union-attr]
+
+    @property
+    def constraint_atoms(self) -> list[Atom]:
+        return [
+            l for l in self.body if isinstance(l, Atom) and not isinstance(l, RelationAtom)
+        ]
+
+    def has_negation(self) -> bool:
+        return any(isinstance(l, Not) for l in self.body)
+
+    def variables(self) -> list[str]:
+        seen: list[str] = []
+        for literal in self.body:
+            if isinstance(literal, RelationAtom):
+                names: Iterable[str] = literal.args
+            elif isinstance(literal, Not):
+                names = literal.child.args  # type: ignore[union-attr]
+            else:
+                names = sorted(literal.variables())  # type: ignore[union-attr]
+            for name in names:
+                if name not in seen:
+                    seen.append(name)
+        for name in self.head.args:
+            if name not in seen:
+                seen.append(name)
+        return seen
+
+    def __str__(self) -> str:
+        body = ", ".join(str(l) for l in self.body)
+        return f"{self.head} :- {body}"
+
+
+@dataclass
+class EvaluationStats:
+    """Bookkeeping exposed for the data-complexity benchmarks."""
+
+    iterations: int = 0
+    rule_firings: int = 0
+    tuples_derived: int = 0
+    tuples_added: int = 0
+    per_round_new: list[int] = field(default_factory=list)
+
+
+class DatalogProgram:
+    """A Datalog(+constraints) program evaluated against a generalized database."""
+
+    def __init__(
+        self,
+        rules: Sequence[Rule],
+        theory: ConstraintTheory,
+        allow_unsafe_recursion: bool = False,
+    ) -> None:
+        self.rules = list(rules)
+        self.theory = theory
+        self.allow_unsafe_recursion = allow_unsafe_recursion
+        self._check_arities()
+        if (
+            isinstance(theory, RealPolynomialTheory)
+            and self.is_recursive()
+            and not allow_unsafe_recursion
+        ):
+            raise NotClosedError(
+                "Datalog with real polynomial constraints is not closed "
+                "(Example 1.12); pass allow_unsafe_recursion=True and a "
+                "max_iterations bound to experiment with divergence"
+            )
+
+    # --------------------------------------------------------------- schema
+    def idb_predicates(self) -> set[str]:
+        return {rule.head.name for rule in self.rules}
+
+    def edb_predicates(self) -> set[str]:
+        used: set[str] = set()
+        for rule in self.rules:
+            for atom in rule.positive_atoms + rule.negative_atoms:
+                used.add(atom.name)
+        return used - self.idb_predicates()
+
+    def _check_arities(self) -> None:
+        arities: dict[str, int] = {}
+        for rule in self.rules:
+            for atom in [rule.head] + rule.positive_atoms + rule.negative_atoms:
+                known = arities.get(atom.name)
+                if known is not None and known != len(atom.args):
+                    raise ArityError(
+                        f"{atom.name} used with arities {known} and {len(atom.args)}"
+                    )
+                arities[atom.name] = len(atom.args)
+        self.arities = arities
+
+    def dependency_edges(self) -> set[tuple[str, str]]:
+        """(head, body-predicate) edges over IDB predicates."""
+        idbs = self.idb_predicates()
+        edges = set()
+        for rule in self.rules:
+            for atom in rule.positive_atoms + rule.negative_atoms:
+                if atom.name in idbs:
+                    edges.add((rule.head.name, atom.name))
+        return edges
+
+    def is_recursive(self) -> bool:
+        """Whether the IDB dependency graph has a cycle."""
+        edges = self.dependency_edges()
+        graph: dict[str, set[str]] = {}
+        for a, b in edges:
+            graph.setdefault(a, set()).add(b)
+        state: dict[str, int] = {}
+
+        def visit(node: str) -> bool:
+            state[node] = 1
+            for succ in graph.get(node, ()):
+                mark = state.get(succ, 0)
+                if mark == 1:
+                    return True
+                if mark == 0 and visit(succ):
+                    return True
+            state[node] = 2
+            return False
+
+        return any(state.get(node, 0) == 0 and visit(node) for node in graph)
+
+    def has_negation(self) -> bool:
+        return any(rule.has_negation() for rule in self.rules)
+
+    # ------------------------------------------------------------ evaluation
+    def evaluate(
+        self,
+        database: GeneralizedDatabase,
+        max_iterations: int = 100_000,
+        semi_naive: bool = True,
+        semantics: str = "auto",
+    ) -> tuple[GeneralizedDatabase, EvaluationStats]:
+        """Bottom-up evaluation to a fixpoint.
+
+        Returns a database extended with the IDB relations, plus statistics.
+
+        ``semantics`` selects how negation is treated:
+
+        * ``"auto"`` (default): positive programs run semi-naive; programs
+          with negation run *stratified* if stratifiable, else inflationary;
+        * ``"stratified"``: stratum-by-stratum least fixpoints (negation only
+          against fully-computed lower strata); raises if not stratifiable;
+        * ``"inflationary"``: the paper's inflationary semantics [1, 22, 33]
+          -- every round evaluates all rules against the current state and
+          adds the derived facts, never retracting.
+        """
+        if semantics not in ("auto", "stratified", "inflationary"):
+            raise EvaluationError(f"unknown semantics {semantics!r}")
+        if not self.has_negation():
+            if semi_naive:
+                return self._evaluate_semi_naive(database, max_iterations)
+            return self._evaluate_naive(database, max_iterations)
+        if semantics == "inflationary":
+            return self._evaluate_inflationary(database, max_iterations)
+        strata = self.stratify()
+        if strata is None:
+            if semantics == "stratified":
+                raise EvaluationError(
+                    "program is not stratifiable (negation through recursion)"
+                )
+            return self._evaluate_inflationary(database, max_iterations)
+        return self._evaluate_stratified(database, strata, max_iterations)
+
+    def stratify(self) -> list[list[Rule]] | None:
+        """Partition rules into strata, or None if not stratifiable.
+
+        A program is stratifiable when no predicate depends negatively on
+        itself through recursion: build the dependency graph with edge
+        labels, reject negative edges inside a strongly connected component,
+        and order components topologically.
+        """
+        idbs = self.idb_predicates()
+        positive_edges: set[tuple[str, str]] = set()
+        negative_edges: set[tuple[str, str]] = set()
+        for rule in self.rules:
+            for atom in rule.positive_atoms:
+                if atom.name in idbs:
+                    positive_edges.add((rule.head.name, atom.name))
+            for atom in rule.negative_atoms:
+                if atom.name in idbs:
+                    negative_edges.add((rule.head.name, atom.name))
+        # stratum numbers by iteration to a fixpoint (Ullman's algorithm)
+        stratum = {name: 0 for name in idbs}
+        changed = True
+        while changed:
+            changed = False
+            for head, body in positive_edges:
+                if stratum[head] < stratum[body]:
+                    stratum[head] = stratum[body]
+                    changed = True
+            for head, body in negative_edges:
+                if stratum[head] < stratum[body] + 1:
+                    stratum[head] = stratum[body] + 1
+                    changed = True
+            # in a stratifiable program no stratum exceeds the predicate
+            # count; a negative cycle pushes values past that bound
+            if any(level > len(idbs) for level in stratum.values()):
+                return None
+        buckets: dict[int, list[Rule]] = {}
+        for rule in self.rules:
+            buckets.setdefault(stratum[rule.head.name], []).append(rule)
+        return [buckets[level] for level in sorted(buckets)]
+
+    def _evaluate_stratified(
+        self,
+        database: GeneralizedDatabase,
+        strata: list[list[Rule]],
+        max_iterations: int,
+    ) -> tuple[GeneralizedDatabase, EvaluationStats]:
+        world = self._prepare(database)
+        stats = EvaluationStats()
+        for stratum_rules in strata:
+            while True:
+                stats.iterations += 1
+                if stats.iterations > max_iterations:
+                    raise FixpointDivergenceError(max_iterations)
+                derived: list[tuple[str, GeneralizedTuple]] = []
+                for rule in stratum_rules:
+                    derived.extend(self._fire(rule, world, stats))
+                new_count = 0
+                for name, item in derived:
+                    if world.relation(name).add(item):
+                        new_count += 1
+                        stats.tuples_added += 1
+                stats.per_round_new.append(new_count)
+                if new_count == 0:
+                    break
+        return world, stats
+
+    def _prepare(self, database: GeneralizedDatabase) -> GeneralizedDatabase:
+        world = database.copy()
+        for name in sorted(self.idb_predicates()):
+            if name not in world:
+                arity = self.arities[name]
+                world.create_relation(name, tuple(f"_{i}" for i in range(arity)))
+        return world
+
+    def _evaluate_naive(
+        self, database: GeneralizedDatabase, max_iterations: int
+    ) -> tuple[GeneralizedDatabase, EvaluationStats]:
+        world = self._prepare(database)
+        stats = EvaluationStats()
+        while True:
+            stats.iterations += 1
+            if stats.iterations > max_iterations:
+                raise FixpointDivergenceError(max_iterations)
+            new_count = 0
+            derived: list[tuple[str, GeneralizedTuple]] = []
+            for rule in self.rules:
+                derived.extend(self._fire(rule, world, stats))
+            for name, item in derived:
+                if world.relation(name).add(item):
+                    new_count += 1
+                    stats.tuples_added += 1
+            stats.per_round_new.append(new_count)
+            if new_count == 0:
+                return world, stats
+
+    def _evaluate_semi_naive(
+        self, database: GeneralizedDatabase, max_iterations: int
+    ) -> tuple[GeneralizedDatabase, EvaluationStats]:
+        world = self._prepare(database)
+        stats = EvaluationStats()
+        idbs = self.idb_predicates()
+        # deltas: tuples added in the previous round
+        delta: dict[str, list[GeneralizedTuple]] = {
+            name: [] for name in idbs
+        }
+        first_round = True
+        while True:
+            stats.iterations += 1
+            if stats.iterations > max_iterations:
+                raise FixpointDivergenceError(max_iterations)
+            derived: list[tuple[str, GeneralizedTuple]] = []
+            for rule in self.rules:
+                idb_positions = [
+                    i
+                    for i, atom in enumerate(rule.positive_atoms)
+                    if atom.name in idbs
+                ]
+                if first_round or not idb_positions:
+                    if first_round:
+                        derived.extend(self._fire(rule, world, stats))
+                    continue
+                # at least one IDB body atom must come from the delta
+                for delta_position in idb_positions:
+                    derived.extend(
+                        self._fire(rule, world, stats, delta, delta_position)
+                    )
+            new_delta: dict[str, list[GeneralizedTuple]] = {name: [] for name in idbs}
+            new_count = 0
+            for name, item in derived:
+                relation = world.relation(name)
+                if relation.add(item):
+                    new_count += 1
+                    stats.tuples_added += 1
+                    canonical = self.theory.canonicalize(
+                        item.rename(relation.variables).atoms
+                    )
+                    if canonical is not None:
+                        new_delta[name].append(
+                            GeneralizedTuple(relation.variables, canonical)
+                        )
+            stats.per_round_new.append(new_count)
+            delta = new_delta
+            first_round = False
+            if new_count == 0:
+                return world, stats
+
+    def _evaluate_inflationary(
+        self, database: GeneralizedDatabase, max_iterations: int
+    ) -> tuple[GeneralizedDatabase, EvaluationStats]:
+        world = self._prepare(database)
+        stats = EvaluationStats()
+        while True:
+            stats.iterations += 1
+            if stats.iterations > max_iterations:
+                raise FixpointDivergenceError(max_iterations)
+            derived: list[tuple[str, GeneralizedTuple]] = []
+            for rule in self.rules:
+                derived.extend(self._fire(rule, world, stats))
+            new_count = 0
+            for name, item in derived:
+                if world.relation(name).add(item):
+                    new_count += 1
+                    stats.tuples_added += 1
+            stats.per_round_new.append(new_count)
+            if new_count == 0:
+                return world, stats
+
+    # ------------------------------------------------------------ rule firing
+    def _fire(
+        self,
+        rule: Rule,
+        world: GeneralizedDatabase,
+        stats: EvaluationStats,
+        delta: dict[str, list[GeneralizedTuple]] | None = None,
+        delta_position: int | None = None,
+    ) -> list[tuple[str, GeneralizedTuple]]:
+        """All head tuples derivable by one firing of ``rule``.
+
+        With ``delta``/``delta_position`` set, the positive atom at that
+        position draws from the delta instead of the full relation
+        (semi-naive restriction).
+        """
+        positives = rule.positive_atoms
+        choice_lists: list[list[tuple[RelationAtom, GeneralizedTuple]]] = []
+        for index, atom in enumerate(positives):
+            relation = world.relation(atom.name)
+            if delta is not None and index == delta_position:
+                source: Iterable[GeneralizedTuple] = delta.get(atom.name, [])
+            else:
+                source = relation
+            choice_lists.append([(atom, t) for t in source])
+        negated_dnfs: list[list[tuple[Atom, ...]]] = []
+        for atom in rule.negative_atoms:
+            relation = world.relation(atom.name)
+            renamed = [tuple(t.rename(atom.args).atoms) for t in relation]
+            negated_dnfs.append(complement_dnf(renamed, self.theory))
+        constraints = tuple(rule.constraint_atoms)
+        head_vars = rule.head.args
+        body_vars = rule.variables()
+        drop = tuple(v for v in body_vars if v not in head_vars)
+        results: list[tuple[str, GeneralizedTuple]] = []
+
+        def extend(index: int, partial: tuple[Atom, ...]) -> None:
+            """Depth-first join with incremental satisfiability pruning:
+            a partial combination that is already inconsistent (e.g. a key
+            mismatch) cuts the whole subtree of tuple choices."""
+            if index == len(choice_lists):
+                for negated in self._expand_negations(negated_dnfs):
+                    stats.rule_firings += 1
+                    conjunction = partial + negated
+                    if negated and not self.theory.is_satisfiable(conjunction):
+                        continue
+                    for eliminated in self.theory.eliminate(conjunction, drop):
+                        stats.tuples_derived += 1
+                        results.append(
+                            (
+                                rule.head.name,
+                                GeneralizedTuple(head_vars, eliminated),
+                            )
+                        )
+                return
+            for atom, item in choice_lists[index]:
+                candidate = partial + tuple(item.rename(atom.args).atoms)
+                stats.rule_firings += 1
+                if not self.theory.is_satisfiable(candidate):
+                    continue
+                extend(index + 1, candidate)
+
+        if self.theory.is_satisfiable(constraints):
+            extend(0, constraints)
+        return results
+
+    @staticmethod
+    def _expand_negations(
+        negated_dnfs: list[list[tuple[Atom, ...]]]
+    ) -> Iterable[tuple[Atom, ...]]:
+        if not negated_dnfs:
+            yield ()
+            return
+        for combo in itertools.product(*negated_dnfs):
+            merged: tuple[Atom, ...] = ()
+            for part in combo:
+                merged = merged + part
+            yield merged

@@ -1,0 +1,343 @@
+"""e-configurations and EVAL-phi for equality constraints (Section 4).
+
+The equality-over-an-infinite-domain analogue of :mod:`repro.core.rconfig`.
+An e-configuration (Definition 4.1) is ``(epsilon, v)``: an equivalence
+relation on the n positions plus, per position, either a constant of D_phi
+or the special marker ``o`` ("different from every constant in D_phi"),
+consistently across equivalent positions.  Lemmas 4.6-4.10 mirror the dense
+order ones; Boolean-EVAL differs only in its base cases (``x_i = x_j`` and
+``x_i = c``).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Iterator, Sequence
+
+from repro.constraints.equality import EqualityAtom, EqualityTheory
+from repro.constraints.terms import Const, Var
+from repro.core.generalized import GeneralizedDatabase, GeneralizedRelation
+from repro.errors import EvaluationError, TheoryError
+from repro.logic.syntax import (
+    And,
+    Atom,
+    Exists,
+    ForAll,
+    Formula,
+    Not,
+    Or,
+    RelationAtom,
+    free_variables,
+)
+
+
+class _OtherType:
+    """The marker ``o``: a value different from every constant in D_phi."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "o"
+
+
+OTHER = _OtherType()
+
+
+@dataclass(frozen=True)
+class EConfig:
+    """An e-configuration ``(epsilon, v)`` of Definition 4.1.
+
+    ``classes`` assigns each position its equivalence-class id (normalized:
+    class ids appear in first-occurrence order starting from 0); ``v`` tags
+    each position with a constant or ``OTHER``.
+    """
+
+    classes: tuple[int, ...]
+    v: tuple[Any, ...]
+
+    @property
+    def size(self) -> int:
+        return len(self.classes)
+
+    def project(self, positions: Sequence[int]) -> "EConfig":
+        kept = [self.classes[p] for p in positions]
+        relabel: dict[int, int] = {}
+        normalized = []
+        for cls in kept:
+            relabel.setdefault(cls, len(relabel))
+            normalized.append(relabel[cls])
+        return EConfig(tuple(normalized), tuple(self.v[p] for p in positions))
+
+    def atoms(self, variables: Sequence[str]) -> tuple[EqualityAtom, ...]:
+        """The conjunction F(xi) of Definition 4.3 (finite part).
+
+        The "different from every constant" conjuncts for ``o``-tagged
+        classes are emitted against the constants of D_phi supplied when
+        evaluating; here we emit the within-configuration atoms:
+        equalities inside classes, disequalities across classes, and
+        constant equations.  Call :meth:`atoms_with_constants` to add the
+        ``x != c`` conjuncts.
+        """
+        return self.atoms_with_constants(variables, ())
+
+    def atoms_with_constants(
+        self, variables: Sequence[str], constants: Sequence[Any]
+    ) -> tuple[EqualityAtom, ...]:
+        if len(variables) != self.size:
+            raise EvaluationError("variable count mismatch")
+        atoms: list[EqualityAtom] = []
+        for i in range(self.size):
+            for j in range(i + 1, self.size):
+                if self.classes[i] == self.classes[j]:
+                    atoms.append(EqualityAtom("=", Var(variables[i]), Var(variables[j])))
+                else:
+                    atoms.append(EqualityAtom("!=", Var(variables[i]), Var(variables[j])))
+        for i in range(self.size):
+            if self.v[i] is OTHER:
+                for constant in constants:
+                    atoms.append(
+                        EqualityAtom("!=", Var(variables[i]), Const(constant))
+                    )
+            else:
+                atoms.append(EqualityAtom("=", Var(variables[i]), Const(self.v[i])))
+        return tuple(atoms)
+
+    def satisfied_by(self, point: Sequence[Any], constants: Sequence[Any]) -> bool:
+        """Definition 4.4."""
+        if len(point) != self.size:
+            return False
+        for i in range(self.size):
+            for j in range(self.size):
+                same = self.classes[i] == self.classes[j]
+                if same != (point[i] == point[j]):
+                    return False
+            if self.v[i] is OTHER:
+                if point[i] in set(constants):
+                    return False
+            elif point[i] != self.v[i]:
+                return False
+        return True
+
+    def sample_point(self, fresh_factory=None) -> tuple[Any, ...]:
+        """Lemma 4.7: a satisfying point; OTHER classes get fresh elements."""
+        fresh_factory = fresh_factory or (lambda i: f"_fresh{i}")
+        values: dict[int, Any] = {}
+        fresh_index = 0
+        for i in range(self.size):
+            cls = self.classes[i]
+            if cls in values:
+                continue
+            if self.v[i] is OTHER:
+                values[cls] = fresh_factory(fresh_index)
+                fresh_index += 1
+            else:
+                values[cls] = self.v[i]
+        return tuple(values[self.classes[i]] for i in range(self.size))
+
+
+def is_valid_econfig(classes: Sequence[int], v: Sequence[Any]) -> bool:
+    """Conditions of Definition 4.1 plus class-id normalization."""
+    seen: dict[int, int] = {}
+    for cls in classes:
+        if cls not in seen:
+            if cls != len(seen):
+                return False
+            seen[cls] = cls
+    values_by_class: dict[int, Any] = {}
+    for cls, value in zip(classes, v):
+        if cls in values_by_class:
+            # condition 1: equivalent positions carry the same tag
+            if values_by_class[cls] is not value and values_by_class[cls] != value:
+                return False
+        values_by_class[cls] = value
+    # condition 2: equal non-OTHER tags force the same class
+    tags: dict[Any, int] = {}
+    for cls, value in values_by_class.items():
+        if value is OTHER:
+            continue
+        if value in tags and tags[value] != cls:
+            return False
+        tags[value] = cls
+    return True
+
+
+def enumerate_econfigs(n: int, constants: Sequence[Any]) -> Iterator[EConfig]:
+    """All e-configurations of size n over the constants of D_phi."""
+    tags = list(dict.fromkeys(constants)) + [OTHER]
+    for classes in _set_partitions(n):
+        class_count = (max(classes) + 1) if classes else 0
+        for assignment in itertools.product(tags, repeat=class_count):
+            # distinct classes cannot share a non-OTHER tag
+            non_other = [t for t in assignment if t is not OTHER]
+            if len(non_other) != len(set(non_other)):
+                continue
+            v = tuple(assignment[cls] for cls in classes)
+            config = EConfig(classes, v)
+            yield config
+
+
+def _set_partitions(n: int) -> Iterator[tuple[int, ...]]:
+    """Set partitions of n positions in restricted-growth-string form."""
+    if n == 0:
+        yield ()
+        return
+
+    def grow(prefix: list[int]) -> Iterator[tuple[int, ...]]:
+        if len(prefix) == n:
+            yield tuple(prefix)
+            return
+        top = max(prefix) if prefix else -1
+        for cls in range(top + 2):
+            yield from grow(prefix + [cls])
+
+    yield from grow([])
+
+
+def econfig_of_point(point: Sequence[Any], constants: Sequence[Any]) -> EConfig:
+    """Lemma 4.8: the unique e-configuration containing the point."""
+    classes: list[int] = []
+    relabel: dict[Any, int] = {}
+    for value in point:
+        relabel.setdefault(value, len(relabel))
+        classes.append(relabel[value])
+    constant_set = set(constants)
+    v = tuple(value if value in constant_set else OTHER for value in point)
+    return EConfig(tuple(classes), v)
+
+
+def extensions(config: EConfig, constants: Sequence[Any]) -> Iterator[EConfig]:
+    """All size-(n+1) extensions (Definition 4.5)."""
+    used_tags = {tag for tag in config.v if tag is not OTHER}
+    # join an existing class
+    class_count = (max(config.classes) + 1) if config.size else 0
+    for cls in range(class_count):
+        position = config.classes.index(cls)
+        yield EConfig(
+            config.classes + (cls,), config.v + (config.v[position],)
+        )
+    # or form a new class, tagged with an unused constant or OTHER
+    for tag in list(dict.fromkeys(constants)) + [OTHER]:
+        if tag is not OTHER and tag in used_tags:
+            continue
+        yield EConfig(config.classes + (class_count,), config.v + (tag,))
+
+
+# --------------------------------------------------------------- Boolean-EVAL
+def _primitive(formula: Formula) -> Formula:
+    """Normalize to atoms ``x = y`` / ``x = c`` and ``or``/``not``/``exists``."""
+    if isinstance(formula, EqualityAtom):
+        if isinstance(formula.left, Const) and isinstance(formula.right, Const):
+            return And(()) if formula.holds({}) else Or(())
+        if formula.op == "!=":
+            return Not(EqualityAtom("=", formula.left, formula.right))
+        return formula
+    if isinstance(formula, Atom):
+        raise TheoryError(f"EVAL-phi (equality) got a foreign atom {formula}")
+    if isinstance(formula, RelationAtom):
+        raise EvaluationError("substitute relations before normalizing")
+    if isinstance(formula, Not):
+        return Not(_primitive(formula.child))
+    if isinstance(formula, And):
+        return Not(Or(tuple(Not(_primitive(c)) for c in formula.children)))
+    if isinstance(formula, Or):
+        return Or(tuple(_primitive(c) for c in formula.children))
+    if isinstance(formula, Exists):
+        inner = _primitive(formula.child)
+        for name in reversed(formula.variables_bound):
+            inner = Exists((name,), inner)
+        return inner
+    if isinstance(formula, ForAll):
+        inner = Not(_primitive(formula.child))
+        for name in reversed(formula.variables_bound):
+            inner = Exists((name,), inner)
+        return Not(inner)
+    raise EvaluationError(f"cannot normalize {formula!r}")
+
+
+def boolean_eval(
+    formula: Formula,
+    config: EConfig,
+    variables: tuple[str, ...],
+    constants: Sequence[Any],
+) -> bool:
+    """Boolean-EVAL-psi with the Section 4 base cases."""
+    index = {name: position for position, name in enumerate(variables)}
+    if isinstance(formula, EqualityAtom):
+        assert formula.op == "="
+        left, right = formula.left, formula.right
+        if isinstance(left, Var) and isinstance(right, Var):
+            return config.classes[index[left.name]] == config.classes[index[right.name]]
+        if isinstance(left, Var):
+            variable, constant = left, right
+        else:
+            variable, constant = right, left
+        assert isinstance(constant, Const)
+        tag = config.v[index[variable.name]]
+        return tag is not OTHER and tag == constant.value
+    if isinstance(formula, Or):
+        return any(
+            boolean_eval(c, config, variables, constants) for c in formula.children
+        )
+    if isinstance(formula, And):
+        return all(
+            boolean_eval(c, config, variables, constants) for c in formula.children
+        )
+    if isinstance(formula, Not):
+        return not boolean_eval(formula.child, config, variables, constants)
+    if isinstance(formula, Exists):
+        (name,) = formula.variables_bound
+        extended = variables + (name,)
+        return any(
+            boolean_eval(formula.child, extension, extended, constants)
+            for extension in extensions(config, constants)
+        )
+    raise EvaluationError(f"Boolean-EVAL cannot handle {formula!r}")
+
+
+def _formula_constants(formula: Formula) -> frozenset:
+    if isinstance(formula, EqualityAtom):
+        values = set()
+        for term in (formula.left, formula.right):
+            if isinstance(term, Const):
+                values.add(term.value)
+        return frozenset(values)
+    if isinstance(formula, Not):
+        return _formula_constants(formula.child)
+    if isinstance(formula, (And, Or)):
+        result: frozenset = frozenset()
+        for child in formula.children:
+            result |= _formula_constants(child)
+        return result
+    if isinstance(formula, (Exists, ForAll)):
+        return _formula_constants(formula.child)
+    return frozenset()
+
+
+def evaluate_query_econfig(
+    query: Formula,
+    database: GeneralizedDatabase,
+    output: Sequence[str] | None = None,
+    name: str = "result",
+) -> GeneralizedRelation:
+    """EVAL-phi for relational calculus + equality constraints (Theorem 4.11.1)."""
+    from repro.core.rconfig import substitute_relations
+
+    theory = database.theory
+    if not isinstance(theory, EqualityTheory):
+        raise TheoryError("equality EVAL-phi applies to the equality theory")
+    free = free_variables(query)
+    if output is None:
+        output = tuple(sorted(free))
+    if set(output) != set(free):
+        raise EvaluationError(
+            f"output {tuple(output)} differs from free variables {sorted(free)}"
+        )
+    substituted = substitute_relations(query, database)
+    primitive = _primitive(substituted)
+    constants = sorted(_formula_constants(primitive), key=repr)
+    result = GeneralizedRelation(name, tuple(output), theory)
+    for config in enumerate_econfigs(len(output), constants):
+        if boolean_eval(primitive, config, tuple(output), constants):
+            result.add_tuple(
+                config.atoms_with_constants(tuple(output), constants)
+            )
+    return result

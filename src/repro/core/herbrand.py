@@ -1,0 +1,143 @@
+"""Generalized Herbrand atoms and the T_P operator (Section 3.2).
+
+The paper's second, logic-programming-flavoured evaluation of Datalog +
+dense linear order: generalized EDB Herbrand atoms are the input generalized
+tuples; generalized IDB Herbrand atoms are predicate symbols paired with
+*r-configurations* over the constants of the program (Definition 3.16).
+One rule firing (Definition 3.18) chooses an r-configuration xi over all the
+rule's variables, checks
+
+* ``F(xi) -> C`` for the rule's constraint conjunction -- by evaluating C at
+  a single sample point of xi, justified by Lemmas 3.9/3.10;
+* for each EDB body atom, ``F(xi_i) -> psi`` for some input tuple psi (same
+  one-point test);
+* for each IDB body atom, membership of the projected configuration in the
+  current interpretation;
+
+and derives the head atom with the projected configuration.  T_P is the
+union of all one-firing derivations; its least fixpoint L_P exists by
+Tarski on the finite lattice of interpretations (Theorem 3.19) and
+represents exactly the naive point-wise fixpoint (Theorem 3.20) -- the
+soundness/completeness tests exercise that equality on sample points.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable, Sequence
+
+from repro.constraints.dense_order import DenseOrderTheory
+from repro.core.datalog import Rule
+from repro.core.generalized import GeneralizedDatabase, GeneralizedRelation
+from repro.core.rconfig import RConfig, enumerate_rconfigs
+from repro.errors import EvaluationError, TheoryError
+from repro.logic.syntax import Atom, RelationAtom
+
+
+@dataclass(frozen=True)
+class IDBAtom:
+    """A generalized IDB Herbrand atom: predicate + r-configuration."""
+
+    predicate: str
+    config: RConfig
+
+
+Interpretation = frozenset[IDBAtom]
+
+
+class HerbrandProgram:
+    """A generalized database logic program P (Definition 3.16)."""
+
+    def __init__(
+        self,
+        rules: Sequence[Rule],
+        database: GeneralizedDatabase,
+    ) -> None:
+        if not isinstance(database.theory, DenseOrderTheory):
+            raise TheoryError("the Section 3.2 machinery is for dense order")
+        for rule in rules:
+            if rule.has_negation():
+                raise EvaluationError("Herbrand T_P handles positive Datalog only")
+        self.rules = list(rules)
+        self.database = database
+        self.theory = database.theory
+        self.idb_names = {rule.head.name for rule in rules}
+        # H: all dense-linear-order constant symbols of program + database
+        constants: set[Fraction] = set(database.constants())
+        for rule in rules:
+            for atom in rule.constraint_atoms:
+                constants |= set(self.theory.atom_constants(atom))
+        self.constants: list[Fraction] = sorted(constants)
+
+    # ------------------------------------------------------------------- T_P
+    def tp(self, interpretation: Interpretation) -> Interpretation:
+        """One application of the immediate-consequence operator T_P."""
+        derived: set[IDBAtom] = set(interpretation)
+        for rule in self.rules:
+            derived |= self._fire(rule, interpretation)
+        return frozenset(derived)
+
+    def _fire(self, rule: Rule, interpretation: Interpretation) -> set[IDBAtom]:
+        variables = rule.variables()
+        positions = {name: i for i, name in enumerate(variables)}
+        results: set[IDBAtom] = set()
+        for config in enumerate_rconfigs(len(variables), self.constants):
+            point = dict(zip(variables, config.sample_point()))
+            # step 2: F(xi) -> C, tested at one point (Lemmas 3.9/3.10)
+            if not all(atom.holds(point) for atom in rule.constraint_atoms):
+                continue
+            ok = True
+            for body_atom in rule.positive_atoms:
+                projected = config.project([positions[a] for a in body_atom.args])
+                if body_atom.name in self.idb_names:
+                    # step 4: projected configuration must be in I
+                    if IDBAtom(body_atom.name, projected) not in interpretation:
+                        ok = False
+                        break
+                else:
+                    # step 3: F(xi_i) -> psi for some EDB generalized tuple
+                    relation = self.database.relation(body_atom.name)
+                    sub_point = {
+                        var: point[arg]
+                        for var, arg in zip(relation.variables, body_atom.args)
+                    }
+                    if not any(t.holds(sub_point) for t in relation):
+                        ok = False
+                        break
+            if not ok:
+                continue
+            head_projected = config.project(
+                [positions[a] for a in rule.head.args]
+            )
+            results.add(IDBAtom(rule.head.name, head_projected))
+        return results
+
+    # -------------------------------------------------------------- fixpoint
+    def least_fixpoint(self, max_iterations: int = 10_000) -> Interpretation:
+        """L_P by iterating T_P from the empty-IDB interpretation (Thm 3.19)."""
+        current: Interpretation = frozenset()
+        for _ in range(max_iterations):
+            next_interpretation = self.tp(current)
+            if next_interpretation == current:
+                return current
+            current = next_interpretation
+        raise EvaluationError("T_P iteration did not converge")
+
+    def as_relations(
+        self, interpretation: Interpretation
+    ) -> GeneralizedDatabase:
+        """Render an interpretation as generalized relations (F(xi) tuples)."""
+        world = self.database.copy()
+        arities: dict[str, int] = {}
+        for rule in self.rules:
+            arities[rule.head.name] = len(rule.head.args)
+        for name in sorted(self.idb_names):
+            variables = tuple(f"_{i}" for i in range(arities[name]))
+            if name not in world:
+                world.create_relation(name, variables)
+        for atom in interpretation:
+            relation = world.relation(atom.predicate)
+            relation.add_tuple(atom.config.atoms(relation.variables))
+        return world

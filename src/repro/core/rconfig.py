@@ -1,0 +1,484 @@
+"""r-configurations and the EVAL-phi algorithm (Section 3.1, Lemmas 3.6-3.13).
+
+This is a *verbatim* implementation of the paper's LOGSPACE evaluation
+procedure for relational calculus + dense linear order, kept separate from
+the practical evaluator (:mod:`repro.core.calculus`) so the two can
+cross-validate each other.
+
+An r-configuration of size n (Definition 3.1) is ``(f, l, u)`` where ``f``
+ranks the n variables (``f_i < f_j`` iff ``x_i < x_j``), and ``l_i``/``u_i``
+are the tightest bounds on ``x_i`` among the constants of the formula
+(with -inf/+inf allowed), such that no constant lies strictly between
+``l_i`` and ``u_i``.  Each r-configuration denotes a class of mutually
+indistinguishable points (Lemma 3.9); they partition D^n (Lemmas 3.7/3.8).
+
+``EVAL-phi`` enumerates the r-configurations over the free variables and
+keeps those whose ``F(xi) -> phi`` is valid, tested by the recursive
+``Boolean-EVAL`` procedure whose cases are transcribed from the paper
+(atoms ``x_i < x_j``, ``x_i < c``, ``c < x_i``; ``or``; ``not``; ``exists``
+via extensions -- Definition 3.5).  The output, the disjunction of the
+``F(xi)``, is a generalized relation: closed form, bottom-up, and of size
+polynomial in the constants of the input database for a fixed query.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable, Iterator, Sequence
+
+from repro.constraints.dense_order import DenseOrderTheory, OrderAtom
+from repro.constraints.terms import Const, Var
+from repro.core.generalized import GeneralizedDatabase, GeneralizedRelation
+from repro.errors import EvaluationError, TheoryError
+from repro.logic.syntax import (
+    And,
+    Atom,
+    Exists,
+    ForAll,
+    Formula,
+    Not,
+    Or,
+    RelationAtom,
+    free_variables,
+    rename_variables,
+)
+
+#: bound placeholders: None in ``l`` means -infinity, None in ``u`` +infinity
+Bound = Fraction | None
+
+
+@dataclass(frozen=True)
+class RConfig:
+    """An r-configuration ``(f, l, u)`` of Definition 3.1."""
+
+    f: tuple[int, ...]
+    l: tuple[Bound, ...]
+    u: tuple[Bound, ...]
+
+    @property
+    def size(self) -> int:
+        return len(self.f)
+
+    def project(self, positions: Sequence[int]) -> "RConfig":
+        """The r-configuration on a subset of positions (Section 3.2)."""
+        ranks = sorted({self.f[p] for p in positions})
+        rank_map = {rank: index + 1 for index, rank in enumerate(ranks)}
+        return RConfig(
+            tuple(rank_map[self.f[p]] for p in positions),
+            tuple(self.l[p] for p in positions),
+            tuple(self.u[p] for p in positions),
+        )
+
+    def atoms(self, variables: Sequence[str]) -> tuple[OrderAtom, ...]:
+        """The conjunction ``F(xi)`` of Definition 3.3, as dense-order atoms."""
+        if len(variables) != self.size:
+            raise EvaluationError("variable count does not match configuration size")
+        atoms: list[OrderAtom] = []
+        for i in range(self.size):
+            for j in range(self.size):
+                if i < j and self.f[i] == self.f[j]:
+                    atoms.append(
+                        OrderAtom("=", Var(variables[i]), Var(variables[j]))
+                    )
+                if self.f[i] < self.f[j]:
+                    atoms.append(
+                        OrderAtom("<", Var(variables[i]), Var(variables[j]))
+                    )
+        for i in range(self.size):
+            low, high = self.l[i], self.u[i]
+            if low is not None and high is not None and low == high:
+                atoms.append(OrderAtom("=", Var(variables[i]), Const(low)))
+                continue
+            if low is not None:
+                atoms.append(OrderAtom("<", Const(low), Var(variables[i])))
+            if high is not None:
+                atoms.append(OrderAtom("<", Var(variables[i]), Const(high)))
+        return tuple(atoms)
+
+    def satisfied_by(self, point: Sequence[Fraction]) -> bool:
+        """Definition 3.4: whether ``F(xi)(point)`` holds."""
+        if len(point) != self.size:
+            return False
+        for i in range(self.size):
+            for j in range(self.size):
+                if self.f[i] < self.f[j] and not point[i] < point[j]:
+                    return False
+                if self.f[i] == self.f[j] and point[i] != point[j]:
+                    return False
+            low, high = self.l[i], self.u[i]
+            if low is not None and high is not None and low == high:
+                if point[i] != low:
+                    return False
+            else:
+                if low is not None and not low < point[i]:
+                    return False
+                if high is not None and not point[i] < high:
+                    return False
+        return True
+
+    def sample_point(self) -> tuple[Fraction, ...]:
+        """A point satisfying ``F(xi)`` (Lemma 3.7, constructively)."""
+        ranks = sorted(set(self.f))
+        values: dict[int, Fraction] = {}
+        previous: Fraction | None = None
+        for rank in ranks:
+            position = self.f.index(rank)
+            low, high = self.l[position], self.u[position]
+            if low is not None and high is not None and low == high:
+                value = low
+            else:
+                effective_low = low
+                if previous is not None and (
+                    effective_low is None or previous > effective_low
+                ):
+                    effective_low = previous
+                if effective_low is None and high is None:
+                    value = Fraction(0)
+                elif effective_low is None:
+                    value = high - 1
+                elif high is None:
+                    value = effective_low + 1
+                else:
+                    value = (effective_low + high) / 2
+            values[rank] = value
+            previous = value
+        return tuple(values[rank] for rank in self.f)
+
+
+def is_valid_rconfig(f: Sequence[int], l: Sequence[Bound], u: Sequence[Bound]) -> bool:
+    """The four conditions of Definition 3.1 (plus rank-shape wellformedness)."""
+    n = len(f)
+    if not (len(l) == len(u) == n):
+        return False
+    if n and set(f) != set(range(1, max(f) + 1)):
+        return False
+    for i in range(n):
+        low, high = l[i], u[i]
+        # condition 1: l_i <= u_i
+        if low is not None and high is not None and low > high:
+            return False
+        # condition 2: no constant strictly inside is enforced by the caller,
+        # which only ever supplies adjacent-constant slots
+    for i in range(n):
+        for j in range(n):
+            if f[i] < f[j]:
+                # condition 3: l_i < u_j
+                if l[i] is not None and u[j] is not None and not l[i] < u[j]:
+                    return False
+            if f[i] == f[j]:
+                # condition 4: identical bounds
+                if l[i] != l[j] or u[i] != u[j]:
+                    return False
+    return True
+
+
+def _slots(constants: Sequence[Fraction]) -> list[tuple[Bound, Bound]]:
+    """The exact-constant and adjacent-gap slots over the constant set."""
+    ordered = sorted(set(constants))
+    slots: list[tuple[Bound, Bound]] = []
+    slots.append((None, ordered[0] if ordered else None))
+    for index, value in enumerate(ordered):
+        slots.append((value, value))
+        upper = ordered[index + 1] if index + 1 < len(ordered) else None
+        slots.append((value, upper))
+    if not ordered:
+        return [(None, None)]
+    return slots
+
+
+def _ordered_partitions(n: int) -> Iterator[tuple[int, ...]]:
+    """All rank sequences ``f`` on n positions: surjections onto {1..j}."""
+    if n == 0:
+        yield ()
+        return
+    for f in itertools.product(range(1, n + 1), repeat=n):
+        top = max(f)
+        if set(f) == set(range(1, top + 1)):
+            yield f
+
+
+def enumerate_rconfigs(
+    n: int, constants: Sequence[Fraction]
+) -> Iterator[RConfig]:
+    """All r-configurations of size ``n`` over the given constant set."""
+    slots = _slots(constants)
+    for f in _ordered_partitions(n):
+        ranks = max(f) if f else 0
+        for slot_choice in itertools.product(range(len(slots)), repeat=ranks):
+            # ranks must occupy weakly increasing slots, sharing only gaps
+            valid = True
+            for r in range(1, ranks):
+                here, after = slot_choice[r - 1], slot_choice[r]
+                if after < here:
+                    valid = False
+                    break
+                if after == here:
+                    low, high = slots[here]
+                    if low is not None and high is not None and low == high:
+                        valid = False  # two ranks cannot share an exact slot
+                        break
+            if not valid:
+                continue
+            l = tuple(slots[slot_choice[f[i] - 1]][0] for i in range(n))
+            u = tuple(slots[slot_choice[f[i] - 1]][1] for i in range(n))
+            if is_valid_rconfig(f, l, u):
+                yield RConfig(f, l, u)
+
+
+def rconfig_of_point(
+    point: Sequence[Fraction], constants: Sequence[Fraction]
+) -> RConfig:
+    """The unique r-configuration satisfied by ``point`` (Lemma 3.8)."""
+    ordered = sorted(set(constants))
+    distinct = sorted(set(point))
+    rank = {value: index + 1 for index, value in enumerate(distinct)}
+    f = tuple(rank[value] for value in point)
+    l: list[Bound] = []
+    u: list[Bound] = []
+    for value in point:
+        if value in ordered:
+            l.append(value)
+            u.append(value)
+            continue
+        lower = None
+        upper = None
+        for c in ordered:
+            if c < value:
+                lower = c
+            elif c > value:
+                upper = c
+                break
+        l.append(lower)
+        u.append(upper)
+    return RConfig(f, tuple(l), tuple(u))
+
+
+def extensions(config: RConfig, constants: Sequence[Fraction]) -> Iterator[RConfig]:
+    """All size-(n+1) extensions of a configuration (Definition 3.5)."""
+    n = config.size
+    slots = _slots(constants)
+    # new rank value: either equal to an existing rank, or inserted between
+    for new_rank_double in range(1, 2 * (max(config.f) if n else 0) + 2):
+        # odd values 2k-1 mean "a new rank strictly between old ranks k-1 and
+        # k"; even values 2k mean "equal to old rank k"
+        if new_rank_double % 2 == 0:
+            target = new_rank_double // 2
+            new_f = tuple(config.f) + (target,)
+            shifted = new_f
+        else:
+            below = new_rank_double // 2  # ranks <= below stay, others shift
+            shifted = tuple(
+                rank if rank <= below else rank + 1 for rank in config.f
+            ) + (below + 1,)
+        for low, high in slots:
+            if new_rank_double % 2 == 0:
+                # must copy the bounds of the rank it joins (condition 4)
+                position = config.f.index(new_rank_double // 2)
+                low, high = config.l[position], config.u[position]
+            candidate_f = shifted
+            candidate_l = tuple(config.l) + (low,)
+            candidate_u = tuple(config.u) + (high,)
+            if is_valid_rconfig(candidate_f, candidate_l, candidate_u):
+                yield RConfig(candidate_f, candidate_l, candidate_u)
+            if new_rank_double % 2 == 0:
+                break  # bounds are forced; only one candidate
+
+
+# ------------------------------------------------------ formula preprocessing
+def substitute_relations(
+    formula: Formula, database: GeneralizedDatabase
+) -> Formula:
+    """Replace every database atom by its relation's DNF formula (Remark D)."""
+    if isinstance(formula, RelationAtom):
+        relation = database.relation(formula.name)
+        if relation.arity != len(formula.args):
+            raise EvaluationError(f"arity mismatch on {formula.name}")
+        disjuncts = []
+        for item in relation:
+            renamed = item.rename(formula.args)
+            disjuncts.append(
+                And(tuple(renamed.atoms)) if renamed.atoms else And(())
+            )
+        return Or(tuple(disjuncts))
+    if isinstance(formula, Atom):
+        return formula
+    if isinstance(formula, Not):
+        return Not(substitute_relations(formula.child, database))
+    if isinstance(formula, And):
+        return And(
+            tuple(substitute_relations(c, database) for c in formula.children)
+        )
+    if isinstance(formula, Or):
+        return Or(
+            tuple(substitute_relations(c, database) for c in formula.children)
+        )
+    if isinstance(formula, Exists):
+        return Exists(
+            formula.variables_bound,
+            substitute_relations(formula.child, database),
+        )
+    if isinstance(formula, ForAll):
+        return ForAll(
+            formula.variables_bound,
+            substitute_relations(formula.child, database),
+        )
+    raise EvaluationError(f"cannot substitute in {formula!r}")
+
+
+def to_primitive(formula: Formula) -> Formula:
+    """Rewrite to the paper's primitive syntax: atoms ``x<y``, ``x<c``,
+    ``c<x`` and connectives ``or``, ``not``, ``exists`` only.
+
+    ``x <= y`` becomes ``(x < y) or (x = y)`` and ``x = y`` becomes
+    ``not((x < y) or (y < x))``, exactly as prescribed in Section 3.1.
+    """
+    if isinstance(formula, OrderAtom):
+        left, right = formula.left, formula.right
+        if isinstance(left, Const) and isinstance(right, Const):
+            # ground atom: decide it now
+            return And(()) if formula.holds({}) else Or(())
+        strict = OrderAtom("<", left, right)
+        strict_reverse = OrderAtom("<", right, left)
+        equal = Not(Or((strict, strict_reverse)))
+        if formula.op == "<":
+            return strict
+        if formula.op == "<=":
+            return Or((strict, equal))
+        if formula.op == "=":
+            return equal
+        return Or((strict, strict_reverse))  # !=
+    if isinstance(formula, Atom):
+        raise TheoryError(f"EVAL-phi handles dense-order atoms only, got {formula}")
+    if isinstance(formula, RelationAtom):
+        raise EvaluationError("substitute relations before to_primitive")
+    if isinstance(formula, Not):
+        return Not(to_primitive(formula.child))
+    if isinstance(formula, And):
+        # and is eliminated: not (not a or not b)
+        return Not(
+            Or(tuple(Not(to_primitive(c)) for c in formula.children))
+        )
+    if isinstance(formula, Or):
+        return Or(tuple(to_primitive(c) for c in formula.children))
+    if isinstance(formula, Exists):
+        inner = to_primitive(formula.child)
+        for name in reversed(formula.variables_bound):
+            inner = Exists((name,), inner)
+        return inner
+    if isinstance(formula, ForAll):
+        inner = Not(to_primitive(formula.child))
+        for name in reversed(formula.variables_bound):
+            inner = Exists((name,), inner)
+        return Not(inner)
+    raise EvaluationError(f"cannot normalize {formula!r}")
+
+
+def formula_constants(formula: Formula) -> frozenset[Fraction]:
+    """The constant set D_phi of a primitive formula."""
+    if isinstance(formula, OrderAtom):
+        values = set()
+        for term in (formula.left, formula.right):
+            if isinstance(term, Const):
+                values.add(term.value)
+        return frozenset(values)
+    if isinstance(formula, Not):
+        return formula_constants(formula.child)
+    if isinstance(formula, (And, Or)):
+        result: frozenset[Fraction] = frozenset()
+        for child in formula.children:
+            result |= formula_constants(child)
+        return result
+    if isinstance(formula, (Exists, ForAll)):
+        return formula_constants(formula.child)
+    return frozenset()
+
+
+# --------------------------------------------------------------- Boolean-EVAL
+def boolean_eval(
+    formula: Formula,
+    config: RConfig,
+    variables: tuple[str, ...],
+    constants: Sequence[Fraction],
+) -> bool:
+    """The recursive Boolean-EVAL-psi of Section 3.1.
+
+    Returns 1 iff ``F(xi') -> psi`` is valid, following the paper's five
+    cases.  ``variables`` names the configuration's positions.
+    """
+    index = {name: position for position, name in enumerate(variables)}
+    if isinstance(formula, OrderAtom):
+        assert formula.op == "<", "primitive formulas contain only < atoms"
+        left, right = formula.left, formula.right
+        if isinstance(left, Var) and isinstance(right, Var):
+            return config.f[index[left.name]] < config.f[index[right.name]]
+        if isinstance(left, Var):  # x_i < c
+            assert isinstance(right, Const)
+            i = index[left.name]
+            low, high = config.l[i], config.u[i]
+            c = right.value
+            if low is not None and high is not None and low == high:
+                return low < c
+            return high is not None and high <= c
+        # c < x_i
+        assert isinstance(right, Var) and isinstance(left, Const)
+        i = index[right.name]
+        low, high = config.l[i], config.u[i]
+        c = left.value
+        if low is not None and high is not None and low == high:
+            return c < low
+        return low is not None and c <= low
+    if isinstance(formula, Or):
+        return any(
+            boolean_eval(child, config, variables, constants)
+            for child in formula.children
+        )
+    if isinstance(formula, And):
+        # only the empty conjunction (ground truth) survives to_primitive
+        return all(
+            boolean_eval(child, config, variables, constants)
+            for child in formula.children
+        )
+    if isinstance(formula, Not):
+        return not boolean_eval(formula.child, config, variables, constants)
+    if isinstance(formula, Exists):
+        (name,) = formula.variables_bound
+        extended_vars = variables + (name,)
+        return any(
+            boolean_eval(formula.child, extension, extended_vars, constants)
+            for extension in extensions(config, constants)
+        )
+    raise EvaluationError(f"Boolean-EVAL cannot handle {formula!r}")
+
+
+def evaluate_query_rconfig(
+    query: Formula,
+    database: GeneralizedDatabase,
+    output: Sequence[str] | None = None,
+    name: str = "result",
+) -> GeneralizedRelation:
+    """EVAL-phi: the Section 3.1 evaluation of a calculus query.
+
+    Cross-validates :func:`repro.core.calculus.evaluate_calculus`; the output
+    generalized relation contains one tuple ``F(xi)`` per satisfying
+    r-configuration (so it is typically *larger* but equivalent).
+    """
+    theory = database.theory
+    if not isinstance(theory, DenseOrderTheory):
+        raise TheoryError("EVAL-phi applies to the dense-order theory")
+    free = free_variables(query)
+    if output is None:
+        output = tuple(sorted(free))
+    if set(output) != set(free):
+        raise EvaluationError(
+            f"output {tuple(output)} differs from free variables {sorted(free)}"
+        )
+    substituted = substitute_relations(query, database)
+    primitive = to_primitive(substituted)
+    constants = sorted(formula_constants(primitive))
+    result = GeneralizedRelation(name, tuple(output), theory)
+    for config in enumerate_rconfigs(len(output), constants):
+        if boolean_eval(primitive, config, tuple(output), constants):
+            result.add_tuple(config.atoms(tuple(output)))
+    return result

@@ -1,0 +1,70 @@
+"""Exception hierarchy for the ``repro`` constraint-query-language library.
+
+Every error raised deliberately by the library derives from :class:`ReproError`
+so that callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the library."""
+
+
+class ParseError(ReproError):
+    """A textual query or constraint could not be parsed.
+
+    Carries the offending position so callers can report useful diagnostics.
+    """
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        self.position = position
+        if position is not None:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+
+
+class ArityError(ReproError):
+    """A relation was used with the wrong number of arguments."""
+
+
+class UnknownRelationError(ReproError):
+    """A query referenced a relation that is not in the database."""
+
+
+class TheoryError(ReproError):
+    """A constraint atom does not belong to the active constraint theory."""
+
+
+class UnsupportedEliminationError(ReproError):
+    """Quantifier elimination is not available for the given input.
+
+    Raised by the real-polynomial engine when the eliminated variable occurs
+    with degree > 2 and the formula has more than two variables (outside the
+    fragment covered by Fourier-Motzkin, virtual substitution, and the
+    bivariate CAD -- see DESIGN.md section 4).
+    """
+
+
+class NotClosedError(ReproError):
+    """A language/recursion combination that is not closed was requested.
+
+    The paper shows (Example 1.12) that Datalog with real polynomial
+    constraints is not closed: least fixpoints need not be finitely
+    representable.  The Datalog engine refuses such programs up front unless
+    the caller explicitly opts in to bounded iteration.
+    """
+
+
+class FixpointDivergenceError(ReproError):
+    """Bounded fixpoint iteration exhausted its budget without converging."""
+
+    def __init__(self, iterations: int, message: str | None = None) -> None:
+        self.iterations = iterations
+        super().__init__(
+            message or f"fixpoint did not converge within {iterations} iterations"
+        )
+
+
+class EvaluationError(ReproError):
+    """A query could not be evaluated against the given database."""

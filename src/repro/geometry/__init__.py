@@ -1,0 +1,35 @@
+"""Classical computational-geometry baselines.
+
+The paper argues CQL programs express common geometry tasks (Examples 1.1,
+2.1, 2.2) while "the general-purpose bottom-up evaluation ... is not as
+efficient as the various specialized computational geometry algorithms".
+This package provides those specialized algorithms so the benchmarks can
+measure exactly that gap:
+
+* :mod:`repro.geometry.convex_hull` -- Graham scan (O(N log N)) and the
+  naive in-triangle filter (Floyd's O(N^4) method, the query's semantics);
+* :mod:`repro.geometry.rectangles` -- sweep-line rectangle intersection and
+  the brute-force pair check;
+* :mod:`repro.geometry.voronoi` -- Voronoi-dual (Delaunay-adjacency)
+  computation by the direct definition used in Example 2.2.
+
+Everything is exact rational arithmetic.
+"""
+
+from repro.geometry.convex_hull import convex_hull_graham, convex_hull_naive, in_triangle
+from repro.geometry.rectangles import (
+    Rect,
+    intersecting_pairs_bruteforce,
+    intersecting_pairs_sweepline,
+)
+from repro.geometry.voronoi import voronoi_dual_naive
+
+__all__ = [
+    "Rect",
+    "convex_hull_graham",
+    "convex_hull_naive",
+    "in_triangle",
+    "intersecting_pairs_bruteforce",
+    "intersecting_pairs_sweepline",
+    "voronoi_dual_naive",
+]

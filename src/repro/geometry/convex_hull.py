@@ -1,0 +1,86 @@
+"""Convex hulls: Graham scan and Floyd's naive method (Example 2.1).
+
+The paper's Example 2.1 expresses the convex hull in relational calculus +
+polynomial constraints: a point is on the hull iff no three other database
+points put it inside their triangle.  "The naive algorithm based on this
+observation, known as Floyd's method, takes O(N^4) time ...  it cannot
+compete with various known O(N log N) algorithms" -- both are implemented
+here with exact rational arithmetic, and the benchmark measures the gap.
+"""
+
+from __future__ import annotations
+
+import itertools
+from fractions import Fraction
+from typing import Sequence
+
+Pt = tuple[Fraction, Fraction]
+
+
+def _orient(a: Pt, b: Pt, c: Pt) -> Fraction:
+    """Twice the signed area of triangle abc (positive = counterclockwise)."""
+    return (b[0] - a[0]) * (c[1] - a[1]) - (b[1] - a[1]) * (c[0] - a[0])
+
+
+def in_triangle(p: Pt, a: Pt, b: Pt, c: Pt) -> bool:
+    """Whether ``p`` lies inside or on the triangle abc (any orientation).
+
+    This is the ``Intriangle`` predicate of Example 2.1: expressible with
+    polynomial inequality constraints (three orientation signs agree).
+    """
+    d1 = _orient(p, a, b)
+    d2 = _orient(p, b, c)
+    d3 = _orient(p, c, a)
+    has_negative = d1 < 0 or d2 < 0 or d3 < 0
+    has_positive = d1 > 0 or d2 > 0 or d3 > 0
+    return not (has_negative and has_positive)
+
+
+def convex_hull_naive(points: Sequence[Pt]) -> list[Pt]:
+    """Floyd's O(N^4) method: keep points in no other triangle.
+
+    Mirrors the Example 2.1 query exactly: a point is *not* a hull point iff
+    three other points of the input contain it in their (non-degenerate)
+    triangle.
+    """
+    unique = list(dict.fromkeys(points))
+    hull = []
+    for p in unique:
+        others = [q for q in unique if q != p]
+        inside = False
+        for a, b, c in itertools.combinations(others, 3):
+            if _orient(a, b, c) == 0:
+                continue  # degenerate triangle contains only its segment
+            if in_triangle(p, a, b, c):
+                inside = True
+                break
+        if not inside:
+            hull.append(p)
+    return hull
+
+
+def convex_hull_graham(points: Sequence[Pt]) -> list[Pt]:
+    """Graham scan / Andrew monotone chain, O(N log N), exact arithmetic.
+
+    Returns the hull in counterclockwise order, including collinear boundary
+    points *excluded* (strict hull vertices), matching what Floyd's method
+    keeps for points in general position; collinear middle points are
+    inside a degenerate "triangle" of the hull per Example 2.1's semantics
+    only when a containing non-degenerate triangle exists, so for exact
+    agreement the naive-vs-fast benchmarks use general-position inputs.
+    """
+    unique = sorted(set(points))
+    if len(unique) <= 2:
+        return unique
+
+    def half(points_iter):
+        chain: list[Pt] = []
+        for p in points_iter:
+            while len(chain) >= 2 and _orient(chain[-2], chain[-1], p) <= 0:
+                chain.pop()
+            chain.append(p)
+        return chain
+
+    lower = half(unique)
+    upper = half(reversed(unique))
+    return lower[:-1] + upper[:-1]

@@ -1,0 +1,100 @@
+"""The Voronoi dual (Delaunay adjacency) by the direct definition (Example 2.2).
+
+"Two points u and v are adjacent in the Voronoi dual iff all the points on
+the line from u to v are closer to u or to v than to any other point in the
+database."  The condition is expressible in relational calculus + real
+polynomial constraints; this module evaluates it directly with exact
+rational arithmetic, serving as the geometric reference implementation the
+CQL query is validated against.
+
+For a point p = u + t(v - u) on the segment, "closer to u or v than to w"
+is |p-u|^2 < |p-w|^2 or |p-v|^2 < |p-w|^2 -- after expansion the conditions
+are *linear* in t, so for each witness w the violating t-set is an
+intersection of half-lines and the whole check reduces to exact interval
+reasoning over t in [0, 1].
+"""
+
+from __future__ import annotations
+
+import itertools
+from fractions import Fraction
+
+Pt = tuple[Fraction, Fraction]
+
+
+def _closer_interval(u: Pt, v: Pt, w: Pt) -> tuple[Fraction | None, Fraction | None, bool, bool] | None:
+    """The t-interval where p(t) = u + t(v-u) is strictly closer to w than to
+    *both* u and v; None when empty.
+
+    |p - w|^2 < |p - u|^2 expands to a condition linear in t (the quadratic
+    terms cancel); same against v.  Returns (low, high, low_strict, high_strict)
+    bounds over the reals.
+    """
+    dx, dy = v[0] - u[0], v[1] - u[1]
+
+    def half_plane(center: Pt) -> tuple[str, Fraction] | None:
+        # |p - w|^2 - |p - center|^2 < 0 as  a*t + b < 0
+        # p = u + t d;  |p-w|^2 - |p-c|^2 = -2 p.(w - c) + |w|^2 - |c|^2
+        wx, wy = w
+        cx, cy = center
+        a = -2 * (dx * (wx - cx) + dy * (wy - cy))
+        b = (
+            -2 * (u[0] * (wx - cx) + u[1] * (wy - cy))
+            + (wx * wx + wy * wy)
+            - (cx * cx + cy * cy)
+        )
+        # condition: a t + b < 0
+        if a == 0:
+            return ("all", Fraction(0)) if b < 0 else None
+        if a > 0:
+            return ("lt", -b / a)  # t < -b/a
+        return ("gt", -b / a)  # t > -b/a
+
+    low: Fraction | None = None
+    high: Fraction | None = None
+    for center in (u, v):
+        condition = half_plane(center)
+        if condition is None:
+            return None
+        kind, bound = condition
+        if kind == "all":
+            continue
+        if kind == "lt":
+            if high is None or bound < high:
+                high = bound
+        else:
+            if low is None or bound > low:
+                low = bound
+    return (low, high, True, True)
+
+
+def voronoi_dual_naive(points: list[Pt]) -> set[tuple[Pt, Pt]]:
+    """All Voronoi-adjacent (Delaunay) pairs, by the segment criterion.
+
+    u ~ v iff no third point w strictly dominates a sub-segment of [u, v]:
+    i.e. for every w, the open t-interval where w is strictly closer than
+    both u and v misses [0, 1].
+    """
+    result: set[tuple[Pt, Pt]] = set()
+    for u, v in itertools.combinations(points, 2):
+        adjacent = True
+        for w in points:
+            if w == u or w == v:
+                continue
+            interval = _closer_interval(u, v, w)
+            if interval is None:
+                continue
+            low, high, _, _ = interval
+            # does the open interval (low, high) intersect [0, 1]?
+            effective_low = low if low is not None else Fraction(-1)
+            effective_high = high if high is not None else Fraction(2)
+            if effective_low >= effective_high:
+                continue
+            if effective_high <= 0 or effective_low >= 1:
+                continue
+            adjacent = False
+            break
+        if adjacent:
+            result.add((u, v))
+            result.add((v, u))
+    return result

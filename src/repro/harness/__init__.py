@@ -1,0 +1,24 @@
+"""Measurement harness: timing sweeps, scaling-exponent fits, report tables.
+
+The paper's evaluation claims are complexity classes (LOGSPACE, NC, PTIME,
+Pi-2-p-hardness).  The benchmarks realize them as *scaling measurements*:
+fixed query, growing database, fitted log-log slope.  This package provides
+the shared plumbing so every ``benchmarks/bench_*.py`` file prints the same
+kind of table recorded in EXPERIMENTS.md.
+"""
+
+from repro.harness.measure import (
+    ScalingResult,
+    fit_exponent,
+    format_table,
+    sweep,
+    time_callable,
+)
+
+__all__ = [
+    "ScalingResult",
+    "fit_exponent",
+    "format_table",
+    "sweep",
+    "time_callable",
+]

@@ -1,0 +1,91 @@
+"""Timing, scaling sweeps, and log-log exponent fitting."""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+
+def time_callable(fn: Callable[[], Any], repeats: int = 1) -> float:
+    """Best-of-``repeats`` wall time of ``fn()`` in seconds."""
+    best = math.inf
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+    return best
+
+
+@dataclass
+class ScalingResult:
+    """A size -> time sweep with a fitted log-log slope."""
+
+    label: str
+    sizes: list[int] = field(default_factory=list)
+    times: list[float] = field(default_factory=list)
+    extra: dict[int, Any] = field(default_factory=dict)
+
+    @property
+    def exponent(self) -> float:
+        return fit_exponent(self.sizes, self.times)
+
+    def rows(self) -> list[list[str]]:
+        return [
+            [self.label, str(n), f"{t * 1000:.2f} ms"]
+            for n, t in zip(self.sizes, self.times)
+        ]
+
+
+def fit_exponent(sizes: Sequence[int], times: Sequence[float]) -> float:
+    """Least-squares slope of log(time) against log(size).
+
+    The empirical scaling exponent: ~1 linear, ~2 quadratic, etc.  Returns
+    NaN for degenerate inputs.
+    """
+    pairs = [
+        (math.log(n), math.log(t))
+        for n, t in zip(sizes, times)
+        if n > 0 and t > 0
+    ]
+    if len(pairs) < 2:
+        return math.nan
+    mean_x = sum(x for x, _ in pairs) / len(pairs)
+    mean_y = sum(y for _, y in pairs) / len(pairs)
+    numerator = sum((x - mean_x) * (y - mean_y) for x, y in pairs)
+    denominator = sum((x - mean_x) ** 2 for x, _ in pairs)
+    if denominator == 0:
+        return math.nan
+    return numerator / denominator
+
+
+def sweep(
+    label: str,
+    sizes: Sequence[int],
+    build: Callable[[int], Any],
+    run: Callable[[Any], Any],
+    repeats: int = 1,
+) -> ScalingResult:
+    """Time ``run(build(n))`` for each size (build time excluded)."""
+    result = ScalingResult(label)
+    for n in sizes:
+        payload = build(n)
+        elapsed = time_callable(lambda: run(payload), repeats=repeats)
+        result.sizes.append(n)
+        result.times.append(elapsed)
+    return result
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """A plain aligned text table (what the bench files print)."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(str(cell)))
+    def render(cells):
+        return "  ".join(str(c).ljust(w) for c, w in zip(cells, widths))
+    lines = [render(headers), render(["-" * w for w in widths])]
+    lines.extend(render(row) for row in rows)
+    return "\n".join(lines)

@@ -1,0 +1,203 @@
+"""A B+-tree: the paper's reference point for relational 1-d searching.
+
+Section 1.1(3) frames the indexing discussion with "B-trees and their
+variants B+-trees are examples of important data structures for
+implementing relational databases": with page size B and N tuples, range
+search costs O(log_B N + K/B) page accesses and updates O(log_B N).  This
+implementation keeps all keys in the leaves (linked left-to-right), stores
+separator keys internally, and *counts node accesses* so the benchmark can
+measure the claimed access bounds directly, not just wall time.
+
+Keys are arbitrary totally ordered values (rationals in the benchmarks);
+duplicates are allowed (each key carries a list of payloads).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+
+class _Node:
+    __slots__ = ("leaf", "keys", "children", "values", "next")
+
+    def __init__(self, leaf: bool) -> None:
+        self.leaf = leaf
+        self.keys: list[Any] = []
+        self.children: list["_Node"] = []  # internal nodes
+        self.values: list[list[Any]] = []  # leaves: payload buckets per key
+        self.next: "_Node | None" = None  # leaf chain
+
+
+@dataclass
+class AccessStats:
+    """Node-access counters (the paper's page-access currency)."""
+
+    reads: int = 0
+    writes: int = 0
+
+    def reset(self) -> None:
+        self.reads = 0
+        self.writes = 0
+
+
+class BPlusTree:
+    """A B+-tree with order ``branching`` (max children per internal node)."""
+
+    def __init__(self, branching: int = 16) -> None:
+        if branching < 3:
+            raise ValueError("branching factor must be at least 3")
+        self.branching = branching
+        self._root = _Node(leaf=True)
+        self._size = 0
+        self.stats = AccessStats()
+
+    def __len__(self) -> int:
+        return self._size
+
+    # ------------------------------------------------------------------ find
+    def _find_leaf(self, key: Any) -> _Node:
+        node = self._root
+        self.stats.reads += 1
+        while not node.leaf:
+            index = bisect.bisect_right(node.keys, key)
+            node = node.children[index]
+            self.stats.reads += 1
+        return node
+
+    def get(self, key: Any) -> list[Any]:
+        """All payloads stored under ``key`` (key-based searching)."""
+        leaf = self._find_leaf(key)
+        index = bisect.bisect_left(leaf.keys, key)
+        if index < len(leaf.keys) and leaf.keys[index] == key:
+            return list(leaf.values[index])
+        return []
+
+    def range_search(self, low: Any, high: Any) -> list[tuple[Any, Any]]:
+        """All (key, payload) pairs with ``low <= key <= high``, in key order.
+
+        O(log_B N + K/B) node accesses: one root-to-leaf descent plus a walk
+        along the leaf chain.
+        """
+        if low > high:
+            return []
+        leaf = self._find_leaf(low)
+        result: list[tuple[Any, Any]] = []
+        index = bisect.bisect_left(leaf.keys, low)
+        while leaf is not None:
+            while index < len(leaf.keys):
+                key = leaf.keys[index]
+                if key > high:
+                    return result
+                for payload in leaf.values[index]:
+                    result.append((key, payload))
+                index += 1
+            leaf = leaf.next
+            if leaf is not None:
+                self.stats.reads += 1
+            index = 0
+        return result
+
+    def items(self) -> Iterator[tuple[Any, Any]]:
+        node = self._root
+        while not node.leaf:
+            node = node.children[0]
+        while node is not None:
+            for key, bucket in zip(node.keys, node.values):
+                for payload in bucket:
+                    yield key, payload
+            node = node.next
+
+    # ---------------------------------------------------------------- insert
+    def insert(self, key: Any, payload: Any = None) -> None:
+        self._size += 1
+        split = self._insert(self._root, key, payload)
+        if split is not None:
+            separator, right = split
+            new_root = _Node(leaf=False)
+            new_root.keys = [separator]
+            new_root.children = [self._root, right]
+            self._root = new_root
+            self.stats.writes += 1
+
+    def _insert(self, node: _Node, key: Any, payload: Any):
+        self.stats.writes += 1
+        if node.leaf:
+            index = bisect.bisect_left(node.keys, key)
+            if index < len(node.keys) and node.keys[index] == key:
+                node.values[index].append(payload)
+                return None
+            node.keys.insert(index, key)
+            node.values.insert(index, [payload])
+            if len(node.keys) < self.branching:
+                return None
+            return self._split_leaf(node)
+        index = bisect.bisect_right(node.keys, key)
+        split = self._insert(node.children[index], key, payload)
+        if split is None:
+            return None
+        separator, right = split
+        node.keys.insert(index, separator)
+        node.children.insert(index + 1, right)
+        if len(node.children) <= self.branching:
+            return None
+        return self._split_internal(node)
+
+    def _split_leaf(self, node: _Node):
+        middle = len(node.keys) // 2
+        right = _Node(leaf=True)
+        right.keys = node.keys[middle:]
+        right.values = node.values[middle:]
+        node.keys = node.keys[:middle]
+        node.values = node.values[:middle]
+        right.next = node.next
+        node.next = right
+        self.stats.writes += 1
+        return right.keys[0], right
+
+    def _split_internal(self, node: _Node):
+        middle = len(node.keys) // 2
+        separator = node.keys[middle]
+        right = _Node(leaf=False)
+        right.keys = node.keys[middle + 1:]
+        right.children = node.children[middle + 1:]
+        node.keys = node.keys[:middle]
+        node.children = node.children[:middle + 1]
+        self.stats.writes += 1
+        return separator, right
+
+    # ---------------------------------------------------------------- delete
+    def remove(self, key: Any, payload: Any = None) -> bool:
+        """Remove one payload under ``key`` (or the whole bucket if payload
+        is None and the bucket has one entry).  Underflow is handled lazily
+        (nodes may become sparse but never incorrect), which preserves the
+        logarithmic search bound in the amortized sense.
+        """
+        leaf = self._find_leaf(key)
+        index = bisect.bisect_left(leaf.keys, key)
+        if index >= len(leaf.keys) or leaf.keys[index] != key:
+            return False
+        bucket = leaf.values[index]
+        if payload is None:
+            bucket.pop()
+        else:
+            try:
+                bucket.remove(payload)
+            except ValueError:
+                return False
+        self.stats.writes += 1
+        if not bucket:
+            leaf.keys.pop(index)
+            leaf.values.pop(index)
+        self._size -= 1
+        return True
+
+    # -------------------------------------------------------------- inspection
+    def height(self) -> int:
+        height = 1
+        node = self._root
+        while not node.leaf:
+            node = node.children[0]
+            height += 1
+        return height

@@ -1,0 +1,189 @@
+"""The generalized 1-dimensional index of Section 1.1(3).
+
+"A generalized 1-dimensional index is a set of intervals, where each
+interval is associated with a generalized tuple.  Each interval in the index
+is the projection on x of its associated generalized tuple."  Searching for
+``a1 <= x <= a2`` conjoins the range constraint to *only those generalized
+tuples whose generalized keys intersect it*; insertion and deletion maintain
+the interval set.
+
+The projection of a dense-order generalized tuple on an attribute is always
+one interval (the conjunction describes an order-convex set), computed here
+by the theory's quantifier elimination.  A naive baseline
+(:class:`NaiveGeneralizedSearch`) performs the paper's "trivial, but
+inefficient, solution": add the constraint to every tuple and scan.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable
+
+from repro.constraints.dense_order import DenseOrderTheory, OrderAtom, ge, le
+from repro.constraints.terms import Const, Var
+from repro.core.generalized import GeneralizedRelation, GeneralizedTuple
+from repro.errors import EvaluationError
+from repro.indexing.interval import Interval
+from repro.indexing.interval_tree import IntervalTree
+
+
+def tuple_projection_interval(
+    item: GeneralizedTuple, attribute: str, theory: DenseOrderTheory
+) -> Interval | None:
+    """The projection of a generalized tuple onto one attribute, as an interval.
+
+    Returns None for an unsatisfiable tuple.  For the dense-order theory the
+    projection is exactly one (possibly unbounded, possibly degenerate)
+    interval.
+    """
+    if not theory.is_satisfiable(item.atoms):
+        return None
+    # drop disequalities up front: a punctured interval's *key* is its hull
+    # (keys may over-cover -- the search conjoins the true constraints, so
+    # false positives are filtered, never false negatives)
+    relaxed = tuple(
+        atom for atom in item.atoms if getattr(atom, "op", None) != "!="
+    )
+    drop = [v for v in item.variables if v != attribute]
+    projected = theory.eliminate(relaxed, drop)
+    if not projected:
+        return None
+    (conjunction,) = projected
+    low: Fraction | None = None
+    low_open = False
+    high: Fraction | None = None
+    high_open = False
+    for atom in conjunction:
+        assert isinstance(atom, OrderAtom)
+        terms = (atom.left, atom.right)
+        if atom.op == "!=":
+            continue  # a single puncture does not change the key interval
+        if isinstance(atom.left, Var) and isinstance(atom.right, Const):
+            bound = atom.right.value
+            if atom.op == "=":
+                low = high = bound
+                low_open = high_open = False
+                break
+            if high is None or bound < high or (bound == high and atom.op == "<"):
+                high, high_open = bound, atom.op == "<"
+        elif isinstance(atom.left, Const) and isinstance(atom.right, Var):
+            bound = atom.left.value
+            if atom.op == "=":
+                low = high = bound
+                low_open = high_open = False
+                break
+            if low is None or bound > low or (bound == low and atom.op == "<"):
+                low, low_open = bound, atom.op == "<"
+    return Interval(low, high, low_open, high_open, payload=item)
+
+
+class GeneralizedIndex1D:
+    """An interval-tree-backed index over one attribute of a generalized relation."""
+
+    def __init__(self, relation: GeneralizedRelation, attribute: str) -> None:
+        if attribute not in relation.variables:
+            raise EvaluationError(
+                f"{attribute!r} is not an attribute of {relation.name}"
+            )
+        if not isinstance(relation.theory, DenseOrderTheory):
+            raise EvaluationError(
+                "generalized 1-d indexing requires interval projections; "
+                "only the dense-order theory guarantees them here"
+            )
+        self.relation = relation
+        self.attribute = attribute
+        self.theory = relation.theory
+        self._tree = IntervalTree()
+        for item in relation:
+            self.insert(item)
+
+    def __len__(self) -> int:
+        return len(self._tree)
+
+    # ----------------------------------------------------------------- update
+    def insert(self, item: GeneralizedTuple) -> None:
+        """Insert a generalized tuple: compute its key interval, index it."""
+        key = tuple_projection_interval(item, self.attribute, self.theory)
+        if key is not None:
+            self._tree.insert(key)
+
+    def delete(self, item: GeneralizedTuple) -> bool:
+        key = tuple_projection_interval(item, self.attribute, self.theory)
+        if key is None:
+            return False
+        return self._tree.remove(key)
+
+    # ----------------------------------------------------------------- search
+    def search(
+        self,
+        low: Fraction | int | None,
+        high: Fraction | int | None,
+        name: str = "search_result",
+    ) -> GeneralizedRelation:
+        """The generalized database representing tuples with x in [low, high].
+
+        Only the tuples whose key intervals intersect the query range are
+        touched; the range constraint is conjoined to each.
+        """
+        query = Interval(
+            Fraction(low) if low is not None else None,
+            Fraction(high) if high is not None else None,
+        )
+        result = GeneralizedRelation(
+            name, self.relation.variables, self.theory
+        )
+        range_atoms = []
+        if low is not None:
+            range_atoms.append(ge(self.attribute, Fraction(low)))
+        if high is not None:
+            range_atoms.append(le(self.attribute, Fraction(high)))
+        for hit in self._tree.overlapping(query):
+            item: GeneralizedTuple = hit.payload
+            result.add_tuple(tuple(item.atoms) + tuple(range_atoms))
+        return result
+
+    def candidates(self, low, high) -> list[GeneralizedTuple]:
+        """The matching tuples only (no constraint rewrite) -- for benchmarks."""
+        query = Interval(
+            Fraction(low) if low is not None else None,
+            Fraction(high) if high is not None else None,
+        )
+        return [hit.payload for hit in self._tree.overlapping(query)]
+
+
+class NaiveGeneralizedSearch:
+    """The paper's strawman: conjoin the range constraint to *every* tuple."""
+
+    def __init__(self, relation: GeneralizedRelation, attribute: str) -> None:
+        self.relation = relation
+        self.attribute = attribute
+        self.theory = relation.theory
+
+    def search(
+        self,
+        low: Fraction | int | None,
+        high: Fraction | int | None,
+        name: str = "naive_result",
+    ) -> GeneralizedRelation:
+        result = GeneralizedRelation(name, self.relation.variables, self.theory)
+        range_atoms = []
+        if low is not None:
+            range_atoms.append(ge(self.attribute, Fraction(low)))
+        if high is not None:
+            range_atoms.append(le(self.attribute, Fraction(high)))
+        for item in self.relation:
+            result.add_tuple(tuple(item.atoms) + tuple(range_atoms))
+        return result
+
+    def candidates(self, low, high) -> list[GeneralizedTuple]:
+        """Linear scan with per-tuple satisfiability checks."""
+        range_atoms = []
+        if low is not None:
+            range_atoms.append(ge(self.attribute, Fraction(low)))
+        if high is not None:
+            range_atoms.append(le(self.attribute, Fraction(high)))
+        return [
+            item
+            for item in self.relation
+            if self.theory.is_satisfiable(tuple(item.atoms) + tuple(range_atoms))
+        ]

@@ -1,0 +1,73 @@
+"""Intervals with rational endpoints: the generalized keys of Section 1.1(3).
+
+"The two endpoint a, a' representation of an interval is a fixed length
+generalized key."  Endpoints may be open or closed and possibly infinite
+(None), because dense-order generalized tuples project to any of these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Any
+
+
+@dataclass(frozen=True)
+class Interval:
+    """An interval with optionally-open, optionally-infinite endpoints."""
+
+    low: Fraction | None  # None = -infinity
+    high: Fraction | None  # None = +infinity
+    low_open: bool = False
+    high_open: bool = False
+    payload: Any = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.low is not None and self.high is not None:
+            if self.low > self.high:
+                raise ValueError(f"empty interval [{self.low}, {self.high}]")
+            if self.low == self.high and (self.low_open or self.high_open):
+                raise ValueError("degenerate open interval is empty")
+
+    @staticmethod
+    def closed(low: int | Fraction, high: int | Fraction, payload: Any = None) -> "Interval":
+        return Interval(Fraction(low), Fraction(high), payload=payload)
+
+    @staticmethod
+    def point(value: int | Fraction, payload: Any = None) -> "Interval":
+        return Interval(Fraction(value), Fraction(value), payload=payload)
+
+    def contains(self, value: Fraction) -> bool:
+        if self.low is not None:
+            if value < self.low or (self.low_open and value == self.low):
+                return False
+        if self.high is not None:
+            if value > self.high or (self.high_open and value == self.high):
+                return False
+        return True
+
+    def overlaps(self, other: "Interval") -> bool:
+        """Whether the two intervals share at least one point."""
+        return not (self._entirely_below(other) or other._entirely_below(self))
+
+    def _entirely_below(self, other: "Interval") -> bool:
+        if self.high is None or other.low is None:
+            return False
+        if self.high < other.low:
+            return True
+        if self.high == other.low and (self.high_open or other.low_open):
+            return True
+        return False
+
+    def sort_key(self) -> tuple:
+        low_key = (
+            (0, Fraction(0)) if self.low is None else (1, self.low)
+        )
+        return (low_key, self.low_open)
+
+    def __str__(self) -> str:
+        left = "(" if self.low_open or self.low is None else "["
+        right = ")" if self.high_open or self.high is None else "]"
+        low = "-inf" if self.low is None else str(self.low)
+        high = "+inf" if self.high is None else str(self.high)
+        return f"{left}{low}, {high}{right}"

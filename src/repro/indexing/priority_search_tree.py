@@ -1,0 +1,173 @@
+"""McCreight's priority search tree (reference [41] of the paper).
+
+A PST stores points (x, y): a balanced binary search tree on x doubling as a
+min-heap on y.  It answers the 1.5-dimensional query "all points with
+x in [x1, x2] and y <= y0" in O(log N + K), with linear space -- "priority
+search trees are a linear space data structure with logarithmic-time update
+and search algorithms for in-core processing" (Section 1.1(3)).
+
+Interval stabbing embeds into this query: store interval (l, h) as the point
+(x, y) = (l, ...) -- here we use x = low, y = low and query ... -- concretely,
+to find intervals containing q, store point (x=low, y=-high) and ask for
+x <= q and -high <= -q, i.e. x in (-inf, q], y <= -q.  The helper
+:meth:`PrioritySearchTree.stab_intervals` packages this.
+
+This implementation is semi-dynamic: built in O(N log N) from a point set,
+with O(log N + K) queries; insertions trigger amortized rebuilding (the
+classical fully-dynamic balancing is orthogonal to the paper's point).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Any, Iterable, Sequence
+
+from repro.indexing.interval import Interval
+
+
+@dataclass(frozen=True)
+class Point:
+    x: Fraction
+    y: Fraction
+    payload: Any = None
+
+
+class _PSTNode:
+    __slots__ = ("point", "split", "left", "right")
+
+    def __init__(self, point: Point, split: Fraction) -> None:
+        self.point = point  # the minimum-y point of this subtree
+        self.split = split  # x values <= split go left
+        self.left: "_PSTNode | None" = None
+        self.right: "_PSTNode | None" = None
+
+
+def _build(points: list[Point]) -> "_PSTNode | None":
+    """Recursive construction: pull out the min-y point, split the rest by
+    median x."""
+    if not points:
+        return None
+    heap_index = min(range(len(points)), key=lambda i: (points[i].y, points[i].x))
+    heap_point = points[heap_index]
+    rest = points[:heap_index] + points[heap_index + 1:]
+    if not rest:
+        return _PSTNode(heap_point, heap_point.x)
+    rest.sort(key=lambda p: (p.x, p.y))
+    mid = (len(rest) - 1) // 2
+    split = rest[mid].x
+    node = _PSTNode(heap_point, split)
+    node.left = _build([p for p in rest if p.x <= split])
+    node.right = _build([p for p in rest if p.x > split])
+    return node
+
+
+class PrioritySearchTree:
+    """A priority search tree over exact rational points."""
+
+    def __init__(self, points: Iterable[Point] = ()) -> None:
+        self._points = list(points)
+        self._root = _build(list(self._points))
+        self._pending = 0
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    @staticmethod
+    def from_xy(pairs: Iterable[tuple[Fraction, Fraction]]) -> "PrioritySearchTree":
+        return PrioritySearchTree(Point(Fraction(x), Fraction(y)) for x, y in pairs)
+
+    # ---------------------------------------------------------------- update
+    def insert(self, point: Point) -> None:
+        """Amortized insertion: rebuild when pending updates reach len/2."""
+        self._points.append(point)
+        self._pending += 1
+        if self._pending * 2 >= max(4, len(self._points)):
+            self._root = _build(list(self._points))
+            self._pending = 0
+        else:
+            # cheap path: insert by re-threading the heap along the x path
+            self._root = _build(list(self._points)) if self._root is None else self._root
+            self._insert_path(point)
+
+    def _insert_path(self, point: Point) -> None:
+        node = self._root
+        assert node is not None
+        carried = point
+        while True:
+            if (carried.y, carried.x) < (node.point.y, node.point.x):
+                node.point, carried = carried, node.point
+            if carried.x <= node.split:
+                if node.left is None:
+                    node.left = _PSTNode(carried, carried.x)
+                    return
+                node = node.left
+            else:
+                if node.right is None:
+                    node.right = _PSTNode(carried, carried.x)
+                    return
+                node = node.right
+
+    def remove(self, point: Point) -> bool:
+        try:
+            self._points.remove(point)
+        except ValueError:
+            return False
+        self._root = _build(list(self._points))
+        self._pending = 0
+        return True
+
+    # ---------------------------------------------------------------- queries
+    def query(
+        self,
+        x_low: Fraction | None,
+        x_high: Fraction | None,
+        y_max: Fraction,
+    ) -> list[Point]:
+        """All points with ``x_low <= x <= x_high`` and ``y <= y_max``."""
+        result: list[Point] = []
+        self._query(self._root, x_low, x_high, y_max, result)
+        return result
+
+    def _query(
+        self,
+        node: "_PSTNode | None",
+        x_low: Fraction | None,
+        x_high: Fraction | None,
+        y_max: Fraction,
+        out: list[Point],
+    ) -> None:
+        if node is None:
+            return
+        if node.point.y > y_max:
+            return  # heap property: whole subtree exceeds the y bound
+        point = node.point
+        if (x_low is None or point.x >= x_low) and (
+            x_high is None or point.x <= x_high
+        ):
+            out.append(point)
+        if x_low is None or x_low <= node.split:
+            self._query(node.left, x_low, x_high, y_max, out)
+        if x_high is None or x_high > node.split:
+            self._query(node.right, x_low, x_high, y_max, out)
+
+    # ------------------------------------------------- interval stabbing view
+    @staticmethod
+    def for_intervals(intervals: Iterable[Interval]) -> "PrioritySearchTree":
+        """Index closed intervals for stabbing queries.
+
+        Interval [l, h] maps to the point (x, y) = (l, -h); the stabbing
+        query at q is then x <= q and y <= -q.
+        """
+        points = []
+        for interval in intervals:
+            if interval.low is None or interval.high is None:
+                raise ValueError("PST stabbing view needs bounded intervals")
+            points.append(Point(interval.low, -interval.high, interval))
+        return PrioritySearchTree(points)
+
+    def stab_intervals(self, value: Fraction | int) -> list[Interval]:
+        """All indexed intervals containing ``value`` (closed-endpoint view)."""
+        value = Fraction(value)
+        hits = self.query(None, value, -value)
+        return [p.payload for p in hits]

@@ -1,0 +1,50 @@
+"""First-order logic substrate: formula AST, transforms, and parsing.
+
+The CQL framework of the paper combines a database query language with a
+decidable logical theory.  This package provides the shared syntactic layer:
+
+* :mod:`repro.logic.syntax` -- the formula AST (atoms, connectives,
+  quantifiers, relation atoms) together with free-variable computation and
+  variable renaming;
+* :mod:`repro.logic.transform` -- negation normal form, disjunctive normal
+  form, and quantifier-scope utilities used by the bottom-up evaluators;
+* :mod:`repro.logic.parser` -- a small recursive-descent parser for a textual
+  calculus / Datalog syntax used by the examples.
+"""
+
+from repro.logic.syntax import (
+    And,
+    Atom,
+    Exists,
+    FALSE,
+    ForAll,
+    Formula,
+    Not,
+    Or,
+    RelationAtom,
+    TRUE,
+    all_relation_atoms,
+    free_variables,
+    fresh_variable,
+    rename_variables,
+)
+from repro.logic.transform import to_dnf, to_nnf
+
+__all__ = [
+    "And",
+    "Atom",
+    "Exists",
+    "FALSE",
+    "ForAll",
+    "Formula",
+    "Not",
+    "Or",
+    "RelationAtom",
+    "TRUE",
+    "all_relation_atoms",
+    "free_variables",
+    "fresh_variable",
+    "rename_variables",
+    "to_dnf",
+    "to_nnf",
+]

@@ -1,0 +1,461 @@
+"""A recursive-descent parser for textual CQL queries and Datalog programs.
+
+Grammar (calculus queries)::
+
+    formula   := "exists" vars "." formula
+               | "forall" vars "." formula
+               | disjunct
+    disjunct  := conjunct ("or" conjunct)*
+    conjunct  := unary ("and" unary)*
+    unary     := "not" unary | "(" formula ")" | atom
+    atom      := NAME "(" args ")"            -- database atom
+               | arith OP arith               -- constraint atom
+    OP        := "=" | "!=" | "<" | "<=" | ">" | ">="
+    arith     := product (("+"|"-") product)*
+    product   := factor ("*" factor)*
+    factor    := NUMBER | NAME | "(" arith ")" | "-" factor
+
+Datalog programs are sequences of rules ``Head(args) :- lit, lit, ... .``
+where literals are database atoms, ``not`` database atoms, or constraint
+atoms.
+
+Database-atom arguments may be variables, numbers, or repeated variables;
+following the paper's convention (Definition 1.6 footnote) constants and
+repetitions are compiled into fresh variables plus equality constraints of
+the active theory, wrapped in an existential quantifier (for queries) or
+plain extra body constraints (for rules).
+
+Arithmetic (+, -, *) is accepted only when the active theory is the real
+polynomial theory; the dense-order and equality theories require each
+comparison side to be a single variable or constant.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Sequence
+
+from repro.constraints.base import ConstraintTheory
+from repro.constraints.dense_order import DenseOrderTheory, OrderAtom
+from repro.constraints.equality import EqualityAtom, EqualityTheory
+from repro.constraints.real_poly import PolyAtom, RealPolynomialTheory
+from repro.constraints.terms import Const, Var
+from repro.core.datalog import Rule
+from repro.errors import ParseError
+from repro.logic.syntax import (
+    And,
+    Atom,
+    Exists,
+    ForAll,
+    Formula,
+    Not,
+    Or,
+    RelationAtom,
+    conjoin,
+)
+from repro.poly.polynomial import Polynomial
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<number>\d+(?:\.\d+)?(?:/\d+)?)"
+    r"|(?P<name>[A-Za-z_][A-Za-z_0-9]*)"
+    r"|(?P<op><=|>=|!=|:-|[=<>(),.+\-*])"
+    r")"
+)
+
+_KEYWORDS = {"exists", "forall", "and", "or", "not"}
+_COMPARISONS = {"=", "!=", "<", "<=", ">", ">="}
+
+
+@dataclass
+class _Token:
+    kind: str  # "number" | "name" | "op" | "end"
+    text: str
+    position: int
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if not match or match.end() == position:
+            if text[position:].strip():
+                raise ParseError(f"unexpected character {text[position]!r}", position)
+            break
+        position = match.end()
+        for kind in ("number", "name", "op"):
+            value = match.group(kind)
+            if value is not None:
+                tokens.append(_Token(kind, value, match.start(kind)))
+                break
+    tokens.append(_Token("end", "", len(text)))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str, theory: ConstraintTheory) -> None:
+        self.tokens = _tokenize(text)
+        self.index = 0
+        self.theory = theory
+        self._fresh = 0
+
+    # ------------------------------------------------------------- plumbing
+    def peek(self) -> _Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> _Token:
+        token = self.tokens[self.index]
+        self.index += 1
+        return token
+
+    def expect(self, text: str) -> _Token:
+        token = self.peek()
+        if token.text != text:
+            raise ParseError(f"expected {text!r}, found {token.text!r}", token.position)
+        return self.advance()
+
+    def at(self, text: str) -> bool:
+        return self.peek().text == text
+
+    def fresh_var(self) -> str:
+        self._fresh += 1
+        return f"_k{self._fresh}"
+
+    # -------------------------------------------------------------- formulas
+    def parse_formula(self) -> Formula:
+        token = self.peek()
+        if token.kind == "name" and token.text in ("exists", "forall"):
+            self.advance()
+            names = [self._variable_name()]
+            while self.at(","):
+                self.advance()
+                names.append(self._variable_name())
+            self.expect(".")
+            child = self.parse_formula()
+            constructor = Exists if token.text == "exists" else ForAll
+            return constructor(tuple(names), child)
+        return self.parse_disjunct()
+
+    def _variable_name(self) -> str:
+        token = self.peek()
+        if token.kind != "name" or token.text in _KEYWORDS:
+            raise ParseError("expected a variable name", token.position)
+        return self.advance().text
+
+    def parse_disjunct(self) -> Formula:
+        parts = [self.parse_conjunct()]
+        while self.peek().text == "or":
+            self.advance()
+            parts.append(self.parse_conjunct())
+        return parts[0] if len(parts) == 1 else Or(tuple(parts))
+
+    def parse_conjunct(self) -> Formula:
+        parts = [self.parse_unary()]
+        while self.peek().text == "and":
+            self.advance()
+            parts.append(self.parse_unary())
+        return parts[0] if len(parts) == 1 else And(tuple(parts))
+
+    def parse_unary(self) -> Formula:
+        token = self.peek()
+        if token.text == "not":
+            self.advance()
+            return Not(self.parse_unary())
+        if token.text == "(":
+            # could be a parenthesized formula or a parenthesized arithmetic
+            # expression starting a comparison; try formula first by
+            # backtracking on failure
+            saved = self.index
+            try:
+                self.advance()
+                inner = self.parse_formula()
+                self.expect(")")
+                if self.peek().text in _COMPARISONS:
+                    raise ParseError("comparison", token.position)
+                return inner
+            except ParseError:
+                self.index = saved
+                return self.parse_atom()
+        return self.parse_atom()
+
+    def parse_atom(self) -> Formula:
+        token = self.peek()
+        if (
+            token.kind == "name"
+            and token.text not in _KEYWORDS
+            and self.tokens[self.index + 1].text == "("
+            and not self._looks_like_arithmetic_call()
+        ):
+            return self._parse_relation_atom()
+        return self._parse_comparison()
+
+    def _looks_like_arithmetic_call(self) -> bool:
+        # there are no function symbols, so NAME( is always a relation atom
+        return False
+
+    def _parse_relation_atom(self) -> Formula:
+        name = self.advance().text
+        self.expect("(")
+        raw_args: list[tuple[str, object]] = []  # (kind, value)
+        if not self.at(")"):
+            while True:
+                token = self.peek()
+                if token.kind == "number" or token.text == "-":
+                    raw_args.append(("const", self._parse_signed_number()))
+                elif token.kind == "name" and token.text not in _KEYWORDS:
+                    raw_args.append(("var", self.advance().text))
+                else:
+                    raise ParseError(
+                        f"bad relation argument {token.text!r}", token.position
+                    )
+                if self.at(","):
+                    self.advance()
+                    continue
+                break
+        self.expect(")")
+        # compile constants / repeated variables into equalities
+        seen: set[str] = set()
+        args: list[str] = []
+        equalities: list[Atom] = []
+        introduced: list[str] = []
+        for kind, value in raw_args:
+            if kind == "var" and value not in seen:
+                seen.add(value)  # type: ignore[arg-type]
+                args.append(value)  # type: ignore[arg-type]
+                continue
+            fresh = self.fresh_var()
+            introduced.append(fresh)
+            args.append(fresh)
+            if kind == "var":
+                equalities.append(self._equality_between_vars(fresh, str(value)))
+            else:
+                equalities.append(self._equality_with_constant(fresh, value))
+        atom = RelationAtom(name, tuple(args))
+        if not equalities:
+            return atom
+        inner = conjoin([atom, *equalities])
+        return Exists(tuple(introduced), inner)
+
+    def _equality_between_vars(self, left: str, right: str) -> Atom:
+        if isinstance(self.theory, RealPolynomialTheory):
+            return self.theory.equality(left, right)
+        return self.theory.equality(Var(left), Var(right))
+
+    def _equality_with_constant(self, var: str, value: object) -> Atom:
+        if isinstance(self.theory, RealPolynomialTheory):
+            return self.theory.equality(var, Polynomial.constant(value))  # type: ignore[arg-type]
+        if isinstance(self.theory, DenseOrderTheory):
+            return self.theory.equality(Var(var), Const(Fraction(value)))  # type: ignore[arg-type]
+        return self.theory.equality(Var(var), Const(value))
+
+    def _parse_signed_number(self) -> Fraction:
+        negative = False
+        while self.at("-"):
+            self.advance()
+            negative = not negative
+        token = self.peek()
+        if token.kind != "number":
+            raise ParseError("expected a number", token.position)
+        self.advance()
+        value = _number_value(token.text)
+        return -value if negative else value
+
+    # ------------------------------------------------------------ comparisons
+    def _parse_comparison(self) -> Formula:
+        left = self._parse_arith()
+        op_token = self.peek()
+        if op_token.text not in _COMPARISONS:
+            raise ParseError(
+                f"expected a comparison operator, found {op_token.text!r}",
+                op_token.position,
+            )
+        self.advance()
+        right = self._parse_arith()
+        return self._build_comparison(op_token.text, left, right, op_token.position)
+
+    def _build_comparison(
+        self, op: str, left: Polynomial, right: Polynomial, position: int
+    ) -> Atom:
+        if isinstance(self.theory, RealPolynomialTheory):
+            from repro.constraints.real_poly import (
+                poly_eq,
+                poly_ge,
+                poly_gt,
+                poly_le,
+                poly_lt,
+                poly_ne,
+            )
+
+            builder = {
+                "=": poly_eq,
+                "!=": poly_ne,
+                "<": poly_lt,
+                "<=": poly_le,
+                ">": poly_gt,
+                ">=": poly_ge,
+            }[op]
+            return builder(left, right)
+        left_term = _poly_as_term(left, position)
+        right_term = _poly_as_term(right, position)
+        if isinstance(self.theory, DenseOrderTheory):
+            from repro.constraints import dense_order as od
+
+            builder = {
+                "=": od.eq,
+                "!=": od.ne,
+                "<": od.lt,
+                "<=": od.le,
+                ">": od.gt,
+                ">=": od.ge,
+            }[op]
+            return builder(left_term, right_term)
+        if isinstance(self.theory, EqualityTheory):
+            if op not in ("=", "!="):
+                raise ParseError(
+                    f"the equality theory has no order comparison {op!r}", position
+                )
+            from repro.constraints import equality as eqth
+
+            return eqth.eq(left_term, right_term) if op == "=" else eqth.ne(
+                left_term, right_term
+            )
+        raise ParseError(
+            f"theory {self.theory.name!r} has no textual comparison syntax", position
+        )
+
+    def _parse_arith(self) -> Polynomial:
+        result = self._parse_product()
+        while self.peek().text in ("+", "-"):
+            op = self.advance().text
+            operand = self._parse_product()
+            result = result + operand if op == "+" else result - operand
+        return result
+
+    def _parse_product(self) -> Polynomial:
+        result = self._parse_factor()
+        while self.peek().text == "*":
+            self.advance()
+            result = result * self._parse_factor()
+        return result
+
+    def _parse_factor(self) -> Polynomial:
+        token = self.peek()
+        if token.text == "-":
+            self.advance()
+            return -self._parse_factor()
+        if token.kind == "number":
+            self.advance()
+            return Polynomial.constant(_number_value(token.text))
+        if token.text == "(":
+            self.advance()
+            inner = self._parse_arith()
+            self.expect(")")
+            return inner
+        if token.kind == "name" and token.text not in _KEYWORDS:
+            self.advance()
+            return Polynomial.variable(token.text)
+        raise ParseError(f"bad arithmetic factor {token.text!r}", token.position)
+
+    # ----------------------------------------------------------------- rules
+    def parse_rule(self) -> Rule:
+        head_formula = self._parse_relation_atom()
+        if isinstance(head_formula, Exists):
+            raise ParseError(
+                "rule heads must use distinct variables (no constants); "
+                "add equality constraints in the body instead",
+                self.peek().position,
+            )
+        assert isinstance(head_formula, RelationAtom)
+        self.expect(":-")
+        body: list[object] = []
+        while True:
+            token = self.peek()
+            if token.text == "not":
+                self.advance()
+                literal = self._parse_relation_atom()
+                literal, extras = _flatten_body_atom(literal)
+                if extras:
+                    raise ParseError(
+                        "negated body atoms must use plain distinct variables",
+                        token.position,
+                    )
+                body.append(Not(literal))
+            elif (
+                token.kind == "name"
+                and token.text not in _KEYWORDS
+                and self.tokens[self.index + 1].text == "("
+            ):
+                literal = self._parse_relation_atom()
+                flat, extras = _flatten_body_atom(literal)
+                body.append(flat)
+                body.extend(extras)
+            else:
+                body.append(self._parse_comparison())
+            if self.at(","):
+                self.advance()
+                continue
+            break
+        self.expect(".")
+        return Rule(head_formula, tuple(body))
+
+    def parse_program(self) -> list[Rule]:
+        rules = []
+        while self.peek().kind != "end":
+            rules.append(self.parse_rule())
+        return rules
+
+
+def _flatten_body_atom(formula: Formula) -> tuple[RelationAtom, list[Atom]]:
+    """Unwrap the Exists(atom and equalities) encoding used for constants."""
+    if isinstance(formula, RelationAtom):
+        return formula, []
+    if isinstance(formula, Exists) and isinstance(formula.child, And):
+        atom = formula.child.children[0]
+        extras = list(formula.child.children[1:])
+        assert isinstance(atom, RelationAtom)
+        return atom, extras  # type: ignore[return-value]
+    raise ParseError(f"expected a database atom, got {formula}", 0)
+
+
+def _poly_as_term(poly: Polynomial, position: int):
+    """A polynomial that is a bare variable or constant, as a theory term."""
+    if poly.is_constant():
+        return Const(poly.constant_value())
+    linear = poly.as_linear()
+    if linear is not None:
+        coeffs, constant = linear
+        if constant == 0 and len(coeffs) == 1:
+            (name, coeff), = coeffs.items()
+            if coeff == 1:
+                return Var(name)
+    raise ParseError(
+        "this theory allows only a variable or a constant on each comparison "
+        f"side, got {poly}",
+        position,
+    )
+
+
+def _number_value(text: str) -> Fraction:
+    if "/" in text:
+        numerator, denominator = text.split("/")
+        return Fraction(int(numerator), int(denominator))
+    if "." in text:
+        return Fraction(text)
+    return Fraction(int(text))
+
+
+def parse_query(text: str, theory: ConstraintTheory) -> Formula:
+    """Parse a relational calculus + constraints query program."""
+    parser = _Parser(text, theory)
+    formula = parser.parse_formula()
+    end = parser.peek()
+    if end.kind != "end":
+        raise ParseError(f"trailing input {end.text!r}", end.position)
+    return formula
+
+
+def parse_rules(text: str, theory: ConstraintTheory) -> list[Rule]:
+    """Parse a Datalog + constraints program (a sequence of rules)."""
+    return _Parser(text, theory).parse_program()

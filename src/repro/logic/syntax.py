@@ -1,0 +1,282 @@
+"""Formula abstract syntax for constraint query languages.
+
+A *query program* in the paper (Definition 1.6) is a first-order formula whose
+atomic formulas are either database atoms ``R(x1, ..., xk)`` or constraints
+from a class Phi.  This module defines the shared AST.  Constraint atoms are
+provided by the individual theories in :mod:`repro.constraints`; they subclass
+:class:`Atom` and implement the small protocol it declares (free variables,
+variable renaming, ground evaluation).
+
+Design notes
+------------
+* Formulas are immutable; connectives store their children as tuples so that
+  formulas are hashable and can be used as dictionary keys by the evaluators.
+* Relation atoms carry *variable names only*.  Following the paper
+  ("without loss of generality, an occurrence of a database atom is of the
+  form R(z1, ..., zk) where z1, ..., zk are distinct variables"), constants
+  and repeated variables in surface syntax are compiled away by the parser
+  into equality constraints of the active theory.
+* ``And(())`` is truth and ``Or(())`` is falsity; the singletons :data:`TRUE`
+  and :data:`FALSE` are provided for readability.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping
+
+
+class Formula:
+    """Base class of every formula node."""
+
+    __slots__ = ()
+
+    def __and__(self, other: "Formula") -> "Formula":
+        return And((self, other))
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return Or((self, other))
+
+    def __invert__(self) -> "Formula":
+        return Not(self)
+
+
+class Atom(Formula):
+    """Base class for constraint atoms supplied by the theories.
+
+    Subclasses must be immutable and hashable, and must implement the three
+    methods below.  ``negate`` is *not* part of this protocol: negation is a
+    theory-level operation (the negation of a dense-order atom is a
+    disjunction of atoms) and lives on the :class:`ConstraintTheory` object.
+    """
+
+    __slots__ = ()
+
+    def variables(self) -> frozenset[str]:
+        """Free variables of the atom."""
+        raise NotImplementedError
+
+    def rename(self, mapping: Mapping[str, str]) -> "Atom":
+        """Return a copy with variables renamed according to ``mapping``.
+
+        Variables not in the mapping are kept unchanged.
+        """
+        raise NotImplementedError
+
+    def holds(self, assignment: Mapping[str, object]) -> bool:
+        """Evaluate the atom at a ground point of the constraint domain."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True, slots=True)
+class RelationAtom(Formula):
+    """A database atom ``R(x1, ..., xk)`` with distinct variable arguments."""
+
+    name: str
+    args: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(set(self.args)) != len(self.args):
+            raise ValueError(
+                f"relation atom {self.name}{self.args} repeats a variable; "
+                "repeated variables must be compiled into equality constraints"
+            )
+
+    def variables(self) -> frozenset[str]:
+        return frozenset(self.args)
+
+    def rename(self, mapping: Mapping[str, str]) -> "RelationAtom":
+        return RelationAtom(self.name, tuple(mapping.get(a, a) for a in self.args))
+
+    def __str__(self) -> str:
+        return f"{self.name}({', '.join(self.args)})"
+
+
+@dataclass(frozen=True, slots=True)
+class Not(Formula):
+    """Logical negation."""
+
+    child: Formula
+
+    def __str__(self) -> str:
+        return f"not ({self.child})"
+
+
+@dataclass(frozen=True, slots=True)
+class And(Formula):
+    """Finite conjunction; the empty conjunction is truth."""
+
+    children: tuple[Formula, ...]
+
+    def __str__(self) -> str:
+        if not self.children:
+            return "true"
+        return " and ".join(f"({c})" for c in self.children)
+
+
+@dataclass(frozen=True, slots=True)
+class Or(Formula):
+    """Finite disjunction; the empty disjunction is falsity."""
+
+    children: tuple[Formula, ...]
+
+    def __str__(self) -> str:
+        if not self.children:
+            return "false"
+        return " or ".join(f"({c})" for c in self.children)
+
+
+@dataclass(frozen=True, slots=True)
+class Exists(Formula):
+    """Existential quantification over one or more variables."""
+
+    variables_bound: tuple[str, ...]
+    child: Formula
+
+    def __str__(self) -> str:
+        return f"exists {', '.join(self.variables_bound)} . ({self.child})"
+
+
+@dataclass(frozen=True, slots=True)
+class ForAll(Formula):
+    """Universal quantification over one or more variables."""
+
+    variables_bound: tuple[str, ...]
+    child: Formula
+
+    def __str__(self) -> str:
+        return f"forall {', '.join(self.variables_bound)} . ({self.child})"
+
+
+TRUE: Formula = And(())
+FALSE: Formula = Or(())
+
+
+def conjoin(parts: Iterable[Formula]) -> Formula:
+    """Conjunction of ``parts`` flattening nested :class:`And` nodes."""
+    flat: list[Formula] = []
+    for part in parts:
+        if isinstance(part, And):
+            flat.extend(part.children)
+        else:
+            flat.append(part)
+    if len(flat) == 1:
+        return flat[0]
+    return And(tuple(flat))
+
+
+def disjoin(parts: Iterable[Formula]) -> Formula:
+    """Disjunction of ``parts`` flattening nested :class:`Or` nodes."""
+    flat: list[Formula] = []
+    for part in parts:
+        if isinstance(part, Or):
+            flat.extend(part.children)
+        else:
+            flat.append(part)
+    if len(flat) == 1:
+        return flat[0]
+    return Or(tuple(flat))
+
+
+def free_variables(formula: Formula) -> frozenset[str]:
+    """The free variables of ``formula``.
+
+    Quantifiers bind; relation atoms and theory atoms contribute their
+    variables.
+    """
+    if isinstance(formula, (RelationAtom, Atom)):
+        return formula.variables()
+    if isinstance(formula, Not):
+        return free_variables(formula.child)
+    if isinstance(formula, (And, Or)):
+        result: frozenset[str] = frozenset()
+        for child in formula.children:
+            result |= free_variables(child)
+        return result
+    if isinstance(formula, (Exists, ForAll)):
+        return free_variables(formula.child) - frozenset(formula.variables_bound)
+    raise TypeError(f"not a formula: {formula!r}")
+
+
+def all_variables(formula: Formula) -> frozenset[str]:
+    """All variables of ``formula`` -- free and bound."""
+    if isinstance(formula, (RelationAtom, Atom)):
+        return formula.variables()
+    if isinstance(formula, Not):
+        return all_variables(formula.child)
+    if isinstance(formula, (And, Or)):
+        result: frozenset[str] = frozenset()
+        for child in formula.children:
+            result |= all_variables(child)
+        return result
+    if isinstance(formula, (Exists, ForAll)):
+        return all_variables(formula.child) | frozenset(formula.variables_bound)
+    raise TypeError(f"not a formula: {formula!r}")
+
+
+def all_relation_atoms(formula: Formula) -> Iterator[RelationAtom]:
+    """Yield every relation atom occurring in ``formula`` (with repeats)."""
+    if isinstance(formula, RelationAtom):
+        yield formula
+    elif isinstance(formula, Atom):
+        return
+    elif isinstance(formula, Not):
+        yield from all_relation_atoms(formula.child)
+    elif isinstance(formula, (And, Or)):
+        for child in formula.children:
+            yield from all_relation_atoms(child)
+    elif isinstance(formula, (Exists, ForAll)):
+        yield from all_relation_atoms(formula.child)
+    else:
+        raise TypeError(f"not a formula: {formula!r}")
+
+
+def fresh_variable(used: Iterable[str], stem: str = "v") -> str:
+    """Return a variable name with the given stem that does not occur in ``used``."""
+    taken = set(used)
+    for index in itertools.count():
+        candidate = f"_{stem}{index}"
+        if candidate not in taken:
+            return candidate
+    raise AssertionError("unreachable")
+
+
+def rename_variables(formula: Formula, mapping: Mapping[str, str]) -> Formula:
+    """Rename *free* variables of ``formula`` according to ``mapping``.
+
+    The mapping must not capture bound variables: if a target name collides
+    with a quantified variable the quantified variable is renamed to a fresh
+    name first.  Variables absent from the mapping are left unchanged.
+    """
+    if isinstance(formula, (RelationAtom, Atom)):
+        return formula.rename(mapping)
+    if isinstance(formula, Not):
+        return Not(rename_variables(formula.child, mapping))
+    if isinstance(formula, And):
+        return And(tuple(rename_variables(c, mapping) for c in formula.children))
+    if isinstance(formula, Or):
+        return Or(tuple(rename_variables(c, mapping) for c in formula.children))
+    if isinstance(formula, (Exists, ForAll)):
+        bound = formula.variables_bound
+        inner_mapping = {k: v for k, v in mapping.items() if k not in bound}
+        targets = set(inner_mapping.values())
+        collisions = [b for b in bound if b in targets]
+        child = formula.child
+        if collisions:
+            used = (
+                set(all_variables(formula))
+                | set(mapping.keys())
+                | set(mapping.values())
+            )
+            bound_list = list(bound)
+            for bad in collisions:
+                replacement = fresh_variable(used, stem=bad.strip("_"))
+                used.add(replacement)
+                child = rename_variables(child, {bad: replacement})
+                bound_list[bound_list.index(bad)] = replacement
+            bound = tuple(bound_list)
+        new_child = rename_variables(child, inner_mapping)
+        constructor = Exists if isinstance(formula, Exists) else ForAll
+        return constructor(bound, new_child)
+    raise TypeError(f"not a formula: {formula!r}")

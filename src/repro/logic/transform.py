@@ -1,0 +1,106 @@
+"""Formula transforms: negation normal form and disjunctive normal form.
+
+The bottom-up evaluators of :mod:`repro.core` work on quantifier-free DNF
+formulas -- the representation of generalized relations (Definition 1.3).
+Negation of a constraint atom is a theory-level operation (for dense order,
+``not (x < y)`` is ``y < x or y = x``), so :func:`to_nnf` takes a negation
+callback supplied by the active :class:`~repro.constraints.base.ConstraintTheory`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Sequence
+
+from repro.logic.syntax import (
+    And,
+    Atom,
+    Exists,
+    ForAll,
+    Formula,
+    Not,
+    Or,
+    RelationAtom,
+    conjoin,
+    disjoin,
+)
+
+NegateAtom = Callable[[Atom], Formula]
+
+
+def to_nnf(formula: Formula, negate_atom: NegateAtom) -> Formula:
+    """Push negations down to atoms, eliminating :class:`Not` nodes.
+
+    ``negate_atom`` maps a theory atom to a formula equivalent to its
+    negation.  Negated relation atoms are kept as ``Not(RelationAtom)``
+    because their complement is database-dependent; the calculus evaluator
+    handles them explicitly.  Universal quantifiers are rewritten as negated
+    existentials first, so the result contains only And/Or/Exists/atoms and
+    possibly ``Not`` applied directly to relation atoms.
+    """
+    return _nnf(formula, negated=False, negate_atom=negate_atom)
+
+
+def _nnf(formula: Formula, negated: bool, negate_atom: NegateAtom) -> Formula:
+    if isinstance(formula, RelationAtom):
+        return Not(formula) if negated else formula
+    if isinstance(formula, Atom):
+        return negate_atom(formula) if negated else formula
+    if isinstance(formula, Not):
+        return _nnf(formula.child, not negated, negate_atom)
+    if isinstance(formula, And):
+        parts = tuple(_nnf(c, negated, negate_atom) for c in formula.children)
+        return Or(parts) if negated else And(parts)
+    if isinstance(formula, Or):
+        parts = tuple(_nnf(c, negated, negate_atom) for c in formula.children)
+        return And(parts) if negated else Or(parts)
+    if isinstance(formula, Exists):
+        child = _nnf(formula.child, negated, negate_atom)
+        if negated:
+            return ForAll(formula.variables_bound, child)
+        return Exists(formula.variables_bound, child)
+    if isinstance(formula, ForAll):
+        child = _nnf(formula.child, negated, negate_atom)
+        if negated:
+            return Exists(formula.variables_bound, child)
+        return ForAll(formula.variables_bound, child)
+    raise TypeError(f"not a formula: {formula!r}")
+
+
+def to_dnf(formula: Formula) -> list[list[Formula]]:
+    """Convert a quantifier-free NNF formula into DNF.
+
+    Returns a list of conjunctions, each a list of literals (theory atoms,
+    relation atoms, or ``Not(RelationAtom)``).  The empty list denotes
+    falsity; a list containing the empty conjunction denotes truth.
+
+    The expansion is the textbook distribution; its cost is exponential in
+    the *query* size only, which is constant under data complexity
+    (Definition 1.13).
+    """
+    if isinstance(formula, (Atom, RelationAtom)):
+        return [[formula]]
+    if isinstance(formula, Not):
+        if isinstance(formula.child, RelationAtom):
+            return [[formula]]
+        raise ValueError("to_dnf expects NNF input (negations only on relation atoms)")
+    if isinstance(formula, Or):
+        result: list[list[Formula]] = []
+        for child in formula.children:
+            result.extend(to_dnf(child))
+        return result
+    if isinstance(formula, And):
+        child_dnfs = [to_dnf(child) for child in formula.children]
+        result = []
+        for combination in itertools.product(*child_dnfs):
+            conjunct: list[Formula] = []
+            for part in combination:
+                conjunct.extend(part)
+            result.append(conjunct)
+        return result
+    raise ValueError(f"to_dnf expects a quantifier-free formula, got {formula!r}")
+
+
+def dnf_to_formula(dnf: Sequence[Sequence[Formula]]) -> Formula:
+    """Inverse of :func:`to_dnf`: rebuild an Or-of-Ands formula."""
+    return disjoin(conjoin(tuple(conjunct)) for conjunct in dnf)

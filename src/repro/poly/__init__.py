@@ -1,0 +1,27 @@
+"""Exact polynomial arithmetic over the rationals.
+
+This package is the algebraic substrate for the real-polynomial constraint
+theory of Section 2 of the paper: multivariate polynomials with exact
+:class:`fractions.Fraction` coefficients, univariate machinery (GCD,
+squarefree parts, Sturm sequences, real-root isolation), resultants and
+discriminants via subresultant remainder sequences, exact real algebraic
+numbers, and dynamic-evaluation arithmetic in Q[x]/(q) ("D5") used by the
+bivariate cylindrical algebraic decomposition.
+
+Everything is implemented from scratch; no computer-algebra dependency.
+"""
+
+from repro.poly.polynomial import Polynomial, poly_const, poly_var
+from repro.poly.univariate import UPoly
+from repro.poly.algebraic import RealAlgebraic
+from repro.poly.resultant import discriminant, resultant
+
+__all__ = [
+    "Polynomial",
+    "RealAlgebraic",
+    "UPoly",
+    "discriminant",
+    "poly_const",
+    "poly_var",
+    "resultant",
+]

@@ -1,0 +1,201 @@
+"""Exact real algebraic numbers.
+
+A real algebraic number is represented by a squarefree rational polynomial
+together with an isolating interval (Definition: the interval contains
+exactly one real root of the polynomial, and that root is the number).
+Rational numbers use point intervals.  All comparisons and sign
+determinations are exact:
+
+* zero tests against other polynomials go through GCDs (a polynomial
+  vanishes at alpha iff the GCD with alpha's defining polynomial still has
+  alpha as a root, which is decidable by Sturm counting in the isolating
+  interval);
+* once a value is known to be nonzero, interval refinement terminates with a
+  definite sign.
+
+Only the operations needed by the CAD lifting are provided: comparison,
+sign-of-polynomial-at-point, and affine rational shifts.  General algebraic
+arithmetic (sums/products of two algebraic numbers) is not needed by the
+paper's algorithms and is intentionally out of scope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+
+from repro.poly.intervals import RatInterval, eval_upoly_on_interval
+from repro.poly.univariate import QQ, RootInterval, SturmContext, UPoly
+
+
+@dataclass
+class RealAlgebraic:
+    """A real algebraic number: squarefree defining polynomial + isolating interval."""
+
+    poly: UPoly
+    interval: RootInterval
+    _context: SturmContext | None = field(default=None, repr=False, compare=False)
+
+    @staticmethod
+    def from_rational(value: Fraction | int) -> "RealAlgebraic":
+        value = Fraction(value)
+        poly = UPoly.from_fractions([-value, 1])
+        return RealAlgebraic(poly, RootInterval(value, value))
+
+    @staticmethod
+    def roots_of(poly: UPoly) -> list["RealAlgebraic"]:
+        """All real roots of a rational polynomial, in increasing order."""
+        context = SturmContext(poly)
+        return [
+            RealAlgebraic(context.poly, interval, context)
+            for interval in context.isolate_roots()
+        ]
+
+    # ---------------------------------------------------------------- basics
+    @property
+    def context(self) -> SturmContext:
+        if self._context is None:
+            self._context = SturmContext(self.poly)
+        return self._context
+
+    @property
+    def is_rational(self) -> bool:
+        return self.interval.is_exact
+
+    def rational_value(self) -> Fraction:
+        """Exact value when rational (raises otherwise)."""
+        if not self.is_rational:
+            raise ValueError("not a rational point")
+        return self.interval.low
+
+    def refine(self) -> None:
+        """Halve the isolating interval in place."""
+        self.interval = self.context.refine(self.interval)
+
+    def refine_below(self, width: Fraction) -> None:
+        while not self.interval.is_exact and self.interval.high - self.interval.low > width:
+            self.refine()
+
+    def box(self) -> RatInterval:
+        return RatInterval(self.interval.low, self.interval.high)
+
+    def approximate(self) -> Fraction:
+        return self.interval.midpoint()
+
+    # ------------------------------------------------------- sign machinery
+    def sign_of(self, poly: UPoly) -> int:
+        """Exact sign of ``poly`` (rational coefficients) at this number."""
+        if poly.is_zero():
+            return 0
+        if self.is_rational:
+            return poly.sign_at(self.interval.low)
+        square_free = poly.squarefree()
+        common = square_free.gcd(self.poly)
+        if common.degree() >= 1:
+            context = SturmContext(common)
+            if context.count_roots_open(self.interval.low, self.interval.high) == 1:
+                # the unique common root inside our isolating interval must
+                # be this number, so poly vanishes here
+                return 0
+        # nonzero: refine until the interval evaluation is sign-definite
+        while True:
+            box = eval_upoly_on_interval(poly.coeffs, self.box())
+            sign = box.sign()
+            if sign is not None and box.excludes_zero():
+                return sign
+            if self.interval.is_exact:  # pragma: no cover - guarded above
+                return poly.sign_at(self.interval.low)
+            self.refine()
+
+    def sign(self) -> int:
+        """Sign of the number itself."""
+        return self.compare_rational(Fraction(0))
+
+    def compare_rational(self, value: Fraction | int) -> int:
+        """-1/0/+1 comparison against a rational."""
+        value = Fraction(value)
+        if self.is_rational:
+            mine = self.interval.low
+            return (mine > value) - (mine < value)
+        if self.poly.sign_at(value) == 0 and self.interval.low < value < self.interval.high:
+            return 0
+        while self.interval.low < value < self.interval.high:
+            self.refine()
+            if self.interval.is_exact:
+                mine = self.interval.low
+                return (mine > value) - (mine < value)
+        if self.interval.high <= value:
+            return -1
+        return 1
+
+    def equals(self, other: "RealAlgebraic") -> bool:
+        if self.is_rational:
+            return other.compare_rational(self.interval.low) == 0
+        if other.is_rational:
+            return self.compare_rational(other.interval.low) == 0
+        common = self.poly.gcd(other.poly)
+        if common.degree() < 1:
+            return False
+        context = SturmContext(common)
+        mine = context.count_roots_open(self.interval.low, self.interval.high) == 1
+        theirs = context.count_roots_open(other.interval.low, other.interval.high) == 1
+        if not (mine and theirs):
+            return False
+        overlap_low = max(self.interval.low, other.interval.low)
+        overlap_high = min(self.interval.high, other.interval.high)
+        if overlap_low >= overlap_high:
+            return False
+        return context.count_roots_open(overlap_low, overlap_high) == 1
+
+    def compare(self, other: "RealAlgebraic") -> int:
+        """-1/0/+1 total-order comparison."""
+        if other.is_rational:
+            return self.compare_rational(other.interval.low)
+        if self.is_rational:
+            return -other.compare_rational(self.interval.low)
+        if self.equals(other):
+            return 0
+        while True:
+            if self.interval.high <= other.interval.low:
+                return -1
+            if other.interval.high <= self.interval.low:
+                return 1
+            my_width = self.interval.high - self.interval.low
+            other_width = other.interval.high - other.interval.low
+            if my_width >= other_width:
+                self.refine()
+            else:
+                other.refine()
+
+    def __lt__(self, other: "RealAlgebraic") -> bool:
+        return self.compare(other) < 0
+
+    def __str__(self) -> str:
+        if self.is_rational:
+            return str(self.interval.low)
+        approx = float(self.approximate())
+        return f"alg({approx:.6g})"
+
+
+def sorted_roots_with_rationals(
+    roots: list[RealAlgebraic], extra: list[Fraction]
+) -> list[RealAlgebraic]:
+    """Merge algebraic roots and rational points into one sorted, deduplicated list."""
+    merged = list(roots) + [RealAlgebraic.from_rational(q) for q in extra]
+    merged.sort(key=_SortAdapter)
+    deduplicated: list[RealAlgebraic] = []
+    for item in merged:
+        if deduplicated and deduplicated[-1].equals(item):
+            continue
+        deduplicated.append(item)
+    return deduplicated
+
+
+class _SortAdapter:
+    """Adapter making exact comparisons usable with list.sort."""
+
+    def __init__(self, value: RealAlgebraic) -> None:
+        self.value = value
+
+    def __lt__(self, other: "_SortAdapter") -> bool:
+        return self.value.compare(other.value) < 0

@@ -1,0 +1,171 @@
+"""GCDs and squarefree parts of multivariate polynomials in a main variable.
+
+Viewing ``f`` in ``Q[x1..xn][y]``, this module computes contents, primitive
+parts, GCDs (primitive polynomial remainder sequences with pseudo-division),
+squarefree parts, and gcd-free bases.  The CAD projection needs these to
+guarantee that no discriminant or pairwise resultant vanishes identically:
+squarefree-in-y polynomials have nonzero discriminants, and pairwise-coprime
+ones have nonzero resultants, so the degenerate locus is a finite point set
+in the base line.
+"""
+
+from __future__ import annotations
+
+from repro.poly.polynomial import Polynomial
+from repro.poly.univariate import QQ, UPoly
+
+
+def poly_to_upoly(poly: Polynomial, var: str) -> UPoly:
+    """A univariate view of a polynomial in ``var`` only (raises otherwise)."""
+    extra = poly.variables() - {var}
+    if extra:
+        raise ValueError(f"{poly} involves {sorted(extra)} besides {var}")
+    coeffs = []
+    for coeff_poly in poly.coefficients_in(var):
+        coeffs.append(coeff_poly.constant_value())
+    return UPoly.from_fractions(coeffs)
+
+
+def upoly_to_poly(upoly: UPoly, var: str) -> Polynomial:
+    """Inverse of :func:`poly_to_upoly`."""
+    return Polynomial.from_coefficients(
+        [Polynomial.constant(c) for c in upoly.coeffs], var
+    )
+
+
+def _gcd_in_ring(left: Polynomial, right: Polynomial) -> Polynomial:
+    """GCD of two polynomials that share at most one variable.
+
+    Supports the content computations: coefficients of a bivariate
+    polynomial in y live in Q[x].  Constants have gcd 1 (field).
+    """
+    if left.is_zero():
+        return right.primitive() if not right.is_zero() else Polynomial.zero()
+    if right.is_zero():
+        return left.primitive()
+    variables = left.variables() | right.variables()
+    if not variables:
+        return Polynomial.one()
+    if len(variables) > 1:
+        raise ValueError("ring gcd supports at most one shared variable")
+    (var,) = variables
+    gcd_upoly = poly_to_upoly(left, var).gcd(poly_to_upoly(right, var))
+    return upoly_to_poly(gcd_upoly, var).primitive()
+
+
+def content_in(poly: Polynomial, var: str) -> Polynomial:
+    """The content of ``poly`` in ``Q[others]``: gcd of its ``var``-coefficients."""
+    coeffs = poly.coefficients_in(var)
+    if not coeffs:
+        return Polynomial.zero()
+    result = Polynomial.zero()
+    for coeff in coeffs:
+        result = _gcd_in_ring(result, coeff)
+        if result.is_constant() and not result.is_zero():
+            return Polynomial.one()
+    return result
+
+
+def primitive_part_in(poly: Polynomial, var: str) -> Polynomial:
+    """``poly`` divided by its content (zero stays zero)."""
+    if poly.is_zero():
+        return poly
+    content = content_in(poly, var)
+    if content.is_constant():
+        return poly.primitive()
+    return poly.exact_div(content).primitive()
+
+
+def pseudo_remainder(f: Polynomial, g: Polynomial, var: str) -> Polynomial:
+    """A pseudo-remainder of ``f`` by ``g`` in ``var``.
+
+    Synthetic division: repeat ``r := lc(g) r - lc(r) y^(dr-dg) g`` until the
+    degree drops below ``deg g``.  The result differs from the classical
+    ``prem`` by a power of ``lc(g)``, which is immaterial here because the
+    primitive PRS takes primitive parts after every step (an extra
+    polynomial factor scales the content, not the primitive part).
+    """
+    deg_g = g.degree_in(var)
+    if g.is_zero():
+        raise ZeroDivisionError("pseudo-division by zero")
+    remainder = f
+    if f.degree_in(var) < deg_g:
+        return f
+    lead_g = g.leading_coefficient_in(var)
+    y = Polynomial.variable(var)
+    while not remainder.is_zero() and remainder.degree_in(var) >= deg_g:
+        deg_r = remainder.degree_in(var)
+        lead_r = remainder.leading_coefficient_in(var)
+        remainder = remainder * lead_g - lead_r * y ** (deg_r - deg_g) * g
+    return remainder
+
+
+def gcd_in(f: Polynomial, g: Polynomial, var: str) -> Polynomial:
+    """GCD of ``f`` and ``g`` as polynomials in ``var`` over Q[other vars].
+
+    Primitive PRS: gcd = gcd(contents) * primitive part of the last nonzero
+    pseudo-remainder.  Result is primitive with positive leading coefficient.
+    """
+    if f.is_zero():
+        return g.primitive()
+    if g.is_zero():
+        return f.primitive()
+    content = _gcd_in_ring(content_in(f, var), content_in(g, var))
+    a = primitive_part_in(f, var)
+    b = primitive_part_in(g, var)
+    if a.degree_in(var) < b.degree_in(var):
+        a, b = b, a
+    while not b.is_zero():
+        remainder = pseudo_remainder(a, b, var)
+        a = b
+        b = primitive_part_in(remainder, var) if not remainder.is_zero() else remainder
+    result = (content * a).primitive()
+    return result
+
+
+def squarefree_in(f: Polynomial, var: str) -> Polynomial:
+    """The squarefree part of ``f`` with respect to ``var`` (content dropped)."""
+    if f.degree_in(var) < 1:
+        return f.primitive()
+    primitive = primitive_part_in(f, var)
+    derivative = primitive.derivative(var)
+    common = gcd_in(primitive, derivative, var)
+    if common.degree_in(var) < 1:
+        return primitive
+    return primitive.exact_div(common).primitive()
+
+
+def gcd_free_basis(polys: list[Polynomial], var: str) -> list[Polynomial]:
+    """A pairwise-coprime (in ``var``), squarefree set with the same roots.
+
+    Every input polynomial's ``var``-roots (for each base point) are covered
+    by the union of the basis polynomials' roots; basis elements are
+    primitive, squarefree in ``var``, and pairwise coprime, so their
+    discriminants and pairwise resultants are not identically zero.
+    """
+    basis: list[Polynomial] = []
+    queue = [
+        squarefree_in(p, var)
+        for p in polys
+        if p.degree_in(var) >= 1
+    ]
+    while queue:
+        candidate = queue.pop()
+        if candidate.degree_in(var) < 1:
+            continue
+        for index, existing in enumerate(basis):
+            common = gcd_in(candidate, existing, var)
+            if common.degree_in(var) >= 1:
+                # split: existing -> {common, existing/common}, candidate -> candidate/common
+                basis.pop(index)
+                cofactor = existing.exact_div(common).primitive()
+                queue.append(common)
+                if cofactor.degree_in(var) >= 1:
+                    queue.append(cofactor)
+                reduced = candidate.exact_div(common).primitive()
+                if reduced.degree_in(var) >= 1:
+                    queue.append(reduced)
+                break
+        else:
+            basis.append(candidate)
+    return basis

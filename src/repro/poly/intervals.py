@@ -1,0 +1,101 @@
+"""Exact rational interval arithmetic.
+
+Used for sign determination of polynomials at real algebraic points: the
+point is trapped in a shrinking rational interval, the polynomial is
+evaluated over the interval, and the sign is read off once the result
+interval excludes zero (exact zero detection is done algebraically first,
+via GCD computations, so refinement always terminates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Sequence
+
+
+@dataclass(frozen=True, slots=True)
+class RatInterval:
+    """A closed interval ``[low, high]`` with rational endpoints."""
+
+    low: Fraction
+    high: Fraction
+
+    def __post_init__(self) -> None:
+        if self.low > self.high:
+            raise ValueError(f"empty interval [{self.low}, {self.high}]")
+
+    @staticmethod
+    def point(value: Fraction | int) -> "RatInterval":
+        value = Fraction(value)
+        return RatInterval(value, value)
+
+    @property
+    def is_point(self) -> bool:
+        return self.low == self.high
+
+    def width(self) -> Fraction:
+        return self.high - self.low
+
+    def contains(self, value: Fraction) -> bool:
+        return self.low <= value <= self.high
+
+    def __add__(self, other: "RatInterval") -> "RatInterval":
+        return RatInterval(self.low + other.low, self.high + other.high)
+
+    def __neg__(self) -> "RatInterval":
+        return RatInterval(-self.high, -self.low)
+
+    def __sub__(self, other: "RatInterval") -> "RatInterval":
+        return self + (-other)
+
+    def __mul__(self, other: "RatInterval") -> "RatInterval":
+        products = (
+            self.low * other.low,
+            self.low * other.high,
+            self.high * other.low,
+            self.high * other.high,
+        )
+        return RatInterval(min(products), max(products))
+
+    def scale(self, factor: Fraction) -> "RatInterval":
+        if factor >= 0:
+            return RatInterval(self.low * factor, self.high * factor)
+        return RatInterval(self.high * factor, self.low * factor)
+
+    def power(self, exponent: int) -> "RatInterval":
+        result = RatInterval.point(1)
+        for _ in range(exponent):
+            result = result * self
+        return result
+
+    def sign(self) -> int | None:
+        """The common sign of every element, or None if undetermined."""
+        if self.low > 0:
+            return 1
+        if self.high < 0:
+            return -1
+        if self.low == self.high == 0:
+            return 0
+        return None
+
+    def excludes_zero(self) -> bool:
+        return self.low > 0 or self.high < 0
+
+    def intersect(self, other: "RatInterval") -> "RatInterval | None":
+        low = max(self.low, other.low)
+        high = min(self.high, other.high)
+        if low > high:
+            return None
+        return RatInterval(low, high)
+
+    def __str__(self) -> str:
+        return f"[{self.low}, {self.high}]"
+
+
+def eval_upoly_on_interval(coeffs: Sequence[Fraction], box: RatInterval) -> RatInterval:
+    """Interval Horner evaluation of ``sum coeffs[i] * x^i`` over ``box``."""
+    acc = RatInterval.point(0)
+    for coeff in reversed(coeffs):
+        acc = acc * box + RatInterval.point(coeff)
+    return acc

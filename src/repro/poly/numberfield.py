@@ -1,0 +1,211 @@
+"""Dynamic-evaluation arithmetic in Q(alpha) ("the D5 principle").
+
+The CAD lifting phase needs field arithmetic with coefficients of the form
+``c(alpha)`` where alpha is a real algebraic number with squarefree defining
+polynomial ``q``.  ``Q[x]/(q)`` is a field only when ``q`` is irreducible;
+instead of factoring ``q`` (expensive), we follow Della Dora-Dicrescenzo-
+Duval dynamic evaluation: compute in ``Q[x]/(q)`` and, whenever an inversion
+or zero test meets a zero divisor ``c`` (i.e. ``gcd(c, q)`` is a proper
+factor), *split* the defining polynomial, keeping the factor that still has
+alpha as a root (decidable by Sturm counting inside alpha's isolating
+interval).  All elements sharing the context remain valid residues, because
+reduction modulo a divisor of ``q`` refines reduction modulo ``q``.
+
+The context implements the coefficient-field protocol expected by
+:class:`repro.poly.univariate.UPoly`, so Sturm chains and root isolation work
+verbatim over Q(alpha).  Elements are tuples of Fractions (residue
+coefficients, low to high degree).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Sequence
+
+from repro.poly.algebraic import RealAlgebraic
+from repro.poly.intervals import RatInterval, eval_upoly_on_interval
+from repro.poly.univariate import QQ, SturmContext, UPoly
+
+NFElem = tuple[Fraction, ...]
+
+
+class NumberField:
+    """Field arithmetic in Q(alpha), with D5 splitting.
+
+    The ``alpha`` argument is adopted (its isolating interval is refined in
+    place during sign determinations).
+    """
+
+    def __init__(self, alpha: RealAlgebraic) -> None:
+        self.alpha = alpha
+        self.defining = alpha.poly.monic()
+        self.name = f"QQ(alpha~{float(alpha.approximate()):.4g})"
+
+    # ------------------------------------------------------- context plumbing
+    def _reduce(self, coeffs: Sequence[Fraction]) -> NFElem:
+        poly = UPoly(list(coeffs), QQ)
+        remainder = poly.rem(self.defining)
+        return tuple(remainder.coeffs)
+
+    def _as_upoly(self, elem: NFElem) -> UPoly:
+        return UPoly(list(elem), QQ)
+
+    def _split_to_factor_containing_alpha(self, factor: UPoly) -> bool:
+        """If alpha is a root of ``factor``, adopt it as the new defining
+        polynomial and return True; otherwise return False.
+
+        ``factor`` must divide the current defining polynomial, so exactly
+        one of factor / cofactor has alpha as a root.
+        """
+        context = SturmContext(factor)
+        low, high = self.alpha.interval.low, self.alpha.interval.high
+        if self.alpha.interval.is_exact:
+            is_root = factor.sign_at(low) == 0
+        else:
+            is_root = context.count_roots_open(low, high) == 1
+        if is_root:
+            self.defining = factor.monic()
+            # keep the algebraic number's own defining polynomial in sync so
+            # its sign machinery benefits from the smaller degree
+            self.alpha = RealAlgebraic(self.defining, self.alpha.interval)
+            return True
+        return False
+
+    # ------------------------------------------------------- field protocol
+    def from_fraction(self, value: Fraction | int) -> NFElem:
+        value = Fraction(value)
+        return (value,) if value else ()
+
+    def zero(self) -> NFElem:
+        return ()
+
+    def one(self) -> NFElem:
+        return (Fraction(1),)
+
+    def alpha_elem(self) -> NFElem:
+        """The element alpha itself."""
+        return self._reduce([Fraction(0), Fraction(1)])
+
+    def from_upoly(self, poly: UPoly) -> NFElem:
+        """The element poly(alpha) for rational ``poly``."""
+        return self._reduce(list(poly.coeffs))
+
+    def add(self, a: NFElem, b: NFElem) -> NFElem:
+        n = max(len(a), len(b))
+        out = []
+        for i in range(n):
+            x = a[i] if i < len(a) else Fraction(0)
+            y = b[i] if i < len(b) else Fraction(0)
+            out.append(x + y)
+        return self._reduce(out)
+
+    def sub(self, a: NFElem, b: NFElem) -> NFElem:
+        return self.add(a, self.neg(b))
+
+    def neg(self, a: NFElem) -> NFElem:
+        return tuple(-c for c in a)
+
+    def mul(self, a: NFElem, b: NFElem) -> NFElem:
+        if not a or not b:
+            return ()
+        product = self._as_upoly(a) * self._as_upoly(b)
+        return self._reduce(product.coeffs)
+
+    def div(self, a: NFElem, b: NFElem) -> NFElem:
+        return self.mul(a, self.inverse(b))
+
+    def inverse(self, a: NFElem) -> NFElem:
+        """Multiplicative inverse, splitting the context if needed."""
+        while True:
+            a = self._reduce(a)
+            if not a:
+                raise ZeroDivisionError("inverse of zero in number field")
+            poly_a = self._as_upoly(a)
+            gcd, s = _extended_gcd_first(poly_a, self.defining)
+            if gcd.degree() == 0:
+                inv = s.scale(Fraction(1) / gcd.coeffs[0])
+                return self._reduce(inv.coeffs)
+            # zero divisor: gcd is a proper factor of the defining polynomial
+            if not self._split_to_factor_containing_alpha(gcd):
+                cofactor, remainder = self.defining.divmod(gcd)
+                if not remainder.is_zero():  # pragma: no cover
+                    raise ArithmeticError("gcd does not divide defining polynomial")
+                adopted = self._split_to_factor_containing_alpha(cofactor)
+                if not adopted:  # pragma: no cover - one factor must contain alpha
+                    raise ArithmeticError("alpha lost during dynamic-evaluation split")
+            # retry with the refined context
+
+    def is_zero(self, a: NFElem) -> bool:
+        reduced = self._reduce(a)
+        if not reduced:
+            return True
+        poly_a = self._as_upoly(reduced)
+        gcd = poly_a.gcd(self.defining)
+        if gcd.degree() >= 1 and self._split_to_factor_containing_alpha(gcd):
+            # a(alpha) = 0; the context now uses the smaller factor
+            return True
+        return False
+
+    def sign(self, a: NFElem) -> int:
+        if self.is_zero(a):
+            return 0
+        coeffs = list(self._reduce(a))
+        while True:
+            box = eval_upoly_on_interval(coeffs, self._alpha_box())
+            sign = box.sign()
+            if sign is not None and box.excludes_zero():
+                return sign
+            if self.alpha.interval.is_exact:
+                return QQ.sign(self._as_upoly(tuple(coeffs)).eval(self.alpha.interval.low))
+            self.alpha.refine()
+
+    def _alpha_box(self) -> RatInterval:
+        return RatInterval(self.alpha.interval.low, self.alpha.interval.high)
+
+    # -------------------------------------------------------- numeric bounds
+    def abs_upper(self, a: NFElem) -> Fraction:
+        """A rational upper bound for ``|a(alpha)|``."""
+        box = eval_upoly_on_interval(list(self._reduce(a)), self._alpha_box())
+        return max(abs(box.low), abs(box.high))
+
+    def abs_lower_nonzero(self, a: NFElem) -> Fraction:
+        """A positive rational lower bound for ``|a(alpha)|`` (a must be nonzero)."""
+        coeffs = list(self._reduce(a))
+        if not coeffs:
+            raise ZeroDivisionError("element is zero")
+        if self.sign(a) == 0:  # pragma: no cover - caller guarantees nonzero
+            raise ZeroDivisionError("element is zero")
+        while True:
+            box = eval_upoly_on_interval(coeffs, self._alpha_box())
+            if box.excludes_zero():
+                return min(abs(box.low), abs(box.high))
+            self.alpha.refine()
+
+    def to_float(self, a: NFElem) -> float:
+        """A floating approximation (diagnostics only)."""
+        box = eval_upoly_on_interval(list(self._reduce(a)), self._alpha_box())
+        return float((box.low + box.high) / 2)
+
+
+def _extended_gcd_first(a: UPoly, b: UPoly) -> tuple[UPoly, UPoly]:
+    """Return (g, s) with g = gcd(a, b) and s*a = g (mod b)."""
+    old_r, r = a, b
+    old_s, s = UPoly.constant(Fraction(1), QQ), UPoly.zero(QQ)
+    while not r.is_zero():
+        quotient, remainder = old_r.divmod(r)
+        old_r, r = r, remainder
+        old_s, s = s, old_s - quotient * s
+    return old_r, old_s
+
+
+def cauchy_bound_over_field(poly: UPoly, field: NumberField) -> Fraction:
+    """A rational B bounding all real roots of a UPoly over Q(alpha)."""
+    if poly.degree() <= 0:
+        return Fraction(1)
+    lead_lower = field.abs_lower_nonzero(poly.coeffs[-1])
+    bound = Fraction(0)
+    for coeff in poly.coeffs[:-1]:
+        ratio = field.abs_upper(coeff) / lead_lower
+        if ratio > bound:
+            bound = ratio
+    return bound + 1

@@ -1,0 +1,436 @@
+"""Multivariate polynomials over the rationals.
+
+A polynomial is a mapping from monomials to nonzero rational coefficients.
+Monomials are canonical tuples ``((var, exponent), ...)`` sorted by variable
+name; the empty tuple is the constant monomial.  Instances are immutable and
+hashable, so they can serve as atoms' payloads and dictionary keys.
+
+The class supports the ring operations, evaluation, substitution, formal
+differentiation, coefficient extraction with respect to a main variable
+(used by the resultant and CAD code), exact division (used by the
+subresultant remainder sequences), and linear-form extraction (used by the
+Fourier-Motzkin engine).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, Mapping, Union
+
+Monomial = tuple[tuple[str, int], ...]
+Scalar = Union[int, Fraction]
+
+
+def _mono_mul(a: Monomial, b: Monomial) -> Monomial:
+    merged: dict[str, int] = dict(a)
+    for var, exp in b:
+        merged[var] = merged.get(var, 0) + exp
+    return tuple(sorted((v, e) for v, e in merged.items() if e))
+
+
+def _mono_divides(a: Monomial, b: Monomial) -> bool:
+    """Whether monomial ``a`` divides monomial ``b``."""
+    exps = dict(b)
+    return all(exps.get(var, 0) >= exp for var, exp in a)
+
+
+def _mono_div(a: Monomial, b: Monomial) -> Monomial:
+    """``a / b`` assuming divisibility."""
+    exps = dict(a)
+    for var, exp in b:
+        exps[var] = exps.get(var, 0) - exp
+    return tuple(sorted((v, e) for v, e in exps.items() if e))
+
+
+def _mono_key(mono: Monomial) -> tuple:
+    """Display-order key (total degree first); NOT used for division."""
+    total = sum(exp for _, exp in mono)
+    return (total, mono)
+
+
+def _grlex_tiebreak(mono: Monomial) -> tuple:
+    """Lexicographic tie-break for equal total degrees.
+
+    Emulates the comparison of zero-filled exponent vectors (variables in
+    ascending name order, earlier names higher priority): the monomial whose
+    ``(var, -exp)`` pair sequence is *smaller* is the *larger* monomial.
+    For equal total degrees this sparse encoding agrees with the zero-filled
+    comparison, making graded-lex a genuine admissible order -- which is what
+    :meth:`Polynomial.exact_div` relies on (lead(fg) = lead(f) lead(g)).
+    """
+    return tuple(sorted((var, -exp) for var, exp in mono))
+
+
+class Polynomial:
+    """An immutable multivariate polynomial with Fraction coefficients."""
+
+    __slots__ = ("_terms", "_hash")
+
+    def __init__(self, terms: Mapping[Monomial, Scalar] | None = None) -> None:
+        clean: dict[Monomial, Fraction] = {}
+        if terms:
+            for mono, coeff in terms.items():
+                value = Fraction(coeff)
+                if value:
+                    clean[mono] = value
+        self._terms: dict[Monomial, Fraction] = clean
+        self._hash: int | None = None
+
+    # ------------------------------------------------------------ constructors
+    @staticmethod
+    def constant(value: Scalar) -> "Polynomial":
+        value = Fraction(value)
+        return Polynomial({(): value} if value else {})
+
+    @staticmethod
+    def variable(name: str) -> "Polynomial":
+        return Polynomial({((name, 1),): Fraction(1)})
+
+    @staticmethod
+    def zero() -> "Polynomial":
+        return Polynomial()
+
+    @staticmethod
+    def one() -> "Polynomial":
+        return Polynomial.constant(1)
+
+    # ------------------------------------------------------------- inspection
+    @property
+    def terms(self) -> dict[Monomial, Fraction]:
+        return dict(self._terms)
+
+    def is_zero(self) -> bool:
+        return not self._terms
+
+    def is_constant(self) -> bool:
+        return all(not mono for mono in self._terms)
+
+    def constant_value(self) -> Fraction:
+        """Value of a constant polynomial (raises if not constant)."""
+        if not self.is_constant():
+            raise ValueError(f"{self} is not constant")
+        return self._terms.get((), Fraction(0))
+
+    def variables(self) -> frozenset[str]:
+        names = set()
+        for mono in self._terms:
+            for var, _ in mono:
+                names.add(var)
+        return frozenset(names)
+
+    def total_degree(self) -> int:
+        """Total degree; -1 for the zero polynomial (by convention)."""
+        if not self._terms:
+            return -1
+        return max(sum(exp for _, exp in mono) for mono in self._terms)
+
+    def degree_in(self, var: str) -> int:
+        """Degree in ``var``; -1 for the zero polynomial, 0 if absent."""
+        if not self._terms:
+            return -1
+        best = 0
+        for mono in self._terms:
+            for name, exp in mono:
+                if name == var and exp > best:
+                    best = exp
+        return best
+
+    def coefficients_in(self, var: str) -> list["Polynomial"]:
+        """Coefficients of ``self`` as a polynomial in ``var``.
+
+        Returns ``[c0, c1, ..., cd]`` with ``self = sum ci * var**i`` and each
+        ``ci`` a polynomial not involving ``var``.  The zero polynomial gives
+        ``[]``.
+        """
+        if not self._terms:
+            return []
+        degree = self.degree_in(var)
+        buckets: list[dict[Monomial, Fraction]] = [{} for _ in range(degree + 1)]
+        for mono, coeff in self._terms.items():
+            exp = 0
+            rest = []
+            for name, power in mono:
+                if name == var:
+                    exp = power
+                else:
+                    rest.append((name, power))
+            buckets[exp][tuple(rest)] = buckets[exp].get(tuple(rest), Fraction(0)) + coeff
+        return [Polynomial(bucket) for bucket in buckets]
+
+    @staticmethod
+    def from_coefficients(coeffs: Iterable["Polynomial"], var: str) -> "Polynomial":
+        """Inverse of :meth:`coefficients_in`."""
+        result = Polynomial.zero()
+        x = Polynomial.variable(var)
+        power = Polynomial.one()
+        for coeff in coeffs:
+            result = result + coeff * power
+            power = power * x
+        return result
+
+    def leading_coefficient_in(self, var: str) -> "Polynomial":
+        coeffs = self.coefficients_in(var)
+        return coeffs[-1] if coeffs else Polynomial.zero()
+
+    def as_linear(self) -> tuple[dict[str, Fraction], Fraction] | None:
+        """Decompose as ``sum a_i x_i + b`` or return None if nonlinear."""
+        coeffs: dict[str, Fraction] = {}
+        constant = Fraction(0)
+        for mono, coeff in self._terms.items():
+            if not mono:
+                constant = coeff
+            elif len(mono) == 1 and mono[0][1] == 1:
+                coeffs[mono[0][0]] = coeff
+            else:
+                return None
+        return coeffs, constant
+
+    @staticmethod
+    def from_linear(coeffs: Mapping[str, Scalar], constant: Scalar = 0) -> "Polynomial":
+        terms: dict[Monomial, Fraction] = {}
+        for var, coeff in coeffs.items():
+            value = Fraction(coeff)
+            if value:
+                terms[((var, 1),)] = value
+        const_value = Fraction(constant)
+        if const_value:
+            terms[()] = const_value
+        return Polynomial(terms)
+
+    # -------------------------------------------------------------- arithmetic
+    def __add__(self, other: object) -> "Polynomial":
+        other_poly = _coerce(other)
+        if other_poly is None:
+            return NotImplemented
+        terms = dict(self._terms)
+        for mono, coeff in other_poly._terms.items():
+            terms[mono] = terms.get(mono, Fraction(0)) + coeff
+        return Polynomial(terms)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Polynomial":
+        return Polynomial({m: -c for m, c in self._terms.items()})
+
+    def __sub__(self, other: object) -> "Polynomial":
+        other_poly = _coerce(other)
+        if other_poly is None:
+            return NotImplemented
+        return self + (-other_poly)
+
+    def __rsub__(self, other: object) -> "Polynomial":
+        other_poly = _coerce(other)
+        if other_poly is None:
+            return NotImplemented
+        return other_poly + (-self)
+
+    def __mul__(self, other: object) -> "Polynomial":
+        other_poly = _coerce(other)
+        if other_poly is None:
+            return NotImplemented
+        terms: dict[Monomial, Fraction] = {}
+        for m1, c1 in self._terms.items():
+            for m2, c2 in other_poly._terms.items():
+                mono = _mono_mul(m1, m2)
+                terms[mono] = terms.get(mono, Fraction(0)) + c1 * c2
+        return Polynomial(terms)
+
+    __rmul__ = __mul__
+
+    def __pow__(self, exponent: int) -> "Polynomial":
+        if exponent < 0:
+            raise ValueError("negative powers are not polynomials")
+        result = Polynomial.one()
+        base = self
+        n = exponent
+        while n:
+            if n & 1:
+                result = result * base
+            base = base * base
+            n >>= 1
+        return result
+
+    def __truediv__(self, other: object) -> "Polynomial":
+        """Division by a nonzero rational scalar only."""
+        if isinstance(other, (int, Fraction)):
+            if other == 0:
+                raise ZeroDivisionError("division of polynomial by zero")
+            return Polynomial({m: c / other for m, c in self._terms.items()})
+        return NotImplemented
+
+    def scale(self, factor: Scalar) -> "Polynomial":
+        value = Fraction(factor)
+        return Polynomial({m: c * value for m, c in self._terms.items()})
+
+    # --------------------------------------------------------- exact division
+    def leading_term(self) -> tuple[Monomial, Fraction]:
+        """Leading term under graded-lex order (raises on zero)."""
+        if not self._terms:
+            raise ValueError("zero polynomial has no leading term")
+        best_degree = max(sum(e for _, e in mono) for mono in self._terms)
+        candidates = [
+            mono
+            for mono in self._terms
+            if sum(e for _, e in mono) == best_degree
+        ]
+        mono = min(candidates, key=_grlex_tiebreak)
+        return mono, self._terms[mono]
+
+    def exact_div(self, divisor: "Polynomial") -> "Polynomial":
+        """Exact division ``self / divisor``; raises if not divisible.
+
+        Uses leading-term cancellation under graded-lex order, which succeeds
+        exactly when the division is exact over a field (multiplicativity of
+        the monomial order).  This is the operation the subresultant PRS
+        needs.
+        """
+        if divisor.is_zero():
+            raise ZeroDivisionError("division of polynomial by zero polynomial")
+        if divisor.is_constant():
+            return self / divisor.constant_value()
+        remainder = self
+        quotient_terms: dict[Monomial, Fraction] = {}
+        div_mono, div_coeff = divisor.leading_term()
+        while not remainder.is_zero():
+            rem_mono, rem_coeff = remainder.leading_term()
+            if not _mono_divides(div_mono, rem_mono):
+                raise ValueError(f"{self} is not divisible by {divisor}")
+            q_mono = _mono_div(rem_mono, div_mono)
+            q_coeff = rem_coeff / div_coeff
+            quotient_terms[q_mono] = quotient_terms.get(q_mono, Fraction(0)) + q_coeff
+            remainder = remainder - Polynomial({q_mono: q_coeff}) * divisor
+        return Polynomial(quotient_terms)
+
+    # ------------------------------------------------- evaluation/substitution
+    def evaluate(self, assignment: Mapping[str, Scalar]) -> Fraction:
+        """Exact value at a rational point (all variables must be assigned)."""
+        total = Fraction(0)
+        for mono, coeff in self._terms.items():
+            value = coeff
+            for var, exp in mono:
+                value *= Fraction(assignment[var]) ** exp
+            total += value
+        return total
+
+    def substitute(self, mapping: Mapping[str, "Polynomial"]) -> "Polynomial":
+        """Substitute polynomials for variables."""
+        result = Polynomial.zero()
+        for mono, coeff in self._terms.items():
+            term = Polynomial.constant(coeff)
+            for var, exp in mono:
+                replacement = mapping.get(var)
+                if replacement is None:
+                    replacement = Polynomial.variable(var)
+                term = term * replacement**exp
+            result = result + term
+        return result
+
+    def rename(self, mapping: Mapping[str, str]) -> "Polynomial":
+        """Rename variables."""
+        terms: dict[Monomial, Fraction] = {}
+        for mono, coeff in self._terms.items():
+            renamed = tuple(
+                sorted((mapping.get(var, var), exp) for var, exp in mono)
+            )
+            merged: dict[str, int] = {}
+            for var, exp in renamed:
+                merged[var] = merged.get(var, 0) + exp
+            key = tuple(sorted(merged.items()))
+            terms[key] = terms.get(key, Fraction(0)) + coeff
+        return Polynomial(terms)
+
+    def derivative(self, var: str) -> "Polynomial":
+        """Formal partial derivative."""
+        terms: dict[Monomial, Fraction] = {}
+        for mono, coeff in self._terms.items():
+            exps = dict(mono)
+            exp = exps.get(var, 0)
+            if not exp:
+                continue
+            exps[var] = exp - 1
+            key = tuple(sorted((v, e) for v, e in exps.items() if e))
+            terms[key] = terms.get(key, Fraction(0)) + coeff * exp
+        return Polynomial(terms)
+
+    def primitive(self) -> "Polynomial":
+        """Divide by the (positive) content: gcd of coefficient numerators etc.
+
+        Normalizes so the leading graded-lex coefficient is positive; used to
+        keep projection sets small in the CAD.
+        """
+        if self.is_zero():
+            return self
+        from math import gcd
+
+        numerators = [abs(c.numerator) for c in self._terms.values()]
+        denominators = [c.denominator for c in self._terms.values()]
+        num_gcd = 0
+        for n in numerators:
+            num_gcd = gcd(num_gcd, n)
+        den_lcm = 1
+        for d in denominators:
+            den_lcm = den_lcm * d // gcd(den_lcm, d)
+        factor = Fraction(den_lcm, num_gcd or 1)
+        scaled = self.scale(factor)
+        _, lead = scaled.leading_term()
+        if lead < 0:
+            scaled = -scaled
+        return scaled
+
+    # ------------------------------------------------------------- comparison
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, (int, Fraction)):
+            other = Polynomial.constant(other)
+        if not isinstance(other, Polynomial):
+            return NotImplemented
+        return self._terms == other._terms
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(frozenset(self._terms.items()))
+        return self._hash
+
+    def __bool__(self) -> bool:
+        return bool(self._terms)
+
+    def __str__(self) -> str:
+        if not self._terms:
+            return "0"
+        parts = []
+        for mono in sorted(self._terms, key=_mono_key, reverse=True):
+            coeff = self._terms[mono]
+            factors = [
+                var if exp == 1 else f"{var}^{exp}" for var, exp in mono
+            ]
+            body = "*".join(factors)
+            if not body:
+                parts.append(str(coeff))
+            elif coeff == 1:
+                parts.append(body)
+            elif coeff == -1:
+                parts.append(f"-{body}")
+            else:
+                parts.append(f"{coeff}*{body}")
+        rendered = " + ".join(parts)
+        return rendered.replace("+ -", "- ")
+
+    def __repr__(self) -> str:
+        return f"Polynomial({self})"
+
+
+def _coerce(value: object) -> Polynomial | None:
+    if isinstance(value, Polynomial):
+        return value
+    if isinstance(value, (int, Fraction)):
+        return Polynomial.constant(value)
+    return None
+
+
+def poly_var(name: str) -> Polynomial:
+    """Shorthand for :meth:`Polynomial.variable`."""
+    return Polynomial.variable(name)
+
+
+def poly_const(value: Scalar) -> Polynomial:
+    """Shorthand for :meth:`Polynomial.constant`."""
+    return Polynomial.constant(value)

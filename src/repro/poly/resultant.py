@@ -1,0 +1,100 @@
+"""Resultants and discriminants of multivariate polynomials.
+
+Computed as the determinant of the Sylvester matrix with entries in the
+polynomial ring Q[other variables], using Bareiss fraction-free Gaussian
+elimination (every division is exact in the ring, performed by
+:meth:`Polynomial.exact_div`).  These are the projection operators of the
+cylindrical algebraic decomposition: the resultant of two polynomials in the
+main variable vanishes exactly where they share a root (or both leading
+coefficients vanish), and the discriminant vanishes where a polynomial has a
+multiple root -- the x-coordinates where the root structure of the lifted
+decomposition can change.
+"""
+
+from __future__ import annotations
+
+from repro.poly.polynomial import Polynomial
+
+
+def sylvester_matrix(f: Polynomial, g: Polynomial, var: str) -> list[list[Polynomial]]:
+    """The Sylvester matrix of ``f`` and ``g`` with respect to ``var``."""
+    fc = f.coefficients_in(var)
+    gc = g.coefficients_in(var)
+    m = len(fc) - 1
+    n = len(gc) - 1
+    if m < 0 or n < 0:
+        raise ValueError("resultant of the zero polynomial is undefined")
+    size = m + n
+    zero = Polynomial.zero()
+    matrix = [[zero] * size for _ in range(size)]
+    # n rows of f's coefficients (highest degree first), shifted
+    rev_f = list(reversed(fc))
+    rev_g = list(reversed(gc))
+    for row in range(n):
+        for k, coeff in enumerate(rev_f):
+            matrix[row][row + k] = coeff
+    for row in range(m):
+        for k, coeff in enumerate(rev_g):
+            matrix[n + row][row + k] = coeff
+    return matrix
+
+
+def _bareiss_determinant(matrix: list[list[Polynomial]]) -> Polynomial:
+    """Exact determinant by fraction-free elimination with row pivoting."""
+    size = len(matrix)
+    if size == 0:
+        return Polynomial.one()
+    m = [row[:] for row in matrix]
+    sign = 1
+    previous_pivot = Polynomial.one()
+    for k in range(size - 1):
+        if m[k][k].is_zero():
+            pivot_row = next(
+                (i for i in range(k + 1, size) if not m[i][k].is_zero()), None
+            )
+            if pivot_row is None:
+                return Polynomial.zero()
+            m[k], m[pivot_row] = m[pivot_row], m[k]
+            sign = -sign
+        pivot = m[k][k]
+        for i in range(k + 1, size):
+            for j in range(k + 1, size):
+                numerator = pivot * m[i][j] - m[i][k] * m[k][j]
+                m[i][j] = numerator.exact_div(previous_pivot)
+            m[i][k] = Polynomial.zero()
+        previous_pivot = pivot
+    result = m[size - 1][size - 1]
+    return -result if sign < 0 else result
+
+
+def resultant(f: Polynomial, g: Polynomial, var: str) -> Polynomial:
+    """``Res_var(f, g)``: a polynomial in the remaining variables.
+
+    Degenerate degrees follow the usual conventions: if either polynomial is
+    zero the resultant is zero; if ``f`` is constant in ``var`` the resultant
+    is ``f ** deg_var(g)`` (and symmetrically).
+    """
+    if f.is_zero() or g.is_zero():
+        return Polynomial.zero()
+    deg_f = f.degree_in(var)
+    deg_g = g.degree_in(var)
+    if deg_f == 0 and deg_g == 0:
+        return Polynomial.one()
+    if deg_f == 0:
+        return f**deg_g
+    if deg_g == 0:
+        return g**deg_f
+    return _bareiss_determinant(sylvester_matrix(f, g, var))
+
+
+def discriminant(f: Polynomial, var: str) -> Polynomial:
+    """``Disc_var(f) = (-1)^(d(d-1)/2) Res_var(f, df/dvar) / lc_var(f)``."""
+    degree = f.degree_in(var)
+    if degree < 1:
+        raise ValueError("discriminant needs degree >= 1 in the main variable")
+    res = resultant(f, f.derivative(var), var)
+    lead = f.leading_coefficient_in(var)
+    quotient = res.exact_div(lead)
+    if (degree * (degree - 1) // 2) % 2:
+        return -quotient
+    return quotient

@@ -1,0 +1,407 @@
+"""Univariate polynomials over an ordered field, with real-root machinery.
+
+The coefficient field is pluggable: exact rationals (:data:`QQ`) for the
+base phase of the CAD, and dynamic-evaluation number fields
+(:mod:`repro.poly.numberfield`) for the lifting phase.  A field object
+provides arithmetic, an exact zero test, and an exact sign; everything here
+-- Euclidean division, GCD, squarefree parts, Sturm sequences, root counting
+and isolation -- is written against that protocol.
+
+Root counting uses the classical Sturm chain with the half-open convention:
+with zero signs skipped, ``V(a) - V(b)`` equals the number of distinct real
+roots in ``(a, b]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Any, Callable, Iterable, Sequence
+
+
+class RationalField:
+    """Field operations for :class:`fractions.Fraction` coefficients."""
+
+    name = "QQ"
+
+    def from_fraction(self, value: Fraction | int) -> Fraction:
+        return Fraction(value)
+
+    def zero(self) -> Fraction:
+        return Fraction(0)
+
+    def one(self) -> Fraction:
+        return Fraction(1)
+
+    def add(self, a: Fraction, b: Fraction) -> Fraction:
+        return a + b
+
+    def sub(self, a: Fraction, b: Fraction) -> Fraction:
+        return a - b
+
+    def mul(self, a: Fraction, b: Fraction) -> Fraction:
+        return a * b
+
+    def div(self, a: Fraction, b: Fraction) -> Fraction:
+        return a / b
+
+    def neg(self, a: Fraction) -> Fraction:
+        return -a
+
+    def is_zero(self, a: Fraction) -> bool:
+        return a == 0
+
+    def sign(self, a: Fraction) -> int:
+        if a > 0:
+            return 1
+        if a < 0:
+            return -1
+        return 0
+
+
+QQ = RationalField()
+
+
+class UPoly:
+    """A univariate polynomial ``c0 + c1 x + ... + cd x^d`` over a field."""
+
+    __slots__ = ("field", "coeffs")
+
+    def __init__(self, coeffs: Sequence[Any], field: Any = QQ) -> None:
+        self.field = field
+        trimmed = list(coeffs)
+        while trimmed and field.is_zero(trimmed[-1]):
+            trimmed.pop()
+        self.coeffs = trimmed
+
+    # ------------------------------------------------------------ constructors
+    @staticmethod
+    def from_fractions(values: Iterable[Fraction | int], field: Any = QQ) -> "UPoly":
+        return UPoly([field.from_fraction(Fraction(v)) for v in values], field)
+
+    @staticmethod
+    def zero(field: Any = QQ) -> "UPoly":
+        return UPoly([], field)
+
+    @staticmethod
+    def constant(value: Any, field: Any = QQ) -> "UPoly":
+        return UPoly([value], field)
+
+    @staticmethod
+    def x(field: Any = QQ) -> "UPoly":
+        return UPoly([field.zero(), field.one()], field)
+
+    # ------------------------------------------------------------- inspection
+    def degree(self) -> int:
+        """Degree; -1 for the zero polynomial."""
+        return len(self.coeffs) - 1
+
+    def is_zero(self) -> bool:
+        return not self.coeffs
+
+    def leading(self) -> Any:
+        if not self.coeffs:
+            raise ValueError("zero polynomial has no leading coefficient")
+        return self.coeffs[-1]
+
+    # -------------------------------------------------------------- arithmetic
+    def __add__(self, other: "UPoly") -> "UPoly":
+        f = self.field
+        n = max(len(self.coeffs), len(other.coeffs))
+        out = []
+        for i in range(n):
+            a = self.coeffs[i] if i < len(self.coeffs) else f.zero()
+            b = other.coeffs[i] if i < len(other.coeffs) else f.zero()
+            out.append(f.add(a, b))
+        return UPoly(out, f)
+
+    def __sub__(self, other: "UPoly") -> "UPoly":
+        f = self.field
+        n = max(len(self.coeffs), len(other.coeffs))
+        out = []
+        for i in range(n):
+            a = self.coeffs[i] if i < len(self.coeffs) else f.zero()
+            b = other.coeffs[i] if i < len(other.coeffs) else f.zero()
+            out.append(f.sub(a, b))
+        return UPoly(out, f)
+
+    def __neg__(self) -> "UPoly":
+        f = self.field
+        return UPoly([f.neg(c) for c in self.coeffs], f)
+
+    def __mul__(self, other: "UPoly") -> "UPoly":
+        f = self.field
+        if self.is_zero() or other.is_zero():
+            return UPoly.zero(f)
+        out = [f.zero()] * (len(self.coeffs) + len(other.coeffs) - 1)
+        for i, a in enumerate(self.coeffs):
+            if f.is_zero(a):
+                continue
+            for j, b in enumerate(other.coeffs):
+                out[i + j] = f.add(out[i + j], f.mul(a, b))
+        return UPoly(out, f)
+
+    def scale(self, factor: Any) -> "UPoly":
+        f = self.field
+        return UPoly([f.mul(c, factor) for c in self.coeffs], f)
+
+    def divmod(self, divisor: "UPoly") -> tuple["UPoly", "UPoly"]:
+        """Euclidean division over the field."""
+        f = self.field
+        if divisor.is_zero():
+            raise ZeroDivisionError("polynomial division by zero")
+        remainder = list(self.coeffs)
+        d = divisor.degree()
+        lead = divisor.leading()
+        quotient = [f.zero()] * max(0, len(remainder) - d)
+        while len(remainder) - 1 >= d and remainder:
+            while remainder and f.is_zero(remainder[-1]):
+                remainder.pop()
+            if len(remainder) - 1 < d or not remainder:
+                break
+            shift = len(remainder) - 1 - d
+            factor = f.div(remainder[-1], lead)
+            quotient[shift] = f.add(quotient[shift], factor)
+            for i, c in enumerate(divisor.coeffs):
+                remainder[shift + i] = f.sub(remainder[shift + i], f.mul(factor, c))
+        return UPoly(quotient, f), UPoly(remainder, f)
+
+    def rem(self, divisor: "UPoly") -> "UPoly":
+        return self.divmod(divisor)[1]
+
+    def monic(self) -> "UPoly":
+        if self.is_zero():
+            return self
+        f = self.field
+        inv_lead = f.div(f.one(), self.leading())
+        return self.scale(inv_lead)
+
+    def gcd(self, other: "UPoly") -> "UPoly":
+        """Monic greatest common divisor (Euclid)."""
+        a, b = self, other
+        while not b.is_zero():
+            a, b = b, a.rem(b)
+        return a.monic() if not a.is_zero() else a
+
+    def derivative(self) -> "UPoly":
+        f = self.field
+        out = []
+        for i, c in enumerate(self.coeffs[1:], start=1):
+            out.append(f.mul(c, f.from_fraction(Fraction(i))))
+        return UPoly(out, f)
+
+    def squarefree(self) -> "UPoly":
+        """The squarefree part ``self / gcd(self, self')`` (monic)."""
+        if self.degree() <= 0:
+            return self.monic()
+        g = self.gcd(self.derivative())
+        if g.degree() <= 0:
+            return self.monic()
+        quotient, remainder = self.divmod(g)
+        if not remainder.is_zero():  # pragma: no cover - algebra guarantees exactness
+            raise ArithmeticError("gcd does not divide the polynomial")
+        return quotient.monic()
+
+    # -------------------------------------------------------------- evaluation
+    def eval(self, point: Any) -> Any:
+        """Horner evaluation; ``point`` may be a Fraction or a field element."""
+        f = self.field
+        if isinstance(point, (int, Fraction)):
+            point = f.from_fraction(Fraction(point))
+        acc = f.zero()
+        for c in reversed(self.coeffs):
+            acc = f.add(f.mul(acc, point), c)
+        return acc
+
+    def sign_at(self, point: Fraction | int) -> int:
+        """Exact sign of the value at a rational point."""
+        return self.field.sign(self.eval(point))
+
+    def sign_at_infinity(self, positive: bool) -> int:
+        """Sign of the polynomial as x -> +inf (or -inf)."""
+        if self.is_zero():
+            return 0
+        sign = self.field.sign(self.leading())
+        if not positive and self.degree() % 2 == 1:
+            sign = -sign
+        return sign
+
+    # ---------------------------------------------------------------- roots
+    def sturm_chain(self) -> list["UPoly"]:
+        """The canonical Sturm chain of the squarefree part of ``self``."""
+        p = self.squarefree()
+        chain = [p, p.derivative()]
+        while not chain[-1].is_zero():
+            chain.append(-(chain[-2].rem(chain[-1])))
+        chain.pop()
+        return chain
+
+    def cauchy_root_bound(self) -> Fraction:
+        """A rational B with all real roots in (-B, B).  Requires QQ coefficients."""
+        if self.degree() <= 0:
+            return Fraction(1)
+        lead = self.coeffs[-1]
+        bound = Fraction(0)
+        for c in self.coeffs[:-1]:
+            ratio = abs(Fraction(c) / Fraction(lead))
+            if ratio > bound:
+                bound = ratio
+        return bound + 1
+
+
+def rational_roots(poly: UPoly) -> list[Fraction]:
+    """All rational roots of a QQ-coefficient polynomial (rational root theorem)."""
+    if poly.field is not QQ:
+        raise ValueError("rational_roots requires QQ coefficients")
+    if poly.degree() < 1:
+        return []
+    # clear denominators to integer coefficients
+    from math import gcd
+
+    denominator_lcm = 1
+    for c in poly.coeffs:
+        denominator_lcm = denominator_lcm * c.denominator // gcd(
+            denominator_lcm, c.denominator
+        )
+    ints = [int(c * denominator_lcm) for c in poly.coeffs]
+    # strip trailing zero constant terms: x | poly
+    roots: set[Fraction] = set()
+    while ints and ints[0] == 0:
+        roots.add(Fraction(0))
+        ints = ints[1:]
+    if len(ints) <= 1:
+        return sorted(roots)
+    lead = abs(ints[-1])
+    constant = abs(ints[0])
+    for p in _divisors(constant):
+        for q in _divisors(lead):
+            for candidate in (Fraction(p, q), Fraction(-p, q)):
+                if poly.eval(candidate) == 0:
+                    roots.add(candidate)
+    return sorted(roots)
+
+
+def _divisors(value: int) -> list[int]:
+    result = []
+    d = 1
+    while d * d <= value:
+        if value % d == 0:
+            result.append(d)
+            result.append(value // d)
+        d += 1
+    return sorted(set(result))
+
+
+def sign_variations(signs: Sequence[int]) -> int:
+    """Sign variations in a sequence, zeros skipped."""
+    filtered = [s for s in signs if s]
+    return sum(
+        1 for a, b in zip(filtered, filtered[1:]) if a != b
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class RootInterval:
+    """An isolated real root: either exact (`low == high`) or a bracketing
+    open interval ``(low, high)`` containing exactly one simple root, with
+    nonzero polynomial values at both endpoints."""
+
+    low: Fraction
+    high: Fraction
+
+    @property
+    def is_exact(self) -> bool:
+        return self.low == self.high
+
+    def midpoint(self) -> Fraction:
+        return (self.low + self.high) / 2
+
+
+class SturmContext:
+    """Root counting and isolation driven by one Sturm chain.
+
+    Works over any coefficient field whose ``sign`` is exact; interval
+    endpoints are always rationals.
+    """
+
+    def __init__(self, poly: UPoly) -> None:
+        self.poly = poly.squarefree()
+        self.chain = self.poly.sturm_chain()
+
+    def variations_at(self, point: Fraction) -> int:
+        return sign_variations([p.sign_at(point) for p in self.chain])
+
+    def variations_at_infinity(self, positive: bool) -> int:
+        return sign_variations(
+            [p.sign_at_infinity(positive) for p in self.chain]
+        )
+
+    def count_roots_half_open(self, low: Fraction, high: Fraction) -> int:
+        """Number of distinct real roots in ``(low, high]``."""
+        if low >= high:
+            return 0
+        return self.variations_at(low) - self.variations_at(high)
+
+    def count_roots_open(self, low: Fraction, high: Fraction) -> int:
+        """Number of distinct real roots in the open interval ``(low, high)``."""
+        count = self.count_roots_half_open(low, high)
+        if self.poly.sign_at(high) == 0:
+            count -= 1
+        return count
+
+    def count_real_roots(self) -> int:
+        return self.variations_at_infinity(False) - self.variations_at_infinity(True)
+
+    def isolate_roots(self, bound: Fraction | None = None) -> list[RootInterval]:
+        """Disjoint isolating intervals for every real root, sorted."""
+        if self.poly.degree() <= 0:
+            return []
+        if bound is None:
+            if self.poly.field is not QQ:
+                raise ValueError("a root bound must be supplied for non-QQ fields")
+            bound = self.poly.cauchy_root_bound()
+        low, high = -bound, bound
+        while self.poly.sign_at(low) == 0:
+            low -= 1
+        while self.poly.sign_at(high) == 0:
+            high += 1
+        roots: list[RootInterval] = []
+        self._isolate(low, high, roots)
+        roots.sort(key=lambda r: (r.low, r.high))
+        return roots
+
+    def _isolate(self, low: Fraction, high: Fraction, out: list[RootInterval]) -> None:
+        """Isolate roots in (low, high); requires nonzero values at endpoints."""
+        count = self.count_roots_open(low, high)
+        if count == 0:
+            return
+        if count == 1:
+            out.append(RootInterval(low, high))
+            return
+        mid = (low + high) / 2
+        if self.poly.sign_at(mid) == 0:
+            out.append(RootInterval(mid, mid))
+            epsilon = (high - low) / 4
+            while (
+                self.poly.sign_at(mid - epsilon) == 0
+                or self.poly.sign_at(mid + epsilon) == 0
+                or self.count_roots_open(mid - epsilon, mid + epsilon) != 1
+            ):
+                epsilon /= 2
+            self._isolate(low, mid - epsilon, out)
+            self._isolate(mid + epsilon, high, out)
+        else:
+            self._isolate(low, mid, out)
+            self._isolate(mid, high, out)
+
+    def refine(self, interval: RootInterval) -> RootInterval:
+        """Halve an isolating interval (no-op for exact roots)."""
+        if interval.is_exact:
+            return interval
+        mid = interval.midpoint()
+        sign_mid = self.poly.sign_at(mid)
+        if sign_mid == 0:
+            return RootInterval(mid, mid)
+        if sign_mid == self.poly.sign_at(interval.low):
+            return RootInterval(mid, interval.high)
+        return RootInterval(interval.low, mid)

@@ -1,0 +1,23 @@
+"""Quantifier elimination engines.
+
+Quantifier elimination is what makes CQL queries evaluable in closed form
+(Section 1.1): projection of a generalized relation is elimination of an
+existential quantifier.  Engines provided:
+
+* dense-order and equality elimination live on their theory objects
+  (:mod:`repro.constraints.dense_order`, :mod:`repro.constraints.equality`);
+* :mod:`repro.qe.fourier_motzkin` -- classical Fourier-Motzkin for
+  constraints linear (with rational coefficients) in the eliminated variable;
+* :mod:`repro.qe.virtual_substitution` -- Loos-Weispfenning virtual
+  substitution for constraints of degree <= 2 in the eliminated variable,
+  with polynomial parametric coefficients;
+* :mod:`repro.qe.cad` -- a complete cylindrical algebraic decomposition for
+  formulas in at most two variables, with exact algebraic sample points;
+* Boole's elimination lemma for the boolean theory lives in
+  :mod:`repro.boolean_algebra`.
+"""
+
+from repro.qe.fourier_motzkin import fourier_motzkin_eliminate
+from repro.qe.virtual_substitution import vs_eliminate
+
+__all__ = ["fourier_motzkin_eliminate", "vs_eliminate"]

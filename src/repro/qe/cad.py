@@ -1,0 +1,488 @@
+"""Cylindrical algebraic decomposition for formulas in at most two variables.
+
+This realizes Theorem 2.3's closed-form evaluation (via the cell
+decomposition method of Kozen-Yap / Collins, cited by the paper) for the
+fragment the elimination ladder's first two rungs cannot handle: arbitrary
+degrees, at most two variables in total.  Everything is exact: base samples
+are rational numbers or real algebraic numbers, and lifting over an
+algebraic sample works in Q(alpha) via dynamic evaluation
+(:mod:`repro.poly.numberfield`).
+
+Pipeline for ``exists y . phi(x, y)``:
+
+1. **Normalization.**  The y-involving polynomials are replaced by a
+   gcd-free, squarefree-in-y basis over Q(x)
+   (:func:`repro.poly.bivargcd.gcd_free_basis`), so that discriminants and
+   pairwise resultants are not identically zero.
+2. **Projection.**  proj = all y-coefficients of each basis polynomial,
+   discriminants, pairwise resultants, contents, and the x-only input
+   polynomials.  Between consecutive real roots of proj the number and
+   interleaving of the y-roots of every input polynomial is invariant, so
+   the truth of ``exists y . phi`` is invariant on every base cell.
+3. **Base + lift.**  The base line is decomposed at the roots of the
+   (derivative-closed, see below) projection set; over each base sample the
+   stack of y-cells is built by isolating the roots of the substituted
+   polynomials and the formula is tested on each stack cell's sign vector.
+4. **Solution formula.**  The satisfying base cells are emitted as sign
+   conditions over the *derivative closure* of the projection polynomials.
+   For a derivative-closed family, every consistent sign condition defines a
+   connected subset of the line (the generalized Thom lemma), and distinct
+   cells of the refined decomposition have distinct sign vectors, so the
+   produced DNF describes exactly the satisfying set -- a genuine
+   quantifier-free equivalent, not an approximation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Sequence
+
+from repro.errors import UnsupportedEliminationError
+from repro.poly.algebraic import RealAlgebraic
+from repro.poly.bivargcd import (
+    content_in,
+    gcd_free_basis,
+    poly_to_upoly,
+    upoly_to_poly,
+)
+from repro.poly.intervals import RatInterval, eval_upoly_on_interval
+from repro.poly.numberfield import NumberField, cauchy_bound_over_field
+from repro.poly.polynomial import Polynomial
+from repro.poly.resultant import discriminant, resultant
+from repro.poly.univariate import QQ, RootInterval, SturmContext, UPoly
+from repro.qe.signs import Conj, Dnf, SignCond, dedup
+
+
+# --------------------------------------------------------------------- cells
+@dataclass
+class LineCell:
+    """One cell of a decomposition of the real line.
+
+    ``kind`` is "interval" or "point".  Interval cells carry a rational
+    sample; point cells carry the root (host Sturm context + isolating
+    interval over the coefficient field).
+    """
+
+    kind: str
+    rational_sample: Fraction | None = None
+    host: SturmContext | None = None
+    interval: RootInterval | None = None
+
+
+class _FieldOps:
+    """Sign determination helpers uniform over QQ and number fields."""
+
+    def __init__(self, field) -> None:
+        self.field = field
+        self.is_rational_field = field is QQ
+
+    def coeff_box(self, element) -> RatInterval:
+        if self.is_rational_field:
+            return RatInterval.point(element)
+        return eval_upoly_on_interval(
+            list(self.field._reduce(element)), self.field._alpha_box()
+        )
+
+    def refine_base(self) -> None:
+        if not self.is_rational_field:
+            self.field.alpha.refine()
+
+    def interval_eval(self, poly: UPoly, box: RatInterval) -> RatInterval:
+        acc = RatInterval.point(Fraction(0))
+        for coeff in reversed(poly.coeffs):
+            acc = acc * box + self.coeff_box(coeff)
+        return acc
+
+    def sign_at_root(
+        self, target: UPoly, host: SturmContext, interval: RootInterval
+    ) -> int:
+        """Exact sign of ``target`` at the root of ``host`` isolated by ``interval``."""
+        if target.is_zero():
+            return 0
+        if interval.is_exact:
+            return self.field.sign(target.eval(interval.low))
+        common = target.squarefree().gcd(host.poly)
+        if common.degree() >= 1:
+            common_context = SturmContext(common)
+            if common_context.count_roots_open(interval.low, interval.high) == 1:
+                return 0
+        current = interval
+        while True:
+            box = self.interval_eval(target, RatInterval(current.low, current.high))
+            sign = box.sign()
+            if sign is not None and box.excludes_zero():
+                return sign
+            if current.is_exact:
+                return self.field.sign(target.eval(current.low))
+            current = host.refine(current)
+            self.refine_base()
+
+
+def _roots_equal(
+    ops: _FieldOps,
+    host_a: SturmContext,
+    root_a: RootInterval,
+    host_b: SturmContext,
+    root_b: RootInterval,
+) -> bool:
+    """Whether two isolated roots (possibly of different polynomials) coincide."""
+    if root_a.is_exact and root_b.is_exact:
+        return root_a.low == root_b.low
+    if root_a.is_exact:
+        return ops.sign_at_root(
+            UPoly([ops.field.neg(ops.field.from_fraction(root_a.low)), ops.field.one()], ops.field),
+            host_b,
+            root_b,
+        ) == 0
+    if root_b.is_exact:
+        return ops.sign_at_root(
+            UPoly([ops.field.neg(ops.field.from_fraction(root_b.low)), ops.field.one()], ops.field),
+            host_a,
+            root_a,
+        ) == 0
+    common = host_a.poly.gcd(host_b.poly)
+    if common.degree() < 1:
+        return False
+    context = SturmContext(common)
+    in_a = context.count_roots_open(root_a.low, root_a.high) == 1
+    in_b = context.count_roots_open(root_b.low, root_b.high) == 1
+    if not (in_a and in_b):
+        return False
+    low = max(root_a.low, root_b.low)
+    high = min(root_a.high, root_b.high)
+    if low >= high:
+        return False
+    return context.count_roots_open(low, high) == 1
+
+
+def _separate_roots(
+    ops: _FieldOps, roots: list[tuple[SturmContext, RootInterval]]
+) -> list[tuple[SturmContext, RootInterval]]:
+    """Sort distinct roots and shrink their intervals until pairwise disjoint."""
+    # deduplicate
+    unique: list[tuple[SturmContext, RootInterval]] = []
+    for host, interval in roots:
+        if not any(
+            _roots_equal(ops, host, interval, other_host, other_interval)
+            for other_host, other_interval in unique
+        ):
+            unique.append((host, interval))
+    # refine until pairwise *strictly* separated (a positive-width rational
+    # gap between any two intervals); distinct roots separate eventually
+    changed = True
+    while changed:
+        changed = False
+        for i in range(len(unique)):
+            for j in range(i + 1, len(unique)):
+                host_i, int_i = unique[i]
+                host_j, int_j = unique[j]
+                if _needs_separation(int_i, int_j):
+                    unique[i] = (host_i, host_i.refine(int_i))
+                    unique[j] = (host_j, host_j.refine(int_j))
+                    changed = True
+    unique.sort(key=lambda item: (item[1].low, item[1].high))
+    return unique
+
+
+def _needs_separation(a: RootInterval, b: RootInterval) -> bool:
+    """True while there is no strict rational gap between the two intervals.
+
+    Exact roots are width-zero points, so two distinct exact roots are
+    always separated; for any other combination we insist on ``high < low``
+    strictly, which guarantees a rational sample point strictly between the
+    underlying roots.
+    """
+    if a.is_exact and b.is_exact:
+        return False  # distinct exact roots are separated by any midpoint
+    return not (a.high < b.low or b.high < a.low)
+
+
+def decompose_line(
+    polys: Sequence[UPoly], field=QQ
+) -> list[LineCell]:
+    """Cells of the line induced by the roots of ``polys`` (over ``field``)."""
+    ops = _FieldOps(field)
+    roots: list[tuple[SturmContext, RootInterval]] = []
+    for poly in polys:
+        if poly.degree() < 1:
+            continue
+        context = SturmContext(poly)
+        if field is QQ:
+            isolated = context.isolate_roots()
+        else:
+            bound = cauchy_bound_over_field(context.poly, field)
+            isolated = context.isolate_roots(bound=bound)
+        for interval in isolated:
+            roots.append((context, interval))
+    separated = _separate_roots(ops, roots)
+    cells: list[LineCell] = []
+    if not separated:
+        cells.append(LineCell("interval", rational_sample=Fraction(0)))
+        return cells
+    first = separated[0][1]
+    cells.append(LineCell("interval", rational_sample=first.low - 1))
+    for index, (host, interval) in enumerate(separated):
+        cells.append(LineCell("point", host=host, interval=interval))
+        if index + 1 < len(separated):
+            next_interval = separated[index + 1][1]
+            low = interval.high if not interval.is_exact else interval.low
+            high = next_interval.low
+            if low >= high:  # pragma: no cover - separation guarantees room
+                raise AssertionError("root separation failed")
+            cells.append(
+                LineCell("interval", rational_sample=(low + high) / 2)
+            )
+        else:
+            last = interval.high if not interval.is_exact else interval.low
+            cells.append(LineCell("interval", rational_sample=last + 1))
+    return cells
+
+
+def cell_sign(ops: _FieldOps, poly: UPoly, cell: LineCell) -> int:
+    """Sign of ``poly`` on a cell (evaluated at its sample point)."""
+    if cell.kind == "interval":
+        return ops.field.sign(poly.eval(cell.rational_sample))
+    return ops.sign_at_root(poly, cell.host, cell.interval)
+
+
+# ---------------------------------------------------------------- projection
+def _derivative_closure(polys: list[Polynomial], var: str) -> list[Polynomial]:
+    """Close a set of univariate-in-var polynomials under d/dvar."""
+    result: list[Polynomial] = []
+    seen: set[Polynomial] = set()
+    queue = [p.primitive() for p in polys]
+    while queue:
+        poly = queue.pop()
+        if poly.degree_in(var) < 1 or poly in seen:
+            continue
+        seen.add(poly)
+        result.append(poly)
+        queue.append(poly.derivative(var).primitive())
+    return sorted(result, key=str)
+
+
+def _projection(
+    conds: Sequence[SignCond], drop_var: str, keep_var: str
+) -> tuple[list[Polynomial], list[Polynomial]]:
+    """(basis polynomials in both vars, projection polynomials in keep_var)."""
+    bivariate = []
+    projection: list[Polynomial] = []
+    for cond in conds:
+        poly = cond.poly
+        if drop_var in poly.variables():
+            bivariate.append(poly)
+        elif keep_var in poly.variables():
+            projection.append(poly.primitive())
+    basis = gcd_free_basis(bivariate, drop_var)
+    for poly in bivariate:
+        content = content_in(poly, drop_var)
+        if keep_var in content.variables():
+            projection.append(content.primitive())
+    for poly in basis:
+        for coeff in poly.coefficients_in(drop_var):
+            if keep_var in coeff.variables():
+                projection.append(coeff.primitive())
+        if poly.degree_in(drop_var) >= 2:
+            disc = discriminant(poly, drop_var)
+            if keep_var in disc.variables():
+                projection.append(disc.primitive())
+    for i in range(len(basis)):
+        for j in range(i + 1, len(basis)):
+            res = resultant(basis[i], basis[j], drop_var)
+            if keep_var in res.variables():
+                projection.append(res.primitive())
+    unique = sorted(set(projection), key=str)
+    return basis, unique
+
+
+# --------------------------------------------------------------------- stack
+def _substitute_sample(
+    poly: Polynomial, keep_var: str, drop_var: str, cell: LineCell, field
+) -> UPoly:
+    """``poly(sample, y)`` as a univariate polynomial over the cell's field."""
+    coeffs = []
+    for coeff_poly in poly.coefficients_in(drop_var):
+        if cell.kind == "interval":
+            value = coeff_poly.evaluate({keep_var: cell.rational_sample})
+            coeffs.append(field.from_fraction(value))
+        else:
+            extra = coeff_poly.variables() - {keep_var}
+            if extra:
+                raise UnsupportedEliminationError(
+                    f"coefficient {coeff_poly} involves {sorted(extra)}"
+                )
+            if coeff_poly.is_constant():
+                coeffs.append(field.from_fraction(coeff_poly.constant_value()))
+            else:
+                coeffs.append(field.from_upoly(poly_to_upoly(coeff_poly, keep_var)))
+    return UPoly(coeffs, field)
+
+
+def _cell_field(cell: LineCell):
+    """The coefficient field for lifting over this base cell."""
+    if cell.kind == "interval":
+        return QQ
+    if cell.interval.is_exact:
+        return QQ
+    alpha = RealAlgebraic(cell.host.poly, cell.interval)
+    return NumberField(alpha)
+
+
+def _exists_on_stack(
+    conds_y: Sequence[SignCond],
+    keep_var: str,
+    drop_var: str,
+    cell: LineCell,
+) -> bool:
+    """Whether ``exists drop_var . conj(y-conds)`` holds over this base cell."""
+    field = _cell_field(cell)
+    base_sample_rational = (
+        cell.rational_sample
+        if cell.kind == "interval"
+        else (cell.interval.low if cell.interval.is_exact else None)
+    )
+    substituted: list[UPoly] = []
+    for cond in conds_y:
+        if field is QQ and base_sample_rational is not None:
+            value_poly = cond.poly.substitute(
+                {keep_var: Polynomial.constant(base_sample_rational)}
+            )
+            substituted.append(poly_to_upoly(value_poly, drop_var))
+        else:
+            substituted.append(
+                _substitute_sample(cond.poly, keep_var, drop_var, cell, field)
+            )
+    ops = _FieldOps(field)
+    nonzero = [p for p in substituted if not p.is_zero()]
+    stack = decompose_line(nonzero, field)
+    for stack_cell in stack:
+        satisfied = True
+        for cond, poly in zip(conds_y, substituted):
+            sign = 0 if poly.is_zero() else cell_sign(ops, poly, stack_cell)
+            if not cond.check_sign(sign):
+                satisfied = False
+                break
+        if satisfied:
+            return True
+    return False
+
+
+# -------------------------------------------------------------------- driver
+def cad_eliminate(conds: Sequence[SignCond], drop_var: str) -> Dnf:
+    """``exists drop_var . conjunction`` over at most two total variables.
+
+    Returns an exact quantifier-free DNF in the remaining variable (or a
+    ground true/false DNF if the conjunction was univariate).
+    """
+    variables = set()
+    for cond in conds:
+        variables |= cond.poly.variables()
+    if drop_var not in variables:
+        return [tuple(conds)]
+    others = variables - {drop_var}
+    if len(others) > 1:
+        raise UnsupportedEliminationError(
+            f"bivariate CAD supports at most two variables, got {sorted(variables)}"
+        )
+    if not others:
+        return [()] if _decide_univariate(conds, drop_var) else []
+    keep_var = next(iter(others))
+    conds_y = [c for c in conds if drop_var in c.poly.variables()]
+    conds_x = [c for c in conds if drop_var not in c.poly.variables()]
+    _, projection = _projection(conds, drop_var, keep_var)
+    star = _derivative_closure(
+        [p for p in projection] + [c.poly for c in conds_x], keep_var
+    )
+    star_upolys = [poly_to_upoly(p, keep_var) for p in star]
+    cells = decompose_line(star_upolys, QQ)
+    ops = _FieldOps(QQ)
+    result: Dnf = []
+    for cell in cells:
+        signs = [cell_sign(ops, up, cell) for up in star_upolys]
+        # x-only conditions must hold on the cell
+        if not _x_conditions_hold(conds_x, star, signs, cell, keep_var, ops):
+            continue
+        if conds_y and not _exists_on_stack(conds_y, keep_var, drop_var, cell):
+            continue
+        conj = tuple(
+            _sign_to_cond(poly, sign) for poly, sign in zip(star, signs)
+        )
+        result.append(conj)
+    return dedup(result)
+
+
+def _x_conditions_hold(
+    conds_x: Sequence[SignCond],
+    star: list[Polynomial],
+    star_signs: list[int],
+    cell: LineCell,
+    keep_var: str,
+    ops: _FieldOps,
+) -> bool:
+    lookup = {poly: sign for poly, sign in zip(star, star_signs)}
+    for cond in conds_x:
+        primitive = cond.poly.primitive()
+        sign = lookup.get(primitive)
+        if sign is None:
+            upoly = poly_to_upoly(primitive, keep_var)
+            sign = cell_sign(ops, upoly, cell)
+        # correct for the positive-scaling sign flip done by primitive()
+        _, lead = cond.poly.leading_term()
+        if lead < 0:
+            sign = -sign
+        if not cond.check_sign(sign):
+            return False
+    return True
+
+
+def _sign_to_cond(poly: Polynomial, sign: int) -> SignCond:
+    if sign == 0:
+        return SignCond(poly, "=")
+    if sign < 0:
+        return SignCond(poly, "<")
+    return SignCond(-poly, "<")
+
+
+def _decide_univariate(conds: Sequence[SignCond], var: str) -> bool:
+    """Decide ``exists var . conjunction`` for a univariate conjunction."""
+    upolys = []
+    for cond in conds:
+        upolys.append(poly_to_upoly(cond.poly, var))
+    ops = _FieldOps(QQ)
+    cells = decompose_line([p for p in upolys if p.degree() >= 1], QQ)
+    for cell in cells:
+        if all(
+            cond.check_sign(
+                QQ.sign(poly.eval(cell.rational_sample))
+                if cell.kind == "interval"
+                else ops.sign_at_root(poly, cell.host, cell.interval)
+            )
+            for cond, poly in zip(conds, upolys)
+        ):
+            return True
+    return False
+
+
+def cad_satisfiable(conds: Sequence[SignCond]) -> bool:
+    """Satisfiability of a conjunction in at most two variables."""
+    variables = set()
+    for cond in conds:
+        variables |= cond.poly.variables()
+    if not variables:
+        return all(cond.evaluate({}) for cond in conds)
+    order = sorted(variables)
+    if len(order) == 1:
+        return _decide_univariate(conds, order[0])
+    if len(order) > 2:
+        raise UnsupportedEliminationError(
+            f"CAD satisfiability supports at most two variables, got {order}"
+        )
+    first, second = order
+    dnf = cad_eliminate(conds, second)
+    for conj in dnf:
+        if not conj:
+            return True
+        if _decide_univariate(conj, first):
+            return True
+    return False

@@ -1,0 +1,119 @@
+"""Fourier-Motzkin elimination for constraints linear in the eliminated variable.
+
+The classical method (and the special case the paper's Section 6 singles out
+as worth investigating: "linear inequality constraints should be investigated
+in a CQL framework").  Requires the coefficient of the eliminated variable to
+be a *rational constant* in every atom; parametric coefficients are handled
+by virtual substitution instead.
+
+Disequalities ``p != 0`` are split into ``p < 0 or p > 0`` branches first, so
+the output is a DNF.  Equalities are substituted away (Gaussian step) before
+any bound combination.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Sequence
+
+from repro.errors import UnsupportedEliminationError
+from repro.poly.polynomial import Polynomial
+from repro.qe.signs import Conj, Dnf, SignCond, dedup, simplify_conj
+
+
+class FMNotApplicableError(UnsupportedEliminationError):
+    """The conjunction is outside the Fourier-Motzkin fragment."""
+
+
+def fourier_motzkin_eliminate(conds: Sequence[SignCond], var: str) -> Dnf:
+    """``exists var . conjunction`` as a DNF of sign conditions.
+
+    Raises :class:`FMNotApplicableError` when some atom is nonlinear in
+    ``var`` or has a non-constant coefficient on ``var``.
+    """
+    branches = _split_disequalities(conds, var)
+    result: Dnf = []
+    for branch in branches:
+        eliminated = _eliminate_branch(branch, var)
+        if eliminated is not None:
+            result.append(eliminated)
+    return dedup(result)
+
+
+def _split_disequalities(conds: Sequence[SignCond], var: str) -> list[list[SignCond]]:
+    """Rewrite each ``p != 0`` involving ``var`` into two strict branches."""
+    branches: list[list[SignCond]] = [[]]
+    for cond in conds:
+        if cond.op == "!=" and var in cond.poly.variables():
+            lower = SignCond(cond.poly, "<")
+            upper = SignCond(-cond.poly, "<")
+            branches = [b + [lower] for b in branches] + [
+                b + [upper] for b in branches
+            ]
+        else:
+            for branch in branches:
+                branch.append(cond)
+    return branches
+
+
+def _coefficient_split(
+    poly: Polynomial, var: str
+) -> tuple[Fraction, Polynomial]:
+    """``poly = a * var + rest``; raises if not of that shape with constant a."""
+    coeffs = poly.coefficients_in(var)
+    if len(coeffs) > 2:
+        raise FMNotApplicableError(
+            f"{poly} is nonlinear in {var}; use virtual substitution or CAD"
+        )
+    rest = coeffs[0] if coeffs else Polynomial.zero()
+    lead = coeffs[1] if len(coeffs) == 2 else Polynomial.zero()
+    if not lead.is_constant():
+        raise FMNotApplicableError(
+            f"{poly} has parametric coefficient {lead} on {var}; "
+            "use virtual substitution"
+        )
+    return lead.constant_value() if not lead.is_zero() else Fraction(0), rest
+
+
+def _eliminate_branch(conds: list[SignCond], var: str) -> Conj | None:
+    """Eliminate ``var`` from a !=-free branch; None if trivially false."""
+    relevant: list[tuple[SignCond, Fraction, Polynomial]] = []
+    kept: list[SignCond] = []
+    for cond in conds:
+        if var not in cond.poly.variables():
+            kept.append(cond)
+            continue
+        coeff, rest = _coefficient_split(cond.poly, var)
+        if coeff == 0:
+            kept.append(cond)
+            continue
+        relevant.append((cond, coeff, rest))
+    # Gaussian step: substitute an equality if one exists
+    for cond, coeff, rest in relevant:
+        if cond.op == "=":
+            # var = -rest / coeff
+            replacement = rest / (-coeff)
+            substituted = list(kept)
+            for other, other_coeff, other_rest in relevant:
+                if other is cond:
+                    continue
+                new_poly = other_rest + replacement.scale(other_coeff)
+                substituted.append(SignCond(new_poly, other.op))
+            return simplify_conj(substituted)
+    # pure inequalities: combine lower and upper bounds
+    lowers: list[tuple[Polynomial, bool]] = []  # (bound_value_numerator over ...)
+    uppers: list[tuple[Polynomial, bool]] = []
+    for cond, coeff, rest in relevant:
+        strict = cond.op == "<"
+        # coeff * var + rest (op) 0
+        if coeff > 0:
+            # var (op) -rest/coeff : upper bound -rest/coeff
+            uppers.append((rest / (-coeff), strict))
+        else:
+            lowers.append((rest / (-coeff), strict))
+    combined = list(kept)
+    for low, low_strict in lowers:
+        for high, high_strict in uppers:
+            op = "<" if (low_strict or high_strict) else "<="
+            combined.append(SignCond(low - high, op))
+    return simplify_conj(combined)

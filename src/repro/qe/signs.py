@@ -1,0 +1,160 @@
+"""Polynomial sign conditions and DNF algebra shared by the QE engines.
+
+A *sign condition* is ``p op 0`` with ``op`` one of ``=, !=, <, <=`` -- the
+normalized form of a real polynomial inequality constraint (Definition
+1.2.1).  The QE engines (Fourier-Motzkin, virtual substitution, CAD) operate
+on conjunctions and DNFs of sign conditions; the
+:class:`~repro.constraints.real_poly.RealPolynomialTheory` converts between
+these and its atoms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable, Sequence
+
+from repro.poly.polynomial import Polynomial
+
+OPS = ("=", "!=", "<", "<=")
+
+
+@dataclass(frozen=True, slots=True)
+class SignCond:
+    """The condition ``poly op 0``."""
+
+    poly: Polynomial
+    op: str
+
+    def __post_init__(self) -> None:
+        if self.op not in OPS:
+            raise ValueError(f"bad sign-condition operator {self.op!r}")
+
+    def evaluate(self, assignment) -> bool:
+        value = self.poly.evaluate(assignment)
+        if self.op == "=":
+            return value == 0
+        if self.op == "!=":
+            return value != 0
+        if self.op == "<":
+            return value < 0
+        return value <= 0
+
+    def check_sign(self, sign: int) -> bool:
+        """Whether a point where ``poly`` has the given sign satisfies the condition."""
+        if self.op == "=":
+            return sign == 0
+        if self.op == "!=":
+            return sign != 0
+        if self.op == "<":
+            return sign < 0
+        return sign <= 0
+
+    def __str__(self) -> str:
+        return f"{self.poly} {self.op} 0"
+
+
+def sign_cond(poly: Polynomial, op: str) -> "SignCond":
+    """Build ``poly op 0`` accepting also ``>``/``>=`` (stored negated)."""
+    if op == ">":
+        return SignCond(-poly, "<")
+    if op == ">=":
+        return SignCond(-poly, "<=")
+    return SignCond(poly, op)
+
+
+def negate_cond(cond: SignCond) -> SignCond:
+    """The negation of a sign condition (always again a single condition):
+    ``not (p = 0)`` is ``p != 0``, ``not (p < 0)`` is ``-p <= 0``, etc."""
+    if cond.op == "=":
+        return SignCond(cond.poly, "!=")
+    if cond.op == "!=":
+        return SignCond(cond.poly, "=")
+    if cond.op == "<":
+        return SignCond(-cond.poly, "<=")
+    return SignCond(-cond.poly, "<")
+
+
+# --------------------------------------------------------------------- DNF
+#: a conjunction of sign conditions
+Conj = tuple[SignCond, ...]
+#: a disjunction of conjunctions; [] is false, [()] is true
+Dnf = list[Conj]
+
+DNF_TRUE: Dnf = [()]
+DNF_FALSE: Dnf = []
+
+
+def dnf_and(*parts: Dnf) -> Dnf:
+    """Conjunction of DNFs by distribution, with ground simplification."""
+    result: Dnf = DNF_TRUE
+    for part in parts:
+        next_result: Dnf = []
+        for left in result:
+            for right in part:
+                merged = simplify_conj(left + right)
+                if merged is not None:
+                    next_result.append(merged)
+        result = next_result
+        if not result:
+            return DNF_FALSE
+    return dedup(result)
+
+
+def dnf_or(*parts: Dnf) -> Dnf:
+    """Disjunction of DNFs (concatenation with dedup)."""
+    merged: Dnf = []
+    for part in parts:
+        merged.extend(part)
+    return dedup(merged)
+
+
+def dnf_single(cond: SignCond) -> Dnf:
+    simplified = simplify_conj((cond,))
+    return DNF_FALSE if simplified is None else [simplified]
+
+
+def simplify_conj(conds: Sequence[SignCond]) -> Conj | None:
+    """Drop trivially-true conditions; return None on a trivially-false one.
+
+    Only *ground* (constant-polynomial) conditions are decided here; real
+    satisfiability is the theory's job.
+    """
+    kept: list[SignCond] = []
+    seen: set[SignCond] = set()
+    for cond in conds:
+        if cond.poly.is_constant():
+            if not cond.check_sign(_fraction_sign(cond.poly.constant_value())):
+                return None
+            continue
+        if cond not in seen:
+            seen.add(cond)
+            kept.append(cond)
+    return tuple(kept)
+
+
+def dedup(dnf: Dnf) -> Dnf:
+    seen: set[frozenset[SignCond]] = set()
+    result: Dnf = []
+    for conj in dnf:
+        key = frozenset(conj)
+        if key not in seen:
+            seen.add(key)
+            result.append(conj)
+    return result
+
+
+def conj_holds(conds: Iterable[SignCond], assignment) -> bool:
+    return all(cond.evaluate(assignment) for cond in conds)
+
+
+def dnf_holds(dnf: Dnf, assignment) -> bool:
+    return any(conj_holds(conj, assignment) for conj in dnf)
+
+
+def _fraction_sign(value: Fraction) -> int:
+    if value > 0:
+        return 1
+    if value < 0:
+        return -1
+    return 0

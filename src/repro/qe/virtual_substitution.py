@@ -1,0 +1,312 @@
+"""Virtual substitution quantifier elimination (Loos-Weispfenning).
+
+Eliminates ``exists x`` from a conjunction of polynomial sign conditions in
+which every atom has degree at most 2 in ``x`` -- with *parametric*
+(polynomial) coefficients, which is what the paper's geometry examples need:
+in the convex-hull query the quantified triangle coordinates appear
+quadratically, and in object-intersection queries the coefficients of the
+quantified point coordinates are other variables.
+
+Method: the satisfying set for x, given the parameters, is a finite union of
+intervals whose endpoints are roots of the atoms' polynomials.  It therefore
+suffices to test finitely many symbolic sample points:
+
+* ``-infinity``;
+* the roots ``-b/a`` (linear) and ``(-b +/- sqrt(b^2-4ac)) / 2a`` (quadratic)
+  of every atom, guarded by the root's existence condition (closed-endpoint
+  atoms ``=``/``<=`` use the root itself);
+* the same roots shifted by a positive infinitesimal ``+epsilon`` for atoms
+  providing open endpoints (ops ``<``/``!=``).
+
+Substituting such non-standard points into an atom is *virtual*: it expands
+into a quantifier-free formula over the parameters, via the classical rules
+for fractions, square-root expressions ``A + T sqrt(w) op 0``, limits at
+``-infinity`` (leading-coefficient sign recursion) and infinitesimals
+(derivative recursion).  The result is the disjunction over all sample
+points, a DNF of sign conditions in the remaining variables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import UnsupportedEliminationError
+from repro.poly.polynomial import Polynomial
+from repro.qe.signs import (
+    DNF_FALSE,
+    DNF_TRUE,
+    Dnf,
+    SignCond,
+    dnf_and,
+    dnf_or,
+    dnf_single,
+)
+
+MINUS_INFINITY = "minus_infinity"
+
+
+@dataclass(frozen=True)
+class _FracPoint:
+    """The symbolic point ``numerator / denominator`` (denominator nonzero)."""
+
+    numerator: Polynomial
+    denominator: Polynomial
+
+
+@dataclass(frozen=True)
+class _RootExpr:
+    """The symbolic point ``(u + sigma * sqrt(w)) / v`` with v nonzero, w >= 0."""
+
+    u: Polynomial
+    v: Polynomial
+    w: Polynomial
+    sigma: int  # +1 or -1
+
+
+@dataclass(frozen=True)
+class _Candidate:
+    """A sample point with its guard and an optional infinitesimal shift."""
+
+    point: object  # _FracPoint | _RootExpr | MINUS_INFINITY
+    guard: tuple[tuple[SignCond, ...], ...]
+    epsilon: bool
+
+
+def vs_eliminate(conds: Sequence[SignCond], var: str) -> Dnf:
+    """``exists var . conjunction`` as a DNF over the remaining variables.
+
+    Raises :class:`UnsupportedEliminationError` if some atom has degree > 2
+    in ``var``.
+    """
+    with_var = [c for c in conds if var in c.poly.variables()]
+    without_var = tuple(c for c in conds if var not in c.poly.variables())
+    if not with_var:
+        return [without_var]
+    for cond in with_var:
+        if cond.poly.degree_in(var) > 2:
+            raise UnsupportedEliminationError(
+                f"{cond.poly} has degree > 2 in {var}: outside the virtual "
+                "substitution fragment (see DESIGN.md section 4)"
+            )
+    branches: list[Dnf] = []
+    for candidate in _elimination_set(with_var, var):
+        parts: list[Dnf] = [list(candidate.guard)]
+        for cond in with_var:
+            parts.append(_substitute(cond, var, candidate))
+        branches.append(dnf_and(*parts))
+    result = dnf_or(*branches)
+    if not result:
+        return DNF_FALSE
+    return dnf_and(result, [without_var])
+
+
+def _elimination_set(conds: Sequence[SignCond], var: str) -> list[_Candidate]:
+    candidates: list[_Candidate] = [
+        _Candidate(MINUS_INFINITY, tuple(DNF_TRUE), epsilon=False)
+    ]
+    for cond in conds:
+        coeffs = cond.poly.coefficients_in(var)
+        while len(coeffs) < 3:
+            coeffs.append(Polynomial.zero())
+        c, b, a = coeffs[0], coeffs[1], coeffs[2]
+        shift = cond.op in ("<", "!=")
+        if not a.is_zero():
+            # quadratic roots, guarded by a != 0 and discriminant >= 0
+            disc = b * b - a * c * 4
+            guard = dnf_and(
+                dnf_single(SignCond(a, "!=")), dnf_single(SignCond(-disc, "<="))
+            )
+            for sigma in (1, -1):
+                root = _RootExpr(u=-b, v=a * 2, w=disc, sigma=sigma)
+                candidates.append(_Candidate(root, tuple(guard), epsilon=shift))
+            # degenerate linear case: a = 0, b != 0
+            guard_linear = dnf_and(
+                dnf_single(SignCond(a, "=")), dnf_single(SignCond(b, "!="))
+            )
+            candidates.append(
+                _Candidate(_FracPoint(-c, b), tuple(guard_linear), epsilon=shift)
+            )
+        elif not b.is_zero():
+            guard = dnf_single(SignCond(b, "!="))
+            candidates.append(
+                _Candidate(_FracPoint(-c, b), tuple(guard), epsilon=shift)
+            )
+        # a == b == 0 identically: the atom does not constrain var; the
+        # -infinity candidate covers it
+    return candidates
+
+
+# --------------------------------------------------------------- substitution
+def _substitute(cond: SignCond, var: str, candidate: _Candidate) -> Dnf:
+    """The quantifier-free DNF of ``cond[var // candidate]``."""
+    if candidate.point == MINUS_INFINITY:
+        return _subst_minus_infinity(cond.poly, cond.op, var)
+    if candidate.epsilon:
+        return _subst_epsilon(cond.poly, cond.op, var, candidate.point)
+    return _subst_point(cond.poly, cond.op, var, candidate.point)
+
+
+def _subst_point(poly: Polynomial, op: str, var: str, point: object) -> Dnf:
+    if isinstance(point, _FracPoint):
+        return _subst_fraction(poly, op, var, point)
+    assert isinstance(point, _RootExpr)
+    return _subst_root(poly, op, var, point)
+
+
+def _subst_fraction(poly: Polynomial, op: str, var: str, point: _FracPoint) -> Dnf:
+    """``poly(num/den) op 0`` given ``den != 0``."""
+    coeffs = poly.coefficients_in(var)
+    degree = len(coeffs) - 1
+    # q = den^degree * poly(num/den) is a polynomial
+    q = Polynomial.zero()
+    num_power = Polynomial.one()
+    for i, coeff in enumerate(coeffs):
+        den_power = point.denominator ** (degree - i)
+        q = q + coeff * num_power * den_power
+        num_power = num_power * point.numerator
+    if op in ("=", "!="):
+        return dnf_single(SignCond(q, op))
+    if degree % 2 == 0:
+        return dnf_single(SignCond(q, op))
+    # odd degree: the sign of den^degree matters
+    return dnf_single(SignCond(q * point.denominator, op))
+
+
+def _subst_root(poly: Polynomial, op: str, var: str, point: _RootExpr) -> Dnf:
+    """``poly((u + sigma sqrt(w)) / v) op 0`` given ``v != 0`` and ``w >= 0``.
+
+    The value times ``v^degree`` has the form ``A + T sqrt(w)``; the classical
+    case analyses reduce each comparison to polynomial conditions in A, T, w.
+    """
+    coeffs = poly.coefficients_in(var)
+    degree = len(coeffs) - 1
+    # expand (u + sigma sqrt w)^i = P_i + sigma * Q_i * sqrt(w)
+    a_part = Polynomial.zero()
+    t_part = Polynomial.zero()
+    p_i = Polynomial.one()
+    q_i = Polynomial.zero()
+    for i, coeff in enumerate(coeffs):
+        den_power = point.v ** (degree - i)
+        a_part = a_part + coeff * p_i * den_power
+        t_part = t_part + coeff * q_i * den_power
+        # multiply (P + sigma Q sqrt w) by (u + sigma sqrt w):
+        #   new P = P u + Q w     (sigma^2 = 1)
+        #   new Q = P + Q u
+        p_i, q_i = p_i * point.u + q_i * point.w, p_i + q_i * point.u
+    if point.sigma < 0:
+        t_part = -t_part
+    # correct the sign of v^degree for order comparisons
+    if op in ("<", "<=") and degree % 2 == 1:
+        a_part = a_part * point.v
+        t_part = t_part * point.v
+    return _sqrt_compare(a_part, t_part, point.w, op)
+
+
+def _sqrt_compare(a: Polynomial, t: Polynomial, w: Polynomial, op: str) -> Dnf:
+    """Conditions for ``A + T sqrt(w) op 0`` assuming ``w >= 0``.
+
+    Derivations (with s = sqrt(w) >= 0):
+
+    * ``= 0``: ``A T <= 0  and  A^2 - T^2 w = 0``
+    * ``< 0``: ``(A < 0 and (T <= 0 or T^2 w < A^2))
+                or (T < 0 and 0 <= A and A^2 < T^2 w)``
+    * ``<= 0``, ``!= 0``: by composition/negation of the above.
+    """
+    a_sq_minus = a * a - t * t * w  # A^2 - T^2 w
+    if op == "=":
+        return dnf_and(
+            dnf_single(SignCond(a * t, "<=")),
+            dnf_single(SignCond(a_sq_minus, "=")),
+        )
+    if op == "!=":
+        return dnf_or(
+            dnf_single(SignCond(-(a * t), "<")),
+            dnf_single(SignCond(a_sq_minus, "!=")),
+        )
+    less = dnf_or(
+        dnf_and(
+            dnf_single(SignCond(a, "<")),
+            dnf_or(
+                dnf_single(SignCond(t, "<=")),
+                dnf_single(SignCond(-a_sq_minus, "<")),
+            ),
+        ),
+        dnf_and(
+            dnf_single(SignCond(t, "<")),
+            dnf_single(SignCond(-a, "<=")),
+            dnf_single(SignCond(a_sq_minus, "<")),
+        ),
+    )
+    if op == "<":
+        return less
+    equal = dnf_and(
+        dnf_single(SignCond(a * t, "<=")),
+        dnf_single(SignCond(a_sq_minus, "=")),
+    )
+    return dnf_or(less, equal)
+
+
+def _subst_minus_infinity(poly: Polynomial, op: str, var: str) -> Dnf:
+    """``poly(-infinity) op 0``: leading-sign recursion over the coefficients."""
+    coeffs = poly.coefficients_in(var)
+    if op == "=":
+        return dnf_and(*[dnf_single(SignCond(c, "=")) for c in coeffs])
+    if op == "!=":
+        return dnf_or(*[dnf_single(SignCond(c, "!=")) for c in coeffs])
+    strict = _minus_infinity_negative(coeffs)
+    if op == "<":
+        return strict
+    zero = dnf_and(*[dnf_single(SignCond(c, "=")) for c in coeffs])
+    return dnf_or(strict, zero)
+
+
+def _minus_infinity_negative(coeffs: list[Polynomial]) -> Dnf:
+    """``sum coeffs[i] x^i  < 0`` as x -> -infinity."""
+    if not coeffs:
+        return DNF_FALSE
+    degree = len(coeffs) - 1
+    lead = coeffs[-1]
+    # sign at -infinity is sign(lead) * (-1)^degree
+    oriented = -lead if degree % 2 == 1 else lead
+    head = dnf_single(SignCond(oriented, "<"))
+    if degree == 0:
+        return head
+    tail = dnf_and(
+        dnf_single(SignCond(lead, "=")), _minus_infinity_negative(coeffs[:-1])
+    )
+    return dnf_or(head, tail)
+
+
+def _subst_epsilon(poly: Polynomial, op: str, var: str, point: object) -> Dnf:
+    """``poly(point + epsilon) op 0`` for a positive infinitesimal epsilon."""
+    if op == "=":
+        # zero in a right neighbourhood iff identically zero in var
+        coeffs = poly.coefficients_in(var)
+        return dnf_and(*[dnf_single(SignCond(c, "=")) for c in coeffs])
+    if op == "!=":
+        coeffs = poly.coefficients_in(var)
+        return dnf_or(*[dnf_single(SignCond(c, "!=")) for c in coeffs])
+    strict = _epsilon_negative(poly, var, point)
+    if op == "<":
+        return strict
+    coeffs = poly.coefficients_in(var)
+    zero = dnf_and(*[dnf_single(SignCond(c, "=")) for c in coeffs])
+    return dnf_or(strict, zero)
+
+
+def _epsilon_negative(poly: Polynomial, var: str, point: object) -> Dnf:
+    """``poly(point + epsilon) < 0``: derivative recursion.
+
+    ``p(t + eps) < 0  iff  p(t) < 0  or  (p(t) = 0 and p'(t + eps) < 0)``.
+    """
+    if var not in poly.variables():
+        return dnf_single(SignCond(poly, "<"))
+    at_point = _subst_point(poly, "<", var, point)
+    at_point_zero = _subst_point(poly, "=", var, point)
+    derivative = poly.derivative(var)
+    if derivative.is_zero():
+        return at_point
+    return dnf_or(
+        at_point, dnf_and(at_point_zero, _epsilon_negative(derivative, var, point))
+    )

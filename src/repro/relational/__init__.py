@@ -1,0 +1,36 @@
+"""The classical finite relational model (the baseline the CQL generalizes).
+
+Example 1.5: "This is a generalization of the relational data model" -- a
+finite relation is the special case where every generalized tuple is a
+conjunction of equalities with constants.  This package provides a plain
+finite-relation engine (sets of tuples, relational algebra operators) and
+the paper's 5-ary rectangle encoding of Example 1.1 with its explicit case
+analysis, so that the benchmarks can compare the classical formulation
+against the 3-line CQL one.
+"""
+
+from repro.relational.relation import FiniteRelation
+from repro.relational.algebra import (
+    difference,
+    join,
+    project,
+    rename,
+    select,
+    union,
+)
+from repro.relational.rectangles import (
+    classical_rectangle_relation,
+    intersecting_pairs_classical,
+)
+
+__all__ = [
+    "FiniteRelation",
+    "classical_rectangle_relation",
+    "difference",
+    "intersecting_pairs_classical",
+    "join",
+    "project",
+    "rename",
+    "select",
+    "union",
+]

@@ -1,0 +1,86 @@
+"""Relational algebra over finite relations (select, project, join, ...).
+
+The procedural side of Codd's model that the paper's "generalized relational
+algebra" (Section 2.1) generalizes: all operators are the familiar ones;
+only projection becomes nontrivial (quantifier elimination) in the
+constraint setting.  Here, over finite relations, they are the textbook set
+operations.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.errors import ArityError
+from repro.relational.relation import FiniteRelation, Row
+
+
+def select(
+    relation: FiniteRelation,
+    predicate: Callable[[Mapping[str, Any]], bool],
+    name: str = "select",
+) -> FiniteRelation:
+    """Rows satisfying a predicate over named attributes."""
+    rows = [
+        tuple(row)
+        for row in relation
+        if predicate(dict(zip(relation.attributes, row)))
+    ]
+    return FiniteRelation(name, relation.attributes, rows)
+
+
+def project(
+    relation: FiniteRelation, attributes: Sequence[str], name: str = "project"
+) -> FiniteRelation:
+    """Projection onto a subset (or reordering) of attributes."""
+    indices = [relation.index_of(a) for a in attributes]
+    rows = {tuple(row[i] for i in indices) for row in relation}
+    return FiniteRelation(name, attributes, rows)
+
+
+def rename(
+    relation: FiniteRelation, mapping: Mapping[str, str], name: str = "rename"
+) -> FiniteRelation:
+    new_attributes = [mapping.get(a, a) for a in relation.attributes]
+    return FiniteRelation(name, new_attributes, relation)
+
+
+def union(
+    left: FiniteRelation, right: FiniteRelation, name: str = "union"
+) -> FiniteRelation:
+    if left.attributes != right.attributes:
+        raise ArityError("union requires identical schemas")
+    return FiniteRelation(name, left.attributes, list(left) + list(right))
+
+
+def difference(
+    left: FiniteRelation, right: FiniteRelation, name: str = "difference"
+) -> FiniteRelation:
+    if left.attributes != right.attributes:
+        raise ArityError("difference requires identical schemas")
+    right_rows = set(iter(right))
+    return FiniteRelation(
+        name, left.attributes, [row for row in left if row not in right_rows]
+    )
+
+
+def join(
+    left: FiniteRelation, right: FiniteRelation, name: str = "join"
+) -> FiniteRelation:
+    """Natural join on shared attribute names (hash join on the shared key)."""
+    shared = [a for a in left.attributes if a in right.attributes]
+    right_only = [a for a in right.attributes if a not in shared]
+    output_attributes = list(left.attributes) + right_only
+    left_key = [left.index_of(a) for a in shared]
+    right_key = [right.index_of(a) for a in shared]
+    right_rest = [right.index_of(a) for a in right_only]
+    buckets: dict[tuple, list[Row]] = {}
+    for row in right:
+        key = tuple(row[i] for i in right_key)
+        buckets.setdefault(key, []).append(row)
+    rows = []
+    for row in left:
+        key = tuple(row[i] for i in left_key)
+        for match in buckets.get(key, ()):
+            rows.append(tuple(row) + tuple(match[i] for i in right_rest))
+    return FiniteRelation(name, output_attributes, rows)

@@ -1,0 +1,67 @@
+"""Finite relations: named attribute tuples over arbitrary values."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
+
+from repro.errors import ArityError
+
+Row = tuple[Any, ...]
+
+
+class FiniteRelation:
+    """A classical finite relation: a set of rows under a named schema."""
+
+    def __init__(
+        self,
+        name: str,
+        attributes: Sequence[str],
+        rows: Iterable[Sequence[Any]] = (),
+    ) -> None:
+        if len(set(attributes)) != len(attributes):
+            raise ArityError(f"duplicate attributes in {attributes}")
+        self.name = name
+        self.attributes: tuple[str, ...] = tuple(attributes)
+        self._rows: set[Row] = set()
+        for row in rows:
+            self.add(row)
+
+    @property
+    def arity(self) -> int:
+        return len(self.attributes)
+
+    def add(self, row: Sequence[Any]) -> None:
+        if len(row) != self.arity:
+            raise ArityError(
+                f"{self.name} has arity {self.arity}, got row {tuple(row)!r}"
+            )
+        self._rows.add(tuple(row))
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __contains__(self, row: Sequence[Any]) -> bool:
+        return tuple(row) in self._rows
+
+    def rows_as_dicts(self) -> Iterator[dict[str, Any]]:
+        for row in self._rows:
+            yield dict(zip(self.attributes, row))
+
+    def index_of(self, attribute: str) -> int:
+        try:
+            return self.attributes.index(attribute)
+        except ValueError:
+            raise ArityError(
+                f"{self.name} has no attribute {attribute!r}"
+            ) from None
+
+    def with_rows(self, rows: Iterable[Row], name: str | None = None) -> "FiniteRelation":
+        return FiniteRelation(name or self.name, self.attributes, rows)
+
+    def __str__(self) -> str:
+        header = f"{self.name}({', '.join(self.attributes)})"
+        body = "\n".join(f"  {row}" for row in sorted(self._rows, key=repr))
+        return f"{header}\n{body or '  <empty>'}"

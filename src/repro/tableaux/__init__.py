@@ -1,0 +1,40 @@
+"""Tableau query programs with constraints and their containment (Section 2.2).
+
+* :mod:`repro.tableaux.tableau` -- tagged untyped tableaux in normal form
+  (T, C): a summary row, tagged rows of pairwise-distinct variables, and a
+  conjunction of constraints (Figure 3's balanced-checkbook query is the
+  canonical example);
+* :mod:`repro.tableaux.affine` -- exact affine geometry over Q: row
+  reduction, consistency, implication, and affine-subspace containment (the
+  engine behind Theorem 2.6's NP procedure, via the fact that an affine
+  space contained in a finite union of affine spaces is contained in one);
+* :mod:`repro.tableaux.containment` -- symbol mappings, homomorphisms, the
+  Theorem 2.6 containment decision for linear-equation tableaux, the
+  Theorem 2.8 semiinterval counterexample, and evaluation of tableau queries
+  over generalized databases;
+* :mod:`repro.tableaux.reductions` -- the Theorem 2.7 reduction from
+  AE-quantified boolean formulas to containment of quadratic-equation
+  tableaux.
+"""
+
+from repro.tableaux.tableau import TableauQuery, TableauRow, checkbook_query
+from repro.tableaux.affine import LinearSystem
+from repro.tableaux.containment import (
+    contained_linear,
+    evaluate_tableau,
+    find_homomorphism,
+    symbol_mappings,
+)
+from repro.tableaux.reductions import qbf_to_tableaux
+
+__all__ = [
+    "LinearSystem",
+    "TableauQuery",
+    "TableauRow",
+    "checkbook_query",
+    "contained_linear",
+    "evaluate_tableau",
+    "find_homomorphism",
+    "qbf_to_tableaux",
+    "symbol_mappings",
+]

@@ -1,0 +1,155 @@
+"""Exact affine geometry over the rationals.
+
+A conjunction of linear equations describes an affine subspace of Q^n.  The
+Theorem 2.6 containment procedure needs: consistency (is the space
+nonempty), implication (does the system entail another equation), and
+thereby affine-subspace containment.  All of it is Gaussian elimination with
+:class:`fractions.Fraction` arithmetic -- no floating point anywhere.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, Mapping, Sequence
+
+#: a linear equation ``sum coeffs[v] * v = constant``
+Equation = tuple[dict[str, Fraction], Fraction]
+
+
+def equation(coeffs: Mapping[str, int | Fraction], constant: int | Fraction) -> Equation:
+    """Build a normalized equation, dropping zero coefficients."""
+    clean = {v: Fraction(c) for v, c in coeffs.items() if Fraction(c)}
+    return clean, Fraction(constant)
+
+
+class LinearSystem:
+    """A system of linear equations in row-echelon form.
+
+    Rows are kept reduced against each other; adding an equation either
+    extends the basis, is redundant, or makes the system inconsistent
+    (``0 = c`` with ``c != 0``).
+    """
+
+    def __init__(self, equations: Iterable[Equation] = ()) -> None:
+        #: pivot variable -> reduced row
+        self._rows: dict[str, Equation] = {}
+        self._consistent = True
+        for coeffs, constant in equations:
+            self.add(coeffs, constant)
+
+    @property
+    def consistent(self) -> bool:
+        return self._consistent
+
+    def rank(self) -> int:
+        return len(self._rows)
+
+    def add(self, coeffs: Mapping[str, int | Fraction], constant: int | Fraction) -> None:
+        """Add an equation to the system."""
+        if not self._consistent:
+            return
+        reduced_coeffs, reduced_constant = self._reduce(coeffs, constant)
+        if not reduced_coeffs:
+            if reduced_constant != 0:
+                self._consistent = False
+            return
+        pivot = min(reduced_coeffs)  # deterministic pivot: least variable name
+        pivot_value = reduced_coeffs[pivot]
+        normalized = {
+            v: c / pivot_value for v, c in reduced_coeffs.items()
+        }
+        normalized_constant = reduced_constant / pivot_value
+        # back-substitute into existing rows
+        for existing_pivot, (row_coeffs, row_constant) in list(self._rows.items()):
+            factor = row_coeffs.get(pivot)
+            if factor:
+                new_coeffs = dict(row_coeffs)
+                for v, c in normalized.items():
+                    new_value = new_coeffs.get(v, Fraction(0)) - factor * c
+                    if new_value:
+                        new_coeffs[v] = new_value
+                    else:
+                        new_coeffs.pop(v, None)
+                self._rows[existing_pivot] = (
+                    new_coeffs,
+                    row_constant - factor * normalized_constant,
+                )
+        self._rows[pivot] = (normalized, normalized_constant)
+
+    def _reduce(
+        self, coeffs: Mapping[str, int | Fraction], constant: int | Fraction
+    ) -> Equation:
+        """Reduce an equation modulo the current rows."""
+        work = {v: Fraction(c) for v, c in coeffs.items() if Fraction(c)}
+        value = Fraction(constant)
+        for pivot, (row_coeffs, row_constant) in self._rows.items():
+            factor = work.get(pivot)
+            if factor:
+                for v, c in row_coeffs.items():
+                    new_value = work.get(v, Fraction(0)) - factor * c
+                    if new_value:
+                        work[v] = new_value
+                    else:
+                        work.pop(v, None)
+                value -= factor * row_constant
+        return work, value
+
+    def implies(self, coeffs: Mapping[str, int | Fraction], constant: int | Fraction) -> bool:
+        """Whether every solution of the system satisfies the equation.
+
+        An inconsistent system (empty space) implies everything.
+        """
+        if not self._consistent:
+            return True
+        reduced_coeffs, reduced_constant = self._reduce(coeffs, constant)
+        return not reduced_coeffs and reduced_constant == 0
+
+    def implies_all(self, equations: Sequence[Equation]) -> bool:
+        return all(self.implies(c, k) for c, k in equations)
+
+    def solve_sample(self, variables: Sequence[str]) -> dict[str, Fraction] | None:
+        """A solution with free variables set to 0 (None if inconsistent)."""
+        return self.solve_generic(variables, lambda index: Fraction(0))
+
+    def solve_generic(
+        self, variables: Sequence[str], free_value
+    ) -> dict[str, Fraction] | None:
+        """A solution with the i-th free variable set to ``free_value(i)``.
+
+        Passing distinct values (e.g. large spread-out rationals) produces a
+        *generic* point of the affine space -- the freeze valuation of the
+        canonical-database technique, where accidental coincidences between
+        frozen symbols must be avoided.
+        """
+        if not self._consistent:
+            return None
+        names: list[str] = list(variables)
+        for pivot, (row_coeffs, _) in self._rows.items():
+            if pivot not in names:
+                names.append(pivot)
+            for v in row_coeffs:
+                if v not in names:
+                    names.append(v)
+        assignment: dict[str, Fraction] = {}
+        free_index = 0
+        for name in names:
+            if name not in self._rows:
+                assignment[name] = Fraction(free_value(free_index))
+                free_index += 1
+        # evaluate pivots from free variables: pivot + sum(other coeffs) = const
+        for pivot, (row_coeffs, row_constant) in self._rows.items():
+            value = row_constant
+            for v, c in row_coeffs.items():
+                if v != pivot:
+                    value -= c * assignment[v]
+            assignment[pivot] = value
+        return assignment
+
+
+def contains(space: LinearSystem, other: Sequence[Equation]) -> bool:
+    """Whether the affine space of ``space`` is contained in that of ``other``.
+
+    ``solutions(space) subseteq solutions(other)`` iff ``space`` implies every
+    equation of ``other`` (or is empty).
+    """
+    return space.implies_all(list(other))

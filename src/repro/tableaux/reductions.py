@@ -1,0 +1,217 @@
+"""The Theorem 2.7 reduction: AE-QBF to quadratic-tableau containment.
+
+Given a quantified boolean formula ``forall xs exists ys psi(xs, ys)`` (with
+negation pushed to the leaves), the construction produces two constraint-only
+tableau queries:
+
+* ``phi2``: ``R(xs) :- x_i(1-x_i)=0, y_j(1-y_j)=0, chi(xs, ys, ss)`` whose
+  output is the set of 0/1 vectors ``xs`` for which some 0/1 ``ys`` makes
+  ``psi`` true;
+* ``phi1``: ``R(xs) :- x_i(1-x_i)=0`` whose output is all 0/1 vectors;
+
+so ``phi1 subseteq phi2`` iff the QBF is true.  The gadget ``chi`` assigns a
+fresh variable ``s_k`` to every subformula ``F_k`` with the quadratic
+equations
+
+* ``s_k = s_i + s_j``   if ``F_k = F_i and F_j``
+* ``s_k = s_i * s_j``   if ``F_k = F_i or F_j``
+* ``s_k = 1 - x_i`` / ``1 - y_j``   for positive literals
+* ``s_k = x_i`` / ``y_j``           for negated literals
+* ``s_top = 0``
+
+so that (by induction, with all values nonnegative) ``F_k`` is true iff
+``s_k = 0``.
+
+Because both queries are constraint-only (no database atoms), containment is
+plain set inclusion of their outputs, which this module can also *decide*
+for small instances by brute force over 0/1 vectors -- used to validate the
+reduction against a direct QBF decision procedure.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.constraints.real_poly import PolyAtom
+from repro.poly.polynomial import Polynomial
+from repro.tableaux.tableau import TableauQuery
+
+
+# ------------------------------------------------------------ formula syntax
+@dataclass(frozen=True)
+class BVarRef:
+    """A literal: variable index into xs (universal) or ys (existential)."""
+
+    kind: str  # "x" or "y"
+    index: int
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class BNode:
+    """An internal and/or node."""
+
+    op: str  # "and" | "or"
+    left: "BNode | BVarRef"
+    right: "BNode | BVarRef"
+
+
+BFormula = BNode | BVarRef
+
+
+def eval_bformula(formula: BFormula, xs: Sequence[bool], ys: Sequence[bool]) -> bool:
+    if isinstance(formula, BVarRef):
+        value = xs[formula.index] if formula.kind == "x" else ys[formula.index]
+        return (not value) if formula.negated else value
+    left = eval_bformula(formula.left, xs, ys)
+    right = eval_bformula(formula.right, xs, ys)
+    return (left and right) if formula.op == "and" else (left or right)
+
+
+def qbf_ae_truth(formula: BFormula, n_x: int, n_y: int) -> bool:
+    """Brute-force decision of ``forall xs exists ys psi``."""
+    for xs in itertools.product([False, True], repeat=n_x):
+        if not any(
+            eval_bformula(formula, xs, ys)
+            for ys in itertools.product([False, True], repeat=n_y)
+        ):
+            return False
+    return True
+
+
+# ------------------------------------------------------------- the reduction
+def chi_constraints(
+    formula: BFormula, n_x: int, n_y: int
+) -> tuple[list[PolyAtom], dict[BFormula, str]]:
+    """The gadget chi(xs, ys, ss): one fresh s-variable per subformula."""
+    constraints: list[PolyAtom] = []
+    names: dict[int, str] = {}
+    counter = itertools.count()
+
+    def x_poly(ref: BVarRef) -> Polynomial:
+        base = Polynomial.variable(
+            f"x{ref.index}" if ref.kind == "x" else f"y{ref.index}"
+        )
+        return base if ref.negated else (Polynomial.one() - base)
+
+    def visit(node: BFormula) -> Polynomial:
+        """Returns the polynomial for s_node, adding its defining equation."""
+        s_name = f"s{next(counter)}"
+        s = Polynomial.variable(s_name)
+        if isinstance(node, BVarRef):
+            constraints.append(PolyAtom(s - x_poly(node), "="))
+        else:
+            left = visit(node.left)
+            right = visit(node.right)
+            if node.op == "and":
+                constraints.append(PolyAtom(s - left - right, "="))
+            else:
+                constraints.append(PolyAtom(s - left * right, "="))
+        names[id(node)] = s_name
+        return s
+
+    top = visit(formula)
+    constraints.append(PolyAtom(top, "="))  # s_top = 0
+    return constraints, names  # type: ignore[return-value]
+
+
+def _zero_one(poly_name: str) -> PolyAtom:
+    """The constraint ``v (1 - v) = 0`` restricting v to {0, 1}."""
+    v = Polynomial.variable(poly_name)
+    return PolyAtom(v * (Polynomial.one() - v), "=")
+
+
+def qbf_to_tableaux(
+    formula: BFormula, n_x: int, n_y: int
+) -> tuple[TableauQuery, TableauQuery]:
+    """The pair (phi1, phi2) of Theorem 2.7.
+
+    ``phi1 subseteq phi2`` iff ``forall xs exists ys psi`` is true.
+    """
+    xs = [f"x{i}" for i in range(n_x)]
+    phi1 = TableauQuery(
+        summary=tuple(xs),
+        rows=(),
+        constraints=tuple(_zero_one(x) for x in xs),
+        name="phi1",
+    )
+    constraints = [_zero_one(x) for x in xs]
+    constraints.extend(_zero_one(f"y{j}") for j in range(n_y))
+    chi, _ = chi_constraints(formula, n_x, n_y)
+    constraints.extend(chi)
+    phi2 = TableauQuery(
+        summary=tuple(xs), rows=(), constraints=tuple(constraints), name="phi2"
+    )
+    return phi1, phi2
+
+
+def tableau_output_01(query: TableauQuery, n_x: int) -> set[tuple[int, ...]]:
+    """The 0/1 vectors in the output of a constraint-only tableau.
+
+    Decided by brute force: enumerate 0/1 assignments of the summary
+    variables and check satisfiability of the remaining (existential)
+    constraint system by propagating the s-equations bottom-up.  Used to
+    validate the reduction on small instances.
+    """
+    from repro.constraints.real_poly import RealPolynomialTheory
+
+    theory = RealPolynomialTheory()
+    result: set[tuple[int, ...]] = set()
+    summary = query.summary
+    other = sorted(
+        {
+            v
+            for atom in query.constraints
+            for v in atom.poly.variables()
+            if v not in summary
+        }
+    )
+    y_vars = [v for v in other if v.startswith("y")]
+    s_vars = [v for v in other if v.startswith("s")]
+    for bits in itertools.product([0, 1], repeat=len(summary)):
+        x_assignment = dict(zip(summary, bits))
+        satisfied = False
+        for y_bits in itertools.product([0, 1], repeat=len(y_vars)):
+            assignment = dict(x_assignment)
+            assignment.update(zip(y_vars, y_bits))
+            # the s-equations are a triangular system: solve them in order
+            if _solve_s_chain(query.constraints, assignment, s_vars):
+                satisfied = True
+                break
+        if satisfied:
+            result.add(bits)
+    return result
+
+
+def _solve_s_chain(
+    constraints: Sequence[PolyAtom], assignment: dict, s_vars: list[str]
+) -> bool:
+    """Propagate s-variable values through the chi equations; check all."""
+    values = dict(assignment)
+    remaining = list(constraints)
+    progress = True
+    while progress:
+        progress = False
+        still = []
+        for atom in remaining:
+            unknowns = [v for v in atom.poly.variables() if v not in values]
+            if not unknowns:
+                if atom.poly.evaluate(values) != 0:
+                    return False
+                progress = True
+                continue
+            if len(unknowns) == 1 and atom.op == "=":
+                # s - f(known) = 0 with s linear: solve for it
+                (unknown,) = unknowns
+                coeffs = atom.poly.coefficients_in(unknown)
+                if len(coeffs) == 2 and coeffs[1].is_constant():
+                    known_part = coeffs[0].evaluate(values)
+                    lead = coeffs[1].constant_value()
+                    values[unknown] = -known_part / lead
+                    progress = True
+                    continue
+            still.append(atom)
+        remaining = still
+    return not remaining

@@ -1,0 +1,176 @@
+"""Tagged untyped tableau query programs with constraints (Section 2.2).
+
+A tableau query is a nonrecursive Datalog rule presented as a table: the
+*summary row* is the head, each *tagged row* is a database atom of the body,
+and a conjunction of constraints accompanies the table.  In *normal form*
+(T, C) every cell of T is a distinct variable and all gluing (repeated
+variables, constants) is expressed inside C -- "this normal form is without
+loss of generality, since the constraints in C can force any equalities of
+the distinct symbols in T" (Section 2.2).
+
+Constraints are polynomial sign conditions (linear equations for Theorem
+2.6, quadratic for Theorem 2.7, orderings without arithmetic for Theorem
+2.8 -- all are :class:`PolyAtom` instances).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Iterable, Sequence
+
+from repro.constraints.real_poly import PolyAtom, poly_eq
+from repro.errors import ArityError
+from repro.logic.syntax import Atom, RelationAtom
+from repro.poly.polynomial import Polynomial
+
+
+@dataclass(frozen=True)
+class TableauRow:
+    """A tagged row: predicate tag + the variables in its columns."""
+
+    tag: str
+    symbols: tuple[str, ...]
+
+
+@dataclass
+class TableauQuery:
+    """A tableau query program in normal form (T, C).
+
+    ``summary`` is the summary row (the head's variables); ``rows`` are the
+    tagged rows; ``constraints`` is the conjunction C.  Construction checks
+    normal form: all cells (summary + rows) hold pairwise distinct variables.
+    """
+
+    summary: tuple[str, ...]
+    rows: tuple[TableauRow, ...]
+    constraints: tuple[PolyAtom, ...] = ()
+    name: str = "Q"
+
+    def __post_init__(self) -> None:
+        cells = list(self.summary)
+        for row in self.rows:
+            cells.extend(row.symbols)
+        if len(set(cells)) != len(cells):
+            raise ArityError(
+                "tableau is not in normal form: cells must be pairwise "
+                "distinct variables (use constraints to glue)"
+            )
+
+    # ------------------------------------------------------------ inspection
+    def all_symbols(self) -> tuple[str, ...]:
+        symbols = list(self.summary)
+        for row in self.rows:
+            symbols.extend(row.symbols)
+        return tuple(symbols)
+
+    def tags(self) -> dict[str, list[TableauRow]]:
+        grouped: dict[str, list[TableauRow]] = {}
+        for row in self.rows:
+            grouped.setdefault(row.tag, []).append(row)
+        return grouped
+
+    def constraint_equations(self):
+        """The constraints as affine equations (raises if not linear ``= 0``)."""
+        from repro.tableaux.affine import equation
+
+        equations = []
+        for atom in self.constraints:
+            if atom.op != "=":
+                raise ArityError(f"{atom} is not an equation")
+            linear = atom.poly.as_linear()
+            if linear is None:
+                raise ArityError(f"{atom} is not linear")
+            coeffs, constant = linear
+            equations.append(equation(coeffs, -constant))
+        return equations
+
+    # ------------------------------------------------------------- as a rule
+    def as_rule(self, head_name: str | None = None):
+        """The tableau as a nonrecursive Datalog rule."""
+        from repro.core.datalog import Rule
+
+        body: list[object] = [
+            RelationAtom(row.tag, row.symbols) for row in self.rows
+        ]
+        body.extend(self.constraints)
+        return Rule(RelationAtom(head_name or self.name, self.summary), tuple(body))
+
+    def __str__(self) -> str:
+        lines = [f"{self.name}({', '.join(self.summary)}) -- summary"]
+        for row in self.rows:
+            lines.append(f"  {row.tag}({', '.join(row.symbols)})")
+        for atom in self.constraints:
+            lines.append(f"  where {atom}")
+        return "\n".join(lines)
+
+
+def normalize(
+    summary: Sequence[object],
+    rows: Sequence[tuple[str, Sequence[object]]],
+    constraints: Iterable[PolyAtom] = (),
+    name: str = "Q",
+) -> TableauQuery:
+    """Build a normal-form tableau from a table with repeats and constants.
+
+    Every cell gets a fresh variable; repeated symbols and constants become
+    linear equality constraints, exactly the normal-form construction of
+    Section 2.2.
+    """
+    fresh_counter = itertools.count()
+    first_occurrence: dict[str, str] = {}
+    extra: list[PolyAtom] = []
+
+    def cell(symbol: object) -> str:
+        fresh = f"_t{next(fresh_counter)}"
+        if isinstance(symbol, str):
+            if symbol in first_occurrence:
+                extra.append(poly_eq(fresh, first_occurrence[symbol]))
+            else:
+                first_occurrence[symbol] = fresh
+            return fresh
+        extra.append(
+            PolyAtom(
+                Polynomial.variable(fresh) - Polynomial.constant(Fraction(symbol)),  # type: ignore[arg-type]
+                "=",
+            )
+        )
+        return fresh
+
+    new_summary = tuple(cell(s) for s in summary)
+    new_rows = tuple(
+        TableauRow(tag, tuple(cell(s) for s in symbols)) for tag, symbols in rows
+    )
+    renamed_constraints = []
+    for atom in constraints:
+        mapping = {
+            original: fresh for original, fresh in first_occurrence.items()
+        }
+        renamed_constraints.append(atom.rename(mapping))
+    return TableauQuery(
+        new_summary, new_rows, tuple(renamed_constraints) + tuple(extra), name
+    )
+
+
+def checkbook_query() -> TableauQuery:
+    """The Figure 3 / Example 2.4 balanced-checkbook query.
+
+    ``Balanced(z) :- Expenses(z, f, r, m), Savings(z, s), Income(z, w, i),
+    f + r + m + s = w + i`` -- widths padded to the maximum arity 4 with
+    fresh ("dash") variables, as in the figure.
+    """
+    x = Polynomial.variable
+    balance = PolyAtom(
+        x("f") + x("r") + x("m") + x("s") - x("w") - x("i"), "="
+    )
+    return normalize(
+        summary=["z"],
+        rows=[
+            ("Expenses", ["z", "f", "r", "m"]),
+            ("Savings", ["z", "s", "d1", "d2"]),
+            ("Income", ["z", "w", "i", "d3"]),
+        ],
+        constraints=[balance],
+        name="Balanced",
+    )

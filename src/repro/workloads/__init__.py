@@ -1,0 +1,31 @@
+"""Deterministic synthetic workload generators for the benchmarks.
+
+Every generator takes an explicit ``seed`` so benchmark runs are
+reproducible; values are exact rationals (no floats enter the engines).
+"""
+
+from repro.workloads.spatial import (
+    random_points,
+    random_rectangles,
+    rectangles_to_generalized,
+    rectangles_to_poly_generalized,
+)
+from repro.workloads.orders import (
+    interval_relation,
+    random_interval_database,
+    chain_edges,
+    random_order_tuples,
+)
+from repro.workloads.equalities import random_equality_database
+
+__all__ = [
+    "chain_edges",
+    "interval_relation",
+    "random_equality_database",
+    "random_interval_database",
+    "random_order_tuples",
+    "random_points",
+    "random_rectangles",
+    "rectangles_to_generalized",
+    "rectangles_to_poly_generalized",
+]

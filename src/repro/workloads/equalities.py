@@ -1,0 +1,29 @@
+"""Equality-theory workload generators (Section 4 benchmarks)."""
+
+from __future__ import annotations
+
+import random
+
+from repro.constraints.equality import EqualityTheory, eq, ne
+from repro.core.generalized import GeneralizedDatabase
+
+
+def random_equality_database(
+    count: int,
+    seed: int = 0,
+    domain: int = 200,
+    name: str = "R",
+    disequality_fraction: float = 0.2,
+) -> GeneralizedDatabase:
+    """A binary relation mixing ground pairs with disequality tuples."""
+    theory = EqualityTheory()
+    rng = random.Random(seed)
+    db = GeneralizedDatabase(theory)
+    relation = db.create_relation(name, ("x", "y"))
+    for _ in range(count):
+        if rng.random() < disequality_fraction:
+            constant = rng.randrange(domain)
+            relation.add_tuple([ne("x", "y"), eq("y", constant)])
+        else:
+            relation.add_point([rng.randrange(domain), rng.randrange(domain)])
+    return db

@@ -1,0 +1,74 @@
+"""Dense-order workload generators: interval relations and chain graphs."""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+from repro.constraints.dense_order import DenseOrderTheory, OrderAtom, eq, le, lt, ne
+from repro.constraints.terms import Const, Var
+from repro.core.generalized import GeneralizedDatabase, GeneralizedRelation
+
+
+def interval_relation(
+    count: int, seed: int = 0, universe: int = 1000, max_width: int = 40,
+    name: str = "R",
+) -> GeneralizedRelation:
+    """A unary generalized relation of ``count`` random closed intervals."""
+    order = DenseOrderTheory()
+    rng = random.Random(seed)
+    relation = GeneralizedRelation(name, ("x",), order)
+    for _ in range(count):
+        low = Fraction(rng.randrange(universe))
+        width = Fraction(rng.randrange(1, max_width))
+        relation.add_tuple([le(low, "x"), le("x", low + width)])
+    return relation
+
+
+def random_interval_database(
+    count: int, seed: int = 0, universe: int = 1000, name: str = "R"
+) -> GeneralizedDatabase:
+    order = DenseOrderTheory()
+    db = GeneralizedDatabase(order)
+    db.add_relation(interval_relation(count, seed, universe, name=name))
+    return db
+
+
+def chain_edges(length: int, name: str = "E") -> GeneralizedDatabase:
+    """The edge relation of a path 0 -> 1 -> ... -> length."""
+    order = DenseOrderTheory()
+    db = GeneralizedDatabase(order)
+    edge = db.create_relation(name, ("x", "y"))
+    for i in range(length):
+        edge.add_point([i, i + 1])
+    return db
+
+
+def random_order_tuples(
+    arity: int, count: int, seed: int = 0, constants: int = 8
+) -> list[tuple[OrderAtom, ...]]:
+    """Random satisfiable dense-order conjunctions (for property benchmarks)."""
+    order = DenseOrderTheory()
+    rng = random.Random(seed)
+    variables = [f"v{i}" for i in range(arity)]
+    results: list[tuple[OrderAtom, ...]] = []
+    attempts = 0
+    while len(results) < count:
+        attempts += 1
+        if attempts > 50 * count + 100:
+            break
+        atoms = []
+        for _ in range(rng.randrange(1, arity + 3)):
+            op = rng.choice(["<", "<=", "=", "!="])
+            left = Var(rng.choice(variables))
+            if rng.random() < 0.5:
+                right = Var(rng.choice(variables))
+                if right == left:
+                    continue
+            else:
+                right = Const(Fraction(rng.randrange(constants)))
+            atoms.append(OrderAtom(op, left, right))
+        conj = tuple(atoms)
+        if order.is_satisfiable(conj):
+            results.append(conj)
+    return results

@@ -1,0 +1,108 @@
+"""Spatial workload generators: rectangles and point sets (Figure 2 inputs)."""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+from repro.constraints.dense_order import DenseOrderTheory, eq, le
+from repro.constraints.real_poly import RealPolynomialTheory, poly_eq, poly_ge, poly_le
+from repro.core.generalized import GeneralizedDatabase
+from repro.geometry.rectangles import Rect
+from repro.poly.polynomial import Polynomial
+
+
+def random_rectangles(
+    count: int, seed: int = 0, universe: int = 1000, max_side: int = 60
+) -> list[Rect]:
+    """Random axis-parallel rectangles in a [0, universe]^2 box."""
+    rng = random.Random(seed)
+    rects = []
+    for index in range(count):
+        x1 = Fraction(rng.randrange(universe))
+        y1 = Fraction(rng.randrange(universe))
+        width = Fraction(rng.randrange(1, max_side))
+        height = Fraction(rng.randrange(1, max_side))
+        rects.append(Rect(index, x1, y1, x1 + width, y1 + height))
+    return rects
+
+
+def rectangles_to_generalized(rects: list[Rect]) -> GeneralizedDatabase:
+    """The ternary generalized relation Rect(n, x, y) of Example 1.1."""
+    order = DenseOrderTheory()
+    db = GeneralizedDatabase(order)
+    relation = db.create_relation("Rect", ("n", "x", "y"))
+    for rect in rects:
+        relation.add_tuple(
+            [
+                eq("n", rect.name),
+                le(rect.x1, "x"),
+                le("x", rect.x2),
+                le(rect.y1, "y"),
+                le("y", rect.y2),
+            ]
+        )
+    return db
+
+
+def rectangles_to_poly_generalized(rects: list[Rect]) -> GeneralizedDatabase:
+    """The same relation over the real polynomial theory."""
+    theory = RealPolynomialTheory()
+    db = GeneralizedDatabase(theory)
+    relation = db.create_relation("Rect", ("n", "x", "y"))
+    x, y, n = (Polynomial.variable(v) for v in ("x", "y", "n"))
+    for rect in rects:
+        relation.add_tuple(
+            [
+                poly_eq(n, Polynomial.constant(Fraction(rect.name))),
+                poly_ge(x, Polynomial.constant(rect.x1)),
+                poly_le(x, Polynomial.constant(rect.x2)),
+                poly_ge(y, Polynomial.constant(rect.y1)),
+                poly_le(y, Polynomial.constant(rect.y2)),
+            ]
+        )
+    return db
+
+
+def random_points(
+    count: int, seed: int = 0, universe: int = 10_000
+) -> list[tuple[Fraction, Fraction]]:
+    """Random distinct points with rational coordinates (general position is
+    likely but not guaranteed; callers needing it should use the
+    odd-coordinate trick below)."""
+    rng = random.Random(seed)
+    points: set[tuple[Fraction, Fraction]] = set()
+    while len(points) < count:
+        points.add(
+            (Fraction(rng.randrange(universe)), Fraction(rng.randrange(universe)))
+        )
+    return sorted(points)
+
+
+def random_points_general_position(
+    count: int, seed: int = 0, universe: int = 10_000
+) -> list[tuple[Fraction, Fraction]]:
+    """Random points with no three collinear (rejection sampling)."""
+    from repro.geometry.convex_hull import _orient
+
+    rng = random.Random(seed)
+    points: list[tuple[Fraction, Fraction]] = []
+    attempts = 0
+    while len(points) < count:
+        attempts += 1
+        if attempts > 100 * count + 1000:
+            raise RuntimeError("could not reach general position; enlarge universe")
+        candidate = (
+            Fraction(rng.randrange(universe)),
+            Fraction(rng.randrange(universe)),
+        )
+        if candidate in points:
+            continue
+        if any(
+            _orient(a, b, candidate) == 0
+            for i, a in enumerate(points)
+            for b in points[i + 1:]
+        ):
+            continue
+        points.append(candidate)
+    return points

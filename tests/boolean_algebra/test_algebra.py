@@ -1,0 +1,117 @@
+"""Tests for free boolean algebras B_m (Section 5.1)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.boolean_algebra.algebra import FreeBooleanAlgebra
+
+
+class TestStructure:
+    def test_b0_is_two_valued(self):
+        b0 = FreeBooleanAlgebra()
+        assert b0.size == 2
+        assert b0.zero() != b0.one()
+        assert list(b0.all_elements()) == [frozenset(), frozenset({0})]
+
+    def test_size_formula(self):
+        # |B_m| = 2^(2^m)  (Section 5.1)
+        for m, size in [(0, 2), (1, 4), (2, 16), (3, 256)]:
+            assert FreeBooleanAlgebra.with_generators(m).size == size
+
+    def test_generators_distinct_and_free(self):
+        b2 = FreeBooleanAlgebra.with_generators(2)
+        c0, c1 = b2.generator(0), b2.generator(1)
+        assert c0 != c1
+        assert c0 != b2.zero() and c0 != b2.one()
+        # free: no nontrivial relation, e.g. c0 & c1 is none of 0, c0, c1, 1
+        meet = b2.meet(c0, c1)
+        assert meet not in (b2.zero(), b2.one(), c0, c1)
+
+    def test_generator_out_of_range(self):
+        with pytest.raises(IndexError):
+            FreeBooleanAlgebra.with_generators(1).generator(1)
+
+
+ALGEBRA = FreeBooleanAlgebra.with_generators(2)
+ELEMENTS = st.sets(st.integers(0, 3), max_size=4).map(frozenset)
+
+
+class TestAxioms:
+    """The nine boolean algebra axioms of Section 5.1, property-checked."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(ELEMENTS, ELEMENTS)
+    def test_commutativity(self, a, b):
+        assert ALGEBRA.join(a, b) == ALGEBRA.join(b, a)
+        assert ALGEBRA.meet(a, b) == ALGEBRA.meet(b, a)
+
+    @settings(max_examples=60, deadline=None)
+    @given(ELEMENTS, ELEMENTS, ELEMENTS)
+    def test_distributivity(self, a, b, c):
+        assert ALGEBRA.join(a, ALGEBRA.meet(b, c)) == ALGEBRA.meet(
+            ALGEBRA.join(a, b), ALGEBRA.join(a, c)
+        )
+        assert ALGEBRA.meet(a, ALGEBRA.join(b, c)) == ALGEBRA.join(
+            ALGEBRA.meet(a, b), ALGEBRA.meet(a, c)
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(ELEMENTS)
+    def test_complement_laws(self, a):
+        assert ALGEBRA.join(a, ALGEBRA.complement(a)) == ALGEBRA.one()
+        assert ALGEBRA.meet(a, ALGEBRA.complement(a)) == ALGEBRA.zero()
+
+    @settings(max_examples=60, deadline=None)
+    @given(ELEMENTS)
+    def test_identity_laws(self, a):
+        assert ALGEBRA.join(a, ALGEBRA.zero()) == a
+        assert ALGEBRA.meet(a, ALGEBRA.one()) == a
+
+    @settings(max_examples=60, deadline=None)
+    @given(ELEMENTS, ELEMENTS)
+    def test_xor_definition(self, a, b):
+        expected = ALGEBRA.join(
+            ALGEBRA.meet(a, ALGEBRA.complement(b)),
+            ALGEBRA.meet(ALGEBRA.complement(a), b),
+        )
+        assert ALGEBRA.xor(a, b) == expected
+
+    @settings(max_examples=60, deadline=None)
+    @given(ELEMENTS, ELEMENTS)
+    def test_leq_is_meet_order(self, a, b):
+        assert ALGEBRA.leq(a, b) == (ALGEBRA.meet(a, b) == a)
+
+
+class TestInterpretation:
+    def test_interpret_generators(self):
+        b1 = FreeBooleanAlgebra.with_generators(1)
+        b2 = FreeBooleanAlgebra.with_generators(2)
+        # map the single generator of B_1 to c0 & c1 in B_2
+        image = b2.meet(b2.generator(0), b2.generator(1))
+        result = b1.interpret(b1.generator(0), [image], b2)
+        assert result == image
+
+    def test_interpretation_is_homomorphism(self):
+        b2 = FreeBooleanAlgebra.with_generators(2)
+        b1 = FreeBooleanAlgebra.with_generators(1)
+        images = [b1.generator(0), b1.complement(b1.generator(0))]
+        for a in list(b2.all_elements())[:8]:
+            for b in list(b2.all_elements())[:8]:
+                left = b2.interpret(b2.meet(a, b), images, b1)
+                right = b1.meet(
+                    b2.interpret(a, images, b1), b2.interpret(b, images, b1)
+                )
+                assert left == right
+
+    def test_wrong_image_count(self):
+        b1 = FreeBooleanAlgebra.with_generators(1)
+        with pytest.raises(ValueError):
+            b1.interpret(b1.one(), [], b1)
+
+
+class TestRendering:
+    def test_dnf_string(self):
+        b1 = FreeBooleanAlgebra.with_generators(1)
+        assert b1.dnf_string(b1.zero()) == "0"
+        assert b1.dnf_string(b1.one()) == "1"
+        assert "c0" in b1.dnf_string(b1.generator(0))

@@ -1,0 +1,269 @@
+"""Tests for Boole's lemma, boolean Datalog, and the adder/parity examples."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.boolean_algebra.algebra import FreeBooleanAlgebra
+from repro.boolean_algebra.boole import (
+    boole_eliminate_table,
+    constraint_has_solution,
+    solve_constraint,
+)
+from repro.boolean_algebra.datalog_bool import (
+    BodyAtom,
+    BooleanDatalogProgram,
+    BooleanRule,
+    element_as_term,
+)
+from repro.boolean_algebra.terms import (
+    BAnd,
+    BConst,
+    BNot,
+    BOne,
+    BOr,
+    BVar,
+    BXor,
+    BZero,
+    standard_constants,
+    table_evaluate,
+    term_table,
+)
+
+B1 = FreeBooleanAlgebra.with_generators(1)
+B2 = FreeBooleanAlgebra.with_generators(2)
+
+
+class TestTerms:
+    def test_evaluate(self):
+        term = BAnd(BVar("x"), BNot(BVar("y")))
+        env = {"x": B1.one(), "y": B1.zero()}
+        assert term.evaluate(B1, {}, env) == B1.one()
+
+    def test_xor_sugar(self):
+        term = BVar("x") ^ BVar("y")
+        assert isinstance(term, BXor)
+        env = {"x": B1.one(), "y": B1.one()}
+        assert term.evaluate(B1, {}, env) == B1.zero()
+
+    def test_substitute(self):
+        term = BVar("x") & BVar("y")
+        replaced = term.substitute({"x": BOne()})
+        assert replaced.variables() == {"y"}
+
+    def test_table_expansion_identity(self):
+        # the Boolean expansion evaluates correctly at non-0/1 elements
+        term = BXor(BVar("x"), BConst("c0"))
+        table = term_table(term, ["x"], B1)
+        constants = standard_constants(B1)
+        for x_value in B1.all_elements():
+            direct = term.evaluate(B1, constants, {"x": x_value})
+            via_table = table_evaluate(table, ["x"], B1, {"x": x_value})
+            assert direct == via_table
+
+    def test_missing_constant_rejected(self):
+        with pytest.raises(ValueError):
+            term_table(BConst("unknown"), [], B1)
+
+    def test_variable_out_of_scope_rejected(self):
+        with pytest.raises(ValueError):
+            term_table(BVar("x"), [], B1)
+
+
+class TestBoole:
+    def test_eliminate_simple(self):
+        # exists x . x = 0 is true
+        table = term_table(BVar("x"), ["x"], B1)
+        reduced, names = boole_eliminate_table(table, ("x",), "x")
+        assert names == ()
+        assert B1.is_zero(reduced[0])
+
+    def test_has_solution(self):
+        # x ^ c0 = 0 has the solution x = c0
+        assert constraint_has_solution(BXor(BVar("x"), BConst("c0")), B1)
+        # 1 = 0 has none
+        assert not constraint_has_solution(BOne(), B1)
+
+    def test_remark_f_conjunction_nonzero(self):
+        # c0 & x' | c0' & x: solvable (x = c0) although neither t(0)=c0 nor
+        # t(1)=c0' is zero -- the conjunction c0 & c0' is (Remark F)
+        term = BOr(
+            BAnd(BConst("c0"), BNot(BVar("x"))),
+            BAnd(BNot(BConst("c0")), BVar("x")),
+        )
+        assert constraint_has_solution(term, B1)
+
+    def test_solve_produces_valid_solution(self):
+        term = BXor(BVar("x"), BConst("c0"))
+        solution = solve_constraint(term, B1)
+        assert solution is not None
+        value = term.evaluate(B1, standard_constants(B1), solution)
+        assert B1.is_zero(value)
+        assert solution["x"] == B1.generator(0)
+
+    def test_solve_unsolvable(self):
+        assert solve_constraint(BOne(), B1) is None
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(0, 15), st.integers(0, 15), st.integers(0, 15))
+    def test_solve_random_interval_constraints(self, a_mask, b_mask, c_mask):
+        # constraint (x & a') | (x' & b): solution iff b <= a (interval [b, a])
+        a = frozenset(i for i in range(4) if a_mask & (1 << i))
+        b = frozenset(i for i in range(4) if b_mask & (1 << i))
+        term = BOr(
+            BAnd(BVar("x"), BNot(element_as_term(a, B2))),
+            BAnd(BNot(BVar("x")), element_as_term(b, B2)),
+        )
+        solvable = constraint_has_solution(term, B2)
+        assert solvable == B2.leq(b, a)
+        solution = solve_constraint(term, B2)
+        if solvable:
+            value = term.evaluate(B2, standard_constants(B2), solution)
+            assert B2.is_zero(value)
+        else:
+            assert solution is None
+
+
+class TestAdderExample:
+    """Example 5.4: the adder built from two half-adders, evaluated bottom-up."""
+
+    def _program(self):
+        b0 = FreeBooleanAlgebra()
+        program = BooleanDatalogProgram(b0)
+        x, y, zv, w = BVar("x"), BVar("y"), BVar("z"), BVar("w")
+        # Halfadder(x, y, z, w) :- (x ^ y ^ z) | ((x & y) ^ w) = 0
+        constraint = BOr(BXor(BXor(x, y), zv), BXor(BAnd(x, y), w))
+        program.add_fact("Halfadder", ["x", "y", "z", "w"], constraint)
+        s1, c1, c2 = BVar("s1"), BVar("c1"), BVar("c2")
+        rule = BooleanRule(
+            head_predicate="Adder",
+            head_arguments=("x", "y", "c", "s", "d"),
+            body=(
+                BodyAtom("Halfadder", ("x", "y", "s1", "c1")),
+                BodyAtom("Halfadder", ("s1", "c", "s", "c2")),
+            ),
+            constraint=BXor(BVar("d"), BOr(c1, c2)),
+        )
+        program.add_rule(rule)
+        return program
+
+    def test_adder_truth_table(self):
+        program = self._program()
+        facts = program.evaluate()
+        adder_facts = facts["Adder"]
+        assert len(adder_facts) == 1
+        (fact,) = adder_facts
+        b0 = program.algebra
+        names = fact.variable_names()
+        # check the full adder truth table: s = x^y^c, d = majority(x,y,c)
+        for mask in range(8):
+            x_in = b0.from_bool(bool(mask & 1))
+            y_in = b0.from_bool(bool(mask & 2))
+            c_in = b0.from_bool(bool(mask & 4))
+            s_expected = b0.xor(b0.xor(x_in, y_in), c_in)
+            d_expected = b0.join(
+                b0.join(b0.meet(x_in, y_in), b0.meet(x_in, c_in)),
+                b0.meet(y_in, c_in),
+            )
+            env = dict(
+                zip(names, [x_in, y_in, c_in, s_expected, d_expected])
+            )
+            value = table_evaluate(fact.table, names, b0, env)
+            assert b0.is_zero(value), f"adder fails on input {mask:03b}"
+            # a wrong sum bit must violate the constraint
+            env_bad = dict(env)
+            env_bad[names[3]] = b0.complement(s_expected)
+            assert not b0.is_zero(table_evaluate(fact.table, names, b0, env_bad))
+
+
+class TestParityExample:
+    """Examples 5.7/5.8: parity of n bits, recursive over an ordered chain."""
+
+    def test_parametric_parity_chain(self):
+        m = 3  # three parametric input bits
+        algebra = FreeBooleanAlgebra.with_generators(m)
+        program = BooleanDatalogProgram(algebra)
+        # chain relations Next(i, j) and Input(i, x) use *positions* encoded
+        # as boolean tuples; we keep positions boolean by unary encoding:
+        # Parity_i relations instead (one per position), mirroring Example
+        # 5.7's fixed-n formulation
+        # Parity1(x) :- x ^ c0 = 0
+        program.add_fact("Parity1", ["x"], BXor(BVar("x"), BConst("c0")))
+        for i in range(2, m + 1):
+            rule = BooleanRule(
+                head_predicate=f"Parity{i}",
+                head_arguments=("x",),
+                body=(BodyAtom(f"Parity{i - 1}", ("y",)),),
+                constraint=BXor(BVar("x"), BXor(BVar("y"), BConst(f"c{i - 1}"))),
+            )
+            program.add_rule(rule)
+        facts = program.evaluate()
+        final = facts[f"Parity{m}"]
+        assert len(final) == 1
+        (fact,) = final
+        # the unique solution of the parity constraint is c0 ^ c1 ^ c2
+        expected = algebra.xor(
+            algebra.xor(algebra.generator(0), algebra.generator(1)),
+            algebra.generator(2),
+        )
+        value = table_evaluate(fact.table, ("_0",), algebra, {"_0": expected})
+        assert algebra.is_zero(value)
+        wrong = algebra.complement(expected)
+        assert not algebra.is_zero(
+            table_evaluate(fact.table, ("_0",), algebra, {"_0": wrong})
+        )
+
+    def test_remark_g_interpretation_commutes(self):
+        # parametric evaluation then interpretation == evaluation of the
+        # interpreted instance (Remark G)
+        algebra = FreeBooleanAlgebra.with_generators(2)
+        program = BooleanDatalogProgram(algebra)
+        program.add_fact(
+            "R", ["x"], BXor(BVar("x"), BAnd(BConst("c0"), BConst("c1")))
+        )
+        rule = BooleanRule(
+            head_predicate="S",
+            head_arguments=("x",),
+            body=(BodyAtom("R", ("x",)),),
+        )
+        program.add_rule(rule)
+        facts = program.evaluate()
+        (fact,) = facts["S"]
+        b0 = FreeBooleanAlgebra()
+        for bits in range(4):
+            images = [b0.from_bool(bool(bits & 1)), b0.from_bool(bool(bits & 2))]
+            interpreted = program.interpret_fact(fact, images, b0)
+            expected = b0.meet(images[0], images[1])
+            value = table_evaluate(
+                interpreted.table, ("_0",), b0, {"_0": expected}
+            )
+            assert b0.is_zero(value)
+
+
+class TestGroundFacts:
+    def test_add_ground_fact_roundtrip(self):
+        program = BooleanDatalogProgram(B1)
+        element = B1.generator(0)
+        fact = program.add_ground_fact("R", [element, B1.one()])
+        names = fact.variable_names()
+        good = table_evaluate(
+            fact.table, names, B1, {"_0": element, "_1": B1.one()}
+        )
+        assert B1.is_zero(good)
+        bad = table_evaluate(
+            fact.table, names, B1, {"_0": B1.zero(), "_1": B1.one()}
+        )
+        assert not B1.is_zero(bad)
+
+    def test_termination_on_cyclic_rules(self):
+        # S(x) :- S(x) must terminate by canonical-table dedup (Theorem 5.6)
+        program = BooleanDatalogProgram(B1)
+        program.add_fact("S", ["x"], BXor(BVar("x"), BConst("c0")))
+        program.add_rule(
+            BooleanRule(
+                head_predicate="S",
+                head_arguments=("x",),
+                body=(BodyAtom("S", ("x",)),),
+            )
+        )
+        facts = program.evaluate()
+        assert len(facts["S"]) == 1

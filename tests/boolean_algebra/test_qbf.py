@@ -1,0 +1,128 @@
+"""Tests for Lemma 5.9 and the Theorem 5.11 Datalog reduction."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.boolean_algebra.algebra import FreeBooleanAlgebra
+from repro.boolean_algebra.qbf import (
+    aexpr_closure,
+    build_circuit,
+    decide_qbf_via_datalog,
+    decide_qbf_via_lemma59,
+    evaluate_circuit,
+    formula_to_term,
+    qbf_truth,
+    replace_constant,
+)
+from repro.tableaux.reductions import BNode, BVarRef
+
+
+def x(i, neg=False):
+    return BVarRef("x", i, neg)
+
+
+def y(j, neg=False):
+    return BVarRef("y", j, neg)
+
+
+CASES = [
+    # forall ys exists xs: psi(xs, ys) = 0  (psi evaluates to false)
+    (x(0), 1, 1, True),  # choose x0 = 0
+    (BNode("or", x(0), x(0, True)), 1, 0, False),  # tautology never 0
+    (y(0), 0, 1, False),  # at y0 = 1 the term is 1, no x to choose
+    (BNode("and", x(0), y(0)), 1, 1, True),  # x0 = 0 kills it
+    (
+        # (x0 or y0) and (x0' or y0'): equals 0 iff x0 != ... x0 = y0' works
+        BNode("and", BNode("or", x(0), y(0)), BNode("or", x(0, True), y(0, True))),
+        1,
+        1,
+        True,
+    ),
+    (
+        # x0 xor y0 (expanded): zero iff x0 = y0 -- choose x0 = y0
+        BNode("or", BNode("and", x(0), y(0, True)), BNode("and", x(0, True), y(0))),
+        1,
+        1,
+        True,
+    ),
+]
+
+
+class TestCircuit:
+    def test_value_matches_term_evaluation(self):
+        formula = BNode("or", BNode("and", x(0), y(0, True)), x(1, True))
+        algebra = FreeBooleanAlgebra(("A0", "B0", "B1"))
+        symbols = {name: algebra.generator(i) for i, name in enumerate(algebra.generator_names)}
+        circuit = build_circuit(formula)
+        via_circuit = evaluate_circuit(circuit, algebra, symbols)
+        # direct evaluation
+        term = formula_to_term(formula, x_as="const", y_as="const")
+        constants = {"A0": symbols["A0"], "B0": symbols["B0"], "B1": symbols["B1"]}
+        direct = term.evaluate(algebra, constants, {})
+        assert via_circuit == direct
+
+
+class TestAexpr:
+    def test_subalgebra_size(self):
+        algebra = FreeBooleanAlgebra(("A0", "A1", "B0"))
+        closure = aexpr_closure(algebra, [0, 1])
+        assert len(closure) == 16  # 2^(2^2): the A-generated subalgebra
+
+    def test_zero_generators(self):
+        algebra = FreeBooleanAlgebra(("B0",))
+        closure = aexpr_closure(algebra, [])
+        assert closure == {algebra.zero(), algebra.one()}
+
+
+class TestReplace:
+    def test_replace_is_substitution(self):
+        algebra = FreeBooleanAlgebra(("A0", "B0"))
+        a0, b0 = algebra.generator(0), algebra.generator(1)
+        element = algebra.join(algebra.meet(a0, b0), algebra.complement(b0))
+        replaced = replace_constant(algebra, element, 1, algebra.one())
+        # B0 -> 1: (A0 & 1) | 0 = A0
+        assert replaced == a0
+        replaced_zero = replace_constant(algebra, element, 1, algebra.zero())
+        # B0 -> 0: 0 | 1 = 1
+        assert replaced_zero == algebra.one()
+
+
+class TestDeciders:
+    @pytest.mark.parametrize("formula,n_x,n_y,expected", CASES)
+    def test_brute_force(self, formula, n_x, n_y, expected):
+        assert qbf_truth(formula, n_x, n_y) == expected
+
+    @pytest.mark.parametrize("formula,n_x,n_y,expected", CASES)
+    def test_lemma_59(self, formula, n_x, n_y, expected):
+        assert decide_qbf_via_lemma59(formula, n_x, n_y) == expected
+
+    @pytest.mark.parametrize("formula,n_x,n_y,expected", CASES)
+    def test_theorem_511_datalog(self, formula, n_x, n_y, expected):
+        assert decide_qbf_via_datalog(formula, n_x, n_y) == expected
+
+
+@st.composite
+def small_formula(draw, n_x=2, n_y=1):
+    depth = draw(st.integers(0, 2))
+
+    def build(d):
+        if d == 0:
+            kind = draw(st.sampled_from(["x"] * n_x + ["y"] * n_y))
+            index = draw(st.integers(0, (n_x if kind == "x" else n_y) - 1))
+            return BVarRef(kind, index, draw(st.booleans()))
+        op = draw(st.sampled_from(["and", "or"]))
+        return BNode(op, build(d - 1), build(d - 1))
+
+    return build(depth)
+
+
+class TestAgreementProperty:
+    @settings(max_examples=20, deadline=None)
+    @given(small_formula())
+    def test_all_three_deciders_agree(self, formula):
+        n_x, n_y = 2, 1
+        expected = qbf_truth(formula, n_x, n_y)
+        assert decide_qbf_via_lemma59(formula, n_x, n_y) == expected
+        assert decide_qbf_via_datalog(formula, n_x, n_y) == expected

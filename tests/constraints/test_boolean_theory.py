@@ -1,0 +1,145 @@
+"""Tests for the boolean ConstraintTheory wrapper (Section 5 via the
+generic interface)."""
+
+import pytest
+
+from repro.boolean_algebra.algebra import FreeBooleanAlgebra
+from repro.boolean_algebra.terms import BAnd, BConst, BNot, BOne, BOr, BVar, BXor
+from repro.constraints.boolean import BooleanConstraintAtom, BooleanTheory
+from repro.core.generalized import GeneralizedRelation
+from repro.errors import TheoryError
+
+algebra = FreeBooleanAlgebra.with_generators(2)
+theory = BooleanTheory(algebra)
+
+
+class TestAtoms:
+    def test_holds(self):
+        atom = theory.zero_of(BXor(BVar("x"), BConst("c0")))
+        assert atom.holds({"x": algebra.generator(0)})
+        assert not atom.holds({"x": algebra.generator(1)})
+
+    def test_rename(self):
+        atom = theory.zero_of(BVar("x") & BVar("y"))
+        renamed = atom.rename({"x": "u"})
+        assert renamed.variables() == {"u", "y"}
+
+    def test_equality_builder(self):
+        atom = theory.equality("x", "y")
+        assert atom.holds({"x": algebra.generator(0), "y": algebra.generator(0)})
+        assert not atom.holds({"x": algebra.generator(0), "y": algebra.generator(1)})
+
+    def test_equality_with_element(self):
+        element = algebra.generator(1)
+        atom = theory.equality("x", element)
+        assert atom.holds({"x": element})
+
+    def test_foreign_atom_rejected(self):
+        from repro.constraints.dense_order import lt
+
+        with pytest.raises(TheoryError):
+            theory.validate_atom(lt("x", "y"))
+
+    def test_wrong_algebra_rejected(self):
+        other = BooleanTheory(FreeBooleanAlgebra.with_generators(1))
+        atom = other.zero_of(BVar("x"))
+        with pytest.raises(TheoryError):
+            theory.validate_atom(atom)
+
+    def test_negation_unsupported(self):
+        with pytest.raises(TheoryError):
+            theory.negate_atom(theory.zero_of(BVar("x")))
+
+
+class TestSolver:
+    def test_satisfiable(self):
+        assert theory.is_satisfiable((theory.zero_of(BVar("x")),))
+        assert not theory.is_satisfiable((theory.zero_of(BOne()),))
+
+    def test_conjunction_merging(self):
+        # x = 0 and x' = 0 is unsatisfiable
+        atoms = (theory.zero_of(BVar("x")), theory.zero_of(BNot(BVar("x"))))
+        assert not theory.is_satisfiable(atoms)
+
+    def test_canonicalize_merges_to_one_atom(self):
+        atoms = (
+            theory.zero_of(BAnd(BVar("x"), BConst("c0"))),
+            theory.zero_of(BAnd(BVar("y"), BConst("c1"))),
+        )
+        canonical = theory.canonicalize(atoms)
+        assert canonical is not None and len(canonical) == 1
+
+    def test_canonicalize_unsat(self):
+        assert theory.canonicalize((theory.zero_of(BOne()),)) is None
+
+    def test_canonical_form_equal_for_equal_tables(self):
+        # two syntactically different but equal constraints
+        a = theory.canonicalize((theory.zero_of(BVar("x") & BVar("x")),))
+        b = theory.canonicalize((theory.zero_of(BVar("x")),))
+        assert a == b
+
+
+class TestElimination:
+    def test_boole_elimination(self):
+        # exists x . (x ^ y) = 0  is always solvable (x := y)
+        atom = theory.zero_of(BXor(BVar("x"), BVar("y")))
+        result = theory.eliminate((atom,), ["x"])
+        assert len(result) == 1
+        (conj,) = result
+        # the residual constraint on y holds for every y
+        for element in list(algebra.all_elements())[:6]:
+            assert all(a.holds({"y": element}) for a in conj)
+
+    def test_elimination_to_unsat(self):
+        result = theory.eliminate((theory.zero_of(BOne()),), ["x"])
+        assert result == []
+
+    def test_partial_elimination(self):
+        # exists x . (x | y) = 0 iff y = 0
+        atom = theory.zero_of(BOr(BVar("x"), BVar("y")))
+        result = theory.eliminate((atom,), ["x"])
+        (conj,) = result
+        assert all(a.holds({"y": algebra.zero()}) for a in conj)
+        assert not all(a.holds({"y": algebra.one()}) for a in conj)
+
+
+class TestSamplePoint:
+    def test_witness(self):
+        atom = theory.zero_of(BXor(BVar("x"), BConst("c0")))
+        point = theory.sample_point((atom,), ["x"])
+        assert point is not None
+        assert atom.holds(point)
+        assert point["x"] == algebra.generator(0)
+
+    def test_unsat_none(self):
+        assert theory.sample_point((theory.zero_of(BOne()),), ["x"]) is None
+
+    def test_unconstrained_defaults(self):
+        point = theory.sample_point((), ["x", "y"])
+        assert point == {"x": algebra.zero(), "y": algebra.zero()}
+
+
+class TestEntailmentAndEquivalence:
+    def test_entails_pointwise(self):
+        strong = theory.zero_of(BOr(BVar("x"), BVar("y")))  # x=0 and y=0
+        weak = theory.zero_of(BVar("x"))
+        assert theory.entails((strong,), weak)
+        assert not theory.entails((weak,), strong)
+
+    def test_equivalent(self):
+        a = (theory.zero_of(BVar("x")), theory.zero_of(BVar("y")))
+        b = (theory.zero_of(BOr(BVar("x"), BVar("y"))),)
+        assert theory.equivalent(a, b)
+        assert not theory.equivalent(a, (theory.zero_of(BVar("x")),))
+
+
+class TestWithGeneralizedRelation:
+    def test_relation_over_boolean_theory(self):
+        relation = GeneralizedRelation("R", ("x",), theory)
+        relation.add_tuple([theory.zero_of(BXor(BVar("x"), BConst("c0")))])
+        assert relation.contains_point({"x": algebra.generator(0)})
+        assert not relation.contains_point({"x": algebra.generator(1)})
+        # duplicate (equivalent) tuple collapses
+        assert not relation.add_tuple(
+            [theory.zero_of(BXor(BConst("c0"), BVar("x")))]
+        )

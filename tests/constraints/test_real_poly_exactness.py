@@ -1,0 +1,117 @@
+"""Exactness property tests for polynomial quantifier elimination.
+
+The projection must agree with an independent decision path: for random
+conjunctions, ``exists z . conj`` holds at a grid point of the remaining
+variables iff pinning those variables keeps the conjunction satisfiable.
+This is the same adversarial check that exposed the dense-order
+disequality-projection bug.
+"""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.constraints.real_poly import PolyAtom, RealPolynomialTheory, poly_eq
+from repro.poly.polynomial import Polynomial, poly_var
+
+theory = RealPolynomialTheory()
+x = poly_var("x")
+z = poly_var("z")
+
+
+@st.composite
+def linear_conjunction(draw):
+    atoms = []
+    for _ in range(draw(st.integers(1, 4))):
+        cz = draw(st.integers(-2, 2))
+        cx = draw(st.integers(-2, 2))
+        constant = draw(st.integers(-3, 3))
+        op = draw(st.sampled_from(["=", "!=", "<", "<="]))
+        poly = cz * z + cx * x + constant
+        if poly.is_constant():
+            continue
+        atoms.append(PolyAtom(poly, op))
+    return tuple(atoms)
+
+
+@st.composite
+def quadratic_conjunction(draw):
+    atoms = []
+    for _ in range(draw(st.integers(1, 3))):
+        a = draw(st.integers(-1, 1))
+        b = draw(st.integers(-2, 2))
+        cx = draw(st.integers(-1, 1))
+        constant = draw(st.integers(-3, 3))
+        op = draw(st.sampled_from(["=", "<", "<="]))
+        poly = a * z * z + b * z + cx * x + constant
+        if "z" not in poly.variables() and "x" not in poly.variables():
+            continue
+        atoms.append(PolyAtom(poly, op))
+    return tuple(atoms)
+
+
+def _projection_agrees(atoms, value):
+    result = theory.eliminate(atoms, ["z"])
+    point = {"x": Fraction(value)}
+    via_projection = any(
+        all(atom.holds(point) for atom in conj) for conj in result
+    )
+    pinned = tuple(atoms) + (poly_eq(x, Fraction(value)),)
+    via_sat = theory.is_satisfiable(pinned)
+    return via_projection == via_sat, via_projection, via_sat
+
+
+class TestLinearExactness:
+    @settings(max_examples=120, deadline=None)
+    @given(linear_conjunction(), st.integers(-4, 4))
+    def test_projection_matches_satisfiability(self, atoms, value):
+        agrees, proj, sat = _projection_agrees(atoms, value)
+        assert agrees, (atoms, value, proj, sat)
+
+
+class TestQuadraticExactness:
+    @settings(max_examples=60, deadline=None)
+    @given(quadratic_conjunction(), st.integers(-3, 3))
+    def test_projection_matches_satisfiability(self, atoms, value):
+        agrees, proj, sat = _projection_agrees(atoms, value)
+        assert agrees, (atoms, value, proj, sat)
+
+
+class TestKnownHardCases:
+    def test_punctured_disk(self):
+        # exists z: x^2 + z^2 <= 1 and z != 0 -- excludes only x = +-1
+        atoms = (
+            PolyAtom(x * x + z * z - 1, "<="),
+            PolyAtom(z, "!="),
+        )
+        result = theory.eliminate(atoms, ["z"])
+
+        def holds(value):
+            return any(
+                all(a.holds({"x": Fraction(value)}) for a in conj)
+                for conj in result
+            )
+
+        assert holds(0)
+        assert holds(Fraction(1, 2))
+        assert not holds(1)  # only z = 0 available at the boundary
+        assert not holds(-1)
+        assert not holds(2)
+
+    def test_equation_with_disequality_side(self):
+        # exists z: z^2 = x and z != 1 -- excludes nothing except... x = 1
+        # still has z = -1, so the projection is exactly x >= 0
+        atoms = (PolyAtom(z * z - x, "="), PolyAtom(z - 1, "!="))
+        result = theory.eliminate(atoms, ["z"])
+
+        def holds(value):
+            return any(
+                all(a.holds({"x": Fraction(value)}) for a in conj)
+                for conj in result
+            )
+
+        assert holds(0)
+        assert holds(1)  # witness z = -1
+        assert holds(4)
+        assert not holds(-1)

@@ -1,0 +1,69 @@
+"""Tests for the shared term layer of the pointwise theories."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.constraints.terms import (
+    Const,
+    Var,
+    as_term,
+    eval_term,
+    rename_term,
+    term_sort_key,
+)
+
+
+class TestCoercion:
+    def test_string_is_variable(self):
+        assert as_term("x") == Var("x")
+
+    def test_numbers_are_rational_constants(self):
+        assert as_term(3) == Const(Fraction(3))
+        assert as_term(Fraction(1, 2)) == Const(Fraction(1, 2))
+
+    def test_float_approximated(self):
+        term = as_term(0.5)
+        assert isinstance(term, Const)
+        assert term.value == Fraction(1, 2)
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError):
+            as_term(True)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(TypeError):
+            as_term(object())
+
+    def test_terms_pass_through(self):
+        v = Var("a")
+        assert as_term(v) is v
+
+
+class TestOrdering:
+    def test_variables_before_constants(self):
+        assert term_sort_key(Var("z")) < term_sort_key(Const(Fraction(0)))
+
+    def test_variables_by_name(self):
+        assert term_sort_key(Var("a")) < term_sort_key(Var("b"))
+
+    def test_mixed_constant_types_deterministic(self):
+        keys = sorted(
+            [term_sort_key(Const(1)), term_sort_key(Const("x")), term_sort_key(Const(2))]
+        )
+        assert len(set(keys)) == 3
+
+
+class TestEvalRename:
+    def test_eval(self):
+        assert eval_term(Var("x"), {"x": 7}) == 7
+        assert eval_term(Const(9), {}) == 9
+
+    def test_rename(self):
+        assert rename_term(Var("x"), {"x": "y"}) == Var("y")
+        assert rename_term(Var("z"), {"x": "y"}) == Var("z")
+        assert rename_term(Const(5), {"x": "y"}) == Const(5)
+
+    def test_str(self):
+        assert str(Var("x")) == "x"
+        assert str(Const(Fraction(1, 2))) == "1/2"

@@ -1,0 +1,156 @@
+"""Tests for the generalized relational algebra (Section 2.1)."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.constraints.dense_order import DenseOrderTheory, eq, le, lt, ne
+from repro.core.algebra import (
+    complement,
+    difference,
+    join,
+    project,
+    rename,
+    select,
+    union,
+)
+from repro.core.generalized import GeneralizedRelation
+from repro.errors import ArityError
+
+order = DenseOrderTheory()
+
+
+def interval_rel(name, *bounds, var="x"):
+    relation = GeneralizedRelation(name, (var,), order)
+    for low, high in bounds:
+        relation.add_tuple([le(low, var), le(var, high)])
+    return relation
+
+
+class TestSelect:
+    def test_conjoins(self):
+        r = interval_rel("R", (0, 10))
+        result = select(r, [lt(5, "x")])
+        assert result.contains_values([Fraction(7)])
+        assert not result.contains_values([Fraction(3)])
+
+    def test_prunes_unsat(self):
+        r = interval_rel("R", (0, 1), (5, 6))
+        result = select(r, [lt(4, "x")])
+        assert len(result) == 1
+
+    def test_out_of_scope_rejected(self):
+        r = interval_rel("R", (0, 1))
+        with pytest.raises(ArityError):
+            select(r, [lt("y", 1)])
+
+
+class TestProject:
+    def test_quantifier_elimination(self):
+        r = GeneralizedRelation("R", ("x", "y"), order)
+        r.add_tuple([lt("x", "y"), lt("y", 5)])
+        result = project(r, ["x"])
+        assert result.contains_values([Fraction(4)])
+        assert not result.contains_values([Fraction(5)])
+
+    def test_reorder(self):
+        r = GeneralizedRelation("R", ("x", "y"), order)
+        r.add_tuple([eq("x", 1), eq("y", 2)])
+        result = project(r, ["y", "x"])
+        assert result.variables == ("y", "x")
+        assert result.contains_point({"x": Fraction(1), "y": Fraction(2)})
+
+    def test_unknown_attribute(self):
+        r = interval_rel("R", (0, 1))
+        with pytest.raises(ArityError):
+            project(r, ["z"])
+
+
+class TestJoinUnionRename:
+    def test_natural_join_on_shared(self):
+        r = GeneralizedRelation("R", ("x", "y"), order)
+        r.add_tuple([lt("x", "y")])
+        s = GeneralizedRelation("S", ("y", "z"), order)
+        s.add_tuple([lt("y", "z")])
+        result = join(r, s)
+        assert result.variables == ("x", "y", "z")
+        assert result.contains_point(
+            {"x": Fraction(0), "y": Fraction(1), "z": Fraction(2)}
+        )
+        assert not result.contains_point(
+            {"x": Fraction(0), "y": Fraction(1), "z": Fraction(0)}
+        )
+
+    def test_join_prunes_unsat(self):
+        r = interval_rel("R", (0, 1))
+        s = interval_rel("S", (5, 6))
+        assert len(join(r, s)) == 0
+
+    def test_union(self):
+        result = union(interval_rel("R", (0, 1)), interval_rel("S", (5, 6)))
+        assert result.contains_values([Fraction(1, 2)])
+        assert result.contains_values([Fraction(11, 2)])
+
+    def test_union_schema_mismatch(self):
+        r = interval_rel("R", (0, 1))
+        s = interval_rel("S", (0, 1), var="y")
+        with pytest.raises(ArityError):
+            union(r, s)
+
+    def test_rename(self):
+        r = interval_rel("R", (0, 1))
+        renamed = rename(r, {"x": "t"})
+        assert renamed.variables == ("t",)
+        assert renamed.contains_point({"t": Fraction(1, 2)})
+
+
+class TestComplementDifference:
+    def test_complement(self):
+        r = interval_rel("R", (0, 1))
+        result = complement(r)
+        assert result.contains_values([Fraction(2)])
+        assert not result.contains_values([Fraction(1, 2)])
+        assert not result.contains_values([Fraction(0)])  # boundary in R
+
+    def test_double_complement(self):
+        r = interval_rel("R", (0, 1), (5, 6))
+        back = complement(complement(r))
+        for value in [Fraction(v, 2) for v in range(-2, 16)]:
+            assert back.contains_values([value]) == r.contains_values([value])
+
+    def test_difference(self):
+        r = interval_rel("R", (0, 10))
+        s = interval_rel("S", (3, 5))
+        result = difference(r, s)
+        assert result.contains_values([Fraction(1)])
+        assert result.contains_values([Fraction(7)])
+        assert not result.contains_values([Fraction(4)])
+
+
+class TestAlgebraicLaws:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(st.tuples(st.integers(0, 8), st.integers(0, 4)), max_size=3),
+        st.lists(st.tuples(st.integers(0, 8), st.integers(0, 4)), max_size=3),
+    )
+    def test_de_morgan(self, spans_a, spans_b):
+        a = interval_rel("A", *[(lo, lo + w) for lo, w in spans_a])
+        b = interval_rel("B", *[(lo, lo + w) for lo, w in spans_b])
+        lhs = complement(union(a, b))
+        rhs = join(complement(a), rename(complement(b), {}))
+        for value in [Fraction(v, 2) for v in range(-2, 28)]:
+            assert lhs.contains_values([value]) == rhs.contains_values([value])
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 8), st.integers(0, 4)), max_size=3))
+    def test_select_project_commute_when_disjoint(self, spans):
+        r = GeneralizedRelation("R", ("x", "y"), order)
+        for lo, w in spans:
+            r.add_tuple([le(lo, "x"), le("x", lo + w), lt("y", "x")])
+        sel_then_proj = project(select(r, [lt(2, "x")]), ["x"])
+        proj_then_sel = select(project(r, ["x"]), [lt(2, "x")])
+        for value in [Fraction(v, 2) for v in range(-2, 28)]:
+            assert sel_then_proj.contains_values([value]) == proj_then_sel.contains_values(
+                [value]
+            )

@@ -1,0 +1,239 @@
+"""Tests for bottom-up closed-form calculus evaluation (the Figure 1 pipeline)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.constraints.dense_order import DenseOrderTheory, eq, le, lt, ne
+from repro.constraints.equality import EqualityTheory
+from repro.constraints.equality import eq as eeq
+from repro.constraints.equality import ne as ene
+from repro.constraints.real_poly import RealPolynomialTheory, poly_eq, poly_le, poly_lt
+from repro.core.calculus import complement_dnf, evaluate_boolean_query, evaluate_calculus
+from repro.core.generalized import GeneralizedDatabase
+from repro.errors import ArityError, EvaluationError
+from repro.logic.parser import parse_query
+from repro.logic.syntax import And, Exists, ForAll, Not, Or, RelationAtom
+from repro.poly.polynomial import poly_var
+
+order = DenseOrderTheory()
+
+
+def interval_db(*bounds):
+    """A database with a unary relation R of intervals."""
+    db = GeneralizedDatabase(order)
+    r = db.create_relation("R", ("x",))
+    for low, high in bounds:
+        r.add_tuple([le(low, "x"), le("x", high)])
+    return db
+
+
+class TestBasics:
+    def test_identity(self):
+        db = interval_db((0, 1))
+        result = evaluate_calculus(RelationAtom("R", ("x",)), db)
+        assert result.contains_values([Fraction(1, 2)])
+        assert not result.contains_values([Fraction(2)])
+
+    def test_conjunction_with_constraint(self):
+        db = interval_db((0, 10))
+        query = And((RelationAtom("R", ("x",)), lt(5, "x")))
+        result = evaluate_calculus(query, db)
+        assert result.contains_values([Fraction(7)])
+        assert not result.contains_values([Fraction(3)])
+
+    def test_union(self):
+        db = interval_db((0, 1), (5, 6))
+        query = RelationAtom("R", ("x",))
+        result = evaluate_calculus(query, db)
+        assert result.contains_values([Fraction(1, 2)])
+        assert result.contains_values([Fraction(11, 2)])
+        assert not result.contains_values([Fraction(3)])
+
+    def test_existential_projection(self):
+        db = GeneralizedDatabase(order)
+        r = db.create_relation("R", ("x", "y"))
+        r.add_tuple([lt("x", "y"), lt("y", 5)])
+        query = Exists(("y",), RelationAtom("R", ("x", "y")))
+        result = evaluate_calculus(query, db)
+        # exists y: x < y < 5 iff x < 5
+        assert result.contains_values([Fraction(4)])
+        assert result.contains_values([Fraction(-100)])
+        assert not result.contains_values([Fraction(5)])
+
+    def test_negation_complement(self):
+        db = interval_db((0, 1))
+        query = Not(RelationAtom("R", ("x",)))
+        result = evaluate_calculus(query, db)
+        assert result.contains_values([Fraction(2)])
+        assert result.contains_values([Fraction(-1)])
+        assert not result.contains_values([Fraction(1, 2)])
+        # boundary points belong to R, not the complement
+        assert not result.contains_values([Fraction(0)])
+
+    def test_forall(self):
+        # forall y (R(y) -> y <= x) i.e. x is an upper bound of R
+        db = interval_db((0, 1), (2, 3))
+        query = ForAll(
+            ("y",),
+            Or((Not(RelationAtom("R", ("y",))), le("y", "x"))),
+        )
+        result = evaluate_calculus(query, db)
+        assert result.contains_values([Fraction(3)])
+        assert result.contains_values([Fraction(10)])
+        assert not result.contains_values([Fraction(5, 2)])
+
+    def test_output_order(self):
+        db = GeneralizedDatabase(order)
+        r = db.create_relation("R", ("a", "b"))
+        r.add_tuple([eq("a", 1), eq("b", 2)])
+        result = evaluate_calculus(
+            RelationAtom("R", ("x", "y")), db, output=("y", "x")
+        )
+        assert result.variables == ("y", "x")
+        assert result.contains_point({"x": Fraction(1), "y": Fraction(2)})
+
+    def test_output_mismatch_rejected(self):
+        db = interval_db((0, 1))
+        with pytest.raises(EvaluationError):
+            evaluate_calculus(RelationAtom("R", ("x",)), db, output=("x", "y"))
+
+    def test_arity_mismatch_rejected(self):
+        db = interval_db((0, 1))
+        with pytest.raises(ArityError):
+            evaluate_calculus(RelationAtom("R", ("x", "y")), db)
+
+    def test_boolean_query(self):
+        db = interval_db((0, 1))
+        yes = Exists(("x",), And((RelationAtom("R", ("x",)), lt(0, "x"))))
+        no = Exists(("x",), And((RelationAtom("R", ("x",)), lt(5, "x"))))
+        assert evaluate_boolean_query(yes, db)
+        assert not evaluate_boolean_query(no, db)
+
+    def test_boolean_query_requires_closed(self):
+        db = interval_db((0, 1))
+        with pytest.raises(EvaluationError):
+            evaluate_boolean_query(RelationAtom("R", ("x",)), db)
+
+
+class TestComplement:
+    def test_complement_roundtrip(self):
+        dnf = [(le(0, "x"), le("x", 1)), (eq("x", 5),)]
+        complement = complement_dnf(dnf, order)
+        # point in neither
+        for value, inside in [(Fraction(1, 2), True), (Fraction(5), True),
+                              (Fraction(3), False), (Fraction(-2), False)]:
+            in_original = any(
+                all(a.holds({"x": value}) for a in conj) for conj in dnf
+            )
+            in_complement = any(
+                all(a.holds({"x": value}) for a in conj) for conj in complement
+            )
+            assert in_original == inside
+            assert in_original != in_complement
+
+    def test_complement_of_everything_is_empty(self):
+        assert complement_dnf([()], order) == []
+
+    def test_complement_of_empty_is_everything(self):
+        result = complement_dnf([], order)
+        assert result == [()]
+
+
+class TestRectangleExample:
+    """Example 1.1 / Figure 2: rectangle intersection in three lines of CQL."""
+
+    def setup_method(self):
+        self.db = GeneralizedDatabase(order)
+        rect = self.db.create_relation("Rect", ("n", "x", "y"))
+        rectangles = {1: (0, 0, 2, 2), 2: (1, 1, 3, 3), 3: (10, 10, 11, 11)}
+        for name, (a, b, c, d) in rectangles.items():
+            rect.add_tuple(
+                [eq("n", name), le(a, "x"), le("x", c), le(b, "y"), le("y", d)]
+            )
+
+    def test_intersection_pairs(self):
+        query = parse_query(
+            "exists x, y . Rect(n1, x, y) and Rect(n2, x, y) and n1 != n2",
+            theory=order,
+        )
+        result = evaluate_calculus(query, self.db, output=("n1", "n2"))
+        assert result.contains_values([Fraction(1), Fraction(2)])
+        assert result.contains_values([Fraction(2), Fraction(1)])
+        assert not result.contains_values([Fraction(1), Fraction(3)])
+        assert not result.contains_values([Fraction(1), Fraction(1)])
+
+    def test_same_program_for_triangle_like_shapes(self):
+        # the same program works for non-rectangular shapes: add a "triangle"
+        # x >= 0, y >= 0, x + y <= ... dense order cannot express x+y, so use
+        # an L-shaped union of two boxes under one name instead
+        rect = self.db.relation("Rect")
+        rect.add_tuple([eq("n", 4), le(0, "x"), le("x", 1), le(4, "y"), le("y", 6)])
+        rect.add_tuple([eq("n", 4), le(0, "x"), le("x", 6), le(4, "y"), le("y", 5)])
+        query = parse_query(
+            "exists x, y . Rect(n1, x, y) and Rect(n2, x, y) and n1 != n2",
+            theory=order,
+        )
+        result = evaluate_calculus(query, self.db, output=("n1", "n2"))
+        # the L-shape does not meet square 1 (y ranges disjoint)
+        assert not result.contains_values([Fraction(4), Fraction(1)])
+
+
+class TestEqualityTheoryCalculus:
+    def test_unsafe_query_closed(self):
+        # Section 4 motivation: the "unsafe" query not R(x) has an infinite
+        # answer, finitely represented with disequalities
+        eqt = EqualityTheory()
+        db = GeneralizedDatabase(eqt)
+        r = db.create_relation("R", ("x",))
+        r.add_point([1])
+        r.add_point([2])
+        result = evaluate_calculus(Not(RelationAtom("R", ("x",))), db)
+        assert result.contains_values([3])
+        assert result.contains_values([999])
+        assert not result.contains_values([1])
+        assert not result.contains_values([2])
+
+    def test_join_on_equality(self):
+        eqt = EqualityTheory()
+        db = GeneralizedDatabase(eqt)
+        r = db.create_relation("R", ("x", "y"))
+        r.add_tuple([eeq("x", "y")])
+        s = db.create_relation("S", ("x",))
+        s.add_point([5])
+        query = Exists(
+            ("y",), And((RelationAtom("R", ("x", "y")), RelationAtom("S", ("y",))))
+        )
+        result = evaluate_calculus(query, db)
+        assert result.contains_values([5])
+        assert not result.contains_values([6])
+
+
+class TestPolynomialCalculus:
+    def test_circle_projection_query(self):
+        poly = RealPolynomialTheory()
+        db = GeneralizedDatabase(poly)
+        circle = db.create_relation("C", ("x", "y"))
+        x, y = poly_var("x"), poly_var("y")
+        circle.add_tuple([poly_le(x * x + y * y, 1)])
+        query = Exists(("y",), RelationAtom("C", ("x", "y")))
+        result = evaluate_calculus(query, db)
+        assert result.contains_values([Fraction(1, 2)])
+        assert result.contains_values([Fraction(1)])
+        assert not result.contains_values([Fraction(3, 2)])
+
+    def test_intersection_of_disks(self):
+        poly = RealPolynomialTheory()
+        db = GeneralizedDatabase(poly)
+        disks = db.create_relation("D", ("n", "x", "y"))
+        x, y, n = poly_var("x"), poly_var("y"), poly_var("n")
+        disks.add_tuple([poly_eq(n, 1), poly_le(x * x + y * y, 1)])
+        disks.add_tuple([poly_eq(n, 2), poly_le((x - 1) ** 2 + y * y, 1)])
+        disks.add_tuple([poly_eq(n, 3), poly_le((x - 10) ** 2 + y * y, 1)])
+        query = parse_query(
+            "exists x, y . D(n1, x, y) and D(n2, x, y) and n1 != n2",
+            theory=poly,
+        )
+        result = evaluate_calculus(query, db, output=("n1", "n2"))
+        assert result.contains_values([Fraction(1), Fraction(2)])
+        assert not result.contains_values([Fraction(1), Fraction(3)])

@@ -1,0 +1,81 @@
+"""Tests for the interactive shell (driven programmatically)."""
+
+import io
+
+from repro.cli import Shell
+
+
+def run(lines):
+    out = io.StringIO()
+    shell = Shell(out=out)
+    for line in lines:
+        if not shell.handle(line):
+            break
+    return out.getvalue()
+
+
+class TestShell:
+    def test_help_and_quit(self):
+        output = run([".help", ".quit"])
+        assert ".theory" in output
+
+    def test_rectangle_session(self):
+        output = run([
+            ".theory dense_order",
+            ".relation R(n, x)",
+            ".tuple R: n = 1 and 0 <= x and x <= 4",
+            ".point R: 2, 9",
+            ".query exists x . R(n, x) and x < 2",
+            ".show R",
+            ".list",
+        ])
+        assert "relation R/2 created" in output
+        assert "tuple added" in output
+        assert "point added" in output
+        assert "n = 1" in output  # query result contains user 1
+        assert "R/2: 2 tuples" in output
+
+    def test_datalog_session(self):
+        output = run([
+            ".relation E(x, y)",
+            ".point E: 1, 2",
+            ".point E: 2, 3",
+            ".rule T(x, y) :- E(x, y).",
+            ".rule T(x, y) :- T(x, z), E(z, y).",
+            ".run",
+        ])
+        assert "fixpoint" in output
+        assert "T(" in output
+
+    def test_theory_switch_resets(self):
+        output = run([
+            ".relation R(x)",
+            ".theory equality",
+            ".list",
+        ])
+        assert "theory set to equality" in output
+        assert "R/1" not in output.split("theory set to equality")[1]
+
+    def test_errors_reported_not_raised(self):
+        output = run([
+            ".show Nope",
+            ".tuple R: x < 1",
+            ".query R(x",
+            ".theory bogus",
+            ".bogus",
+        ])
+        assert output.count("error:") >= 3
+        assert "unknown theory" in output
+        assert "unknown command" in output
+
+    def test_point_with_string_values(self):
+        output = run([
+            ".theory equality",
+            ".relation Color(item, hue)",
+            ".point Color: apple, red",
+            ".query exists item . Color(item, hue)",
+        ])
+        assert "point added" in output
+
+    def test_run_without_rules(self):
+        assert "no rules" in run([".run"])

@@ -1,0 +1,132 @@
+"""Tests for e-configurations and equality EVAL-phi (Section 4)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.constraints.equality import EqualityTheory, eq, ne
+from repro.core.calculus import evaluate_calculus
+from repro.core.econfig import (
+    EConfig,
+    OTHER,
+    econfig_of_point,
+    enumerate_econfigs,
+    evaluate_query_econfig,
+    extensions,
+)
+from repro.core.generalized import GeneralizedDatabase
+from repro.logic.parser import parse_query
+from repro.logic.syntax import Exists, Not, RelationAtom
+
+theory = EqualityTheory()
+CONSTANTS = [1, 2]
+
+
+class TestExample42:
+    """Example 4.2 of the paper, verbatim."""
+
+    def test_example_sequence(self):
+        point = [1, 1, 2, 4, 2, 4, 3]
+        config = econfig_of_point(point, CONSTANTS)
+        # classes {1,2},{3,5},{4,6},{7} (0-indexed here)
+        assert config.classes == (0, 0, 1, 2, 1, 2, 3)
+        assert config.v == (1, 1, 2, OTHER, 2, OTHER, OTHER)
+
+
+class TestPartition:
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(st.integers(0, 5), min_size=1, max_size=3))
+    def test_unique_configuration_per_point(self, point):
+        config = econfig_of_point(point, CONSTANTS)
+        assert config.satisfied_by(point, CONSTANTS)
+        matches = [
+            c
+            for c in enumerate_econfigs(len(point), CONSTANTS)
+            if c.satisfied_by(point, CONSTANTS)
+        ]
+        assert matches == [config]
+
+    def test_every_configuration_nonempty(self):
+        for config in enumerate_econfigs(2, CONSTANTS):
+            point = config.sample_point()
+            assert config.satisfied_by(point, CONSTANTS), config
+
+    def test_counts(self):
+        # size 1: classes trivial; tags = constants + OTHER
+        assert sum(1 for _ in enumerate_econfigs(1, CONSTANTS)) == 3
+        # size 2: either same class (3 tags) or two classes with compatible tags
+        # two classes: tag pairs with distinct non-OTHER tags:
+        # (1,2),(2,1),(1,o),(o,1),(2,o),(o,2),(o,o) = 7; plus same-class 3 = 10
+        assert sum(1 for _ in enumerate_econfigs(2, CONSTANTS)) == 10
+
+
+class TestExtensions:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(st.integers(0, 4), min_size=1, max_size=2),
+        st.integers(0, 4),
+    )
+    def test_extension_exists_for_extended_point(self, point, extra):
+        config = econfig_of_point(point, CONSTANTS)
+        matching = [
+            ext
+            for ext in extensions(config, CONSTANTS)
+            if ext.satisfied_by(list(point) + [extra], CONSTANTS)
+        ]
+        assert len(matching) == 1
+
+    def test_projection_inverts(self):
+        config = econfig_of_point([7], CONSTANTS)
+        for ext in extensions(config, CONSTANTS):
+            assert ext.project([0]) == config
+
+
+class TestEvalPhi:
+    def _db(self):
+        db = GeneralizedDatabase(theory)
+        r = db.create_relation("R", ("x",))
+        r.add_point([1])
+        r.add_point([2])
+        return db
+
+    def test_safe_query(self):
+        db = self._db()
+        query = parse_query("R(x)", theory=theory)
+        via_econfig = evaluate_query_econfig(query, db)
+        for value in (1, 2, 3, 99):
+            assert via_econfig.contains_values([value]) == (value in (1, 2))
+
+    def test_unsafe_query_closed(self):
+        # the complement query has an infinite answer, still closed form
+        db = self._db()
+        query = Not(RelationAtom("R", ("x",)))
+        via_econfig = evaluate_query_econfig(query, db)
+        via_direct = evaluate_calculus(query, db)
+        for value in (1, 2, 3, 99):
+            assert via_econfig.contains_values([value]) == via_direct.contains_values(
+                [value]
+            )
+
+    def test_join_with_quantifier(self):
+        db = GeneralizedDatabase(theory)
+        r = db.create_relation("R", ("x", "y"))
+        r.add_point([1, 2])
+        r.add_point([2, 3])
+        query = parse_query("exists y . R(x, y) and y != 2", theory=theory)
+        via_econfig = evaluate_query_econfig(query, db)
+        via_direct = evaluate_calculus(query, db)
+        for value in (1, 2, 3, 4):
+            assert via_econfig.contains_values([value]) == via_direct.contains_values(
+                [value]
+            ), value
+
+    def test_disequality_tuple_input(self):
+        db = GeneralizedDatabase(theory)
+        r = db.create_relation("R", ("x", "y"))
+        r.add_tuple([ne("x", "y")])
+        query = parse_query("exists y . R(x, y) and y = 1", theory=theory)
+        via_econfig = evaluate_query_econfig(query, db)
+        via_direct = evaluate_calculus(query, db)
+        for value in (0, 1, 2):
+            assert via_econfig.contains_values([value]) == via_direct.contains_values(
+                [value]
+            ), value

@@ -1,0 +1,109 @@
+"""Failure-injection tests: wrong-theory atoms, arity abuse, malformed input.
+
+The library must fail *loudly and specifically* -- never silently compute
+over mismatched theories or truncated schemas.
+"""
+
+import pytest
+
+from repro.constraints.dense_order import DenseOrderTheory, lt
+from repro.constraints.equality import EqualityTheory, eq as eeq
+from repro.constraints.real_poly import RealPolynomialTheory, poly_lt
+from repro.core.calculus import evaluate_calculus
+from repro.core.datalog import DatalogProgram, Rule
+from repro.core.generalized import GeneralizedDatabase, GeneralizedRelation
+from repro.errors import (
+    ArityError,
+    EvaluationError,
+    ParseError,
+    TheoryError,
+    UnknownRelationError,
+)
+from repro.logic.parser import parse_query, parse_rules
+from repro.logic.syntax import And, Exists, RelationAtom
+
+order = DenseOrderTheory()
+equality = EqualityTheory()
+poly = RealPolynomialTheory()
+
+
+class TestCrossTheoryMisuse:
+    def test_equality_atom_in_dense_relation(self):
+        relation = GeneralizedRelation("R", ("x", "y"), order)
+        with pytest.raises(TheoryError):
+            relation.add_tuple([eeq("x", "y")])
+
+    def test_poly_atom_in_equality_theory(self):
+        with pytest.raises(TheoryError):
+            equality.is_satisfiable((poly_lt("x", 1),))
+
+    def test_dense_atom_in_poly_theory(self):
+        with pytest.raises(TheoryError):
+            poly.canonicalize((lt("x", 1),))
+
+    def test_mixed_atoms_in_one_tuple(self):
+        relation = GeneralizedRelation("R", ("x",), order)
+        with pytest.raises(TheoryError):
+            relation.add_tuple([lt("x", 1), poly_lt("x", 1)])
+
+    def test_query_with_foreign_atoms(self):
+        db = GeneralizedDatabase(order)
+        db.create_relation("R", ("x",)).add_point([1])
+        query = And((RelationAtom("R", ("x",)), poly_lt("x", 5)))
+        with pytest.raises(TheoryError):
+            evaluate_calculus(query, db)
+
+
+class TestArityAbuse:
+    def test_query_arity_mismatch(self):
+        db = GeneralizedDatabase(order)
+        db.create_relation("R", ("x", "y"))
+        with pytest.raises(ArityError):
+            evaluate_calculus(RelationAtom("R", ("x",)), db)
+
+    def test_rule_arity_conflict(self):
+        rules = [
+            Rule(RelationAtom("S", ("x",)), (RelationAtom("R", ("x",)),)),
+            Rule(RelationAtom("S", ("x", "y")), (RelationAtom("R", ("x", "y")),)),
+        ]
+        with pytest.raises(ArityError):
+            DatalogProgram(rules, order)
+
+    def test_unknown_relation(self):
+        db = GeneralizedDatabase(order)
+        with pytest.raises(UnknownRelationError):
+            evaluate_calculus(RelationAtom("Missing", ("x",)), db)
+
+    def test_tuple_scope_violation(self):
+        relation = GeneralizedRelation("R", ("x",), order)
+        with pytest.raises(ArityError):
+            relation.add_tuple([lt("x", "y")])
+
+
+class TestMalformedPrograms:
+    def test_rule_with_floating_head_variable(self):
+        with pytest.raises(EvaluationError):
+            Rule(RelationAtom("S", ("z",)), (RelationAtom("R", ("x",)),))
+
+    def test_parse_error_carries_position(self):
+        with pytest.raises(ParseError) as error:
+            parse_query("R(x) and and S(x)", theory=order)
+        assert error.value.position is not None
+
+    def test_bad_semantics_name(self):
+        rules = parse_rules("S(x) :- R(x), not T(x).", theory=order)
+        program = DatalogProgram(rules, order)
+        with pytest.raises(EvaluationError):
+            program.evaluate(GeneralizedDatabase(order), semantics="bogus")
+
+    def test_empty_program_evaluates_cleanly(self):
+        program = DatalogProgram([], order)
+        world, stats = program.evaluate(GeneralizedDatabase(order))
+        assert stats.tuples_added == 0
+
+    def test_quantifying_output_variable_rejected(self):
+        db = GeneralizedDatabase(order)
+        db.create_relation("R", ("x",)).add_point([1])
+        query = Exists(("x",), RelationAtom("R", ("x",)))
+        with pytest.raises(EvaluationError):
+            evaluate_calculus(query, db, output=("x",))

@@ -1,0 +1,150 @@
+"""Tests for the Section 3.2 Herbrand machinery and Section 3.3 parallelism."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.constraints.dense_order import DenseOrderTheory, le, lt
+from repro.core.datalog import DatalogProgram
+from repro.core.fringe import (
+    RoundSynchronousEvaluator,
+    is_piecewise_linear,
+    linear_closure_rules,
+    mutually_recursive_groups,
+    squared_closure_rules,
+)
+from repro.core.generalized import GeneralizedDatabase
+from repro.core.herbrand import HerbrandProgram, IDBAtom
+from repro.errors import EvaluationError
+from repro.logic.parser import parse_rules
+
+order = DenseOrderTheory()
+
+
+def chain_db(n):
+    db = GeneralizedDatabase(order)
+    edge = db.create_relation("E", ("x", "y"))
+    for i in range(n):
+        edge.add_point([i, i + 1])
+    return db
+
+
+TC_RULES = """
+T(x, y) :- E(x, y).
+T(x, y) :- T(x, z), E(z, y).
+"""
+
+
+class TestHerbrand:
+    def test_least_fixpoint_matches_datalog_engine(self):
+        rules = parse_rules(TC_RULES, theory=order)
+        db = chain_db(3)
+        herbrand = HerbrandProgram(rules, db)
+        fixpoint = herbrand.least_fixpoint()
+        world = herbrand.as_relations(fixpoint)
+        engine_world, _ = DatalogProgram(rules, order).evaluate(db)
+        t_herbrand = world.relation("T")
+        t_engine = engine_world.relation("T")
+        # Theorem 3.20: same represented point sets
+        for a in range(4):
+            for b in range(4):
+                point = [Fraction(a), Fraction(b)]
+                assert t_herbrand.contains_values(point) == t_engine.contains_values(
+                    point
+                ), point
+
+    def test_interval_edb(self):
+        rules = parse_rules(TC_RULES, theory=order)
+        db = GeneralizedDatabase(order)
+        edge = db.create_relation("E", ("x", "y"))
+        edge.add_tuple([le(0, "x"), lt("x", "y"), le("y", 1)])
+        herbrand = HerbrandProgram(rules, db)
+        world = herbrand.as_relations(herbrand.least_fixpoint())
+        t = world.relation("T")
+        assert t.contains_values([Fraction(0), Fraction(1)])
+        assert t.contains_values([Fraction(1, 4), Fraction(1, 2)])
+        assert not t.contains_values([Fraction(1), Fraction(0)])
+
+    def test_tp_monotone(self):
+        rules = parse_rules(TC_RULES, theory=order)
+        herbrand = HerbrandProgram(rules, chain_db(2))
+        empty: frozenset[IDBAtom] = frozenset()
+        once = herbrand.tp(empty)
+        twice = herbrand.tp(once)
+        assert empty <= once <= twice
+
+    def test_negation_rejected(self):
+        rules = parse_rules("S(x) :- R(x), not T(x).", theory=order)
+        with pytest.raises(EvaluationError):
+            HerbrandProgram(rules, GeneralizedDatabase(order))
+
+
+class TestPiecewiseLinear:
+    def test_linear_closure_is_piecewise_linear(self):
+        rules = linear_closure_rules("E", "T", order)
+        assert is_piecewise_linear(rules)
+
+    def test_squared_closure_is_not(self):
+        rules = squared_closure_rules("E", "T", order)
+        assert not is_piecewise_linear(rules)
+
+    def test_mutual_recursion_groups(self):
+        rules = parse_rules(
+            """
+            A(x) :- B(x).
+            B(x) :- A(x).
+            C(x) :- A(x).
+            """,
+            theory=order,
+        )
+        groups = mutually_recursive_groups(rules)
+        assert {"A", "B"} in groups
+        assert {"C"} in groups
+
+
+class TestRoundsAndFringe:
+    def test_linear_rounds_grow_linearly(self):
+        rules = linear_closure_rules("E", "T", order)
+        evaluator = RoundSynchronousEvaluator(rules, order)
+        _, _, rounds_small = evaluator.evaluate(chain_db(4))
+        _, _, rounds_large = evaluator.evaluate(chain_db(8))
+        assert rounds_large >= rounds_small + 3  # ~linear growth
+
+    def test_squared_rounds_grow_logarithmically(self):
+        rules = squared_closure_rules("E", "T", order)
+        evaluator = RoundSynchronousEvaluator(rules, order)
+        _, _, rounds_8 = evaluator.evaluate(chain_db(8))
+        _, _, rounds_16 = evaluator.evaluate(chain_db(16))
+        assert rounds_16 <= rounds_8 + 2  # doubling: +1 round per doubling
+        assert rounds_16 <= 7
+
+    def test_squared_and_linear_agree(self):
+        db = chain_db(6)
+        linear = RoundSynchronousEvaluator(linear_closure_rules("E", "T", order), order)
+        squared = RoundSynchronousEvaluator(squared_closure_rules("E", "T", order), order)
+        world_linear, _, _ = linear.evaluate(db)
+        world_squared, _, _ = squared.evaluate(db)
+        for a in range(7):
+            for b in range(7):
+                point = [Fraction(a), Fraction(b)]
+                assert world_linear.relation("T").contains_values(
+                    point
+                ) == world_squared.relation("T").contains_values(point)
+
+    def test_fringe_tracked(self):
+        rules = linear_closure_rules("E", "T", order)
+        evaluator = RoundSynchronousEvaluator(rules, order)
+        _, info, _ = evaluator.evaluate(chain_db(5))
+        # the longest path 0->5 has fringe 5 (five edge leaves) and depth 5
+        depths = [meta.depth for meta in info["T"].values()]
+        fringes = [meta.fringe for meta in info["T"].values()]
+        assert max(depths) == 5
+        assert max(fringes) == 5
+
+    def test_polynomial_fringe_of_squared_program(self):
+        rules = squared_closure_rules("E", "T", order)
+        evaluator = RoundSynchronousEvaluator(rules, order)
+        _, info, _ = evaluator.evaluate(chain_db(8))
+        # fringe stays polynomial (equal to path length), depth logarithmic
+        assert max(meta.fringe for meta in info["T"].values()) <= 8
+        assert max(meta.depth for meta in info["T"].values()) <= 4

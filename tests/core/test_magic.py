@@ -1,0 +1,114 @@
+"""Tests for magic-set rewriting (the [44] direction, Section 6(3))."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.constraints.dense_order import DenseOrderTheory
+from repro.core.datalog import DatalogProgram
+from repro.core.generalized import GeneralizedDatabase
+from repro.core.magic import MagicQuery, answer_magic_query, magic_rewrite
+from repro.errors import EvaluationError
+from repro.logic.parser import parse_rules
+from repro.workloads.orders import chain_edges
+
+order = DenseOrderTheory()
+
+TC_RULES = """
+T(x, y) :- E(x, y).
+T(x, y) :- T(x, z), E(z, y).
+"""
+
+
+def two_chains_db():
+    """Two disjoint chains: 0..5 and 100..105."""
+    db = GeneralizedDatabase(order)
+    edge = db.create_relation("E", ("x", "y"))
+    for i in range(5):
+        edge.add_point([i, i + 1])
+        edge.add_point([100 + i, 101 + i])
+    return db
+
+
+class TestRewrite:
+    def test_structure(self):
+        rules = parse_rules(TC_RULES, theory=order)
+        query = MagicQuery("T", 2, {0: 1})
+        rewritten, answer = magic_rewrite(rules, query, order)
+        assert answer == "T__bf"
+        names = {r.head.name for r in rewritten}
+        assert "T__bf" in names
+        assert "_magic_T_bf" in names
+
+    def test_negation_rejected(self):
+        rules = parse_rules("S(x) :- V(x), not R(x).", theory=order)
+        with pytest.raises(EvaluationError):
+            magic_rewrite(rules, MagicQuery("S", 1, {0: 1}), order)
+
+    def test_non_idb_rejected(self):
+        rules = parse_rules(TC_RULES, theory=order)
+        with pytest.raises(EvaluationError):
+            magic_rewrite(rules, MagicQuery("E", 2, {0: 1}), order)
+
+
+class TestSemantics:
+    def test_matches_direct_evaluation(self):
+        rules = parse_rules(TC_RULES, theory=order)
+        db = two_chains_db()
+        answers = answer_magic_query(rules, MagicQuery("T", 2, {0: 0}), db)
+        direct_world, _ = DatalogProgram(rules, order).evaluate(db)
+        direct = direct_world.relation("T")
+        for a in list(range(7)) + list(range(100, 107)):
+            for b in list(range(7)) + list(range(100, 107)):
+                point = [Fraction(0), Fraction(b)]
+                # answers are the bound selection of T
+                expected = direct.contains_values(point)
+                assert answers.contains_values(point) == expected, point
+                if a != 0:
+                    assert not answers.contains_values([Fraction(a), Fraction(b)])
+
+    def test_irrelevant_facts_not_derived(self):
+        rules = parse_rules(TC_RULES, theory=order)
+        db = two_chains_db()
+        query = MagicQuery("T", 2, {0: 0})
+        rewritten, answer_name = magic_rewrite(rules, query, order)
+        world = db.copy()
+        seed = world.create_relation("_magic_T_bf", ("_m0",))
+        seed.add_point([0])
+        result_world, stats = DatalogProgram(rewritten, order).evaluate(world)
+        adorned = result_world.relation(answer_name)
+        # only the first chain is explored: 5 reachability facts, none >= 100
+        assert len(adorned) == 5
+        assert not adorned.contains_values([Fraction(100), Fraction(101)])
+
+    def test_magic_fewer_firings_than_full(self):
+        rules = parse_rules(TC_RULES, theory=order)
+        db = two_chains_db()
+        # full evaluation
+        _, full_stats = DatalogProgram(rules, order).evaluate(db)
+        # magic evaluation
+        query = MagicQuery("T", 2, {0: 0})
+        rewritten, _ = magic_rewrite(rules, query, order)
+        world = db.copy()
+        world.create_relation("_magic_T_bf", ("_m0",)).add_point([0])
+        _, magic_stats = DatalogProgram(rewritten, order).evaluate(world)
+        assert magic_stats.tuples_added < full_stats.tuples_added
+
+    def test_free_query_reduces_to_full(self):
+        rules = parse_rules(TC_RULES, theory=order)
+        db = chain_edges(4)
+        answers = answer_magic_query(rules, MagicQuery("T", 2, {}), db)
+        direct_world, _ = DatalogProgram(rules, order).evaluate(db)
+        direct = direct_world.relation("T")
+        for a in range(5):
+            for b in range(5):
+                point = [Fraction(a), Fraction(b)]
+                assert answers.contains_values(point) == direct.contains_values(point)
+
+    def test_second_argument_bound(self):
+        rules = parse_rules(TC_RULES, theory=order)
+        db = chain_edges(4)
+        answers = answer_magic_query(rules, MagicQuery("T", 2, {1: 4}), db)
+        assert answers.contains_values([Fraction(0), Fraction(4)])
+        assert answers.contains_values([Fraction(3), Fraction(4)])
+        assert not answers.contains_values([Fraction(0), Fraction(3)])

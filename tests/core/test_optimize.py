@@ -1,0 +1,144 @@
+"""Tests for selection propagation / join ordering / quantifier pushing."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.constraints.dense_order import DenseOrderTheory, eq, le, lt, ne
+from repro.core.calculus import evaluate_calculus
+from repro.core.generalized import GeneralizedDatabase
+from repro.core.optimize import optimize
+from repro.logic.syntax import (
+    And,
+    Atom,
+    Exists,
+    Not,
+    Or,
+    RelationAtom,
+    free_variables,
+)
+
+order = DenseOrderTheory()
+
+
+def make_db(big=30, small=2):
+    db = GeneralizedDatabase(order)
+    big_rel = db.create_relation("Big", ("x", "y"))
+    for i in range(big):
+        big_rel.add_point([i, i + 1])
+    small_rel = db.create_relation("Small", ("x",))
+    for i in range(small):
+        small_rel.add_point([10 * i])
+    return db
+
+
+class TestReordering:
+    def test_constraints_first(self):
+        db = make_db()
+        formula = And(
+            (RelationAtom("Big", ("x", "y")), lt("x", 3), RelationAtom("Small", ("x",)))
+        )
+        rewritten = optimize(formula, db)
+        assert isinstance(rewritten, And)
+        kinds = [type(c).__name__ for c in rewritten.children]
+        # the constraint atom leads, then the smaller relation, then Big
+        assert isinstance(rewritten.children[0], Atom)
+        assert rewritten.children[1] == RelationAtom("Small", ("x",))
+        assert rewritten.children[2] == RelationAtom("Big", ("x", "y"))
+
+    def test_negation_last(self):
+        db = make_db()
+        formula = And(
+            (Not(RelationAtom("Big", ("x", "y"))), RelationAtom("Small", ("x",)), lt("y", 9))
+        )
+        rewritten = optimize(formula, db)
+        assert isinstance(rewritten.children[-1], Not)
+
+
+class TestQuantifierPushing:
+    def test_exists_over_or(self):
+        formula = Exists(
+            ("w",),
+            Or((RelationAtom("Small", ("w",)), RelationAtom("Big", ("w", "x")))),
+        )
+        rewritten = optimize(formula, make_db())
+        assert isinstance(rewritten, Or)
+        assert all(isinstance(c, Exists) for c in rewritten.children)
+
+    def test_exists_split_from_free_conjuncts(self):
+        formula = Exists(
+            ("w",),
+            And((RelationAtom("Small", ("x",)), RelationAtom("Big", ("w", "x")))),
+        )
+        rewritten = optimize(formula, make_db())
+        assert isinstance(rewritten, And)
+        # the x-only conjunct escaped the quantifier
+        exists_parts = [c for c in rewritten.children if isinstance(c, Exists)]
+        assert len(exists_parts) == 1
+        assert free_variables(rewritten) == {"x"}
+
+    def test_vacuous_exists_dropped(self):
+        formula = Exists(("w",), RelationAtom("Small", ("x",)))
+        rewritten = optimize(formula, make_db())
+        assert not isinstance(rewritten, Exists)
+
+
+@st.composite
+def random_formula(draw):
+    kind = draw(st.integers(0, 4))
+    c = draw(st.integers(0, 20))
+    if kind == 0:
+        return And(
+            (RelationAtom("Big", ("x", "y")), lt("x", c), RelationAtom("Small", ("x",)))
+        )
+    if kind == 1:
+        return Exists(
+            ("w",),
+            And((RelationAtom("Big", ("x", "w")), le("w", c))),
+        )
+    if kind == 2:
+        return Exists(
+            ("w",),
+            Or((RelationAtom("Big", ("w", "x")), RelationAtom("Big", ("x", "w")))),
+        )
+    if kind == 3:
+        return And(
+            (Not(RelationAtom("Small", ("x",))), RelationAtom("Big", ("x", "y")))
+        )
+    return Exists(
+        ("w",),
+        And(
+            (
+                RelationAtom("Small", ("x",)),
+                RelationAtom("Big", ("w", "y")),
+                lt("x", "y"),
+            )
+        ),
+    )
+
+
+class TestSemanticsPreserved:
+    @settings(max_examples=30, deadline=None)
+    @given(random_formula())
+    def test_optimized_equals_original(self, formula):
+        db = make_db(big=8, small=2)
+        baseline = evaluate_calculus(formula, db)
+        rewritten = optimize(formula, db)
+        assert free_variables(rewritten) == free_variables(formula)
+        optimized = evaluate_calculus(
+            rewritten, db, output=baseline.variables
+        )
+        probes = [Fraction(v) for v in range(-1, 12)]
+        if len(baseline.variables) == 1:
+            for value in probes:
+                assert baseline.contains_values([value]) == optimized.contains_values(
+                    [value]
+                ), (formula, value)
+        else:
+            for a in probes[::2]:
+                for b in probes[::2]:
+                    point = dict(zip(baseline.variables, (a, b)))
+                    assert baseline.contains_point(point) == optimized.contains_point(
+                        point
+                    ), (formula, point)

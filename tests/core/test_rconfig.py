@@ -1,0 +1,169 @@
+"""Tests for r-configurations and EVAL-phi (Section 3.1, Lemmas 3.6-3.13)."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.constraints.dense_order import DenseOrderTheory, eq, le, lt, ne
+from repro.core.generalized import GeneralizedDatabase
+from repro.core.calculus import evaluate_calculus
+from repro.core.rconfig import (
+    RConfig,
+    boolean_eval,
+    enumerate_rconfigs,
+    evaluate_query_rconfig,
+    extensions,
+    rconfig_of_point,
+    to_primitive,
+)
+from repro.logic.parser import parse_query
+from repro.logic.syntax import Exists, Not, RelationAtom
+
+order = DenseOrderTheory()
+
+CONSTANTS = [Fraction(0), Fraction(1), Fraction(2), Fraction(3)]
+
+
+class TestExample32:
+    """Example 3.2 of the paper, verbatim."""
+
+    def test_example_sequence(self):
+        point = [Fraction(1, 2), Fraction(7, 2), Fraction(3, 2), Fraction(3, 2), Fraction(2)]
+        config = rconfig_of_point(point, CONSTANTS)
+        assert config.f == (1, 4, 2, 2, 3)
+        assert config.l == (Fraction(0), Fraction(3), Fraction(1), Fraction(1), Fraction(2))
+        assert config.u == (Fraction(1), None, Fraction(2), Fraction(2), Fraction(2))
+
+
+class TestPartition:
+    """Lemmas 3.7 and 3.8: r-configurations partition D^n."""
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(st.fractions(min_value=-5, max_value=5), min_size=1, max_size=3))
+    def test_unique_configuration_per_point(self, values):
+        point = list(values)
+        config = rconfig_of_point(point, CONSTANTS)
+        assert config.satisfied_by(point)
+        # uniqueness: no other enumerated configuration contains the point
+        matches = [
+            c
+            for c in enumerate_rconfigs(len(point), CONSTANTS)
+            if c.satisfied_by(point)
+        ]
+        assert matches == [config]
+
+    def test_every_configuration_nonempty(self):
+        # Lemma 3.7: every configuration has a satisfying point
+        for config in enumerate_rconfigs(2, [Fraction(0), Fraction(1)]):
+            point = config.sample_point()
+            assert config.satisfied_by(point), (config, point)
+
+    def test_enumeration_counts_grow_polynomially(self):
+        # for fixed n the number of configurations is polynomial in the
+        # constants (the heart of the data-complexity argument)
+        counts = []
+        for c in (1, 2, 4, 8):
+            constants = [Fraction(i) for i in range(c)]
+            counts.append(sum(1 for _ in enumerate_rconfigs(1, constants)))
+        # size-1 configurations: one per constant + one per gap = 2c + 1
+        assert counts == [3, 5, 9, 17]
+
+
+class TestExtensions:
+    """Lemma 3.6: extensions cover exactly the projections."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(st.fractions(min_value=-4, max_value=4), min_size=1, max_size=2),
+        st.fractions(min_value=-4, max_value=4),
+    )
+    def test_extension_exists_for_extended_point(self, values, extra):
+        config = rconfig_of_point(values, CONSTANTS)
+        extended_point = list(values) + [extra]
+        matching = [
+            ext
+            for ext in extensions(config, CONSTANTS)
+            if ext.satisfied_by(extended_point)
+        ]
+        assert len(matching) == 1
+
+    def test_projection_inverts_extension(self):
+        config = rconfig_of_point([Fraction(1, 2)], CONSTANTS)
+        for ext in extensions(config, CONSTANTS):
+            assert ext.project([0]) == config
+
+
+class TestBooleanEval:
+    def test_atom_cases(self):
+        # configuration: x in (0, 1)
+        config = rconfig_of_point([Fraction(1, 2)], CONSTANTS)
+        formula = to_primitive(lt("x", 1))
+        assert boolean_eval(formula, config, ("x",), CONSTANTS)
+        formula2 = to_primitive(lt("x", 0))
+        assert not boolean_eval(formula2, config, ("x",), CONSTANTS)
+        # indeterminate on the configuration -> F(xi) -> psi is not valid
+        # x < 1/2 splits the cell only if 1/2 were a constant; it is not in
+        # D_phi here so the formula would be malformed -- skip.
+
+    def test_exists(self):
+        # exists y: x < y and y < 1, over cell x in (0,1): true by density
+        config = rconfig_of_point([Fraction(1, 2)], CONSTANTS)
+        formula = to_primitive(
+            Exists(("y",), lt("x", "y") & lt("y", 1))
+        )
+        assert boolean_eval(formula, config, ("x",), CONSTANTS)
+        # exists y: y < x and 1 < y: false on this cell
+        formula2 = to_primitive(Exists(("y",), lt("y", "x") & lt(1, "y")))
+        assert not boolean_eval(formula2, config, ("x",), CONSTANTS)
+
+
+class TestEvalPhi:
+    def _db(self):
+        db = GeneralizedDatabase(order)
+        r = db.create_relation("R", ("x",))
+        r.add_tuple([le(0, "x"), le("x", 2)])
+        r.add_tuple([eq("x", 5)])
+        return db
+
+    def test_matches_direct_evaluator_simple(self):
+        db = self._db()
+        query = parse_query("R(x) and x < 1", theory=order)
+        via_rconfig = evaluate_query_rconfig(query, db)
+        via_direct = evaluate_calculus(query, db)
+        for value in [Fraction(-1), Fraction(0), Fraction(1, 2), Fraction(1),
+                      Fraction(3, 2), Fraction(5)]:
+            assert via_rconfig.contains_values([value]) == via_direct.contains_values(
+                [value]
+            ), value
+
+    def test_matches_direct_evaluator_quantified(self):
+        db = GeneralizedDatabase(order)
+        r = db.create_relation("R", ("x", "y"))
+        r.add_tuple([lt("x", "y"), lt("y", 3)])
+        r.add_point([5, 7])
+        query = parse_query("exists y . R(x, y) and x < y", theory=order)
+        via_rconfig = evaluate_query_rconfig(query, db)
+        via_direct = evaluate_calculus(query, db)
+        for value in [Fraction(v, 2) for v in range(-4, 17)]:
+            assert via_rconfig.contains_values([value]) == via_direct.contains_values(
+                [value]
+            ), value
+
+    def test_negation(self):
+        db = self._db()
+        query = Not(RelationAtom("R", ("x",)))
+        via_rconfig = evaluate_query_rconfig(query, db)
+        via_direct = evaluate_calculus(query, db)
+        for value in [Fraction(v, 2) for v in range(-3, 13)]:
+            assert via_rconfig.contains_values([value]) == via_direct.contains_values(
+                [value]
+            ), value
+
+    def test_closed_form_output(self):
+        # the output is a generalized relation over dense-order atoms
+        db = self._db()
+        query = parse_query("R(x)", theory=order)
+        result = evaluate_query_rconfig(query, db)
+        assert result.contains_values([Fraction(1)])
+        assert not result.contains_values([Fraction(3)])

@@ -1,0 +1,142 @@
+"""Tests for the B+-tree (the paper's relational 1-d searching baseline)."""
+
+import math
+import random
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.indexing.bptree import BPlusTree
+
+
+class TestBasics:
+    def test_get(self):
+        tree = BPlusTree(branching=4)
+        for i in range(50):
+            tree.insert(i, f"row{i}")
+        assert tree.get(17) == ["row17"]
+        assert tree.get(999) == []
+
+    def test_duplicates(self):
+        tree = BPlusTree(branching=4)
+        tree.insert(5, "a")
+        tree.insert(5, "b")
+        assert sorted(tree.get(5)) == ["a", "b"]
+        assert len(tree) == 2
+
+    def test_range_search(self):
+        tree = BPlusTree(branching=5)
+        for i in range(100):
+            tree.insert(i, i)
+        hits = tree.range_search(20, 29)
+        assert [k for k, _ in hits] == list(range(20, 30))
+
+    def test_range_empty(self):
+        tree = BPlusTree()
+        tree.insert(1)
+        assert tree.range_search(5, 3) == []
+        assert tree.range_search(10, 20) == []
+
+    def test_items_sorted(self):
+        tree = BPlusTree(branching=4)
+        values = [9, 1, 7, 3, 5, 2, 8]
+        for v in values:
+            tree.insert(v, v)
+        assert [k for k, _ in tree.items()] == sorted(values)
+
+    def test_fraction_keys(self):
+        tree = BPlusTree(branching=4)
+        tree.insert(Fraction(1, 3), "third")
+        tree.insert(Fraction(1, 2), "half")
+        hits = tree.range_search(Fraction(1, 3), Fraction(2, 5))
+        assert [p for _, p in hits] == ["third"]
+
+    def test_branching_validation(self):
+        with pytest.raises(ValueError):
+            BPlusTree(branching=2)
+
+
+class TestRemoval:
+    def test_remove(self):
+        tree = BPlusTree(branching=4)
+        for i in range(30):
+            tree.insert(i, i)
+        assert tree.remove(10)
+        assert tree.get(10) == []
+        assert not tree.remove(10)
+        assert len(tree) == 29
+
+    def test_remove_specific_payload(self):
+        tree = BPlusTree()
+        tree.insert(1, "a")
+        tree.insert(1, "b")
+        assert tree.remove(1, "a")
+        assert tree.get(1) == ["b"]
+
+
+class TestComplexity:
+    def test_height_logarithmic(self):
+        tree = BPlusTree(branching=16)
+        n = 5000
+        for i in range(n):
+            tree.insert(i, None)
+        assert tree.height() <= math.ceil(math.log(n, 8)) + 2
+
+    def test_access_bound_log_plus_output(self):
+        # the paper: range search in O(log_B N + K/B) accesses
+        tree = BPlusTree(branching=16)
+        n = 4096
+        for i in range(n):
+            tree.insert(i, None)
+        tree.stats.reset()
+        hits = tree.range_search(1000, 1099)
+        assert len(hits) == 100
+        bound = math.ceil(math.log(n, 8)) + 2 + math.ceil(100 / 8) + 2
+        assert tree.stats.reads <= bound
+
+    def test_point_search_logarithmic_accesses(self):
+        tree = BPlusTree(branching=16)
+        n = 4096
+        for i in range(n):
+            tree.insert(i, None)
+        tree.stats.reset()
+        tree.get(2048)
+        assert tree.stats.reads <= math.ceil(math.log(n, 8)) + 2
+
+
+class TestProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(st.integers(-100, 100), max_size=150),
+        st.integers(-110, 110),
+        st.integers(-110, 110),
+    )
+    def test_range_matches_sorted_list(self, keys, low, high):
+        if low > high:
+            low, high = high, low
+        tree = BPlusTree(branching=4)
+        for k in keys:
+            tree.insert(k, k)
+        expected = sorted(k for k in keys if low <= k <= high)
+        actual = [k for k, _ in tree.range_search(low, high)]
+        assert actual == expected
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(0, 60), min_size=1, max_size=80), st.data())
+    def test_insert_remove_consistency(self, keys, data):
+        tree = BPlusTree(branching=4)
+        remaining: list[int] = []
+        for k in keys:
+            tree.insert(k, k)
+            remaining.append(k)
+        to_remove = data.draw(
+            st.lists(st.sampled_from(keys), max_size=len(keys))
+        )
+        for k in to_remove:
+            removed = tree.remove(k, k)
+            if k in remaining:
+                assert removed
+                remaining.remove(k)
+            # removing more copies than present eventually fails
+        assert [k for k, _ in tree.items()] == sorted(remaining)

@@ -1,0 +1,134 @@
+"""Tests for the textual query/rule parser."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.constraints.dense_order import DenseOrderTheory, eq, le, lt
+from repro.constraints.equality import EqualityTheory
+from repro.constraints.real_poly import RealPolynomialTheory
+from repro.errors import ParseError
+from repro.logic.parser import parse_query, parse_rules
+from repro.logic.syntax import (
+    And,
+    Exists,
+    ForAll,
+    Not,
+    Or,
+    RelationAtom,
+    free_variables,
+)
+
+order = DenseOrderTheory()
+poly = RealPolynomialTheory()
+equality = EqualityTheory()
+
+
+class TestQueryParsing:
+    def test_relation_atom(self):
+        q = parse_query("R(x, y)", theory=order)
+        assert q == RelationAtom("R", ("x", "y"))
+
+    def test_connectives(self):
+        q = parse_query("R(x) and S(x) or T(x)", theory=order)
+        assert isinstance(q, Or)  # 'and' binds tighter than 'or'
+        assert isinstance(q.children[0], And)
+
+    def test_quantifiers(self):
+        q = parse_query("exists x, y . R(x, y)", theory=order)
+        assert isinstance(q, Exists)
+        assert q.variables_bound == ("x", "y")
+        q2 = parse_query("forall x . R(x, x2)", theory=order)
+        assert isinstance(q2, ForAll)
+
+    def test_negation(self):
+        q = parse_query("not R(x)", theory=order)
+        assert isinstance(q, Not)
+
+    def test_order_comparisons(self):
+        q = parse_query("x < y and x <= 3 and y != 4 and y >= x", theory=order)
+        assert free_variables(q) == {"x", "y"}
+
+    def test_constant_in_relation_compiled(self):
+        q = parse_query("R(x, 3)", theory=order)
+        assert isinstance(q, Exists)
+        assert free_variables(q) == {"x"}
+
+    def test_repeated_variable_compiled(self):
+        q = parse_query("R(x, x)", theory=order)
+        assert isinstance(q, Exists)
+        assert free_variables(q) == {"x"}
+
+    def test_fractions_and_decimals(self):
+        q = parse_query("x < 1/2 and y <= 2.5", theory=order)
+        atoms = list(q.children)
+        assert atoms[0] == lt("x", Fraction(1, 2))
+        assert atoms[1] == le("y", Fraction(5, 2))
+
+    def test_parenthesized_formula(self):
+        q = parse_query("(R(x) or S(x)) and x < 1", theory=order)
+        assert isinstance(q, And)
+
+    def test_arithmetic_rejected_for_dense_order(self):
+        with pytest.raises(ParseError):
+            parse_query("x + y < 1", theory=order)
+
+    def test_order_rejected_for_equality_theory(self):
+        with pytest.raises(ParseError):
+            parse_query("x < y", theory=equality)
+
+    def test_equality_theory_comparisons(self):
+        q = parse_query("x = y and y != 3", theory=equality)
+        assert free_variables(q) == {"x", "y"}
+
+    def test_polynomial_arithmetic(self):
+        q = parse_query("x*x + y*y <= 1 and x - y = 0", theory=poly)
+        assert free_variables(q) == {"x", "y"}
+        # the checkbook linear equation of Example 2.4 parses too
+        q2 = parse_query("f + r + m + s = w + i", theory=poly)
+        assert len(free_variables(q2)) == 6
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_query("R(x) R(y)", theory=order)
+
+    def test_bad_character(self):
+        with pytest.raises(ParseError):
+            parse_query("R(x) @ S(y)", theory=order)
+
+
+class TestRuleParsing:
+    def test_simple_program(self):
+        rules = parse_rules(
+            """
+            T(x, y) :- E(x, y).
+            T(x, y) :- T(x, z), E(z, y).
+            """,
+            theory=order,
+        )
+        assert len(rules) == 2
+        assert rules[0].head == RelationAtom("T", ("x", "y"))
+        assert rules[1].positive_atoms[0].name == "T"
+
+    def test_constraints_in_body(self):
+        rules = parse_rules("S(x) :- R(x, y), x < y, y <= 5.", theory=order)
+        assert len(rules[0].constraint_atoms) == 2
+
+    def test_negated_literal(self):
+        rules = parse_rules("S(x) :- R(x), not T(x).", theory=order)
+        assert rules[0].has_negation()
+
+    def test_constant_argument_in_body(self):
+        rules = parse_rules("S(x) :- R(x, 3).", theory=order)
+        rule = rules[0]
+        # the constant became a fresh variable plus an equality constraint
+        assert len(rule.positive_atoms[0].args) == 2
+        assert rule.constraint_atoms
+
+    def test_constant_in_head_rejected(self):
+        with pytest.raises(ParseError):
+            parse_rules("S(3) :- R(x).", theory=order)
+
+    def test_missing_period(self):
+        with pytest.raises(ParseError):
+            parse_rules("S(x) :- R(x)", theory=order)

@@ -1,0 +1,142 @@
+"""Tests for the formula AST: free variables, renaming, connective helpers."""
+
+import pytest
+
+from repro.constraints.dense_order import eq, lt
+
+from repro.logic.syntax import (
+    And,
+    Exists,
+    FALSE,
+    ForAll,
+    Not,
+    Or,
+    RelationAtom,
+    TRUE,
+    all_relation_atoms,
+    all_variables,
+    conjoin,
+    disjoin,
+    free_variables,
+    fresh_variable,
+    rename_variables,
+)
+
+
+class TestRelationAtom:
+    def test_variables(self):
+        atom = RelationAtom("R", ("x", "y"))
+        assert atom.variables() == {"x", "y"}
+
+    def test_repeated_variable_rejected(self):
+        with pytest.raises(ValueError):
+            RelationAtom("R", ("x", "x"))
+
+    def test_rename(self):
+        atom = RelationAtom("R", ("x", "y"))
+        assert atom.rename({"x": "a"}) == RelationAtom("R", ("a", "y"))
+
+    def test_str(self):
+        assert str(RelationAtom("R", ("x",))) == "R(x)"
+
+
+class TestFreeVariables:
+    def test_atom(self):
+        assert free_variables(lt("x", "y")) == {"x", "y"}
+
+    def test_quantifier_binds(self):
+        formula = Exists(("x",), And((RelationAtom("R", ("x", "y")),)))
+        assert free_variables(formula) == {"y"}
+
+    def test_forall_binds(self):
+        formula = ForAll(("x", "y"), lt("x", "y"))
+        assert free_variables(formula) == frozenset()
+
+    def test_negation_transparent(self):
+        assert free_variables(Not(lt("a", "b"))) == {"a", "b"}
+
+    def test_constants_do_not_count(self):
+        assert free_variables(lt("x", 3)) == {"x"}
+
+    def test_all_variables_includes_bound(self):
+        formula = Exists(("x",), lt("x", "y"))
+        assert all_variables(formula) == {"x", "y"}
+
+
+class TestConnectives:
+    def test_true_false_constants(self):
+        assert TRUE == And(())
+        assert FALSE == Or(())
+
+    def test_conjoin_flattens(self):
+        inner = And((lt("a", "b"), lt("b", "c")))
+        result = conjoin([inner, lt("c", "d")])
+        assert isinstance(result, And)
+        assert len(result.children) == 3
+
+    def test_disjoin_flattens(self):
+        inner = Or((lt("a", "b"),))
+        result = disjoin([inner, lt("c", "d")])
+        assert isinstance(result, Or)
+        assert len(result.children) == 2
+
+    def test_operator_sugar(self):
+        combined = lt("a", "b") & lt("b", "c")
+        assert isinstance(combined, And)
+        either = lt("a", "b") | lt("b", "c")
+        assert isinstance(either, Or)
+        negated = ~lt("a", "b")
+        assert isinstance(negated, Not)
+
+    def test_conjoin_single(self):
+        atom = lt("a", "b")
+        assert conjoin([atom]) is atom
+
+
+class TestRenameVariables:
+    def test_simple(self):
+        formula = And((lt("x", "y"), RelationAtom("R", ("x",))))
+        renamed = rename_variables(formula, {"x": "z"})
+        assert free_variables(renamed) == {"z", "y"}
+
+    def test_bound_variables_untouched(self):
+        formula = Exists(("x",), lt("x", "y"))
+        renamed = rename_variables(formula, {"x": "z", "y": "w"})
+        assert isinstance(renamed, Exists)
+        assert renamed.variables_bound == ("x",)
+        assert free_variables(renamed) == {"w"}
+
+    def test_capture_avoided(self):
+        # renaming y -> x must not let x be captured by the quantifier
+        formula = Exists(("x",), lt("x", "y"))
+        renamed = rename_variables(formula, {"y": "x"})
+        assert isinstance(renamed, Exists)
+        assert renamed.variables_bound != ("x",)
+        assert free_variables(renamed) == {"x"}
+
+    def test_relation_atom_collision_detected(self):
+        # renaming both arguments of a relation atom to the same name is an
+        # arity violation and must raise
+        with pytest.raises(ValueError):
+            rename_variables(RelationAtom("R", ("x", "y")), {"x": "y"})
+
+
+class TestIterators:
+    def test_all_relation_atoms(self):
+        formula = Exists(
+            ("x",),
+            And(
+                (
+                    RelationAtom("R", ("x", "y")),
+                    Or((RelationAtom("S", ("y",)), lt("y", 3))),
+                    Not(RelationAtom("R", ("y", "x"))),
+                )
+            ),
+        )
+        names = [a.name for a in all_relation_atoms(formula)]
+        assert sorted(names) == ["R", "R", "S"]
+
+    def test_fresh_variable_avoids_used(self):
+        used = {"_v0", "_v1", "x"}
+        fresh = fresh_variable(used)
+        assert fresh not in used

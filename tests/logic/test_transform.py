@@ -1,0 +1,69 @@
+"""Tests for NNF/DNF transforms."""
+
+import pytest
+
+from repro.constraints.dense_order import DenseOrderTheory, eq, le, lt, ne
+from repro.logic.syntax import And, Exists, ForAll, Not, Or, RelationAtom
+from repro.logic.transform import dnf_to_formula, to_dnf, to_nnf
+
+order = DenseOrderTheory()
+
+
+class TestNnf:
+    def test_atom_negation_via_theory(self):
+        formula = Not(le("x", "y"))
+        assert to_nnf(formula, order.negate_atom) == lt("y", "x")
+
+    def test_double_negation(self):
+        formula = Not(Not(lt("x", "y")))
+        assert to_nnf(formula, order.negate_atom) == lt("x", "y")
+
+    def test_de_morgan(self):
+        formula = Not(And((eq("x", 1), eq("y", 2))))
+        result = to_nnf(formula, order.negate_atom)
+        assert isinstance(result, Or)
+        assert set(result.children) == {ne("x", 1), ne("y", 2)}
+
+    def test_quantifier_duality(self):
+        formula = Not(Exists(("x",), eq("x", 1)))
+        result = to_nnf(formula, order.negate_atom)
+        assert isinstance(result, ForAll)
+        assert result.child == ne("x", 1)
+
+    def test_forall_negation(self):
+        formula = Not(ForAll(("x",), eq("x", 1)))
+        result = to_nnf(formula, order.negate_atom)
+        assert isinstance(result, Exists)
+
+    def test_negated_relation_atom_kept(self):
+        formula = Not(RelationAtom("R", ("x",)))
+        result = to_nnf(formula, order.negate_atom)
+        assert result == Not(RelationAtom("R", ("x",)))
+
+
+class TestDnf:
+    def test_distribution(self):
+        formula = And((Or((eq("x", 1), eq("x", 2))), eq("y", 3)))
+        dnf = to_dnf(formula)
+        assert len(dnf) == 2
+        assert all(len(conj) == 2 for conj in dnf)
+
+    def test_empty_or_is_false(self):
+        assert to_dnf(Or(())) == []
+
+    def test_empty_and_is_true(self):
+        assert to_dnf(And(())) == [[]]
+
+    def test_quantifier_rejected(self):
+        with pytest.raises(ValueError):
+            to_dnf(Exists(("x",), eq("x", 1)))
+
+    def test_unexpected_negation_rejected(self):
+        with pytest.raises(ValueError):
+            to_dnf(Not(eq("x", 1)))
+
+    def test_roundtrip(self):
+        formula = Or((And((eq("x", 1), eq("y", 2))), eq("z", 3)))
+        dnf = to_dnf(formula)
+        rebuilt = dnf_to_formula(dnf)
+        assert to_dnf(rebuilt) == dnf

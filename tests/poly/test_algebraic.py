@@ -1,0 +1,203 @@
+"""Tests for exact real algebraic numbers, resultants, and number fields."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.poly.algebraic import RealAlgebraic, sorted_roots_with_rationals
+from repro.poly.intervals import RatInterval, eval_upoly_on_interval
+from repro.poly.numberfield import NumberField, cauchy_bound_over_field
+from repro.poly.polynomial import poly_var
+from repro.poly.resultant import discriminant, resultant
+from repro.poly.univariate import SturmContext, UPoly
+
+
+def up(*coeffs):
+    return UPoly.from_fractions(coeffs)
+
+
+def sqrt2():
+    return [r for r in RealAlgebraic.roots_of(up(-2, 0, 1)) if r.sign() > 0][0]
+
+
+class TestIntervals:
+    def test_arithmetic(self):
+        a = RatInterval(Fraction(1), Fraction(2))
+        b = RatInterval(Fraction(-1), Fraction(1))
+        assert (a + b) == RatInterval(Fraction(0), Fraction(3))
+        assert (a * b) == RatInterval(Fraction(-2), Fraction(2))
+        assert (-a) == RatInterval(Fraction(-2), Fraction(-1))
+
+    def test_sign(self):
+        assert RatInterval(Fraction(1), Fraction(2)).sign() == 1
+        assert RatInterval(Fraction(-2), Fraction(-1)).sign() == -1
+        assert RatInterval(Fraction(-1), Fraction(1)).sign() is None
+        assert RatInterval.point(0).sign() == 0
+
+    def test_horner(self):
+        box = RatInterval(Fraction(1), Fraction(2))
+        result = eval_upoly_on_interval([Fraction(-2), Fraction(0), Fraction(1)], box)
+        # x^2 - 2 on [1,2] is within [-1, 2]
+        assert result.low <= -1 and result.high >= 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            RatInterval(Fraction(2), Fraction(1))
+
+
+class TestRealAlgebraic:
+    def test_sqrt2_sign_and_value(self):
+        alpha = sqrt2()
+        assert alpha.sign() == 1
+        assert alpha.compare_rational(1) == 1
+        assert alpha.compare_rational(2) == -1
+        assert abs(float(alpha.approximate()) - 2**0.5) < 1
+
+    def test_rational_roots_exact(self):
+        roots = RealAlgebraic.roots_of(up(-1, 0, 1))  # x^2 - 1
+        values = sorted(r.approximate() for r in roots)
+        assert len(roots) == 2
+
+    def test_sign_of_other_polynomial(self):
+        alpha = sqrt2()
+        # x^2 - 2 vanishes at sqrt(2)
+        assert alpha.sign_of(up(-2, 0, 1)) == 0
+        # x - 1 is positive there
+        assert alpha.sign_of(up(-1, 1)) == 1
+        # x - 2 is negative there
+        assert alpha.sign_of(up(-2, 1)) == -1
+
+    def test_sign_of_multiple_of_defining(self):
+        alpha = sqrt2()
+        multiple = up(-2, 0, 1) * up(3, 1)
+        assert alpha.sign_of(multiple) == 0
+
+    def test_equality_same_root_different_polys(self):
+        a = sqrt2()
+        # root of (x^2-2)(x-5) in the same region
+        b = [
+            r
+            for r in RealAlgebraic.roots_of(up(-2, 0, 1) * up(-5, 1))
+            if r.compare_rational(0) > 0 and r.compare_rational(3) < 0
+        ][0]
+        assert a.equals(b)
+        assert a.compare(b) == 0
+
+    def test_comparison(self):
+        a = sqrt2()
+        b = RealAlgebraic.from_rational(Fraction(3, 2))
+        assert a.compare(b) < 0  # sqrt(2) < 1.5
+        c = [r for r in RealAlgebraic.roots_of(up(-3, 0, 1)) if r.sign() > 0][0]
+        assert a.compare(c) < 0  # sqrt2 < sqrt3
+
+    def test_sorted_merge_dedup(self):
+        roots = RealAlgebraic.roots_of(up(-2, 0, 1))
+        merged = sorted_roots_with_rationals(roots, [Fraction(0), Fraction(0)])
+        assert len(merged) == 3  # -sqrt2, 0, sqrt2
+        assert merged[1].is_rational and merged[1].rational_value() == 0
+
+
+class TestResultant:
+    x = poly_var("x")
+    y = poly_var("y")
+
+    def test_common_root_detection(self):
+        # res_x(x - y, x - 1) = 1 - y (vanishes iff y = 1)
+        f = self.x - self.y
+        g = self.x - 1
+        res = resultant(f, g, "x")
+        assert res.evaluate({"y": 1}) == 0
+        assert res.evaluate({"y": 2}) != 0
+
+    def test_circle_line(self):
+        # res_y(x^2 + y^2 - 1, y - x): vanishes where the line meets the circle
+        f = self.x**2 + self.y**2 - 1
+        g = self.y - self.x
+        res = resultant(f, g, "y")
+        # 2x^2 - 1 = 0 at x = +-1/sqrt(2)
+        value = res.evaluate({"x": Fraction(1, 2)})
+        assert value != 0
+        assert res.evaluate({"x": 0}) != 0
+        # the resultant is proportional to 2x^2 - 1
+        ratio = res.exact_div(2 * self.x**2 - 1)
+        assert ratio.is_constant()
+
+    def test_discriminant_of_quadratic(self):
+        # disc(ax^2 + bx + c) = b^2 - 4ac
+        a, b, c = poly_var("a"), poly_var("b"), poly_var("c")
+        p = a * self.x**2 + b * self.x + c
+        disc = discriminant(p, "x")
+        assert disc == b * b - 4 * a * c
+
+    def test_resultant_multiplicative_in_roots(self):
+        # res(x-1, g) = g(1) up to sign
+        g = self.x**2 + 3
+        res = resultant(self.x - 1, g, "x")
+        assert abs(res.constant_value()) == 4
+
+    def test_zero_resultant_for_shared_factor(self):
+        f = (self.x - self.y) * (self.x + 1)
+        g = (self.x - self.y) * (self.x + 2)
+        assert resultant(f, g, "x").is_zero()
+
+
+class TestNumberField:
+    def test_basic_arithmetic(self):
+        field = NumberField(sqrt2())
+        a = field.alpha_elem()  # sqrt2
+        two = field.mul(a, a)
+        assert two == field.from_fraction(2)
+        half = field.div(field.one(), a)  # 1/sqrt2
+        assert field.mul(half, a) == field.one()
+        assert field.sign(a) == 1
+        assert field.sign(field.sub(a, field.from_fraction(2))) == -1
+
+    def test_is_zero(self):
+        field = NumberField(sqrt2())
+        a = field.alpha_elem()
+        expr = field.sub(field.mul(a, a), field.from_fraction(2))  # alpha^2 - 2
+        assert field.is_zero(expr)
+        assert not field.is_zero(a)
+
+    def test_d5_split_on_reducible_defining(self):
+        # defining polynomial (x^2 - 2)(x - 3), alpha = sqrt(2)
+        poly = up(-2, 0, 1) * up(-3, 1)
+        context = SturmContext(poly)
+        root = [
+            r
+            for r in RealAlgebraic.roots_of(poly)
+            if r.compare_rational(1) > 0 and r.compare_rational(2) < 0
+        ][0]
+        field = NumberField(root)
+        a = field.alpha_elem()
+        # (alpha - 3) is nonzero and invertible only after a D5 split
+        shifted = field.sub(a, field.from_fraction(3))
+        inverse = field.inverse(shifted)
+        assert field.mul(inverse, shifted) == field.one()
+        # the defining polynomial must have shrunk to the sqrt(2) factor
+        assert field.defining.degree() == 2
+
+    def test_sturm_over_number_field(self):
+        # isolate roots of y^2 - alpha (alpha = sqrt2): roots +-2^(1/4)
+        field = NumberField(sqrt2())
+        poly = UPoly(
+            [field.neg(field.alpha_elem()), field.zero(), field.one()], field
+        )
+        bound = cauchy_bound_over_field(poly, field)
+        context = SturmContext(poly)
+        roots = context.isolate_roots(bound=bound)
+        assert len(roots) == 2
+        quarter = 2 ** 0.25
+        for root, expected in zip(roots, (-quarter, quarter)):
+            refined = root
+            for _ in range(30):
+                refined = context.refine(refined)
+            assert abs(float(refined.midpoint()) - expected) < 1e-6
+
+    def test_abs_bounds(self):
+        field = NumberField(sqrt2())
+        a = field.alpha_elem()
+        upper = field.abs_upper(a)
+        lower = field.abs_lower_nonzero(a)
+        assert float(lower) <= 2**0.5 <= float(upper)
+        assert lower > 0

@@ -1,0 +1,130 @@
+"""Tests for contents, primitive parts, bivariate GCDs and gcd-free bases."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.poly.bivargcd import (
+    content_in,
+    gcd_free_basis,
+    gcd_in,
+    primitive_part_in,
+    pseudo_remainder,
+    squarefree_in,
+)
+from repro.poly.polynomial import Polynomial, poly_var
+
+x = poly_var("x")
+y = poly_var("y")
+
+
+class TestContent:
+    def test_constant_content_is_unit(self):
+        # over the field Q scalar contents are units, normalized to 1
+        p = 2 * y * y + 4 * y + 6
+        assert content_in(p, "y") == Polynomial.one()
+
+    def test_polynomial_content(self):
+        p = x * y + x  # = x (y + 1)
+        assert content_in(p, "y") == x
+
+    def test_primitive_part(self):
+        p = x * y + x
+        assert primitive_part_in(p, "y") == y + 1
+
+    def test_zero(self):
+        assert content_in(Polynomial.zero(), "y").is_zero()
+
+
+class TestPseudoRemainder:
+    def test_degree_drops(self):
+        f = y**3 + x * y + 1
+        g = x * y + 1
+        remainder = pseudo_remainder(f, g, "y")
+        assert remainder.degree_in("y") < g.degree_in("y")
+
+    def test_exact_multiple(self):
+        f = (y - x) * (y + x)
+        remainder = pseudo_remainder(f, y - x, "y")
+        assert remainder.is_zero()
+
+
+class TestGcd:
+    def test_common_factor(self):
+        f = (y - x) * (y + 1)
+        g = (y - x) * (y + 2)
+        common = gcd_in(f, g, "y")
+        # proportional to y - x
+        assert common.degree_in("y") == 1
+        assert common.exact_div(common.primitive()) is not None
+        assert (y - x).primitive() == common or (x - y).primitive() == common
+
+    def test_coprime(self):
+        common = gcd_in(y - x, y + x + 1, "y")
+        assert common.degree_in("y") == 0
+
+    def test_with_content(self):
+        f = x * (y - 1)
+        g = x * (y + 1)
+        common = gcd_in(f, g, "y")
+        assert common == x  # gcd of contents
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(-2, 2), st.integers(-2, 2), st.integers(-2, 2))
+    def test_gcd_divides(self, a, b, c):
+        f = (y - a * x) * (y + b)
+        g = (y - a * x) * (y + c)
+        common = gcd_in(f, g, "y")
+        assert common.degree_in("y") >= 1  # shares y - a x
+        f.exact_div(common)
+        g.exact_div(common)  # no exception: divides both
+
+
+class TestSquarefree:
+    def test_removes_square(self):
+        f = (y - x) * (y - x) * (y + 1)
+        sf = squarefree_in(f, "y")
+        assert sf.degree_in("y") == 2
+        sf.exact_div((y - x).primitive())
+
+    def test_already_squarefree(self):
+        f = (y - x) * (y + 1)
+        assert squarefree_in(f, "y").degree_in("y") == 2
+
+    def test_pure_power(self):
+        f = (y - 1) ** 3
+        sf = squarefree_in(f, "y")
+        assert sf == (y - 1) or sf == (1 - y).primitive()
+
+
+class TestGcdFreeBasis:
+    def test_splits_common_factor(self):
+        f = (y - x) * (y + 1)
+        g = (y - x) * (y + 2)
+        basis = gcd_free_basis([f, g], "y")
+        degrees = sorted(b.degree_in("y") for b in basis)
+        assert degrees == [1, 1, 1]  # y-x, y+1, y+2
+        # pairwise coprime
+        for i, a in enumerate(basis):
+            for b in basis[i + 1:]:
+                assert gcd_in(a, b, "y").degree_in("y") == 0
+
+    def test_squares_collapse(self):
+        basis = gcd_free_basis([(y - x) ** 2], "y")
+        assert len(basis) == 1
+        assert basis[0].degree_in("y") == 1
+
+    def test_roots_preserved(self):
+        # every root of every input is a root of some basis element
+        f = (y - 1) * (y - 2)
+        g = (y - 2) * (y - 3)
+        basis = gcd_free_basis([f, g], "y")
+        for root in (1, 2, 3):
+            assert any(
+                b.evaluate({"y": root}) == 0 for b in basis
+            ), root
+
+    def test_constants_ignored(self):
+        basis = gcd_free_basis([Polynomial.constant(5), x + 1], "y")
+        assert basis == []

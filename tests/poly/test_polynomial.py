@@ -1,0 +1,179 @@
+"""Tests for exact multivariate polynomial arithmetic."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.poly.polynomial import Polynomial, poly_const, poly_var
+
+x = poly_var("x")
+y = poly_var("y")
+z = poly_var("z")
+
+
+class TestConstruction:
+    def test_zero(self):
+        assert Polynomial.zero().is_zero()
+        assert Polynomial.constant(0).is_zero()
+
+    def test_constant_value(self):
+        assert poly_const(Fraction(3, 2)).constant_value() == Fraction(3, 2)
+
+    def test_variables(self):
+        assert (x * y + z).variables() == {"x", "y", "z"}
+
+    def test_zero_coefficients_dropped(self):
+        assert (x - x).is_zero()
+        assert (x * 0).is_zero()
+
+
+class TestArithmetic:
+    def test_ring_axioms_spot(self):
+        p = x * x + 2 * y - 3
+        q = y * y - x
+        assert p + q == q + p
+        assert p * q == q * p
+        assert p * (q + 1) == p * q + p
+
+    def test_pow(self):
+        assert (x + 1) ** 2 == x * x + 2 * x + 1
+        assert (x + y) ** 0 == Polynomial.one()
+
+    def test_negative_pow_rejected(self):
+        with pytest.raises(ValueError):
+            (x + 1) ** -1
+
+    def test_scalar_division(self):
+        assert (2 * x) / 2 == x
+
+    def test_scalar_coercion(self):
+        assert 1 + x == x + 1
+        assert 2 - x == -(x - 2)
+        assert 3 * x == x * 3
+
+
+class TestDegrees:
+    def test_total_degree(self):
+        assert (x * x * y + y).total_degree() == 3
+        assert Polynomial.zero().total_degree() == -1
+        assert poly_const(5).total_degree() == 0
+
+    def test_degree_in(self):
+        p = x * x * y + y * y * y
+        assert p.degree_in("x") == 2
+        assert p.degree_in("y") == 3
+        assert p.degree_in("z") == 0
+
+
+class TestCoefficients:
+    def test_roundtrip(self):
+        p = x * x * y - 2 * x + y + 7
+        coeffs = p.coefficients_in("x")
+        assert len(coeffs) == 3
+        assert Polynomial.from_coefficients(coeffs, "x") == p
+
+    def test_leading_coefficient(self):
+        p = (y + 1) * x * x + x
+        assert p.leading_coefficient_in("x") == y + 1
+
+    def test_as_linear(self):
+        p = 2 * x - 3 * y + 5
+        coeffs, constant = p.as_linear()
+        assert coeffs == {"x": Fraction(2), "y": Fraction(-3)}
+        assert constant == 5
+
+    def test_as_linear_rejects_quadratic(self):
+        assert (x * x).as_linear() is None
+        assert (x * y).as_linear() is None
+
+    def test_from_linear(self):
+        assert Polynomial.from_linear({"x": 2, "y": -1}, 4) == 2 * x - y + 4
+
+
+class TestEvaluation:
+    def test_evaluate(self):
+        p = x * x + y
+        assert p.evaluate({"x": 2, "y": 1}) == 5
+        assert p.evaluate({"x": Fraction(1, 2), "y": 0}) == Fraction(1, 4)
+
+    def test_substitute(self):
+        p = x * x + y
+        q = p.substitute({"x": y + 1})
+        assert q == (y + 1) * (y + 1) + y
+
+    def test_rename(self):
+        assert (x * y).rename({"x": "u"}) == poly_var("u") * y
+
+    def test_rename_merging(self):
+        # renaming both variables to the same name merges exponents
+        assert (x * y).rename({"x": "u", "y": "u"}) == poly_var("u") ** 2
+
+
+class TestCalculus:
+    def test_derivative(self):
+        p = x * x * x + 2 * x * y
+        assert p.derivative("x") == 3 * x * x + 2 * y
+        assert p.derivative("y") == 2 * x
+        assert p.derivative("z").is_zero()
+
+    def test_primitive(self):
+        p = 4 * x + 6 * y
+        prim = p.primitive()
+        assert prim == 2 * x + 3 * y
+        assert (-p).primitive() == prim  # sign normalized
+
+    def test_primitive_fractions(self):
+        p = x / 2 + poly_const(Fraction(1, 3))
+        prim = p.primitive()
+        assert prim == 3 * x + 2
+
+
+class TestExactDivision:
+    def test_exact(self):
+        p = (x + y) * (x - y)
+        assert p.exact_div(x + y) == x - y
+
+    def test_not_divisible(self):
+        with pytest.raises(ValueError):
+            (x + 1).exact_div(y)
+
+    def test_constant_divisor(self):
+        assert (2 * x).exact_div(poly_const(2)) == x
+
+    def test_zero_divisor(self):
+        with pytest.raises(ZeroDivisionError):
+            x.exact_div(Polynomial.zero())
+
+
+@st.composite
+def small_poly(draw):
+    terms = {}
+    for _ in range(draw(st.integers(0, 4))):
+        ex = draw(st.integers(0, 2))
+        ey = draw(st.integers(0, 2))
+        coeff = draw(st.integers(-3, 3))
+        mono = tuple(m for m in (("x", ex), ("y", ey)) if m[1])
+        terms[mono] = terms.get(mono, 0) + coeff
+    return Polynomial(terms)
+
+
+class TestProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(small_poly(), small_poly())
+    def test_evaluation_homomorphism(self, p, q):
+        point = {"x": Fraction(2, 3), "y": Fraction(-5, 7)}
+        assert (p + q).evaluate(point) == p.evaluate(point) + q.evaluate(point)
+        assert (p * q).evaluate(point) == p.evaluate(point) * q.evaluate(point)
+
+    @settings(max_examples=100, deadline=None)
+    @given(small_poly(), small_poly())
+    def test_exact_div_inverts_mul(self, p, q):
+        if q.is_zero():
+            return
+        assert (p * q).exact_div(q) == p
+
+    @settings(max_examples=100, deadline=None)
+    @given(small_poly())
+    def test_hash_consistency(self, p):
+        assert hash(p) == hash(Polynomial(p.terms))

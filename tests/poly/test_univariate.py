@@ -1,0 +1,177 @@
+"""Tests for univariate polynomials, Sturm sequences, and root isolation."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.poly.univariate import QQ, RootInterval, SturmContext, UPoly
+
+
+def up(*coeffs):
+    """Polynomial from low-to-high integer coefficients."""
+    return UPoly.from_fractions(coeffs)
+
+
+class TestArithmetic:
+    def test_degree(self):
+        assert up(1, 2, 3).degree() == 2
+        assert up().degree() == -1
+        assert up(0, 0, 0).degree() == -1
+
+    def test_add_sub(self):
+        assert (up(1, 2) + up(3, -2)).coeffs == [Fraction(4)]
+        assert (up(1, 2) - up(1, 2)).is_zero()
+
+    def test_mul(self):
+        # (x+1)(x-1) = x^2 - 1
+        product = up(1, 1) * up(-1, 1)
+        assert product.coeffs == [Fraction(-1), Fraction(0), Fraction(1)]
+
+    def test_divmod(self):
+        # x^3 - 1 = (x - 1)(x^2 + x + 1)
+        quotient, remainder = up(-1, 0, 0, 1).divmod(up(-1, 1))
+        assert remainder.is_zero()
+        assert quotient.coeffs == [Fraction(1), Fraction(1), Fraction(1)]
+
+    def test_divmod_with_remainder(self):
+        quotient, remainder = up(1, 0, 1).divmod(up(0, 1))  # (x^2+1) / x
+        assert quotient.coeffs == [Fraction(0), Fraction(1)]
+        assert remainder.coeffs == [Fraction(1)]
+
+    def test_division_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            up(1).divmod(up())
+
+    def test_gcd(self):
+        # gcd((x-1)(x-2), (x-1)(x-3)) = x - 1 (monic)
+        a = up(-1, 1) * up(-2, 1)
+        b = up(-1, 1) * up(-3, 1)
+        assert a.gcd(b).coeffs == [Fraction(-1), Fraction(1)]
+
+    def test_derivative(self):
+        assert up(5, 3, 1).derivative().coeffs == [Fraction(3), Fraction(2)]
+
+    def test_squarefree(self):
+        # (x-1)^2 (x+2) -> (x-1)(x+2)
+        p = up(-1, 1) * up(-1, 1) * up(2, 1)
+        sf = p.squarefree()
+        expected = (up(-1, 1) * up(2, 1)).monic()
+        assert sf.coeffs == expected.coeffs
+
+    def test_eval(self):
+        p = up(-2, 0, 1)  # x^2 - 2
+        assert p.eval(2) == 2
+        assert p.sign_at(1) == -1
+        assert p.sign_at(2) == 1
+
+    def test_sign_at_infinity(self):
+        p = up(0, -1)  # -x
+        assert p.sign_at_infinity(positive=True) == -1
+        assert p.sign_at_infinity(positive=False) == 1
+
+
+class TestSturm:
+    def test_count_real_roots(self):
+        # x^2 - 2 has two real roots
+        assert SturmContext(up(-2, 0, 1)).count_real_roots() == 2
+        # x^2 + 1 has none
+        assert SturmContext(up(1, 0, 1)).count_real_roots() == 0
+
+    def test_half_open_convention(self):
+        context = SturmContext(up(0, 1))  # x
+        assert context.count_roots_half_open(Fraction(-1), Fraction(0)) == 1
+        assert context.count_roots_half_open(Fraction(0), Fraction(1)) == 0
+
+    def test_count_open(self):
+        context = SturmContext(up(0, 1))
+        assert context.count_roots_open(Fraction(-1), Fraction(0)) == 0
+        assert context.count_roots_open(Fraction(-1), Fraction(1)) == 1
+
+    def test_multiple_roots_counted_once(self):
+        # (x-1)^2: one distinct root
+        p = up(-1, 1) * up(-1, 1)
+        assert SturmContext(p).count_real_roots() == 1
+
+
+class TestIsolation:
+    def test_quadratic(self):
+        roots = SturmContext(up(-2, 0, 1)).isolate_roots()  # +-sqrt(2)
+        assert len(roots) == 2
+        lo, hi = roots
+        assert hi.low < Fraction(15, 10) < hi.high or hi.is_exact is False
+        assert lo.high <= 0 <= hi.low or (lo.high < 0 < hi.low)
+
+    def test_rational_roots_found_exactly_or_bracketed(self):
+        # roots at 0, 1, 2
+        p = up(0, 1) * up(-1, 1) * up(-2, 1)
+        context = SturmContext(p)
+        roots = context.isolate_roots()
+        assert len(roots) == 3
+        values = []
+        for root in roots:
+            interval = root
+            for _ in range(30):
+                interval = context.refine(interval)
+            values.append(interval.midpoint())
+        assert [round(float(v)) for v in values] == [0, 1, 2]
+
+    def test_dense_cluster(self):
+        # close roots at 0 and 1/100
+        p = up(0, 1) * (up(0, 100) - up(1))
+        roots = SturmContext(p).isolate_roots()
+        assert len(roots) == 2
+        assert roots[0].high <= roots[1].low
+
+    def test_no_real_roots(self):
+        assert SturmContext(up(1, 0, 1)).isolate_roots() == []
+
+    def test_refine_halves(self):
+        context = SturmContext(up(-2, 0, 1))
+        root = [r for r in context.isolate_roots() if r.low >= 0][0]
+        refined = context.refine(root)
+        if not refined.is_exact:
+            assert refined.high - refined.low <= (root.high - root.low) / 2
+
+    def test_refinement_converges_to_sqrt2(self):
+        context = SturmContext(up(-2, 0, 1))
+        root = [r for r in context.isolate_roots() if r.low >= 0][0]
+        for _ in range(40):
+            root = context.refine(root)
+        mid = float(root.midpoint())
+        assert abs(mid - 2**0.5) < 1e-9
+
+
+@st.composite
+def int_poly(draw):
+    degree = draw(st.integers(1, 5))
+    coeffs = [draw(st.integers(-5, 5)) for _ in range(degree)]
+    coeffs.append(draw(st.integers(1, 5)))  # nonzero leading
+    return UPoly.from_fractions(coeffs)
+
+
+class TestProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(int_poly())
+    def test_isolation_intervals_disjoint_and_complete(self, p):
+        context = SturmContext(p)
+        roots = context.isolate_roots()
+        assert len(roots) == context.count_real_roots()
+        for a, b in zip(roots, roots[1:]):
+            assert a.high <= b.low
+        for root in roots:
+            if root.is_exact:
+                assert context.poly.sign_at(root.low) == 0
+            else:
+                assert (
+                    context.count_roots_open(root.low, root.high) == 1
+                )
+
+    @settings(max_examples=80, deadline=None)
+    @given(int_poly(), int_poly())
+    def test_gcd_divides_both(self, p, q):
+        g = p.gcd(q)
+        if g.degree() >= 1:
+            _, r1 = p.divmod(g)
+            _, r2 = q.divmod(g)
+            assert r1.is_zero() and r2.is_zero()

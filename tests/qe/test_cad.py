@@ -1,0 +1,179 @@
+"""Tests for the bivariate cylindrical algebraic decomposition."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import UnsupportedEliminationError
+from repro.poly.polynomial import poly_var
+from repro.qe.cad import cad_eliminate, cad_satisfiable, decompose_line
+from repro.poly.univariate import QQ, SturmContext, UPoly
+from repro.qe.signs import SignCond, dnf_holds
+
+x = poly_var("x")
+y = poly_var("y")
+
+
+def cond(poly, op):
+    return SignCond(poly, op)
+
+
+class TestDecomposeLine:
+    def test_no_roots(self):
+        cells = decompose_line([UPoly.from_fractions([1, 0, 1])])  # x^2+1
+        assert len(cells) == 1 and cells[0].kind == "interval"
+
+    def test_single_rational_root(self):
+        cells = decompose_line([UPoly.from_fractions([-1, 1])])  # x - 1
+        kinds = [c.kind for c in cells]
+        assert kinds == ["interval", "point", "interval"]
+
+    def test_two_polys_shared_root(self):
+        # x(x-1) and (x-1)(x+1): roots -1, 0, 1 -> 7 cells
+        p1 = UPoly.from_fractions([0, -1, 1])
+        p2 = UPoly.from_fractions([-1, 0, 1])
+        cells = decompose_line([p1, p2])
+        assert sum(1 for c in cells if c.kind == "point") == 3
+        assert len(cells) == 7
+
+    def test_irrational_roots(self):
+        cells = decompose_line([UPoly.from_fractions([-2, 0, 1])])  # x^2-2
+        points = [c for c in cells if c.kind == "point"]
+        assert len(points) == 2
+
+
+class TestUnivariateDecision:
+    def test_sum_of_squares(self):
+        assert not cad_satisfiable([cond(x * x + 1, "<=")])
+        assert cad_satisfiable([cond(x * x + 1, ">" if False else "<=")]) is False
+
+    def test_equation_with_irrational_root(self):
+        assert cad_satisfiable([cond(x * x - 2, "="), cond(x, "<")])
+        assert cad_satisfiable([cond(x * x - 2, "="), cond(x - 2, "<"), cond(1 - x, "<")])
+        assert not cad_satisfiable([cond(x * x - 2, "="), cond(x - 1, "="), ])
+
+    def test_cubic(self):
+        # x^3 - x > 0 somewhere in (-1, 0)
+        assert cad_satisfiable([cond(-(x**3 - x), "<"), cond(x, "<")])
+
+
+class TestEliminate:
+    def test_circle(self):
+        # exists y: x^2 + y^2 = 1  iff  -1 <= x <= 1
+        dnf = cad_eliminate([cond(x * x + y * y - 1, "=")], "y")
+        for value, expected in [
+            (0, True),
+            (1, True),
+            (-1, True),
+            (Fraction(1, 2), True),
+            (2, False),
+            (Fraction(-3, 2), False),
+        ]:
+            assert dnf_holds(dnf, {"x": Fraction(value)}) == expected, value
+
+    def test_quartic(self):
+        # exists y: y^4 = x  iff  x >= 0   (degree 4: beyond VS)
+        dnf = cad_eliminate([cond(y**4 - x, "=")], "y")
+        assert dnf_holds(dnf, {"x": 5})
+        assert dnf_holds(dnf, {"x": 0})
+        assert not dnf_holds(dnf, {"x": -1})
+
+    def test_cubic_in_y_with_constraint(self):
+        # exists y: y^3 = x and y > 1  iff  x > 1
+        dnf = cad_eliminate([cond(y**3 - x, "="), cond(1 - y, "<")], "y")
+        assert dnf_holds(dnf, {"x": 8})
+        assert not dnf_holds(dnf, {"x": 1})
+        assert not dnf_holds(dnf, {"x": 0})
+        assert not dnf_holds(dnf, {"x": -8})
+
+    def test_mixed_x_condition(self):
+        # exists y: x*y = 1 and x > 0  iff x > 0
+        dnf = cad_eliminate([cond(x * y - 1, "="), cond(-x, "<")], "y")
+        assert dnf_holds(dnf, {"x": 3})
+        assert not dnf_holds(dnf, {"x": 0})
+        assert not dnf_holds(dnf, {"x": -3})
+
+    def test_ellipse_strict_interior(self):
+        # exists y: x^2/4 + y^2 < 1  iff  -2 < x < 2
+        dnf = cad_eliminate([cond(x * x + 4 * y * y - 4, "<")], "y")
+        assert dnf_holds(dnf, {"x": 0})
+        assert dnf_holds(dnf, {"x": Fraction(19, 10)})
+        assert not dnf_holds(dnf, {"x": 2})
+        assert not dnf_holds(dnf, {"x": -2})
+
+    def test_nonsquarefree_input(self):
+        # exists y: (y - x)^2 <= 0  iff  always (y = x works)
+        dnf = cad_eliminate([cond((y - x) * (y - x), "<=")], "y")
+        assert dnf_holds(dnf, {"x": 0})
+        assert dnf_holds(dnf, {"x": 7})
+
+    def test_output_is_exact_on_algebraic_boundaries(self):
+        # exists y: x^2 + y^2 = 2 and y != 0  iff  -sqrt2 < x < sqrt2
+        dnf = cad_eliminate(
+            [cond(x * x + y * y - 2, "="), cond(y, "!=")], "y"
+        )
+        assert dnf_holds(dnf, {"x": Fraction(7, 5)})  # 1.4 < sqrt2
+        assert not dnf_holds(dnf, {"x": Fraction(3, 2)})  # 1.5 > sqrt2
+        assert dnf_holds(dnf, {"x": 0})
+
+    def test_variable_absent(self):
+        dnf = cad_eliminate([cond(x - 1, "<")], "y")
+        assert dnf_holds(dnf, {"x": 0})
+
+    def test_three_variables_rejected(self):
+        z = poly_var("z")
+        with pytest.raises(UnsupportedEliminationError):
+            cad_eliminate([cond(x + y + z**3, "=")], "z")
+
+
+class TestSatisfiable:
+    def test_bivariate_system(self):
+        # circle and line intersect
+        assert cad_satisfiable(
+            [cond(x * x + y * y - 1, "="), cond(y - x, "=")]
+        )
+        # circle and distant line do not
+        assert not cad_satisfiable(
+            [cond(x * x + y * y - 1, "="), cond(y - x - 5, "=")]
+        )
+
+    def test_tangency(self):
+        # parabola y = x^2 and line y = -1 never meet
+        assert not cad_satisfiable(
+            [cond(y - x * x, "="), cond(y + 1, "=")]
+        )
+        # but y = 0 touches it
+        assert cad_satisfiable([cond(y - x * x, "="), cond(y, "=")])
+
+    def test_ground(self):
+        one = poly_var("x") * 0 + 1
+        assert not cad_satisfiable([cond(one, "<")])
+
+
+class TestAgainstVS:
+    """Cross-validate CAD against virtual substitution on quadratics."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(-2, 2),
+        st.integers(-2, 2),
+        st.integers(-2, 2),
+        st.sampled_from(["=", "<", "<="]),
+    )
+    def test_conic_projection_matches_vs(self, a, b, c, op):
+        from repro.qe.virtual_substitution import vs_eliminate
+
+        poly = a * y * y + b * y + c + x * x - 1
+        if "y" not in poly.variables():
+            return
+        conds = [cond(poly, op)]
+        via_cad = cad_eliminate(conds, "y")
+        via_vs = vs_eliminate(conds, "y")
+        for value in [Fraction(v, 2) for v in range(-6, 7)]:
+            point = {"x": value}
+            assert dnf_holds(via_cad, point) == dnf_holds(via_vs, point), (
+                poly,
+                op,
+                value,
+            )

@@ -1,0 +1,111 @@
+"""Deep tests for CAD lifting over algebraic base points (the Q(alpha) stack)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.poly.algebraic import RealAlgebraic
+from repro.poly.numberfield import NumberField, cauchy_bound_over_field
+from repro.poly.polynomial import poly_var
+from repro.poly.univariate import QQ, SturmContext, UPoly
+from repro.qe.cad import (
+    LineCell,
+    _FieldOps,
+    _cell_field,
+    _exists_on_stack,
+    cad_eliminate,
+    cell_sign,
+    decompose_line,
+)
+from repro.qe.signs import SignCond, dnf_holds
+
+x = poly_var("x")
+y = poly_var("y")
+
+
+def sqrt2_cell() -> LineCell:
+    context = SturmContext(UPoly.from_fractions([-2, 0, 1]))
+    interval = [r for r in context.isolate_roots() if r.low >= 0][0]
+    return LineCell("point", host=context, interval=interval)
+
+
+class TestNumberFieldStack:
+    def test_stack_over_sqrt2(self):
+        # over x = sqrt(2): does exists y . x^2 + y^2 = 2 hold?  (y = 0)
+        cell = sqrt2_cell()
+        conds = [SignCond(x * x + y * y - 2, "=")]
+        assert _exists_on_stack(conds, "x", "y", cell)
+
+    def test_stack_over_sqrt2_strict_fails(self):
+        # over x = sqrt(2): exists y . x^2 + y^2 = 2 and y != 0 is false
+        cell = sqrt2_cell()
+        conds = [SignCond(x * x + y * y - 2, "="), SignCond(y, "!=")]
+        assert not _exists_on_stack(conds, "x", "y", cell)
+
+    def test_decompose_line_over_number_field(self):
+        # roots of y^2 - alpha over Q(alpha), alpha = sqrt(2)
+        alpha = RealAlgebraic(
+            sqrt2_cell().host.poly, sqrt2_cell().interval
+        )
+        field = NumberField(alpha)
+        poly = UPoly([field.neg(field.alpha_elem()), field.zero(), field.one()], field)
+        cells = decompose_line([poly], field)
+        kinds = [c.kind for c in cells]
+        assert kinds == ["interval", "point", "interval", "point", "interval"]
+        ops = _FieldOps(field)
+        signs = [cell_sign(ops, poly, c) for c in cells]
+        assert signs == [1, 0, -1, 0, 1]
+
+    def test_cell_field_selection(self):
+        interval_cell = LineCell("interval", rational_sample=Fraction(1, 2))
+        assert _cell_field(interval_cell) is QQ
+        point = sqrt2_cell()
+        field = _cell_field(point)
+        assert isinstance(field, NumberField)
+
+
+class TestEliminationWithAlgebraicBoundaries:
+    def test_annulus_projection(self):
+        # exists y: 1 <= x^2 + y^2 <= 2 -- projection is [-sqrt2, sqrt2]
+        conds = [
+            SignCond(1 - x * x - y * y, "<="),
+            SignCond(x * x + y * y - 2, "<="),
+        ]
+        dnf = cad_eliminate(conds, "y")
+        assert dnf_holds(dnf, {"x": 0})
+        assert dnf_holds(dnf, {"x": 1})
+        assert dnf_holds(dnf, {"x": Fraction(7, 5)})  # 1.4 < sqrt2
+        assert not dnf_holds(dnf, {"x": Fraction(3, 2)})  # 1.5 > sqrt2
+        assert not dnf_holds(dnf, {"x": -2})
+
+    def test_two_algebraic_boundaries(self):
+        # exists y: x^2 + y^2 = 3 and y^2 <= 1 -- x in [-sqrt3,-sqrt2] u [sqrt2,sqrt3]
+        conds = [
+            SignCond(x * x + y * y - 3, "="),
+            SignCond(y * y - 1, "<="),
+        ]
+        dnf = cad_eliminate(conds, "y")
+        assert dnf_holds(dnf, {"x": Fraction(3, 2)})   # 1.5 in [sqrt2, sqrt3]
+        assert not dnf_holds(dnf, {"x": 1})            # 1 < sqrt2
+        assert not dnf_holds(dnf, {"x": 2})            # 2 > sqrt3
+        assert dnf_holds(dnf, {"x": Fraction(-3, 2)})
+
+    def test_quartic_with_linear_side(self):
+        # exists y: y^4 + x^4 = 2 -- projection is [-2^(1/4), 2^(1/4)]
+        conds = [SignCond(y**4 + x**4 - 2, "=")]
+        dnf = cad_eliminate(conds, "y")
+        assert dnf_holds(dnf, {"x": 1})
+        assert dnf_holds(dnf, {"x": Fraction(11, 10)})  # 1.1 < 2^(1/4) ~ 1.189
+        assert not dnf_holds(dnf, {"x": Fraction(6, 5)})  # 1.2 > 2^(1/4)
+
+
+class TestBoundsOverField:
+    def test_cauchy_bound_reasonable(self):
+        alpha = RealAlgebraic(
+            sqrt2_cell().host.poly, sqrt2_cell().interval
+        )
+        field = NumberField(alpha)
+        # y^2 - alpha: roots +- 2^(1/4) ~ 1.19
+        poly = UPoly([field.neg(field.alpha_elem()), field.zero(), field.one()], field)
+        bound = cauchy_bound_over_field(poly, field)
+        assert bound >= Fraction(119, 100)

@@ -1,0 +1,126 @@
+"""Tests for Fourier-Motzkin elimination."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.poly.polynomial import Polynomial, poly_var
+from repro.qe.fourier_motzkin import FMNotApplicableError, fourier_motzkin_eliminate
+from repro.qe.signs import SignCond, dnf_holds
+
+x = poly_var("x")
+y = poly_var("y")
+z = poly_var("z")
+
+
+def cond(poly, op):
+    return SignCond(poly, op)
+
+
+class TestBasics:
+    def test_interval(self):
+        # exists z: x < z and z < y  iff  x < y
+        dnf = fourier_motzkin_eliminate(
+            [cond(x - z, "<"), cond(z - y, "<")], "z"
+        )
+        assert dnf_holds(dnf, {"x": 0, "y": 1})
+        assert not dnf_holds(dnf, {"x": 1, "y": 0})
+        assert not dnf_holds(dnf, {"x": 0, "y": 0})
+
+    def test_weak_bounds(self):
+        dnf = fourier_motzkin_eliminate(
+            [cond(x - z, "<="), cond(z - y, "<=")], "z"
+        )
+        assert dnf_holds(dnf, {"x": 0, "y": 0})
+
+    def test_unbounded(self):
+        # exists z: z > x is always true
+        dnf = fourier_motzkin_eliminate([cond(x - z, "<")], "z")
+        assert dnf_holds(dnf, {"x": 100})
+
+    def test_equality_substitution(self):
+        # exists z: z = x + 1 and z < y  iff  x + 1 < y
+        dnf = fourier_motzkin_eliminate(
+            [cond(z - x - 1, "="), cond(z - y, "<")], "z"
+        )
+        assert dnf_holds(dnf, {"x": 0, "y": 2})
+        assert not dnf_holds(dnf, {"x": 0, "y": 1})
+
+    def test_disequality_split(self):
+        # exists z: 0 <= z <= 0 and z != x  iff  x != 0
+        dnf = fourier_motzkin_eliminate(
+            [cond(-z, "<="), cond(z, "<="), cond(z - x, "!=")], "z"
+        )
+        assert dnf_holds(dnf, {"x": 1})
+        assert not dnf_holds(dnf, {"x": 0})
+
+    def test_contradiction(self):
+        dnf = fourier_motzkin_eliminate(
+            [cond(z - 1, "<"), cond(2 - z, "<")], "z"
+        )
+        # exists z: z < 1 and z > 2 is false
+        assert dnf == [] or not dnf_holds(dnf, {})
+
+    def test_scaled_coefficients(self):
+        # exists z: 2z < x and y < 3z  iff  y/3 < x/2  iff  2y < 3x
+        dnf = fourier_motzkin_eliminate(
+            [cond(2 * z - x, "<"), cond(y - 3 * z, "<")], "z"
+        )
+        assert dnf_holds(dnf, {"x": 2, "y": 1})
+        assert not dnf_holds(dnf, {"x": 1, "y": 2})
+
+
+class TestRejections:
+    def test_nonlinear_rejected(self):
+        with pytest.raises(FMNotApplicableError):
+            fourier_motzkin_eliminate([cond(z * z - x, "<")], "z")
+
+    def test_parametric_coefficient_rejected(self):
+        with pytest.raises(FMNotApplicableError):
+            fourier_motzkin_eliminate([cond(y * z - 1, "<")], "z")
+
+
+@st.composite
+def linear_system(draw):
+    conds = []
+    for _ in range(draw(st.integers(1, 5))):
+        cz = draw(st.integers(-3, 3))
+        cx = draw(st.integers(-2, 2))
+        const = draw(st.integers(-4, 4))
+        op = draw(st.sampled_from(["<", "<=", "=", "!="]))
+        poly = cz * z + cx * x + const
+        if poly.is_constant():
+            continue
+        conds.append(SignCond(poly, op))
+    return conds
+
+
+class TestProperties:
+    @settings(max_examples=120, deadline=None)
+    @given(linear_system(), st.integers(-6, 6))
+    def test_projection_semantics(self, conds, x_value):
+        """The eliminated formula holds at x iff some z in a test grid works
+        (the grid includes all critical points of the system)."""
+        dnf = fourier_motzkin_eliminate(conds, "z")
+        holds = dnf_holds(dnf, {"x": x_value})
+        # candidate z values: all boundary solutions plus midpoints
+        candidates = set()
+        boundaries = []
+        for cond in conds:
+            coeffs, const = cond.poly.as_linear()
+            cz = coeffs.get("z", Fraction(0))
+            if cz:
+                boundary = -(coeffs.get("x", Fraction(0)) * x_value + const) / cz
+                boundaries.append(boundary)
+        boundaries.sort()
+        for b in boundaries:
+            candidates.update([b, b - 1, b + 1])
+        for a, b in zip(boundaries, boundaries[1:]):
+            candidates.add((a + b) / 2)
+        candidates.update([Fraction(0), Fraction(10**6), Fraction(-(10**6))])
+        witness = any(
+            all(c.evaluate({"x": x_value, "z": candidate}) for c in conds)
+            for candidate in candidates
+        )
+        assert holds == witness

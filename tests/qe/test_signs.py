@@ -1,0 +1,101 @@
+"""Tests for the sign-condition DNF algebra shared by the QE engines."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.poly.polynomial import poly_var
+from repro.qe.signs import (
+    DNF_FALSE,
+    DNF_TRUE,
+    SignCond,
+    conj_holds,
+    dedup,
+    dnf_and,
+    dnf_holds,
+    dnf_or,
+    dnf_single,
+    negate_cond,
+    sign_cond,
+    simplify_conj,
+)
+
+x = poly_var("x")
+y = poly_var("y")
+
+
+class TestSignCond:
+    def test_evaluate(self):
+        assert SignCond(x - 1, "<").evaluate({"x": 0})
+        assert not SignCond(x - 1, "<").evaluate({"x": 1})
+        assert SignCond(x - 1, "<=").evaluate({"x": 1})
+        assert SignCond(x - 1, "=").evaluate({"x": 1})
+        assert SignCond(x - 1, "!=").evaluate({"x": 2})
+
+    def test_check_sign(self):
+        cond = SignCond(x, "<=")
+        assert cond.check_sign(-1) and cond.check_sign(0)
+        assert not cond.check_sign(1)
+
+    def test_sign_cond_flips_gt(self):
+        cond = sign_cond(x - 1, ">")
+        assert cond.op == "<"
+        assert cond.evaluate({"x": 2})
+
+    def test_bad_op(self):
+        with pytest.raises(ValueError):
+            SignCond(x, ">")
+
+
+class TestNegation:
+    @pytest.mark.parametrize("op", ["=", "!=", "<", "<="])
+    def test_involution_semantics(self, op):
+        cond = SignCond(x - 1, op)
+        negated = negate_cond(cond)
+        double = negate_cond(negated)
+        for value in (-1, 0, 1, 2):
+            point = {"x": Fraction(value)}
+            assert cond.evaluate(point) != negated.evaluate(point)
+            assert cond.evaluate(point) == double.evaluate(point)
+
+
+class TestDnfAlgebra:
+    def test_true_false_units(self):
+        some = dnf_single(SignCond(x, "<"))
+        assert dnf_and(DNF_TRUE, some) == some
+        assert dnf_and(DNF_FALSE, some) == DNF_FALSE
+        assert dnf_or(DNF_FALSE, some) == some
+
+    def test_distribution(self):
+        a = dnf_or(dnf_single(SignCond(x, "<")), dnf_single(SignCond(x - 5, "=")))
+        b = dnf_single(SignCond(y, "<"))
+        product = dnf_and(a, b)
+        assert len(product) == 2
+        assert all(len(conj) == 2 for conj in product)
+
+    def test_ground_simplification(self):
+        true_cond = SignCond(x * 0 - 1, "<")  # -1 < 0
+        false_cond = SignCond(x * 0 + 1, "<")  # 1 < 0
+        assert simplify_conj((true_cond,)) == ()
+        assert simplify_conj((false_cond,)) is None
+        assert dnf_single(false_cond) == DNF_FALSE
+
+    def test_duplicate_conditions_merged(self):
+        cond = SignCond(x, "<")
+        assert simplify_conj((cond, cond)) == (cond,)
+
+    def test_dedup(self):
+        a = SignCond(x, "<")
+        b = SignCond(y, "<")
+        dnf = [(a, b), (b, a), (a,)]
+        assert len(dedup(dnf)) == 2
+
+    def test_holds(self):
+        dnf = [
+            (SignCond(x, "<"),),
+            (SignCond(x - 5, "="),),
+        ]
+        assert dnf_holds(dnf, {"x": -1})
+        assert dnf_holds(dnf, {"x": 5})
+        assert not dnf_holds(dnf, {"x": 1})
+        assert conj_holds(dnf[0], {"x": -3})

@@ -1,0 +1,89 @@
+"""Tests for the classical finite relational baseline."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import ArityError
+from repro.geometry.rectangles import Rect, intersecting_pairs_bruteforce
+from repro.relational.algebra import difference, join, project, rename, select, union
+from repro.relational.rectangles import (
+    classical_rectangle_relation,
+    intersecting_pairs_classical,
+)
+from repro.relational.relation import FiniteRelation
+from repro.workloads.spatial import random_rectangles
+
+
+class TestFiniteRelation:
+    def test_set_semantics(self):
+        r = FiniteRelation("R", ("a", "b"), [(1, 2), (1, 2), (3, 4)])
+        assert len(r) == 2
+        assert (1, 2) in r
+
+    def test_arity_checked(self):
+        r = FiniteRelation("R", ("a",))
+        with pytest.raises(ArityError):
+            r.add((1, 2))
+
+    def test_duplicate_attributes(self):
+        with pytest.raises(ArityError):
+            FiniteRelation("R", ("a", "a"))
+
+
+class TestAlgebra:
+    def setup_method(self):
+        self.r = FiniteRelation("R", ("a", "b"), [(1, 10), (2, 20), (3, 30)])
+        self.s = FiniteRelation("S", ("b", "c"), [(10, "x"), (30, "y")])
+
+    def test_select(self):
+        result = select(self.r, lambda row: row["a"] >= 2)
+        assert set(result) == {(2, 20), (3, 30)}
+
+    def test_project(self):
+        result = project(self.r, ["b"])
+        assert set(result) == {(10,), (20,), (30,)}
+
+    def test_project_reorder(self):
+        result = project(self.r, ["b", "a"])
+        assert (10, 1) in result
+
+    def test_rename(self):
+        renamed = rename(self.r, {"a": "x"})
+        assert renamed.attributes == ("x", "b")
+
+    def test_union_difference(self):
+        extra = FiniteRelation("R2", ("a", "b"), [(1, 10), (9, 90)])
+        merged = union(self.r, extra)
+        assert len(merged) == 4
+        removed = difference(merged, extra)
+        assert set(removed) == {(2, 20), (3, 30)}
+
+    def test_union_schema_mismatch(self):
+        with pytest.raises(ArityError):
+            union(self.r, self.s)
+
+    def test_natural_join(self):
+        result = join(self.r, self.s)
+        assert result.attributes == ("a", "b", "c")
+        assert set(result) == {(1, 10, "x"), (3, 30, "y")}
+
+    def test_cartesian_when_disjoint(self):
+        t = FiniteRelation("T", ("d",), [(7,), (8,)])
+        result = join(self.r, t)
+        assert len(result) == 6
+
+
+class TestClassicalRectangles:
+    def test_matches_geometry(self):
+        rects = random_rectangles(40, seed=3, universe=100, max_side=30)
+        relation = classical_rectangle_relation(rects)
+        classical = intersecting_pairs_classical(relation)
+        geometric = intersecting_pairs_bruteforce(rects)
+        assert classical == geometric
+
+    def test_five_ary_schema(self):
+        relation = classical_rectangle_relation(
+            [Rect(1, Fraction(0), Fraction(0), Fraction(1), Fraction(1))]
+        )
+        assert relation.attributes == ("n", "a", "b", "c", "d")

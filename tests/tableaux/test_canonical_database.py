@@ -1,0 +1,90 @@
+"""Cross-validation of Theorem 2.6 via the canonical-database (freeze) technique."""
+
+import random
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.constraints.real_poly import poly_eq
+from repro.poly.polynomial import Polynomial
+from repro.tableaux.containment import (
+    canonical_database,
+    contained_by_canonical_database,
+    contained_linear,
+)
+from repro.tableaux.tableau import TableauQuery, TableauRow
+
+
+def _random_query(draw_ints, name, rows=2, width=2):
+    """A random linear-equation tableau over one binary relation tag."""
+    symbols = []
+    table_rows = []
+    for r in range(rows):
+        row_symbols = tuple(f"{name}_{r}_{c}" for c in range(width))
+        symbols.extend(row_symbols)
+        table_rows.append(TableauRow("R", row_symbols))
+    summary = (f"{name}_s0",)
+    constraints = [poly_eq(summary[0], symbols[0])]
+    for _ in range(draw_ints(0, 3)):
+        a = symbols[draw_ints(0, len(symbols) - 1)]
+        b = symbols[draw_ints(0, len(symbols) - 1)]
+        if a == b:
+            continue
+        kind = draw_ints(0, 2)
+        pa, pb = Polynomial.variable(a), Polynomial.variable(b)
+        if kind == 0:
+            constraints.append(poly_eq(pa, pb))
+        elif kind == 1:
+            constraints.append(poly_eq(pa - pb, draw_ints(0, 2)))
+        else:
+            constraints.append(poly_eq(pa + pb, draw_ints(0, 4)))
+    return TableauQuery(summary, tuple(table_rows), tuple(constraints), name)
+
+
+class TestCanonicalDatabase:
+    def test_freeze_contains_own_summary(self):
+        rng = random.Random(5)
+        query = _random_query(lambda a, b: rng.randint(a, b), "q")
+        frozen = canonical_database(query)
+        assert frozen is not None
+        db, valuation = frozen
+        from repro.tableaux.containment import evaluate_tableau
+
+        output = evaluate_tableau(query, db)
+        assert output.contains_values([valuation[s] for s in query.summary])
+
+    def test_inconsistent_query_freezes_to_none(self):
+        query = TableauQuery(
+            ("s",),
+            (TableauRow("R", ("a", "b")),),
+            (poly_eq("s", "a"), poly_eq("a", 0), poly_eq("a", 1)),
+        )
+        assert canonical_database(query) is None
+        assert contained_by_canonical_database(query, query)
+
+    def test_generic_freeze_avoids_coincidences(self):
+        # without generic values, a and b would both freeze to 0 and the
+        # stricter query would spuriously contain the looser one
+        loose = TableauQuery(
+            ("s1",),
+            (TableauRow("R", ("a1", "b1")),),
+            (poly_eq("s1", "a1"),),
+        )
+        strict = TableauQuery(
+            ("s2",),
+            (TableauRow("R", ("a2", "b2")),),
+            (poly_eq("s2", "a2"), poly_eq("a2", "b2")),
+        )
+        assert contained_by_canonical_database(strict, loose)
+        assert not contained_by_canonical_database(loose, strict)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.data())
+    def test_theorem_26_agrees_with_freeze(self, data):
+        draw = lambda a, b: data.draw(st.integers(a, b))
+        phi1 = _random_query(draw, "p")
+        phi2 = _random_query(draw, "q")
+        via_homomorphism = contained_linear(phi1, phi2)
+        via_freeze = contained_by_canonical_database(phi1, phi2)
+        assert via_homomorphism == via_freeze, (phi1, phi2)

@@ -1,0 +1,146 @@
+"""Tests for the Theorem 2.7 QBF reduction."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.tableaux.reductions import (
+    BNode,
+    BVarRef,
+    chi_constraints,
+    eval_bformula,
+    qbf_ae_truth,
+    qbf_to_tableaux,
+    tableau_output_01,
+)
+
+
+def x(i, negated=False):
+    return BVarRef("x", i, negated)
+
+
+def y(j, negated=False):
+    return BVarRef("y", j, negated)
+
+
+class TestChiGadget:
+    """The chi construction: F_k true iff s_k = 0 (the paper's induction)."""
+
+    @pytest.mark.parametrize(
+        "formula,n_x,n_y",
+        [
+            (x(0), 1, 0),
+            (x(0, negated=True), 1, 0),
+            (BNode("and", x(0), y(0)), 1, 1),
+            (BNode("or", x(0), y(0)), 1, 1),
+            (BNode("or", BNode("and", x(0), y(0, True)), x(1, True)), 2, 1),
+        ],
+    )
+    def test_s_zero_iff_true(self, formula, n_x, n_y):
+        constraints, _ = chi_constraints(formula, n_x, n_y)
+        top_constraint = constraints[-1]  # s_top = 0
+        for xs in itertools.product([False, True], repeat=n_x):
+            for ys in itertools.product([False, True], repeat=n_y):
+                assignment = {f"x{i}": int(v) for i, v in enumerate(xs)}
+                assignment.update({f"y{j}": int(v) for j, v in enumerate(ys)})
+                # solve the triangular s-system
+                solvable = _propagate(constraints[:-1], assignment)
+                assert solvable is not None
+                truth = eval_bformula(formula, xs, ys)
+                top_value = top_constraint.poly.evaluate(solvable)
+                assert (top_value == 0) == truth
+
+
+def _propagate(constraints, assignment):
+    values = dict(assignment)
+    for atom in constraints:
+        unknowns = [v for v in atom.poly.variables() if v not in values]
+        if len(unknowns) != 1:
+            if unknowns:
+                return None
+            if atom.poly.evaluate(values) != 0:
+                return None
+            continue
+        (unknown,) = unknowns
+        coeffs = atom.poly.coefficients_in(unknown)
+        known = coeffs[0].evaluate(values)
+        lead = coeffs[1].constant_value()
+        values[unknown] = -known / lead
+    return values
+
+
+class TestReduction:
+    CASES = [
+        # (formula, n_x, n_y, expected truth of forall x exists y psi)
+        (BNode("or", x(0), x(0, True)), 1, 0, True),  # tautology
+        (x(0), 1, 0, False),  # fails at x0 = false
+        (BNode("or", x(0), y(0)), 1, 1, True),  # choose y0 = true
+        (BNode("and", y(0), y(0, True)), 0, 1, False),  # contradiction
+        (
+            # forall x0 exists y0: (x0 and y0) or (not x0 and not y0)
+            BNode(
+                "or",
+                BNode("and", x(0), y(0)),
+                BNode("and", x(0, True), y(0, True)),
+            ),
+            1,
+            1,
+            True,
+        ),
+        (
+            # forall x0, x1 exists y0: (x0 or y0) and (x1 or not y0)
+            BNode(
+                "and",
+                BNode("or", x(0), y(0)),
+                BNode("or", x(1), y(0, True)),
+            ),
+            2,
+            1,
+            False,  # fails at x0 = x1 = false
+        ),
+    ]
+
+    @pytest.mark.parametrize("formula,n_x,n_y,expected", CASES)
+    def test_brute_force_qbf(self, formula, n_x, n_y, expected):
+        assert qbf_ae_truth(formula, n_x, n_y) == expected
+
+    @pytest.mark.parametrize("formula,n_x,n_y,expected", CASES)
+    def test_containment_iff_qbf(self, formula, n_x, n_y, expected):
+        phi1, phi2 = qbf_to_tableaux(formula, n_x, n_y)
+        out1 = tableau_output_01(phi1, n_x)
+        out2 = tableau_output_01(phi2, n_x)
+        # phi1's output is all 0/1 vectors
+        assert out1 == set(itertools.product([0, 1], repeat=n_x))
+        # containment of constraint-only queries is output inclusion
+        contained = out1 <= out2
+        assert contained == expected, (out1, out2)
+
+
+@st.composite
+def random_bformula(draw, n_x=2, n_y=1):
+    depth = draw(st.integers(0, 3))
+
+    def build(d):
+        if d == 0 or draw(st.booleans()) and d < 2:
+            kind = draw(st.sampled_from(["x"] * n_x + ["y"] * n_y))
+            index = draw(
+                st.integers(0, (n_x if kind == "x" else n_y) - 1)
+            )
+            return BVarRef(kind, index, draw(st.booleans()))
+        op = draw(st.sampled_from(["and", "or"]))
+        return BNode(op, build(d - 1), build(d - 1))
+
+    return build(depth)
+
+
+class TestReductionProperty:
+    @settings(max_examples=25, deadline=None)
+    @given(random_bformula())
+    def test_reduction_agrees_with_brute_force(self, formula):
+        n_x, n_y = 2, 1
+        expected = qbf_ae_truth(formula, n_x, n_y)
+        phi1, phi2 = qbf_to_tableaux(formula, n_x, n_y)
+        out1 = tableau_output_01(phi1, n_x)
+        out2 = tableau_output_01(phi2, n_x)
+        assert (out1 <= out2) == expected

@@ -1,0 +1,253 @@
+"""Tests for tableaux, affine containment (Thm 2.6), and Thm 2.8."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.constraints.real_poly import RealPolynomialTheory, poly_eq
+from repro.core.generalized import GeneralizedDatabase
+from repro.errors import ArityError
+from repro.poly.polynomial import Polynomial
+from repro.tableaux.affine import LinearSystem, contains, equation
+from repro.tableaux.containment import (
+    contained_linear,
+    evaluate_tableau,
+    find_homomorphism,
+    rule_output,
+    semiinterval_counterexample,
+    symbol_mappings,
+)
+from repro.tableaux.tableau import TableauQuery, TableauRow, checkbook_query, normalize
+
+poly = RealPolynomialTheory()
+
+
+class TestLinearSystem:
+    def test_consistency(self):
+        system = LinearSystem([equation({"x": 1}, 1), equation({"x": 1}, 2)])
+        assert not system.consistent
+
+    def test_implication(self):
+        # x + y = 3 and x - y = 1 imply x = 2
+        system = LinearSystem(
+            [equation({"x": 1, "y": 1}, 3), equation({"x": 1, "y": -1}, 1)]
+        )
+        assert system.implies({"x": 1}, 2)
+        assert system.implies({"y": 1}, 1)
+        assert not system.implies({"x": 1}, 3)
+
+    def test_rank(self):
+        system = LinearSystem(
+            [
+                equation({"x": 1, "y": 1}, 0),
+                equation({"x": 2, "y": 2}, 0),  # redundant
+                equation({"y": 1}, 5),
+            ]
+        )
+        assert system.rank() == 2
+
+    def test_containment(self):
+        # the line x = y is contained in the plane (trivially, no constraints)
+        line = LinearSystem([equation({"x": 1, "y": -1}, 0)])
+        assert contains(line, [])
+        # and in itself
+        assert contains(line, [equation({"x": 1, "y": -1}, 0)])
+        # but not in the line x = y + 1
+        assert not contains(line, [equation({"x": 1, "y": -1}, 1)])
+        # the point (1, 1) is contained in the line x = y
+        point = LinearSystem([equation({"x": 1}, 1), equation({"y": 1}, 1)])
+        assert contains(point, [equation({"x": 1, "y": -1}, 0)])
+
+    def test_empty_space_contained_everywhere(self):
+        empty = LinearSystem([equation({}, 1)])
+        assert contains(empty, [equation({"x": 1}, 42)])
+
+    def test_solve_sample(self):
+        system = LinearSystem(
+            [equation({"x": 1, "y": 1}, 3), equation({"y": 1}, 1)]
+        )
+        solution = system.solve_sample(["x", "y"])
+        assert solution["x"] == 2 and solution["y"] == 1
+
+
+class TestTableauConstruction:
+    def test_normal_form_enforced(self):
+        with pytest.raises(ArityError):
+            TableauQuery(("x",), (TableauRow("R", ("x",)),))
+
+    def test_normalize_repeats_and_constants(self):
+        q = normalize(
+            summary=["x"],
+            rows=[("R", ["x", "y"]), ("R", ["y", 3])],
+        )
+        # 5 cells -> 5 distinct variables; 2 repeats + 1 constant = 3 equations
+        assert len(set(q.all_symbols())) == 5
+        assert len(q.constraints) == 3
+
+    def test_checkbook_structure(self):
+        q = checkbook_query()
+        assert len(q.summary) == 1
+        assert [row.tag for row in q.rows] == ["Expenses", "Savings", "Income"]
+        # z repeated thrice + the balance equation
+        assert len(q.constraints) >= 3
+
+
+class TestCheckbookEvaluation:
+    def test_balanced_accounts_selected(self):
+        q = checkbook_query()
+        db = GeneralizedDatabase(poly)
+        expenses = db.create_relation("Expenses", ("z", "f", "r", "m"))
+        savings = db.create_relation("Savings", ("z", "s", "a", "b"))
+        income = db.create_relation("Income", ("z", "w", "i", "c"))
+        # user 1 balances: 10+20+5+15 = 45+5
+        expenses.add_point([1, 10, 20, 5])
+        savings.add_point([1, 15, 0, 0])
+        income.add_point([1, 45, 5, 0])
+        # user 2 does not: 10+20+5+15 != 40+5
+        expenses.add_point([2, 10, 20, 5])
+        savings.add_point([2, 15, 0, 0])
+        income.add_point([2, 40, 5, 0])
+        result = evaluate_tableau(q, db)
+        assert result.contains_values([Fraction(1)])
+        assert not result.contains_values([Fraction(2)])
+
+
+class TestSymbolMappings:
+    def _pair(self):
+        # target: Q(a) :- R(b, c); source: Q(u) :- R(v, w), R(p, q)
+        target = TableauQuery(("a",), (TableauRow("R", ("b", "c")),))
+        source = TableauQuery(
+            ("u",), (TableauRow("R", ("v", "w")), TableauRow("R", ("p", "q")))
+        )
+        return target, source
+
+    def test_count(self):
+        target, source = self._pair()
+        mappings = list(symbol_mappings(target, source))
+        assert len(mappings) == 2  # one per choice of source row
+
+    def test_tag_respected(self):
+        target = TableauQuery(("a",), (TableauRow("S", ("b",)),))
+        source = TableauQuery(("u",), (TableauRow("R", ("v",)),))
+        assert list(symbol_mappings(target, source)) == []
+
+    def test_summary_positional(self):
+        target, source = self._pair()
+        for mapping in symbol_mappings(target, source):
+            assert mapping["a"] == "u"
+
+
+class TestTheorem26:
+    def test_identical_queries_contained(self):
+        q = checkbook_query()
+        assert contained_linear(q, q)
+
+    def test_specialization_contained_in_generalization(self):
+        # phi1: R(x1, y1) with x1 = y1  is contained in  phi2: R(x2, y2)
+        phi1 = TableauQuery(
+            ("a1", "b1"),
+            (TableauRow("R", ("x1", "y1")),),
+            (
+                poly_eq("a1", "x1"),
+                poly_eq("b1", "y1"),
+                poly_eq("x1", "y1"),
+            ),
+        )
+        phi2 = TableauQuery(
+            ("a2", "b2"),
+            (TableauRow("R", ("x2", "y2")),),
+            (poly_eq("a2", "x2"), poly_eq("b2", "y2")),
+        )
+        assert contained_linear(phi1, phi2)
+        assert not contained_linear(phi2, phi1)
+
+    def test_linear_equation_implication(self):
+        # phi1 requires x + y = 2 and x - y = 0; phi2 requires x = 1
+        phi1 = TableauQuery(
+            ("a1",),
+            (TableauRow("R", ("x1", "y1")),),
+            (
+                poly_eq("a1", "x1"),
+                poly_eq(
+                    Polynomial.variable("x1") + Polynomial.variable("y1"), 2
+                ),
+                poly_eq(
+                    Polynomial.variable("x1") - Polynomial.variable("y1"), 0
+                ),
+            ),
+        )
+        phi2 = TableauQuery(
+            ("a2",),
+            (TableauRow("R", ("x2", "y2")),),
+            (poly_eq("a2", "x2"), poly_eq("x2", 1)),
+        )
+        assert contained_linear(phi1, phi2)
+        assert not contained_linear(phi2, phi1)
+
+    def test_empty_query_contained_in_everything(self):
+        phi1 = TableauQuery(
+            ("a1",),
+            (TableauRow("R", ("x1",)),),
+            (poly_eq("x1", 0), poly_eq("x1", 1), poly_eq("a1", "x1")),
+        )
+        phi2 = TableauQuery(
+            ("a2",),
+            (TableauRow("R", ("x2",)),),
+            (poly_eq("a2", "x2"), poly_eq("x2", 7)),
+        )
+        assert contained_linear(phi1, phi2)
+
+    def test_containment_validated_by_evaluation(self):
+        # build a small database and check output inclusion matches the decision
+        phi1 = TableauQuery(
+            ("a1", "b1"),
+            (TableauRow("R", ("x1", "y1")),),
+            (poly_eq("a1", "x1"), poly_eq("b1", "y1"), poly_eq("x1", "y1")),
+        )
+        phi2 = TableauQuery(
+            ("a2", "b2"),
+            (TableauRow("R", ("x2", "y2")),),
+            (poly_eq("a2", "x2"), poly_eq("b2", "y2")),
+        )
+        db = GeneralizedDatabase(poly)
+        r = db.create_relation("R", ("u", "v"))
+        r.add_point([1, 1])
+        r.add_point([1, 2])
+        out1 = evaluate_tableau(phi1, db)
+        out2 = evaluate_tableau(phi2, db)
+        for point in ([1, 1], [1, 2], [2, 2]):
+            values = [Fraction(v) for v in point]
+            if out1.contains_values(values):
+                assert out2.contains_values(values)
+
+
+class TestTheorem28:
+    def test_containment_holds_but_no_homomorphism(self):
+        phi1, phi2, witness1, witness2 = semiinterval_counterexample()
+        # containment phi1 subseteq phi2 on both witness databases
+        for db in (witness1, witness2):
+            out1 = rule_output(phi1, db)
+            out2 = rule_output(phi2, db)
+            assert out1.contains_values([Fraction(7)]) <= out2.contains_values(
+                [Fraction(7)]
+            )
+        # phi1 yields R''(7) on both witnesses
+        assert rule_output(phi1, witness1).contains_values([Fraction(7)])
+        assert rule_output(phi1, witness2).contains_values([Fraction(7)])
+        # but each single symbol mapping fails on one of the witnesses:
+        # h1 maps (v,w) -> (x,y): on witness1 requires R(1,3) with 3 > 4 - fails
+        # h2 maps (v,w) -> (y,z): on witness2 requires R(5,9) with 5 < 4 - fails
+        # we verify by checking which single R-row satisfies phi2's constraints
+        def row_satisfies(db, row):
+            a, b = row
+            return a < 4 and b > 4
+
+        w1_rows = [(1, 3), (3, 5)]
+        w2_rows = [(1, 5), (5, 9)]
+        # h1 image on witness1 is the row bound to (x, y) = (1, 3): fails
+        assert not row_satisfies(witness1, (1, 3))
+        # h2 image on witness2 is the row bound to (y, z) = (5, 9): fails
+        assert not row_satisfies(witness2, (5, 9))
+        # yet in each database *some* row works (different ones!)
+        assert any(row_satisfies(witness1, r) for r in w1_rows)
+        assert any(row_satisfies(witness2, r) for r in w2_rows)

@@ -1,0 +1,111 @@
+"""Tests for the workload generators and the measurement harness."""
+
+import math
+
+import pytest
+
+from repro.constraints.dense_order import DenseOrderTheory
+from repro.harness.measure import fit_exponent, format_table, sweep, time_callable
+from repro.workloads.equalities import random_equality_database
+from repro.workloads.orders import (
+    chain_edges,
+    interval_relation,
+    random_interval_database,
+    random_order_tuples,
+)
+from repro.workloads.spatial import (
+    random_points,
+    random_rectangles,
+    rectangles_to_generalized,
+    rectangles_to_poly_generalized,
+)
+
+order = DenseOrderTheory()
+
+
+class TestSpatialGenerators:
+    def test_deterministic(self):
+        assert random_rectangles(10, seed=7) == random_rectangles(10, seed=7)
+        assert random_rectangles(10, seed=7) != random_rectangles(10, seed=8)
+
+    def test_generalized_encoding(self):
+        rects = random_rectangles(5, seed=1)
+        db = rectangles_to_generalized(rects)
+        relation = db.relation("Rect")
+        assert len(relation) == 5
+        rect = rects[0]
+        inside = {
+            "n": rect.name,
+            "x": (rect.x1 + rect.x2) / 2,
+            "y": (rect.y1 + rect.y2) / 2,
+        }
+        from fractions import Fraction
+
+        inside["n"] = Fraction(inside["n"])
+        assert relation.contains_point(inside)
+
+    def test_poly_encoding(self):
+        rects = random_rectangles(3, seed=2)
+        db = rectangles_to_poly_generalized(rects)
+        assert len(db.relation("Rect")) == 3
+
+    def test_points_distinct(self):
+        points = random_points(50, seed=3)
+        assert len(set(points)) == 50
+
+
+class TestOrderGenerators:
+    def test_interval_relation(self):
+        relation = interval_relation(20, seed=0)
+        assert len(relation) <= 20  # duplicates may collapse
+        assert relation.arity == 1
+
+    def test_chain(self):
+        db = chain_edges(5)
+        from fractions import Fraction
+
+        assert db.relation("E").contains_values([Fraction(0), Fraction(1)])
+        assert not db.relation("E").contains_values([Fraction(0), Fraction(2)])
+
+    def test_random_tuples_satisfiable(self):
+        for conj in random_order_tuples(3, 20, seed=5):
+            assert order.is_satisfiable(conj)
+
+    def test_equality_db(self):
+        db = random_equality_database(30, seed=2)
+        assert len(db.relation("R")) > 0
+
+
+class TestHarness:
+    def test_time_callable_positive(self):
+        elapsed = time_callable(lambda: sum(range(1000)))
+        assert elapsed >= 0
+
+    def test_fit_exponent_linear(self):
+        sizes = [100, 200, 400, 800]
+        times = [0.01 * n for n in sizes]
+        assert abs(fit_exponent(sizes, times) - 1.0) < 1e-9
+
+    def test_fit_exponent_quadratic(self):
+        sizes = [10, 20, 40, 80]
+        times = [1e-6 * n * n for n in sizes]
+        assert abs(fit_exponent(sizes, times) - 2.0) < 1e-9
+
+    def test_fit_exponent_degenerate(self):
+        assert math.isnan(fit_exponent([10], [0.1]))
+
+    def test_sweep(self):
+        result = sweep(
+            "demo",
+            [10, 20],
+            build=lambda n: list(range(n)),
+            run=lambda xs: sum(xs),
+        )
+        assert result.sizes == [10, 20]
+        assert all(t >= 0 for t in result.times)
+
+    def test_format_table(self):
+        table = format_table(["a", "b"], [["1", "22"], ["333", "4"]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert "a" in lines[0] and "b" in lines[0]
