@@ -17,6 +17,7 @@ from benchmarks.conftest import report
 from repro.constraints.dense_order import DenseOrderTheory, le, lt
 from repro.core.datalog import DatalogProgram
 from repro.core.generalized import GeneralizedDatabase
+from repro.harness.benchjson import record_bench
 from repro.harness.measure import fit_exponent, time_callable
 from repro.logic.parser import parse_rules
 from repro.workloads.orders import chain_edges
@@ -38,10 +39,28 @@ def _closure(db):
 def test_datalog_dense_scaling(benchmark):
     sizes = [4, 8, 16]
     times = []
+    stats_rows = {}
     for n in sizes:
         db = chain_edges(n)
         times.append(time_callable(lambda d=db: _closure(d)))
+        _, stats = _closure(db)
+        stats_rows[n] = {
+            "time_s": times[-1],
+            "cache_hits": stats.cache_hits,
+            "pin_prunes": stats.pin_prunes,
+            "iterations": stats.iterations,
+        }
     exponent = fit_exponent(sizes, times)
+    record_bench(
+        "datalog_dense_scaling",
+        {
+            "workload": "transitive closure over chains (Thm 3.14.2 cell)",
+            "sizes": sizes,
+            "times_s": times,
+            "fitted_exponent": exponent,
+            "per_size": stats_rows,
+        },
+    )
     benchmark(lambda: _closure(chain_edges(8)))
     report(
         "Table 1.3 cell: Datalog-not + dense order",

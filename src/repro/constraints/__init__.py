@@ -22,7 +22,12 @@ Theories provided:
   constraints over a free boolean algebra (Section 5).
 """
 
-from repro.constraints.base import ConstraintTheory
+from repro.constraints.base import (
+    ConjunctionContext,
+    ConstraintTheory,
+    TheoryCache,
+    TheoryCacheStats,
+)
 from repro.constraints.terms import Const, Term, Var, term_str
 from repro.constraints.dense_order import DenseOrderTheory, OrderAtom
 from repro.constraints.equality import EqualityAtom, EqualityTheory
@@ -32,8 +37,11 @@ from repro.constraints.boolean import BooleanConstraintAtom, BooleanTheory
 __all__ = [
     "BooleanConstraintAtom",
     "BooleanTheory",
+    "ConjunctionContext",
     "Const",
     "ConstraintTheory",
+    "TheoryCache",
+    "TheoryCacheStats",
     "DenseOrderTheory",
     "EqualityAtom",
     "EqualityTheory",

@@ -62,7 +62,8 @@ class BooleanTheory(ConstraintTheory):
 
     name = "boolean"
 
-    def __init__(self, algebra: FreeBooleanAlgebra) -> None:
+    def __init__(self, algebra: FreeBooleanAlgebra, cache=None) -> None:
+        super().__init__(cache)
         self.algebra = algebra
         self.constants = standard_constants(algebra)
 
@@ -123,14 +124,14 @@ class BooleanTheory(ConstraintTheory):
             variables = []
         return merged, tuple(variables)
 
-    def is_satisfiable(self, atoms: Sequence[Atom]) -> bool:
+    def _is_satisfiable(self, atoms: Sequence[Atom]) -> bool:
         table, names = self._joined(atoms)
         current, remaining = table, names
         for name in names:
             current, remaining = boole_eliminate_table(current, remaining, name)
         return self.algebra.is_zero(current[0])
 
-    def canonicalize(self, atoms: Sequence[Atom]) -> Conjunction | None:
+    def _canonicalize(self, atoms: Sequence[Atom]) -> Conjunction | None:
         if not self.is_satisfiable(atoms):
             return None
         table, names = self._joined(atoms)

@@ -29,7 +29,7 @@ from dataclasses import dataclass
 from fractions import Fraction
 from typing import Any, Iterable, Mapping, Sequence
 
-from repro.constraints.base import Conjunction, ConstraintTheory
+from repro.constraints.base import Conjunction, ConjunctionContext, ConstraintTheory
 from repro.constraints.terms import (
     Const,
     Term,
@@ -242,6 +242,105 @@ class _Closure:
             return True
         return (min(i, j), max(i, j)) in self._neq
 
+    # ------------------------------------------------- incremental extension
+    def extended(self, atoms: Sequence[OrderAtom]) -> "_Closure":
+        """A new closure for this conjunction extended by ``atoms``.
+
+        Copies the parent's reachability rows and propagates only the new
+        edges (Italiano-style incremental transitive closure), instead of
+        re-running the full Warshall loop over the whole conjunction.  The
+        depth-first Datalog join extends one tuple at a time, so each level
+        pays for its own atoms only.
+        """
+        clone = _Closure.__new__(_Closure)
+        clone.satisfiable = self.satisfiable
+        clone.terms = list(self.terms)
+        clone._index = dict(self._index)
+        clone._weak = list(self._weak)
+        clone._strict = list(self._strict)
+        clone._neq = set(self._neq)
+        if not clone.satisfiable:
+            # monotone: extending an inconsistent conjunction stays
+            # inconsistent, no propagation needed
+            return clone
+        new_terms: list[Term] = []
+        for atom in atoms:
+            for term in (atom.left, atom.right):
+                if term not in clone._index:
+                    clone._index[term] = len(clone.terms)
+                    clone.terms.append(term)
+                    clone._weak.append(0)
+                    clone._strict.append(0)
+                    new_terms.append(term)
+        edges: list[tuple[int, int, bool]] = []
+        for term in new_terms:
+            if isinstance(term, Const):
+                i = clone._index[term]
+                for other in clone.terms:
+                    if isinstance(other, Const) and other is not term:
+                        j = clone._index[other]
+                        if term.value < other.value:
+                            edges.append((i, j, True))
+                        elif other.value < term.value:
+                            edges.append((j, i, True))
+        for atom in atoms:
+            i = clone._index[atom.left]
+            j = clone._index[atom.right]
+            if atom.op == "<":
+                edges.append((i, j, True))
+            elif atom.op == "<=":
+                edges.append((i, j, False))
+            elif atom.op == "=":
+                edges.append((i, j, False))
+                edges.append((j, i, False))
+            else:
+                clone._neq.add((min(i, j), max(i, j)))
+        clone._insert_edges(edges)
+        return clone
+
+    def _insert_edges(self, edges: list[tuple[int, int, bool]]) -> None:
+        """Insert edges one at a time, keeping the closure invariant, then
+        re-run disequality strengthening and the consistency checks."""
+        n = len(self.terms)
+        weak, strict = self._weak, self._strict
+        pending = list(edges)
+        while True:
+            while pending:
+                i, j, is_strict = pending.pop()
+                bit_i = 1 << i
+                already = strict[i] if is_strict else weak[i]
+                if already & (1 << j):
+                    continue
+                succ_weak = weak[j] | (1 << j)
+                succ_strict = strict[j]
+                for p in range(n):
+                    if p != i and not (weak[p] & bit_i):
+                        continue
+                    weak[p] |= succ_weak
+                    if is_strict or (strict[p] & bit_i):
+                        # the p ->* i -> j prefix is strict, so everything j
+                        # weakly reaches is strictly below p
+                        strict[p] |= succ_weak
+                    else:
+                        strict[p] |= succ_strict
+            # disequality strengthening (i <= j and i != j imply i < j) may
+            # enable further strict propagation; loop to a fixpoint
+            for (a, b) in self._neq:
+                if weak[a] & (1 << b) and not strict[a] & (1 << b):
+                    pending.append((a, b, True))
+                if weak[b] & (1 << a) and not strict[b] & (1 << a):
+                    pending.append((b, a, True))
+            if not pending:
+                break
+        for i in range(n):
+            if strict[i] & (1 << i):
+                self.satisfiable = False
+                return
+        for (i, j) in self._neq:
+            if weak[i] & (1 << j) and weak[j] & (1 << i):
+                self.satisfiable = False
+                return
+
     def representative(self, term: Term) -> Term:
         """The canonical representative of ``term``'s equality class.
 
@@ -312,11 +411,42 @@ class DenseOrderTheory(ConstraintTheory):
         return frozenset(values)
 
     # ---------------------------------------------------------------- solver
-    def is_satisfiable(self, atoms: Sequence[Atom]) -> bool:
+    def _is_satisfiable(self, atoms: Sequence[Atom]) -> bool:
         checked = self._checked(atoms)
         return _Closure(checked).satisfiable
 
-    def canonicalize(self, atoms: Sequence[Atom]) -> Conjunction | None:
+    def pinned_constants(self, atoms: Sequence[Atom]) -> Mapping[str, Any]:
+        """Syntactic var = const pins (canonical forms name pinned classes
+        by their constant, so point tuples expose every coordinate here)."""
+        pins: dict[str, Any] = {}
+        for atom in atoms:
+            if isinstance(atom, OrderAtom) and atom.op == "=":
+                if isinstance(atom.left, Var) and isinstance(atom.right, Const):
+                    pins[atom.left.name] = atom.right.value
+                elif isinstance(atom.left, Const) and isinstance(atom.right, Var):
+                    pins[atom.right.name] = atom.left.value
+        return pins
+
+    # ------------------------------------------------- incremental conjunctions
+    def begin_conjunction(self, atoms: Sequence[Atom]) -> ConjunctionContext:
+        """Context carrying the order-graph closure for incremental joins."""
+        checked = self._checked(atoms)
+        closure = _Closure(checked)
+        return ConjunctionContext(checked, closure.satisfiable, closure)
+
+    def extend_conjunction(
+        self, context: ConjunctionContext, new_atoms: Sequence[Atom]
+    ) -> ConjunctionContext:
+        checked = self._checked(new_atoms)
+        conjunction = context.atoms + checked
+        if not context.satisfiable:
+            return ConjunctionContext(conjunction, False, context.state)
+        closure = context.state
+        assert isinstance(closure, _Closure)
+        child = closure.extended(checked)
+        return ConjunctionContext(conjunction, child.satisfiable, child)
+
+    def _canonicalize(self, atoms: Sequence[Atom]) -> Conjunction | None:
         """Closure-derived normal form: equality classes, the transitive
         reduction of the order relation among class representatives, and
         non-implied disequalities.

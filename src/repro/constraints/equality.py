@@ -130,13 +130,14 @@ class EqualityTheory(ConstraintTheory):
     ne = staticmethod(ne)
     const = staticmethod(const)
 
-    def __init__(self, fresh_factory=None) -> None:
+    def __init__(self, fresh_factory=None, cache=None) -> None:
         """``fresh_factory(i)`` yields the i-th synthetic domain element.
 
         Sample points for variables constrained only by disequalities need
         arbitrarily many fresh domain elements; by default integers counted
         downward from -1 are used (tests that care can inject a factory).
         """
+        super().__init__(cache)
         self._fresh_factory = fresh_factory or (lambda i: -(i + 1))
 
     def validate_atom(self, atom: Atom) -> None:
@@ -194,10 +195,21 @@ class EqualityTheory(ConstraintTheory):
                 disequalities.append((atom.left, atom.right))
         return uf, disequalities
 
-    def is_satisfiable(self, atoms: Sequence[Atom]) -> bool:
+    def _is_satisfiable(self, atoms: Sequence[Atom]) -> bool:
         return self._closure(self._checked(atoms)) is not None
 
-    def canonicalize(self, atoms: Sequence[Atom]) -> Conjunction | None:
+    def pinned_constants(self, atoms: Sequence[Atom]) -> Mapping[str, Any]:
+        """Syntactic var = const pins (exact for canonical point tuples)."""
+        pins: dict[str, Any] = {}
+        for atom in atoms:
+            if isinstance(atom, EqualityAtom) and atom.op == "=":
+                if isinstance(atom.left, Var) and isinstance(atom.right, Const):
+                    pins[atom.left.name] = atom.right.value
+                elif isinstance(atom.left, Const) and isinstance(atom.right, Var):
+                    pins[atom.right.name] = atom.left.value
+        return pins
+
+    def _canonicalize(self, atoms: Sequence[Atom]) -> Conjunction | None:
         checked = self._checked(atoms)
         closed = self._closure(checked)
         if closed is None:

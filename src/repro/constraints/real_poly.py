@@ -115,6 +115,10 @@ class RealPolynomialTheory(ConstraintTheory):
 
     name = "real_poly"
 
+    # normal forms outside the QE fragment are sound but do not decide
+    # satisfiability, so a canonicalize hit must not imply sat (see base)
+    canonical_decides_sat = False
+
     eq = staticmethod(poly_eq)
     ne = staticmethod(poly_ne)
     lt = staticmethod(poly_lt)
@@ -147,7 +151,7 @@ class RealPolynomialTheory(ConstraintTheory):
         return frozenset(atom.poly.terms.values())
 
     # ---------------------------------------------------------------- solver
-    def is_satisfiable(self, atoms: Sequence[Atom]) -> bool:
+    def _is_satisfiable(self, atoms: Sequence[Atom]) -> bool:
         conds = self._as_conds(atoms)
         simplified = simplify_conj(conds)
         if simplified is None:
@@ -161,7 +165,7 @@ class RealPolynomialTheory(ConstraintTheory):
         # fully ground now: any surviving branch is satisfiable
         return any(simplify_conj(conj) is not None for conj in dnf)
 
-    def canonicalize(self, atoms: Sequence[Atom]) -> Conjunction | None:
+    def _canonicalize(self, atoms: Sequence[Atom]) -> Conjunction | None:
         """Normalized form: primitive polynomials, deduplicated, sorted.
 
         Detects unsatisfiability when the conjunction lies inside the QE

@@ -111,9 +111,9 @@ def _eval(
             raise EvaluationError(
                 f"negation of {child} survived NNF; this is a bug"
             )
-        relation = database.relation(child.name)
-        renamed = [tuple(t.rename(child.args).atoms) for t in relation]
-        return complement_dnf(renamed, theory)
+        return relation_complement_dnf(
+            database.relation(child.name), child.args, theory
+        )
     if isinstance(formula, And):
         result: Dnf = [()]
         for part in formula.children:
@@ -181,6 +181,22 @@ def conjoin_dnf(left: Dnf, right: Dnf, theory: ConstraintTheory) -> Dnf:
                 seen.add(key)
                 result.append(canonical)
     return result
+
+
+def relation_complement_dnf(
+    relation: GeneralizedRelation,
+    args: Sequence[str],
+    theory: ConstraintTheory,
+) -> Dnf:
+    """The complement of a generalized relation, renamed onto ``args``.
+
+    This is the De Morgan expansion a negated database atom denotes; the
+    Datalog engine caches the result per (relation name, args, content
+    version), so stratified/inflationary rounds stop recomplementing
+    relations that did not change.
+    """
+    renamed = [tuple(t.rename(tuple(args)).atoms) for t in relation]
+    return complement_dnf(renamed, theory)
 
 
 def complement_dnf(dnf: Dnf, theory: ConstraintTheory) -> Dnf:

@@ -33,7 +33,7 @@ from typing import Iterable, Sequence
 
 from repro.constraints.base import ConstraintTheory
 from repro.constraints.real_poly import RealPolynomialTheory
-from repro.core.calculus import complement_dnf
+from repro.core.calculus import relation_complement_dnf
 from repro.core.generalized import (
     GeneralizedDatabase,
     GeneralizedRelation,
@@ -117,15 +117,125 @@ class Rule:
         return f"{self.head} :- {body}"
 
 
+@dataclass(frozen=True)
+class EngineOptions:
+    """Per-optimization toggles for the constraint-engine fast path.
+
+    Everything defaults to on; ``benchmarks/bench_ablation.py`` flips the
+    flags individually to measure what each layer contributes.
+    """
+
+    #: memoize ``canonicalize``/``is_satisfiable`` on the theory (TheoryCache)
+    theory_cache: bool = True
+    #: cache each tuple's renamed atom tuple per (relation, body-atom) pair
+    rename_cache: bool = True
+    #: extend the parent conjunction's solver state in the depth-first join
+    #: instead of re-deciding the whole partial conjunction at every level
+    incremental_join: bool = True
+    #: cache the complement DNF of negated relations per (name, version)
+    complement_cache: bool = True
+    #: reject join candidates whose pinned constants conflict with the
+    #: partial conjunction before consulting the solver at all
+    pin_filter: bool = True
+
+    @classmethod
+    def all_on(cls) -> "EngineOptions":
+        return cls()
+
+    @classmethod
+    def all_off(cls) -> "EngineOptions":
+        return cls(
+            theory_cache=False,
+            rename_cache=False,
+            incremental_join=False,
+            complement_cache=False,
+            pin_filter=False,
+        )
+
+    def as_dict(self) -> dict[str, bool]:
+        return {
+            "theory_cache": self.theory_cache,
+            "rename_cache": self.rename_cache,
+            "incremental_join": self.incremental_join,
+            "complement_cache": self.complement_cache,
+            "pin_filter": self.pin_filter,
+        }
+
+
 @dataclass
 class EvaluationStats:
-    """Bookkeeping exposed for the data-complexity benchmarks."""
+    """Bookkeeping exposed for the data-complexity benchmarks.
+
+    ``rule_firings`` counts complete body matches (leaf firings of the join);
+    ``join_steps`` counts partial-join candidate extensions.  The seed engine
+    conflated the two in one counter, overcounting firings in the reports.
+    """
 
     iterations: int = 0
     rule_firings: int = 0
+    join_steps: int = 0
     tuples_derived: int = 0
     tuples_added: int = 0
+    sat_checks: int = 0
+    join_prunes: int = 0
+    pin_prunes: int = 0
+    closure_extensions: int = 0
+    rename_cache_hits: int = 0
+    rename_cache_misses: int = 0
+    complement_cache_hits: int = 0
+    complement_cache_misses: int = 0
+    theory_cache_hits: int = 0
+    theory_cache_misses: int = 0
     per_round_new: list[int] = field(default_factory=list)
+
+    @property
+    def cache_hits(self) -> int:
+        """Total fast-path cache hits across all three cache layers."""
+        return (
+            self.rename_cache_hits
+            + self.complement_cache_hits
+            + self.theory_cache_hits
+        )
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "iterations": self.iterations,
+            "rule_firings": self.rule_firings,
+            "join_steps": self.join_steps,
+            "tuples_derived": self.tuples_derived,
+            "tuples_added": self.tuples_added,
+            "sat_checks": self.sat_checks,
+            "join_prunes": self.join_prunes,
+            "pin_prunes": self.pin_prunes,
+            "closure_extensions": self.closure_extensions,
+            "rename_cache_hits": self.rename_cache_hits,
+            "rename_cache_misses": self.rename_cache_misses,
+            "complement_cache_hits": self.complement_cache_hits,
+            "complement_cache_misses": self.complement_cache_misses,
+            "theory_cache_hits": self.theory_cache_hits,
+            "theory_cache_misses": self.theory_cache_misses,
+            "cache_hits": self.cache_hits,
+            "per_round_new": list(self.per_round_new),
+        }
+
+
+class _EvalCaches:
+    """Per-evaluation cache state (one instance per ``evaluate`` call).
+
+    ``rename`` maps (relation name, body-atom args) to {id(tuple): (tuple,
+    renamed atoms)}; the stored tuple reference keeps the id stable.  The
+    cache is value-correct across rounds because renaming is a pure function
+    of the tuple and the target argument names.
+
+    ``complement`` maps (relation name, args, content version) to the
+    complement DNF, so unchanged relations are never recomplemented.
+    """
+
+    __slots__ = ("rename", "complement")
+
+    def __init__(self, options: EngineOptions) -> None:
+        self.rename: dict | None = {} if options.rename_cache else None
+        self.complement: dict | None = {} if options.complement_cache else None
 
 
 class DatalogProgram:
@@ -136,10 +246,12 @@ class DatalogProgram:
         rules: Sequence[Rule],
         theory: ConstraintTheory,
         allow_unsafe_recursion: bool = False,
+        options: EngineOptions | None = None,
     ) -> None:
         self.rules = list(rules)
         self.theory = theory
         self.allow_unsafe_recursion = allow_unsafe_recursion
+        self.options = options if options is not None else EngineOptions()
         self._check_arities()
         if (
             isinstance(theory, RealPolynomialTheory)
@@ -233,6 +345,39 @@ class DatalogProgram:
         """
         if semantics not in ("auto", "stratified", "inflationary"):
             raise EvaluationError(f"unknown semantics {semantics!r}")
+        # the join path consults the program theory's cache; the dedup path
+        # (GeneralizedRelation.add) consults the database theory's cache --
+        # usually the same object, but the ablation toggle and the stats
+        # deltas must cover both when they differ
+        caches = []
+        for theory in (self.theory, database.theory):
+            cache = theory.cache
+            if cache is not None and all(cache is not c for c in caches):
+                caches.append(cache)
+        prior_enabled = [c.enabled for c in caches]
+        for c in caches:
+            c.enabled = self.options.theory_cache
+        before = [c.stats.snapshot() for c in caches]
+        try:
+            world, stats = self._dispatch(
+                database, max_iterations, semi_naive, semantics
+            )
+        finally:
+            for c, enabled in zip(caches, prior_enabled):
+                c.enabled = enabled
+        for c, (hits_before, misses_before) in zip(caches, before):
+            hits, misses = c.stats.snapshot()
+            stats.theory_cache_hits += hits - hits_before
+            stats.theory_cache_misses += misses - misses_before
+        return world, stats
+
+    def _dispatch(
+        self,
+        database: GeneralizedDatabase,
+        max_iterations: int,
+        semi_naive: bool,
+        semantics: str,
+    ) -> tuple[GeneralizedDatabase, EvaluationStats]:
         if not self.has_negation():
             if semi_naive:
                 return self._evaluate_semi_naive(database, max_iterations)
@@ -296,6 +441,7 @@ class DatalogProgram:
     ) -> tuple[GeneralizedDatabase, EvaluationStats]:
         world = self._prepare(database)
         stats = EvaluationStats()
+        caches = _EvalCaches(self.options)
         for stratum_rules in strata:
             while True:
                 stats.iterations += 1
@@ -303,7 +449,7 @@ class DatalogProgram:
                     raise FixpointDivergenceError(max_iterations)
                 derived: list[tuple[str, GeneralizedTuple]] = []
                 for rule in stratum_rules:
-                    derived.extend(self._fire(rule, world, stats))
+                    derived.extend(self._fire(rule, world, stats, caches))
                 new_count = 0
                 for name, item in derived:
                     if world.relation(name).add(item):
@@ -327,6 +473,7 @@ class DatalogProgram:
     ) -> tuple[GeneralizedDatabase, EvaluationStats]:
         world = self._prepare(database)
         stats = EvaluationStats()
+        caches = _EvalCaches(self.options)
         while True:
             stats.iterations += 1
             if stats.iterations > max_iterations:
@@ -334,7 +481,7 @@ class DatalogProgram:
             new_count = 0
             derived: list[tuple[str, GeneralizedTuple]] = []
             for rule in self.rules:
-                derived.extend(self._fire(rule, world, stats))
+                derived.extend(self._fire(rule, world, stats, caches))
             for name, item in derived:
                 if world.relation(name).add(item):
                     new_count += 1
@@ -348,6 +495,7 @@ class DatalogProgram:
     ) -> tuple[GeneralizedDatabase, EvaluationStats]:
         world = self._prepare(database)
         stats = EvaluationStats()
+        caches = _EvalCaches(self.options)
         idbs = self.idb_predicates()
         # deltas: tuples added in the previous round
         delta: dict[str, list[GeneralizedTuple]] = {
@@ -367,27 +515,26 @@ class DatalogProgram:
                 ]
                 if first_round or not idb_positions:
                     if first_round:
-                        derived.extend(self._fire(rule, world, stats))
+                        derived.extend(self._fire(rule, world, stats, caches))
                     continue
                 # at least one IDB body atom must come from the delta
                 for delta_position in idb_positions:
                     derived.extend(
-                        self._fire(rule, world, stats, delta, delta_position)
+                        self._fire(
+                            rule, world, stats, caches, delta, delta_position
+                        )
                     )
             new_delta: dict[str, list[GeneralizedTuple]] = {name: [] for name in idbs}
             new_count = 0
             for name, item in derived:
                 relation = world.relation(name)
-                if relation.add(item):
+                # add_canonical hands back the canonical tuple the dedup
+                # already computed, so the delta reuses the stored form
+                stored = relation.add_canonical(item)
+                if stored is not None:
                     new_count += 1
                     stats.tuples_added += 1
-                    canonical = self.theory.canonicalize(
-                        item.rename(relation.variables).atoms
-                    )
-                    if canonical is not None:
-                        new_delta[name].append(
-                            GeneralizedTuple(relation.variables, canonical)
-                        )
+                    new_delta[name].append(stored)
             stats.per_round_new.append(new_count)
             delta = new_delta
             first_round = False
@@ -399,13 +546,14 @@ class DatalogProgram:
     ) -> tuple[GeneralizedDatabase, EvaluationStats]:
         world = self._prepare(database)
         stats = EvaluationStats()
+        caches = _EvalCaches(self.options)
         while True:
             stats.iterations += 1
             if stats.iterations > max_iterations:
                 raise FixpointDivergenceError(max_iterations)
             derived: list[tuple[str, GeneralizedTuple]] = []
             for rule in self.rules:
-                derived.extend(self._fire(rule, world, stats))
+                derived.extend(self._fire(rule, world, stats, caches))
             new_count = 0
             for name, item in derived:
                 if world.relation(name).add(item):
@@ -416,11 +564,74 @@ class DatalogProgram:
                 return world, stats
 
     # ------------------------------------------------------------ rule firing
+    def _renamed_tuples(
+        self,
+        atom: RelationAtom,
+        source: Iterable[GeneralizedTuple],
+        caches: _EvalCaches,
+        stats: EvaluationStats,
+        want_pins: bool,
+    ) -> list[tuple[tuple[Atom, ...], dict | None]]:
+        """Each source tuple's atoms renamed onto the body atom's arguments,
+        paired with its pinned-constant map when the pin filter is active.
+
+        Renaming is a pure function of (tuple, target args), so results are
+        cached per (relation, body-atom) pair across rounds; the cached entry
+        keeps the tuple reference, pinning its id for the dict key.
+        """
+        theory = self.theory
+        if caches.rename is None:
+            return [
+                (
+                    renamed := tuple(t.rename(atom.args).atoms),
+                    theory.pinned_constants(renamed) if want_pins else None,
+                )
+                for t in source
+            ]
+        per_atom = caches.rename.setdefault((atom.name, atom.args), {})
+        renamed_list: list[tuple[tuple[Atom, ...], dict | None]] = []
+        for t in source:
+            entry = per_atom.get(id(t))
+            if entry is None:
+                renamed = tuple(t.rename(atom.args).atoms)
+                pins = dict(theory.pinned_constants(renamed)) if want_pins else None
+                per_atom[id(t)] = (t, renamed, pins)
+                stats.rename_cache_misses += 1
+            else:
+                renamed, pins = entry[1], entry[2]
+                if want_pins and pins is None:
+                    pins = dict(theory.pinned_constants(renamed))
+                    per_atom[id(t)] = (t, renamed, pins)
+                stats.rename_cache_hits += 1
+            renamed_list.append((renamed, pins))
+        return renamed_list
+
+    def _complement(
+        self,
+        atom: RelationAtom,
+        relation: GeneralizedRelation,
+        caches: _EvalCaches,
+        stats: EvaluationStats,
+    ) -> list[tuple[Atom, ...]]:
+        """Complement DNF of a negated body atom, cached per content version."""
+        if caches.complement is None:
+            return relation_complement_dnf(relation, atom.args, self.theory)
+        key = (atom.name, atom.args, relation.version)
+        cached = caches.complement.get(key)
+        if cached is None:
+            cached = relation_complement_dnf(relation, atom.args, self.theory)
+            caches.complement[key] = cached
+            stats.complement_cache_misses += 1
+        else:
+            stats.complement_cache_hits += 1
+        return cached
+
     def _fire(
         self,
         rule: Rule,
         world: GeneralizedDatabase,
         stats: EvaluationStats,
+        caches: _EvalCaches,
         delta: dict[str, list[GeneralizedTuple]] | None = None,
         delta_position: int | None = None,
     ) -> list[tuple[str, GeneralizedTuple]]:
@@ -431,53 +642,102 @@ class DatalogProgram:
         (semi-naive restriction).
         """
         positives = rule.positive_atoms
-        choice_lists: list[list[tuple[RelationAtom, GeneralizedTuple]]] = []
+        pin_filter = self.options.pin_filter
+        choice_lists: list[list[tuple[tuple[Atom, ...], dict | None]]] = []
         for index, atom in enumerate(positives):
             relation = world.relation(atom.name)
             if delta is not None and index == delta_position:
                 source: Iterable[GeneralizedTuple] = delta.get(atom.name, [])
             else:
                 source = relation
-            choice_lists.append([(atom, t) for t in source])
-        negated_dnfs: list[list[tuple[Atom, ...]]] = []
-        for atom in rule.negative_atoms:
-            relation = world.relation(atom.name)
-            renamed = [tuple(t.rename(atom.args).atoms) for t in relation]
-            negated_dnfs.append(complement_dnf(renamed, self.theory))
+            choice_lists.append(
+                self._renamed_tuples(atom, source, caches, stats, pin_filter)
+            )
+        negated_dnfs: list[list[tuple[Atom, ...]]] = [
+            self._complement(atom, world.relation(atom.name), caches, stats)
+            for atom in rule.negative_atoms
+        ]
         constraints = tuple(rule.constraint_atoms)
         head_vars = rule.head.args
         body_vars = rule.variables()
         drop = tuple(v for v in body_vars if v not in head_vars)
         results: list[tuple[str, GeneralizedTuple]] = []
+        theory = self.theory
+        incremental = self.options.incremental_join
 
-        def extend(index: int, partial: tuple[Atom, ...]) -> None:
+        def fire_leaf(partial: tuple[Atom, ...]) -> None:
+            for negated in self._expand_negations(negated_dnfs):
+                stats.rule_firings += 1
+                conjunction = partial + negated
+                if negated:
+                    stats.sat_checks += 1
+                    if not theory.is_satisfiable(conjunction):
+                        stats.join_prunes += 1
+                        continue
+                for eliminated in theory.eliminate(conjunction, drop):
+                    stats.tuples_derived += 1
+                    results.append(
+                        (
+                            rule.head.name,
+                            GeneralizedTuple(head_vars, eliminated),
+                        )
+                    )
+
+        def extend(index: int, context, pins: dict | None) -> None:
             """Depth-first join with incremental satisfiability pruning:
             a partial combination that is already inconsistent (e.g. a key
-            mismatch) cuts the whole subtree of tuple choices."""
+            mismatch) cuts the whole subtree of tuple choices.  With the
+            incremental fast path, each level extends the parent's solver
+            state (the dense-order closure) instead of re-closing the whole
+            partial conjunction from scratch.  ``pins`` carries the partial
+            conjunction's forced variable=constant bindings; a candidate that
+            pins a shared variable to a different constant is unsatisfiable
+            with the partial conjunction, so it is rejected by a dictionary
+            comparison before the solver is consulted at all."""
             if index == len(choice_lists):
-                for negated in self._expand_negations(negated_dnfs):
-                    stats.rule_firings += 1
-                    conjunction = partial + negated
-                    if negated and not self.theory.is_satisfiable(conjunction):
-                        continue
-                    for eliminated in self.theory.eliminate(conjunction, drop):
-                        stats.tuples_derived += 1
-                        results.append(
-                            (
-                                rule.head.name,
-                                GeneralizedTuple(head_vars, eliminated),
-                            )
-                        )
+                fire_leaf(context.atoms if incremental else context)
                 return
-            for atom, item in choice_lists[index]:
-                candidate = partial + tuple(item.rename(atom.args).atoms)
-                stats.rule_firings += 1
-                if not self.theory.is_satisfiable(candidate):
-                    continue
-                extend(index + 1, candidate)
+            for renamed, cand_pins in choice_lists[index]:
+                stats.join_steps += 1
+                if pins is not None and cand_pins:
+                    conflict = False
+                    for var, value in cand_pins.items():
+                        known = pins.get(var, value)
+                        if known != value:
+                            conflict = True
+                            break
+                    if conflict:
+                        stats.pin_prunes += 1
+                        stats.join_prunes += 1
+                        continue
+                    child_pins = {**pins, **cand_pins}
+                else:
+                    child_pins = pins
+                if incremental:
+                    child = theory.extend_conjunction(context, renamed)
+                    stats.closure_extensions += 1
+                    if not child.satisfiable:
+                        stats.join_prunes += 1
+                        continue
+                    extend(index + 1, child, child_pins)
+                else:
+                    candidate = context + renamed
+                    stats.sat_checks += 1
+                    if not theory.is_satisfiable(candidate):
+                        stats.join_prunes += 1
+                        continue
+                    extend(index + 1, candidate, child_pins)
 
-        if self.theory.is_satisfiable(constraints):
-            extend(0, constraints)
+        root_pins = dict(theory.pinned_constants(constraints)) if pin_filter else None
+        if incremental:
+            root = theory.begin_conjunction(constraints)
+            stats.sat_checks += 1
+            if root.satisfiable:
+                extend(0, root, root_pins)
+        else:
+            stats.sat_checks += 1
+            if theory.is_satisfiable(constraints):
+                extend(0, constraints, root_pins)
         return results
 
     @staticmethod

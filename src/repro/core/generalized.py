@@ -86,6 +86,11 @@ class GeneralizedRelation:
         self.variables: tuple[str, ...] = tuple(variables)
         self.theory = theory
         self._tuples: dict[frozenset[Atom], GeneralizedTuple] = {}
+        #: monotone content-version counter: bumped on every successful
+        #: ``add``/``discard``, so derived results (e.g. the complement DNF a
+        #: negated rule body needs) can be cached per (name, version) and
+        #: reused until the relation actually changes
+        self.version = 0
         for item in tuples:
             self.add(item)
 
@@ -108,15 +113,25 @@ class GeneralizedRelation:
 
         Unsatisfiable tuples denote the empty set and are dropped.
         """
+        return self.add_canonical(item) is not None
+
+    def add_canonical(self, item: GeneralizedTuple) -> GeneralizedTuple | None:
+        """Like :meth:`add`, but returns the stored canonical tuple if new.
+
+        Callers that need the canonical form (the semi-naive delta) reuse the
+        tuple computed by the dedup instead of re-canonicalizing.
+        """
         renamed = item.rename(self.variables) if item.variables != self.variables else item
         canonical = self.theory.canonicalize(renamed.atoms)
         if canonical is None:
-            return False
+            return None
         key = frozenset(canonical)
         if key in self._tuples:
-            return False
-        self._tuples[key] = GeneralizedTuple(self.variables, canonical)
-        return True
+            return None
+        stored = GeneralizedTuple(self.variables, canonical)
+        self._tuples[key] = stored
+        self.version += 1
+        return stored
 
     def add_tuple(self, atoms: Iterable[Atom]) -> bool:
         """Add a tuple given as a conjunction of atoms over this relation's variables."""
@@ -140,7 +155,10 @@ class GeneralizedRelation:
         canonical = self.theory.canonicalize(item.rename(self.variables).atoms)
         if canonical is None:
             return False
-        return self._tuples.pop(frozenset(canonical), None) is not None
+        if self._tuples.pop(frozenset(canonical), None) is None:
+            return False
+        self.version += 1
+        return True
 
     # ------------------------------------------------------------- semantics
     def contains_point(self, assignment: Mapping[str, Any]) -> bool:

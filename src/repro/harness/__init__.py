@@ -7,6 +7,11 @@ the shared plumbing so every ``benchmarks/bench_*.py`` file prints the same
 kind of table recorded in EXPERIMENTS.md.
 """
 
+from repro.harness.benchjson import (
+    bench_json_path,
+    load_bench_json,
+    record_bench,
+)
 from repro.harness.measure import (
     ScalingResult,
     fit_exponent,
@@ -17,8 +22,11 @@ from repro.harness.measure import (
 
 __all__ = [
     "ScalingResult",
+    "bench_json_path",
     "fit_exponent",
     "format_table",
+    "load_bench_json",
+    "record_bench",
     "sweep",
     "time_callable",
 ]

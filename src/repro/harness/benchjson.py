@@ -1,0 +1,72 @@
+"""Machine-readable benchmark records: ``BENCH_datalog.json``.
+
+The printed experiment blocks (``benchmarks/conftest.report``) are for
+humans reading EXPERIMENTS.md; this module gives the same runs a stable
+machine-readable sink so ablation results and scaling fits can be tracked
+across commits.  Records are merged by name into one JSON document:
+
+.. code-block:: json
+
+    {
+      "records": {
+        "<name>": {"name": ..., "payload fields": ...},
+        ...
+      }
+    }
+
+The target path defaults to ``BENCH_datalog.json`` in the current working
+directory and can be redirected with the ``REPRO_BENCH_JSON`` environment
+variable (useful for CI artifacts and for keeping scratch runs out of the
+repository checkout).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Mapping
+
+#: environment variable overriding the output path
+ENV_VAR = "REPRO_BENCH_JSON"
+
+#: default file name, written into the current working directory
+DEFAULT_NAME = "BENCH_datalog.json"
+
+
+def bench_json_path() -> Path:
+    """The JSON sink currently in effect."""
+    return Path(os.environ.get(ENV_VAR) or DEFAULT_NAME)
+
+
+def load_bench_json(path: Path | None = None) -> dict[str, Any]:
+    """The current document, or a fresh skeleton if absent/corrupt."""
+    target = path if path is not None else bench_json_path()
+    try:
+        with open(target, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        return {"records": {}}
+    if not isinstance(document, dict) or not isinstance(
+        document.get("records"), dict
+    ):
+        return {"records": {}}
+    return document
+
+
+def record_bench(
+    name: str, payload: Mapping[str, Any], path: Path | None = None
+) -> Path:
+    """Merge one named record into the JSON document and write it back.
+
+    Re-running a benchmark overwrites its own record and leaves the others
+    untouched, so one file accumulates the whole suite's latest numbers.
+    Returns the path written.
+    """
+    target = path if path is not None else bench_json_path()
+    document = load_bench_json(target)
+    document["records"][name] = {"name": name, **payload}
+    with open(target, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return target

@@ -162,7 +162,13 @@ class IntervalTree:
                 match = next((i for i in node.bucket if i == interval), None)
             if match is None:
                 return False, node
-            node.bucket.remove(match)
+            # remove by identity: list.remove compares with ==, which ignores
+            # payloads and could evict a same-endpoint interval of another
+            # payload from the bucket
+            for position, existing in enumerate(node.bucket):
+                if existing is match:
+                    del node.bucket[position]
+                    break
             removed = True
             if not node.bucket:
                 return True, self._drop_node(node)

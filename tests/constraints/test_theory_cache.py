@@ -1,0 +1,131 @@
+"""Tests for the TheoryCache memo layer on ConstraintTheory."""
+
+from fractions import Fraction
+
+from repro.constraints.base import TheoryCache
+from repro.constraints.dense_order import DenseOrderTheory, le, lt, ne
+from repro.constraints.real_poly import RealPolynomialTheory, poly_lt
+from repro.core.datalog import DatalogProgram, EngineOptions
+from repro.core.generalized import GeneralizedDatabase
+from repro.logic.parser import parse_rules
+from repro.poly.polynomial import poly_var
+
+
+class TestCounters:
+    def test_sat_hit_and_miss(self):
+        theory = DenseOrderTheory()
+        conj = (lt("x", "y"), lt("y", "x"))
+        assert not theory.is_satisfiable(conj)
+        assert theory.cache.stats.sat_misses == 1
+        assert not theory.is_satisfiable(conj)
+        assert theory.cache.stats.sat_hits == 1
+        assert theory.cache.stats.sat_misses == 1
+
+    def test_key_is_order_and_multiplicity_insensitive(self):
+        theory = DenseOrderTheory()
+        a, b = lt("x", "y"), lt("y", 3)
+        assert theory.is_satisfiable((a, b))
+        # permuted and duplicated conjunctions are the same frozenset key
+        assert theory.is_satisfiable((b, a))
+        assert theory.is_satisfiable((a, b, a))
+        assert theory.cache.stats.sat_hits == 2
+        assert theory.cache.stats.sat_misses == 1
+
+    def test_canonicalize_counters(self):
+        theory = DenseOrderTheory()
+        conj = (le(0, "x"), lt("x", "y"))
+        first = theory.canonicalize(conj)
+        second = theory.canonicalize(conj)
+        assert first == second
+        assert theory.cache.stats.canon_misses == 1
+        assert theory.cache.stats.canon_hits == 1
+
+
+class TestCrossPopulation:
+    def test_unsat_canonicalize_answers_sat(self):
+        theory = DenseOrderTheory()
+        conj = (lt("x", "y"), lt("y", "x"))
+        assert theory.canonicalize(conj) is None
+        # is_satisfiable must be answered from the cache, no sat miss
+        assert not theory.is_satisfiable(conj)
+        assert theory.cache.stats.sat_hits == 1
+        assert theory.cache.stats.sat_misses == 0
+
+    def test_sat_canonicalize_answers_sat_when_exact(self):
+        theory = DenseOrderTheory()
+        assert theory.canonical_decides_sat
+        conj = (le(0, "x"), lt("x", "y"))
+        assert theory.canonicalize(conj) is not None
+        assert theory.is_satisfiable(conj)
+        assert theory.cache.stats.sat_hits == 1
+        assert theory.cache.stats.sat_misses == 0
+
+    def test_polynomial_canonicalize_does_not_decide_sat(self):
+        theory = RealPolynomialTheory()
+        assert not theory.canonical_decides_sat
+        x = poly_var("x")
+        conj = (poly_lt(x, 1),)
+        assert theory.canonicalize(conj) is not None
+        # the canonical form is sound-but-incomplete: a satisfiable answer
+        # must still come from the real solver
+        theory.is_satisfiable(conj)
+        assert theory.cache.stats.sat_misses == 1
+
+
+class TestEnableAndEviction:
+    def test_disabled_cache_bypasses(self):
+        theory = DenseOrderTheory()
+        theory.cache.enabled = False
+        conj = (lt("x", "y"),)
+        theory.is_satisfiable(conj)
+        theory.is_satisfiable(conj)
+        theory.canonicalize(conj)
+        stats = theory.cache.stats
+        assert (stats.hits, stats.misses) == (0, 0)
+
+    def test_fifo_eviction_bounds_memory(self):
+        cache = TheoryCache(maxsize=4)
+        theory = DenseOrderTheory(cache=cache)
+        for k in range(10):
+            theory.is_satisfiable((lt("x", k),))
+        assert len(cache._sat) <= 4
+        # the earliest entries were evicted: re-asking misses again
+        misses = cache.stats.sat_misses
+        theory.is_satisfiable((lt("x", 0),))
+        assert cache.stats.sat_misses == misses + 1
+
+    def test_clear(self):
+        theory = DenseOrderTheory()
+        theory.is_satisfiable((lt("x", "y"),))
+        theory.cache.clear()
+        theory.is_satisfiable((lt("x", "y"),))
+        assert theory.cache.stats.sat_misses == 2
+
+
+class TestEngineIntegration:
+    def test_evaluate_restores_enabled_flag(self):
+        theory = DenseOrderTheory()
+        db = GeneralizedDatabase(theory)
+        edges = db.create_relation("E", ("x", "y"))
+        edges.add_point([0, 1])
+        rules = parse_rules("T(x, y) :- E(x, y).", theory=theory)
+        program = DatalogProgram(
+            rules, theory, options=EngineOptions(theory_cache=False)
+        )
+        assert theory.cache.enabled
+        program.evaluate(db)
+        assert theory.cache.enabled
+
+    def test_stats_report_nonzero_cache_hits(self):
+        theory = DenseOrderTheory()
+        db = GeneralizedDatabase(theory)
+        edges = db.create_relation("E", ("x", "y"))
+        for i in range(6):
+            edges.add_point([i, i + 1])
+        rules = parse_rules(
+            "T(x, y) :- E(x, y).\nT(x, y) :- T(x, z), E(z, y).", theory=theory
+        )
+        _, stats = DatalogProgram(rules, theory).evaluate(db)
+        assert stats.cache_hits > 0
+        assert stats.theory_cache_hits > 0
+        assert stats.pin_prunes > 0
