@@ -13,7 +13,7 @@ from fractions import Fraction
 
 import pytest
 
-from benchmarks.conftest import report
+from benchmarks.conftest import bench_seed, report
 from repro.constraints.dense_order import DenseOrderTheory
 from repro.core.calculus import evaluate_calculus
 from repro.core.datalog import DatalogProgram
@@ -46,9 +46,9 @@ def _closure_check(seed):
 
 
 def test_closed_form_random_inputs(benchmark):
-    checked = benchmark(lambda: _closure_check(seed=13))
-    for seed in range(5):
-        _closure_check(seed)
+    checked = benchmark(lambda: _closure_check(seed=bench_seed(13)))
+    for offset in range(5):
+        _closure_check(bench_seed(offset))
     report(
         "Figure 1: closed-form, bottom-up evaluation",
         "query(generalized db) is again a generalized relation",

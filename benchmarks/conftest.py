@@ -1,6 +1,21 @@
-"""Shared benchmark plumbing: every bench prints a paper-vs-measured block."""
+"""Shared benchmark plumbing: paper-vs-measured blocks and seed replay.
+
+Benchmarks draw their random inputs through :func:`bench_seed`, which
+folds the ``REPRO_SEED`` environment variable (when set) into each
+benchmark's per-site offset.  The default run is therefore byte-for-byte
+the historical one (``REPRO_SEED`` unset leaves every seed unchanged),
+while ``REPRO_SEED=<n> pytest benchmarks`` re-randomizes the whole suite
+deterministically.  Failures print the active base seed for replay.
+"""
 
 import pytest
+
+from repro.conformance.generators import SEED_ENV_VAR, resolve_seed
+
+
+def bench_seed(offset: int = 0) -> int:
+    """The benchmark's random seed: its historical offset shifted by REPRO_SEED."""
+    return resolve_seed(0) + offset
 
 
 def report(title: str, paper_claim: str, lines: list[str]) -> None:
@@ -10,3 +25,17 @@ def report(title: str, paper_claim: str, lines: list[str]) -> None:
     print(f"   paper: {paper_claim}")
     for line in lines:
         print(f"   measured: {line}")
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    outcome = yield
+    rep = outcome.get_result()
+    if rep.when == "call" and rep.failed:
+        rep.sections.append(
+            (
+                "benchmark seed",
+                f"base seed {resolve_seed(0)} "
+                f"(set {SEED_ENV_VAR}=<n> to replay this randomization)",
+            )
+        )

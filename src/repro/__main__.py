@@ -1,5 +1,24 @@
-"""``python -m repro`` launches the interactive constraint-database shell."""
+"""``python -m repro`` -- subcommand dispatch.
 
-from repro.cli import main
+* no arguments: the interactive constraint-database shell;
+* ``conformance ...``: the differential conformance harness
+  (``python -m repro conformance --theory dense --cases 500 --seed 0``).
+"""
 
-main()
+import sys
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    if args and args[0] == "conformance":
+        from repro.conformance.runner import main as conformance_main
+
+        return conformance_main(args[1:])
+    from repro.cli import main as shell_main
+
+    shell_main()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

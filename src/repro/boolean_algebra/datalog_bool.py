@@ -305,6 +305,36 @@ def element_as_term(value: Element, algebra: FreeBooleanAlgebra) -> BoolTerm:
     return result
 
 
+def table_as_term(
+    table: Table, names: Sequence[str], algebra: FreeBooleanAlgebra
+) -> BoolTerm:
+    """The DNF term of a table (the Section 5.1 disjunctive normal form).
+
+    Inverse of :func:`~repro.boolean_algebra.terms.term_table` up to table
+    equality; shared by :class:`~repro.constraints.boolean.BooleanTheory`
+    and the conformance harness's Boole's-lemma strategy adapter.
+    """
+    from repro.boolean_algebra.terms import BAnd, BNot, BOr, BVar
+
+    clauses: list[BoolTerm] = []
+    for mask, coefficient in enumerate(table):
+        if algebra.is_zero(coefficient):
+            continue
+        clause: BoolTerm = element_as_term(coefficient, algebra)
+        for i, name in enumerate(names):
+            literal: BoolTerm = BVar(name)
+            if not (mask & (1 << i)):
+                literal = BNot(literal)
+            clause = BAnd(clause, literal)
+        clauses.append(clause)
+    if not clauses:
+        return BZero()
+    result = clauses[0]
+    for clause in clauses[1:]:
+        result = BOr(result, clause)
+    return result
+
+
 def _rename_table(
     table: Table,
     from_names: Sequence[str],

@@ -1,0 +1,49 @@
+"""Differential conformance harness for the four constraint theories.
+
+The paper's central guarantee is *closed-form bottom-up evaluation*: every
+query strategy -- calculus + quantifier elimination (Thm 2.3), r-/e-
+configuration enumeration (Thms 3.14/4.11), the generalized relational
+algebra (Section 2.1), and the Datalog fixpoint engines -- must denote the
+same point set.  This package checks that guarantee mechanically:
+
+* :mod:`repro.conformance.spec` -- JSON-serializable case descriptions
+  (generalized database + query/program) and builders;
+* :mod:`repro.conformance.generators` -- seeded random case generation per
+  theory, with size knobs shared by CI smoke runs and deep nightly runs;
+* :mod:`repro.conformance.strategies` -- the strategy registry: every way
+  the engine can evaluate a case, including each ``EngineOptions`` ablation
+  and the Fourier-Motzkin vs virtual-substitution QE backends;
+* :mod:`repro.conformance.oracles` -- semantic equivalence of generalized
+  relations via endpoint/point-membership sampling plus symbolic
+  symmetric-difference checks;
+* :mod:`repro.conformance.shrinker` -- greedy case minimization;
+* :mod:`repro.conformance.runner` -- the differential loop, replayable JSON
+  corpus artifacts, and the ``python -m repro conformance`` CLI.
+"""
+
+from repro.conformance.generators import (
+    GeneratorConfig,
+    THEORY_NAMES,
+    generate_case,
+    resolve_seed,
+)
+from repro.conformance.oracles import Discrepancy, compare_relations
+from repro.conformance.runner import ConformanceReport, run_conformance
+from repro.conformance.spec import BuiltCase, CaseSpec, build_case
+from repro.conformance.strategies import Strategy, strategies_for
+
+__all__ = [
+    "BuiltCase",
+    "CaseSpec",
+    "ConformanceReport",
+    "Discrepancy",
+    "GeneratorConfig",
+    "Strategy",
+    "THEORY_NAMES",
+    "build_case",
+    "compare_relations",
+    "generate_case",
+    "resolve_seed",
+    "run_conformance",
+    "strategies_for",
+]

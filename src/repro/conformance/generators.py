@@ -1,0 +1,697 @@
+"""Seeded random case generation for the differential conformance harness.
+
+Each generator is a pure function of ``(theory, seed, config)`` producing a
+:class:`~repro.conformance.spec.CaseSpec` -- replaying a seed replays the
+exact case, which is what the corpus artifacts and the ``--seed`` CLI knob
+rely on.  The :class:`GeneratorConfig` size knobs let the same generator
+drive fast CI smoke runs (``SMOKE``) and deep nightly runs (``DEEP``).
+
+The grammar per theory mirrors what the engine claims to support:
+
+* **dense_order / equality**: databases of interval/point tuples over
+  ``R(u)``/``S(u, v)``/``V(u)``; calculus queries built from relation atoms,
+  theory atoms, ``not``/``and``/``or``/``exists``/``forall``; transitive-
+  closure-shaped Datalog programs with optional stratified or inflationary
+  negation;
+* **boolean** (``B_m``, m <= 1): *positive* existential calculus queries and
+  positive Datalog only -- the theory has no negation (Section 5);
+* **real_poly**: linear constraints only (the paper's Section 6 emphasis and
+  the fragment where Fourier-Motzkin and virtual substitution overlap);
+  Datalog programs are nonrecursive (Example 1.12: recursion is not closed).
+
+``REPRO_SEED`` (see :func:`resolve_seed`) overrides the base seed everywhere
+so any run -- pytest, benchmark, or CLI -- can be replayed exactly.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import zlib
+from dataclasses import dataclass
+from typing import Any
+
+from repro.conformance.spec import CaseSpec
+
+#: canonical theory order; also the CLI's ``--theory all`` expansion
+THEORY_NAMES = ("dense_order", "equality", "boolean", "real_poly")
+
+#: short CLI aliases
+THEORY_ALIASES = {
+    "dense": "dense_order",
+    "order": "dense_order",
+    "eq": "equality",
+    "bool": "boolean",
+    "poly": "real_poly",
+    "linear": "real_poly",
+}
+
+#: environment variable overriding every conformance/benchmark seed
+SEED_ENV_VAR = "REPRO_SEED"
+
+
+def resolve_seed(default: int = 0) -> int:
+    """The base seed: ``REPRO_SEED`` if set, else ``default``.
+
+    Every harness entry point funnels through this, so exporting
+    ``REPRO_SEED=N`` replays a failing run without editing code.
+    """
+    raw = os.environ.get(SEED_ENV_VAR)
+    if raw is None:
+        return default
+    try:
+        return int(raw, 0)
+    except ValueError:
+        raise ValueError(
+            f"{SEED_ENV_VAR} must be an integer, got {raw!r}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Size knobs shared by all four theory generators."""
+
+    #: maximum generalized tuples per database relation
+    max_tuples: int = 3
+    #: largest integer constant used in databases and queries
+    max_constant: int = 6
+    #: maximum depth of the random query tree
+    max_depth: int = 3
+    #: probability that a calculus case has a binary output schema
+    binary_output_share: float = 0.2
+    #: boolean algebra generator count is drawn from [0, max_algebra_m]
+    max_algebra_m: int = 1
+
+    @staticmethod
+    def smoke() -> "GeneratorConfig":
+        return GeneratorConfig()
+
+    @staticmethod
+    def deep() -> "GeneratorConfig":
+        return GeneratorConfig(
+            max_tuples=5, max_constant=9, max_depth=4, binary_output_share=0.3
+        )
+
+
+SMOKE = GeneratorConfig.smoke()
+DEEP = GeneratorConfig.deep()
+
+
+def case_seed(base_seed: int, theory: str, index: int) -> int:
+    """A stable per-case seed derived from the run seed.
+
+    Uses crc32, not ``hash`` -- string hashing is randomized per process,
+    and case seeds must replay across runs.
+    """
+    return zlib.crc32(f"{theory}:{base_seed}:{index}".encode()) & 0x7FFFFFFF
+
+
+def generate_case(
+    theory: str, seed: int, config: GeneratorConfig = SMOKE
+) -> CaseSpec:
+    """A random case spec for ``theory``, deterministic in ``seed``."""
+    name = THEORY_ALIASES.get(theory, theory)
+    # string seeding hashes with sha512 (stable across processes); tuple
+    # seeding would fall back to randomized hash()
+    rng = random.Random(f"{name}:{seed}")
+    if name == "dense_order":
+        return _dense_case(rng, seed, config)
+    if name == "equality":
+        return _equality_case(rng, seed, config)
+    if name == "boolean":
+        return _boolean_case(rng, seed, config)
+    if name == "real_poly":
+        return _poly_case(rng, seed, config)
+    raise ValueError(f"unknown theory {theory!r}")
+
+
+# ------------------------------------------------------------- dense order
+def _frac(value: int) -> list:
+    return ["c", str(value)]
+
+
+def _dense_atom(rng: random.Random, variables: list[str], config) -> list:
+    op = rng.choice(["<", "<=", "=", "!="])
+    left = rng.choice(variables)
+    if len(variables) > 1 and rng.random() < 0.4:
+        right = rng.choice([v for v in variables if v != left])
+        return ["ord", op, ["v", left], ["v", right]]
+    constant = rng.randrange(config.max_constant + 1)
+    if rng.random() < 0.5:
+        return ["ord", op, ["v", left], _frac(constant)]
+    return ["ord", op, _frac(constant), ["v", left]]
+
+
+def _dense_relations(rng: random.Random, config) -> tuple:
+    r_tuples = []
+    for _ in range(rng.randrange(1, config.max_tuples + 1)):
+        low = rng.randrange(config.max_constant + 1)
+        width = rng.randrange(4)
+        if rng.random() < 0.3 and width:
+            r_tuples.append(
+                (["ord", "<", _frac(low), ["v", "u"]],
+                 ["ord", "<", ["v", "u"], _frac(low + width)])
+            )
+        elif rng.random() < 0.15:
+            r_tuples.append((["ord", "<=", _frac(low), ["v", "u"]],))
+        else:
+            r_tuples.append(
+                (["ord", "<=", _frac(low), ["v", "u"]],
+                 ["ord", "<=", ["v", "u"], _frac(low + width)])
+            )
+    s_tuples = []
+    for _ in range(rng.randrange(config.max_tuples)):
+        a = rng.randrange(config.max_constant + 1)
+        b = rng.randrange(config.max_constant + 1)
+        s_tuples.append(
+            (["ord", "=", ["v", "u"], _frac(a)],
+             ["ord", "=", ["v", "v"], _frac(b)])
+        )
+    if rng.random() < 0.3:
+        low = rng.randrange(config.max_constant)
+        s_tuples.append(
+            (["ord", "<=", _frac(low), ["v", "u"]],
+             ["ord", "<", ["v", "u"], ["v", "v"]],
+             ["ord", "<=", ["v", "v"], _frac(low + 2)])
+        )
+    return (
+        ("R", ("u",), tuple(r_tuples)),
+        ("S", ("u", "v"), tuple(s_tuples)),
+    )
+
+
+def _dense_case(rng: random.Random, seed: int, config) -> CaseSpec:
+    relations = _dense_relations(rng, config)
+    if rng.random() < 0.4:
+        return _order_like_datalog_case(
+            "dense_order", rng, seed, config, atom=_dense_atom
+        )
+    output = (
+        ("x", "y") if rng.random() < config.binary_output_share else ("x",)
+    )
+    query = _calculus_query(
+        rng, config, output, atom=_dense_atom, allow_negation=True
+    )
+    return CaseSpec(
+        theory="dense_order",
+        kind="calculus",
+        relations=relations,
+        output=output,
+        query=query,
+        seed=seed,
+    )
+
+
+# ---------------------------------------------------------------- equality
+def _equality_atom(rng: random.Random, variables: list[str], config) -> list:
+    op = rng.choice(["=", "!="])
+    left = rng.choice(variables)
+    if len(variables) > 1 and rng.random() < 0.4:
+        right = rng.choice([v for v in variables if v != left])
+        return ["equ", op, ["v", left], ["v", right]]
+    return ["equ", op, ["v", left], ["c", rng.randrange(config.max_constant + 1)]]
+
+
+def _equality_relations(rng: random.Random, config) -> tuple:
+    r_tuples = []
+    for _ in range(rng.randrange(1, config.max_tuples + 1)):
+        r_tuples.append(
+            (["equ", "=", ["v", "u"], ["c", rng.randrange(config.max_constant + 1)]],)
+        )
+    if rng.random() < 0.25:
+        r_tuples.append(
+            (["equ", "!=", ["v", "u"], ["c", rng.randrange(config.max_constant + 1)]],)
+        )
+    s_tuples = []
+    for _ in range(rng.randrange(config.max_tuples)):
+        if rng.random() < 0.75:
+            s_tuples.append(
+                (["equ", "=", ["v", "u"], ["c", rng.randrange(config.max_constant + 1)]],
+                 ["equ", "=", ["v", "v"], ["c", rng.randrange(config.max_constant + 1)]])
+            )
+        else:
+            s_tuples.append((["equ", "!=", ["v", "u"], ["v", "v"]],))
+    return (
+        ("R", ("u",), tuple(r_tuples)),
+        ("S", ("u", "v"), tuple(s_tuples)),
+    )
+
+
+def _equality_case(rng: random.Random, seed: int, config) -> CaseSpec:
+    relations = _equality_relations(rng, config)
+    if rng.random() < 0.4:
+        return _order_like_datalog_case(
+            "equality", rng, seed, config, atom=_equality_atom
+        )
+    output = (
+        ("x", "y") if rng.random() < config.binary_output_share else ("x",)
+    )
+    query = _calculus_query(
+        rng, config, output, atom=_equality_atom, allow_negation=True
+    )
+    return CaseSpec(
+        theory="equality",
+        kind="calculus",
+        relations=relations,
+        output=output,
+        query=query,
+        seed=seed,
+    )
+
+
+# ----------------------------------------------------------------- boolean
+def _bool_term(rng: random.Random, variables: list[str], m: int, depth: int) -> list:
+    if depth <= 0 or rng.random() < 0.4:
+        choices: list[list] = [["bvar", rng.choice(variables)], ["bzero"], ["bone"]]
+        if m:
+            choices.append(["bconst", f"c{rng.randrange(m)}"])
+        return rng.choice(choices)
+    op = rng.choice(["band", "bor", "bxor", "bnot"])
+    if op == "bnot":
+        return ["bnot", _bool_term(rng, variables, m, depth - 1)]
+    return [
+        op,
+        _bool_term(rng, variables, m, depth - 1),
+        _bool_term(rng, variables, m, depth - 1),
+    ]
+
+
+def _bool_atom(rng: random.Random, variables: list[str], config, m: int = 1) -> list:
+    return ["bool", _bool_term(rng, variables, m, 2)]
+
+
+def _boolean_relations(rng: random.Random, config, m: int) -> tuple:
+    r_tuples = []
+    for _ in range(rng.randrange(1, config.max_tuples + 1)):
+        r_tuples.append((["bool", _bool_term(rng, ["u"], m, 2)],))
+    s_tuples = []
+    for _ in range(rng.randrange(1, config.max_tuples + 1)):
+        s_tuples.append(
+            (["bool", _bool_term(rng, ["u"], m, 1)],
+             ["bool", _bool_term(rng, ["v"], m, 1)])
+        )
+    return (
+        ("R", ("u",), tuple(r_tuples)),
+        ("S", ("u", "v"), tuple(s_tuples)),
+    )
+
+
+def _boolean_case(rng: random.Random, seed: int, config) -> CaseSpec:
+    m = rng.randrange(config.max_algebra_m + 1)
+    relations = _boolean_relations(rng, config, m)
+    if rng.random() < 0.45:
+        return _boolean_datalog_case(rng, seed, config, m)
+    output = ("x",) if rng.random() > config.binary_output_share else ("x", "y")
+
+    def atom(rng_, variables, config_):
+        return _bool_atom(rng_, variables, config_, m)
+
+    query = _calculus_query(rng, config, output, atom=atom, allow_negation=False)
+    return CaseSpec(
+        theory="boolean",
+        kind="calculus",
+        relations=relations,
+        output=output,
+        query=query,
+        m=m,
+        seed=seed,
+    )
+
+
+def _boolean_datalog_case(rng: random.Random, seed: int, config, m: int) -> CaseSpec:
+    """Positive transitive closure over a random boolean-element graph."""
+    algebra_size = 2 ** (2**m)
+    e_tuples = []
+    for _ in range(rng.randrange(2, config.max_tuples + 2)):
+        a = rng.randrange(algebra_size)
+        b = rng.randrange(algebra_size)
+        e_tuples.append(
+            (_bool_element_eq("x", a, m), _bool_element_eq("y", b, m))
+        )
+    if rng.random() < 0.3:
+        e_tuples.append((["bool", ["band", ["bvar", "x"], ["bvar", "y"]]],))
+    rules: list[Any] = [
+        {"head": ["T", ["x", "y"]], "body": [["rel", "E", ["x", "y"]]]},
+        {
+            "head": ["T", ["x", "y"]],
+            "body": [["rel", "T", ["x", "z"]], ["rel", "E", ["z", "y"]]],
+        },
+    ]
+    return CaseSpec(
+        theory="boolean",
+        kind="datalog",
+        relations=(("E", ("x", "y"), tuple(e_tuples)),),
+        output=("x", "y"),
+        rules=tuple(rules),
+        target="T",
+        semantics="auto",
+        m=m,
+        seed=seed,
+    )
+
+
+def _bool_element_eq(variable: str, minterm_mask: int, m: int) -> list:
+    """``variable = element`` where the element is the given minterm set.
+
+    Encoded as ``variable xor element-term = 0``; the element term is the
+    join of its minterms, each a meet of (complemented) generators.
+    """
+    clauses: list = []
+    for minterm in range(2**m):
+        if not minterm_mask & (1 << minterm):
+            continue
+        clause: list = ["bone"]
+        for i in range(m):
+            literal: list = ["bconst", f"c{i}"]
+            if not minterm & (1 << i):
+                literal = ["bnot", literal]
+            clause = ["band", clause, literal]
+        clauses.append(clause)
+    if not clauses:
+        element: list = ["bzero"]
+    else:
+        element = clauses[0]
+        for clause in clauses[1:]:
+            element = ["bor", element, clause]
+    return ["bool", ["bxor", ["bvar", variable], element]]
+
+
+# --------------------------------------------------------------- real poly
+def _linear_poly(
+    rng: random.Random, variables: list[str], config, n_vars: int = 2
+) -> list:
+    """Monomial encoding of a random linear polynomial over ``variables``."""
+    monomials: list = []
+    chosen = rng.sample(variables, min(len(variables), rng.randrange(1, n_vars + 1)))
+    for name in chosen:
+        coeff = rng.choice([-2, -1, 1, 2])
+        monomials.append([str(coeff), [[name, 1]]])
+    constant = rng.randrange(-config.max_constant, config.max_constant + 1)
+    if constant or not monomials:
+        monomials.append([str(constant), []])
+    return monomials
+
+
+def _poly_atom(rng: random.Random, variables: list[str], config) -> list:
+    op = rng.choice(["<", "<=", "=", "!="])
+    return ["poly", op, _linear_poly(rng, variables, config)]
+
+
+def _poly_relations(rng: random.Random, config) -> tuple:
+    r_tuples = []
+    for _ in range(rng.randrange(1, config.max_tuples + 1)):
+        low = rng.randrange(config.max_constant + 1)
+        width = rng.randrange(1, 4)
+        # low <= u <= low+width, i.e. low - u <= 0 and u - (low+width) <= 0
+        r_tuples.append(
+            (["poly", "<=", [[str(-1), [["u", 1]]], [str(low), []]]],
+             ["poly", "<=", [[str(1), [["u", 1]]], [str(-(low + width)), []]]])
+        )
+    s_tuples = []
+    for _ in range(rng.randrange(config.max_tuples)):
+        a = rng.randrange(config.max_constant + 1)
+        b = rng.randrange(config.max_constant + 1)
+        s_tuples.append(
+            (["poly", "=", [[str(1), [["u", 1]]], [str(-a), []]]],
+             ["poly", "=", [[str(1), [["v", 1]]], [str(-b), []]]])
+        )
+    if rng.random() < 0.3:
+        bound = rng.randrange(2, config.max_constant + 2)
+        # 0 <= u, 0 <= v, u + v <= bound
+        s_tuples.append(
+            (["poly", "<=", [[str(-1), [["u", 1]]]]],
+             ["poly", "<=", [[str(-1), [["v", 1]]]]],
+             ["poly", "<=", [[str(1), [["u", 1]]], [str(1), [["v", 1]]], [str(-bound), []]]])
+        )
+    return (
+        ("R", ("u",), tuple(r_tuples)),
+        ("S", ("u", "v"), tuple(s_tuples)),
+    )
+
+
+def _poly_case(rng: random.Random, seed: int, config) -> CaseSpec:
+    roll = rng.random()
+    if roll < 0.3:
+        return _qe_case(rng, seed, config)
+    relations = _poly_relations(rng, config)
+    if roll < 0.55:
+        return _poly_datalog_case(rng, seed, config, relations)
+    output = (
+        ("x", "y") if rng.random() < config.binary_output_share else ("x",)
+    )
+    query = _calculus_query(
+        rng, config, output, atom=_poly_atom, allow_negation=True, allow_forall=False
+    )
+    return CaseSpec(
+        theory="real_poly",
+        kind="calculus",
+        relations=relations,
+        output=output,
+        query=query,
+        seed=seed,
+    )
+
+
+def _poly_datalog_case(rng: random.Random, seed: int, config, relations) -> CaseSpec:
+    """Nonrecursive rules only: recursion over real_poly is not closed."""
+    rules: list[Any] = [
+        {
+            "head": ["P", ["x"]],
+            "body": [["rel", "S", ["x", "w"]], _poly_atom(rng, ["x", "w"], config)],
+        },
+        {"head": ["P", ["x"]], "body": [["rel", "R", ["x"]]]},
+    ]
+    if rng.random() < 0.5:
+        rules.append(
+            {
+                "head": ["Q", ["x", "y"]],
+                "body": [
+                    ["rel", "S", ["x", "w"]],
+                    ["rel", "S", ["w", "y"]],
+                ],
+            }
+        )
+        target = "Q"
+        output = ("x", "y")
+    else:
+        target = "P"
+        output = ("x",)
+    return CaseSpec(
+        theory="real_poly",
+        kind="datalog",
+        relations=relations,
+        output=output,
+        rules=tuple(rules),
+        target=target,
+        semantics="auto",
+        seed=seed,
+    )
+
+
+def _qe_case(rng: random.Random, seed: int, config) -> CaseSpec:
+    """An existential block over a random linear conjunction (FM vs VS)."""
+    variables = ["x", "y", "z"][: rng.randrange(2, 4)]
+    n_drop = rng.randrange(1, len(variables))
+    dropped = rng.sample(variables, n_drop)
+    atoms = [
+        _poly_atom(rng, variables, config)
+        for _ in range(rng.randrange(2, config.max_tuples + 3))
+    ]
+    used = {
+        name
+        for atom in atoms
+        for monomial in atom[2]
+        for name, _exp in monomial[1]
+    }
+    for name in dropped:
+        if name not in used:
+            # make sure every bound variable actually occurs in the block
+            atoms.append(_poly_atom(rng, [name], config))
+            used.add(name)
+    # the output must be exactly the block's free variables: kept variables
+    # that no atom mentions are not free, so they cannot appear in the schema
+    output = tuple(v for v in variables if v not in dropped and v in used)
+    query = ["exists", dropped, ["and", atoms]]
+    return CaseSpec(
+        theory="real_poly",
+        kind="qe",
+        relations=(),
+        output=output,
+        query=query,
+        seed=seed,
+    )
+
+
+# --------------------------------------------------- shared query skeleton
+def _calculus_query(
+    rng: random.Random,
+    config,
+    output: tuple[str, ...],
+    atom,
+    allow_negation: bool,
+    allow_forall: bool | None = None,
+) -> list:
+    """A random query with free variables exactly ``output``.
+
+    The top level conjoins an *anchor* relation atom mentioning every output
+    variable (pinning the free-variable set) with a random subformula over
+    the outputs; the subformula may quantify fresh variables.
+    """
+    if allow_forall is None:
+        allow_forall = allow_negation
+    if output == ("x",):
+        anchor = ["rel", "R", ["x"]]
+    else:
+        anchor = ["rel", "S", ["x", "y"]]
+    body = _random_subformula(
+        rng,
+        config,
+        list(output),
+        depth=rng.randrange(1, config.max_depth + 1),
+        atom=atom,
+        allow_negation=allow_negation,
+        allow_forall=allow_forall,
+        quantifier_budget=2,
+    )
+    shape = rng.random()
+    if shape < 0.25:
+        return anchor
+    if shape < 0.55 or not allow_negation:
+        return ["and", [anchor, body]]
+    if shape < 0.8:
+        return ["or", [anchor, ["and", [anchor, body]]]]
+    return ["and", [anchor, ["not", body]]] if _is_relation_atom(body) else [
+        "and",
+        [anchor, body],
+    ]
+
+
+def _is_relation_atom(encoded: Any) -> bool:
+    return isinstance(encoded, list) and encoded and encoded[0] == "rel"
+
+
+def _random_subformula(
+    rng: random.Random,
+    config,
+    scope: list[str],
+    depth: int,
+    atom,
+    allow_negation: bool,
+    allow_forall: bool,
+    quantifier_budget: int,
+) -> list:
+    """A random formula with free variables drawn from ``scope``."""
+    if depth <= 0:
+        return _leaf(rng, config, scope, atom, allow_negation)
+    roll = rng.random()
+    recurse = lambda s, q=quantifier_budget: _random_subformula(  # noqa: E731
+        rng, config, s, depth - 1, atom, allow_negation, allow_forall, q
+    )
+    if roll < 0.25:
+        return ["and", [recurse(scope), recurse(scope)]]
+    if roll < 0.5:
+        return ["or", [recurse(scope), recurse(scope)]]
+    if roll < 0.85 and quantifier_budget > 0:
+        fresh = f"w{quantifier_budget}"
+        inner_scope = scope + [fresh]
+        quantified_leaf = rng.random()
+        if quantified_leaf < 0.6:
+            # quantify over a relation atom so the bound variable matters
+            base: list = ["rel", "S", [rng.choice(scope) if scope else fresh, fresh]]
+        else:
+            base = ["and", [["rel", "S", [scope[0] if scope else fresh, fresh]],
+                            atom(rng, inner_scope, config)]]
+        if allow_forall and rng.random() < 0.15:
+            return ["forall", [fresh], ["or", [["not", base] if allow_negation else base,
+                                               recurse(scope, quantifier_budget - 1)]]]
+        return ["exists", [fresh], base]
+    return _leaf(rng, config, scope, atom, allow_negation)
+
+
+def _leaf(rng, config, scope, atom, allow_negation) -> list:
+    roll = rng.random()
+    if roll < 0.35 and scope:
+        return atom(rng, scope, config)
+    if roll < 0.7 and "x" in scope:
+        leaf: list = ["rel", "R", ["x"]]
+    elif len(scope) >= 2:
+        leaf = ["rel", "S", [scope[0], scope[1]]]
+    elif scope:
+        leaf = ["rel", "R", [scope[0]]]
+    else:
+        return atom(rng, ["x"], config)
+    if allow_negation and rng.random() < 0.3:
+        return ["not", leaf]
+    return leaf
+
+
+# ----------------------------------------------- shared datalog generation
+def _order_like_datalog_case(
+    theory: str, rng: random.Random, seed: int, config, atom
+) -> CaseSpec:
+    """Transitive closure (optionally with negation) over a random graph."""
+    nodes = max(2, config.max_constant - 2)
+    constant = (lambda v: _frac(v)) if theory == "dense_order" else (lambda v: ["c", v])
+    tag = "ord" if theory == "dense_order" else "equ"
+    e_tuples = []
+    for _ in range(rng.randrange(2, config.max_tuples + 3)):
+        a = rng.randrange(nodes)
+        b = rng.randrange(nodes)
+        if a == b:
+            continue
+        e_tuples.append(
+            ([tag, "=", ["v", "x"], constant(a)],
+             [tag, "=", ["v", "y"], constant(b)])
+        )
+    if theory == "dense_order" and rng.random() < 0.4:
+        low = rng.randrange(nodes)
+        e_tuples.append(
+            (["ord", "<=", _frac(low), ["v", "x"]],
+             ["ord", "<", ["v", "x"], ["v", "y"]],
+             ["ord", "<=", ["v", "y"], _frac(low + 1)])
+        )
+    if theory == "equality" and rng.random() < 0.3:
+        e_tuples.append(
+            ([tag, "=", ["v", "x"], constant(0)], [tag, "!=", ["v", "x"], ["v", "y"]])
+        )
+    v_tuples = tuple(
+        ([tag, "=", ["v", "x"], constant(v)],) for v in range(min(nodes, 3))
+    )
+    rules: list[Any] = [
+        {"head": ["T", ["x", "y"]], "body": [["rel", "E", ["x", "y"]]]},
+        {
+            "head": ["T", ["x", "y"]],
+            "body": [["rel", "T", ["x", "z"]], ["rel", "E", ["z", "y"]]],
+        },
+    ]
+    if rng.random() < 0.4:
+        rules[0]["body"] = rules[0]["body"] + [atom(rng, ["x", "y"], config)]
+    target = "T"
+    output = ("x", "y")
+    semantics = "auto"
+    if rng.random() < 0.45:
+        rules.append(
+            {
+                "head": ["U", ["x", "y"]],
+                "body": [
+                    ["rel", "V", ["x"]],
+                    ["rel", "V", ["y"]],
+                    ["notrel", "T", ["x", "y"]],
+                ],
+            }
+        )
+        target = rng.choice(["T", "U"])
+        semantics = rng.choice(["stratified", "inflationary"])
+    return CaseSpec(
+        theory=theory,
+        kind="datalog",
+        relations=(
+            ("E", ("x", "y"), tuple(e_tuples)),
+            ("V", ("x",), v_tuples),
+        ),
+        output=output,
+        rules=tuple(rules),
+        target=target,
+        semantics=semantics,
+        seed=seed,
+    )

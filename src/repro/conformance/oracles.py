@@ -1,0 +1,249 @@
+"""Semantic-equivalence oracles for pairs of generalized relations.
+
+Two generalized relations are *equivalent* when they denote the same
+unrestricted point set (Definition 1.3).  Syntactic equality is useless here
+-- different strategies legitimately produce different DNFs (EVAL-phi's
+r-configuration disjunctions are much finer than the calculus evaluator's)
+-- so the oracles work at the semantic level, strongest first:
+
+1. **symbolic symmetric difference** (dense order, equality, real_poly):
+   ``left != right`` iff some conjunct of one side is jointly satisfiable
+   with the complement of the other; complete because satisfiability is
+   decided by the theory solver itself;
+2. **exhaustive enumeration** (boolean): the domain ``B_m`` is finite
+   (``2^(2^m)`` elements), so all points of ``B_m^k`` are checked -- also
+   complete, and independent of any solver;
+3. **endpoint grid sampling** (all ordered theories): evaluate both
+   relations at every constant mentioned by either side, at *two* interior
+   rationals per gap between consecutive constants, and at points beyond
+   both ends.  For dense order this grid is complete for arities <= 2: a
+   tuple's truth depends only on the order type of its coordinates relative
+   to the constants (Lemma 3.9), and two interior points per gap realize
+   every order type (``x < y``, ``x = y``, ``x > y``) inside a single gap;
+4. **per-tuple witnesses**: each tuple's ``sample_point`` must be contained
+   in the other relation (a fast, targeted subset of 3).
+
+Oracle 3/4 are kept even where 1 applies: they exercise ``holds``/
+``sample_point`` themselves and catch solver bugs that a solver-based
+symmetric difference would mirror on both sides.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Any, Iterable, Mapping
+
+from repro.boolean_algebra.algebra import FreeBooleanAlgebra
+from repro.core.calculus import complement_dnf
+from repro.core.generalized import GeneralizedRelation
+from repro.errors import ReproError
+
+#: grid size guard: skip point products larger than this (arity 3+ deep runs)
+MAX_GRID_POINTS = 4096
+
+
+@dataclass
+class Discrepancy:
+    """One observed disagreement between two strategies on one case."""
+
+    left_name: str
+    right_name: str
+    oracle: str  # witness | grid | symbolic | enumeration
+    point: dict[str, Any] | None  # a point in the symmetric difference
+    detail: str
+
+    def describe(self) -> str:
+        where = f" at {_printable_point(self.point)}" if self.point else ""
+        return (
+            f"{self.left_name} vs {self.right_name} [{self.oracle}]{where}: "
+            f"{self.detail}"
+        )
+
+
+def _printable_point(point: Mapping[str, Any] | None) -> dict[str, str]:
+    return {} if point is None else {k: str(v) for k, v in point.items()}
+
+
+def compare_relations(
+    left: GeneralizedRelation,
+    right: GeneralizedRelation,
+    left_name: str,
+    right_name: str,
+    theory_name: str,
+    m: int = 0,
+) -> Discrepancy | None:
+    """The first discrepancy between two results, or None if equivalent."""
+    if tuple(left.variables) != tuple(right.variables):
+        return Discrepancy(
+            left_name,
+            right_name,
+            "schema",
+            None,
+            f"schemas differ: {left.variables} vs {right.variables}",
+        )
+    if theory_name == "boolean":
+        return _enumerate_boolean(left, right, left_name, right_name, m)
+    symbolic = _symbolic_difference(left, right, left_name, right_name)
+    if symbolic is not None:
+        return symbolic
+    witness = _witness_check(left, right, left_name, right_name)
+    if witness is not None:
+        return witness
+    return _grid_check(left, right, left_name, right_name, theory_name)
+
+
+# ------------------------------------------------------------- oracle 1
+def _symbolic_difference(
+    left: GeneralizedRelation,
+    right: GeneralizedRelation,
+    left_name: str,
+    right_name: str,
+) -> Discrepancy | None:
+    """sat(left and not right) or sat(right and not left), via the theory."""
+    theory = left.theory
+    sides = (
+        (left, right, left_name, right_name),
+        (right, left, right_name, left_name),
+    )
+    for inside, outside, inside_name, outside_name in sides:
+        outside_dnf = [tuple(t.atoms) for t in outside]
+        complement = complement_dnf(outside_dnf, theory)
+        for item in inside:
+            for conjunction in complement:
+                candidate = tuple(item.atoms) + conjunction
+                if theory.is_satisfiable(candidate):
+                    point = theory.sample_point(candidate, inside.variables)
+                    return Discrepancy(
+                        left_name,
+                        right_name,
+                        "symbolic",
+                        point,
+                        f"point set of {inside_name} is not contained in "
+                        f"{outside_name}",
+                    )
+    return None
+
+
+# ------------------------------------------------------------- oracle 2
+def _enumerate_boolean(
+    left: GeneralizedRelation,
+    right: GeneralizedRelation,
+    left_name: str,
+    right_name: str,
+    m: int,
+) -> Discrepancy | None:
+    """Exhaustive check over the finite domain ``B_m`` (complete)."""
+    algebra = FreeBooleanAlgebra.with_generators(m)
+    elements = list(algebra.all_elements())
+    variables = left.variables
+    for values in itertools.product(elements, repeat=len(variables)):
+        point = dict(zip(variables, values))
+        in_left = left.contains_point(point)
+        in_right = right.contains_point(point)
+        if in_left != in_right:
+            return Discrepancy(
+                left_name,
+                right_name,
+                "enumeration",
+                point,
+                f"in {left_name}: {in_left}, in {right_name}: {in_right}",
+            )
+    return None
+
+
+# ------------------------------------------------------------- oracle 3
+def sample_grid(constants: Iterable[Any], theory_name: str) -> list[Any]:
+    """The point-membership sampling grid for one coordinate.
+
+    Rational theories: every constant, two interior points per gap between
+    consecutive constants (so both orders of a coordinate pair are realized
+    inside one gap), and two points beyond each end.  Equality theory: every
+    constant plus two fresh values (two, so distinct-from-all pairs with
+    ``x != y`` are realizable).
+    """
+    if theory_name == "equality":
+        values = sorted(set(constants))
+        fresh_base = (max(values) if values else 0) + 1
+        return list(values) + [fresh_base, fresh_base + 1]
+    values = sorted({Fraction(c) for c in constants})
+    if not values:
+        return [Fraction(0), Fraction(1), Fraction(2)]
+    grid: list[Fraction] = [values[0] - 2, values[0] - 1]
+    for index, value in enumerate(values):
+        grid.append(value)
+        if index + 1 < len(values):
+            gap = values[index + 1] - value
+            grid.append(value + gap / 3)
+            grid.append(value + 2 * gap / 3)
+    grid.extend([values[-1] + 1, values[-1] + 2])
+    return grid
+
+
+def _grid_check(
+    left: GeneralizedRelation,
+    right: GeneralizedRelation,
+    left_name: str,
+    right_name: str,
+    theory_name: str,
+) -> Discrepancy | None:
+    constants = set(left.constants()) | set(right.constants())
+    grid = sample_grid(constants, theory_name)
+    variables = left.variables
+    if len(grid) ** len(variables) > MAX_GRID_POINTS:
+        return None  # symbolic oracle already covered this case
+    for values in itertools.product(grid, repeat=len(variables)):
+        point = dict(zip(variables, values))
+        in_left = left.contains_point(point)
+        in_right = right.contains_point(point)
+        if in_left != in_right:
+            return Discrepancy(
+                left_name,
+                right_name,
+                "grid",
+                point,
+                f"in {left_name}: {in_left}, in {right_name}: {in_right}",
+            )
+    return None
+
+
+# ------------------------------------------------------------- oracle 4
+def _witness_check(
+    left: GeneralizedRelation,
+    right: GeneralizedRelation,
+    left_name: str,
+    right_name: str,
+) -> Discrepancy | None:
+    """Each tuple's own sample point must lie in the other relation."""
+    sides = (
+        (left, right, left_name, right_name),
+        (right, left, right_name, left_name),
+    )
+    for inside, outside, inside_name, outside_name in sides:
+        for item in inside:
+            try:
+                point = inside.theory.sample_point(item.atoms, inside.variables)
+            except ReproError:
+                continue
+            if point is None:
+                continue
+            if not inside.contains_point(point):
+                return Discrepancy(
+                    left_name,
+                    right_name,
+                    "witness",
+                    point,
+                    f"sample point of a {inside_name} tuple is not in "
+                    f"{inside_name} itself (broken sample_point or holds)",
+                )
+            if not outside.contains_point(point):
+                return Discrepancy(
+                    left_name,
+                    right_name,
+                    "witness",
+                    point,
+                    f"witness of a {inside_name} tuple is missing from "
+                    f"{outside_name}",
+                )
+    return None

@@ -1,0 +1,285 @@
+"""The differential conformance loop and its CLI.
+
+For each case: generate a spec, evaluate it through every applicable
+strategy (the first registry entry is the reference), compare each result
+against the reference with the semantic oracles, and -- when a discrepancy
+survives -- greedily shrink the case and write a replayable JSON artifact
+under the corpus directory.  ``tests/conformance/test_corpus_replay.py``
+replays every artifact forever after, so a fixed bug stays fixed.
+
+CLI::
+
+    python -m repro conformance --theory dense --cases 500 --seed 0
+    python -m repro conformance --theory all --profile deep
+
+``--seed`` defaults to the ``REPRO_SEED`` environment variable when set
+(satellite of the replayability requirement); the per-case seed printed in
+every failure message replays that exact case via ``--case-seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.conformance.generators import (
+    DEEP,
+    SMOKE,
+    THEORY_ALIASES,
+    THEORY_NAMES,
+    GeneratorConfig,
+    case_seed,
+    generate_case,
+    resolve_seed,
+)
+from repro.conformance.oracles import Discrepancy, compare_relations
+from repro.conformance.shrinker import shrink
+from repro.conformance.spec import CaseSpec
+from repro.conformance.strategies import ABLATION_GRID, strategies_for
+
+
+@dataclass
+class CaseFailure:
+    """A surviving discrepancy, with the minimized spec that reproduces it."""
+
+    spec: CaseSpec  # minimized
+    original_spec: CaseSpec
+    discrepancy: Discrepancy
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "spec": self.spec.as_dict(),
+            "original_spec": self.original_spec.as_dict(),
+            "discrepancy": {
+                "left": self.discrepancy.left_name,
+                "right": self.discrepancy.right_name,
+                "oracle": self.discrepancy.oracle,
+                "point": {
+                    k: str(v) for k, v in (self.discrepancy.point or {}).items()
+                },
+                "detail": self.discrepancy.detail,
+            },
+        }
+
+
+@dataclass
+class ConformanceReport:
+    """Aggregate outcome of one conformance run over one theory."""
+
+    theory: str
+    cases: int
+    seed: int
+    failures: list[CaseFailure] = field(default_factory=list)
+    strategy_runs: Counter = field(default_factory=Counter)
+    #: EngineOptions configs exercised, as frozensets of as_dict() items
+    exercised_options: set = field(default_factory=set)
+    kind_counts: Counter = field(default_factory=Counter)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def options_coverage(self) -> tuple[int, int]:
+        """(exercised, total) over the ablation grid."""
+        grid = {
+            frozenset(options.as_dict().items()) for _, options in ABLATION_GRID
+        }
+        return len(self.exercised_options & grid), len(grid)
+
+    def summary_lines(self) -> list[str]:
+        exercised, total = self.options_coverage()
+        lines = [
+            f"theory={self.theory} cases={self.cases} seed={self.seed}",
+            "  kinds: "
+            + " ".join(f"{k}={n}" for k, n in sorted(self.kind_counts.items())),
+            f"  engine-options ablations exercised: {exercised}/{total}",
+            f"  strategies run: {sum(self.strategy_runs.values())} "
+            f"({len(self.strategy_runs)} distinct)",
+            f"  discrepancies: {len(self.failures)}",
+        ]
+        for failure in self.failures:
+            lines.append(
+                f"    seed={failure.original_spec.seed}: "
+                + failure.discrepancy.describe()
+            )
+        return lines
+
+
+def run_case(spec: CaseSpec) -> Discrepancy | None:
+    """Evaluate one spec through every strategy; first discrepancy or None.
+
+    A strategy raising is itself reported as a discrepancy (oracle
+    ``"error"``) -- strategies declare applicability via the registry, so an
+    exception inside one is an engine bug, not an expected skip.
+    """
+    routes = strategies_for(spec)
+    reference = routes[0]
+    try:
+        expected = reference.run(spec)
+    except Exception as error:  # noqa: BLE001 - reported, not swallowed
+        return Discrepancy(
+            reference.name, reference.name, "error", None, repr(error)
+        )
+    for route in routes[1:]:
+        try:
+            actual = route.run(spec)
+        except Exception as error:  # noqa: BLE001 - reported, not swallowed
+            return Discrepancy(
+                reference.name, route.name, "error", None, repr(error)
+            )
+        found = compare_relations(
+            expected, actual, reference.name, route.name, spec.theory, spec.m
+        )
+        if found is not None:
+            return found
+    return None
+
+
+def run_conformance(
+    theory: str,
+    cases: int,
+    seed: int,
+    config: GeneratorConfig = SMOKE,
+    corpus_dir: str | Path | None = None,
+    shrink_failures: bool = True,
+    progress=None,
+) -> ConformanceReport:
+    """The differential loop over ``cases`` generated specs for one theory."""
+    name = THEORY_ALIASES.get(theory, theory)
+    report = ConformanceReport(theory=name, cases=cases, seed=seed)
+    for index in range(cases):
+        spec_seed = case_seed(seed, name, index)
+        spec = generate_case(name, spec_seed, config)
+        report.kind_counts[spec.kind] += 1
+        for route in strategies_for(spec):
+            report.strategy_runs[route.name] += 1
+            if route.options is not None:
+                report.exercised_options.add(
+                    frozenset(route.options.as_dict().items())
+                )
+        found = run_case(spec)
+        if found is not None:
+            minimized = spec
+            if shrink_failures:
+                minimized = shrink(spec, lambda s: run_case(s) is not None)
+                final = run_case(minimized)
+                if final is not None:
+                    found = final
+            failure = CaseFailure(minimized, spec, found)
+            report.failures.append(failure)
+            if corpus_dir is not None:
+                _write_artifact(Path(corpus_dir), failure)
+        if progress is not None:
+            progress(index + 1, cases, report)
+    return report
+
+
+def _write_artifact(corpus_dir: Path, failure: CaseFailure) -> Path:
+    corpus_dir.mkdir(parents=True, exist_ok=True)
+    path = (
+        corpus_dir
+        / f"{failure.spec.theory}-seed{failure.original_spec.seed}.json"
+    )
+    path.write_text(json.dumps(failure.as_dict(), indent=2, sort_keys=True))
+    return path
+
+
+def replay_artifact(path: str | Path) -> Discrepancy | None:
+    """Re-run the minimized spec stored in a corpus artifact."""
+    data = json.loads(Path(path).read_text())
+    return run_case(CaseSpec.from_dict(data["spec"]))
+
+
+# ----------------------------------------------------------------------- CLI
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro conformance",
+        description="Differential conformance testing across all evaluation "
+        "strategies of the constraint query engine.",
+    )
+    parser.add_argument(
+        "--theory",
+        default="all",
+        help="dense|equality|boolean|poly|all (aliases accepted)",
+    )
+    parser.add_argument(
+        "--cases", type=int, default=100, help="cases per theory"
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="base seed (default: REPRO_SEED env var, else 0)",
+    )
+    parser.add_argument(
+        "--profile",
+        choices=("smoke", "deep"),
+        default="smoke",
+        help="generator size preset",
+    )
+    parser.add_argument(
+        "--case-seed",
+        type=int,
+        default=None,
+        help="replay a single case by its per-case seed (needs --theory)",
+    )
+    parser.add_argument(
+        "--corpus",
+        default=None,
+        help="directory for surviving-discrepancy JSON artifacts",
+    )
+    parser.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="skip case minimization on failures",
+    )
+    args = parser.parse_args(argv)
+    seed = resolve_seed(0) if args.seed is None else args.seed
+    config = DEEP if args.profile == "deep" else SMOKE
+    if args.theory == "all":
+        theories = list(THEORY_NAMES)
+    else:
+        name = THEORY_ALIASES.get(args.theory, args.theory)
+        if name not in THEORY_NAMES:
+            parser.error(f"unknown theory {args.theory!r}")
+        theories = [name]
+    if args.case_seed is not None:
+        if len(theories) != 1:
+            parser.error("--case-seed requires a single --theory")
+        spec = generate_case(theories[0], args.case_seed, config)
+        found = run_case(spec)
+        print(json.dumps(spec.as_dict(), indent=2, sort_keys=True))
+        if found is None:
+            print("case-seed replay: all strategies agree")
+            return 0
+        print(f"case-seed replay: {found.describe()}")
+        return 1
+    exit_code = 0
+    for theory in theories:
+        report = run_conformance(
+            theory,
+            args.cases,
+            seed,
+            config,
+            corpus_dir=args.corpus,
+            shrink_failures=not args.no_shrink,
+        )
+        for line in report.summary_lines():
+            print(line)
+        if not report.ok:
+            exit_code = 1
+            print(
+                f"  replay: python -m repro conformance --theory {theory} "
+                f"--case-seed <seed above>"
+                + (f" (or REPRO_SEED={seed})" if args.seed is None else "")
+            )
+    return exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

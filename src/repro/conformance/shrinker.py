@@ -1,0 +1,135 @@
+"""Greedy minimization of failing conformance cases.
+
+Given a spec whose strategies disagree, :func:`shrink` repeatedly applies
+structure-removing mutations -- drop a database tuple, drop an atom from a
+tuple's conjunction, drop a rule or a body literal, replace a query node by
+one of its children -- keeping a mutation only when the discrepancy
+predicate still holds.  The result is a locally minimal spec: no single
+removal preserves the failure.  Mutations that make the spec ill-formed
+(free variables no longer matching the output, head variables missing from
+a rule body, ...) simply make the predicate raise or return False and are
+rejected; the shrinker never needs to know the well-formedness rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Any, Callable, Iterator
+
+from repro.conformance.spec import CaseSpec
+
+#: cap on predicate evaluations per shrink (each runs every strategy)
+DEFAULT_BUDGET = 400
+
+
+def shrink(
+    spec: CaseSpec,
+    predicate: Callable[[CaseSpec], bool],
+    budget: int = DEFAULT_BUDGET,
+) -> CaseSpec:
+    """Greedily minimize ``spec`` while ``predicate`` keeps holding.
+
+    ``predicate`` must return True on ``spec`` itself (the caller observed
+    the discrepancy there); it is expected to swallow evaluation errors and
+    return False for ill-formed mutants.
+    """
+    current = spec
+    attempts = 0
+    improved = True
+    while improved and attempts < budget:
+        improved = False
+        for candidate in _mutations(current):
+            attempts += 1
+            if attempts > budget:
+                break
+            try:
+                keeps_failing = predicate(candidate)
+            except Exception:
+                keeps_failing = False
+            if keeps_failing:
+                current = candidate
+                improved = True
+                break  # restart mutation enumeration from the smaller spec
+    return current
+
+
+def _mutations(spec: CaseSpec) -> Iterator[CaseSpec]:
+    """All one-step reductions of a spec, smallest-impact first."""
+    # drop one tuple from one relation
+    for r_index, (name, variables, tuples) in enumerate(spec.relations):
+        for t_index in range(len(tuples)):
+            reduced = tuples[:t_index] + tuples[t_index + 1 :]
+            relations = (
+                spec.relations[:r_index]
+                + ((name, variables, reduced),)
+                + spec.relations[r_index + 1 :]
+            )
+            yield replace(spec, relations=relations)
+    # drop one atom from one tuple's conjunction
+    for r_index, (name, variables, tuples) in enumerate(spec.relations):
+        for t_index, atoms in enumerate(tuples):
+            if len(atoms) <= 1:
+                continue
+            for a_index in range(len(atoms)):
+                new_tuple = atoms[:a_index] + atoms[a_index + 1 :]
+                reduced = (
+                    tuples[:t_index] + (new_tuple,) + tuples[t_index + 1 :]
+                )
+                relations = (
+                    spec.relations[:r_index]
+                    + ((name, variables, reduced),)
+                    + spec.relations[r_index + 1 :]
+                )
+                yield replace(spec, relations=relations)
+    # drop one rule
+    for index in range(len(spec.rules)):
+        yield replace(spec, rules=spec.rules[:index] + spec.rules[index + 1 :])
+    # drop one body literal from one rule
+    for index, rule in enumerate(spec.rules):
+        body = rule["body"]
+        if len(body) <= 1:
+            continue
+        for b_index in range(len(body)):
+            new_rule = {
+                "head": rule["head"],
+                "body": body[:b_index] + body[b_index + 1 :],
+            }
+            yield replace(
+                spec,
+                rules=spec.rules[:index] + (new_rule,) + spec.rules[index + 1 :],
+            )
+    # structurally simplify the query
+    if spec.query is not None:
+        for simplified in _formula_reductions(spec.query):
+            yield replace(spec, query=simplified)
+
+
+def _formula_reductions(encoded: Any) -> Iterator[Any]:
+    """One-step reductions of an encoded formula (children replace parents,
+    connective arguments drop one element), outermost first."""
+    tag = encoded[0]
+    if tag in ("and", "or"):
+        children = encoded[1]
+        # replace the whole node by one child
+        for child in children:
+            yield child
+        # drop one child (only meaningful with 2+ children)
+        if len(children) > 1:
+            for index in range(len(children)):
+                yield [tag, children[:index] + children[index + 1 :]]
+        # recurse into one child
+        for index, child in enumerate(children):
+            for reduced in _formula_reductions(child):
+                yield [
+                    tag,
+                    children[:index] + [reduced] + children[index + 1 :],
+                ]
+    elif tag == "not":
+        yield encoded[1]
+        for reduced in _formula_reductions(encoded[1]):
+            yield ["not", reduced]
+    elif tag in ("exists", "forall"):
+        yield encoded[2]
+        for reduced in _formula_reductions(encoded[2]):
+            yield [tag, encoded[1], reduced]
+    # atoms and relation atoms are irreducible

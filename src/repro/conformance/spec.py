@@ -1,0 +1,356 @@
+"""JSON-serializable conformance case descriptions and their builders.
+
+A *case spec* is a plain-data description of one differential test case: a
+constraint theory, a generalized database, and either a relational calculus
+query, a Datalog program, or a bare existential block (for the QE-backend
+comparison).  Specs are what the generators produce, what the shrinker
+mutates, and what gets written to ``tests/conformance/corpus/`` when a
+discrepancy survives -- so everything here must round-trip through JSON.
+
+Encodings (all plain lists/dicts/strings):
+
+* terms: ``["v", name]`` / ``["c", value]`` (dense-order constants are
+  ``Fraction`` strings, equality constants ints);
+* atoms: ``["ord", op, t, t]``, ``["equ", op, t, t]``,
+  ``["poly", op, [[coeff, [[var, exp], ...]], ...]]``,
+  ``["bool", bterm]`` (meaning ``bterm = 0``);
+* boolean terms: ``["bvar", n]``, ``["bconst", n]``, ``["bzero"]``,
+  ``["bone"]``, ``["band"|"bor"|"bxor", t, t]``, ``["bnot", t]``;
+* formulas: an atom encoding, ``["rel", name, [args]]``,
+  ``["not", f]``, ``["and", [fs]]``, ``["or", [fs]]``,
+  ``["exists", [vars], f]``, ``["forall", [vars], f]``;
+* rules: ``{"head": [name, [args]], "body": [literal, ...]}`` where a
+  literal is a formula-encoded relation atom, ``["notrel", name, [args]]``,
+  or an atom encoding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Any, Sequence
+
+from repro.boolean_algebra.algebra import FreeBooleanAlgebra
+from repro.boolean_algebra.terms import (
+    BAnd,
+    BConst,
+    BNot,
+    BOne,
+    BOr,
+    BoolTerm,
+    BVar,
+    BXor,
+    BZero,
+)
+from repro.constraints.base import ConstraintTheory
+from repro.constraints.boolean import BooleanConstraintAtom, BooleanTheory
+from repro.constraints.dense_order import DenseOrderTheory, OrderAtom
+from repro.constraints.equality import EqualityAtom, EqualityTheory
+from repro.constraints.real_poly import PolyAtom, RealPolynomialTheory
+from repro.constraints.terms import Const, Var
+from repro.core.datalog import Rule
+from repro.core.generalized import GeneralizedDatabase
+from repro.errors import ReproError
+from repro.logic.syntax import (
+    And,
+    Atom,
+    Exists,
+    ForAll,
+    Formula,
+    Not,
+    Or,
+    RelationAtom,
+)
+from repro.poly.polynomial import Polynomial
+
+
+class SpecError(ReproError):
+    """A case spec is malformed or cannot be decoded."""
+
+
+@dataclass(frozen=True)
+class CaseSpec:
+    """One differential test case, as plain JSON-able data.
+
+    ``kind`` is ``"calculus"`` (first-order query), ``"datalog"`` (rules +
+    target predicate + semantics), or ``"qe"`` (existential block over
+    constraint atoms only, for the QE-backend pair).
+    """
+
+    theory: str  # dense_order | equality | boolean | real_poly
+    kind: str  # calculus | datalog | qe
+    relations: tuple[tuple[str, tuple[str, ...], tuple[tuple[Any, ...], ...]], ...]
+    output: tuple[str, ...]
+    query: Any = None  # formula encoding (calculus / qe kinds)
+    rules: tuple[Any, ...] = ()  # rule encodings (datalog kind)
+    target: str | None = None  # target IDB predicate (datalog kind)
+    semantics: str = "auto"  # datalog semantics for this case
+    m: int = 0  # boolean algebra generator count
+    seed: int | None = None  # generator seed, for replay messages
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "theory": self.theory,
+            "kind": self.kind,
+            "relations": [
+                [name, list(variables), [list(t) for t in tuples]]
+                for name, variables, tuples in self.relations
+            ],
+            "output": list(self.output),
+            "query": self.query,
+            "rules": list(self.rules),
+            "target": self.target,
+            "semantics": self.semantics,
+            "m": self.m,
+            "seed": self.seed,
+        }
+
+    @staticmethod
+    def from_dict(data: dict[str, Any]) -> "CaseSpec":
+        try:
+            return CaseSpec(
+                theory=data["theory"],
+                kind=data["kind"],
+                relations=tuple(
+                    (name, tuple(variables), tuple(tuple(t) for t in tuples))
+                    for name, variables, tuples in data["relations"]
+                ),
+                output=tuple(data["output"]),
+                query=data.get("query"),
+                rules=tuple(data.get("rules", ())),
+                target=data.get("target"),
+                semantics=data.get("semantics", "auto"),
+                m=data.get("m", 0),
+                seed=data.get("seed"),
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise SpecError(f"malformed case spec: {error}") from error
+
+
+@dataclass
+class BuiltCase:
+    """A spec instantiated against a fresh theory instance.
+
+    Every strategy run builds its own :class:`BuiltCase` so no solver caches
+    are shared between the strategies under comparison (cache correctness is
+    itself one of the properties being tested).
+    """
+
+    spec: CaseSpec
+    theory: ConstraintTheory
+    database: GeneralizedDatabase
+    query: Formula | None
+    rules: list[Rule]
+    output: tuple[str, ...]
+
+
+THEORY_BUILDERS = {
+    "dense_order": lambda spec: DenseOrderTheory(),
+    "equality": lambda spec: EqualityTheory(),
+    "boolean": lambda spec: BooleanTheory(FreeBooleanAlgebra.with_generators(spec.m)),
+    "real_poly": lambda spec: RealPolynomialTheory(),
+}
+
+
+def build_theory(spec: CaseSpec) -> ConstraintTheory:
+    try:
+        factory = THEORY_BUILDERS[spec.theory]
+    except KeyError:
+        raise SpecError(f"unknown theory {spec.theory!r}") from None
+    return factory(spec)
+
+
+def build_case(spec: CaseSpec) -> BuiltCase:
+    """Instantiate a spec: fresh theory, database, and query or rules."""
+    theory = build_theory(spec)
+    database = GeneralizedDatabase(theory)
+    for name, variables, tuples in spec.relations:
+        relation = database.create_relation(name, variables)
+        for encoded in tuples:
+            relation.add_tuple([decode_atom(a, theory) for a in encoded])
+    query = decode_formula(spec.query, theory) if spec.query is not None else None
+    rules = [decode_rule(r, theory) for r in spec.rules]
+    return BuiltCase(spec, theory, database, query, rules, spec.output)
+
+
+# ------------------------------------------------------------------- terms
+def encode_term(term: Any) -> list:
+    if isinstance(term, Var):
+        return ["v", term.name]
+    if isinstance(term, Const):
+        value = term.value
+        if isinstance(value, Fraction):
+            return ["c", str(value)]
+        return ["c", value]
+    raise SpecError(f"cannot encode term {term!r}")
+
+
+def _decode_order_term(encoded: Sequence) -> Any:
+    tag, value = encoded
+    if tag == "v":
+        return Var(value)
+    if tag == "c":
+        return Const(Fraction(value))
+    raise SpecError(f"bad term encoding {encoded!r}")
+
+
+def _decode_equality_term(encoded: Sequence) -> Any:
+    tag, value = encoded
+    if tag == "v":
+        return Var(value)
+    if tag == "c":
+        return Const(value)
+    raise SpecError(f"bad term encoding {encoded!r}")
+
+
+# ------------------------------------------------------------------- atoms
+def encode_atom(atom: Atom) -> list:
+    if isinstance(atom, OrderAtom):
+        return ["ord", atom.op, encode_term(atom.left), encode_term(atom.right)]
+    if isinstance(atom, EqualityAtom):
+        return ["equ", atom.op, encode_term(atom.left), encode_term(atom.right)]
+    if isinstance(atom, PolyAtom):
+        monomials = [
+            [str(coeff), [[name, exp] for name, exp in mono]]
+            for mono, coeff in sorted(atom.poly.terms.items())
+        ]
+        return ["poly", atom.op, monomials]
+    if isinstance(atom, BooleanConstraintAtom):
+        return ["bool", encode_bool_term(atom.term)]
+    raise SpecError(f"cannot encode atom {atom!r}")
+
+
+def decode_atom(encoded: Sequence, theory: ConstraintTheory) -> Atom:
+    tag = encoded[0]
+    if tag == "ord":
+        _, op, left, right = encoded
+        return OrderAtom(op, _decode_order_term(left), _decode_order_term(right))
+    if tag == "equ":
+        _, op, left, right = encoded
+        return EqualityAtom(
+            op, _decode_equality_term(left), _decode_equality_term(right)
+        )
+    if tag == "poly":
+        _, op, monomials = encoded
+        terms = {
+            tuple((name, exp) for name, exp in mono): Fraction(coeff)
+            for coeff, mono in monomials
+        }
+        return PolyAtom(Polynomial(terms), op)
+    if tag == "bool":
+        if not isinstance(theory, BooleanTheory):
+            raise SpecError("boolean atom outside a boolean-theory case")
+        return BooleanConstraintAtom(decode_bool_term(encoded[1]), theory.algebra)
+    raise SpecError(f"bad atom encoding {encoded!r}")
+
+
+def encode_bool_term(term: BoolTerm) -> list:
+    if isinstance(term, BVar):
+        return ["bvar", term.name]
+    if isinstance(term, BConst):
+        return ["bconst", term.name]
+    if isinstance(term, BZero):
+        return ["bzero"]
+    if isinstance(term, BOne):
+        return ["bone"]
+    if isinstance(term, BAnd):
+        return ["band", encode_bool_term(term.left), encode_bool_term(term.right)]
+    if isinstance(term, BOr):
+        return ["bor", encode_bool_term(term.left), encode_bool_term(term.right)]
+    if isinstance(term, BXor):
+        return ["bxor", encode_bool_term(term.left), encode_bool_term(term.right)]
+    if isinstance(term, BNot):
+        return ["bnot", encode_bool_term(term.child)]
+    raise SpecError(f"cannot encode boolean term {term!r}")
+
+
+def decode_bool_term(encoded: Sequence) -> BoolTerm:
+    tag = encoded[0]
+    if tag == "bvar":
+        return BVar(encoded[1])
+    if tag == "bconst":
+        return BConst(encoded[1])
+    if tag == "bzero":
+        return BZero()
+    if tag == "bone":
+        return BOne()
+    if tag == "bnot":
+        return BNot(decode_bool_term(encoded[1]))
+    binary = {"band": BAnd, "bor": BOr, "bxor": BXor}.get(tag)
+    if binary is not None:
+        return binary(decode_bool_term(encoded[1]), decode_bool_term(encoded[2]))
+    raise SpecError(f"bad boolean term encoding {encoded!r}")
+
+
+# ---------------------------------------------------------------- formulas
+_ATOM_TAGS = frozenset({"ord", "equ", "poly", "bool"})
+
+
+def decode_formula(encoded: Any, theory: ConstraintTheory) -> Formula:
+    tag = encoded[0]
+    if tag in _ATOM_TAGS:
+        return decode_atom(encoded, theory)
+    if tag == "rel":
+        return RelationAtom(encoded[1], tuple(encoded[2]))
+    if tag == "not":
+        return Not(decode_formula(encoded[1], theory))
+    if tag == "and":
+        return And(tuple(decode_formula(c, theory) for c in encoded[1]))
+    if tag == "or":
+        return Or(tuple(decode_formula(c, theory) for c in encoded[1]))
+    if tag == "exists":
+        return Exists(tuple(encoded[1]), decode_formula(encoded[2], theory))
+    if tag == "forall":
+        return ForAll(tuple(encoded[1]), decode_formula(encoded[2], theory))
+    raise SpecError(f"bad formula encoding {encoded!r}")
+
+
+def encode_formula(formula: Formula) -> Any:
+    if isinstance(formula, RelationAtom):
+        return ["rel", formula.name, list(formula.args)]
+    if isinstance(formula, Atom):
+        return encode_atom(formula)
+    if isinstance(formula, Not):
+        return ["not", encode_formula(formula.child)]
+    if isinstance(formula, And):
+        return ["and", [encode_formula(c) for c in formula.children]]
+    if isinstance(formula, Or):
+        return ["or", [encode_formula(c) for c in formula.children]]
+    if isinstance(formula, Exists):
+        return ["exists", list(formula.variables_bound), encode_formula(formula.child)]
+    if isinstance(formula, ForAll):
+        return ["forall", list(formula.variables_bound), encode_formula(formula.child)]
+    raise SpecError(f"cannot encode formula {formula!r}")
+
+
+# ------------------------------------------------------------------- rules
+def decode_rule(encoded: dict, theory: ConstraintTheory) -> Rule:
+    head_name, head_args = encoded["head"]
+    body: list[object] = []
+    for literal in encoded["body"]:
+        tag = literal[0]
+        if tag == "rel":
+            body.append(RelationAtom(literal[1], tuple(literal[2])))
+        elif tag == "notrel":
+            body.append(Not(RelationAtom(literal[1], tuple(literal[2]))))
+        elif tag in _ATOM_TAGS:
+            body.append(decode_atom(literal, theory))
+        else:
+            raise SpecError(f"bad rule literal {literal!r}")
+    return Rule(RelationAtom(head_name, tuple(head_args)), tuple(body))
+
+
+def encode_rule(rule: Rule) -> dict:
+    body: list[Any] = []
+    for literal in rule.body:
+        if isinstance(literal, RelationAtom):
+            body.append(["rel", literal.name, list(literal.args)])
+        elif isinstance(literal, Not):
+            child = literal.child
+            assert isinstance(child, RelationAtom)
+            body.append(["notrel", child.name, list(child.args)])
+        elif isinstance(literal, Atom):
+            body.append(encode_atom(literal))
+        else:
+            raise SpecError(f"cannot encode rule literal {literal!r}")
+    return {"head": [rule.head.name, list(rule.head.args)], "body": body}

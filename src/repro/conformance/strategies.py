@@ -1,0 +1,326 @@
+"""The strategy registry: every way the engine can evaluate one case.
+
+Each :class:`Strategy` is an adapter from a :class:`~repro.conformance.spec.
+CaseSpec` to a :class:`~repro.core.generalized.GeneralizedRelation` over the
+spec's output schema.  Every run calls :func:`~repro.conformance.spec.
+build_case` itself, so each strategy gets a *fresh* theory instance and no
+solver caches are shared between the strategies under comparison -- cache
+correctness is one of the properties being tested.
+
+Registered adapters (per applicable kind/theory):
+
+* ``calculus`` -- the Figure 1 pipeline (:func:`evaluate_calculus`);
+* ``algebra`` -- an independent structural evaluator composed from the
+  Section 2.1 generalized relational algebra operators (join/union/
+  project/complement), *not* sharing the calculus evaluator's NNF pass;
+* ``rconfig`` / ``econfig`` -- the paper-verbatim EVAL-phi procedures
+  (dense order / equality only);
+* ``datalog[...]`` -- the semi-naive engine under ``EngineOptions.all_on``,
+  ``all_off``, and each single-flag-off ablation, plus a naive-order run;
+* ``boole_lemma`` -- the Section 5.2 boolean Datalog engine (Theorem 5.6),
+  for positive boolean programs;
+* ``qe:calculus`` / ``qe:fourier_motzkin`` / ``qe:virtual_substitution`` --
+  the QE-backend pair on bare existential linear blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Sequence
+
+from repro.boolean_algebra.datalog_bool import (
+    BodyAtom,
+    BooleanDatalogProgram,
+    BooleanRule,
+    canonical_variables,
+    table_as_term,
+)
+from repro.boolean_algebra.terms import BoolTerm, BOr, BVar, BZero
+from repro.conformance.spec import BuiltCase, CaseSpec, SpecError, build_case
+from repro.constraints.boolean import BooleanConstraintAtom, BooleanTheory
+from repro.constraints.real_poly import PolyAtom
+from repro.core import algebra as ra
+from repro.core.calculus import evaluate_calculus
+from repro.core.datalog import DatalogProgram, EngineOptions
+from repro.core.econfig import evaluate_query_econfig
+from repro.core.generalized import GeneralizedRelation
+from repro.core.rconfig import evaluate_query_rconfig
+from repro.logic.syntax import (
+    And,
+    Atom,
+    Exists,
+    ForAll,
+    Formula,
+    Not,
+    Or,
+    RelationAtom,
+)
+from repro.qe.fourier_motzkin import fourier_motzkin_eliminate
+from repro.qe.signs import SignCond
+from repro.qe.virtual_substitution import vs_eliminate
+
+
+@dataclass(frozen=True)
+class Strategy:
+    """A named evaluation route for conformance cases."""
+
+    name: str
+    run: Callable[[CaseSpec], GeneralizedRelation]
+    #: the engine-options config this strategy exercises (datalog routes)
+    options: EngineOptions | None = None
+
+
+#: the EngineOptions ablation grid: everything on, everything off, and each
+#: single flag off -- the acceptance criterion requires every one of these
+#: to be exercised by at least one strategy pair
+ABLATION_GRID: tuple[tuple[str, EngineOptions], ...] = (
+    ("all_on", EngineOptions.all_on()),
+    ("all_off", EngineOptions.all_off()),
+    *(
+        (f"no_{flag}", replace(EngineOptions.all_on(), **{flag: False}))
+        for flag in EngineOptions.all_on().as_dict()
+    ),
+)
+
+
+def strategies_for(spec: CaseSpec) -> list[Strategy]:
+    """All applicable strategies for a spec; the first is the reference."""
+    if spec.kind == "calculus":
+        routes = [
+            Strategy("calculus", _run_calculus),
+            Strategy("algebra", _run_algebra),
+        ]
+        if spec.theory == "dense_order":
+            routes.append(Strategy("rconfig", _run_rconfig))
+        elif spec.theory == "equality":
+            routes.append(Strategy("econfig", _run_econfig))
+        return routes
+    if spec.kind == "datalog":
+        routes = [
+            Strategy(
+                f"datalog[{label}]",
+                _datalog_runner(options, semi_naive=True),
+                options=options,
+            )
+            for label, options in ABLATION_GRID
+        ]
+        routes.append(
+            Strategy(
+                "datalog[naive]",
+                _datalog_runner(EngineOptions.all_on(), semi_naive=False),
+                options=EngineOptions.all_on(),
+            )
+        )
+        if spec.theory == "boolean":
+            routes.append(Strategy("boole_lemma", _run_boole_lemma))
+        return routes
+    if spec.kind == "qe":
+        return [
+            Strategy("qe:calculus", _run_calculus),
+            Strategy("qe:fourier_motzkin", _qe_runner(fourier_motzkin_eliminate)),
+            Strategy("qe:virtual_substitution", _qe_runner(vs_eliminate)),
+        ]
+    raise SpecError(f"unknown case kind {spec.kind!r}")
+
+
+# ---------------------------------------------------------------- calculus
+def _run_calculus(spec: CaseSpec) -> GeneralizedRelation:
+    case = build_case(spec)
+    return evaluate_calculus(case.query, case.database, output=case.output)
+
+
+def _run_rconfig(spec: CaseSpec) -> GeneralizedRelation:
+    case = build_case(spec)
+    return evaluate_query_rconfig(case.query, case.database, output=case.output)
+
+
+def _run_econfig(spec: CaseSpec) -> GeneralizedRelation:
+    case = build_case(spec)
+    return evaluate_query_econfig(case.query, case.database, output=case.output)
+
+
+# ----------------------------------------------------------------- algebra
+def _run_algebra(spec: CaseSpec) -> GeneralizedRelation:
+    """Structural evaluation by generalized-relational-algebra composition.
+
+    Unlike the calculus evaluator this never normalizes to NNF: negation is
+    the algebra's unrestricted ``complement`` operator applied to the
+    subformula's relation, disjunction pads both sides onto the union schema
+    (joining with the universal relation over the missing attributes), and
+    ``forall`` is complement-project-complement.
+    """
+    case = build_case(spec)
+    result = _algebra_eval(case.query, case)
+    missing = [v for v in case.output if v not in result.variables]
+    if missing:
+        raise SpecError(
+            f"algebra evaluation lost output variables {missing}"
+        )
+    return ra.project(result, case.output, name="result")
+
+
+def _algebra_eval(formula: Formula, case: BuiltCase) -> GeneralizedRelation:
+    theory = case.theory
+    if isinstance(formula, RelationAtom):
+        source = case.database.relation(formula.name)
+        if len(set(formula.args)) != len(formula.args):
+            raise SpecError(f"repeated arguments in {formula}")
+        return ra.rename(
+            source, dict(zip(source.variables, formula.args)), name="atom"
+        )
+    if isinstance(formula, Atom):
+        schema = tuple(sorted(formula.variables()))
+        relation = GeneralizedRelation("constraint", schema, theory)
+        relation.add_tuple((formula,))
+        return relation
+    if isinstance(formula, Not):
+        return ra.complement(_algebra_eval(formula.child, case))
+    if isinstance(formula, And):
+        parts = [_algebra_eval(child, case) for child in formula.children]
+        result = parts[0]
+        for part in parts[1:]:
+            result = ra.join(result, part)
+        return result
+    if isinstance(formula, Or):
+        parts = [_algebra_eval(child, case) for child in formula.children]
+        schema: tuple[str, ...] = ()
+        for part in parts:
+            schema = schema + tuple(
+                v for v in part.variables if v not in schema
+            )
+        result = _pad(parts[0], schema, theory)
+        for part in parts[1:]:
+            result = ra.union(
+                result, ra.project(_pad(part, schema, theory), result.variables)
+            )
+        return result
+    if isinstance(formula, Exists):
+        inner = _algebra_eval(formula.child, case)
+        keep = [v for v in inner.variables if v not in formula.variables_bound]
+        return ra.project(inner, keep)
+    if isinstance(formula, ForAll):
+        # forall v. psi == not exists v. not psi, as algebra operators
+        inner = _algebra_eval(formula.child, case)
+        complemented = ra.complement(inner)
+        keep = [
+            v for v in complemented.variables if v not in formula.variables_bound
+        ]
+        return ra.complement(ra.project(complemented, keep))
+    raise SpecError(f"algebra evaluator cannot handle {formula!r}")
+
+
+def _pad(
+    relation: GeneralizedRelation, schema: Sequence[str], theory
+) -> GeneralizedRelation:
+    """Extend onto a superset schema by joining with the universal relation
+    over the missing attributes (one tuple with an empty conjunction)."""
+    missing = [v for v in schema if v not in relation.variables]
+    if not missing:
+        return relation
+    universal = GeneralizedRelation("_universe", tuple(missing), theory)
+    universal.add_tuple(())
+    return ra.join(relation, universal, name="pad")
+
+
+# ----------------------------------------------------------------- datalog
+def _datalog_runner(
+    options: EngineOptions, semi_naive: bool
+) -> Callable[[CaseSpec], GeneralizedRelation]:
+    def run(spec: CaseSpec) -> GeneralizedRelation:
+        case = build_case(spec)
+        program = DatalogProgram(case.rules, case.theory, options=options)
+        world, _stats = program.evaluate(
+            case.database, semi_naive=semi_naive, semantics=spec.semantics
+        )
+        derived = world.relation(spec.target)
+        result = GeneralizedRelation("result", case.output, case.theory)
+        for item in derived:
+            result.add(item)
+        return result
+
+    return run
+
+
+def _run_boole_lemma(spec: CaseSpec) -> GeneralizedRelation:
+    """The Section 5.2 engine: facts as canonical tables, Boole's lemma QE."""
+    case = build_case(spec)
+    theory = case.theory
+    assert isinstance(theory, BooleanTheory)
+    program = BooleanDatalogProgram(theory.algebra)
+    for rule in case.rules:
+        if rule.negative_atoms:
+            raise SpecError("boolean Datalog is positive only (Section 5)")
+        constraint: BoolTerm = BZero()
+        for atom in rule.constraint_atoms:
+            assert isinstance(atom, BooleanConstraintAtom)
+            constraint = BOr(constraint, atom.term)
+        program.add_rule(
+            BooleanRule(
+                rule.head.name,
+                tuple(rule.head.args),
+                tuple(
+                    BodyAtom(a.name, tuple(a.args)) for a in rule.positive_atoms
+                ),
+                constraint,
+            )
+        )
+    for name, variables, _tuples in spec.relations:
+        relation = case.database.relation(name)
+        for item in relation:
+            term: BoolTerm = BZero()
+            for atom in item.atoms:
+                assert isinstance(atom, BooleanConstraintAtom)
+                term = BOr(term, atom.term)
+            program.add_fact(name, item.variables, term)
+    facts = program.evaluate()
+    result = GeneralizedRelation("result", case.output, theory)
+    renaming = {
+        canonical: target
+        for canonical, target in zip(
+            canonical_variables(len(case.output)), case.output
+        )
+    }
+    for fact in facts.get(spec.target, set()):
+        term = table_as_term(
+            fact.table, fact.variable_names(), theory.algebra
+        )
+        renamed = term.substitute(
+            {old: BVar(new) for old, new in renaming.items()}
+        )
+        result.add_tuple((BooleanConstraintAtom(renamed, theory.algebra),))
+    return result
+
+
+# ---------------------------------------------------------------------- qe
+def _qe_runner(
+    eliminate: Callable[[Sequence[SignCond], str], list],
+) -> Callable[[CaseSpec], GeneralizedRelation]:
+    """Run one QE backend directly on the spec's existential block."""
+
+    def run(spec: CaseSpec) -> GeneralizedRelation:
+        case = build_case(spec)
+        query = case.query
+        if not isinstance(query, Exists) or not isinstance(query.child, And):
+            raise SpecError("qe cases must be exists-over-conjunction")
+        conds = []
+        for atom in query.child.children:
+            if not isinstance(atom, PolyAtom):
+                raise SpecError("qe cases must contain poly atoms only")
+            conds.append(atom.as_cond())
+        dnf: list[tuple[SignCond, ...]] = [tuple(conds)]
+        for variable in query.variables_bound:
+            step: list[tuple[SignCond, ...]] = []
+            seen: set[frozenset[SignCond]] = set()
+            for conjunction in dnf:
+                for reduced in eliminate(conjunction, variable):
+                    key = frozenset(reduced)
+                    if key not in seen:
+                        seen.add(key)
+                        step.append(tuple(reduced))
+            dnf = step
+        result = GeneralizedRelation("result", case.output, case.theory)
+        for conjunction in dnf:
+            result.add_tuple(tuple(PolyAtom.from_cond(c) for c in conjunction))
+        return result
+
+    return run

@@ -140,25 +140,9 @@ class BooleanTheory(ConstraintTheory):
 
     def _table_as_term(self, table: Table, names: Sequence[str]) -> BoolTerm:
         """The DNF term of a table (the Section 5.1 disjunctive normal form)."""
-        from repro.boolean_algebra.terms import BAnd, BNot, BOr, BZero
+        from repro.boolean_algebra.datalog_bool import table_as_term
 
-        clauses: list[BoolTerm] = []
-        for mask, coefficient in enumerate(table):
-            if self.algebra.is_zero(coefficient):
-                continue
-            clause: BoolTerm = element_as_term(coefficient, self.algebra)
-            for i, name in enumerate(names):
-                literal: BoolTerm = BVar(name)
-                if not (mask & (1 << i)):
-                    literal = BNot(literal)
-                clause = BAnd(clause, literal)
-            clauses.append(clause)
-        if not clauses:
-            return BZero()
-        result = clauses[0]
-        for clause in clauses[1:]:
-            result = BOr(result, clause)
-        return result
+        return table_as_term(table, names, self.algebra)
 
     # ---------------------------------------------------- quantifier elimination
     def eliminate(

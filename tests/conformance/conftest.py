@@ -1,0 +1,6 @@
+"""Conformance-suite plumbing.
+
+Hypothesis profiles (``ci``/``deep``) and the failure seed-report hook
+live in the repo-level ``tests/conftest.py`` so the cross-validation
+suites share them; nothing conformance-specific is needed here yet.
+"""

@@ -1,0 +1,29 @@
+"""Replay every corpus artifact: once-found discrepancies must stay fixed."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.conformance.runner import replay_artifact
+
+CORPUS = Path(__file__).parent / "corpus"
+ARTIFACTS = sorted(CORPUS.glob("*.json"))
+
+
+@pytest.mark.parametrize(
+    "artifact", ARTIFACTS, ids=[p.name for p in ARTIFACTS]
+)
+def test_corpus_artifact_stays_fixed(artifact):
+    found = replay_artifact(artifact)
+    assert found is None, (
+        f"regression: corpus case {artifact.name} diverges again: "
+        f"{found.describe()}"
+    )
+
+
+def test_corpus_directory_exists():
+    """The corpus directory (with its README) must stay in the tree even
+    while empty, so artifacts written by a failing run land in version
+    control rather than a scratch path."""
+    assert CORPUS.is_dir()
+    assert (CORPUS / "README.md").exists()

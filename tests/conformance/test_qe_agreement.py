@@ -1,0 +1,56 @@
+"""Fourier-Motzkin and virtual substitution agree on random linear blocks.
+
+The Giusti-Heintz-Kuijpers observation motivating this harness: QE-backend
+choice is exactly where geometric query evaluators diverge in practice.
+Both backends eliminate the same existential block of linear sign
+conditions; the oracle then demands identical point sets (and both must
+also match the theory's own elimination ladder via the full registry).
+"""
+
+import pytest
+from hypothesis import assume, given, strategies as st
+
+from repro.conformance.generators import generate_case
+from repro.conformance.oracles import compare_relations
+from repro.conformance.runner import run_case
+from repro.conformance.strategies import strategies_for
+
+
+def _route(spec, name):
+    return next(r for r in strategies_for(spec) if r.name == name)
+
+
+@given(seed=st.integers(0, 2**31 - 1))
+def test_fm_and_vs_agree(seed):
+    spec = generate_case("real_poly", seed)
+    assume(spec.kind == "qe")
+    fm = _route(spec, "qe:fourier_motzkin").run(spec)
+    vs = _route(spec, "qe:virtual_substitution").run(spec)
+    found = compare_relations(
+        fm, vs, "qe:fourier_motzkin", "qe:virtual_substitution", "real_poly"
+    )
+    assert found is None, f"seed={seed}: {found.describe()}"
+
+
+@given(seed=st.integers(0, 2**31 - 1))
+def test_qe_backends_match_theory_ladder(seed):
+    """The full registry run: calculus reference vs both backends."""
+    spec = generate_case("real_poly", seed)
+    assume(spec.kind == "qe")
+    found = run_case(spec)
+    assert found is None, f"seed={seed}: {found.describe()}"
+
+
+def test_qe_registry_is_the_backend_pair():
+    for index in range(300):
+        spec = generate_case("real_poly", index)
+        if spec.kind != "qe":
+            continue
+        names = [r.name for r in strategies_for(spec)]
+        assert names == [
+            "qe:calculus",
+            "qe:fourier_motzkin",
+            "qe:virtual_substitution",
+        ]
+        return
+    pytest.fail("no qe case generated in 300 seeds")

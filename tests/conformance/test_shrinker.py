@@ -1,0 +1,79 @@
+"""Shrinker and runner mechanics on synthetic predicates."""
+
+import json
+
+from repro.conformance.generators import case_seed, generate_case
+from repro.conformance.runner import (
+    replay_artifact,
+    run_case,
+    run_conformance,
+)
+from repro.conformance.shrinker import shrink
+
+
+def _find_spec(theory, kind, base=3, tries=400):
+    for index in range(tries):
+        spec = generate_case(theory, case_seed(base, theory, index))
+        if spec.kind == kind:
+            return spec
+    raise AssertionError(f"no {kind} case for {theory} in {tries} seeds")
+
+
+def test_shrink_drops_irrelevant_relation_tuples():
+    spec = _find_spec("dense_order", "calculus")
+    total_tuples = sum(len(rel[2]) for rel in spec.relations)
+    # Predicate only cares that the spec still names its relations, so the
+    # minimizer should strip every database tuple (and most of the query).
+    names = {rel[0] for rel in spec.relations}
+
+    def predicate(candidate):
+        return {rel[0] for rel in candidate.relations} == names
+
+    small = shrink(spec, predicate)
+    assert predicate(small)
+    assert sum(len(rel[2]) for rel in small.relations) == 0
+    assert total_tuples >= 0  # original untouched
+    assert sum(len(rel[2]) for rel in spec.relations) == total_tuples
+
+
+def test_shrink_result_still_satisfies_predicate_on_datalog():
+    spec = _find_spec("dense_order", "datalog")
+
+    def predicate(candidate):
+        return len(candidate.rules) >= 1
+
+    small = shrink(spec, predicate)
+    assert len(small.rules) >= 1
+    assert len(small.rules) <= len(spec.rules)
+
+
+def test_shrink_treats_predicate_exceptions_as_rejection():
+    spec = _find_spec("equality", "calculus")
+
+    def predicate(candidate):
+        if sum(len(rel[2]) for rel in candidate.relations) < 1:
+            raise RuntimeError("boom")
+        return True
+
+    small = shrink(spec, predicate)
+    assert sum(len(rel[2]) for rel in small.relations) >= 1
+
+
+def test_run_conformance_writes_no_artifacts_when_clean(tmp_path):
+    report = run_conformance(
+        "equality", cases=10, seed=0, corpus_dir=tmp_path
+    )
+    assert report.ok
+    assert list(tmp_path.glob("*.json")) == []
+    assert report.cases == 10
+    assert any("discrepancies: 0" in line for line in report.summary_lines())
+
+
+def test_artifact_round_trip(tmp_path):
+    """A hand-written artifact replays through the same run_case path."""
+    spec = _find_spec("dense_order", "calculus")
+    path = tmp_path / "case.json"
+    path.write_text(
+        json.dumps({"spec": spec.as_dict(), "discrepancy": None})
+    )
+    assert replay_artifact(path) == run_case(spec) == None  # noqa: E711

@@ -3,129 +3,75 @@
 Two independent implementations of the same semantics -- the direct
 DNF/QE evaluator (:mod:`repro.core.calculus`) and the Section 3.1/4
 configuration-enumeration algorithms -- are run on *random* queries and
-databases and compared pointwise.  Any divergence is a bug in one of them.
+databases and compared.  Any divergence is a bug in one of them.
+
+The random cases come from :mod:`repro.conformance.generators` (the same
+grammar the ``python -m repro conformance`` fuzzer uses), and comparison
+goes through the conformance oracles: symbolic symmetric difference plus
+endpoint-grid point sampling, rather than a fixed probe list.
+
+Theorem 5.6 coverage: the boolean theory (B_m) is cross-validated by
+running each random Datalog program both through the generic constraint
+engine and through the Boole's-lemma table engine.
 """
 
-from fractions import Fraction
+from hypothesis import assume, given, strategies as st
 
-import pytest
-from hypothesis import given, settings, strategies as st
-
-from repro.constraints.dense_order import DenseOrderTheory, eq, le, lt, ne
-from repro.constraints.equality import EqualityTheory
-from repro.constraints.equality import eq as eeq, ne as ene
-from repro.core.calculus import evaluate_calculus
-from repro.core.econfig import evaluate_query_econfig
-from repro.core.generalized import GeneralizedDatabase
-from repro.core.rconfig import evaluate_query_rconfig
-from repro.logic.syntax import And, Exists, Formula, Not, Or, RelationAtom
-
-order = DenseOrderTheory()
-equality = EqualityTheory()
+from repro.conformance.generators import case_seed, generate_case, resolve_seed
+from repro.conformance.oracles import compare_relations
+from repro.conformance.strategies import strategies_for
 
 
-@st.composite
-def dense_order_database(draw):
-    db = GeneralizedDatabase(order)
-    r = db.create_relation("R", ("u",))
-    for _ in range(draw(st.integers(1, 3))):
-        low = draw(st.integers(0, 6))
-        width = draw(st.integers(0, 3))
-        strict = draw(st.booleans())
-        if strict and width:
-            r.add_tuple([lt(low, "u"), lt("u", low + width)])
-        else:
-            r.add_tuple([le(low, "u"), le("u", low + width)])
-    s = db.create_relation("S", ("u", "v"))
-    for _ in range(draw(st.integers(0, 2))):
-        a = draw(st.integers(0, 6))
-        b = draw(st.integers(0, 6))
-        s.add_point([a, b])
-    return db
+def _route(spec, name):
+    return next(r for r in strategies_for(spec) if r.name == name)
 
 
-@st.composite
-def dense_order_query(draw):
-    """A random single-free-variable query over R(u) and S(u, v)."""
-    kind = draw(st.integers(0, 5))
-    if kind == 0:
-        return RelationAtom("R", ("x",))
-    if kind == 1:
-        return Not(RelationAtom("R", ("x",)))
-    if kind == 2:
-        c = draw(st.integers(0, 6))
-        return And((RelationAtom("R", ("x",)), lt("x", c)))
-    if kind == 3:
-        return Exists(("w",), And((RelationAtom("S", ("x", "w")), lt("x", "w"))))
-    if kind == 4:
-        return Or(
-            (
-                RelationAtom("R", ("x",)),
-                Exists(("w",), RelationAtom("S", ("w", "x"))),
-            )
-        )
-    return And(
-        (
-            Not(RelationAtom("R", ("x",))),
-            Exists(("w",), And((RelationAtom("S", ("x", "w")), ne("x", "w")))),
-        )
+def _cross_check(spec, left_name, right_name):
+    left = _route(spec, left_name).run(spec)
+    right = _route(spec, right_name).run(spec)
+    found = compare_relations(
+        left, right, left_name, right_name, spec.theory, m=spec.m
+    )
+    assert found is None, (
+        f"seed={spec.seed}: {left_name} vs {right_name}: {found.describe()}"
     )
 
 
 class TestDenseOrderCrossValidation:
-    @settings(max_examples=40, deadline=None)
-    @given(dense_order_database(), dense_order_query())
-    def test_direct_vs_rconfig(self, db, query):
-        direct = evaluate_calculus(query, db, output=("x",))
-        via_config = evaluate_query_rconfig(query, db, output=("x",))
-        for value in [Fraction(v, 2) for v in range(-2, 22)]:
-            assert direct.contains_values([value]) == via_config.contains_values(
-                [value]
-            ), (query, value)
-
-
-@st.composite
-def equality_database(draw):
-    db = GeneralizedDatabase(equality)
-    r = db.create_relation("R", ("u",))
-    for _ in range(draw(st.integers(1, 3))):
-        r.add_point([draw(st.integers(0, 4))])
-    s = db.create_relation("S", ("u", "v"))
-    for _ in range(draw(st.integers(0, 2))):
-        if draw(st.booleans()):
-            s.add_point([draw(st.integers(0, 4)), draw(st.integers(0, 4))])
-        else:
-            s.add_tuple([ene("u", "v")])
-    return db
-
-
-@st.composite
-def equality_query(draw):
-    kind = draw(st.integers(0, 4))
-    if kind == 0:
-        return RelationAtom("R", ("x",))
-    if kind == 1:
-        return Not(RelationAtom("R", ("x",)))
-    if kind == 2:
-        c = draw(st.integers(0, 4))
-        return And((RelationAtom("R", ("x",)), ene("x", c)))
-    if kind == 3:
-        return Exists(("w",), And((RelationAtom("S", ("x", "w")), eeq("w", 1))))
-    return Or(
-        (
-            RelationAtom("R", ("x",)),
-            Exists(("w",), RelationAtom("S", ("w", "x"))),
+    @given(index=st.integers(0, 2**20))
+    def test_direct_vs_rconfig(self, index):
+        spec = generate_case(
+            "dense_order", case_seed(resolve_seed(0), "dense_order", index)
         )
-    )
+        assume(spec.kind == "calculus")
+        _cross_check(spec, "calculus", "rconfig")
 
 
 class TestEqualityCrossValidation:
-    @settings(max_examples=40, deadline=None)
-    @given(equality_database(), equality_query())
-    def test_direct_vs_econfig(self, db, query):
-        direct = evaluate_calculus(query, db, output=("x",))
-        via_config = evaluate_query_econfig(query, db, output=("x",))
-        for value in range(-1, 8):
-            assert direct.contains_values([value]) == via_config.contains_values(
-                [value]
-            ), (query, value)
+    @given(index=st.integers(0, 2**20))
+    def test_direct_vs_econfig(self, index):
+        spec = generate_case(
+            "equality", case_seed(resolve_seed(0), "equality", index)
+        )
+        assume(spec.kind == "calculus")
+        _cross_check(spec, "calculus", "econfig")
+
+
+class TestBooleanCrossValidation:
+    """Theorem 5.6: Datalog over B_m via the generic engine vs Boole's lemma."""
+
+    @given(index=st.integers(0, 2**20))
+    def test_engine_vs_boole_lemma(self, index):
+        spec = generate_case(
+            "boolean", case_seed(resolve_seed(0), "boolean", index)
+        )
+        assume(spec.kind == "datalog")
+        _cross_check(spec, "datalog[all_on]", "boole_lemma")
+
+    @given(index=st.integers(0, 2**20))
+    def test_calculus_vs_algebra(self, index):
+        spec = generate_case(
+            "boolean", case_seed(resolve_seed(0), "boolean", index)
+        )
+        assume(spec.kind == "calculus")
+        _cross_check(spec, "calculus", "algebra")

@@ -1,0 +1,68 @@
+"""Regression: IntervalTree.remove must not evict a same-endpoint sibling.
+
+``Interval`` equality deliberately ignores payloads (``compare=False``),
+so a payload-blind removal of ``[1, 5]@"a"`` used to delete whichever
+same-endpoint interval the node happened to list first -- silently
+dropping ``[1, 5]@"b"`` from stab results.  ``remove`` now prefers an
+exact payload (identity) match before falling back to endpoint equality.
+"""
+
+from repro.indexing.interval import Interval
+from repro.indexing.interval_tree import IntervalTree
+
+
+def _payloads(intervals):
+    return sorted(iv.payload for iv in intervals)
+
+
+def test_remove_prefers_exact_payload_match():
+    tree = IntervalTree()
+    a = Interval.closed(1, 5, payload="a")
+    b = Interval.closed(1, 5, payload="b")
+    tree.insert(a)
+    tree.insert(b)
+
+    assert tree.remove(a)
+    assert _payloads(tree.stab(3)) == ["b"]
+    assert _payloads(tree.items()) == ["b"]
+
+
+def test_remove_other_sibling_first():
+    tree = IntervalTree()
+    a = Interval.closed(1, 5, payload="a")
+    b = Interval.closed(1, 5, payload="b")
+    tree.insert(a)
+    tree.insert(b)
+
+    assert tree.remove(b)
+    assert _payloads(tree.stab(3)) == ["a"]
+
+
+def test_remove_each_of_many_same_endpoint_payloads():
+    tree = IntervalTree()
+    payloads = ["p0", "p1", "p2", "p3"]
+    for payload in payloads:
+        tree.insert(Interval.closed(2, 7, payload=payload))
+    # also some distinct-endpoint noise around the hot node
+    tree.insert(Interval.closed(0, 1, payload="noise-low"))
+    tree.insert(Interval.closed(8, 9, payload="noise-high"))
+
+    for victim in ["p2", "p0", "p3"]:
+        assert tree.remove(Interval.closed(2, 7, payload=victim))
+        assert victim not in _payloads(tree.stab(4))
+
+    assert _payloads(tree.stab(4)) == ["p1"]
+    assert len(tree) == 3  # p1 + the two noise intervals
+
+
+def test_remove_without_payload_match_still_removes_one():
+    """Endpoint-equal removal with an unknown payload falls back to
+    removing exactly one same-endpoint occurrence."""
+    tree = IntervalTree()
+    tree.insert(Interval.closed(1, 5, payload="a"))
+    tree.insert(Interval.closed(1, 5, payload="b"))
+
+    assert tree.remove(Interval.closed(1, 5, payload="not-present"))
+    assert len(tree) == 1
+    assert len(tree.stab(3)) == 1
+    assert not tree.remove(Interval.closed(9, 10, payload="missing"))
