@@ -9,12 +9,11 @@ Not paper tables, but measurements justifying the engineering decisions:
   representations small on redundant inputs.
 """
 
-import pytest
 
 from benchmarks.conftest import report
 from repro.constraints.dense_order import DenseOrderTheory, le, lt
 from repro.core.datalog import DatalogProgram, EngineOptions
-from repro.core.generalized import GeneralizedDatabase, GeneralizedRelation
+from repro.core.generalized import GeneralizedDatabase
 from repro.harness.benchjson import record_bench
 from repro.harness.measure import time_callable
 from repro.logic.parser import parse_rules

@@ -9,7 +9,6 @@ gap matches the prediction (naive ~N^4 worst case, here measured on its
 realistic early-exit behaviour, still far steeper than Graham scan).
 """
 
-import pytest
 
 from benchmarks.conftest import report
 from repro.geometry.convex_hull import convex_hull_graham, convex_hull_naive

@@ -9,7 +9,6 @@ produces a planar-graph-sized edge set and scales polynomially (N^3 witness
 checks).
 """
 
-import pytest
 
 from benchmarks.conftest import report
 from repro.geometry.voronoi import voronoi_dual_naive

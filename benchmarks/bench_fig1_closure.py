@@ -8,10 +8,8 @@ membership agrees with direct pointwise evaluation of the query semantics;
 the Herbrand T_P evaluation (Section 3.2) agrees with the engine.
 """
 
-import random
 from fractions import Fraction
 
-import pytest
 
 from benchmarks.conftest import bench_seed, report
 from repro.constraints.dense_order import DenseOrderTheory

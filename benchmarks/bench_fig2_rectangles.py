@@ -8,9 +8,7 @@ evaluator scales polynomially (fixed query, growing data: ~quadratic, one
 pair of database atoms); sweep line is the fastest, as the paper predicts.
 """
 
-from fractions import Fraction
 
-import pytest
 
 from benchmarks.conftest import report
 from repro.core.calculus import evaluate_calculus

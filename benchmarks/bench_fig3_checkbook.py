@@ -11,7 +11,6 @@ the Theorem 2.6 machinery.
 import random
 from fractions import Fraction
 
-import pytest
 
 from benchmarks.conftest import report
 from repro.constraints.real_poly import RealPolynomialTheory, poly_eq

@@ -10,11 +10,10 @@ naive scan grows with N, and updates stay logarithmic.
 
 from fractions import Fraction
 
-import pytest
 
 from benchmarks.conftest import report
 from repro.constraints.dense_order import DenseOrderTheory, eq, le
-from repro.core.generalized import GeneralizedRelation, GeneralizedTuple
+from repro.core.generalized import GeneralizedRelation
 from repro.harness.measure import fit_exponent, time_callable
 from repro.indexing.generalized_index import GeneralizedIndex1D, NaiveGeneralizedSearch
 from repro.indexing.interval import Interval

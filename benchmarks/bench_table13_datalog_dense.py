@@ -11,7 +11,6 @@ complement query also stays polynomial.
 
 from fractions import Fraction
 
-import pytest
 
 from benchmarks.conftest import report
 from repro.constraints.dense_order import DenseOrderTheory, le, lt

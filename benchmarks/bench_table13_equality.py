@@ -7,7 +7,6 @@ query (closed thanks to disequality constraints), Datalog closure scaling,
 and e-configuration EVAL-phi agreement with the direct evaluator.
 """
 
-import pytest
 
 from benchmarks.conftest import report
 from repro.constraints.equality import EqualityTheory

@@ -11,7 +11,6 @@ exactly 2c + 1.
 
 from fractions import Fraction
 
-import pytest
 
 from benchmarks.conftest import report
 from repro.core.calculus import evaluate_calculus

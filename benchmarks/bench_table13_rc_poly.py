@@ -10,7 +10,6 @@ constraints scales polynomially; the quantifier elimination (Example 1.9's
 
 from fractions import Fraction
 
-import pytest
 
 from benchmarks.conftest import report
 from repro.constraints.real_poly import RealPolynomialTheory, poly_eq, poly_le

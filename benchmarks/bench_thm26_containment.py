@@ -8,7 +8,6 @@ of same-tag rows, which is exactly the NP shape (query complexity, not data
 complexity).
 """
 
-import pytest
 
 from benchmarks.conftest import report
 from repro.constraints.real_poly import poly_eq

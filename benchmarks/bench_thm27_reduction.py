@@ -8,9 +8,7 @@ boolean variable -- the exponential shape the hardness predicts for any
 generic decision procedure.
 """
 
-import itertools
 
-import pytest
 
 from benchmarks.conftest import report
 from repro.harness.measure import time_callable

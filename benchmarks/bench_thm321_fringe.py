@@ -10,7 +10,6 @@ polynomial fringe -- the executable content of the Ullman-van Gelder bound.
 
 import math
 
-import pytest
 
 from benchmarks.conftest import report
 from repro.constraints.dense_order import DenseOrderTheory

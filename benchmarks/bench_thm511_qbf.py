@@ -8,16 +8,15 @@ explodes with the number of universally quantified variables exactly as the
 construction predicts (|Aexpr| = 2^(2^p)).
 """
 
-import pytest
 
 from benchmarks.conftest import report
+from repro.boolean_algebra.algebra import FreeBooleanAlgebra
 from repro.boolean_algebra.qbf import (
     aexpr_closure,
     decide_qbf_via_datalog,
     decide_qbf_via_lemma59,
     qbf_truth,
 )
-from repro.boolean_algebra.algebra import FreeBooleanAlgebra
 from repro.harness.measure import time_callable
 from repro.tableaux.reductions import BNode, BVarRef
 

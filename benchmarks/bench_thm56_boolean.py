@@ -8,7 +8,6 @@ exponentially* with the number of generators m -- visible already for
 m = 1..4 -- which is the Section 5.3 cost shape.
 """
 
-import pytest
 
 from benchmarks.conftest import report
 from repro.boolean_algebra.algebra import FreeBooleanAlgebra

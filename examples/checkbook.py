@@ -9,7 +9,7 @@ from repro import GeneralizedDatabase, RealPolynomialTheory
 from repro.constraints.real_poly import poly_eq
 from repro.poly.polynomial import Polynomial
 from repro.tableaux.containment import contained_linear, evaluate_tableau, find_homomorphism
-from repro.tableaux.tableau import TableauQuery, TableauRow, checkbook_query
+from repro.tableaux.tableau import TableauQuery, checkbook_query
 
 
 def main() -> None:

@@ -20,7 +20,6 @@ from repro.indexing.generalized_index import (
     tuple_projection_interval,
 )
 from repro.indexing.priority_search_tree import PrioritySearchTree
-from repro.indexing.interval import Interval
 
 
 def main() -> None:

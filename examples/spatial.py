@@ -8,7 +8,7 @@ Run:  python examples/spatial.py
 from fractions import Fraction
 
 from repro import GeneralizedDatabase, RealPolynomialTheory, evaluate_calculus
-from repro.constraints.real_poly import poly_eq, poly_le, poly_lt
+from repro.constraints.real_poly import poly_eq, poly_le
 from repro.geometry.convex_hull import convex_hull_graham, in_triangle
 from repro.geometry.voronoi import voronoi_dual_naive
 from repro.logic.parser import parse_query

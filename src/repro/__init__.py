@@ -25,14 +25,14 @@ from repro.constraints import (
     EqualityTheory,
     RealPolynomialTheory,
 )
+from repro.core import algebra
+from repro.core.calculus import evaluate_boolean_query, evaluate_calculus
+from repro.core.datalog import DatalogProgram, Rule
 from repro.core.generalized import (
     GeneralizedDatabase,
     GeneralizedRelation,
     GeneralizedTuple,
 )
-from repro.core.calculus import evaluate_boolean_query, evaluate_calculus
-from repro.core.datalog import DatalogProgram, Rule
-from repro.core import algebra
 from repro.core.magic import MagicQuery, answer_magic_query
 from repro.core.optimize import optimize
 

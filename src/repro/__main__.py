@@ -2,7 +2,9 @@
 
 * no arguments: the interactive constraint-database shell;
 * ``conformance ...``: the differential conformance harness
-  (``python -m repro conformance --theory dense --cases 500 --seed 0``).
+  (``python -m repro conformance --theory dense --cases 500 --seed 0``);
+* ``lint ...``: the cqlint static analyzer
+  (``python -m repro lint examples/programs --json --stats``).
 """
 
 import sys
@@ -14,6 +16,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.conformance.runner import main as conformance_main
 
         return conformance_main(args[1:])
+    if args and args[0] == "lint":
+        from repro.analysis.lint import main as lint_main
+
+        return lint_main(args[1:])
     from repro.cli import main as shell_main
 
     shell_main()

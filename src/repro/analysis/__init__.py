@@ -1,0 +1,67 @@
+"""Static analysis of constraint query programs (``cqlint``).
+
+The package implements the multi-pass analyzer described in DESIGN.md §8:
+well-formedness, dependency/stratification analysis, theory-closure checking
+(the static Example 1.12 guard), constraint-level dead-code detection, and
+the Section 1.3 data-complexity classifier.  Entry points:
+
+* :func:`analyze_program` / :func:`analyze_formula` -- library API;
+* ``python -m repro lint`` (:mod:`repro.analysis.lint`) -- the CLI;
+* ``EngineOptions(analyze=True)`` -- the opt-in engine pre-flight.
+"""
+
+from repro.analysis.analyzer import analyze_formula, analyze_program
+from repro.analysis.classify import (
+    LOGSPACE,
+    NC,
+    NOT_CLOSED,
+    PI2P_HARD,
+    PTIME,
+    Classification,
+    classify_calculus,
+    classify_program,
+)
+from repro.analysis.closure import (
+    NOT_CLOSED_MESSAGE,
+    check_closure,
+    not_closed_recursion,
+)
+from repro.analysis.deadcode import check_dead_code
+from repro.analysis.diagnostics import (
+    CODES,
+    ERROR,
+    INFO,
+    WARNING,
+    Diagnostic,
+    ProgramReport,
+    sort_diagnostics,
+)
+from repro.analysis.graph import DependencyGraph, build_dependency_graph
+from repro.analysis.safety import check_safety
+
+__all__ = [
+    "CODES",
+    "ERROR",
+    "INFO",
+    "LOGSPACE",
+    "NC",
+    "NOT_CLOSED",
+    "NOT_CLOSED_MESSAGE",
+    "PI2P_HARD",
+    "PTIME",
+    "WARNING",
+    "Classification",
+    "DependencyGraph",
+    "Diagnostic",
+    "ProgramReport",
+    "analyze_formula",
+    "analyze_program",
+    "build_dependency_graph",
+    "check_closure",
+    "check_dead_code",
+    "check_safety",
+    "classify_calculus",
+    "classify_program",
+    "not_closed_recursion",
+    "sort_diagnostics",
+]

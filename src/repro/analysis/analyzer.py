@@ -1,0 +1,261 @@
+"""The multi-pass pipeline: ``analyze_program`` / ``analyze_formula``.
+
+Pass order over a rule list (each pass timed into
+``ProgramReport.pass_timings``):
+
+1. **well-formedness** (:mod:`repro.analysis.safety`) -- arities, safety,
+   theory membership, stray variables, duplicates;
+2. **dependencies** (:mod:`repro.analysis.graph`) -- dependency graph, SCC
+   condensation, recursion and stratifiability facts (CQL007 when negation
+   runs through recursion: the program only has inflationary semantics);
+3. **closure** (:mod:`repro.analysis.closure`) -- the static Example 1.12
+   guard (CQL010) and the QE-fragment advisory (CQL011);
+4. **dead code** (:mod:`repro.analysis.deadcode`) -- unsatisfiable bodies,
+   empty-predicate propagation, target-unreachable predicates;
+5. **classification** (:mod:`repro.analysis.classify`) -- the Section 1.3
+   complexity class with its justifying theorem, attached both to the report
+   fields and as a CQL030 info diagnostic.
+
+Calculus formulas go through the applicable subset (well-formedness over
+atoms and the output schema, theory-capability checks, classification).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, Mapping, Sequence
+
+from repro.analysis.classify import (
+    Classification,
+    classify_calculus,
+    classify_program,
+)
+from repro.analysis.closure import check_closure
+from repro.analysis.deadcode import check_dead_code
+from repro.analysis.diagnostics import Diagnostic, ProgramReport, sort_diagnostics
+from repro.analysis.graph import RuleLike, build_dependency_graph
+from repro.analysis.safety import check_safety
+from repro.constraints.base import ConstraintTheory
+from repro.errors import TheoryError
+from repro.logic.syntax import (
+    Atom,
+    Exists,
+    ForAll,
+    Formula,
+    Not,
+    RelationAtom,
+    all_relation_atoms,
+    free_variables,
+)
+
+
+def analyze_program(
+    rules: Sequence[RuleLike],
+    theory: ConstraintTheory,
+    *,
+    target: str | None = None,
+    edb_schemas: Mapping[str, int] | None = None,
+    suppress: Iterable[str] = (),
+) -> ProgramReport:
+    """Run every pass over a Datalog(not) rule list and build the report.
+
+    ``target`` enables the unused-predicate check; ``edb_schemas`` (predicate
+    name -> arity) lets the arity pass cross-check database relations;
+    ``suppress`` marks diagnostics with those codes as suppressed (they stay
+    in the report but do not fail linting or the engine pre-flight).
+    """
+    timings: dict[str, float] = {}
+    diagnostics: list[Diagnostic] = []
+
+    started = time.perf_counter()
+    diagnostics.extend(check_safety(rules, theory, edb_schemas))
+    timings["well_formedness"] = time.perf_counter() - started
+
+    started = time.perf_counter()
+    graph = build_dependency_graph(rules)
+    stratifiable = graph.is_stratifiable()
+    if not stratifiable:
+        edges = sorted(graph.recursive_negative_edges())
+        diagnostics.append(
+            Diagnostic(
+                "CQL007",
+                f"negation through recursion on {edges}: the program is not "
+                "stratifiable and only has inflationary semantics",
+                predicate=edges[0][0] if edges else None,
+                hint="semantics='stratified' will be rejected; use "
+                "semantics='inflationary' (or 'auto') deliberately",
+            )
+        )
+    timings["dependencies"] = time.perf_counter() - started
+
+    started = time.perf_counter()
+    diagnostics.extend(check_closure(rules, theory, graph))
+    timings["closure"] = time.perf_counter() - started
+
+    started = time.perf_counter()
+    diagnostics.extend(check_dead_code(rules, theory, graph, target))
+    timings["dead_code"] = time.perf_counter() - started
+
+    started = time.perf_counter()
+    classification = classify_program(rules, theory, graph)
+    diagnostics.append(_classification_diagnostic(classification))
+    timings["classification"] = time.perf_counter() - started
+
+    report = ProgramReport(
+        theory=theory.name,
+        kind="datalog",
+        num_rules=len(rules),
+        diagnostics=_finish(diagnostics, suppress),
+        idb=tuple(sorted(graph.idb)),
+        edb=tuple(sorted(graph.edb)),
+        sccs=graph.sccs,
+        recursive=graph.is_recursive(),
+        has_negation=bool(graph.negative_edges),
+        stratifiable=stratifiable,
+        complexity_class=classification.complexity_class,
+        theorem=classification.theorem,
+        pass_timings=timings,
+    )
+    return report
+
+
+def analyze_formula(
+    formula: Formula,
+    theory: ConstraintTheory,
+    *,
+    output: Sequence[str] | None = None,
+    edb_schemas: Mapping[str, int] | None = None,
+    suppress: Iterable[str] = (),
+) -> ProgramReport:
+    """Run the calculus subset of the pipeline over one query formula."""
+    timings: dict[str, float] = {}
+    diagnostics: list[Diagnostic] = []
+
+    started = time.perf_counter()
+    arities: dict[str, int] = dict(edb_schemas or {})
+    predicates: list[str] = []
+    for atom in all_relation_atoms(formula):
+        if atom.name not in predicates:
+            predicates.append(atom.name)
+        known = arities.get(atom.name)
+        if known is not None and known != len(atom.args):
+            diagnostics.append(
+                Diagnostic(
+                    "CQL002",
+                    f"{atom.name} used with arity {len(atom.args)} here but "
+                    f"{known} elsewhere",
+                    predicate=atom.name,
+                    atom=str(atom),
+                )
+            )
+        else:
+            arities[atom.name] = len(atom.args)
+    for atom in _constraint_atoms(formula):
+        try:
+            theory.validate_atom(atom)
+        except TheoryError as error:
+            diagnostics.append(
+                Diagnostic(
+                    "CQL003",
+                    f"constraint atom {atom} is not of the "
+                    f"{theory.name!r} theory: {error}",
+                    atom=str(atom),
+                )
+            )
+    if output is not None:
+        free = free_variables(formula)
+        declared = frozenset(output)
+        if free != declared:
+            missing = sorted(declared - free)
+            extra = sorted(free - declared)
+            parts = []
+            if missing:
+                parts.append(f"declared but not free: {missing}")
+            if extra:
+                parts.append(f"free but not declared: {extra}")
+            diagnostics.append(
+                Diagnostic(
+                    "CQL006",
+                    "output schema does not match the query's free "
+                    "variables (" + "; ".join(parts) + ")",
+                    hint="declare exactly the free variables as the output "
+                    "schema",
+                )
+            )
+    if theory.name == "boolean" and _has_negation(formula):
+        diagnostics.append(
+            Diagnostic(
+                "CQL012",
+                "the boolean theory has no negation (Section 5): only "
+                "positive existential queries are evaluable",
+                hint="rewrite without not/forall, or switch theories",
+            )
+        )
+    timings["well_formedness"] = time.perf_counter() - started
+
+    started = time.perf_counter()
+    classification = classify_calculus(theory)
+    diagnostics.append(_classification_diagnostic(classification))
+    timings["classification"] = time.perf_counter() - started
+
+    return ProgramReport(
+        theory=theory.name,
+        kind="calculus",
+        num_rules=0,
+        diagnostics=_finish(diagnostics, suppress),
+        edb=tuple(sorted(predicates)),
+        complexity_class=classification.complexity_class,
+        theorem=classification.theorem,
+        pass_timings=timings,
+    )
+
+
+def _classification_diagnostic(classification: Classification) -> Diagnostic:
+    message = (
+        f"predicted data complexity {classification.complexity_class} "
+        f"({classification.theorem}): {classification.rationale}"
+    )
+    if classification.note:
+        message += f"; {classification.note}"
+    return Diagnostic("CQL030", message)
+
+
+def _finish(
+    diagnostics: list[Diagnostic], suppress: Iterable[str]
+) -> list[Diagnostic]:
+    allowed = frozenset(suppress)
+    return sort_diagnostics(
+        d.suppress() if d.code in allowed else d for d in diagnostics
+    )
+
+
+def _constraint_atoms(formula: Formula) -> list[Atom]:
+    """Every theory atom of a formula (relation atoms excluded)."""
+    result: list[Atom] = []
+
+    def walk(node: Formula) -> None:
+        if isinstance(node, RelationAtom):
+            return
+        if isinstance(node, Atom):
+            result.append(node)
+            return
+        if isinstance(node, Not):
+            walk(node.child)
+        elif isinstance(node, (Exists, ForAll)):
+            walk(node.child)
+        elif hasattr(node, "children"):
+            for child in node.children:
+                walk(child)
+
+    walk(formula)
+    return result
+
+
+def _has_negation(formula: Formula) -> bool:
+    if isinstance(formula, Not) or isinstance(formula, ForAll):
+        return True
+    if isinstance(formula, Exists):
+        return _has_negation(formula.child)
+    if hasattr(formula, "children"):
+        return any(_has_negation(child) for child in formula.children)
+    return False

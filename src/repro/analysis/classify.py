@@ -1,0 +1,188 @@
+"""Pass 5: the data-complexity classifier (the paper's Section 1.3 table).
+
+Maps the analyzed (theory, language fragment) pair onto the paper's
+complexity table and names the justifying theorem.  The *fragment* is what
+the earlier passes computed: does the program recurse, does it negate, is it
+a plain calculus query.  The table (data complexity, fixed program, growing
+database):
+
+========================  ==================  ===========  ==============
+theory                    fragment            class        theorem
+========================  ==================  ===========  ==============
+real_poly                 calculus /          NC           Thm 2.3
+                          nonrecursive rules
+real_poly                 recursive rules     not closed   Example 1.12
+dense_order               calculus /          LOGSPACE     Thm 3.14.1
+                          nonrecursive
+                          positive rules
+dense_order               Datalog(not)        PTIME        Thm 3.14.2
+equality                  calculus /          LOGSPACE     Thm 4.11.1
+                          nonrecursive
+                          positive rules
+equality                  Datalog(not)        PTIME        Thm 4.11.2
+boolean                   positive Datalog /  closed;      Thm 5.6 /
+                          existential         Pi-2-p-hard  Thm 5.11
+                          calculus
+========================  ==================  ===========  ==============
+
+Positive *linear* recursion over dense order additionally earns an advisory
+note: if the program has the polynomial-fringe property it evaluates in NC
+(Theorem 3.21) -- a semantic property this static pass cannot decide, so the
+note stays informational and the sound PTIME bound stands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.analysis.graph import DependencyGraph, RuleLike, build_dependency_graph
+from repro.constraints.base import ConstraintTheory
+
+#: class labels (stable strings, used in reports and tests)
+LOGSPACE = "LOGSPACE"
+NC = "NC"
+PTIME = "PTIME"
+NOT_CLOSED = "not-closed"
+PI2P_HARD = "closed-Pi2p-hard"
+
+
+@dataclass(frozen=True)
+class Classification:
+    """A complexity class plus the theorem that justifies it."""
+
+    complexity_class: str
+    theorem: str
+    rationale: str
+    #: an optional sharper bound that needs a semantic property to hold
+    note: str | None = None
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "complexity_class": self.complexity_class,
+            "theorem": self.theorem,
+            "rationale": self.rationale,
+            "note": self.note,
+        }
+
+
+def classify_program(
+    rules: Sequence[RuleLike],
+    theory: ConstraintTheory,
+    graph: DependencyGraph | None = None,
+) -> Classification:
+    """The predicted data-complexity class of a Datalog(not) program."""
+    if graph is None:
+        graph = build_dependency_graph(rules)
+    recursive = graph.is_recursive()
+    negated = bool(graph.negative_edges)
+    name = theory.name
+    if name == "real_poly":
+        if recursive:
+            return Classification(
+                NOT_CLOSED,
+                "Example 1.12",
+                "recursion through real-polynomial constraints has no "
+                "finitely representable least fixpoint",
+            )
+        return Classification(
+            NC,
+            "Thm 2.3",
+            "nonrecursive rules translate to relational calculus with "
+            "polynomial inequalities, evaluable in NC via cell decomposition",
+        )
+    if name == "dense_order":
+        if not recursive and not negated:
+            return Classification(
+                LOGSPACE,
+                "Thm 3.14.1",
+                "nonrecursive positive rules translate to relational "
+                "calculus with dense order, evaluable in LOGSPACE over "
+                "r-configurations",
+            )
+        return Classification(
+            PTIME,
+            "Thm 3.14.2",
+            "inflationary Datalog(not) with dense order reaches its "
+            "fixpoint in polynomially many canonical tuples",
+            note=_fringe_note(rules, graph) if not negated else None,
+        )
+    if name == "equality":
+        if not recursive and not negated:
+            return Classification(
+                LOGSPACE,
+                "Thm 4.11.1",
+                "nonrecursive positive rules translate to relational "
+                "calculus with equality, evaluable in LOGSPACE over "
+                "e-configurations",
+            )
+        return Classification(
+            PTIME,
+            "Thm 4.11.2",
+            "inflationary Datalog(not) with equality constraints is "
+            "PTIME-evaluable",
+        )
+    if name == "boolean":
+        return Classification(
+            PI2P_HARD,
+            "Thm 5.6 / Thm 5.11",
+            "positive Datalog with boolean equality constraints is closed "
+            "(Boole's lemma) but constraint solving is Pi-2-p-hard, so no "
+            "polynomial data-complexity bound applies",
+        )
+    return Classification(
+        PTIME,
+        "(unmapped theory)",
+        f"theory {name!r} is not in the paper's Section 1.3 table",
+    )
+
+
+def classify_calculus(theory: ConstraintTheory) -> Classification:
+    """The predicted data-complexity class of a calculus query."""
+    name = theory.name
+    if name == "dense_order":
+        return Classification(
+            LOGSPACE,
+            "Thm 3.14.1",
+            "relational calculus with dense order evaluates in LOGSPACE "
+            "over r-configurations",
+        )
+    if name == "equality":
+        return Classification(
+            LOGSPACE,
+            "Thm 4.11.1",
+            "relational calculus with equality evaluates in LOGSPACE over "
+            "e-configurations",
+        )
+    if name == "real_poly":
+        return Classification(
+            NC,
+            "Thm 2.3",
+            "relational calculus with polynomial inequalities evaluates in "
+            "NC via cell decomposition (Tarski QE)",
+        )
+    if name == "boolean":
+        return Classification(
+            PI2P_HARD,
+            "Thm 5.11",
+            "boolean constraint solving is Pi-2-p-hard; only the positive "
+            "existential fragment is supported",
+        )
+    return Classification(
+        PTIME,
+        "(unmapped theory)",
+        f"theory {name!r} is not in the paper's Section 1.3 table",
+    )
+
+
+def _fringe_note(rules: Sequence[RuleLike], graph: DependencyGraph) -> str | None:
+    """Advisory Thm 3.21 note for positive linear recursion (see module doc)."""
+    recursive = graph.recursive_predicates()
+    for rule in rules:
+        in_cycle = [a for a in rule.positive_atoms if a.name in recursive]
+        if rule.head.name in recursive and len(in_cycle) > 1:
+            return None
+    return (
+        "linear recursion: if the program has the polynomial-fringe "
+        "property it evaluates in NC (Thm 3.21)"
+    )

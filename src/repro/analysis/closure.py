@@ -1,0 +1,107 @@
+"""Pass 3: theory-closure checking (the static Example 1.12 guard).
+
+The paper's closure discipline is decidable from the (theory, language) pair
+alone: Datalog over the real-polynomial theory is **not closed** under
+recursion -- the least fixpoint of the transitive closure of ``y = 2x`` has
+no finite generalized-relation representation (Example 1.12) -- while the
+non-recursive fragment translates to relational calculus and stays closed
+with NC data complexity (Theorem 2.3).  Dense order and equality are closed
+for full inflationary Datalog¬ (Theorems 3.14.2 / 4.11.2), and the boolean
+theory for positive Datalog (Theorem 5.6).
+
+This module is the single source of truth for the condition: the runtime
+guard in :class:`repro.core.datalog.DatalogProgram` delegates here (and is
+verified to agree by ``tests/analysis/test_closure_parity.py``), and the
+analyzer reports it statically as **CQL010 not-closed-recursion**.
+
+A second, softer check flags polynomial atoms of total degree > 2
+(**CQL011 elimination-fragment**): they sit outside the implemented QE
+ladder (Fourier-Motzkin / virtual substitution / bivariate CAD, DESIGN.md
+§4) and may raise ``UnsupportedEliminationError`` at evaluation time.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.graph import DependencyGraph, RuleLike, build_dependency_graph
+from repro.constraints.base import ConstraintTheory
+from repro.constraints.real_poly import PolyAtom, RealPolynomialTheory
+
+#: the stock explanation attached to CQL010 and to the runtime error
+NOT_CLOSED_MESSAGE = (
+    "Datalog with real polynomial constraints is not closed "
+    "(Example 1.12); pass allow_unsafe_recursion=True and a "
+    "max_iterations bound to experiment with divergence"
+)
+
+
+def not_closed_recursion(
+    rules: Sequence[RuleLike],
+    theory: ConstraintTheory,
+    graph: DependencyGraph | None = None,
+) -> bool:
+    """Whether evaluating ``rules`` under ``theory`` would not be closed.
+
+    This predicate *is* the engine's refusal condition: the runtime guard in
+    ``DatalogProgram.__init__`` raises :class:`repro.errors.NotClosedError`
+    exactly when it holds (parity-tested across all four theories).
+    """
+    if not isinstance(theory, RealPolynomialTheory):
+        return False
+    if graph is None:
+        graph = build_dependency_graph(rules)
+    return graph.is_recursive()
+
+
+def check_closure(
+    rules: Sequence[RuleLike],
+    theory: ConstraintTheory,
+    graph: DependencyGraph | None = None,
+) -> list[Diagnostic]:
+    """The closure diagnostics of one rule list (CQL010, CQL011)."""
+    if graph is None:
+        graph = build_dependency_graph(rules)
+    diagnostics: list[Diagnostic] = []
+    if not_closed_recursion(rules, theory, graph):
+        recursive = sorted(graph.recursive_predicates())
+        diagnostics.append(
+            Diagnostic(
+                "CQL010",
+                f"recursive predicates {recursive} over the real-polynomial "
+                f"theory: {NOT_CLOSED_MESSAGE}",
+                predicate=recursive[0] if recursive else None,
+                hint="break the recursion, switch to the dense-order or "
+                "equality theory, or opt into bounded iteration with "
+                "allow_unsafe_recursion=True",
+            )
+        )
+    diagnostics.extend(_fragment_diagnostics(rules, theory))
+    return diagnostics
+
+
+def _fragment_diagnostics(
+    rules: Sequence[RuleLike], theory: ConstraintTheory
+) -> list[Diagnostic]:
+    if not isinstance(theory, RealPolynomialTheory):
+        return []
+    diagnostics: list[Diagnostic] = []
+    for index, rule in enumerate(rules):
+        for atom in rule.constraint_atoms:
+            if isinstance(atom, PolyAtom) and atom.poly.total_degree() > 2:
+                diagnostics.append(
+                    Diagnostic(
+                        "CQL011",
+                        f"constraint {atom} has total degree "
+                        f"{atom.poly.total_degree()}, outside the degree-2 "
+                        "quantifier-elimination ladder",
+                        rule_index=index,
+                        predicate=rule.head.name,
+                        atom=str(atom),
+                        hint="elimination may raise "
+                        "UnsupportedEliminationError; rewrite the constraint "
+                        "with degree <= 2 per eliminated variable",
+                    )
+                )
+    return diagnostics

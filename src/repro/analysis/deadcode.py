@@ -1,0 +1,124 @@
+"""Pass 4: constraint-level dead-code detection.
+
+Three findings, all warnings (dead code wastes work but cannot corrupt
+results):
+
+* **CQL020 unsatisfiable-body** -- the rule body's constraint conjunction is
+  unsatisfiable in the active theory (decided with the theory's own
+  ``is_satisfiable``, i.e. the same solver the engine would burn rounds on
+  at runtime).  Such a rule can never fire.
+* **CQL022 dead-rule** -- the body references a predicate that is *provably
+  empty*: an IDB predicate all of whose defining rules are themselves dead.
+  Computed as a fixpoint, so chains of dead definitions propagate.  EDB
+  predicates are never assumed empty (their content is data, not program).
+* **CQL021 unused-predicate** -- with a target predicate declared, an IDB
+  predicate that the target does not (transitively) depend on; its rules'
+  derivations are discarded.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.graph import DependencyGraph, RuleLike, build_dependency_graph
+from repro.constraints.base import ConstraintTheory
+from repro.errors import ReproError
+
+
+def check_dead_code(
+    rules: Sequence[RuleLike],
+    theory: ConstraintTheory,
+    graph: DependencyGraph | None = None,
+    target: str | None = None,
+) -> list[Diagnostic]:
+    """The dead-code diagnostics of one rule list (CQL020/021/022)."""
+    if graph is None:
+        graph = build_dependency_graph(rules)
+    diagnostics: list[Diagnostic] = []
+    unsat: set[int] = set()
+    for index, rule in enumerate(rules):
+        conjunction = tuple(rule.constraint_atoms)
+        if not conjunction:
+            continue
+        try:
+            satisfiable = theory.is_satisfiable(conjunction)
+        except ReproError:
+            # a malformed conjunction is CQL003 territory (safety pass)
+            continue
+        if not satisfiable:
+            unsat.add(index)
+            diagnostics.append(
+                Diagnostic(
+                    "CQL020",
+                    "the body's constraint conjunction is unsatisfiable; "
+                    "the rule can never fire",
+                    rule_index=index,
+                    predicate=rule.head.name,
+                    hint="drop the rule or fix the contradictory constraints",
+                )
+            )
+    diagnostics.extend(_dead_rule_diagnostics(rules, graph, unsat))
+    if target is not None:
+        diagnostics.extend(_unused_diagnostics(rules, graph, target))
+    return diagnostics
+
+
+def _dead_rule_diagnostics(
+    rules: Sequence[RuleLike],
+    graph: DependencyGraph,
+    unsat: set[int],
+) -> list[Diagnostic]:
+    """Propagate emptiness: a rule is dead if its body needs an empty IDB
+    predicate; a predicate is empty if every defining rule is dead."""
+    dead: set[int] = set(unsat)
+    dead_reason: dict[int, str] = {}
+    while True:
+        empty = {
+            name
+            for name in graph.idb
+            if all(
+                index in dead
+                for index, rule in enumerate(rules)
+                if rule.head.name == name
+            )
+        }
+        changed = False
+        for index, rule in enumerate(rules):
+            if index in dead:
+                continue
+            needs = [a.name for a in rule.positive_atoms if a.name in empty]
+            if needs:
+                dead.add(index)
+                dead_reason[index] = needs[0]
+                changed = True
+        if not changed:
+            break
+    return [
+        Diagnostic(
+            "CQL022",
+            f"the body requires {dead_reason[index]!r}, which is provably "
+            "empty (all of its rules are dead)",
+            rule_index=index,
+            predicate=rules[index].head.name,
+            hint="the emptiness propagates from an unsatisfiable body "
+            "upstream; fix that rule first",
+        )
+        for index in sorted(dead_reason)
+    ]
+
+
+def _unused_diagnostics(
+    rules: Sequence[RuleLike], graph: DependencyGraph, target: str
+) -> list[Diagnostic]:
+    live = graph.reachable_from(target) if target in set(graph.nodes) else {target}
+    return [
+        Diagnostic(
+            "CQL021",
+            f"predicate {name!r} does not contribute to the target "
+            f"{target!r}",
+            predicate=name,
+            hint="remove its rules, or query it directly",
+        )
+        for name in sorted(graph.idb - set(live))
+    ]

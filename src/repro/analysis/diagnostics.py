@@ -1,0 +1,293 @@
+"""Diagnostic records, the stable error-code registry, and program reports.
+
+Every analysis pass produces :class:`Diagnostic` values with a *stable* code
+(``CQL001`` .. ``CQL030``): codes are part of the public contract -- tests,
+suppression pragmas (``# cqlint: allow(CQL010)``) and downstream tooling key
+on them, so a code is never reused for a different condition.  The registry
+:data:`CODES` maps every code to its kebab-case slug, default severity, and a
+one-line summary (rendered by ``python -m repro lint`` and DESIGN.md §8).
+
+A :class:`ProgramReport` aggregates one program's diagnostics with the
+structural facts the passes computed along the way (dependency SCCs,
+recursion/negation flags, the complexity classification and its justifying
+theorem, and per-pass wall-clock timings).  Reports round-trip through JSON
+(``as_dict``/``from_dict``) for the ``--json`` CLI output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Iterable, Mapping
+
+#: severity levels, ordered from most to least severe
+ERROR = "error"
+WARNING = "warning"
+INFO = "info"
+
+_SEVERITY_ORDER = {ERROR: 0, WARNING: 1, INFO: 2}
+
+
+@dataclass(frozen=True)
+class CodeInfo:
+    """Registry entry for one stable diagnostic code."""
+
+    code: str
+    slug: str
+    severity: str
+    summary: str
+
+
+#: the stable code registry (documented in DESIGN.md §8)
+CODES: dict[str, CodeInfo] = {
+    info.code: info
+    for info in (
+        CodeInfo("CQL000", "parse-error", ERROR, "program text could not be parsed"),
+        CodeInfo(
+            "CQL001",
+            "unsafe-rule",
+            ERROR,
+            "a head variable does not occur in the rule body",
+        ),
+        CodeInfo(
+            "CQL002",
+            "arity-mismatch",
+            ERROR,
+            "a predicate is used with inconsistent arities",
+        ),
+        CodeInfo(
+            "CQL003",
+            "theory-mismatch",
+            ERROR,
+            "a constraint atom does not belong to the active theory",
+        ),
+        CodeInfo(
+            "CQL004",
+            "constraint-only-variable",
+            WARNING,
+            "a body variable occurs only in constraint atoms",
+        ),
+        CodeInfo("CQL005", "duplicate-rule", WARNING, "a rule appears more than once"),
+        CodeInfo(
+            "CQL006",
+            "free-variable-mismatch",
+            ERROR,
+            "a query's free variables differ from the declared output schema",
+        ),
+        CodeInfo(
+            "CQL007",
+            "negation-in-recursion",
+            WARNING,
+            "negation through recursion: not stratifiable, inflationary only",
+        ),
+        CodeInfo(
+            "CQL010",
+            "not-closed-recursion",
+            ERROR,
+            "recursion through real-polynomial constraints is not closed "
+            "(Example 1.12)",
+        ),
+        CodeInfo(
+            "CQL011",
+            "elimination-fragment",
+            WARNING,
+            "polynomial constraint outside the degree-2 QE ladder fragment",
+        ),
+        CodeInfo(
+            "CQL012",
+            "negation-unsupported",
+            ERROR,
+            "negation/universals in a theory without negation (Section 5)",
+        ),
+        CodeInfo(
+            "CQL020",
+            "unsatisfiable-body",
+            WARNING,
+            "a rule body's constraint conjunction is unsatisfiable",
+        ),
+        CodeInfo(
+            "CQL021",
+            "unused-predicate",
+            WARNING,
+            "an IDB predicate does not contribute to the target predicate",
+        ),
+        CodeInfo(
+            "CQL022",
+            "dead-rule",
+            WARNING,
+            "a rule body references a provably empty predicate",
+        ),
+        CodeInfo(
+            "CQL030",
+            "complexity-class",
+            INFO,
+            "predicted data-complexity class and its justifying theorem",
+        ),
+    )
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of the static analyzer.
+
+    ``rule_index`` locates the offending rule (0-based, in program order);
+    ``predicate``/``atom`` narrow the location further when available.
+    ``suppressed`` marks diagnostics matched by an ``allow`` pragma: they are
+    still reported, but do not count toward the lint exit code or the engine
+    pre-flight.
+    """
+
+    code: str
+    message: str
+    severity: str = ""
+    rule_index: int | None = None
+    predicate: str | None = None
+    atom: str | None = None
+    hint: str | None = None
+    suppressed: bool = False
+
+    def __post_init__(self) -> None:
+        if self.code not in CODES:
+            raise ValueError(f"unknown diagnostic code {self.code!r}")
+        if not self.severity:
+            object.__setattr__(self, "severity", CODES[self.code].severity)
+        elif self.severity not in _SEVERITY_ORDER:
+            raise ValueError(f"unknown severity {self.severity!r}")
+
+    @property
+    def slug(self) -> str:
+        return CODES[self.code].slug
+
+    def suppress(self) -> "Diagnostic":
+        return replace(self, suppressed=True)
+
+    def render(self) -> str:
+        location = ""
+        if self.rule_index is not None:
+            location = f" [rule {self.rule_index}]"
+        elif self.predicate is not None:
+            location = f" [{self.predicate}]"
+        text = f"{self.code} {self.severity} {self.slug}{location}: {self.message}"
+        if self.suppressed:
+            text += " (suppressed)"
+        return text
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "code": self.code,
+            "slug": self.slug,
+            "severity": self.severity,
+            "message": self.message,
+            "rule_index": self.rule_index,
+            "predicate": self.predicate,
+            "atom": self.atom,
+            "hint": self.hint,
+            "suppressed": self.suppressed,
+        }
+
+    @staticmethod
+    def from_dict(data: Mapping[str, Any]) -> "Diagnostic":
+        return Diagnostic(
+            code=data["code"],
+            message=data["message"],
+            severity=data.get("severity", ""),
+            rule_index=data.get("rule_index"),
+            predicate=data.get("predicate"),
+            atom=data.get("atom"),
+            hint=data.get("hint"),
+            suppressed=data.get("suppressed", False),
+        )
+
+
+def sort_diagnostics(diagnostics: Iterable[Diagnostic]) -> list[Diagnostic]:
+    """Severity-major, then code, then rule order -- the report ordering."""
+    return sorted(
+        diagnostics,
+        key=lambda d: (
+            _SEVERITY_ORDER[d.severity],
+            d.code,
+            -1 if d.rule_index is None else d.rule_index,
+        ),
+    )
+
+
+@dataclass
+class ProgramReport:
+    """Everything the analyzer learned about one program.
+
+    ``kind`` is ``"datalog"`` or ``"calculus"``; the structural fields that
+    only make sense for rules (``sccs``, ``recursive``, ``stratifiable``) are
+    empty/True for calculus reports.
+    """
+
+    theory: str
+    kind: str
+    num_rules: int
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    idb: tuple[str, ...] = ()
+    edb: tuple[str, ...] = ()
+    sccs: tuple[tuple[str, ...], ...] = ()
+    recursive: bool = False
+    has_negation: bool = False
+    stratifiable: bool = True
+    complexity_class: str | None = None
+    theorem: str | None = None
+    pass_timings: dict[str, float] = field(default_factory=dict)
+
+    def errors(self, include_suppressed: bool = False) -> list[Diagnostic]:
+        return [
+            d
+            for d in self.diagnostics
+            if d.severity == ERROR and (include_suppressed or not d.suppressed)
+        ]
+
+    def warnings(self, include_suppressed: bool = False) -> list[Diagnostic]:
+        return [
+            d
+            for d in self.diagnostics
+            if d.severity == WARNING and (include_suppressed or not d.suppressed)
+        ]
+
+    @property
+    def ok(self) -> bool:
+        """No unsuppressed error-severity diagnostics."""
+        return not self.errors()
+
+    def by_code(self, code: str) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.code == code]
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "theory": self.theory,
+            "kind": self.kind,
+            "num_rules": self.num_rules,
+            "diagnostics": [d.as_dict() for d in self.diagnostics],
+            "idb": list(self.idb),
+            "edb": list(self.edb),
+            "sccs": [list(scc) for scc in self.sccs],
+            "recursive": self.recursive,
+            "has_negation": self.has_negation,
+            "stratifiable": self.stratifiable,
+            "complexity_class": self.complexity_class,
+            "theorem": self.theorem,
+            "pass_timings": dict(self.pass_timings),
+            "ok": self.ok,
+        }
+
+    @staticmethod
+    def from_dict(data: Mapping[str, Any]) -> "ProgramReport":
+        return ProgramReport(
+            theory=data["theory"],
+            kind=data["kind"],
+            num_rules=data["num_rules"],
+            diagnostics=[Diagnostic.from_dict(d) for d in data["diagnostics"]],
+            idb=tuple(data.get("idb", ())),
+            edb=tuple(data.get("edb", ())),
+            sccs=tuple(tuple(scc) for scc in data.get("sccs", ())),
+            recursive=data.get("recursive", False),
+            has_negation=data.get("has_negation", False),
+            stratifiable=data.get("stratifiable", True),
+            complexity_class=data.get("complexity_class"),
+            theorem=data.get("theorem"),
+            pass_timings=dict(data.get("pass_timings", {})),
+        )

@@ -1,0 +1,350 @@
+"""``python -m repro lint`` -- the cqlint command-line front end.
+
+Lints textual CQL programs and conformance-corpus JSON cases::
+
+    python -m repro lint examples/programs/*.cql
+    python -m repro lint tests/conformance/corpus/*.json --json
+    python -m repro lint examples/programs --stats
+
+Textual programs use the :mod:`repro.logic.parser` syntax plus ``#`` comment
+lines carrying directives:
+
+.. code-block:: text
+
+    # theory: dense_order          (dense_order | equality | real_poly)
+    # kind: datalog                (datalog | calculus; default datalog)
+    # target: T                    (enables the unused-predicate check)
+    # output: x, y                 (calculus output schema)
+    # relation: E/2                (declare an EDB arity for cross-checking)
+    # cqlint: allow(CQL010, CQL020)  (suppress codes; still reported)
+    T(x, y) :- E(x, y).
+    T(x, y) :- T(x, z), E(z, y).
+
+JSON files are conformance artifacts (``{"spec": ...}``) or bare case specs.
+Directories are walked for ``*.cql``/``*.dl``/``*.json`` files.
+
+Exit status: 1 when any file has unsuppressed error diagnostics (or, with
+``--strict``, warnings), else 0.  ``--json`` prints one round-trippable
+document; ``--stats`` appends per-pass timing and diagnostic counts and
+records them through :mod:`repro.harness.benchjson` (the ``lint_stats``
+record of ``BENCH_datalog.json``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from collections import Counter
+from pathlib import Path
+from typing import Any, Sequence
+
+from repro.analysis.analyzer import analyze_formula, analyze_program
+from repro.analysis.diagnostics import CODES, Diagnostic, ProgramReport
+from repro.constraints.base import ConstraintTheory
+from repro.errors import ArityError, EvaluationError, ParseError, ReproError
+
+#: theory factories for the ``# theory:`` directive (textual programs only;
+#: the boolean theory has no textual syntax)
+_TEXT_THEORIES = ("dense_order", "equality", "real_poly")
+
+_ALLOW_RE = re.compile(r"allow\(([^)]*)\)")
+_SUFFIXES = (".cql", ".dl", ".json")
+
+
+def _build_text_theory(name: str) -> ConstraintTheory:
+    from repro.constraints.dense_order import DenseOrderTheory
+    from repro.constraints.equality import EqualityTheory
+    from repro.constraints.real_poly import RealPolynomialTheory
+
+    factories = {
+        "dense_order": DenseOrderTheory,
+        "equality": EqualityTheory,
+        "real_poly": RealPolynomialTheory,
+    }
+    return factories[name]()
+
+
+class _Directives:
+    """Parsed ``#`` directives of one textual program."""
+
+    def __init__(self) -> None:
+        self.theory = "dense_order"
+        self.kind = "datalog"
+        self.target: str | None = None
+        self.output: tuple[str, ...] | None = None
+        self.relations: dict[str, int] = {}
+        self.allow: set[str] = set()
+
+
+def _strip_comments(text: str) -> tuple[str, _Directives]:
+    """Remove ``#`` comments, collecting directives along the way."""
+    directives = _Directives()
+    kept: list[str] = []
+    for line in text.splitlines():
+        code, _, comment = line.partition("#")
+        comment = comment.strip()
+        if comment:
+            _apply_directive(comment, directives)
+        kept.append(code)
+    return "\n".join(kept), directives
+
+
+def _apply_directive(comment: str, directives: _Directives) -> None:
+    key, _, value = comment.partition(":")
+    key = key.strip().lower()
+    value = value.strip()
+    if key == "theory" and value in _TEXT_THEORIES:
+        directives.theory = value
+    elif key == "kind" and value in ("datalog", "calculus"):
+        directives.kind = value
+    elif key == "target" and value:
+        directives.target = value
+    elif key == "output" and value:
+        directives.output = tuple(v.strip() for v in value.split(",") if v.strip())
+    elif key == "relation" and "/" in value:
+        name, _, arity = value.partition("/")
+        try:
+            directives.relations[name.strip()] = int(arity)
+        except ValueError:
+            pass
+    elif key == "cqlint":
+        for match in _ALLOW_RE.finditer(value):
+            for code in match.group(1).split(","):
+                code = code.strip().upper()
+                if code in CODES:
+                    directives.allow.add(code)
+
+
+def _error_report(theory: str, kind: str, diagnostic: Diagnostic) -> ProgramReport:
+    return ProgramReport(
+        theory=theory, kind=kind, num_rules=0, diagnostics=[diagnostic]
+    )
+
+
+def lint_text(text: str) -> ProgramReport:
+    """Lint one textual program (see module docstring for the syntax)."""
+    from repro.logic.parser import parse_query, parse_rules
+
+    stripped, directives = _strip_comments(text)
+    theory = _build_text_theory(directives.theory)
+    try:
+        if directives.kind == "calculus":
+            formula = parse_query(stripped, theory=theory)
+            return analyze_formula(
+                formula,
+                theory,
+                output=directives.output,
+                edb_schemas=directives.relations or None,
+                suppress=directives.allow,
+            )
+        rules = parse_rules(stripped, theory=theory)
+    except ParseError as error:
+        return _error_report(
+            directives.theory,
+            directives.kind,
+            Diagnostic("CQL000", str(error)),
+        )
+    except EvaluationError as error:
+        # Rule's constructor guard: a head variable missing from the body
+        return _error_report(
+            directives.theory,
+            directives.kind,
+            Diagnostic("CQL001", str(error)),
+        )
+    except ArityError as error:
+        return _error_report(
+            directives.theory,
+            directives.kind,
+            Diagnostic("CQL002", str(error)),
+        )
+    return analyze_program(
+        rules,
+        theory,
+        target=directives.target,
+        edb_schemas=directives.relations or None,
+        suppress=directives.allow,
+    )
+
+
+def lint_spec_dict(data: dict[str, Any]) -> ProgramReport:
+    """Lint a conformance case-spec dictionary (or ``{"spec": ...}``)."""
+    from repro.conformance.spec import (
+        CaseSpec,
+        build_theory,
+        decode_formula,
+        decode_rule,
+    )
+
+    if "spec" in data and isinstance(data["spec"], dict):
+        data = data["spec"]
+    spec = CaseSpec.from_dict(data)
+    theory = build_theory(spec)
+    edb_schemas = {
+        name: len(variables) for name, variables, _tuples in spec.relations
+    }
+    if spec.kind == "datalog":
+        rules = [decode_rule(r, theory) for r in spec.rules]
+        return analyze_program(
+            rules, theory, target=spec.target, edb_schemas=edb_schemas
+        )
+    formula = decode_formula(spec.query, theory)
+    return analyze_formula(
+        formula, theory, output=spec.output, edb_schemas=edb_schemas
+    )
+
+
+def lint_path(path: Path) -> ProgramReport:
+    """Lint one file, dispatching on its suffix."""
+    if path.suffix == ".json":
+        try:
+            data = json.loads(path.read_text())
+        except json.JSONDecodeError as error:
+            return _error_report(
+                "unknown", "datalog", Diagnostic("CQL000", f"bad JSON: {error}")
+            )
+        try:
+            return lint_spec_dict(data)
+        except ReproError as error:
+            return _error_report(
+                "unknown", "datalog", Diagnostic("CQL000", str(error))
+            )
+    return lint_text(path.read_text())
+
+
+def _collect(paths: Sequence[str]) -> list[Path]:
+    files: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(
+                p
+                for p in sorted(path.rglob("*"))
+                if p.suffix in _SUFFIXES and p.is_file()
+            )
+        else:
+            files.append(path)
+    return files
+
+
+def _render_text(path: Path, report: ProgramReport, verbose: bool) -> list[str]:
+    classification = (
+        f"class={report.complexity_class} ({report.theorem})"
+        if report.complexity_class
+        else "class=?"
+    )
+    lines = [
+        f"{path}: theory={report.theory} kind={report.kind} "
+        f"rules={report.num_rules} {classification} -- "
+        f"{len(report.errors(include_suppressed=True))} error(s), "
+        f"{len(report.warnings(include_suppressed=True))} warning(s)"
+    ]
+    for diagnostic in report.diagnostics:
+        if diagnostic.severity == "info" and not verbose:
+            continue
+        lines.append(f"  {diagnostic.render()}")
+        if diagnostic.hint and verbose:
+            lines.append(f"    hint: {diagnostic.hint}")
+    return lines
+
+
+def _stats_payload(
+    reports: list[tuple[Path, ProgramReport]]
+) -> dict[str, Any]:
+    timings: Counter = Counter()
+    counts: Counter = Counter()
+    severities: Counter = Counter()
+    for _path, report in reports:
+        for name, seconds in report.pass_timings.items():
+            timings[name] += seconds
+        for diagnostic in report.diagnostics:
+            counts[diagnostic.code] += 1
+            severities[diagnostic.severity] += 1
+    return {
+        "files": len(reports),
+        "pass_seconds": {name: round(timings[name], 6) for name in sorted(timings)},
+        "total_seconds": round(sum(timings.values()), 6),
+        "diagnostics_by_code": {code: counts[code] for code in sorted(counts)},
+        "diagnostics_by_severity": dict(severities),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro lint",
+        description="cqlint: static analysis of constraint query programs "
+        "(safety, stratification, closure, dead rules, complexity class).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="+",
+        help="program files (.cql/.dl), case specs (.json), or directories",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="machine-readable report document"
+    )
+    parser.add_argument(
+        "--strict", action="store_true", help="warnings also fail the run"
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print per-pass timing / diagnostic counts and record them "
+        "via repro.harness.benchjson",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true", help="show info diagnostics and hints"
+    )
+    args = parser.parse_args(argv)
+
+    files = _collect(args.paths)
+    if not files:
+        print("no lintable files found", file=sys.stderr)
+        return 2
+    reports: list[tuple[Path, ProgramReport]] = []
+    for path in files:
+        if not path.exists():
+            print(f"{path}: no such file", file=sys.stderr)
+            return 2
+        reports.append((path, lint_path(path)))
+
+    failed = any(
+        report.errors() or (args.strict and report.warnings())
+        for _path, report in reports
+    )
+    stats = _stats_payload(reports) if args.stats else None
+
+    if args.json:
+        document = {
+            "files": [
+                {"path": str(path), "report": report.as_dict()}
+                for path, report in reports
+            ],
+            "ok": not failed,
+        }
+        if stats is not None:
+            document["stats"] = stats
+        print(json.dumps(document, indent=2, sort_keys=True))
+    else:
+        for path, report in reports:
+            for line in _render_text(path, report, args.verbose):
+                print(line)
+        print(
+            f"{len(reports)} file(s) linted: "
+            + ("FAILED" if failed else "ok")
+        )
+        if stats is not None:
+            print("per-pass seconds:")
+            for name, seconds in stats["pass_seconds"].items():
+                print(f"  {name}: {seconds}")
+            print(f"diagnostics: {stats['diagnostics_by_code']}")
+    if stats is not None:
+        from repro.harness.benchjson import record_bench
+
+        record_bench("lint_stats", stats)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

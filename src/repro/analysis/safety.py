@@ -1,0 +1,135 @@
+"""Pass 1: well-formedness -- arity/sort consistency, safety, stray variables.
+
+Checks (codes defined in :mod:`repro.analysis.diagnostics`):
+
+* **CQL001 unsafe-rule** -- a head variable that occurs in no body literal.
+  Mirrors the constructor guard of :class:`repro.core.datalog.Rule`; it fires
+  here for rule-like inputs built without that guard (e.g. raw parsed text).
+* **CQL002 arity-mismatch** -- a predicate used with two different arities
+  anywhere in the program, or disagreeing with a declared EDB schema.
+* **CQL003 theory-mismatch** -- a body constraint atom the active theory's
+  ``validate_atom`` rejects.
+* **CQL004 constraint-only-variable** -- a variable that occurs only in
+  constraint atoms, not in the head nor in any relation atom.  Legal (it is
+  implicitly existentially quantified and eliminated in closed form) but a
+  frequent typo vector, hence a warning.
+* **CQL005 duplicate-rule** -- a rule that is literally repeated.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.graph import RuleLike
+from repro.constraints.base import ConstraintTheory
+from repro.errors import TheoryError
+
+
+def check_safety(
+    rules: Sequence[RuleLike],
+    theory: ConstraintTheory,
+    edb_schemas: Mapping[str, int] | None = None,
+) -> list[Diagnostic]:
+    """The well-formedness diagnostics of one rule list."""
+    diagnostics: list[Diagnostic] = []
+    arities: dict[str, int] = dict(edb_schemas or {})
+    seen_rules: dict[str, int] = {}
+    for index, rule in enumerate(rules):
+        diagnostics.extend(_check_rule(index, rule, theory, arities))
+        key = _rule_key(rule)
+        if key in seen_rules:
+            diagnostics.append(
+                Diagnostic(
+                    "CQL005",
+                    f"rule {index} duplicates rule {seen_rules[key]}",
+                    rule_index=index,
+                    predicate=rule.head.name,
+                    hint="remove the repeated rule; it adds no derivations",
+                )
+            )
+        else:
+            seen_rules[key] = index
+    return diagnostics
+
+
+def _rule_key(rule: RuleLike) -> str:
+    return str(rule)
+
+
+def _check_rule(
+    index: int,
+    rule: RuleLike,
+    theory: ConstraintTheory,
+    arities: dict[str, int],
+) -> list[Diagnostic]:
+    diagnostics: list[Diagnostic] = []
+    # ---------------------------------------------------------------- arity
+    for atom in [rule.head, *rule.positive_atoms, *rule.negative_atoms]:
+        known = arities.get(atom.name)
+        if known is not None and known != len(atom.args):
+            diagnostics.append(
+                Diagnostic(
+                    "CQL002",
+                    f"{atom.name} used with arity {len(atom.args)} here but "
+                    f"{known} elsewhere",
+                    rule_index=index,
+                    predicate=atom.name,
+                    atom=str(atom),
+                    hint="make every occurrence of the predicate agree on "
+                    "one arity",
+                )
+            )
+        else:
+            arities[atom.name] = len(atom.args)
+    # --------------------------------------------------------------- safety
+    head_vars = set(rule.head.args)
+    relational_vars: set[str] = set()
+    for atom in [*rule.positive_atoms, *rule.negative_atoms]:
+        relational_vars |= set(atom.args)
+    constraint_vars: set[str] = set()
+    for atom in rule.constraint_atoms:
+        constraint_vars |= set(atom.variables())
+    missing = head_vars - relational_vars - constraint_vars
+    if missing:
+        diagnostics.append(
+            Diagnostic(
+                "CQL001",
+                f"head variables {sorted(missing)} do not occur in the body",
+                rule_index=index,
+                predicate=rule.head.name,
+                hint="bind every head variable in a body literal (relation "
+                "atom or constraint)",
+            )
+        )
+    stray = constraint_vars - relational_vars - head_vars
+    if stray:
+        diagnostics.append(
+            Diagnostic(
+                "CQL004",
+                f"variables {sorted(stray)} occur only in constraint atoms; "
+                "they are implicitly existentially quantified",
+                rule_index=index,
+                predicate=rule.head.name,
+                hint="check for a typo; if intentional, the variables are "
+                "eliminated in closed form when the rule fires",
+            )
+        )
+    # --------------------------------------------------------------- theory
+    for atom in rule.constraint_atoms:
+        try:
+            theory.validate_atom(atom)
+        except TheoryError as error:
+            diagnostics.append(
+                Diagnostic(
+                    "CQL003",
+                    f"constraint atom {atom} is not of the "
+                    f"{theory.name!r} theory: {error}",
+                    rule_index=index,
+                    predicate=rule.head.name,
+                    atom=str(atom),
+                    hint="build the program's constraints from the theory "
+                    "passed to the engine",
+                )
+            )
+    return diagnostics

@@ -18,6 +18,12 @@
 """
 
 from repro.boolean_algebra.algebra import FreeBooleanAlgebra
+from repro.boolean_algebra.boole import (
+    boole_eliminate_table,
+    constraint_has_solution,
+    solve_constraint,
+)
+from repro.boolean_algebra.datalog_bool import BooleanDatalogProgram, BooleanFact, BooleanRule
 from repro.boolean_algebra.terms import (
     BAnd,
     BConst,
@@ -29,12 +35,6 @@ from repro.boolean_algebra.terms import (
     BoolTerm,
     BZero,
 )
-from repro.boolean_algebra.boole import (
-    boole_eliminate_table,
-    constraint_has_solution,
-    solve_constraint,
-)
-from repro.boolean_algebra.datalog_bool import BooleanDatalogProgram, BooleanFact, BooleanRule
 
 __all__ = [
     "BAnd",

@@ -35,7 +35,6 @@ from repro.boolean_algebra.terms import (
     BZero,
     Table,
     standard_constants,
-    table_extend,
     table_or,
     term_table,
 )

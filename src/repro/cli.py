@@ -31,7 +31,7 @@ from repro.core.calculus import evaluate_calculus
 from repro.core.datalog import DatalogProgram, Rule
 from repro.core.generalized import GeneralizedDatabase
 from repro.errors import ReproError
-from repro.logic.parser import _Parser, parse_query, parse_rules
+from repro.logic.parser import parse_query, parse_rules
 from repro.logic.syntax import And, Atom, Formula
 
 THEORIES: dict[str, Callable[[], object]] = {

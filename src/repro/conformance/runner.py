@@ -110,13 +110,53 @@ class ConformanceReport:
         return lines
 
 
+def analyze_spec(spec: CaseSpec):
+    """Static-analyze one spec (``repro.analysis``); the ProgramReport.
+
+    Datalog specs go through :func:`repro.analysis.analyze_program`, calculus
+    and QE specs through :func:`repro.analysis.analyze_formula`; the spec's
+    relation schemas feed the arity cross-check and its target the
+    reachability pass.
+    """
+    from repro.analysis import analyze_formula, analyze_program
+    from repro.conformance.spec import build_theory, decode_formula, decode_rule
+
+    theory = build_theory(spec)
+    edb_schemas = {
+        name: len(variables) for name, variables, _tuples in spec.relations
+    }
+    if spec.kind == "datalog":
+        rules = [decode_rule(r, theory) for r in spec.rules]
+        return analyze_program(
+            rules, theory, target=spec.target, edb_schemas=edb_schemas
+        )
+    formula = decode_formula(spec.query, theory)
+    return analyze_formula(
+        formula, theory, output=spec.output, edb_schemas=edb_schemas
+    )
+
+
 def run_case(spec: CaseSpec) -> Discrepancy | None:
     """Evaluate one spec through every strategy; first discrepancy or None.
 
-    A strategy raising is itself reported as a discrepancy (oracle
-    ``"error"``) -- strategies declare applicability via the registry, so an
-    exception inside one is an engine bug, not an expected skip.
+    Every generated program must pass static analysis before the strategy
+    fan-out: error diagnostics become a discrepancy of oracle ``"lint"``
+    (a generator emitting an ill-formed program is a harness bug on par with
+    an engine bug).  A strategy raising is itself reported as a discrepancy
+    (oracle ``"error"``) -- strategies declare applicability via the
+    registry, so an exception inside one is an engine bug, not an expected
+    skip.
     """
+    lint_report = analyze_spec(spec)
+    lint_errors = lint_report.errors()
+    if lint_errors:
+        return Discrepancy(
+            "analysis",
+            "analysis",
+            "lint",
+            None,
+            "; ".join(d.render() for d in lint_errors),
+        )
     routes = strategies_for(spec)
     reference = routes[0]
     try:

@@ -28,11 +28,11 @@ from repro.constraints.base import (
     TheoryCache,
     TheoryCacheStats,
 )
-from repro.constraints.terms import Const, Term, Var, term_str
+from repro.constraints.boolean import BooleanConstraintAtom, BooleanTheory
 from repro.constraints.dense_order import DenseOrderTheory, OrderAtom
 from repro.constraints.equality import EqualityAtom, EqualityTheory
 from repro.constraints.real_poly import PolyAtom, RealPolynomialTheory
-from repro.constraints.boolean import BooleanConstraintAtom, BooleanTheory
+from repro.constraints.terms import Const, Term, Var, term_str
 
 __all__ = [
     "BooleanConstraintAtom",

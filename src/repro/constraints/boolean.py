@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Iterable, Mapping, Sequence
 
-from repro.boolean_algebra.algebra import Element, FreeBooleanAlgebra
+from repro.boolean_algebra.algebra import FreeBooleanAlgebra
 from repro.boolean_algebra.boole import boole_eliminate_table, solve_constraint
 from repro.boolean_algebra.datalog_bool import element_as_term
 from repro.boolean_algebra.terms import (
@@ -29,7 +29,7 @@ from repro.boolean_algebra.terms import (
     standard_constants,
     term_table,
 )
-from repro.constraints.base import Conjunction, ConstraintTheory
+from repro.constraints.base import Conjunction, ConstraintTheory, TheoryCache
 from repro.errors import TheoryError
 from repro.logic.syntax import Atom, Formula
 
@@ -62,7 +62,9 @@ class BooleanTheory(ConstraintTheory):
 
     name = "boolean"
 
-    def __init__(self, algebra: FreeBooleanAlgebra, cache=None) -> None:
+    def __init__(
+        self, algebra: FreeBooleanAlgebra, cache: TheoryCache | None = None
+    ) -> None:
         super().__init__(cache)
         self.algebra = algebra
         self.constants = standard_constants(algebra)

@@ -17,9 +17,9 @@ variable; canonical forms are minimal networks as in the dense-order theory
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Iterable, Mapping, Sequence
+from typing import Any, Callable, Iterable, Mapping, Sequence
 
-from repro.constraints.base import Conjunction, ConstraintTheory
+from repro.constraints.base import Conjunction, ConstraintTheory, TheoryCache
 from repro.constraints.terms import (
     Const,
     Term,
@@ -130,7 +130,11 @@ class EqualityTheory(ConstraintTheory):
     ne = staticmethod(ne)
     const = staticmethod(const)
 
-    def __init__(self, fresh_factory=None, cache=None) -> None:
+    def __init__(
+        self,
+        fresh_factory: Callable[[int], object] | None = None,
+        cache: TheoryCache | None = None,
+    ) -> None:
         """``fresh_factory(i)`` yields the i-th synthetic domain element.
 
         Sample points for variables constrained only by disequalities need

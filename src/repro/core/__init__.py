@@ -16,14 +16,14 @@
   Theorem 3.21).
 """
 
+from repro.core import algebra
+from repro.core.calculus import evaluate_calculus
+from repro.core.datalog import DatalogProgram, Rule
 from repro.core.generalized import (
     GeneralizedDatabase,
     GeneralizedRelation,
     GeneralizedTuple,
 )
-from repro.core.calculus import evaluate_calculus
-from repro.core.datalog import DatalogProgram, Rule
-from repro.core import algebra
 
 __all__ = [
     "DatalogProgram",

@@ -24,7 +24,6 @@ from __future__ import annotations
 
 from typing import Iterable, Mapping, Sequence
 
-from repro.constraints.base import ConstraintTheory
 from repro.core.calculus import complement_dnf
 from repro.core.generalized import GeneralizedRelation, GeneralizedTuple
 from repro.errors import ArityError, EvaluationError

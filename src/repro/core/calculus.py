@@ -27,7 +27,7 @@ implementation in :mod:`repro.core.rconfig`).
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Sequence
 
 from repro.constraints.base import Conjunction, ConstraintTheory
 from repro.core.generalized import (

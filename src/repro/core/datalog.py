@@ -32,7 +32,6 @@ from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from repro.constraints.base import ConstraintTheory
-from repro.constraints.real_poly import RealPolynomialTheory
 from repro.core.calculus import relation_complement_dnf
 from repro.core.generalized import (
     GeneralizedDatabase,
@@ -44,6 +43,7 @@ from repro.errors import (
     EvaluationError,
     FixpointDivergenceError,
     NotClosedError,
+    StaticAnalysisError,
 )
 from repro.logic.syntax import Atom, Not, RelationAtom
 
@@ -80,20 +80,22 @@ class Rule:
 
     @property
     def positive_atoms(self) -> list[RelationAtom]:
-        return [l for l in self.body if isinstance(l, RelationAtom)]
+        return [lit for lit in self.body if isinstance(lit, RelationAtom)]
 
     @property
     def negative_atoms(self) -> list[RelationAtom]:
-        return [l.child for l in self.body if isinstance(l, Not)]  # type: ignore[union-attr]
+        return [lit.child for lit in self.body if isinstance(lit, Not)]  # type: ignore[union-attr]
 
     @property
     def constraint_atoms(self) -> list[Atom]:
         return [
-            l for l in self.body if isinstance(l, Atom) and not isinstance(l, RelationAtom)
+            lit
+            for lit in self.body
+            if isinstance(lit, Atom) and not isinstance(lit, RelationAtom)
         ]
 
     def has_negation(self) -> bool:
-        return any(isinstance(l, Not) for l in self.body)
+        return any(isinstance(lit, Not) for lit in self.body)
 
     def variables(self) -> list[str]:
         seen: list[str] = []
@@ -113,7 +115,7 @@ class Rule:
         return seen
 
     def __str__(self) -> str:
-        body = ", ".join(str(l) for l in self.body)
+        body = ", ".join(str(lit) for lit in self.body)
         return f"{self.head} :- {body}"
 
 
@@ -137,6 +139,10 @@ class EngineOptions:
     #: reject join candidates whose pinned constants conflict with the
     #: partial conjunction before consulting the solver at all
     pin_filter: bool = True
+    #: run the repro.analysis pre-flight at construction time and raise
+    #: StaticAnalysisError on error diagnostics.  Not a perf flag, so it is
+    #: deliberately absent from ``as_dict`` (the ablation grid).
+    analyze: bool = False
 
     @classmethod
     def all_on(cls) -> "EngineOptions":
@@ -253,16 +259,29 @@ class DatalogProgram:
         self.allow_unsafe_recursion = allow_unsafe_recursion
         self.options = options if options is not None else EngineOptions()
         self._check_arities()
-        if (
-            isinstance(theory, RealPolynomialTheory)
-            and self.is_recursive()
-            and not allow_unsafe_recursion
-        ):
-            raise NotClosedError(
-                "Datalog with real polynomial constraints is not closed "
-                "(Example 1.12); pass allow_unsafe_recursion=True and a "
-                "max_iterations bound to experiment with divergence"
-            )
+        # the closure condition lives in repro.analysis.closure (single
+        # source of truth, shared with the CQL010 lint pass)
+        from repro.analysis.closure import NOT_CLOSED_MESSAGE, not_closed_recursion
+
+        if not allow_unsafe_recursion and not_closed_recursion(self.rules, theory):
+            raise NotClosedError(NOT_CLOSED_MESSAGE)
+        if self.options.analyze:
+            self._preflight()
+
+    def _preflight(self) -> None:
+        """Opt-in static analysis gate (``EngineOptions(analyze=True)``).
+
+        CQL010 is excluded: when ``allow_unsafe_recursion`` is unset the
+        closure guard above already raised the dedicated
+        :class:`NotClosedError`, and when it is set the caller explicitly
+        opted into non-closed iteration.
+        """
+        from repro.analysis import analyze_program
+
+        report = analyze_program(self.rules, self.theory)
+        errors = [d for d in report.errors() if d.code != "CQL010"]
+        if errors:
+            raise StaticAnalysisError(errors)
 
     # --------------------------------------------------------------- schema
     def idb_predicates(self) -> set[str]:

@@ -23,17 +23,15 @@ soundness/completeness tests exercise that equality on sample points.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Iterable, Sequence
+from typing import Sequence
 
 from repro.constraints.dense_order import DenseOrderTheory
 from repro.core.datalog import Rule
-from repro.core.generalized import GeneralizedDatabase, GeneralizedRelation
+from repro.core.generalized import GeneralizedDatabase
 from repro.core.rconfig import RConfig, enumerate_rconfigs
 from repro.errors import EvaluationError, TheoryError
-from repro.logic.syntax import Atom, RelationAtom
 
 
 @dataclass(frozen=True)

@@ -33,8 +33,8 @@ from typing import Any, Sequence
 from repro.constraints.base import ConstraintTheory
 from repro.core.datalog import DatalogProgram, Rule
 from repro.core.generalized import GeneralizedDatabase, GeneralizedRelation
-from repro.errors import ArityError, EvaluationError
-from repro.logic.syntax import Atom, Not, RelationAtom
+from repro.errors import EvaluationError
+from repro.logic.syntax import Atom, RelationAtom
 
 
 @dataclass(frozen=True)

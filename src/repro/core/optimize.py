@@ -21,7 +21,6 @@ ablation benchmark measures their effect.
 
 from __future__ import annotations
 
-from typing import Sequence
 
 from repro.core.generalized import GeneralizedDatabase
 from repro.logic.syntax import (

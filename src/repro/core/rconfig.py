@@ -26,7 +26,7 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Iterable, Iterator, Sequence
+from typing import Iterator, Sequence
 
 from repro.constraints.dense_order import DenseOrderTheory, OrderAtom
 from repro.constraints.terms import Const, Var
@@ -42,7 +42,6 @@ from repro.logic.syntax import (
     Or,
     RelationAtom,
     free_variables,
-    rename_variables,
 )
 
 #: bound placeholders: None in ``l`` means -infinity, None in ``u`` +infinity
@@ -221,10 +220,10 @@ def enumerate_rconfigs(
                         break
             if not valid:
                 continue
-            l = tuple(slots[slot_choice[f[i] - 1]][0] for i in range(n))
-            u = tuple(slots[slot_choice[f[i] - 1]][1] for i in range(n))
-            if is_valid_rconfig(f, l, u):
-                yield RConfig(f, l, u)
+            lows = tuple(slots[slot_choice[f[i] - 1]][0] for i in range(n))
+            highs = tuple(slots[slot_choice[f[i] - 1]][1] for i in range(n))
+            if is_valid_rconfig(f, lows, highs):
+                yield RConfig(f, lows, highs)
 
 
 def rconfig_of_point(

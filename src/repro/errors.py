@@ -68,3 +68,22 @@ class FixpointDivergenceError(ReproError):
 
 class EvaluationError(ReproError):
     """A query could not be evaluated against the given database."""
+
+
+class StaticAnalysisError(ReproError):
+    """The opt-in engine pre-flight found error-severity diagnostics.
+
+    Raised by :class:`repro.core.datalog.DatalogProgram` when constructed
+    with ``EngineOptions(analyze=True)`` and :mod:`repro.analysis` reports
+    unsuppressed errors.  ``diagnostics`` holds the offending
+    :class:`repro.analysis.Diagnostic` records.
+    """
+
+    def __init__(self, diagnostics) -> None:
+        self.diagnostics = list(diagnostics)
+        rendered = "; ".join(d.render() for d in self.diagnostics[:3])
+        if len(self.diagnostics) > 3:
+            rendered += f"; ... ({len(self.diagnostics) - 3} more)"
+        super().__init__(
+            f"static analysis found {len(self.diagnostics)} error(s): {rendered}"
+        )

@@ -25,14 +25,14 @@ secondary storage.  This package provides:
 """
 
 from repro.indexing.bptree import BPlusTree
-from repro.indexing.interval import Interval
-from repro.indexing.interval_tree import IntervalTree
-from repro.indexing.priority_search_tree import PrioritySearchTree
 from repro.indexing.generalized_index import (
     GeneralizedIndex1D,
     NaiveGeneralizedSearch,
     tuple_projection_interval,
 )
+from repro.indexing.interval import Interval
+from repro.indexing.interval_tree import IntervalTree
+from repro.indexing.priority_search_tree import PrioritySearchTree
 
 __all__ = [
     "BPlusTree",

@@ -15,7 +15,7 @@ duplicates are allowed (each key carries a list of payloads).
 from __future__ import annotations
 
 import bisect
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Iterator
 
 

@@ -17,7 +17,6 @@ inefficient, solution": add the constraint to every tuple and scan.
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Iterable
 
 from repro.constraints.dense_order import DenseOrderTheory, OrderAtom, ge, le
 from repro.constraints.terms import Const, Var

@@ -13,7 +13,6 @@ endpoints are handled exactly (an interval (a, b) does not contain a).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from fractions import Fraction
 from typing import Iterator
 

@@ -35,12 +35,11 @@ from __future__ import annotations
 import re
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Sequence
 
 from repro.constraints.base import ConstraintTheory
-from repro.constraints.dense_order import DenseOrderTheory, OrderAtom
-from repro.constraints.equality import EqualityAtom, EqualityTheory
-from repro.constraints.real_poly import PolyAtom, RealPolynomialTheory
+from repro.constraints.dense_order import DenseOrderTheory
+from repro.constraints.equality import EqualityTheory
+from repro.constraints.real_poly import RealPolynomialTheory
 from repro.constraints.terms import Const, Var
 from repro.core.datalog import Rule
 from repro.errors import ParseError

@@ -11,10 +11,10 @@ bivariate cylindrical algebraic decomposition.
 Everything is implemented from scratch; no computer-algebra dependency.
 """
 
-from repro.poly.polynomial import Polynomial, poly_const, poly_var
-from repro.poly.univariate import UPoly
 from repro.poly.algebraic import RealAlgebraic
+from repro.poly.polynomial import Polynomial, poly_const, poly_var
 from repro.poly.resultant import discriminant, resultant
+from repro.poly.univariate import UPoly
 
 __all__ = [
     "Polynomial",

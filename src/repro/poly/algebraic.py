@@ -25,7 +25,7 @@ from dataclasses import dataclass, field
 from fractions import Fraction
 
 from repro.poly.intervals import RatInterval, eval_upoly_on_interval
-from repro.poly.univariate import QQ, RootInterval, SturmContext, UPoly
+from repro.poly.univariate import RootInterval, SturmContext, UPoly
 
 
 @dataclass

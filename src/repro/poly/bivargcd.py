@@ -12,7 +12,7 @@ in the base line.
 from __future__ import annotations
 
 from repro.poly.polynomial import Polynomial
-from repro.poly.univariate import QQ, UPoly
+from repro.poly.univariate import UPoly
 
 
 def poly_to_upoly(poly: Polynomial, var: str) -> UPoly:

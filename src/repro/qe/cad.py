@@ -40,18 +40,13 @@ from typing import Sequence
 
 from repro.errors import UnsupportedEliminationError
 from repro.poly.algebraic import RealAlgebraic
-from repro.poly.bivargcd import (
-    content_in,
-    gcd_free_basis,
-    poly_to_upoly,
-    upoly_to_poly,
-)
+from repro.poly.bivargcd import content_in, gcd_free_basis, poly_to_upoly
 from repro.poly.intervals import RatInterval, eval_upoly_on_interval
 from repro.poly.numberfield import NumberField, cauchy_bound_over_field
 from repro.poly.polynomial import Polynomial
 from repro.poly.resultant import discriminant, resultant
 from repro.poly.univariate import QQ, RootInterval, SturmContext, UPoly
-from repro.qe.signs import Conj, Dnf, SignCond, dedup
+from repro.qe.signs import Dnf, SignCond, dedup
 
 
 # --------------------------------------------------------------------- cells

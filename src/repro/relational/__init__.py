@@ -9,7 +9,6 @@ analysis, so that the benchmarks can compare the classical formulation
 against the 3-line CQL one.
 """
 
-from repro.relational.relation import FiniteRelation
 from repro.relational.algebra import (
     difference,
     join,
@@ -22,6 +21,7 @@ from repro.relational.rectangles import (
     classical_rectangle_relation,
     intersecting_pairs_classical,
 )
+from repro.relational.relation import FiniteRelation
 
 __all__ = [
     "FiniteRelation",

@@ -13,7 +13,6 @@ of the example (and of the Figure 2 benchmark).
 
 from __future__ import annotations
 
-from fractions import Fraction
 from typing import Iterable
 
 from repro.geometry.rectangles import Rect

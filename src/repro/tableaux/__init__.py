@@ -17,7 +17,6 @@
   tableaux.
 """
 
-from repro.tableaux.tableau import TableauQuery, TableauRow, checkbook_query
 from repro.tableaux.affine import LinearSystem
 from repro.tableaux.containment import (
     contained_linear,
@@ -26,6 +25,7 @@ from repro.tableaux.containment import (
     symbol_mappings,
 )
 from repro.tableaux.reductions import qbf_to_tableaux
+from repro.tableaux.tableau import TableauQuery, TableauRow, checkbook_query
 
 __all__ = [
     "LinearSystem",

@@ -16,13 +16,13 @@ Constraints are polynomial sign conditions (linear equations for Theorem
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from fractions import Fraction
 from typing import Iterable, Sequence
 
 from repro.constraints.real_poly import PolyAtom, poly_eq
 from repro.errors import ArityError
-from repro.logic.syntax import Atom, RelationAtom
+from repro.logic.syntax import RelationAtom
 from repro.poly.polynomial import Polynomial
 
 

@@ -4,19 +4,19 @@ Every generator takes an explicit ``seed`` so benchmark runs are
 reproducible; values are exact rationals (no floats enter the engines).
 """
 
-from repro.workloads.spatial import (
-    random_points,
-    random_rectangles,
-    rectangles_to_generalized,
-    rectangles_to_poly_generalized,
-)
+from repro.workloads.equalities import random_equality_database
 from repro.workloads.orders import (
     interval_relation,
     random_interval_database,
     chain_edges,
     random_order_tuples,
 )
-from repro.workloads.equalities import random_equality_database
+from repro.workloads.spatial import (
+    random_points,
+    random_rectangles,
+    rectangles_to_generalized,
+    rectangles_to_poly_generalized,
+)
 
 __all__ = [
     "chain_edges",

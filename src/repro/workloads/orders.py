@@ -5,7 +5,7 @@ from __future__ import annotations
 import random
 from fractions import Fraction
 
-from repro.constraints.dense_order import DenseOrderTheory, OrderAtom, eq, le, lt, ne
+from repro.constraints.dense_order import DenseOrderTheory, OrderAtom, le
 from repro.constraints.terms import Const, Var
 from repro.core.generalized import GeneralizedDatabase, GeneralizedRelation
 

@@ -1,0 +1,127 @@
+"""Pass 5 (classifier): the paper's Section 1.3 complexity table."""
+
+import pytest
+
+from repro.analysis import (
+    LOGSPACE,
+    NC,
+    NOT_CLOSED,
+    PI2P_HARD,
+    PTIME,
+    classify_calculus,
+    classify_program,
+)
+from repro.boolean_algebra.algebra import FreeBooleanAlgebra
+from repro.constraints.boolean import BooleanTheory
+from repro.constraints.dense_order import DenseOrderTheory
+from repro.constraints.equality import EqualityTheory
+from repro.constraints.real_poly import RealPolynomialTheory
+from repro.core.datalog import Rule
+from repro.logic.parser import parse_rules
+from repro.logic.syntax import RelationAtom
+
+
+def _tc(theory):
+    return parse_rules(
+        "T(x, y) :- E(x, y). T(x, y) :- T(x, z), E(z, y).", theory=theory
+    )
+
+
+def _flat(theory):
+    return parse_rules("S(x, y) :- E(x, y).", theory=theory)
+
+
+def test_real_poly_recursive_is_not_closed():
+    theory = RealPolynomialTheory()
+    result = classify_program(_tc(theory), theory)
+    assert result.complexity_class == NOT_CLOSED
+    assert result.theorem == "Example 1.12"
+
+
+def test_real_poly_nonrecursive_is_nc():
+    theory = RealPolynomialTheory()
+    result = classify_program(_flat(theory), theory)
+    assert (result.complexity_class, result.theorem) == (NC, "Thm 2.3")
+
+
+def test_dense_nonrecursive_positive_is_logspace():
+    theory = DenseOrderTheory()
+    result = classify_program(_flat(theory), theory)
+    assert (result.complexity_class, result.theorem) == (LOGSPACE, "Thm 3.14.1")
+
+
+def test_dense_recursive_is_ptime():
+    theory = DenseOrderTheory()
+    result = classify_program(_tc(theory), theory)
+    assert (result.complexity_class, result.theorem) == (PTIME, "Thm 3.14.2")
+
+
+def test_dense_negation_is_ptime_even_without_recursion():
+    theory = DenseOrderTheory()
+    rules = parse_rules("S(x) :- V(x), not E(x).", theory=theory)
+    result = classify_program(rules, theory)
+    assert (result.complexity_class, result.theorem) == (PTIME, "Thm 3.14.2")
+
+
+def test_linear_recursion_gets_the_fringe_note():
+    theory = DenseOrderTheory()
+    result = classify_program(_tc(theory), theory)
+    assert result.note is not None and "Thm 3.21" in result.note
+
+
+def test_nonlinear_recursion_has_no_fringe_note():
+    theory = DenseOrderTheory()
+    rules = parse_rules(
+        "T(x, y) :- E(x, y). T(x, y) :- T(x, z), T(z, y).", theory=theory
+    )
+    result = classify_program(rules, theory)
+    assert result.note is None
+
+
+def test_equality_table_rows():
+    theory = EqualityTheory()
+    assert classify_program(_flat(theory), theory).theorem == "Thm 4.11.1"
+    assert classify_program(_flat(theory), theory).complexity_class == LOGSPACE
+    recursive = classify_program(_tc(theory), theory)
+    assert (recursive.complexity_class, recursive.theorem) == (PTIME, "Thm 4.11.2")
+
+
+def test_boolean_is_closed_but_pi2p_hard():
+    theory = BooleanTheory(FreeBooleanAlgebra.with_generators(2))
+    rules = [
+        Rule(RelationAtom("T", ("x",)), (RelationAtom("E", ("x",)),)),
+        Rule(RelationAtom("T", ("x",)), (RelationAtom("T", ("x",)),)),
+    ]
+    result = classify_program(rules, theory)
+    assert result.complexity_class == PI2P_HARD
+    assert "5.6" in result.theorem and "5.11" in result.theorem
+
+
+@pytest.mark.parametrize(
+    ("factory", "expected_class", "expected_theorem"),
+    [
+        (DenseOrderTheory, LOGSPACE, "Thm 3.14.1"),
+        (EqualityTheory, LOGSPACE, "Thm 4.11.1"),
+        (RealPolynomialTheory, NC, "Thm 2.3"),
+        (
+            lambda: BooleanTheory(FreeBooleanAlgebra.with_generators(2)),
+            PI2P_HARD,
+            "Thm 5.11",
+        ),
+    ],
+)
+def test_calculus_table(factory, expected_class, expected_theorem):
+    result = classify_calculus(factory())
+    assert (result.complexity_class, result.theorem) == (
+        expected_class,
+        expected_theorem,
+    )
+
+
+def test_classification_round_trips():
+    theory = DenseOrderTheory()
+    result = classify_program(_tc(theory), theory)
+    data = result.as_dict()
+    assert data["complexity_class"] == PTIME
+    assert data["theorem"] == "Thm 3.14.2"
+    assert "fixpoint" in data["rationale"]

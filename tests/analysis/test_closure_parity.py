@@ -1,0 +1,98 @@
+"""Pass 3 (closure): the analyzer and the engine guard must agree.
+
+The runtime guard in ``DatalogProgram.__init__`` delegates to
+``repro.analysis.closure.not_closed_recursion``; these tests pin the parity
+contract across all four theories and both recursion shapes:
+
+    analyzer reports CQL010  <=>  engine raises NotClosedError
+"""
+
+import pytest
+
+from repro.analysis import NOT_CLOSED_MESSAGE, analyze_program, not_closed_recursion
+from repro.boolean_algebra.algebra import FreeBooleanAlgebra
+from repro.constraints.boolean import BooleanTheory
+from repro.constraints.dense_order import DenseOrderTheory
+from repro.constraints.equality import EqualityTheory
+from repro.constraints.real_poly import RealPolynomialTheory
+from repro.core.datalog import DatalogProgram, Rule
+from repro.errors import NotClosedError
+from repro.logic.syntax import RelationAtom
+
+THEORIES = {
+    "dense_order": DenseOrderTheory,
+    "equality": EqualityTheory,
+    "real_poly": RealPolynomialTheory,
+    "boolean": lambda: BooleanTheory(FreeBooleanAlgebra.with_generators(2)),
+}
+
+
+def _tc_rules():
+    """Transitive closure: the canonical recursive program (Example 1.12
+    shape), built without constraint atoms so every theory accepts it."""
+    return [
+        Rule(RelationAtom("T", ("x", "y")), (RelationAtom("E", ("x", "y")),)),
+        Rule(
+            RelationAtom("T", ("x", "y")),
+            (RelationAtom("T", ("x", "z")), RelationAtom("E", ("z", "y"))),
+        ),
+    ]
+
+
+def _flat_rules():
+    return [
+        Rule(RelationAtom("S", ("x", "y")), (RelationAtom("E", ("x", "y")),)),
+    ]
+
+
+def _engine_raises(rules, theory) -> bool:
+    try:
+        DatalogProgram(rules, theory)
+    except NotClosedError:
+        return True
+    return False
+
+
+@pytest.mark.parametrize("name", sorted(THEORIES))
+@pytest.mark.parametrize(
+    "make_rules", [_tc_rules, _flat_rules], ids=["recursive", "nonrecursive"]
+)
+def test_analyzer_and_engine_agree(name, make_rules):
+    theory = THEORIES[name]()
+    rules = make_rules()
+    verdict = not_closed_recursion(rules, theory)
+    assert verdict == _engine_raises(rules, theory)
+    report = analyze_program(rules, theory)
+    assert bool(report.by_code("CQL010")) == verdict
+    # only real_poly + recursion is refused
+    assert verdict == (name == "real_poly" and make_rules is _tc_rules)
+
+
+def test_engine_error_message_is_the_shared_constant():
+    with pytest.raises(NotClosedError) as excinfo:
+        DatalogProgram(_tc_rules(), RealPolynomialTheory())
+    assert str(excinfo.value) == NOT_CLOSED_MESSAGE
+
+
+def test_escape_hatch_still_works():
+    program = DatalogProgram(
+        _tc_rules(), RealPolynomialTheory(), allow_unsafe_recursion=True
+    )
+    assert program.is_recursive()
+
+
+def test_cql010_carries_the_runtime_message():
+    report = analyze_program(_tc_rules(), RealPolynomialTheory())
+    (diagnostic,) = report.by_code("CQL010")
+    assert NOT_CLOSED_MESSAGE in diagnostic.message
+    assert not report.ok
+
+
+def test_mutual_recursion_is_also_refused():
+    rules = [
+        Rule(RelationAtom("P", ("x",)), (RelationAtom("Q", ("x",)),)),
+        Rule(RelationAtom("Q", ("x",)), (RelationAtom("P", ("x",)),)),
+    ]
+    theory = RealPolynomialTheory()
+    assert not_closed_recursion(rules, theory)
+    assert _engine_raises(rules, theory)

@@ -1,0 +1,74 @@
+"""Pass 4 (dead code): CQL020/021/022."""
+
+import pytest
+
+from repro.analysis import analyze_program, check_dead_code
+from repro.constraints.dense_order import DenseOrderTheory
+from repro.logic.parser import parse_rules
+
+
+@pytest.fixture
+def dense():
+    return DenseOrderTheory()
+
+
+def _codes(diagnostics):
+    return sorted(d.code for d in diagnostics)
+
+
+def test_unsatisfiable_body_is_cql020(dense):
+    rules = parse_rules("P(x) :- E(x), x < 1, x > 2.", theory=dense)
+    diagnostics = check_dead_code(rules, dense)
+    assert _codes(diagnostics) == ["CQL020"]
+    assert diagnostics[0].rule_index == 0
+
+
+def test_satisfiable_body_is_clean(dense):
+    rules = parse_rules("P(x) :- E(x), x > 1, x < 2.", theory=dense)
+    assert check_dead_code(rules, dense) == []
+
+
+def test_emptiness_propagates_to_cql022(dense):
+    rules = parse_rules(
+        "Mid(x) :- E(x), x < 1, x > 2. Out(x) :- Mid(x). Far(x) :- Out(x).",
+        theory=dense,
+    )
+    diagnostics = check_dead_code(rules, dense)
+    assert _codes(diagnostics) == ["CQL020", "CQL022", "CQL022"]
+    dead = [d for d in diagnostics if d.code == "CQL022"]
+    assert {d.predicate for d in dead} == {"Out", "Far"}
+
+
+def test_alternative_live_rule_blocks_propagation(dense):
+    # Mid has a second, satisfiable rule: not provably empty
+    rules = parse_rules(
+        "Mid(x) :- E(x), x < 1, x > 2. Mid(x) :- E(x). Out(x) :- Mid(x).",
+        theory=dense,
+    )
+    diagnostics = check_dead_code(rules, dense)
+    assert _codes(diagnostics) == ["CQL020"]
+
+
+def test_edb_predicates_are_never_assumed_empty(dense):
+    rules = parse_rules("P(x) :- Unknown(x).", theory=dense)
+    assert check_dead_code(rules, dense) == []
+
+
+def test_unused_predicate_needs_a_target(dense):
+    rules = parse_rules("T(x) :- E(x). Aux(x) :- E(x).", theory=dense)
+    assert check_dead_code(rules, dense) == []
+    diagnostics = check_dead_code(rules, dense, target="T")
+    assert _codes(diagnostics) == ["CQL021"]
+    assert diagnostics[0].predicate == "Aux"
+
+
+def test_target_reaches_its_support(dense):
+    rules = parse_rules("T(x) :- S(x). S(x) :- E(x).", theory=dense)
+    assert check_dead_code(rules, dense, target="T") == []
+
+
+def test_analyze_program_threads_the_target(dense):
+    rules = parse_rules("T(x) :- E(x). Aux(x) :- E(x).", theory=dense)
+    report = analyze_program(rules, dense, target="T")
+    assert [d.code for d in report.by_code("CQL021")] == ["CQL021"]
+    assert report.ok  # warnings only

@@ -1,0 +1,73 @@
+"""Property: every conformance-generated program analyzes clean, and the
+classifier lands on the complexity class the generator's shape implies.
+
+This is the static half of the differential harness contract: ``run_case``
+gates every spec through ``analyze_spec`` before the strategy fan-out, so a
+generator emitting an ill-formed program would surface both here and as a
+``lint`` discrepancy in the conformance loop.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis import LOGSPACE, NC, PI2P_HARD, PTIME
+from repro.conformance.generators import THEORY_NAMES, generate_case
+from repro.conformance.runner import analyze_spec
+
+#: generated datalog shapes per theory: dense/equality/boolean emit
+#: transitive-closure-style recursion, real_poly stays nonrecursive
+#: (Example 1.12 forbids the recursive shape there)
+DATALOG_CLASSES = {
+    "dense_order": {PTIME},
+    "equality": {PTIME},
+    "boolean": {PI2P_HARD},
+    "real_poly": {NC},
+}
+
+CALCULUS_CLASSES = {
+    "dense_order": {LOGSPACE},
+    "equality": {LOGSPACE},
+    "boolean": {PI2P_HARD},
+    "real_poly": {NC},
+}
+
+
+@given(
+    theory=st.sampled_from(sorted(THEORY_NAMES)),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_generated_programs_analyze_clean(theory, seed):
+    spec = generate_case(theory, seed)
+    report = analyze_spec(spec)
+    assert report.ok, [d.render() for d in report.errors()]
+    assert report.theory == spec.theory
+
+
+@given(
+    theory=st.sampled_from(sorted(THEORY_NAMES)),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_classifier_matches_the_generated_shape(theory, seed):
+    spec = generate_case(theory, seed)
+    report = analyze_spec(spec)
+    if spec.kind == "datalog":
+        expected = DATALOG_CLASSES[theory]
+        if theory in ("dense_order", "equality") and not report.recursive:
+            # small seeds occasionally emit nonrecursive rule sets
+            expected = expected | {LOGSPACE}
+    else:  # calculus and qe kinds classify as calculus queries
+        expected = CALCULUS_CLASSES[theory]
+    assert report.complexity_class in expected, (
+        spec.kind,
+        report.complexity_class,
+    )
+    assert report.theorem
+
+
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+def test_real_poly_datalog_cases_stay_nonrecursive(seed):
+    spec = generate_case("real_poly", seed)
+    report = analyze_spec(spec)
+    if spec.kind == "datalog":
+        assert not report.recursive
+        assert not report.by_code("CQL010")

@@ -1,0 +1,100 @@
+"""Pass 2 (dependency graph): SCCs, recursion, stratifiability."""
+
+import pytest
+
+from repro.analysis import analyze_program, build_dependency_graph
+from repro.constraints.dense_order import DenseOrderTheory
+
+
+@pytest.fixture
+def dense():
+    return DenseOrderTheory()
+
+
+def _rules(text, theory):
+    from repro.logic.parser import parse_rules
+
+    return parse_rules(text, theory=theory)
+
+
+def test_idb_edb_partition(dense):
+    graph = build_dependency_graph(
+        _rules("T(x, y) :- E(x, y). S(x) :- T(x, x).", dense)
+    )
+    assert graph.idb == {"T", "S"}
+    assert graph.edb == {"E"}
+
+
+def test_self_loop_is_recursive(dense):
+    graph = build_dependency_graph(
+        _rules("T(x, y) :- E(x, y). T(x, y) :- T(x, z), E(z, y).", dense)
+    )
+    assert graph.is_recursive()
+    assert graph.recursive_predicates() == {"T"}
+
+
+def test_mutual_recursion_shares_an_scc(dense):
+    graph = build_dependency_graph(
+        _rules("P(x) :- Q(x). Q(x) :- P(x). R(x) :- P(x).", dense)
+    )
+    assert graph.in_same_scc("P", "Q")
+    assert not graph.in_same_scc("R", "P")
+    assert graph.recursive_predicates() == {"P", "Q"}
+
+
+def test_sccs_are_reverse_topological(dense):
+    graph = build_dependency_graph(
+        _rules("A(x) :- B(x). B(x) :- C(x). C(x) :- E(x).", dense)
+    )
+    order = {scc: i for i, scc in enumerate(graph.sccs)}
+    # callee components come out before their callers
+    assert order[("E",)] < order[("C",)] < order[("B",)] < order[("A",)]
+
+
+def test_nonrecursive_program(dense):
+    graph = build_dependency_graph(_rules("S(x) :- E(x, x).", dense))
+    assert not graph.is_recursive()
+    assert graph.is_stratifiable()
+
+
+def test_stratified_negation_is_fine(dense):
+    rules = _rules(
+        "T(x, y) :- E(x, y). T(x, y) :- T(x, z), E(z, y). "
+        "S(x, y) :- V(x), V(y), not T(x, y).",
+        dense,
+    )
+    graph = build_dependency_graph(rules)
+    assert graph.is_stratifiable()
+    assert graph.recursive_negative_edges() == frozenset()
+    report = analyze_program(rules, dense)
+    assert report.stratifiable
+    assert not report.by_code("CQL007")
+
+
+def test_negation_through_recursion_is_cql007(dense):
+    rules = _rules("P(x) :- V(x), not Q(x). Q(x) :- V(x), not P(x).", dense)
+    graph = build_dependency_graph(rules)
+    assert not graph.is_stratifiable()
+    report = analyze_program(rules, dense)
+    found = report.by_code("CQL007")
+    assert len(found) == 1
+    assert found[0].severity == "warning"
+    assert not report.stratifiable
+    assert report.ok  # a warning, not an error
+
+
+def test_reachability(dense):
+    graph = build_dependency_graph(
+        _rules("A(x) :- B(x). B(x) :- E(x). C(x) :- E(x).", dense)
+    )
+    assert graph.reachable_from("A") == {"A", "B", "E"}
+    assert "C" not in graph.reachable_from("A")
+
+
+def test_deep_chain_does_not_hit_recursion_limit(dense):
+    # 3000-predicate chain: the iterative Tarjan must not blow the stack
+    text = " ".join(f"P{i}(x) :- P{i + 1}(x)." for i in range(3000))
+    text += " P3000(x) :- E(x)."
+    graph = build_dependency_graph(_rules(text, dense))
+    assert len(graph.sccs) == 3002
+    assert not graph.is_recursive()

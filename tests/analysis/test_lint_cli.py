@@ -1,0 +1,159 @@
+"""The ``python -m repro lint`` CLI: directives, output modes, exit codes."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.diagnostics import ProgramReport
+from repro.analysis.lint import lint_text, main
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples" / "programs"
+
+TC_DENSE = """\
+# theory: dense_order
+# target: T
+# relation: E/2
+T(x, y) :- E(x, y).
+T(x, y) :- T(x, z), E(z, y).
+"""
+
+EX112 = """\
+# theory: real_poly
+G(x, y) :- y = 2 * x.
+T(x, y) :- G(x, y).
+T(x, y) :- T(x, z), G(z, y).
+"""
+
+
+def test_lint_text_classifies_dense_tc():
+    report = lint_text(TC_DENSE)
+    assert report.ok
+    assert (report.complexity_class, report.theorem) == ("PTIME", "Thm 3.14.2")
+    assert report.idb == ("T",) and report.edb == ("E",)
+
+
+def test_lint_text_reports_cql010_on_example_112():
+    report = lint_text(EX112)
+    assert not report.ok
+    assert [d.code for d in report.errors()] == ["CQL010"]
+    assert report.complexity_class == "not-closed"
+
+
+def test_allow_pragma_suppresses_but_still_reports():
+    report = lint_text("# cqlint: allow(CQL010)\n" + EX112)
+    assert report.ok
+    (diagnostic,) = report.by_code("CQL010")
+    assert diagnostic.suppressed
+    assert "(suppressed)" in diagnostic.render()
+
+
+def test_parse_error_is_cql000():
+    report = lint_text("T(x :- E(x).")
+    assert [d.code for d in report.errors()] == ["CQL000"]
+
+
+def test_unsafe_rule_is_cql001():
+    report = lint_text("T(x, y) :- E(x).")
+    assert [d.code for d in report.errors()] == ["CQL001"]
+
+
+def test_calculus_kind_with_output_schema():
+    report = lint_text(
+        "# kind: calculus\n# output: x\nexists y . R(x) and x < y\n"
+    )
+    assert report.kind == "calculus"
+    assert report.ok
+    assert (report.complexity_class, report.theorem) == ("LOGSPACE", "Thm 3.14.1")
+
+
+def test_calculus_output_mismatch_is_cql006():
+    report = lint_text("# kind: calculus\n# output: x, z\nexists y . R(x) and x < y\n")
+    assert [d.code for d in report.errors()] == ["CQL006"]
+
+
+def test_cli_exit_codes(tmp_path, capsys):
+    good = tmp_path / "good.cql"
+    good.write_text(TC_DENSE)
+    bad = tmp_path / "bad.cql"
+    bad.write_text(EX112)
+    assert main([str(good)]) == 0
+    assert main([str(bad)]) == 1
+    capsys.readouterr()
+    # warnings fail only under --strict
+    warn = tmp_path / "warn.cql"
+    warn.write_text("P(x) :- E(x), x < 1, x > 2.\n")
+    assert main([str(warn)]) == 0
+    assert main([str(warn), "--strict"]) == 1
+    assert main([str(tmp_path / "missing.cql")]) == 2
+    capsys.readouterr()
+
+
+def test_cli_json_round_trips(tmp_path, capsys):
+    path = tmp_path / "tc.cql"
+    path.write_text(TC_DENSE)
+    assert main([str(path), "--json"]) == 0
+    document = json.loads(capsys.readouterr().out)
+    assert document["ok"] is True
+    report = ProgramReport.from_dict(document["files"][0]["report"])
+    assert report.as_dict() == document["files"][0]["report"]
+    assert report.complexity_class == "PTIME"
+
+
+def test_cli_stats_records_benchjson(tmp_path, capsys, monkeypatch):
+    bench = tmp_path / "bench.json"
+    monkeypatch.setenv("REPRO_BENCH_JSON", str(bench))
+    path = tmp_path / "tc.cql"
+    path.write_text(TC_DENSE)
+    assert main([str(path), "--stats"]) == 0
+    out = capsys.readouterr().out
+    assert "per-pass seconds:" in out
+    recorded = json.loads(bench.read_text())["records"]["lint_stats"]
+    assert recorded["files"] == 1
+    assert set(recorded["pass_seconds"]) == {
+        "well_formedness",
+        "dependencies",
+        "closure",
+        "dead_code",
+        "classification",
+    }
+
+
+def test_cli_lints_a_directory(tmp_path, capsys):
+    (tmp_path / "a.cql").write_text(TC_DENSE)
+    (tmp_path / "b.cql").write_text("# cqlint: allow(CQL010)\n" + EX112)
+    assert main([str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "2 file(s) linted: ok" in out
+    assert "(suppressed)" in out
+
+
+def test_cli_lints_a_spec_json(tmp_path, capsys):
+    from repro.conformance.generators import generate_case
+
+    spec = generate_case("dense_order", 7)
+    path = tmp_path / "case.json"
+    path.write_text(json.dumps({"spec": spec.as_dict()}))
+    assert main([str(path)]) == 0
+    capsys.readouterr()
+
+
+@pytest.mark.parametrize(
+    ("name", "expect_exit"),
+    [
+        ("transitive_closure_dense.cql", 0),
+        ("ex112_not_closed.cql", 0),  # CQL010 suppressed by its pragma
+        ("stratified_unreachable.cql", 0),
+        ("dead_rules_demo.cql", 0),
+        ("between_query.cql", 0),
+    ],
+)
+def test_shipped_examples_lint_clean(name, expect_exit, capsys):
+    assert main([str(EXAMPLES / name)]) == expect_exit
+    capsys.readouterr()
+
+
+def test_shipped_ex112_reports_the_diagnostic(capsys):
+    main([str(EXAMPLES / "ex112_not_closed.cql")])
+    out = capsys.readouterr().out
+    assert "CQL010" in out and "(suppressed)" in out

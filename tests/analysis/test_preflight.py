@@ -1,0 +1,73 @@
+"""The opt-in engine pre-flight (``EngineOptions(analyze=True)``)."""
+
+import pytest
+
+from repro.constraints.dense_order import DenseOrderTheory
+from repro.constraints.equality import EqualityAtom
+from repro.constraints.real_poly import RealPolynomialTheory
+from repro.constraints.terms import Var
+from repro.core.datalog import DatalogProgram, EngineOptions, Rule
+from repro.errors import StaticAnalysisError
+from repro.logic.parser import parse_rules
+from repro.logic.syntax import RelationAtom
+
+
+def _mismatched_rules():
+    """Passes Rule's constructor and the arity check, but carries a
+    constraint atom of the wrong theory (CQL003)."""
+    return [
+        Rule(
+            RelationAtom("P", ("x",)),
+            (RelationAtom("E", ("x",)), EqualityAtom("=", Var("x"), Var("y"))),
+        )
+    ]
+
+
+def test_default_options_skip_the_preflight():
+    DatalogProgram(_mismatched_rules(), DenseOrderTheory())
+
+
+def test_analyze_true_raises_on_error_diagnostics():
+    with pytest.raises(StaticAnalysisError) as excinfo:
+        DatalogProgram(
+            _mismatched_rules(),
+            DenseOrderTheory(),
+            options=EngineOptions(analyze=True),
+        )
+    assert any(d.code == "CQL003" for d in excinfo.value.diagnostics)
+    assert "CQL003" in str(excinfo.value)
+
+
+def test_clean_program_passes_the_preflight():
+    theory = DenseOrderTheory()
+    rules = parse_rules(
+        "T(x, y) :- E(x, y). T(x, y) :- T(x, z), E(z, y).", theory=theory
+    )
+    program = DatalogProgram(rules, theory, options=EngineOptions(analyze=True))
+    assert program.is_recursive()
+
+
+def test_warnings_do_not_raise():
+    theory = DenseOrderTheory()
+    rules = parse_rules("P(x) :- E(x), x < 1, x > 2.", theory=theory)  # CQL020
+    DatalogProgram(rules, theory, options=EngineOptions(analyze=True))
+
+
+def test_unsafe_recursion_opt_in_filters_cql010():
+    theory = RealPolynomialTheory()
+    rules = parse_rules(
+        "T(x, y) :- E(x, y). T(x, y) :- T(x, z), E(z, y).", theory=theory
+    )
+    # the guard is bypassed by allow_unsafe_recursion; the pre-flight must
+    # not re-raise the very condition the caller just opted into
+    DatalogProgram(
+        rules,
+        theory,
+        allow_unsafe_recursion=True,
+        options=EngineOptions(analyze=True),
+    )
+
+
+def test_analyze_flag_is_not_an_ablation_dimension():
+    assert "analyze" not in EngineOptions().as_dict()
+    assert EngineOptions.all_off().analyze is False

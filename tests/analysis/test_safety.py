@@ -1,0 +1,135 @@
+"""Pass 1 (well-formedness): CQL001-CQL005."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.analysis import analyze_program, check_safety
+from repro.analysis.diagnostics import CODES, Diagnostic
+from repro.constraints.dense_order import DenseOrderTheory, OrderAtom
+from repro.constraints.equality import EqualityAtom
+from repro.constraints.terms import Var
+from repro.core.datalog import Rule
+from repro.logic.parser import parse_rules
+from repro.logic.syntax import RelationAtom
+
+
+@dataclass(frozen=True)
+class _LooseRule:
+    """A RuleLike that skips Rule's constructor safety guard."""
+
+    head: RelationAtom
+    body: tuple
+
+    @property
+    def positive_atoms(self):
+        return [a for a in self.body if isinstance(a, RelationAtom)]
+
+    @property
+    def negative_atoms(self):
+        return []
+
+    @property
+    def constraint_atoms(self):
+        return [a for a in self.body if not isinstance(a, RelationAtom)]
+
+    def __str__(self):
+        return f"{self.head} :- {', '.join(str(a) for a in self.body)}"
+
+
+@pytest.fixture
+def dense():
+    return DenseOrderTheory()
+
+
+def _codes(diagnostics):
+    return [d.code for d in diagnostics]
+
+
+def test_clean_program_has_no_findings(dense):
+    rules = parse_rules(
+        "T(x, y) :- E(x, y). T(x, y) :- T(x, z), E(z, y).", theory=dense
+    )
+    assert check_safety(rules, dense) == []
+
+
+def test_unsafe_head_variable_is_cql001(dense):
+    rule = _LooseRule(
+        RelationAtom("P", ("x", "y")), (RelationAtom("E", ("x",)),)
+    )
+    diagnostics = check_safety([rule], dense)
+    assert _codes(diagnostics) == ["CQL001"]
+    assert "['y']" in diagnostics[0].message
+
+
+def test_head_variable_bound_by_constraint_is_safe(dense):
+    # y occurs only in the constraint x < y: safe (closed-form binding)
+    rules = parse_rules("P(x, y) :- E(x, x), x < y.", theory=dense)
+    assert check_safety(rules, dense) == []
+
+
+def test_arity_mismatch_is_cql002(dense):
+    rules = [
+        Rule(RelationAtom("P", ("x",)), (RelationAtom("E", ("x", "y")),)),
+        Rule(RelationAtom("Q", ("x",)), (RelationAtom("E", ("x",)),)),
+    ]
+    diagnostics = check_safety(rules, dense)
+    assert _codes(diagnostics) == ["CQL002"]
+    assert diagnostics[0].predicate == "E"
+    assert diagnostics[0].rule_index == 1
+
+
+def test_edb_schema_feeds_the_arity_check(dense):
+    rules = parse_rules("P(x) :- E(x, x).", theory=dense)
+    assert check_safety(rules, dense) == []
+    diagnostics = check_safety(rules, dense, edb_schemas={"E": 3})
+    assert _codes(diagnostics) == ["CQL002"]
+
+
+def test_wrong_theory_atom_is_cql003(dense):
+    rule = Rule(
+        RelationAtom("P", ("x",)),
+        (RelationAtom("E", ("x",)), EqualityAtom("=", Var("x"), Var("x"))),
+    )
+    diagnostics = check_safety([rule], dense)
+    assert _codes(diagnostics) == ["CQL003"]
+
+
+def test_constraint_only_variable_is_cql004(dense):
+    rule = Rule(
+        RelationAtom("P", ("x",)),
+        (RelationAtom("E", ("x",)), OrderAtom("<", Var("z"), Var("x"))),
+    )
+    diagnostics = check_safety([rule], dense)
+    assert _codes(diagnostics) == ["CQL004"]
+    assert "['z']" in diagnostics[0].message
+
+
+def test_duplicate_rule_is_cql005(dense):
+    rules = parse_rules("P(x) :- E(x). P(x) :- E(x).", theory=dense)
+    diagnostics = check_safety(rules, dense)
+    assert _codes(diagnostics) == ["CQL005"]
+    assert diagnostics[0].rule_index == 1
+
+
+def test_report_collects_and_sorts_by_severity(dense):
+    rules = parse_rules(
+        "P(x) :- E(x). P(x) :- E(x). Q(x, y) :- E(x), x < y.", theory=dense
+    )
+    report = analyze_program(rules, dense)
+    codes = [d.code for d in report.diagnostics]
+    # severity-major ordering: warnings before the CQL030 info record
+    assert codes == ["CQL005", "CQL030"]
+    assert report.ok
+
+
+def test_every_code_has_registry_metadata():
+    for code, info in CODES.items():
+        assert info.code == code
+        assert info.slug and info.summary
+        assert info.severity in ("error", "warning", "info")
+
+
+def test_unknown_code_rejected():
+    with pytest.raises(ValueError):
+        Diagnostic("CQL999", "nope")

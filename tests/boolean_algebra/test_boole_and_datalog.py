@@ -23,7 +23,6 @@ from repro.boolean_algebra.terms import (
     BOr,
     BVar,
     BXor,
-    BZero,
     standard_constants,
     table_evaluate,
     term_table,

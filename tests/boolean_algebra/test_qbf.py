@@ -1,6 +1,5 @@
 """Tests for Lemma 5.9 and the Theorem 5.11 Datalog reduction."""
 
-import itertools
 
 import pytest
 from hypothesis import given, settings, strategies as st

@@ -5,7 +5,7 @@ import pytest
 
 from repro.boolean_algebra.algebra import FreeBooleanAlgebra
 from repro.boolean_algebra.terms import BAnd, BConst, BNot, BOne, BOr, BVar, BXor
-from repro.constraints.boolean import BooleanConstraintAtom, BooleanTheory
+from repro.constraints.boolean import BooleanTheory
 from repro.core.generalized import GeneralizedRelation
 from repro.errors import TheoryError
 

@@ -10,7 +10,6 @@ from repro.constraints.dense_order import (
     OrderAtom,
     between,
     eq,
-    ge,
     gt,
     le,
     lt,

@@ -9,11 +9,10 @@ disequality-projection bug.
 
 from fractions import Fraction
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.constraints.real_poly import PolyAtom, RealPolynomialTheory, poly_eq
-from repro.poly.polynomial import Polynomial, poly_var
+from repro.poly.polynomial import poly_var
 
 theory = RealPolynomialTheory()
 x = poly_var("x")

@@ -1,9 +1,8 @@
 """Tests for the TheoryCache memo layer on ConstraintTheory."""
 
-from fractions import Fraction
 
 from repro.constraints.base import TheoryCache
-from repro.constraints.dense_order import DenseOrderTheory, le, lt, ne
+from repro.constraints.dense_order import DenseOrderTheory, le, lt
 from repro.constraints.real_poly import RealPolynomialTheory, poly_lt
 from repro.core.datalog import DatalogProgram, EngineOptions
 from repro.core.generalized import GeneralizedDatabase

@@ -5,7 +5,7 @@ from fractions import Fraction
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.constraints.dense_order import DenseOrderTheory, eq, le, lt, ne
+from repro.constraints.dense_order import DenseOrderTheory, eq, le, lt
 from repro.core.algebra import (
     complement,
     difference,

@@ -4,11 +4,10 @@ from fractions import Fraction
 
 import pytest
 
-from repro.constraints.dense_order import DenseOrderTheory, eq, le, lt, ne
+from repro.constraints.dense_order import DenseOrderTheory, eq, le, lt
 from repro.constraints.equality import EqualityTheory
 from repro.constraints.equality import eq as eeq
-from repro.constraints.equality import ne as ene
-from repro.constraints.real_poly import RealPolynomialTheory, poly_eq, poly_le, poly_lt
+from repro.constraints.real_poly import RealPolynomialTheory, poly_eq, poly_le
 from repro.core.calculus import complement_dnf, evaluate_boolean_query, evaluate_calculus
 from repro.core.generalized import GeneralizedDatabase
 from repro.errors import ArityError, EvaluationError

@@ -4,9 +4,9 @@ from fractions import Fraction
 
 import pytest
 
-from repro.constraints.dense_order import DenseOrderTheory, eq, le, lt, ne
+from repro.constraints.dense_order import DenseOrderTheory, le, lt
 from repro.constraints.equality import EqualityTheory
-from repro.constraints.equality import eq as eeq, ne as ene
+from repro.constraints.equality import ne as ene
 from repro.constraints.real_poly import RealPolynomialTheory, poly_eq
 from repro.core.datalog import DatalogProgram, Rule
 from repro.core.generalized import GeneralizedDatabase

@@ -1,12 +1,10 @@
 """Tests for e-configurations and equality EVAL-phi (Section 4)."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.constraints.equality import EqualityTheory, eq, ne
+from repro.constraints.equality import EqualityTheory, ne
 from repro.core.calculus import evaluate_calculus
 from repro.core.econfig import (
-    EConfig,
     OTHER,
     econfig_of_point,
     enumerate_econfigs,
@@ -15,7 +13,7 @@ from repro.core.econfig import (
 )
 from repro.core.generalized import GeneralizedDatabase
 from repro.logic.parser import parse_query
-from repro.logic.syntax import Exists, Not, RelationAtom
+from repro.logic.syntax import Not, RelationAtom
 
 theory = EqualityTheory()
 CONSTANTS = [1, 2]

@@ -2,10 +2,9 @@
 
 from fractions import Fraction
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.constraints.dense_order import DenseOrderTheory, eq, le, lt, ne
+from repro.constraints.dense_order import DenseOrderTheory, le, lt
 from repro.core.calculus import evaluate_calculus
 from repro.core.generalized import GeneralizedDatabase
 from repro.core.optimize import optimize

@@ -2,14 +2,12 @@
 
 from fractions import Fraction
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.constraints.dense_order import DenseOrderTheory, eq, le, lt, ne
-from repro.core.generalized import GeneralizedDatabase
+from repro.constraints.dense_order import DenseOrderTheory, eq, le, lt
 from repro.core.calculus import evaluate_calculus
+from repro.core.generalized import GeneralizedDatabase
 from repro.core.rconfig import (
-    RConfig,
     boolean_eval,
     enumerate_rconfigs,
     evaluate_query_rconfig,

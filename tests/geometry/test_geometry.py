@@ -2,7 +2,6 @@
 
 from fractions import Fraction
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.geometry.convex_hull import convex_hull_graham, convex_hull_naive, in_triangle

@@ -1,7 +1,6 @@
 """Tests for the B+-tree (the paper's relational 1-d searching baseline)."""
 
 import math
-import random
 from fractions import Fraction
 
 import pytest

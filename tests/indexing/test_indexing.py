@@ -1,21 +1,20 @@
 """Tests for intervals, the interval tree, the PST, and the generalized index."""
 
-import random
 from fractions import Fraction
 
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.constraints.dense_order import DenseOrderTheory, eq, le, lt, ne
+from repro.constraints.dense_order import DenseOrderTheory, eq, le, lt
 from repro.core.generalized import GeneralizedRelation, GeneralizedTuple
-from repro.indexing.interval import Interval
-from repro.indexing.interval_tree import IntervalTree
-from repro.indexing.priority_search_tree import Point, PrioritySearchTree
 from repro.indexing.generalized_index import (
     GeneralizedIndex1D,
     NaiveGeneralizedSearch,
     tuple_projection_interval,
 )
+from repro.indexing.interval import Interval
+from repro.indexing.interval_tree import IntervalTree
+from repro.indexing.priority_search_tree import Point, PrioritySearchTree
 
 order = DenseOrderTheory()
 

@@ -4,7 +4,7 @@ from fractions import Fraction
 
 import pytest
 
-from repro.constraints.dense_order import DenseOrderTheory, eq, le, lt
+from repro.constraints.dense_order import DenseOrderTheory, le, lt
 from repro.constraints.equality import EqualityTheory
 from repro.constraints.real_poly import RealPolynomialTheory
 from repro.errors import ParseError

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.constraints.dense_order import eq, lt
+from repro.constraints.dense_order import lt
 
 from repro.logic.syntax import (
     And,

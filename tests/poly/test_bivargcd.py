@@ -1,8 +1,6 @@
 """Tests for contents, primitive parts, bivariate GCDs and gcd-free bases."""
 
-from fractions import Fraction
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.poly.bivargcd import (

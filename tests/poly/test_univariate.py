@@ -5,7 +5,7 @@ from fractions import Fraction
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.poly.univariate import QQ, RootInterval, SturmContext, UPoly
+from repro.poly.univariate import SturmContext, UPoly
 
 
 def up(*coeffs):

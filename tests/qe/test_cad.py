@@ -7,8 +7,8 @@ from hypothesis import given, settings, strategies as st
 
 from repro.errors import UnsupportedEliminationError
 from repro.poly.polynomial import poly_var
+from repro.poly.univariate import UPoly
 from repro.qe.cad import cad_eliminate, cad_satisfiable, decompose_line
-from repro.poly.univariate import QQ, SturmContext, UPoly
 from repro.qe.signs import SignCond, dnf_holds
 
 x = poly_var("x")

@@ -2,7 +2,6 @@
 
 from fractions import Fraction
 
-import pytest
 
 from repro.poly.algebraic import RealAlgebraic
 from repro.poly.numberfield import NumberField, cauchy_bound_over_field

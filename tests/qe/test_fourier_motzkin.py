@@ -5,7 +5,7 @@ from fractions import Fraction
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.poly.polynomial import Polynomial, poly_var
+from repro.poly.polynomial import poly_var
 from repro.qe.fourier_motzkin import FMNotApplicableError, fourier_motzkin_eliminate
 from repro.qe.signs import SignCond, dnf_holds
 

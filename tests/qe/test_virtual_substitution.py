@@ -143,7 +143,6 @@ class TestProperties:
         # numeric witness search over a dense rational grid including all
         # rational boundary candidates
         candidates = set()
-        import itertools
 
         for numerator in range(-60, 61):
             candidates.add(Fraction(numerator, 6))

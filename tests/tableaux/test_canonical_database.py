@@ -1,9 +1,7 @@
 """Cross-validation of Theorem 2.6 via the canonical-database (freeze) technique."""
 
 import random
-from fractions import Fraction
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.constraints.real_poly import poly_eq
@@ -82,7 +80,8 @@ class TestCanonicalDatabase:
     @settings(max_examples=50, deadline=None)
     @given(st.data())
     def test_theorem_26_agrees_with_freeze(self, data):
-        draw = lambda a, b: data.draw(st.integers(a, b))
+        def draw(a, b):
+            return data.draw(st.integers(a, b))
         phi1 = _random_query(draw, "p")
         phi2 = _random_query(draw, "q")
         via_homomorphism = contained_linear(phi1, phi2)

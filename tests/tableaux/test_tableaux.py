@@ -12,7 +12,6 @@ from repro.tableaux.affine import LinearSystem, contains, equation
 from repro.tableaux.containment import (
     contained_linear,
     evaluate_tableau,
-    find_homomorphism,
     rule_output,
     semiinterval_counterexample,
     symbol_mappings,

@@ -2,17 +2,11 @@
 
 import math
 
-import pytest
 
 from repro.constraints.dense_order import DenseOrderTheory
 from repro.harness.measure import fit_exponent, format_table, sweep, time_callable
 from repro.workloads.equalities import random_equality_database
-from repro.workloads.orders import (
-    chain_edges,
-    interval_relation,
-    random_interval_database,
-    random_order_tuples,
-)
+from repro.workloads.orders import chain_edges, interval_relation, random_order_tuples
 from repro.workloads.spatial import (
     random_points,
     random_rectangles,
