@@ -26,6 +26,8 @@ import time
 from typing import Iterable, Mapping, Sequence
 
 from repro.analysis.classify import (
+    NOT_CLOSED,
+    PI2P_HARD,
     Classification,
     classify_calculus,
     classify_program,
@@ -56,13 +58,17 @@ def analyze_program(
     target: str | None = None,
     edb_schemas: Mapping[str, int] | None = None,
     suppress: Iterable[str] = (),
+    budget_declared: bool = False,
 ) -> ProgramReport:
     """Run every pass over a Datalog(not) rule list and build the report.
 
     ``target`` enables the unused-predicate check; ``edb_schemas`` (predicate
     name -> arity) lets the arity pass cross-check database relations;
     ``suppress`` marks diagnostics with those codes as suppressed (they stay
-    in the report but do not fail linting or the engine pre-flight).
+    in the report but do not fail linting or the engine pre-flight);
+    ``budget_declared`` records that the caller runs the program under an
+    explicit resource budget, silencing the CQL031 advisory for programs
+    with no polynomial complexity bound.
     """
     timings: dict[str, float] = {}
     diagnostics: list[Diagnostic] = []
@@ -99,6 +105,7 @@ def analyze_program(
     started = time.perf_counter()
     classification = classify_program(rules, theory, graph)
     diagnostics.append(_classification_diagnostic(classification))
+    _check_budget(classification, budget_declared, diagnostics)
     timings["classification"] = time.perf_counter() - started
 
     report = ProgramReport(
@@ -126,6 +133,7 @@ def analyze_formula(
     output: Sequence[str] | None = None,
     edb_schemas: Mapping[str, int] | None = None,
     suppress: Iterable[str] = (),
+    budget_declared: bool = False,
 ) -> ProgramReport:
     """Run the calculus subset of the pipeline over one query formula."""
     timings: dict[str, float] = {}
@@ -196,6 +204,7 @@ def analyze_formula(
     started = time.perf_counter()
     classification = classify_calculus(theory)
     diagnostics.append(_classification_diagnostic(classification))
+    _check_budget(classification, budget_declared, diagnostics)
     timings["classification"] = time.perf_counter() - started
 
     return ProgramReport(
@@ -218,6 +227,35 @@ def _classification_diagnostic(classification: Classification) -> Diagnostic:
     if classification.note:
         message += f"; {classification.note}"
     return Diagnostic("CQL030", message)
+
+
+def _check_budget(
+    classification: Classification,
+    budget_declared: bool,
+    diagnostics: list[Diagnostic],
+) -> None:
+    """CQL031: unbudgeted evaluation with no polynomial complexity bound.
+
+    The two classes with no PTIME guarantee are ``closed-Pi2p-hard``
+    (boolean constraint solving, Thm 5.11) and ``not-closed`` (recursion
+    through real polynomials, Example 1.12): evaluation may blow up or
+    diverge, so running without a deadline/step budget is flagged.
+    """
+    if budget_declared:
+        return
+    if classification.complexity_class not in (PI2P_HARD, NOT_CLOSED):
+        return
+    diagnostics.append(
+        Diagnostic(
+            "CQL031",
+            f"no polynomial complexity bound "
+            f"({classification.complexity_class}, "
+            f"{classification.theorem}) and no resource budget declared: "
+            "evaluation may blow up or diverge unsupervised",
+            hint="run under EngineOptions(budget=Budget(...)) or declare "
+            "'# budget: declared' to the linter",
+        )
+    )
 
 
 def _finish(

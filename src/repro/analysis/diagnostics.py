@@ -122,6 +122,13 @@ CODES: dict[str, CodeInfo] = {
             INFO,
             "predicted data-complexity class and its justifying theorem",
         ),
+        CodeInfo(
+            "CQL031",
+            "unbudgeted-hard-program",
+            WARNING,
+            "a program with no polynomial complexity bound runs without an "
+            "explicit resource budget",
+        ),
     )
 }
 

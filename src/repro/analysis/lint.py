@@ -16,6 +16,7 @@ lines carrying directives:
     # target: T                    (enables the unused-predicate check)
     # output: x, y                 (calculus output schema)
     # relation: E/2                (declare an EDB arity for cross-checking)
+    # budget: declared             (run under a resource budget; no CQL031)
     # cqlint: allow(CQL010, CQL020)  (suppress codes; still reported)
     T(x, y) :- E(x, y).
     T(x, y) :- T(x, z), E(z, y).
@@ -76,6 +77,7 @@ class _Directives:
         self.output: tuple[str, ...] | None = None
         self.relations: dict[str, int] = {}
         self.allow: set[str] = set()
+        self.budget_declared = False
 
 
 def _strip_comments(text: str) -> tuple[str, _Directives]:
@@ -109,6 +111,10 @@ def _apply_directive(comment: str, directives: _Directives) -> None:
             directives.relations[name.strip()] = int(arity)
         except ValueError:
             pass
+    elif key == "budget":
+        # "# budget: declared" (any non-empty value): the program is run
+        # under an explicit resource budget, so CQL031 does not apply
+        directives.budget_declared = bool(value)
     elif key == "cqlint":
         for match in _ALLOW_RE.finditer(value):
             for code in match.group(1).split(","):
@@ -138,6 +144,7 @@ def lint_text(text: str) -> ProgramReport:
                 output=directives.output,
                 edb_schemas=directives.relations or None,
                 suppress=directives.allow,
+                budget_declared=directives.budget_declared,
             )
         rules = parse_rules(stripped, theory=theory)
     except ParseError as error:
@@ -165,6 +172,7 @@ def lint_text(text: str) -> ProgramReport:
         target=directives.target,
         edb_schemas=directives.relations or None,
         suppress=directives.allow,
+        budget_declared=directives.budget_declared,
     )
 
 

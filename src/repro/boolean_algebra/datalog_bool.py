@@ -38,7 +38,11 @@ from repro.boolean_algebra.terms import (
     table_or,
     term_table,
 )
-from repro.errors import ArityError, EvaluationError, UnknownRelationError
+from repro.errors import (
+    ArityError,
+    FixpointDivergenceError,
+    UnknownRelationError,
+)
 
 
 @dataclass(frozen=True)
@@ -184,8 +188,12 @@ class BooleanDatalogProgram:
         while True:
             iterations += 1
             if iterations > max_iterations:
-                raise EvaluationError(
-                    f"boolean Datalog did not converge in {max_iterations} iterations"
+                raise FixpointDivergenceError(
+                    max_iterations,
+                    relation_sizes={
+                        name: len(facts)
+                        for name, facts in sorted(self._facts.items())
+                    },
                 )
             new_facts: list[BooleanFact] = []
             for rule in self.rules:

@@ -28,11 +28,12 @@ from repro.constraints.dense_order import DenseOrderTheory
 from repro.constraints.equality import EqualityTheory
 from repro.constraints.real_poly import RealPolynomialTheory
 from repro.core.calculus import evaluate_calculus
-from repro.core.datalog import DatalogProgram, Rule
+from repro.core.datalog import DatalogProgram, EngineOptions, Rule
 from repro.core.generalized import GeneralizedDatabase
 from repro.errors import ReproError
 from repro.logic.parser import parse_query, parse_rules
 from repro.logic.syntax import And, Atom, Formula
+from repro.runtime.budget import Budget, parse_budget_spec, supervised
 
 THEORIES: dict[str, Callable[[], object]] = {
     "dense_order": DenseOrderTheory,
@@ -49,6 +50,9 @@ HELP = """commands:
   .query FORMULA          evaluate a calculus query, e.g. exists x . R(n, x)
   .rule HEAD :- BODY.     add a Datalog rule
   .run                    evaluate the accumulated rules to their fixpoint
+  .budget SPEC            resource budget for .run/.query, e.g.
+                          .budget deadline=0.05 rounds=100 fringe
+                          (.budget off clears it; bare .budget shows it)
   .show R                 print a relation
   .list                   list relations and rules
   .help                   this text
@@ -66,6 +70,7 @@ class Shell:
         self.theory = DenseOrderTheory()
         self.db = GeneralizedDatabase(self.theory)
         self.rules: list[Rule] = []
+        self.budget: Budget | None = None
 
     def write(self, text: str) -> None:
         print(text, file=self.out)
@@ -97,6 +102,9 @@ class Shell:
         if line == ".run":
             self._run_rules()
             return True
+        if line == ".budget":
+            self._set_budget("")
+            return True
         command, _, rest = line.partition(" ")
         rest = rest.strip()
         if command == ".theory":
@@ -114,6 +122,8 @@ class Shell:
             self.write(f"rule added ({len(self.rules)} total)")
         elif command == ".show":
             self.write(str(self.db.relation(rest)))
+        elif command == ".budget":
+            self._set_budget(rest)
         else:
             self.write(f"unknown command {command!r}; try .help")
         return True
@@ -176,22 +186,53 @@ class Shell:
         added = relation.add_point(parsed)
         self.write("point added" if added else "point already present")
 
+    def _set_budget(self, spec: str) -> None:
+        if not spec:
+            if self.budget is None:
+                self.write("no budget set; .budget deadline=0.05 rounds=100")
+            else:
+                parts = ", ".join(
+                    f"{k}={v}"
+                    for k, v in self.budget.as_dict().items()
+                    if v is not None and k != "partial_results"
+                )
+                self.write(
+                    f"budget: {parts or 'unlimited'} "
+                    f"(on exhaustion: {self.budget.partial_results})"
+                )
+            return
+        if spec == "off":
+            self.budget = None
+            self.write("budget cleared")
+            return
+        self.budget = parse_budget_spec(spec)
+        self._set_budget("")
+
     def _query(self, text: str) -> None:
         query = parse_query(text, theory=self.theory)
-        result = evaluate_calculus(query, self.db)
+        # a tripped budget raises BudgetExceededError (a ReproError), which
+        # the dispatcher surfaces as a plain shell error
+        with supervised(self.budget):
+            result = evaluate_calculus(query, self.db)
         self.write(str(result))
 
     def _run_rules(self) -> None:
         if not self.rules:
             self.write("no rules; add some with .rule")
             return
-        program = DatalogProgram(self.rules, self.theory)
+        program = DatalogProgram(
+            self.rules, self.theory, options=EngineOptions(budget=self.budget)
+        )
         world, stats = program.evaluate(self.db)
         self.db = world
-        self.write(
-            f"fixpoint in {stats.iterations} iterations, "
-            f"{stats.tuples_added} tuples added"
-        )
+        status = f"fixpoint in {stats.iterations} iterations"
+        if stats.incomplete:
+            exhausted = (stats.budget or {}).get("budget_kind", "budget")
+            status = (
+                f"PARTIAL fixpoint ({exhausted} budget exhausted after "
+                f"{stats.iterations} iterations; sound under-approximation)"
+            )
+        self.write(f"{status}, {stats.tuples_added} tuples added")
         for name in sorted(program.idb_predicates()):
             self.write(str(world.relation(name)))
 

@@ -23,7 +23,7 @@ import argparse
 import json
 import sys
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Any
 
@@ -41,6 +41,14 @@ from repro.conformance.oracles import Discrepancy, compare_relations
 from repro.conformance.shrinker import shrink
 from repro.conformance.spec import CaseSpec
 from repro.conformance.strategies import ABLATION_GRID, strategies_for
+from repro.errors import BudgetExceededError, TransientTheoryError
+from repro.runtime.budget import Budget, parse_budget_spec, supervised
+from repro.runtime.chaos import (
+    ChaosPolicy,
+    ChaosRuntime,
+    chaos_scope,
+    parse_chaos_spec,
+)
 
 
 @dataclass
@@ -79,6 +87,12 @@ class ConformanceReport:
     #: EngineOptions configs exercised, as frozensets of as_dict() items
     exercised_options: set = field(default_factory=set)
     kind_counts: Counter = field(default_factory=Counter)
+    #: supervisor interventions: strategy runs killed by a budget trip or by
+    #: an injected fault that exhausted its retries -- *degradations*, not
+    #: discrepancies (the run produced no answer rather than a wrong one)
+    degraded: Counter = field(default_factory=Counter)
+    #: injection statistics when the run was chaos-armed (ChaosStats.as_dict)
+    chaos_stats: dict | None = None
 
     @property
     def ok(self) -> bool:
@@ -102,6 +116,21 @@ class ConformanceReport:
             f"({len(self.strategy_runs)} distinct)",
             f"  discrepancies: {len(self.failures)}",
         ]
+        if self.degraded:
+            lines.append(
+                "  degraded runs: "
+                + " ".join(
+                    f"{kind}={n}" for kind, n in sorted(self.degraded.items())
+                )
+            )
+        if self.chaos_stats is not None:
+            stats = self.chaos_stats
+            lines.append(
+                f"  chaos: injected={stats['total_injected']}/{stats['calls']} "
+                f"retries={stats['retries']} "
+                f"recovered={stats['retry_successes']} "
+                f"fairness-suppressed={stats['suppressed_by_fairness']}"
+            )
         for failure in self.failures:
             lines.append(
                 f"    seed={failure.original_spec.seed}: "
@@ -136,7 +165,45 @@ def analyze_spec(spec: CaseSpec):
     )
 
 
-def run_case(spec: CaseSpec) -> Discrepancy | None:
+class _Degraded(Exception):
+    """Internal marker: a strategy run was killed by the supervisor.
+
+    Carries the underlying :class:`BudgetExceededError` or exhausted
+    :class:`TransientTheoryError`; a degraded run produced *no* answer
+    (never a wrong one), so it is counted, not reported as a discrepancy.
+    """
+
+    def __init__(self, error: Exception) -> None:
+        super().__init__(repr(error))
+        self.error = error
+
+
+def _run_route(
+    route,
+    spec: CaseSpec,
+    chaos: ChaosRuntime | None,
+    budget: Budget | None,
+):
+    """One strategy run under the (optional) chaos scope and budget.
+
+    The chaos scope is armed *only* around the strategy's own evaluation;
+    the semantic oracles afterwards always compare against clean theories,
+    so injected faults can delay or kill an answer but never corrupt the
+    comparison itself.
+    """
+    try:
+        with chaos_scope(chaos), supervised(budget):
+            return route.run(spec)
+    except (BudgetExceededError, TransientTheoryError) as error:
+        raise _Degraded(error) from error
+
+
+def run_case(
+    spec: CaseSpec,
+    chaos: ChaosRuntime | None = None,
+    budget: Budget | None = None,
+    degraded: Counter | None = None,
+) -> Discrepancy | None:
     """Evaluate one spec through every strategy; first discrepancy or None.
 
     Every generated program must pass static analysis before the strategy
@@ -146,6 +213,13 @@ def run_case(spec: CaseSpec) -> Discrepancy | None:
     (oracle ``"error"``) -- strategies declare applicability via the
     registry, so an exception inside one is an engine bug, not an expected
     skip.
+
+    Under an armed chaos runtime or budget, :class:`BudgetExceededError`
+    and exhausted :class:`TransientTheoryError` are the two sanctioned ways
+    for a run to die: they are tallied into ``degraded`` (keyed by error
+    class) and the affected comparison is skipped -- if the *reference*
+    route degrades there is nothing sound to compare against, so the whole
+    case is skipped.  Any other exception is still an engine bug.
     """
     lint_report = analyze_spec(spec)
     lint_errors = lint_report.errors()
@@ -160,14 +234,22 @@ def run_case(spec: CaseSpec) -> Discrepancy | None:
     routes = strategies_for(spec)
     reference = routes[0]
     try:
-        expected = reference.run(spec)
+        expected = _run_route(reference, spec, chaos, budget)
+    except _Degraded as marker:
+        if degraded is not None:
+            degraded[type(marker.error).__name__] += 1
+        return None
     except Exception as error:  # noqa: BLE001 - reported, not swallowed
         return Discrepancy(
             reference.name, reference.name, "error", None, repr(error)
         )
     for route in routes[1:]:
         try:
-            actual = route.run(spec)
+            actual = _run_route(route, spec, chaos, budget)
+        except _Degraded as marker:
+            if degraded is not None:
+                degraded[type(marker.error).__name__] += 1
+            continue
         except Exception as error:  # noqa: BLE001 - reported, not swallowed
             return Discrepancy(
                 reference.name, route.name, "error", None, repr(error)
@@ -188,10 +270,22 @@ def run_conformance(
     corpus_dir: str | Path | None = None,
     shrink_failures: bool = True,
     progress=None,
+    chaos: ChaosPolicy | None = None,
+    budget: Budget | None = None,
 ) -> ConformanceReport:
-    """The differential loop over ``cases`` generated specs for one theory."""
+    """The differential loop over ``cases`` generated specs for one theory.
+
+    ``chaos`` arms one seeded :class:`ChaosRuntime` for the whole run (a
+    single deterministic injection stream across all cases); ``budget`` is
+    re-applied fresh per strategy run.  Chaos disables shrinking: replaying
+    a sub-spec consumes the injection stream at a different offset, so a
+    minimized case would not reproduce the same faults.
+    """
     name = THEORY_ALIASES.get(theory, theory)
     report = ConformanceReport(theory=name, cases=cases, seed=seed)
+    runtime = ChaosRuntime(chaos) if chaos is not None else None
+    if runtime is not None:
+        shrink_failures = False
     for index in range(cases):
         spec_seed = case_seed(seed, name, index)
         spec = generate_case(name, spec_seed, config)
@@ -202,7 +296,7 @@ def run_conformance(
                 report.exercised_options.add(
                     frozenset(route.options.as_dict().items())
                 )
-        found = run_case(spec)
+        found = run_case(spec, runtime, budget, report.degraded)
         if found is not None:
             minimized = spec
             if shrink_failures:
@@ -216,6 +310,8 @@ def run_conformance(
                 _write_artifact(Path(corpus_dir), failure)
         if progress is not None:
             progress(index + 1, cases, report)
+    if runtime is not None:
+        report.chaos_stats = runtime.stats.as_dict()
     return report
 
 
@@ -278,8 +374,52 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="skip case minimization on failures",
     )
+    parser.add_argument(
+        "--chaos",
+        nargs="*",
+        default=None,
+        metavar="KEY=VALUE",
+        help="arm seeded fault injection, e.g. --chaos p=0.05 seed=7 "
+        "(bare --chaos uses the policy defaults)",
+    )
+    parser.add_argument(
+        "--budget",
+        nargs="*",
+        default=None,
+        metavar="KEY=VALUE",
+        help="per-strategy-run resource budget, e.g. "
+        "--budget rounds=200 qe_steps=5000",
+    )
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-strategy-run wall-clock deadline (shorthand for "
+        "--budget deadline=SECONDS)",
+    )
     args = parser.parse_args(argv)
     seed = resolve_seed(0) if args.seed is None else args.seed
+    chaos = None
+    if args.chaos is not None:
+        try:
+            chaos = parse_chaos_spec(args.chaos)
+        except ValueError as error:
+            parser.error(f"--chaos: {error}")
+    budget = None
+    if args.budget is not None or args.deadline is not None:
+        try:
+            budget = parse_budget_spec(args.budget or [])
+        except ValueError as error:
+            parser.error(f"--budget: {error}")
+        if args.deadline is not None:
+            budget = replace(budget, deadline_seconds=args.deadline)
+        if budget.partial_results == "fringe":
+            parser.error(
+                "--budget: fringe mode is unsound under conformance "
+                "(partial answers would register as mismatches); use the "
+                "default raise mode"
+            )
     config = DEEP if args.profile == "deep" else SMOKE
     if args.theory == "all":
         theories = list(THEORY_NAMES)
@@ -308,9 +448,26 @@ def main(argv: list[str] | None = None) -> int:
             config,
             corpus_dir=args.corpus,
             shrink_failures=not args.no_shrink,
+            chaos=chaos,
+            budget=budget,
         )
         for line in report.summary_lines():
             print(line)
+        if chaos is not None:
+            from repro.harness.benchjson import record_bench
+
+            record_bench(
+                f"chaos_stats:{report.theory}",
+                {
+                    "theory": report.theory,
+                    "cases": report.cases,
+                    "seed": report.seed,
+                    "policy": chaos.as_dict(),
+                    "stats": report.chaos_stats,
+                    "degraded": dict(report.degraded),
+                    "discrepancies": len(report.failures),
+                },
+            )
         if not report.ok:
             exit_code = 1
             print(

@@ -157,7 +157,17 @@ def build_theory(spec: CaseSpec) -> ConstraintTheory:
         factory = THEORY_BUILDERS[spec.theory]
     except KeyError:
         raise SpecError(f"unknown theory {spec.theory!r}") from None
-    return factory(spec)
+    theory = factory(spec)
+    # under an armed chaos scope (conformance --chaos) every theory is built
+    # hardened: fault injection below, retry-with-backoff above.  Outside a
+    # scope the wrappers are inert pass-throughs, so this only triggers for
+    # strategies the runner deliberately executes under chaos_scope().
+    from repro.runtime.chaos import current_chaos, harden
+
+    runtime = current_chaos()
+    if runtime is not None:
+        theory = harden(theory, runtime.policy)
+    return theory
 
 
 def build_case(spec: CaseSpec) -> BuiltCase:
@@ -238,9 +248,12 @@ def decode_atom(encoded: Sequence, theory: ConstraintTheory) -> Atom:
         }
         return PolyAtom(Polynomial(terms), op)
     if tag == "bool":
-        if not isinstance(theory, BooleanTheory):
+        from repro.runtime.chaos import unwrap_theory
+
+        bare = unwrap_theory(theory)
+        if not isinstance(bare, BooleanTheory):
             raise SpecError("boolean atom outside a boolean-theory case")
-        return BooleanConstraintAtom(decode_bool_term(encoded[1]), theory.algebra)
+        return BooleanConstraintAtom(decode_bool_term(encoded[1]), bare.algebra)
     raise SpecError(f"bad atom encoding {encoded!r}")
 
 

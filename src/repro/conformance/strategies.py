@@ -58,6 +58,7 @@ from repro.logic.syntax import (
 from repro.qe.fourier_motzkin import fourier_motzkin_eliminate
 from repro.qe.signs import SignCond
 from repro.qe.virtual_substitution import vs_eliminate
+from repro.runtime.chaos import unwrap_theory
 
 
 @dataclass(frozen=True)
@@ -244,7 +245,7 @@ def _datalog_runner(
 def _run_boole_lemma(spec: CaseSpec) -> GeneralizedRelation:
     """The Section 5.2 engine: facts as canonical tables, Boole's lemma QE."""
     case = build_case(spec)
-    theory = case.theory
+    theory = unwrap_theory(case.theory)
     assert isinstance(theory, BooleanTheory)
     program = BooleanDatalogProgram(theory.algebra)
     for rule in case.rules:

@@ -22,17 +22,39 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Any, Iterable, Mapping, Sequence
+from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from repro.constraints.base import Conjunction, ConstraintTheory
-from repro.errors import TheoryError, UnsupportedEliminationError
+from repro.errors import BudgetExceededError, TheoryError, UnsupportedEliminationError
 from repro.logic.syntax import Atom, Formula
 from repro.poly.polynomial import Polynomial
 from repro.qe.fourier_motzkin import FMNotApplicableError, fourier_motzkin_eliminate
 from repro.qe.signs import Conj, Dnf, SignCond, negate_cond, simplify_conj
 from repro.qe.virtual_substitution import vs_eliminate
+from repro.runtime.budget import active_meter, metered
 
 _OPS = ("=", "!=", "<", "<=")
+
+
+def _capped_rung(
+    runner: "Callable[[Conj, str], Dnf]", conj: Conj, var: str
+) -> Dnf:
+    """Run one QE-ladder rung under its per-rung step cap (if configured).
+
+    The child meter forwards every tick to the run's global meter first, so
+    deadlines and run-wide budgets still apply inside the rung; only the
+    child's own ``qe_steps`` cap trips with ``scope="qe_rung"``.
+    """
+    meter = active_meter()
+    if meter is None or meter.budget.qe_rung_steps is None:
+        return runner(conj, var)
+    with metered(meter.rung_meter()):
+        return runner(conj, var)
+
+
+def _is_rung_trip(error: BudgetExceededError) -> bool:
+    report = error.report
+    return report is not None and report.scope == "qe_rung"
 
 
 @dataclass(frozen=True, slots=True)
@@ -235,16 +257,33 @@ class RealPolynomialTheory(ConstraintTheory):
         return unique
 
     def _eliminate_var_conj(self, conj: Conj, var: str) -> Dnf:
+        """The QE degradation ladder: FM -> VS -> bivariate CAD.
+
+        Each rung is tried cheapest-first and falls through to the next both
+        on *inapplicability* (the input is outside the rung's fragment) and
+        -- when the active budget sets ``qe_rung_steps`` -- on *rung budget
+        exhaustion*: the rung runs under a child meter capped at that many
+        ``qe_step`` ticks, so a combinatorial blow-up in one backend degrades
+        to the next instead of consuming the whole run's budget.  The final
+        CAD rung runs uncapped (only the run-global budgets apply): it is the
+        last resort, so giving up there means giving up entirely.
+        """
         if all(var not in c.poly.variables() for c in conj):
             return [conj]
         try:
-            return fourier_motzkin_eliminate(conj, var)
+            return _capped_rung(fourier_motzkin_eliminate, conj, var)
         except FMNotApplicableError:
             pass
+        except BudgetExceededError as error:
+            if not _is_rung_trip(error):
+                raise
         try:
-            return vs_eliminate(conj, var)
+            return _capped_rung(vs_eliminate, conj, var)
         except UnsupportedEliminationError:
             pass
+        except BudgetExceededError as error:
+            if not _is_rung_trip(error):
+                raise
         all_vars = {v for c in conj for v in c.poly.variables()}
         if len(all_vars) <= 2:
             from repro.qe.cad import cad_eliminate

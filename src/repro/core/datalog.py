@@ -40,12 +40,14 @@ from repro.core.generalized import (
 )
 from repro.errors import (
     ArityError,
+    BudgetExceededError,
     EvaluationError,
     FixpointDivergenceError,
     NotClosedError,
     StaticAnalysisError,
 )
 from repro.logic.syntax import Atom, Not, RelationAtom
+from repro.runtime.budget import Budget, active_meter, metered, tick
 
 
 @dataclass(frozen=True)
@@ -143,6 +145,11 @@ class EngineOptions:
     #: StaticAnalysisError on error diagnostics.  Not a perf flag, so it is
     #: deliberately absent from ``as_dict`` (the ablation grid).
     analyze: bool = False
+    #: resource budget enforced by the execution supervisor
+    #: (:mod:`repro.runtime.budget`); ``None`` inherits whatever ambient
+    #: budget the caller installed via ``supervised``.  Not a perf flag, so
+    #: absent from ``as_dict`` like ``analyze``.
+    budget: Budget | None = None
 
     @classmethod
     def all_on(cls) -> "EngineOptions":
@@ -193,6 +200,11 @@ class EvaluationStats:
     theory_cache_hits: int = 0
     theory_cache_misses: int = 0
     per_round_new: list[int] = field(default_factory=list)
+    #: True when a budget tripped in ``partial_results="fringe"`` mode and
+    #: the returned database is the last sound under-approximation
+    incomplete: bool = False
+    #: the tripping budget's ResourceReport (as a dict) when ``incomplete``
+    budget: dict | None = None
 
     @property
     def cache_hits(self) -> int:
@@ -222,6 +234,8 @@ class EvaluationStats:
             "theory_cache_misses": self.theory_cache_misses,
             "cache_hits": self.cache_hits,
             "per_round_new": list(self.per_round_new),
+            "incomplete": self.incomplete,
+            "budget": dict(self.budget) if self.budget is not None else None,
         }
 
 
@@ -278,7 +292,11 @@ class DatalogProgram:
         """
         from repro.analysis import analyze_program
 
-        report = analyze_program(self.rules, self.theory)
+        report = analyze_program(
+            self.rules,
+            self.theory,
+            budget_declared=self.options.budget is not None,
+        )
         errors = [d for d in report.errors() if d.code != "CQL010"]
         if errors:
             raise StaticAnalysisError(errors)
@@ -361,6 +379,28 @@ class DatalogProgram:
         * ``"inflationary"``: the paper's inflationary semantics [1, 22, 33]
           -- every round evaluates all rules against the current state and
           adds the derived facts, never retracting.
+
+        **Resource governance.**  When ``options.budget`` is set (or an
+        ambient budget was installed via
+        :func:`repro.runtime.budget.supervised`), the loops tick the
+        supervisor each round / join step / admitted tuple and raise
+        :class:`repro.errors.BudgetExceededError` when a limit trips.  With
+        ``partial_results="fringe"`` the evaluator instead returns the
+        current world tagged ``stats.incomplete=True``.  That fringe is a
+        *sound under-approximation* of the full answer for every semantics:
+
+        * naive/semi-naive least fixpoints only ever add tuples entailed by
+          the rules, so any prefix of the iteration is ``subseteq`` the lfp
+          (Thm 3.14.1's stage construction);
+        * inflationary stages are monotone by definition (Thm 3.14.2) --
+          and a *partially applied* round ``S`` with ``J_i subseteq S
+          subseteq J_{i+1}`` still sits below the final fixpoint;
+        * stratified evaluation runs negation only against *completed*
+          lower strata, so an interrupt mid-stratum leaves every derived
+          tuple justified by the stratified semantics.
+
+        The fringe can therefore be used as a partial answer (e.g. "these
+        pairs are certainly connected") but never as a completeness claim.
         """
         if semantics not in ("auto", "stratified", "inflationary"):
             raise EvaluationError(f"unknown semantics {semantics!r}")
@@ -377,10 +417,13 @@ class DatalogProgram:
         for c in caches:
             c.enabled = self.options.theory_cache
         before = [c.stats.snapshot() for c in caches]
+        budget = self.options.budget
+        meter = budget.start() if budget is not None else active_meter()
         try:
-            world, stats = self._dispatch(
-                database, max_iterations, semi_naive, semantics
-            )
+            with metered(meter):
+                world, stats = self._dispatch(
+                    database, max_iterations, semi_naive, semantics
+                )
         finally:
             for c, enabled in zip(caches, prior_enabled):
                 c.enabled = enabled
@@ -461,31 +504,77 @@ class DatalogProgram:
         world = self._prepare(database)
         stats = EvaluationStats()
         caches = _EvalCaches(self.options)
-        for stratum_rules in strata:
-            while True:
-                stats.iterations += 1
-                if stats.iterations > max_iterations:
-                    raise FixpointDivergenceError(max_iterations)
-                derived: list[tuple[str, GeneralizedTuple]] = []
-                for rule in stratum_rules:
-                    derived.extend(self._fire(rule, world, stats, caches))
-                new_count = 0
-                for name, item in derived:
-                    if world.relation(name).add(item):
-                        new_count += 1
-                        stats.tuples_added += 1
-                stats.per_round_new.append(new_count)
-                if new_count == 0:
-                    break
+        try:
+            for stratum_rules in strata:
+                while True:
+                    stats.iterations += 1
+                    if stats.iterations > max_iterations:
+                        raise self._diverged(max_iterations, world)
+                    tick("round")
+                    derived: list[tuple[str, GeneralizedTuple]] = []
+                    for rule in stratum_rules:
+                        derived.extend(self._fire(rule, world, stats, caches))
+                    new_count = 0
+                    for name, item in derived:
+                        if world.relation(name).add(item):
+                            new_count += 1
+                            stats.tuples_added += 1
+                    stats.per_round_new.append(new_count)
+                    if new_count == 0:
+                        break
+        except BudgetExceededError as error:
+            return self._budget_interrupt(error, world, stats)
         return world, stats
 
     def _prepare(self, database: GeneralizedDatabase) -> GeneralizedDatabase:
-        world = database.copy()
+        # input materialization is free: the tuple budget meters tuples the
+        # evaluation derives, not the EDB copy (which also happens before
+        # the loops' fringe-interrupt handlers could return a sound stage)
+        with metered(None):
+            world = database.copy()
         for name in sorted(self.idb_predicates()):
             if name not in world:
                 arity = self.arities[name]
                 world.create_relation(name, tuple(f"_{i}" for i in range(arity)))
         return world
+
+    def _relation_sizes(self, world: GeneralizedDatabase) -> dict[str, int]:
+        """IDB relation sizes of the current stage (divergence forensics)."""
+        return {
+            name: len(world.relation(name))
+            for name in sorted(self.idb_predicates())
+            if name in world
+        }
+
+    def _diverged(
+        self, max_iterations: int, world: GeneralizedDatabase
+    ) -> FixpointDivergenceError:
+        return FixpointDivergenceError(
+            max_iterations, relation_sizes=self._relation_sizes(world)
+        )
+
+    def _budget_interrupt(
+        self,
+        error: BudgetExceededError,
+        world: GeneralizedDatabase,
+        stats: EvaluationStats,
+    ) -> tuple[GeneralizedDatabase, EvaluationStats]:
+        """Fringe mode: return the last sound stage instead of raising.
+
+        Only engages when the *active* budget asked for
+        ``partial_results="fringe"``; any other budget trip propagates.  The
+        returned world is a sound under-approximation of the full answer
+        (see :meth:`evaluate` for the per-semantics argument), tagged with
+        ``stats.incomplete`` and the tripping budget's resource report.
+        """
+        meter = active_meter()
+        mode = meter.budget.partial_results if meter is not None else "raise"
+        if mode != "fringe":
+            raise error
+        stats.incomplete = True
+        report = getattr(error, "report", None)
+        stats.budget = report.as_dict() if report is not None else {}
+        return world, stats
 
     def _evaluate_naive(
         self, database: GeneralizedDatabase, max_iterations: int
@@ -493,21 +582,25 @@ class DatalogProgram:
         world = self._prepare(database)
         stats = EvaluationStats()
         caches = _EvalCaches(self.options)
-        while True:
-            stats.iterations += 1
-            if stats.iterations > max_iterations:
-                raise FixpointDivergenceError(max_iterations)
-            new_count = 0
-            derived: list[tuple[str, GeneralizedTuple]] = []
-            for rule in self.rules:
-                derived.extend(self._fire(rule, world, stats, caches))
-            for name, item in derived:
-                if world.relation(name).add(item):
-                    new_count += 1
-                    stats.tuples_added += 1
-            stats.per_round_new.append(new_count)
-            if new_count == 0:
-                return world, stats
+        try:
+            while True:
+                stats.iterations += 1
+                if stats.iterations > max_iterations:
+                    raise self._diverged(max_iterations, world)
+                tick("round")
+                new_count = 0
+                derived: list[tuple[str, GeneralizedTuple]] = []
+                for rule in self.rules:
+                    derived.extend(self._fire(rule, world, stats, caches))
+                for name, item in derived:
+                    if world.relation(name).add(item):
+                        new_count += 1
+                        stats.tuples_added += 1
+                stats.per_round_new.append(new_count)
+                if new_count == 0:
+                    return world, stats
+        except BudgetExceededError as error:
+            return self._budget_interrupt(error, world, stats)
 
     def _evaluate_semi_naive(
         self, database: GeneralizedDatabase, max_iterations: int
@@ -521,10 +614,28 @@ class DatalogProgram:
             name: [] for name in idbs
         }
         first_round = True
+        try:
+            return self._semi_naive_loop(
+                world, stats, caches, idbs, delta, first_round, max_iterations
+            )
+        except BudgetExceededError as error:
+            return self._budget_interrupt(error, world, stats)
+
+    def _semi_naive_loop(
+        self,
+        world: GeneralizedDatabase,
+        stats: EvaluationStats,
+        caches: _EvalCaches,
+        idbs: set[str],
+        delta: dict[str, list[GeneralizedTuple]],
+        first_round: bool,
+        max_iterations: int,
+    ) -> tuple[GeneralizedDatabase, EvaluationStats]:
         while True:
             stats.iterations += 1
             if stats.iterations > max_iterations:
-                raise FixpointDivergenceError(max_iterations)
+                raise self._diverged(max_iterations, world)
+            tick("round")
             derived: list[tuple[str, GeneralizedTuple]] = []
             for rule in self.rules:
                 idb_positions = [
@@ -566,21 +677,25 @@ class DatalogProgram:
         world = self._prepare(database)
         stats = EvaluationStats()
         caches = _EvalCaches(self.options)
-        while True:
-            stats.iterations += 1
-            if stats.iterations > max_iterations:
-                raise FixpointDivergenceError(max_iterations)
-            derived: list[tuple[str, GeneralizedTuple]] = []
-            for rule in self.rules:
-                derived.extend(self._fire(rule, world, stats, caches))
-            new_count = 0
-            for name, item in derived:
-                if world.relation(name).add(item):
-                    new_count += 1
-                    stats.tuples_added += 1
-            stats.per_round_new.append(new_count)
-            if new_count == 0:
-                return world, stats
+        try:
+            while True:
+                stats.iterations += 1
+                if stats.iterations > max_iterations:
+                    raise self._diverged(max_iterations, world)
+                tick("round")
+                derived: list[tuple[str, GeneralizedTuple]] = []
+                for rule in self.rules:
+                    derived.extend(self._fire(rule, world, stats, caches))
+                new_count = 0
+                for name, item in derived:
+                    if world.relation(name).add(item):
+                        new_count += 1
+                        stats.tuples_added += 1
+                stats.per_round_new.append(new_count)
+                if new_count == 0:
+                    return world, stats
+        except BudgetExceededError as error:
+            return self._budget_interrupt(error, world, stats)
 
     # ------------------------------------------------------------ rule firing
     def _renamed_tuples(
@@ -718,6 +833,7 @@ class DatalogProgram:
                 return
             for renamed, cand_pins in choice_lists[index]:
                 stats.join_steps += 1
+                tick("join")
                 if pins is not None and cand_pins:
                     conflict = False
                     for var, value in cand_pins.items():

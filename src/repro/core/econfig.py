@@ -321,8 +321,10 @@ def evaluate_query_econfig(
     """EVAL-phi for relational calculus + equality constraints (Theorem 4.11.1)."""
     from repro.core.rconfig import substitute_relations
 
+    from repro.runtime.chaos import unwrap_theory
+
     theory = database.theory
-    if not isinstance(theory, EqualityTheory):
+    if not isinstance(unwrap_theory(theory), EqualityTheory):
         raise TheoryError("equality EVAL-phi applies to the equality theory")
     free = free_variables(query)
     if output is None:

@@ -20,6 +20,7 @@ from typing import Any, Iterable, Iterator, Mapping, Sequence
 from repro.constraints.base import ConstraintTheory
 from repro.errors import ArityError, UnknownRelationError
 from repro.logic.syntax import Atom, Formula, conjoin, disjoin
+from repro.runtime.budget import tick
 
 
 @dataclass(frozen=True)
@@ -131,6 +132,9 @@ class GeneralizedRelation:
         stored = GeneralizedTuple(self.variables, canonical)
         self._tuples[key] = stored
         self.version += 1
+        # supervisor tick: one unit per generalized tuple actually admitted
+        # (dropped/duplicate tuples are free)
+        tick("tuple")
         return stored
 
     def add_tuple(self, atoms: Iterable[Atom]) -> bool:

@@ -31,7 +31,7 @@ from repro.constraints.dense_order import DenseOrderTheory
 from repro.core.datalog import Rule
 from repro.core.generalized import GeneralizedDatabase
 from repro.core.rconfig import RConfig, enumerate_rconfigs
-from repro.errors import EvaluationError, TheoryError
+from repro.errors import EvaluationError, FixpointDivergenceError, TheoryError
 
 
 @dataclass(frozen=True)
@@ -53,7 +53,9 @@ class HerbrandProgram:
         rules: Sequence[Rule],
         database: GeneralizedDatabase,
     ) -> None:
-        if not isinstance(database.theory, DenseOrderTheory):
+        from repro.runtime.chaos import unwrap_theory
+
+        if not isinstance(unwrap_theory(database.theory), DenseOrderTheory):
             raise TheoryError("the Section 3.2 machinery is for dense order")
         for rule in rules:
             if rule.has_negation():
@@ -121,7 +123,15 @@ class HerbrandProgram:
             if next_interpretation == current:
                 return current
             current = next_interpretation
-        raise EvaluationError("T_P iteration did not converge")
+        sizes: dict[str, int] = {}
+        for atom in current:
+            sizes[atom.predicate] = sizes.get(atom.predicate, 0) + 1
+        raise FixpointDivergenceError(
+            max_iterations,
+            message=f"T_P iteration did not converge within {max_iterations} "
+            "iterations",
+            relation_sizes=sizes,
+        )
 
     def as_relations(
         self, interpretation: Interpretation

@@ -463,8 +463,10 @@ def evaluate_query_rconfig(
     generalized relation contains one tuple ``F(xi)`` per satisfying
     r-configuration (so it is typically *larger* but equivalent).
     """
+    from repro.runtime.chaos import unwrap_theory
+
     theory = database.theory
-    if not isinstance(theory, DenseOrderTheory):
+    if not isinstance(unwrap_theory(theory), DenseOrderTheory):
         raise TheoryError("EVAL-phi applies to the dense-order theory")
     free = free_variables(query)
     if output is None:

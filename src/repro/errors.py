@@ -57,13 +57,65 @@ class NotClosedError(ReproError):
 
 
 class FixpointDivergenceError(ReproError):
-    """Bounded fixpoint iteration exhausted its budget without converging."""
+    """Bounded fixpoint iteration exhausted its budget without converging.
 
-    def __init__(self, iterations: int, message: str | None = None) -> None:
+    Carries the iteration count and, when the evaluator can provide it, the
+    relation sizes of the last completed stage (``relation_sizes``: relation
+    name -> number of generalized tuples), so callers can see *how far* the
+    runaway fixpoint got before the bound tripped.
+    """
+
+    def __init__(
+        self,
+        iterations: int,
+        message: str | None = None,
+        relation_sizes: dict[str, int] | None = None,
+    ) -> None:
         self.iterations = iterations
-        super().__init__(
-            message or f"fixpoint did not converge within {iterations} iterations"
-        )
+        self.relation_sizes = dict(relation_sizes or {})
+        if message is None:
+            message = f"fixpoint did not converge within {iterations} iterations"
+            if self.relation_sizes:
+                rendered = ", ".join(
+                    f"{name}={size}"
+                    for name, size in sorted(self.relation_sizes.items())
+                )
+                message += f" (last stage sizes: {rendered})"
+        super().__init__(message)
+
+
+class BudgetExceededError(ReproError):
+    """A supervised evaluation ran past one of its resource budgets.
+
+    Raised by the cooperative tick points (:mod:`repro.runtime.budget`) inside
+    the fixpoint, QE, and algebra loops.  ``report`` is a structured
+    :class:`repro.runtime.budget.ResourceReport` describing which budget
+    tripped, by how much, and the partial progress observed at that moment.
+    """
+
+    def __init__(self, message: str, report=None) -> None:
+        self.report = report
+        super().__init__(message)
+
+
+class TransientTheoryError(TheoryError):
+    """A theory operation failed for a (presumed) transient reason.
+
+    The chaos layer (:mod:`repro.runtime.chaos`) injects these to model
+    recoverable faults -- the retry wrapper backs off and re-invokes the
+    solver, and the conformance runner counts exhausted retries as degraded
+    runs rather than differential mismatches.
+    """
+
+
+class SpuriousUnsatError(TransientTheoryError):
+    """A solver returned UNSAT without a certificate (chaos injection).
+
+    Modeled as a protocol violation of the transient class: a well-behaved
+    theory must be able to justify unsatisfiability, so a certificate-less
+    UNSAT is surfaced as a retryable error instead of being allowed to
+    silently drop tuples (which would corrupt answers).
+    """
 
 
 class EvaluationError(ReproError):

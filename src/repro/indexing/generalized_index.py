@@ -84,7 +84,9 @@ class GeneralizedIndex1D:
             raise EvaluationError(
                 f"{attribute!r} is not an attribute of {relation.name}"
             )
-        if not isinstance(relation.theory, DenseOrderTheory):
+        from repro.runtime.chaos import unwrap_theory
+
+        if not isinstance(unwrap_theory(relation.theory), DenseOrderTheory):
             raise EvaluationError(
                 "generalized 1-d indexing requires interval projections; "
                 "only the dense-order theory guarantees them here"

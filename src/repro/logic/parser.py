@@ -67,6 +67,10 @@ _KEYWORDS = {"exists", "forall", "and", "or", "not"}
 _COMPARISONS = {"=", "!=", "<", "<=", ">", ">="}
 
 
+class _DepthLimitError(ParseError):
+    """The recursion-depth guard tripped (never caught by backtracking)."""
+
+
 @dataclass
 class _Token:
     kind: str  # "number" | "name" | "op" | "end"
@@ -94,13 +98,30 @@ def _tokenize(text: str) -> list[_Token]:
 
 
 class _Parser:
+    #: maximum grammar nesting depth.  Each grammar level costs several
+    #: Python frames (unary -> formula -> disjunct -> conjunct -> unary), so
+    #: the bound is set well below CPython's default recursion limit: deeply
+    #: nested input raises ParseError with a position instead of blowing the
+    #: interpreter stack with RecursionError.
+    MAX_DEPTH = 128
+
     def __init__(self, text: str, theory: ConstraintTheory) -> None:
         self.tokens = _tokenize(text)
         self.index = 0
         self.theory = theory
         self._fresh = 0
+        self.depth = 0
 
     # ------------------------------------------------------------- plumbing
+    def _descend(self) -> None:
+        """Charge one grammar nesting level (paired with ``self.depth -= 1``)."""
+        self.depth += 1
+        if self.depth > self.MAX_DEPTH:
+            raise _DepthLimitError(
+                f"formula nesting exceeds the maximum depth of {self.MAX_DEPTH}",
+                self.peek().position,
+            )
+
     def peek(self) -> _Token:
         return self.tokens[self.index]
 
@@ -124,18 +145,22 @@ class _Parser:
 
     # -------------------------------------------------------------- formulas
     def parse_formula(self) -> Formula:
-        token = self.peek()
-        if token.kind == "name" and token.text in ("exists", "forall"):
-            self.advance()
-            names = [self._variable_name()]
-            while self.at(","):
+        self._descend()
+        try:
+            token = self.peek()
+            if token.kind == "name" and token.text in ("exists", "forall"):
                 self.advance()
-                names.append(self._variable_name())
-            self.expect(".")
-            child = self.parse_formula()
-            constructor = Exists if token.text == "exists" else ForAll
-            return constructor(tuple(names), child)
-        return self.parse_disjunct()
+                names = [self._variable_name()]
+                while self.at(","):
+                    self.advance()
+                    names.append(self._variable_name())
+                self.expect(".")
+                child = self.parse_formula()
+                constructor = Exists if token.text == "exists" else ForAll
+                return constructor(tuple(names), child)
+            return self.parse_disjunct()
+        finally:
+            self.depth -= 1
 
     def _variable_name(self) -> str:
         token = self.peek()
@@ -158,26 +183,34 @@ class _Parser:
         return parts[0] if len(parts) == 1 else And(tuple(parts))
 
     def parse_unary(self) -> Formula:
-        token = self.peek()
-        if token.text == "not":
-            self.advance()
-            return Not(self.parse_unary())
-        if token.text == "(":
-            # could be a parenthesized formula or a parenthesized arithmetic
-            # expression starting a comparison; try formula first by
-            # backtracking on failure
-            saved = self.index
-            try:
+        self._descend()
+        try:
+            token = self.peek()
+            if token.text == "not":
                 self.advance()
-                inner = self.parse_formula()
-                self.expect(")")
-                if self.peek().text in _COMPARISONS:
-                    raise ParseError("comparison", token.position)
-                return inner
-            except ParseError:
-                self.index = saved
-                return self.parse_atom()
-        return self.parse_atom()
+                return Not(self.parse_unary())
+            if token.text == "(":
+                # could be a parenthesized formula or a parenthesized
+                # arithmetic expression starting a comparison; try formula
+                # first by backtracking on failure -- except for the depth
+                # guard, which must propagate or the fallback would just hit
+                # it again via a deeper arithmetic recursion
+                saved = self.index
+                try:
+                    self.advance()
+                    inner = self.parse_formula()
+                    self.expect(")")
+                    if self.peek().text in _COMPARISONS:
+                        raise ParseError("comparison", token.position)
+                    return inner
+                except _DepthLimitError:
+                    raise
+                except ParseError:
+                    self.index = saved
+                    return self.parse_atom()
+            return self.parse_atom()
+        finally:
+            self.depth -= 1
 
     def parse_atom(self) -> Formula:
         token = self.peek()
@@ -340,22 +373,28 @@ class _Parser:
         return result
 
     def _parse_factor(self) -> Polynomial:
-        token = self.peek()
-        if token.text == "-":
-            self.advance()
-            return -self._parse_factor()
-        if token.kind == "number":
-            self.advance()
-            return Polynomial.constant(_number_value(token.text))
-        if token.text == "(":
-            self.advance()
-            inner = self._parse_arith()
-            self.expect(")")
-            return inner
-        if token.kind == "name" and token.text not in _KEYWORDS:
-            self.advance()
-            return Polynomial.variable(token.text)
-        raise ParseError(f"bad arithmetic factor {token.text!r}", token.position)
+        self._descend()
+        try:
+            token = self.peek()
+            if token.text == "-":
+                self.advance()
+                return -self._parse_factor()
+            if token.kind == "number":
+                self.advance()
+                return Polynomial.constant(_number_value(token.text))
+            if token.text == "(":
+                self.advance()
+                inner = self._parse_arith()
+                self.expect(")")
+                return inner
+            if token.kind == "name" and token.text not in _KEYWORDS:
+                self.advance()
+                return Polynomial.variable(token.text)
+            raise ParseError(
+                f"bad arithmetic factor {token.text!r}", token.position
+            )
+        finally:
+            self.depth -= 1
 
     # ----------------------------------------------------------------- rules
     def parse_rule(self) -> Rule:

@@ -47,6 +47,7 @@ from repro.poly.polynomial import Polynomial
 from repro.poly.resultant import discriminant, resultant
 from repro.poly.univariate import QQ, RootInterval, SturmContext, UPoly
 from repro.qe.signs import Dnf, SignCond, dedup
+from repro.runtime.budget import tick
 
 
 # --------------------------------------------------------------------- cells
@@ -394,6 +395,7 @@ def cad_eliminate(conds: Sequence[SignCond], drop_var: str) -> Dnf:
     ops = _FieldOps(QQ)
     result: Dnf = []
     for cell in cells:
+        tick("qe_step")
         signs = [cell_sign(ops, up, cell) for up in star_upolys]
         # x-only conditions must hold on the cell
         if not _x_conditions_hold(conds_x, star, signs, cell, keep_var, ops):

@@ -19,6 +19,7 @@ from typing import Sequence
 from repro.errors import UnsupportedEliminationError
 from repro.poly.polynomial import Polynomial
 from repro.qe.signs import Conj, Dnf, SignCond, dedup, simplify_conj
+from repro.runtime.budget import tick
 
 
 class FMNotApplicableError(UnsupportedEliminationError):
@@ -34,6 +35,7 @@ def fourier_motzkin_eliminate(conds: Sequence[SignCond], var: str) -> Dnf:
     branches = _split_disequalities(conds, var)
     result: Dnf = []
     for branch in branches:
+        tick("qe_step")
         eliminated = _eliminate_branch(branch, var)
         if eliminated is not None:
             result.append(eliminated)

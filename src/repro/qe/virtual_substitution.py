@@ -42,6 +42,7 @@ from repro.qe.signs import (
     dnf_or,
     dnf_single,
 )
+from repro.runtime.budget import tick
 
 MINUS_INFINITY = "minus_infinity"
 
@@ -91,6 +92,7 @@ def vs_eliminate(conds: Sequence[SignCond], var: str) -> Dnf:
             )
     branches: list[Dnf] = []
     for candidate in _elimination_set(with_var, var):
+        tick("qe_step")
         parts: list[Dnf] = [list(candidate.guard)]
         for cond in with_var:
             parts.append(_substitute(cond, var, candidate))

@@ -13,6 +13,14 @@ from typing import Any, Callable, Mapping, Sequence
 
 from repro.errors import ArityError
 from repro.relational.relation import FiniteRelation, Row
+from repro.runtime.budget import tick
+
+
+def _admitted(rows):
+    """Charge the execution supervisor one ``tuple`` tick per admitted row."""
+    for row in rows:
+        tick("tuple")
+        yield row
 
 
 def select(
@@ -26,7 +34,7 @@ def select(
         for row in relation
         if predicate(dict(zip(relation.attributes, row)))
     ]
-    return FiniteRelation(name, relation.attributes, rows)
+    return FiniteRelation(name, relation.attributes, _admitted(rows))
 
 
 def project(
@@ -35,14 +43,14 @@ def project(
     """Projection onto a subset (or reordering) of attributes."""
     indices = [relation.index_of(a) for a in attributes]
     rows = {tuple(row[i] for i in indices) for row in relation}
-    return FiniteRelation(name, attributes, rows)
+    return FiniteRelation(name, attributes, _admitted(rows))
 
 
 def rename(
     relation: FiniteRelation, mapping: Mapping[str, str], name: str = "rename"
 ) -> FiniteRelation:
     new_attributes = [mapping.get(a, a) for a in relation.attributes]
-    return FiniteRelation(name, new_attributes, relation)
+    return FiniteRelation(name, new_attributes, _admitted(relation))
 
 
 def union(
@@ -50,7 +58,9 @@ def union(
 ) -> FiniteRelation:
     if left.attributes != right.attributes:
         raise ArityError("union requires identical schemas")
-    return FiniteRelation(name, left.attributes, list(left) + list(right))
+    return FiniteRelation(
+        name, left.attributes, _admitted(list(left) + list(right))
+    )
 
 
 def difference(
@@ -60,7 +70,9 @@ def difference(
         raise ArityError("difference requires identical schemas")
     right_rows = set(iter(right))
     return FiniteRelation(
-        name, left.attributes, [row for row in left if row not in right_rows]
+        name,
+        left.attributes,
+        _admitted(row for row in left if row not in right_rows),
     )
 
 
@@ -83,4 +95,4 @@ def join(
         key = tuple(row[i] for i in left_key)
         for match in buckets.get(key, ()):
             rows.append(tuple(row) + tuple(match[i] for i in right_rest))
-    return FiniteRelation(name, output_attributes, rows)
+    return FiniteRelation(name, output_attributes, _admitted(rows))

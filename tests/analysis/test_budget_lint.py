@@ -1,0 +1,104 @@
+"""CQL031 (unbudgeted-hard-program): advisory lint for the supervisor.
+
+A program whose classification carries no polynomial complexity bound
+(``not-closed`` or ``closed-Pi2p-hard``) can run forever or explode; the
+linter warns unless the caller declares a resource budget -- either via
+``EngineOptions(budget=...)`` (engine pre-flight) or the textual
+``# budget: declared`` directive.
+"""
+
+from repro.analysis import analyze_program
+from repro.analysis.lint import lint_text
+from repro.constraints.dense_order import DenseOrderTheory
+from repro.constraints.real_poly import RealPolynomialTheory
+from repro.core.datalog import DatalogProgram, EngineOptions
+from repro.core.generalized import GeneralizedDatabase
+from repro.logic.parser import parse_rules
+from repro.runtime.budget import Budget
+
+TC = "T(x, y) :- E(x, y). T(x, y) :- T(x, z), E(z, y)."
+
+
+def _codes(report):
+    return [d.code for d in report.diagnostics]
+
+
+class TestAnalyzerCQL031:
+    def test_not_closed_program_without_budget_warns(self):
+        theory = RealPolynomialTheory()
+        report = analyze_program(parse_rules(TC, theory=theory), theory)
+        assert "CQL031" in _codes(report)
+
+    def test_budget_declared_silences_the_warning(self):
+        theory = RealPolynomialTheory()
+        report = analyze_program(
+            parse_rules(TC, theory=theory), theory, budget_declared=True
+        )
+        assert "CQL031" not in _codes(report)
+
+    def test_ptime_program_never_warns(self):
+        theory = DenseOrderTheory()
+        report = analyze_program(parse_rules(TC, theory=theory), theory)
+        assert "CQL031" not in _codes(report)
+
+    def test_cql031_is_a_warning_not_an_error(self):
+        theory = RealPolynomialTheory()
+        report = analyze_program(parse_rules(TC, theory=theory), theory)
+        diagnostic = next(d for d in report.diagnostics if d.code == "CQL031")
+        assert diagnostic.severity == "warning"
+        assert "budget" in (diagnostic.hint or "")
+
+
+class TestLintDirective:
+    def test_textual_program_warns(self):
+        report = lint_text(f"# theory: real_poly\n{TC}\n")
+        assert "CQL031" in _codes(report)
+
+    def test_budget_directive_silences(self):
+        report = lint_text(
+            f"# theory: real_poly\n# budget: declared\n{TC}\n"
+        )
+        assert "CQL031" not in _codes(report)
+
+
+class TestEnginePreflight:
+    def test_preflight_wires_engine_budget_into_analyzer(self):
+        """The pre-flight gate passes ``budget_declared`` exactly when the
+        engine options carry a budget (CQL031 is advisory, so the program
+        constructs either way -- the report content is what changes)."""
+        theory = RealPolynomialTheory()
+        rules = parse_rules(TC, theory=theory)
+        for options, expect_warning in [
+            (EngineOptions(), True),
+            (EngineOptions(budget=Budget(rounds=8)), False),
+        ]:
+            report = analyze_program(
+                rules, theory, budget_declared=options.budget is not None
+            )
+            assert ("CQL031" in _codes(report)) is expect_warning
+
+    def test_analyze_gate_tolerates_the_warning(self):
+        # CQL031 is a warning: analyze=True must not reject the program
+        theory = RealPolynomialTheory()
+        program = DatalogProgram(
+            parse_rules(TC, theory=theory),
+            theory,
+            allow_unsafe_recursion=True,
+            options=EngineOptions(analyze=True),
+        )
+        assert program.rules
+
+    def test_budgeted_evaluation_still_runs(self):
+        theory = DenseOrderTheory()
+        db = GeneralizedDatabase(theory)
+        edge = db.create_relation("E", ("x", "y"))
+        for i in range(3):
+            edge.add_point([i, i + 1])
+        program = DatalogProgram(
+            parse_rules(TC, theory=theory),
+            theory,
+            options=EngineOptions(budget=Budget(rounds=100)),
+        )
+        world, stats = program.evaluate(db)
+        assert len(world.relation("T")) == 6
+        assert not stats.incomplete

@@ -1,0 +1,157 @@
+"""Index structures under ChaosPolicy-interrupted bulk inserts.
+
+Property under test (robustness satellite): a bulk load whose individual
+insert operations are interrupted by injected transient faults -- and then
+retried per the chaos policy's retry budget -- leaves every index fully
+queryable and semantically identical to an uninterrupted build.
+
+Two layers are exercised:
+
+* the bare :class:`IntervalTree`/:class:`BPlusTree` under a driver-level
+  retry loop (the fault fires *between* structure mutations, as a failing
+  key computation would);
+* :class:`GeneralizedIndex1D` over a :func:`harden`-wrapped dense-order
+  theory inside a :func:`chaos_scope` -- the real injection path, where
+  faults fire inside the theory calls that canonicalize tuples and compute
+  key intervals, and :class:`ResilientTheory` retries transparently.
+"""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.constraints.dense_order import DenseOrderTheory, le
+from repro.core.generalized import GeneralizedRelation
+from repro.errors import TransientTheoryError
+from repro.indexing.bptree import BPlusTree
+from repro.indexing.generalized_index import (
+    GeneralizedIndex1D,
+    NaiveGeneralizedSearch,
+)
+from repro.indexing.interval import Interval
+from repro.indexing.interval_tree import IntervalTree
+from repro.runtime.chaos import ChaosPolicy, ChaosRuntime, chaos_scope, harden
+
+
+def _insert_with_retry(runtime, policy, operation):
+    """One logical insert under fault injection: retry per the policy."""
+    for attempt in range(policy.max_retries + 1):
+        try:
+            runtime.fire("join")
+            operation()
+            return
+        except TransientTheoryError:
+            if attempt == policy.max_retries:
+                raise
+
+
+def _random_intervals(seed, n):
+    rng = random.Random(seed)
+    intervals = []
+    for i in range(n):
+        low = Fraction(rng.randint(0, 400), 4)
+        high = low + Fraction(rng.randint(0, 40), 4)
+        intervals.append(Interval(low, high, payload=i))
+    return intervals
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+class TestIntervalTreeChaosBulkInsert:
+    def test_queryable_and_consistent_after_retries(self, seed):
+        policy = ChaosPolicy(
+            seed=seed, p=0.3, sites=("join",), faults=("transient",)
+        )
+        runtime = ChaosRuntime(policy)
+        intervals = _random_intervals(seed, 120)
+
+        tree = IntervalTree()
+        for interval in intervals:
+            _insert_with_retry(runtime, policy, lambda: tree.insert(interval))
+        assert runtime.stats.total_injected > 0  # chaos actually happened
+
+        reference = IntervalTree()
+        for interval in intervals:
+            reference.insert(interval)
+
+        assert len(tree) == len(reference) == len(intervals)
+        assert tree.items() == reference.items()
+        # still balanced: AVL height is O(log n)
+        assert tree.height() <= 2 * len(intervals).bit_length()
+        for probe in range(0, 110, 7):
+            value = Fraction(probe)
+            expected = sorted(
+                (i.payload for i in intervals if i.contains(value)),
+            )
+            got = sorted(hit.payload for hit in tree.stab(value))
+            assert got == expected
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+class TestBPlusTreeChaosBulkInsert:
+    def test_queryable_and_consistent_after_retries(self, seed):
+        policy = ChaosPolicy(
+            seed=seed, p=0.3, sites=("join",), faults=("transient",)
+        )
+        runtime = ChaosRuntime(policy)
+        rng = random.Random(seed)
+        pairs = [(rng.randint(0, 500), i) for i in range(200)]
+
+        tree = BPlusTree(branching=8)
+        for key, payload in pairs:
+            _insert_with_retry(
+                runtime, policy, lambda k=key, p=payload: tree.insert(k, p)
+            )
+        assert runtime.stats.total_injected > 0
+
+        assert len(tree) == len(pairs)
+        assert sorted(tree.items()) == sorted(pairs)
+        for low, high in [(0, 50), (100, 300), (450, 500)]:
+            expected = sorted(
+                (k, p) for k, p in pairs if low <= k <= high
+            )
+            assert sorted(tree.range_search(low, high)) == expected
+
+
+class TestGeneralizedIndexUnderChaosScope:
+    def test_index_built_through_hardened_theory_matches_naive(self):
+        policy = ChaosPolicy(seed=4, p=0.2)
+        with chaos_scope(policy) as runtime:
+            theory = harden(DenseOrderTheory(), policy)
+            relation = GeneralizedRelation("R", ("n", "x"), theory)
+            for i in range(25):
+                relation.add_tuple(
+                    [
+                        theory.equality("n", Fraction(i)),
+                        le(Fraction(i), "x"),
+                        le("x", Fraction(i + 3)),
+                    ]
+                )
+            index = GeneralizedIndex1D(relation, "x")
+            hits = sorted(
+                tuple(str(a) for a in item.atoms)
+                for item in index.candidates(5, 9)
+            )
+        assert runtime.stats.total_injected > 0
+        assert len(index) == len(relation) == 25
+
+        # rebuild cleanly and compare against the strawman scan
+        clean_theory = DenseOrderTheory()
+        clean = GeneralizedRelation("R", ("n", "x"), clean_theory)
+        for i in range(25):
+            clean.add_tuple(
+                [
+                    clean_theory.equality("n", Fraction(i)),
+                    le(Fraction(i), "x"),
+                    le("x", Fraction(i + 3)),
+                ]
+            )
+        clean_index = GeneralizedIndex1D(clean, "x")
+        assert hits == sorted(
+            tuple(str(a) for a in item.atoms)
+            for item in clean_index.candidates(5, 9)
+        )
+        naive = NaiveGeneralizedSearch(clean, "x")
+        assert {
+            tuple(str(a) for a in t.atoms) for t in clean_index.search(5, 9)
+        } == {tuple(str(a) for a in t.atoms) for t in naive.search(5, 9)}

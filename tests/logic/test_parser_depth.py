@@ -1,0 +1,37 @@
+"""Recursion-depth guard of the formula parser (robustness satellite).
+
+A pathological 10k-deep ``not`` chain must fail with a positioned
+:class:`ParseError`, never a Python ``RecursionError``.
+"""
+
+import pytest
+
+from repro.constraints.dense_order import DenseOrderTheory
+from repro.errors import ParseError
+from repro.logic.parser import parse_query
+
+theory = DenseOrderTheory()
+
+
+class TestDepthGuard:
+    def test_10k_negation_chain_is_a_parse_error(self):
+        text = "not " * 10_000 + "x < 1"
+        with pytest.raises(ParseError) as info:
+            parse_query(text, theory=theory)
+        assert "nesting exceeds the maximum depth" in str(info.value)
+        assert info.value.position is not None
+
+    def test_10k_paren_nesting_is_a_parse_error(self):
+        text = "(" * 10_000 + "x < 1" + ")" * 10_000
+        with pytest.raises(ParseError) as info:
+            parse_query(text, theory=theory)
+        assert "nesting exceeds the maximum depth" in str(info.value)
+
+    def test_deep_but_legal_nesting_still_parses(self):
+        text = "not " * 60 + "x < 1"
+        formula = parse_query(text, theory=theory)
+        assert formula is not None
+
+    def test_mixed_nesting_under_limit_parses(self):
+        text = "(" * 20 + "not (x < 1 and y < 2)" + ")" * 20
+        assert parse_query(text, theory=theory) is not None

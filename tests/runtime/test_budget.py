@@ -1,0 +1,181 @@
+"""Tests for the Budget/BudgetMeter supervisor core (runtime/budget.py)."""
+
+import pytest
+
+from repro.errors import BudgetExceededError, ReproError
+from repro.runtime.budget import (
+    Budget,
+    CancellationToken,
+    active_meter,
+    metered,
+    parse_budget_spec,
+    supervised,
+    tick,
+)
+
+
+class TestBudget:
+    def test_defaults_are_unlimited(self):
+        budget = Budget()
+        assert budget.as_dict() == {
+            "deadline_seconds": None,
+            "qe_steps": None,
+            "rounds": None,
+            "tuples": None,
+            "joins": None,
+            "qe_rung_steps": None,
+            "partial_results": "raise",
+        }
+
+    def test_partial_results_validated(self):
+        with pytest.raises(ValueError):
+            Budget(partial_results="best-effort")
+
+    def test_error_is_a_repro_error(self):
+        assert issubclass(BudgetExceededError, ReproError)
+
+
+class TestMeter:
+    def test_tick_within_limit_is_silent(self):
+        meter = Budget(rounds=3).start()
+        for _ in range(3):
+            meter.tick("round")
+
+    def test_tick_over_limit_trips(self):
+        meter = Budget(rounds=3).start()
+        for _ in range(3):
+            meter.tick("round")
+        with pytest.raises(BudgetExceededError) as info:
+            meter.tick("round")
+        report = info.value.report
+        assert report.budget_kind == "rounds"
+        assert report.limit == 3
+        assert report.used == 4
+        assert report.scope == "global"
+        assert report.counts["round"] == 4
+
+    @pytest.mark.parametrize(
+        "site,kind",
+        [
+            ("qe_step", "qe_steps"),
+            ("tuple", "tuples"),
+            ("join", "joins"),
+        ],
+    )
+    def test_each_site_maps_to_its_limit(self, site, kind):
+        meter = Budget(**{kind: 1}).start()
+        meter.tick(site)
+        with pytest.raises(BudgetExceededError) as info:
+            meter.tick(site)
+        assert info.value.report.budget_kind == kind
+
+    def test_unlimited_sites_never_trip(self):
+        meter = Budget(rounds=1).start()
+        for _ in range(100):
+            meter.tick("tuple")
+        meter.tick("round")
+
+    def test_amount_charges_in_bulk(self):
+        meter = Budget(tuples=10).start()
+        with pytest.raises(BudgetExceededError):
+            meter.tick("tuple", amount=11)
+
+    def test_deadline_trips_on_any_site(self):
+        meter = Budget(deadline_seconds=0.0).start()
+        with pytest.raises(BudgetExceededError) as info:
+            meter.tick("sat")
+        assert info.value.report.budget_kind == "deadline"
+
+    def test_cancellation_token(self):
+        token = CancellationToken()
+        meter = Budget(token=token).start()
+        meter.tick("round")
+        token.cancel("client went away")
+        with pytest.raises(BudgetExceededError) as info:
+            meter.tick("round")
+        report = info.value.report
+        assert report.budget_kind == "cancelled"
+        assert report.note == "client went away"
+
+    def test_report_as_dict_drops_zero_counts(self):
+        meter = Budget().start()
+        meter.tick("round")
+        payload = meter.report().as_dict()
+        assert payload["counts"] == {"round": 1}
+        assert payload["scope"] == "global"
+
+
+class TestRungMeter:
+    def test_rung_trip_has_qe_rung_scope(self):
+        parent = Budget(qe_rung_steps=2).start()
+        child = parent.rung_meter()
+        child.tick("qe_step")
+        child.tick("qe_step")
+        with pytest.raises(BudgetExceededError) as info:
+            child.tick("qe_step")
+        assert info.value.report.scope == "qe_rung"
+        # the rung's ticks were forwarded into the global meter
+        assert parent.counts["qe_step"] == 3
+
+    def test_global_limit_wins_inside_a_rung(self):
+        parent = Budget(qe_steps=1, qe_rung_steps=100).start()
+        child = parent.rung_meter()
+        child.tick("qe_step")
+        with pytest.raises(BudgetExceededError) as info:
+            child.tick("qe_step")
+        # the parent (global) cap trips first, with global scope
+        assert info.value.report.scope == "global"
+
+
+class TestAmbientMeter:
+    def test_tick_without_meter_is_a_noop(self):
+        assert active_meter() is None
+        tick("round")  # must not raise
+
+    def test_supervised_installs_and_restores(self):
+        with supervised(Budget(rounds=1)) as meter:
+            assert active_meter() is meter
+            tick("round")
+            with pytest.raises(BudgetExceededError):
+                tick("round")
+        assert active_meter() is None
+
+    def test_supervised_none_inherits(self):
+        with supervised(Budget(rounds=1)) as outer:
+            with supervised(None) as inner:
+                assert inner is outer
+
+    def test_metered_installs_explicit_meter(self):
+        meter = Budget(tuples=1).start()
+        with metered(meter):
+            tick("tuple")
+            with pytest.raises(BudgetExceededError):
+                tick("tuple")
+        assert active_meter() is None
+
+
+class TestParseBudgetSpec:
+    def test_full_spec(self):
+        budget = parse_budget_spec("deadline=0.05 rounds=10 qe=99 fringe")
+        assert budget.deadline_seconds == 0.05
+        assert budget.rounds == 10
+        assert budget.qe_steps == 99
+        assert budget.partial_results == "fringe"
+
+    def test_token_list(self):
+        budget = parse_budget_spec(["tuples=7", "joins=8", "rung=3"])
+        assert budget.tuples == 7
+        assert budget.joins == 8
+        assert budget.qe_rung_steps == 3
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ValueError):
+            parse_budget_spec("cycles=10")
+
+    def test_bad_value_rejected(self):
+        with pytest.raises(ValueError):
+            parse_budget_spec("rounds=ten")
+
+    def test_bare_word_rejected(self):
+        with pytest.raises(ValueError):
+            parse_budget_spec("deadline")

@@ -1,0 +1,179 @@
+"""Tests for the seeded chaos/fault-injection harness (runtime/chaos.py)."""
+
+import pytest
+
+from repro.constraints.dense_order import DenseOrderTheory, le, lt
+from repro.core.datalog import DatalogProgram
+from repro.core.generalized import GeneralizedDatabase
+from repro.errors import SpuriousUnsatError, TheoryError, TransientTheoryError
+from repro.logic.parser import parse_rules
+from repro.runtime.chaos import (
+    ChaosPolicy,
+    ChaosRuntime,
+    ChaosTheory,
+    ResilientTheory,
+    chaos_scope,
+    current_chaos,
+    harden,
+    parse_chaos_spec,
+    unwrap_theory,
+)
+
+
+class TestChaosPolicy:
+    def test_probability_validated(self):
+        with pytest.raises(ValueError):
+            ChaosPolicy(p=1.5)
+
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ValueError):
+            ChaosPolicy(sites=("disk",))
+
+    def test_unknown_fault_rejected(self):
+        with pytest.raises(ValueError):
+            ChaosPolicy(faults=("bitflip",))
+
+    def test_fairness_bound_must_fit_retry_budget(self):
+        with pytest.raises(ValueError):
+            ChaosPolicy(max_consecutive=5, max_retries=2)
+
+    def test_spurious_unsat_is_a_transient(self):
+        assert issubclass(SpuriousUnsatError, TransientTheoryError)
+        assert issubclass(TransientTheoryError, TheoryError)
+
+
+class TestChaosRuntime:
+    def test_same_seed_same_stream(self):
+        def stats_for(seed):
+            runtime = ChaosRuntime(
+                ChaosPolicy(seed=seed, p=0.5, faults=("transient",))
+            )
+            outcomes = []
+            for _ in range(200):
+                try:
+                    runtime.fire("sat")
+                    outcomes.append(0)
+                except TransientTheoryError:
+                    outcomes.append(1)
+            return outcomes, runtime.stats.as_dict()
+
+        assert stats_for(7) == stats_for(7)
+        assert stats_for(7) != stats_for(8)
+
+    def test_untargeted_site_never_fires(self):
+        runtime = ChaosRuntime(ChaosPolicy(p=1.0, sites=("sat",)))
+        runtime.fire("join")
+        assert runtime.stats.calls == 0
+
+    def test_fairness_bounds_consecutive_raises(self):
+        policy = ChaosPolicy(
+            p=1.0, faults=("transient",), max_consecutive=2, max_retries=3
+        )
+        runtime = ChaosRuntime(policy)
+        longest = streak = 0
+        for _ in range(500):
+            try:
+                runtime.fire("sat")
+                streak = 0
+            except TransientTheoryError:
+                streak += 1
+                longest = max(longest, streak)
+        assert longest <= policy.max_consecutive
+        assert runtime.stats.suppressed_by_fairness > 0
+
+
+def _dense_db_and_theory(policy):
+    theory = harden(DenseOrderTheory(), policy)
+    db = GeneralizedDatabase(theory)
+    edge = db.create_relation("E", ("x", "y"))
+    for i in range(6):
+        edge.add_point([i, i + 1])
+    edge.add_tuple([le(0, "x"), lt("x", "y"), le("y", 1)])
+    return db, theory
+
+
+class TestWrappers:
+    def test_harden_layers_and_unwrap(self):
+        inner = DenseOrderTheory()
+        theory = harden(inner)
+        assert isinstance(theory, ResilientTheory)
+        assert isinstance(theory.inner, ChaosTheory)
+        assert unwrap_theory(theory) is inner
+        assert theory.name == inner.name
+        # the cache object is shared so the engine's enable/disable works
+        assert theory.cache is inner.cache
+
+    def test_wrapper_inert_outside_scope(self):
+        policy = ChaosPolicy(p=1.0, faults=("transient",))
+        db, _theory = _dense_db_and_theory(policy)
+        assert current_chaos() is None
+        relation = db.relation("E")
+        assert len(relation) == 7  # all adds succeeded, nothing injected
+
+    def test_retry_recovers_under_scope(self):
+        policy = ChaosPolicy(
+            seed=5, p=0.3, faults=("transient", "spurious_unsat")
+        )
+        with chaos_scope(policy) as runtime:
+            db, theory = _dense_db_and_theory(policy)
+            relation = db.relation("E")
+            assert len(relation) == 7
+            assert theory.is_satisfiable([lt(0, "x"), lt("x", 1)])
+        assert runtime.stats.total_injected > 0
+        assert runtime.stats.retry_successes > 0
+
+    def test_hard_fault_propagates(self):
+        policy = ChaosPolicy(
+            p=1.0, faults=("theory_error",), max_consecutive=1, max_retries=1
+        )
+        theory = harden(DenseOrderTheory(), policy)
+        with chaos_scope(policy):
+            with pytest.raises(TheoryError):
+                theory.is_satisfiable([lt(0, "x")])
+
+    def test_datalog_fixpoint_correct_under_chaos(self):
+        """End-to-end: the engine's answer under chaos equals the clean one."""
+        rules_text = """
+        T(x, y) :- E(x, y).
+        T(x, y) :- T(x, z), E(z, y).
+        """
+        clean_theory = DenseOrderTheory()
+        clean_db = GeneralizedDatabase(clean_theory)
+        edge = clean_db.create_relation("E", ("x", "y"))
+        for i in range(5):
+            edge.add_point([i, i + 1])
+        clean_world, _ = DatalogProgram(
+            parse_rules(rules_text, theory=clean_theory), clean_theory
+        ).evaluate(clean_db)
+        expected = {frozenset(t.atoms) for t in clean_world.relation("T")}
+
+        policy = ChaosPolicy(seed=3, p=0.1)
+        with chaos_scope(policy):
+            theory = harden(DenseOrderTheory(), policy)
+            db = GeneralizedDatabase(theory)
+            edge = db.create_relation("E", ("x", "y"))
+            for i in range(5):
+                edge.add_point([i, i + 1])
+            world, _ = DatalogProgram(
+                parse_rules(rules_text, theory=unwrap_theory(theory)), theory
+            ).evaluate(db)
+        actual = {frozenset(t.atoms) for t in world.relation("T")}
+        assert actual == expected
+
+
+class TestParseChaosSpec:
+    def test_defaults(self):
+        policy = parse_chaos_spec([])
+        assert policy.p == ChaosPolicy().p
+        assert policy.seed == ChaosPolicy().seed
+
+    def test_keys(self):
+        policy = parse_chaos_spec("p=0.2 seed=9 latency=0.002 retries=5")
+        assert policy.p == 0.2
+        assert policy.seed == 9
+        assert policy.latency_seconds == 0.002
+        assert policy.max_retries == 5
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ValueError):
+            parse_chaos_spec("voltage=11")

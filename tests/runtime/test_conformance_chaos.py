@@ -1,0 +1,89 @@
+"""Chaos/budget wiring of the differential conformance runner.
+
+The fast tests here run in the default suite; the seeded multi-theory chaos
+sweeps are marked ``chaos`` and excluded from ``pytest`` by default (the
+nightly CI job runs them with ``-m chaos``).  The property under test is the
+ISSUE acceptance criterion: under fault injection the strategies may run
+slower, retry, or die with a sanctioned degradation error -- but whenever
+two strategies both produce an answer, the answers agree.
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro.conformance.generators import generate_case
+from repro.conformance.runner import run_case, run_conformance
+from repro.conformance.spec import build_theory
+from repro.constraints.boolean import BooleanTheory
+from repro.runtime.budget import Budget
+from repro.runtime.chaos import (
+    ChaosPolicy,
+    ChaosRuntime,
+    chaos_scope,
+    unwrap_theory,
+)
+
+
+class TestBudgetedRunCase:
+    def test_starved_budget_counts_degradations_not_discrepancies(self):
+        spec = generate_case("dense_order", 42)
+        degraded = Counter()
+        found = run_case(
+            spec, None, Budget(deadline_seconds=0.0), degraded
+        )
+        assert found is None  # degraded runs are never discrepancies
+        assert degraded["BudgetExceededError"] >= 1
+
+    def test_no_budget_no_degradations(self):
+        spec = generate_case("dense_order", 42)
+        degraded = Counter()
+        assert run_case(spec, None, None, degraded) is None
+        assert not degraded
+
+
+class TestChaosBuildTheory:
+    def test_build_theory_hardens_under_scope(self):
+        spec = generate_case("boolean", 7)
+        bare = build_theory(spec)
+        assert isinstance(bare, BooleanTheory)
+        with chaos_scope(ChaosPolicy(seed=1)):
+            wrapped = build_theory(spec)
+        assert wrapped is not bare
+        assert isinstance(unwrap_theory(wrapped), BooleanTheory)
+
+
+@pytest.mark.chaos
+class TestChaosSweep:
+    """Seeded fault-injection sweeps across every constraint theory."""
+
+    @pytest.mark.parametrize(
+        "theory", ["dense_order", "equality", "boolean", "real_poly"]
+    )
+    def test_zero_differential_mismatches_under_chaos(self, theory):
+        report = run_conformance(
+            theory,
+            cases=10,
+            seed=3,
+            chaos=ChaosPolicy(seed=11, p=0.05),
+        )
+        assert report.ok, [f.discrepancy.describe() for f in report.failures]
+        assert report.chaos_stats is not None
+        assert report.chaos_stats["calls"] > 0
+
+    def test_chaos_run_is_deterministic(self):
+        def run():
+            report = run_conformance(
+                "equality", cases=4, seed=5, chaos=ChaosPolicy(seed=2, p=0.2)
+            )
+            return report.chaos_stats, dict(report.degraded), report.ok
+
+        assert run() == run()
+
+    def test_single_case_under_armed_runtime(self):
+        runtime = ChaosRuntime(ChaosPolicy(seed=9, p=0.2))
+        spec = generate_case("dense_order", 123)
+        degraded = Counter()
+        found = run_case(spec, runtime, None, degraded)
+        assert found is None
+        assert runtime.stats.calls > 0

@@ -1,0 +1,101 @@
+"""Per-rung budgets on the QE degradation ladder (FM -> VS -> CAD).
+
+With ``qe_rung_steps`` set, each of the FM and VS rungs runs under a child
+meter: when a rung exhausts its cap the ladder falls through to the next
+backend instead of aborting the whole run, and the final answer is the same
+set of solutions (degradation changes *which* engine answers, never the
+answer).  Global budgets still apply inside rungs and do abort.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.constraints.real_poly import (
+    RealPolynomialTheory,
+    poly_gt,
+    poly_lt,
+    poly_ne,
+)
+from repro.errors import BudgetExceededError
+from repro.poly.polynomial import poly_var
+from repro.runtime.budget import Budget, supervised
+
+theory = RealPolynomialTheory()
+
+x = poly_var("x")
+y = poly_var("y")
+
+#: a feasible linear system in two variables: 0 < x < y < 1, plus two
+#: disequalities on x -- FM splits each into two strict branches, so the
+#: elimination walks four branches (four qe_step ticks)
+ATOMS = (
+    poly_gt(x),                        # x > 0
+    poly_lt(x - y),                    # x < y
+    poly_lt(y - 1),                    # y < 1
+    poly_ne(x - Fraction(1, 2)),       # x != 1/2
+    poly_ne(x - Fraction(1, 3)),       # x != 1/3
+)
+
+
+def _solutions(conjunctions):
+    """Normalize an eliminate() result for comparison."""
+    return {
+        frozenset(str(atom) for atom in conj) for conj in conjunctions
+    }
+
+
+def _satisfiable_points(conjunctions, samples):
+    """Evaluate each residual conjunction at sample y values (semantic check)."""
+    outcomes = []
+    for value in samples:
+        holds = any(
+            all(atom.holds({"y": value}) for atom in conj)
+            for conj in conjunctions
+        )
+        outcomes.append(holds)
+    return outcomes
+
+
+SAMPLES = [Fraction(-1), Fraction(0), Fraction(1, 2), Fraction(1), Fraction(2)]
+
+
+class TestRungDegradation:
+    def test_unbudgeted_baseline(self):
+        result = theory.eliminate(ATOMS, ["x"])
+        # exists x: 0 < x < y  and  y < 1  ==  0 < y < 1
+        assert _satisfiable_points(result, SAMPLES) == [
+            False,
+            False,
+            True,
+            False,
+            False,
+        ]
+
+    def test_tiny_rung_budget_degrades_without_changing_answer(self):
+        baseline = theory.eliminate(ATOMS, ["x"])
+        with supervised(Budget(qe_rung_steps=1)) as meter:
+            degraded = theory.eliminate(ATOMS, ["x"])
+            # the tripped rungs' ticks were still charged globally
+            assert meter.counts["qe_step"] >= 1
+        assert _satisfiable_points(degraded, SAMPLES) == _satisfiable_points(
+            baseline, SAMPLES
+        )
+
+    def test_generous_rung_budget_keeps_first_rung(self):
+        baseline = theory.eliminate(ATOMS, ["x"])
+        with supervised(Budget(qe_rung_steps=10_000)):
+            result = theory.eliminate(ATOMS, ["x"])
+        assert _solutions(result) == _solutions(baseline)
+
+    def test_global_qe_budget_still_aborts(self):
+        with supervised(Budget(qe_steps=1)):
+            with pytest.raises(BudgetExceededError) as info:
+                theory.eliminate(ATOMS, ["x"])
+        assert info.value.report.scope == "global"
+        assert info.value.report.budget_kind == "qe_steps"
+
+    def test_rung_budget_without_meter_is_ignored(self):
+        # qe_rung_steps only means something under an installed meter
+        result = theory.eliminate(ATOMS, ["x"])
+        assert result  # no supervisor, no caps, normal answer
