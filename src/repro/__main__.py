@@ -4,7 +4,9 @@
 * ``conformance ...``: the differential conformance harness
   (``python -m repro conformance --theory dense --cases 500 --seed 0``);
 * ``lint ...``: the cqlint static analyzer
-  (``python -m repro lint examples/programs --json --stats``).
+  (``python -m repro lint examples/programs --json --stats``);
+* ``bench ...``: the engine benchmark suite
+  (``python -m repro bench --profile smoke --check 25``).
 """
 
 import sys
@@ -20,6 +22,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.analysis.lint import main as lint_main
 
         return lint_main(args[1:])
+    if args and args[0] == "bench":
+        from repro.harness.bench import main as bench_main
+
+        return bench_main(args[1:])
     from repro.cli import main as shell_main
 
     shell_main()

@@ -53,6 +53,9 @@ HELP = """commands:
   .budget SPEC            resource budget for .run/.query, e.g.
                           .budget deadline=0.05 rounds=100 fringe
                           (.budget off clears it; bare .budget shows it)
+  .engine [FLAG=on|off]   show or toggle fast-path flags for .run, e.g.
+                          .engine index_probes=off parallel=on
+                          (.engine all_on / .engine all_off reset the lot)
   .show R                 print a relation
   .list                   list relations and rules
   .help                   this text
@@ -71,6 +74,7 @@ class Shell:
         self.db = GeneralizedDatabase(self.theory)
         self.rules: list[Rule] = []
         self.budget: Budget | None = None
+        self.engine = EngineOptions()
 
     def write(self, text: str) -> None:
         print(text, file=self.out)
@@ -105,6 +109,9 @@ class Shell:
         if line == ".budget":
             self._set_budget("")
             return True
+        if line == ".engine":
+            self._set_engine("")
+            return True
         command, _, rest = line.partition(" ")
         rest = rest.strip()
         if command == ".theory":
@@ -124,6 +131,8 @@ class Shell:
             self.write(str(self.db.relation(rest)))
         elif command == ".budget":
             self._set_budget(rest)
+        elif command == ".engine":
+            self._set_engine(rest)
         else:
             self.write(f"unknown command {command!r}; try .help")
         return True
@@ -208,6 +217,33 @@ class Shell:
         self.budget = parse_budget_spec(spec)
         self._set_budget("")
 
+    def _set_engine(self, spec: str) -> None:
+        from dataclasses import replace
+
+        if not spec:
+            flags = ", ".join(
+                f"{name}={'on' if value else 'off'}"
+                for name, value in self.engine.as_dict().items()
+            )
+            self.write(f"engine: {flags}")
+            return
+        if spec == "all_on":
+            self.engine = EngineOptions.all_on()
+        elif spec == "all_off":
+            self.engine = EngineOptions.all_off()
+        else:
+            known = self.engine.as_dict()
+            for token in spec.split():
+                name, sep, state = token.partition("=")
+                if not sep or name not in known or state not in ("on", "off"):
+                    self.write(
+                        f"usage: .engine FLAG=on|off with FLAG in "
+                        f"{sorted(known)} (or .engine all_on / all_off)"
+                    )
+                    return
+                self.engine = replace(self.engine, **{name: state == "on"})
+        self._set_engine("")
+
     def _query(self, text: str) -> None:
         query = parse_query(text, theory=self.theory)
         # a tripped budget raises BudgetExceededError (a ReproError), which
@@ -220,8 +256,10 @@ class Shell:
         if not self.rules:
             self.write("no rules; add some with .rule")
             return
+        from dataclasses import replace
+
         program = DatalogProgram(
-            self.rules, self.theory, options=EngineOptions(budget=self.budget)
+            self.rules, self.theory, options=replace(self.engine, budget=self.budget)
         )
         world, stats = program.evaluate(self.db)
         self.db = world

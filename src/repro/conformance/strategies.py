@@ -81,6 +81,21 @@ ABLATION_GRID: tuple[tuple[str, EngineOptions], ...] = (
         (f"no_{flag}", replace(EngineOptions.all_on(), **{flag: False}))
         for flag in EngineOptions.all_on().as_dict()
     ),
+    # the three plan/index/parallel layers off together while the original
+    # cache layers stay on: the pre-planner "serial scan" engine
+    (
+        "serial_scan",
+        replace(
+            EngineOptions.all_on(),
+            join_planner=False,
+            index_probes=False,
+            parallel=False,
+        ),
+    ),
+    # pinned worker count: the auto-sized pool degrades to the serial path
+    # on single-CPU runners, so the threaded round executor must be forced
+    # to actually run multi-worker under conformance
+    ("parallel_forced", replace(EngineOptions.all_on(), parallel_workers=3)),
 )
 
 

@@ -22,6 +22,19 @@ Conjunction = tuple[Atom, ...]
 _MISS = object()
 
 
+def _evict_one(table: dict) -> None:
+    """Drop the oldest entry of a FIFO memo table (best effort).
+
+    The parallel Datalog engine shares one cache across worker threads;
+    concurrent evictions can race between picking a victim and popping it, so
+    the pop tolerates a vanished key rather than surfacing a spurious error.
+    """
+    try:
+        table.pop(next(iter(table)), None)
+    except (StopIteration, RuntimeError):
+        pass
+
+
 @dataclass
 class TheoryCacheStats:
     """Hit/miss counters for one :class:`TheoryCache`."""
@@ -90,7 +103,7 @@ class TheoryCache:
 
     def store_sat(self, key: frozenset[Atom], value: bool) -> None:
         if len(self._sat) >= self.maxsize:
-            self._sat.pop(next(iter(self._sat)))
+            _evict_one(self._sat)
         self._sat[key] = value
 
     def lookup_canon(self, key: frozenset[Atom]) -> Any:
@@ -103,7 +116,7 @@ class TheoryCache:
 
     def store_canon(self, key: frozenset[Atom], value: Conjunction | None) -> None:
         if len(self._canon) >= self.maxsize:
-            self._canon.pop(next(iter(self._canon)))
+            _evict_one(self._canon)
         self._canon[key] = value
 
 
@@ -226,6 +239,20 @@ class ConstraintTheory(ABC):
         information) disables the shortcut.
         """
         return {}
+
+    def conjunction_bounds(
+        self, context: "ConjunctionContext | Sequence[Atom]", name: str
+    ) -> tuple[Any, Any] | None:
+        """Constant bounds ``(low, high)`` the conjunction forces on ``name``.
+
+        Sound probing interface for the index-backed Datalog join: any tuple
+        joinable with the conjunction must admit a value of ``name`` inside
+        ``[low, high]`` (either end may be ``None`` for unbounded).  Accepts
+        the incremental :class:`ConjunctionContext` (so theories can read
+        bounds off their solver state) or a bare atom sequence.  The default
+        (no information) disables index probing.
+        """
+        return None
 
     # ------------------------------------------------- incremental conjunctions
     def begin_conjunction(self, atoms: Sequence[Atom]) -> ConjunctionContext:

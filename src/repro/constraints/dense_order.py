@@ -341,6 +341,28 @@ class _Closure:
                 self.satisfiable = False
                 return
 
+    def constant_bounds(
+        self, term: Term
+    ) -> tuple[Fraction | None, Fraction | None]:
+        """The tightest constant interval the closure forces around ``term``.
+
+        Weak reachability suffices for a *sound* bound (strictness only
+        sharpens it, and index keys over-cover anyway), so both directions
+        use the weak matrix.
+        """
+        if term not in self._index:
+            return (None, None)
+        low: Fraction | None = None
+        high: Fraction | None = None
+        for other in self.terms:
+            if not isinstance(other, Const):
+                continue
+            if self.weakly_less(other, term) and (low is None or other.value > low):
+                low = other.value
+            if self.weakly_less(term, other) and (high is None or other.value < high):
+                high = other.value
+        return (low, high)
+
     def representative(self, term: Term) -> Term:
         """The canonical representative of ``term``'s equality class.
 
@@ -426,6 +448,26 @@ class DenseOrderTheory(ConstraintTheory):
                 elif isinstance(atom.left, Const) and isinstance(atom.right, Var):
                     pins[atom.right.name] = atom.left.value
         return pins
+
+    def conjunction_bounds(
+        self, context: ConjunctionContext | Sequence[Atom], name: str
+    ) -> tuple[Fraction | None, Fraction | None] | None:
+        """Constant bounds on ``name`` for the index-backed join probe.
+
+        Reads the bounds straight off the incremental join's order-graph
+        closure when available (no extra solving); falls back to building a
+        closure for a bare atom sequence.
+        """
+        if isinstance(context, ConjunctionContext):
+            closure = context.state
+            if not isinstance(closure, _Closure):
+                closure = _Closure(self._checked(context.atoms))
+        else:
+            closure = _Closure(self._checked(context))
+        low, high = closure.constant_bounds(Var(name))
+        if low is None and high is None:
+            return None
+        return (low, high)
 
     # ------------------------------------------------- incremental conjunctions
     def begin_conjunction(self, atoms: Sequence[Atom]) -> ConjunctionContext:

@@ -27,8 +27,12 @@ Theorems 3.14.2 / 4.11.2).
 
 from __future__ import annotations
 
+import contextvars
 import itertools
+import os
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
+from fractions import Fraction
 from typing import Iterable, Sequence
 
 from repro.constraints.base import ConstraintTheory
@@ -46,6 +50,7 @@ from repro.errors import (
     NotClosedError,
     StaticAnalysisError,
 )
+from repro.indexing.pool import JoinIndexPool
 from repro.logic.syntax import Atom, Not, RelationAtom
 from repro.runtime.budget import Budget, active_meter, metered, tick
 
@@ -141,6 +146,18 @@ class EngineOptions:
     #: reject join candidates whose pinned constants conflict with the
     #: partial conjunction before consulting the solver at all
     pin_filter: bool = True
+    #: reorder each rule's positive atoms by estimated selectivity before
+    #: the depth-first join, re-planned every round (delta/relation sizes
+    #: change between rounds, so the best order does too)
+    join_planner: bool = True
+    #: probe incrementally-maintained generalized 1-d indexes
+    #: (:class:`repro.indexing.pool.JoinIndexPool`) when the partial
+    #: conjunction pins or interval-bounds a join variable, instead of
+    #: scanning the full renamed choice list
+    index_probes: bool = True
+    #: fan independent (rule, delta-position) firings of a round across a
+    #: thread pool with a deterministic merge order
+    parallel: bool = True
     #: run the repro.analysis pre-flight at construction time and raise
     #: StaticAnalysisError on error diagnostics.  Not a perf flag, so it is
     #: deliberately absent from ``as_dict`` (the ablation grid).
@@ -150,6 +167,9 @@ class EngineOptions:
     #: budget the caller installed via ``supervised``.  Not a perf flag, so
     #: absent from ``as_dict`` like ``analyze``.
     budget: Budget | None = None
+    #: worker-thread count for ``parallel`` (0 = derive from the CPU count).
+    #: A sizing knob rather than an optimization, so absent from ``as_dict``.
+    parallel_workers: int = 0
 
     @classmethod
     def all_on(cls) -> "EngineOptions":
@@ -163,6 +183,9 @@ class EngineOptions:
             incremental_join=False,
             complement_cache=False,
             pin_filter=False,
+            join_planner=False,
+            index_probes=False,
+            parallel=False,
         )
 
     def as_dict(self) -> dict[str, bool]:
@@ -172,6 +195,9 @@ class EngineOptions:
             "incremental_join": self.incremental_join,
             "complement_cache": self.complement_cache,
             "pin_filter": self.pin_filter,
+            "join_planner": self.join_planner,
+            "index_probes": self.index_probes,
+            "parallel": self.parallel,
         }
 
 
@@ -199,6 +225,13 @@ class EvaluationStats:
     complement_cache_misses: int = 0
     theory_cache_hits: int = 0
     theory_cache_misses: int = 0
+    plans_built: int = 0
+    plan_reorders: int = 0
+    index_probes: int = 0
+    index_candidates: int = 0
+    index_scan_avoided: int = 0
+    parallel_rounds: int = 0
+    parallel_tasks: int = 0
     per_round_new: list[int] = field(default_factory=list)
     #: True when a budget tripped in ``partial_results="fringe"`` mode and
     #: the returned database is the last sound under-approximation
@@ -232,15 +265,48 @@ class EvaluationStats:
             "complement_cache_misses": self.complement_cache_misses,
             "theory_cache_hits": self.theory_cache_hits,
             "theory_cache_misses": self.theory_cache_misses,
+            "plans_built": self.plans_built,
+            "plan_reorders": self.plan_reorders,
+            "index_probes": self.index_probes,
+            "index_candidates": self.index_candidates,
+            "index_scan_avoided": self.index_scan_avoided,
+            "parallel_rounds": self.parallel_rounds,
+            "parallel_tasks": self.parallel_tasks,
             "cache_hits": self.cache_hits,
             "per_round_new": list(self.per_round_new),
             "incomplete": self.incomplete,
             "budget": dict(self.budget) if self.budget is not None else None,
         }
 
+    #: additive counters folded from worker-local stats into the round
+    #: aggregate; iteration/round bookkeeping stays with the driver
+    _MERGE_FIELDS = (
+        "rule_firings",
+        "join_steps",
+        "tuples_derived",
+        "sat_checks",
+        "join_prunes",
+        "pin_prunes",
+        "closure_extensions",
+        "rename_cache_hits",
+        "rename_cache_misses",
+        "complement_cache_hits",
+        "complement_cache_misses",
+        "plans_built",
+        "plan_reorders",
+        "index_probes",
+        "index_candidates",
+        "index_scan_avoided",
+    )
+
+    def merge(self, other: "EvaluationStats") -> None:
+        """Fold a parallel worker's counters into this aggregate."""
+        for name in self._MERGE_FIELDS:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+
 
 class _EvalCaches:
-    """Per-evaluation cache state (one instance per ``evaluate`` call).
+    """Per-evaluation cache and executor state (one per ``evaluate`` call).
 
     ``rename`` maps (relation name, body-atom args) to {id(tuple): (tuple,
     renamed atoms)}; the stored tuple reference keeps the id stable.  The
@@ -249,13 +315,43 @@ class _EvalCaches:
 
     ``complement`` maps (relation name, args, content version) to the
     complement DNF, so unchanged relations are never recomplemented.
+
+    ``pool`` holds the evaluation's :class:`JoinIndexPool` (None when index
+    probing is off or the theory has no generalized index).  ``executor`` is
+    the parallel round's worker pool, created lazily on the first round that
+    actually fans out and shut down by the drivers' ``finally`` via
+    :meth:`close`.
+
+    Worker threads share this object.  The rename cache's mutations are
+    single-dict operations on amortized-immutable values (atomic under the
+    GIL), the complement cache is populated before the fan-out, and the
+    pool takes its own lock.
     """
 
-    __slots__ = ("rename", "complement")
+    __slots__ = ("rename", "complement", "pool", "workers", "_executor")
 
-    def __init__(self, options: EngineOptions) -> None:
+    def __init__(self, options: EngineOptions, theory: ConstraintTheory) -> None:
         self.rename: dict | None = {} if options.rename_cache else None
         self.complement: dict | None = {} if options.complement_cache else None
+        self.pool: JoinIndexPool | None = None
+        if options.index_probes:
+            pool = JoinIndexPool(theory)
+            self.pool = pool if pool.supported else None
+        self.workers = options.parallel_workers or min(4, os.cpu_count() or 1)
+        self._executor: ThreadPoolExecutor | None = None
+
+    @property
+    def executor(self) -> ThreadPoolExecutor:
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="repro-round"
+            )
+        return self._executor
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
 
 
 class DatalogProgram:
@@ -503,7 +599,7 @@ class DatalogProgram:
     ) -> tuple[GeneralizedDatabase, EvaluationStats]:
         world = self._prepare(database)
         stats = EvaluationStats()
-        caches = _EvalCaches(self.options)
+        caches = _EvalCaches(self.options, self.theory)
         try:
             for stratum_rules in strata:
                 while True:
@@ -511,9 +607,8 @@ class DatalogProgram:
                     if stats.iterations > max_iterations:
                         raise self._diverged(max_iterations, world)
                     tick("round")
-                    derived: list[tuple[str, GeneralizedTuple]] = []
-                    for rule in stratum_rules:
-                        derived.extend(self._fire(rule, world, stats, caches))
+                    tasks = [(rule, None, None) for rule in stratum_rules]
+                    derived = self._execute_round(tasks, world, stats, caches)
                     new_count = 0
                     for name, item in derived:
                         if world.relation(name).add(item):
@@ -524,6 +619,8 @@ class DatalogProgram:
                         break
         except BudgetExceededError as error:
             return self._budget_interrupt(error, world, stats)
+        finally:
+            caches.close()
         return world, stats
 
     def _prepare(self, database: GeneralizedDatabase) -> GeneralizedDatabase:
@@ -581,7 +678,7 @@ class DatalogProgram:
     ) -> tuple[GeneralizedDatabase, EvaluationStats]:
         world = self._prepare(database)
         stats = EvaluationStats()
-        caches = _EvalCaches(self.options)
+        caches = _EvalCaches(self.options, self.theory)
         try:
             while True:
                 stats.iterations += 1
@@ -589,9 +686,8 @@ class DatalogProgram:
                     raise self._diverged(max_iterations, world)
                 tick("round")
                 new_count = 0
-                derived: list[tuple[str, GeneralizedTuple]] = []
-                for rule in self.rules:
-                    derived.extend(self._fire(rule, world, stats, caches))
+                tasks = [(rule, None, None) for rule in self.rules]
+                derived = self._execute_round(tasks, world, stats, caches)
                 for name, item in derived:
                     if world.relation(name).add(item):
                         new_count += 1
@@ -601,13 +697,15 @@ class DatalogProgram:
                     return world, stats
         except BudgetExceededError as error:
             return self._budget_interrupt(error, world, stats)
+        finally:
+            caches.close()
 
     def _evaluate_semi_naive(
         self, database: GeneralizedDatabase, max_iterations: int
     ) -> tuple[GeneralizedDatabase, EvaluationStats]:
         world = self._prepare(database)
         stats = EvaluationStats()
-        caches = _EvalCaches(self.options)
+        caches = _EvalCaches(self.options, self.theory)
         idbs = self.idb_predicates()
         # deltas: tuples added in the previous round
         delta: dict[str, list[GeneralizedTuple]] = {
@@ -620,6 +718,8 @@ class DatalogProgram:
             )
         except BudgetExceededError as error:
             return self._budget_interrupt(error, world, stats)
+        finally:
+            caches.close()
 
     def _semi_naive_loop(
         self,
@@ -636,7 +736,7 @@ class DatalogProgram:
             if stats.iterations > max_iterations:
                 raise self._diverged(max_iterations, world)
             tick("round")
-            derived: list[tuple[str, GeneralizedTuple]] = []
+            tasks: list[tuple[Rule, dict | None, int | None]] = []
             for rule in self.rules:
                 idb_positions = [
                     i
@@ -645,15 +745,12 @@ class DatalogProgram:
                 ]
                 if first_round or not idb_positions:
                     if first_round:
-                        derived.extend(self._fire(rule, world, stats, caches))
+                        tasks.append((rule, None, None))
                     continue
                 # at least one IDB body atom must come from the delta
                 for delta_position in idb_positions:
-                    derived.extend(
-                        self._fire(
-                            rule, world, stats, caches, delta, delta_position
-                        )
-                    )
+                    tasks.append((rule, delta, delta_position))
+            derived = self._execute_round(tasks, world, stats, caches)
             new_delta: dict[str, list[GeneralizedTuple]] = {name: [] for name in idbs}
             new_count = 0
             for name, item in derived:
@@ -676,16 +773,15 @@ class DatalogProgram:
     ) -> tuple[GeneralizedDatabase, EvaluationStats]:
         world = self._prepare(database)
         stats = EvaluationStats()
-        caches = _EvalCaches(self.options)
+        caches = _EvalCaches(self.options, self.theory)
         try:
             while True:
                 stats.iterations += 1
                 if stats.iterations > max_iterations:
                     raise self._diverged(max_iterations, world)
                 tick("round")
-                derived: list[tuple[str, GeneralizedTuple]] = []
-                for rule in self.rules:
-                    derived.extend(self._fire(rule, world, stats, caches))
+                tasks = [(rule, None, None) for rule in self.rules]
+                derived = self._execute_round(tasks, world, stats, caches)
                 new_count = 0
                 for name, item in derived:
                     if world.relation(name).add(item):
@@ -696,8 +792,131 @@ class DatalogProgram:
                     return world, stats
         except BudgetExceededError as error:
             return self._budget_interrupt(error, world, stats)
+        finally:
+            caches.close()
+
+    # -------------------------------------------------------- round execution
+    def _execute_round(
+        self,
+        tasks: list[tuple[Rule, dict | None, int | None]],
+        world: GeneralizedDatabase,
+        stats: EvaluationStats,
+        caches: _EvalCaches,
+    ) -> list[tuple[str, GeneralizedTuple]]:
+        """Fire every (rule, delta, delta-position) task of one round.
+
+        The parallel path splits the task list into contiguous chunks, runs
+        each chunk on the worker pool, and concatenates chunk results *in
+        chunk order* -- so the derived list is element-for-element the list
+        the serial path would produce, and the merge into the world (hence
+        the fixpoint) is deterministic.  Each chunk runs under
+        ``contextvars.copy_context()`` so the ambient budget meter and the
+        chaos runtime propagate into the worker thread; a worker's
+        :class:`BudgetExceededError` (or chaos fault) resurfaces here after
+        all futures settle and flows into the drivers' existing handlers,
+        preserving the supervisor's fringe semantics under parallelism.
+        """
+        if not self.options.parallel or caches.workers <= 1 or len(tasks) <= 1:
+            derived: list[tuple[str, GeneralizedTuple]] = []
+            for rule, delta, delta_position in tasks:
+                derived.extend(
+                    self._fire(rule, world, stats, caches, delta, delta_position)
+                )
+            return derived
+        stats.parallel_rounds += 1
+        stats.parallel_tasks += len(tasks)
+        # warm the complement cache in the driver thread: workers then only
+        # read it, and cache hit/miss counts stay deterministic
+        if caches.complement is not None:
+            for rule, _delta, _position in tasks:
+                for atom in rule.negative_atoms:
+                    self._complement(atom, world.relation(atom.name), caches, stats)
+        chunk_count = min(len(tasks), caches.workers)
+        bounds = [
+            (len(tasks) * i // chunk_count, len(tasks) * (i + 1) // chunk_count)
+            for i in range(chunk_count)
+        ]
+        futures = []
+        for start, stop in bounds:
+            context = contextvars.copy_context()
+            futures.append(
+                caches.executor.submit(
+                    context.run, self._fire_chunk, tasks[start:stop], world, caches
+                )
+            )
+        derived = []
+        error: BaseException | None = None
+        for future in futures:
+            try:
+                chunk_derived, local = future.result()
+            except BaseException as exc:  # budget trip, chaos fault, or bug
+                if error is None:
+                    error = exc
+                continue
+            if error is None:
+                derived.extend(chunk_derived)
+                stats.merge(local)
+        if error is not None:
+            raise error
+        return derived
+
+    def _fire_chunk(
+        self,
+        chunk: list[tuple[Rule, dict | None, int | None]],
+        world: GeneralizedDatabase,
+        caches: _EvalCaches,
+    ) -> tuple[list[tuple[str, GeneralizedTuple]], EvaluationStats]:
+        """Worker body: fire a contiguous task chunk against local stats."""
+        local = EvaluationStats()
+        derived: list[tuple[str, GeneralizedTuple]] = []
+        for rule, delta, delta_position in chunk:
+            derived.extend(
+                self._fire(rule, world, local, caches, delta, delta_position)
+            )
+        return derived, local
 
     # ------------------------------------------------------------ rule firing
+    def _plan(
+        self,
+        positives: Sequence[RelationAtom],
+        sizes: Sequence[int],
+        pinned: set[str],
+        stats: EvaluationStats,
+    ) -> list[int]:
+        """Greedy selectivity order over the rule's positive atoms.
+
+        Atoms sharing more variables with the already-bound set join more
+        selectively (every shared variable is an equi-join the pin filter
+        and the index probes exploit), so pick by descending connectivity,
+        breaking ties toward the smaller source and then the original
+        position (determinism).  ``pinned`` seeds the bound set with the
+        constants the rule's constraint atoms force.  Called once per
+        (rule, round), so the order tracks the changing delta/relation
+        cardinalities as the fixpoint grows.
+        """
+        n = len(positives)
+        if n <= 1:
+            return list(range(n))
+        stats.plans_built += 1
+        bound = set(pinned)
+        remaining = list(range(n))
+        order: list[int] = []
+        while remaining:
+            best = min(
+                remaining,
+                key=lambda i: (
+                    -sum(1 for v in set(positives[i].args) if v in bound),
+                    sizes[i],
+                    i,
+                ),
+            )
+            remaining.remove(best)
+            order.append(best)
+            bound.update(positives[best].args)
+        if order != sorted(order):
+            stats.plan_reorders += 1
+        return order
+
     def _renamed_tuples(
         self,
         atom: RelationAtom,
@@ -773,31 +992,103 @@ class DatalogProgram:
 
         With ``delta``/``delta_position`` set, the positive atom at that
         position draws from the delta instead of the full relation
-        (semi-naive restriction).
+        (semi-naive restriction).  The delta restriction survives the join
+        planner's reordering because the delta source is attached to the
+        atom *before* planning -- the plan permutes (atom, source) pairs.
         """
         positives = rule.positive_atoms
-        pin_filter = self.options.pin_filter
-        choice_lists: list[list[tuple[tuple[Atom, ...], dict | None]]] = []
+        options = self.options
+        pin_filter = options.pin_filter
+        theory = self.theory
+        constraints = tuple(rule.constraint_atoms)
+        need_pins = pin_filter or options.join_planner
+        root_pin_map = (
+            dict(theory.pinned_constants(constraints)) if need_pins else {}
+        )
+
+        # (body atom, tuple source, indexable relation or None); deltas are
+        # consumed once per round, so indexing them would cost more than the
+        # scan they replace
+        sources: list[
+            tuple[RelationAtom, Iterable[GeneralizedTuple], GeneralizedRelation | None]
+        ] = []
+        sizes: list[int] = []
         for index, atom in enumerate(positives):
             relation = world.relation(atom.name)
             if delta is not None and index == delta_position:
-                source: Iterable[GeneralizedTuple] = delta.get(atom.name, [])
+                source = delta.get(atom.name, [])
+                sources.append((atom, source, None))
+                sizes.append(len(source))
             else:
-                source = relation
-            choice_lists.append(
-                self._renamed_tuples(atom, source, caches, stats, pin_filter)
-            )
+                sources.append((atom, relation, relation))
+                sizes.append(len(relation))
+        if options.join_planner:
+            order = self._plan(positives, sizes, set(root_pin_map), stats)
+        else:
+            order = list(range(len(positives)))
+        plan = [sources[i] for i in order]
         negated_dnfs: list[list[tuple[Atom, ...]]] = [
             self._complement(atom, world.relation(atom.name), caches, stats)
             for atom in rule.negative_atoms
         ]
-        constraints = tuple(rule.constraint_atoms)
         head_vars = rule.head.args
         body_vars = rule.variables()
         drop = tuple(v for v in body_vars if v not in head_vars)
         results: list[tuple[str, GeneralizedTuple]] = []
-        theory = self.theory
-        incremental = self.options.incremental_join
+        incremental = options.incremental_join
+        pool = caches.pool
+        slots = len(plan)
+        #: lazily-materialized full scan lists, one per plan slot -- a slot
+        #: every probe answers never pays for renaming its whole relation
+        scan_lists: list[list[tuple[tuple[Atom, ...], dict | None]] | None] = [
+            None
+        ] * slots
+
+        def scan_entries(slot: int) -> list[tuple[tuple[Atom, ...], dict | None]]:
+            entries = scan_lists[slot]
+            if entries is None:
+                atom, source, _relation = plan[slot]
+                entries = self._renamed_tuples(atom, source, caches, stats, pin_filter)
+                scan_lists[slot] = entries
+            return entries
+
+        def probe_entries(
+            slot: int, context, pins: dict | None
+        ) -> list[tuple[tuple[Atom, ...], dict | None]] | None:
+            """Index-backed candidates for a slot, or None to scan.
+
+            Prefers an exact pin (probe [c, c]); otherwise asks the theory
+            for interval bounds the partial conjunction forces on an
+            argument variable -- only under the incremental join, where the
+            context carries solver state (rebuilding a closure per probe
+            would cost more than the scan it avoids).
+            """
+            atom, _source, relation = plan[slot]
+            if relation is None or not relation:
+                return None
+            best = None
+            if pins is not None:
+                for position, var in enumerate(atom.args):
+                    value = pins.get(var)
+                    if isinstance(value, Fraction):
+                        best = (position, value, value)
+                        break
+            if best is None and incremental:
+                for position, var in enumerate(atom.args):
+                    bounds = theory.conjunction_bounds(context, var)
+                    if bounds is not None:
+                        best = (position, bounds[0], bounds[1])
+                        break
+            if best is None:
+                return None
+            position, low, high = best
+            candidates = pool.probe(relation, relation.variables[position], low, high)
+            if candidates is None:
+                return None
+            stats.index_probes += 1
+            stats.index_candidates += len(candidates)
+            stats.index_scan_avoided += len(relation) - len(candidates)
+            return self._renamed_tuples(atom, candidates, caches, stats, pin_filter)
 
         def fire_leaf(partial: tuple[Atom, ...]) -> None:
             for negated in self._expand_negations(negated_dnfs):
@@ -827,11 +1118,19 @@ class DatalogProgram:
             conjunction's forced variable=constant bindings; a candidate that
             pins a shared variable to a different constant is unsatisfiable
             with the partial conjunction, so it is rejected by a dictionary
-            comparison before the solver is consulted at all."""
-            if index == len(choice_lists):
+            comparison before the solver is consulted at all.  When the
+            partial conjunction pins or interval-bounds one of the slot's
+            variables, the slot's candidates come from the generalized
+            index instead of the full scan list."""
+            if index == slots:
                 fire_leaf(context.atoms if incremental else context)
                 return
-            for renamed, cand_pins in choice_lists[index]:
+            entries = None
+            if pool is not None:
+                entries = probe_entries(index, context, pins)
+            if entries is None:
+                entries = scan_entries(index)
+            for renamed, cand_pins in entries:
                 stats.join_steps += 1
                 tick("join")
                 if pins is not None and cand_pins:
@@ -863,7 +1162,7 @@ class DatalogProgram:
                         continue
                     extend(index + 1, candidate, child_pins)
 
-        root_pins = dict(theory.pinned_constants(constraints)) if pin_filter else None
+        root_pins = dict(root_pin_map) if pin_filter else None
         if incremental:
             root = theory.begin_conjunction(constraints)
             stats.sat_checks += 1

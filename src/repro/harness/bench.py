@@ -1,0 +1,330 @@
+"""Engine benchmark suite: ``python -m repro bench``.
+
+Runs a fixed set of fixpoint workloads under the engine's ablation columns
+and records stable, comparable records into ``BENCH_datalog.json`` (via
+:mod:`repro.harness.benchjson`; redirect with ``REPRO_BENCH_JSON``):
+
+* **dense-order transitive closure** over point chains at N in {16, 32, 64}
+  (the Thm 3.14.2 cell) -- the headline fast-path workload;
+* **equality-theory transitive closure** plus the **e-configuration**
+  EVAL-phi baseline of Section 4 (calculus vs. e-config agreement timing);
+* a **Boole's-lemma workload**: transitive closure over a ``B_1`` algebra
+  graph, where every firing eliminates the chained variable by Boole's
+  lemma (Section 5).
+
+Every engine workload runs once per ablation column (all optimizations on,
+all off, and each of the three PR-5 layers -- join planner, index probes,
+parallel rounds -- individually off), asserts that *all columns produce the
+identical fixpoint*, and records per-column wall-clock plus the relevant
+engine counters.
+
+``--check PCT`` turns the suite into a regression gate: the **speedup
+ratios** (all-off time / all-on time per workload) of the fresh run are
+compared against a baseline document (``--baseline``, default the committed
+``BENCH_datalog.json``), and the run fails if any ratio regressed by more
+than PCT percent.  Ratios, not absolute times, keep the gate meaningful
+across CI machines of different speeds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import Any, Callable, Iterable
+
+from repro.boolean_algebra.algebra import FreeBooleanAlgebra
+from repro.constraints.boolean import BooleanTheory
+from repro.constraints.dense_order import DenseOrderTheory
+from repro.constraints.equality import EqualityTheory
+from repro.core.calculus import evaluate_calculus
+from repro.core.datalog import DatalogProgram, EngineOptions
+from repro.core.econfig import evaluate_query_econfig
+from repro.core.generalized import GeneralizedDatabase
+from repro.harness.benchjson import bench_json_path, load_bench_json, record_bench
+from repro.logic.parser import parse_query, parse_rules
+
+TC_RULES = """
+T(x, y) :- E(x, y).
+T(x, y) :- T(x, z), E(z, y).
+"""
+
+#: ablation columns recorded per workload: the two extremes plus each of
+#: the three fast-path layers this engine generation added, individually off
+COLUMNS: tuple[tuple[str, EngineOptions], ...] = (
+    ("all_on", EngineOptions.all_on()),
+    ("no_join_planner", EngineOptions(join_planner=False)),
+    ("no_index_probes", EngineOptions(index_probes=False)),
+    ("no_parallel", EngineOptions(parallel=False)),
+    ("all_off", EngineOptions.all_off()),
+)
+
+#: engine counters worth tracking per column (subset of EvaluationStats)
+_TRACKED = (
+    "iterations",
+    "join_steps",
+    "sat_checks",
+    "plans_built",
+    "plan_reorders",
+    "index_probes",
+    "index_scan_avoided",
+    "parallel_rounds",
+    "cache_hits",
+)
+
+
+class BenchError(RuntimeError):
+    """A workload produced diverging fixpoints or a regression tripped."""
+
+
+def _fingerprint(world: GeneralizedDatabase, target: str) -> frozenset:
+    return frozenset(t.atoms for t in world.relation(target).tuples())
+
+
+def _run_columns(
+    make_db: Callable[[], GeneralizedDatabase],
+    theory: Any,
+    target: str = "T",
+    repeat: int = 1,
+) -> dict[str, Any]:
+    """One workload across all ablation columns; asserts identical fixpoints."""
+    rules = parse_rules(TC_RULES, theory=theory)
+    columns: dict[str, Any] = {}
+    fingerprints = set()
+    for column, options in COLUMNS:
+        program = DatalogProgram(rules, theory, options=options)
+        best = None
+        for _ in range(repeat):
+            db = make_db()
+            started = time.perf_counter()
+            world, stats = program.evaluate(db)
+            elapsed = time.perf_counter() - started
+            best = elapsed if best is None else min(best, elapsed)
+        fingerprints.add(_fingerprint(world, target))
+        columns[column] = {
+            "time_s": round(best, 6),
+            **{name: getattr(stats, name) for name in _TRACKED},
+        }
+    identical = len(fingerprints) == 1
+    if not identical:
+        raise BenchError(
+            f"ablation columns disagree on the fixpoint "
+            f"({len(fingerprints)} distinct answers)"
+        )
+    speedup = columns["all_off"]["time_s"] / max(columns["all_on"]["time_s"], 1e-9)
+    return {
+        "columns": columns,
+        "identical_fixpoints": identical,
+        "speedup_all_on": round(speedup, 3),
+    }
+
+
+# ----------------------------------------------------------------- workloads
+def _dense_db(n: int) -> GeneralizedDatabase:
+    from repro.workloads.orders import chain_edges
+
+    return chain_edges(n)
+
+
+def _equality_db(theory: EqualityTheory, n: int) -> GeneralizedDatabase:
+    db = GeneralizedDatabase(theory)
+    edge = db.create_relation("E", ("x", "y"))
+    for i in range(n):
+        edge.add_point([i, i + 1])
+    return db
+
+
+def _boolean_db(theory: BooleanTheory, n: int) -> GeneralizedDatabase:
+    """A cycle through the elements of ``B_1`` repeated along a chain.
+
+    Edges are ``x = a, y = b`` element equalities; closing the chain forces
+    the engine to eliminate the shared variable of every two-step path by
+    Boole's lemma (the Section 5 elimination workhorse).
+    """
+    algebra = theory.algebra
+    minterms = 2**algebra.m
+    db = GeneralizedDatabase(theory)
+    edge = db.create_relation("E", ("x", "y"))
+    for i in range(n):
+        a = frozenset(m for m in range(minterms) if (i % algebra.size) & (1 << m))
+        b = frozenset(
+            m for m in range(minterms) if ((i + 1) % algebra.size) & (1 << m)
+        )
+        edge.add_tuple([theory.equality("x", a), theory.equality("y", b)])
+    return db
+
+
+def _bench_dense(sizes: Iterable[int], repeat: int) -> dict[str, Any]:
+    theory = DenseOrderTheory()
+    per_size: dict[str, Any] = {}
+    for n in sizes:
+        per_size[str(n)] = _run_columns(lambda k=n: _dense_db(k), theory, repeat=repeat)
+    return {
+        "workload": "dense-order transitive closure over point chains",
+        "sizes": list(sizes),
+        "per_size": per_size,
+        # headline ratio: the largest size is the one the acceptance gate
+        # and the regression check track
+        "speedup_all_on": per_size[str(max(sizes))]["speedup_all_on"],
+    }
+
+
+def _bench_equality(sizes: Iterable[int], repeat: int) -> dict[str, Any]:
+    theory = EqualityTheory()
+    per_size: dict[str, Any] = {}
+    for n in sizes:
+        per_size[str(n)] = _run_columns(
+            lambda k=n: _equality_db(theory, k), theory, repeat=repeat
+        )
+    return {
+        "workload": "equality-theory transitive closure over point chains",
+        "sizes": list(sizes),
+        "per_size": per_size,
+        "speedup_all_on": per_size[str(max(sizes))]["speedup_all_on"],
+    }
+
+
+def _bench_equality_econfig(n: int) -> dict[str, Any]:
+    """Section 4 baseline: e-config EVAL-phi vs. direct calculus evaluation."""
+    theory = EqualityTheory()
+    db = GeneralizedDatabase(theory)
+    relation = db.create_relation("R", ("a0",))
+    for i in range(n):
+        relation.add_point([i * 7 % (3 * n)])
+    query = parse_query("exists y . R(y) and x != y", theory=theory)
+    started = time.perf_counter()
+    econfig = evaluate_query_econfig(query, db, output=("x",))
+    econfig_s = time.perf_counter() - started
+    started = time.perf_counter()
+    calculus = evaluate_calculus(query, db, output=("x",))
+    calculus_s = time.perf_counter() - started
+    agree = all(
+        econfig.contains_values([value]) == calculus.contains_values([value])
+        for value in range(3 * n + 2)
+    )
+    return {
+        "workload": "equality e-configuration EVAL-phi vs. direct calculus",
+        "size": n,
+        "econfig_time_s": round(econfig_s, 6),
+        "calculus_time_s": round(calculus_s, 6),
+        "agree": agree,
+    }
+
+
+def _bench_boolean(n: int, repeat: int) -> dict[str, Any]:
+    theory = BooleanTheory(FreeBooleanAlgebra.with_generators(1))
+    result = _run_columns(lambda: _boolean_db(theory, n), theory, repeat=repeat)
+    return {
+        "workload": "Boole-lemma transitive closure over a B_1 element graph",
+        "size": n,
+        **result,
+    }
+
+
+# ------------------------------------------------------------------ checking
+def _collect_speedups(document: dict[str, Any]) -> dict[str, float]:
+    """name -> headline speedup ratio for every engine record in a document."""
+    speedups: dict[str, float] = {}
+    for name, record in document.get("records", {}).items():
+        if not name.startswith("engine_"):
+            continue
+        ratio = record.get("speedup_all_on")
+        if isinstance(ratio, (int, float)) and ratio > 0:
+            speedups[name] = float(ratio)
+    return speedups
+
+
+def check_regression(
+    fresh: dict[str, Any], baseline: dict[str, Any], threshold_pct: float
+) -> list[str]:
+    """Workloads whose speedup ratio regressed past the threshold.
+
+    Compares ratios (machine-independent), only for records present in both
+    documents; a missing baseline record is not a regression (new workload).
+    """
+    failures = []
+    fresh_ratios = _collect_speedups(fresh)
+    for name, before in _collect_speedups(baseline).items():
+        after = fresh_ratios.get(name)
+        if after is None:
+            continue
+        if after < before * (1 - threshold_pct / 100):
+            failures.append(
+                f"{name}: speedup {after:.2f}x vs baseline {before:.2f}x "
+                f"(> {threshold_pct:.0f}% regression)"
+            )
+    return failures
+
+
+# ----------------------------------------------------------------------- CLI
+PROFILES = {
+    # small enough for a CI smoke job, large enough to exercise every layer
+    "smoke": {"dense": [12, 16], "equality": [12], "boolean": 6, "econfig": 24},
+    "full": {"dense": [16, 32, 64], "equality": [16, 32], "boolean": 10, "econfig": 48},
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro bench", description="engine benchmark suite"
+    )
+    parser.add_argument(
+        "--profile", choices=sorted(PROFILES), default="smoke",
+        help="workload sizes (default: smoke)",
+    )
+    parser.add_argument(
+        "--repeat", type=int, default=1, help="timing repetitions (min is kept)"
+    )
+    parser.add_argument(
+        "--check", type=float, metavar="PCT", default=None,
+        help="fail if any speedup ratio regressed more than PCT%% vs baseline",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=Path("BENCH_datalog.json"),
+        help="baseline document for --check (default: committed BENCH_datalog.json)",
+    )
+    args = parser.parse_args(argv)
+    profile = PROFILES[args.profile]
+
+    # the baseline must be read before record_bench rewrites the document
+    # in place (the default sink and the baseline are often the same file)
+    baseline = load_bench_json(args.baseline) if args.check is not None else None
+
+    # record names are profile-qualified: a smoke run's ratios (small N)
+    # are not comparable to a full run's (large N), so each profile gates
+    # only against its own committed records
+    records = {
+        f"engine_tc_dense[{args.profile}]": _bench_dense(
+            profile["dense"], args.repeat
+        ),
+        f"engine_tc_equality[{args.profile}]": _bench_equality(
+            profile["equality"], args.repeat
+        ),
+        f"engine_tc_boolean[{args.profile}]": _bench_boolean(
+            profile["boolean"], args.repeat
+        ),
+        f"equality_econfig_baseline[{args.profile}]": _bench_equality_econfig(
+            profile["econfig"]
+        ),
+    }
+    for name, payload in records.items():
+        record_bench(name, {"profile": args.profile, **payload})
+        headline = payload.get("speedup_all_on")
+        suffix = f"  speedup {headline:.2f}x" if headline else ""
+        print(f"[bench] {name}{suffix}")
+    print(f"[bench] wrote {bench_json_path()}")
+
+    if args.check is not None:
+        fresh = {"records": records}
+        failures = check_regression(fresh, baseline, args.check)
+        if failures:
+            for failure in failures:
+                print(f"[bench] REGRESSION {failure}", file=sys.stderr)
+            return 1
+        print(f"[bench] regression check passed (threshold {args.check:.0f}%)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

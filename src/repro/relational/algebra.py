@@ -49,8 +49,16 @@ def project(
 def rename(
     relation: FiniteRelation, mapping: Mapping[str, str], name: str = "rename"
 ) -> FiniteRelation:
+    """Relabel attributes without touching rows.
+
+    A metadata-only operation: no row is derived, so it charges no
+    ``tuple`` budget ticks and copies the row set wholesale instead of
+    re-admitting (and re-validating) every row through the constructor.
+    """
     new_attributes = [mapping.get(a, a) for a in relation.attributes]
-    return FiniteRelation(name, new_attributes, _admitted(relation))
+    result = FiniteRelation(name, new_attributes)
+    result._rows = set(relation._rows)
+    return result
 
 
 def union(

@@ -33,6 +33,7 @@ the next elimination backend.
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from contextvars import ContextVar
@@ -181,13 +182,17 @@ class BudgetMeter:
         self.scope = scope
         self.started = time.monotonic()
         self.counts: dict[str, int] = {site: 0 for site in SITES}
+        # the engine's parallel rounds tick one shared meter from several
+        # worker threads; the lock keeps the read-modify-write lossless
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------ ticks
     def tick(self, site: str, amount: int = 1) -> None:
         """Record ``amount`` units of work at ``site``; raise if over budget."""
         if self.parent is not None:
             self.parent.tick(site, amount)
-        self.counts[site] = self.counts.get(site, 0) + amount
+        with self._lock:
+            self.counts[site] = self.counts.get(site, 0) + amount
         self.check(site)
 
     def check(self, site: str = "tick") -> None:

@@ -276,6 +276,11 @@ class _TheoryWrapper(ConstraintTheory):
     def pinned_constants(self, atoms: Sequence[Atom]) -> Mapping[str, Any]:
         return self.inner.pinned_constants(atoms)
 
+    def conjunction_bounds(
+        self, context: ConjunctionContext | Sequence[Atom], name: str
+    ) -> tuple[Any, Any] | None:
+        return self.inner.conjunction_bounds(context, name)
+
     def _is_satisfiable(self, atoms: Sequence[Atom]) -> bool:
         return self.inner._is_satisfiable(atoms)
 

@@ -37,15 +37,27 @@ def test_every_ablation_config_is_exercised():
     """Acceptance criterion: each EngineOptions ablation runs in some pair."""
     report = run_conformance("dense_order", cases=20, seed=resolve_seed(0))
     exercised, total = report.options_coverage()
-    assert (exercised, total) == (7, 7)
+    # coverage keys by as_dict, under which parallel_forced (a worker-count
+    # override, deliberately outside as_dict) collapses into all_on
+    distinct = len({frozenset(o.as_dict().items()) for _, o in ABLATION_GRID})
+    assert (exercised, total) == (distinct, distinct)
+    assert distinct == len(ABLATION_GRID) - 1
     assert report.ok, [f.discrepancy.describe() for f in report.failures]
 
 
 def test_ablation_grid_shape():
     labels = [label for label, _ in ABLATION_GRID]
     assert labels[:2] == ["all_on", "all_off"]
-    assert len(labels) == 7  # all_on + all_off + one per flag
-    assert len({frozenset(o.as_dict().items()) for _, o in ABLATION_GRID}) == 7
+    # all_on + all_off + one per as_dict flag + serial_scan + parallel_forced
+    flags = len(ABLATION_GRID[0][1].as_dict())
+    assert len(labels) == flags + 4
+    # every grid entry is distinct as a configuration (parallel_forced
+    # differs only in worker count, which as_dict deliberately omits)
+    distinct = {
+        (frozenset(o.as_dict().items()), o.parallel_workers)
+        for _, o in ABLATION_GRID
+    }
+    assert len(distinct) == len(labels)
 
 
 @pytest.mark.parametrize(
@@ -77,7 +89,11 @@ def test_datalog_registry_contains_all_ablations_and_naive():
         assert "datalog[all_on]" in names
         assert "datalog[all_off]" in names
         assert "datalog[naive]" in names
-        assert sum(1 for n in names if n.startswith("datalog[no_")) == 5
+        # one no_* entry per as_dict flag
+        flags = len(ABLATION_GRID[0][1].as_dict())
+        assert sum(1 for n in names if n.startswith("datalog[no_")) == flags
+        assert "datalog[serial_scan]" in names
+        assert "datalog[parallel_forced]" in names
         return
     pytest.fail("no datalog case generated in 200 seeds")
 

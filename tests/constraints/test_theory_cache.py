@@ -127,4 +127,10 @@ class TestEngineIntegration:
         _, stats = DatalogProgram(rules, theory).evaluate(db)
         assert stats.cache_hits > 0
         assert stats.theory_cache_hits > 0
+        # index probes narrow candidates before the pin filter sees them, so
+        # exercise the pin filter with probes off
+        program = DatalogProgram(
+            rules, theory, options=EngineOptions(index_probes=False)
+        )
+        _, stats = program.evaluate(db)
         assert stats.pin_prunes > 0

@@ -79,3 +79,35 @@ class TestShell:
 
     def test_run_without_rules(self):
         assert "no rules" in run([".run"])
+
+
+class TestEngineCommand:
+    def test_show_defaults(self):
+        output = run([".engine"])
+        assert "join_planner=on" in output
+        assert "index_probes=on" in output
+        assert "parallel=on" in output
+
+    def test_toggle_and_run(self):
+        output = run([
+            ".engine index_probes=off parallel=off",
+            ".engine",
+            ".relation E(x, y)",
+            ".point E: 0, 1",
+            ".point E: 1, 2",
+            ".rule T(x, y) :- E(x, y).",
+            ".rule T(x, y) :- T(x, z), E(z, y).",
+            ".run",
+        ])
+        assert "index_probes=off" in output
+        assert "parallel=off" in output
+        assert "fixpoint in" in output
+
+    def test_all_off_and_all_on(self):
+        output = run([".engine all_off", ".engine all_on"])
+        assert "theory_cache=off" in output
+        assert output.count("join_planner=on") == 1
+
+    def test_bad_flag_reports_usage(self):
+        output = run([".engine warp_drive=on"])
+        assert "usage: .engine" in output

@@ -183,3 +183,81 @@ class TestIncrementalClosure:
                     assert state.strictly_less(a, b) == scratch.strictly_less(
                         a, b
                     )
+
+
+class TestFourTheoryMatrix:
+    """Planner + index probes + parallel workers across all four theories.
+
+    Drives conformance-generated datalog cases (dense order, equality,
+    boolean, real polynomial) through the engine under every interesting
+    flag combination -- all on, all off, only the three new layers off
+    ("serial scan"), and a forced multi-worker parallel config -- under
+    both fixpoint orders and all semantics, and requires identical
+    canonical fixpoints.  ``parallel_workers=3`` matters: the auto-sized
+    pool degrades to the serial path on single-CPU machines, and this
+    property must exercise the threaded round executor everywhere.
+    """
+
+    CONFIGS = (
+        EngineOptions.all_on(),
+        EngineOptions.all_off(),
+        EngineOptions(join_planner=False, index_probes=False, parallel=False),
+        EngineOptions(parallel_workers=3),
+    )
+
+    @staticmethod
+    def _datalog_spec(theory_name, seed):
+        from repro.conformance.generators import generate_case
+
+        for probe in range(25):
+            spec = generate_case(theory_name, seed + probe)
+            if spec.kind == "datalog":
+                return spec
+        return None
+
+    def _assert_matrix(self, theory_name, seed):
+        from repro.conformance.spec import build_case
+
+        spec = self._datalog_spec(theory_name, seed)
+        if spec is None:
+            return
+        fingerprints = set()
+        for options in self.CONFIGS:
+            for semi_naive in (True, False):
+                case = build_case(spec)
+                program = DatalogProgram(case.rules, case.theory, options=options)
+                world, _stats = program.evaluate(
+                    case.database,
+                    semi_naive=semi_naive,
+                    semantics=spec.semantics,
+                )
+                fingerprints.add(
+                    frozenset(
+                        frozenset(t.atoms)
+                        for t in world.relation(spec.target)
+                    )
+                )
+        assert len(fingerprints) == 1, (
+            f"{theory_name} fixpoint depends on engine flags (seed={seed}, "
+            f"{len(fingerprints)} distinct answers)"
+        )
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_dense_order(self, seed):
+        self._assert_matrix("dense_order", seed)
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_equality(self, seed):
+        self._assert_matrix("equality", seed)
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_boolean(self, seed):
+        self._assert_matrix("boolean", seed)
+
+    @settings(max_examples=6, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_real_poly(self, seed):
+        self._assert_matrix("real_poly", seed)

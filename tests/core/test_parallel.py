@@ -1,0 +1,141 @@
+"""Parallel round execution: determinism, budgets, and chaos under workers."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.constraints.dense_order import DenseOrderTheory
+from repro.core.datalog import DatalogProgram, EngineOptions, EvaluationStats
+from repro.core.generalized import GeneralizedDatabase
+from repro.errors import BudgetExceededError
+from repro.logic.parser import parse_rules
+from repro.runtime.budget import Budget
+from repro.workloads.orders import chain_edges
+
+theory = DenseOrderTheory()
+
+#: two recursive rules plus a three-way join: enough tasks per round for
+#: the executor to genuinely fan out
+RULES = """
+T(x, y) :- E(x, y).
+T(x, y) :- T(x, z), E(z, y).
+S(x, w) :- E(x, y), T(y, z), E(z, w).
+"""
+
+
+def _evaluate(n=10, semi_naive=True, **options):
+    program = DatalogProgram(
+        parse_rules(RULES, theory=theory),
+        theory,
+        options=EngineOptions(**options),
+    )
+    return program.evaluate(chain_edges(n), semi_naive=semi_naive)
+
+
+def _fingerprint(world):
+    return {
+        name: frozenset(t.atoms for t in world.relation(name))
+        for name in ("T", "S")
+    }
+
+
+class TestDeterministicMerge:
+    def test_parallel_matches_serial_fixpoint(self):
+        for semi_naive in (True, False):
+            world_p, stats_p = _evaluate(parallel_workers=3, semi_naive=semi_naive)
+            world_s, _ = _evaluate(parallel=False, semi_naive=semi_naive)
+            assert _fingerprint(world_p) == _fingerprint(world_s)
+            assert stats_p.parallel_rounds > 0
+            assert stats_p.parallel_tasks >= 2 * stats_p.parallel_rounds
+
+    def test_parallel_insertion_order_matches_serial(self):
+        # the chunk-ordered merge keeps even the *insertion order* of the
+        # derived relations identical to the serial engine
+        world_p, _ = _evaluate(parallel_workers=4)
+        world_s, _ = _evaluate(parallel=False)
+        for name in ("T", "S"):
+            assert world_p.relation(name).tuples() == world_s.relation(name).tuples()
+
+    def test_repeated_runs_identical(self):
+        worlds = [_evaluate(parallel_workers=3)[0] for _ in range(3)]
+        prints = {frozenset(_fingerprint(w)["S"]) for w in worlds}
+        assert len(prints) == 1
+
+    def test_single_cpu_fallback_is_serial(self):
+        _world, stats = _evaluate(parallel_workers=1)
+        assert stats.parallel_rounds == 0
+
+    def test_worker_stats_are_merged(self):
+        _world, stats_p = _evaluate(parallel_workers=3)
+        _world, stats_s = _evaluate(parallel=False)
+        # counter totals are task-local, so the aggregate matches serial
+        assert stats_p.join_steps == stats_s.join_steps
+        assert stats_p.rule_firings == stats_s.rule_firings
+        assert stats_p.tuples_derived == stats_s.tuples_derived
+
+
+class TestStatsMerge:
+    def test_merge_is_additive(self):
+        a = EvaluationStats(join_steps=3, rule_firings=1, index_probes=2)
+        b = EvaluationStats(join_steps=4, rule_firings=5, pin_prunes=7)
+        a.merge(b)
+        assert a.join_steps == 7
+        assert a.rule_firings == 6
+        assert a.index_probes == 2
+        assert a.pin_prunes == 7
+
+    def test_merge_leaves_driver_fields_alone(self):
+        a = EvaluationStats(iterations=2, per_round_new=[1])
+        a.merge(EvaluationStats(iterations=9, per_round_new=[5, 5]))
+        assert a.iterations == 2
+        assert a.per_round_new == [1]
+
+
+class TestBudgetsUnderParallelism:
+    def test_budget_raise_propagates_from_workers(self):
+        with pytest.raises(BudgetExceededError) as excinfo:
+            _evaluate(parallel_workers=3, budget=Budget(joins=40))
+        assert excinfo.value.report.budget_kind == "joins"
+
+    def test_fringe_mode_returns_sound_stage(self):
+        budget = Budget(joins=40, partial_results="fringe")
+        world, stats = _evaluate(parallel_workers=3, budget=budget)
+        assert stats.incomplete
+        assert stats.budget["budget_kind"] == "joins"
+        # fringe soundness: everything derived is in the true fixpoint
+        full, _ = _evaluate(parallel=False)
+        for name in ("T", "S"):
+            assert _fingerprint(world)[name] <= _fingerprint(full)[name]
+
+    def test_worker_ticks_reach_shared_meter(self):
+        budget = Budget(partial_results="fringe")
+        meter = budget.start()
+        from repro.runtime.budget import metered
+
+        program = DatalogProgram(
+            parse_rules(RULES, theory=theory),
+            theory,
+            options=EngineOptions(parallel_workers=3),
+        )
+        with metered(meter):
+            _world, stats = program.evaluate(chain_edges(6))
+        assert stats.parallel_rounds > 0
+        assert meter.counts["join"] == stats.join_steps
+
+
+@pytest.mark.chaos
+class TestChaosUnderParallelism:
+    def test_chaos_faults_keep_fixpoint_identical(self):
+        from repro.runtime.chaos import ChaosPolicy, chaos_scope, harden
+
+        hardened = harden(DenseOrderTheory())
+        program = DatalogProgram(
+            parse_rules(RULES, theory=hardened),
+            hardened,
+            options=EngineOptions(parallel_workers=3),
+        )
+        with chaos_scope(ChaosPolicy(p=0.05, seed=11)):
+            world, stats = program.evaluate(chain_edges(8))
+        reference, _ = _evaluate(n=8, parallel=False)
+        assert _fingerprint(world) == _fingerprint(reference)
+        assert stats.parallel_rounds > 0

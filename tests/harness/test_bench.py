@@ -1,0 +1,78 @@
+"""The ``python -m repro bench`` suite: records, fixpoint gate, regression check."""
+
+import json
+
+import pytest
+
+from repro.harness import bench
+from repro.harness.bench import check_regression, main
+
+
+@pytest.fixture()
+def sink(tmp_path, monkeypatch):
+    target = tmp_path / "bench.json"
+    monkeypatch.setenv("REPRO_BENCH_JSON", str(target))
+    return target
+
+
+#: a tiny profile so the suite stays fast under pytest
+_TINY = {"dense": [6, 8], "equality": [6], "boolean": 4, "econfig": 8}
+
+
+class TestBenchSuite:
+    def test_smoke_profile_records_all_workloads(self, sink, monkeypatch):
+        monkeypatch.setitem(bench.PROFILES, "smoke", _TINY)
+        assert main(["--profile", "smoke"]) == 0
+        document = json.loads(sink.read_text())
+        records = document["records"]
+        assert set(records) >= {
+            "engine_tc_dense[smoke]",
+            "engine_tc_equality[smoke]",
+            "engine_tc_boolean[smoke]",
+            "equality_econfig_baseline[smoke]",
+        }
+        dense = records["engine_tc_dense[smoke]"]
+        largest = dense["per_size"][str(max(_TINY["dense"]))]
+        assert largest["identical_fixpoints"] is True
+        assert set(largest["columns"]) == {
+            "all_on",
+            "all_off",
+            "no_join_planner",
+            "no_index_probes",
+            "no_parallel",
+        }
+        assert records["equality_econfig_baseline[smoke]"]["agree"] is True
+
+    def test_check_passes_against_own_baseline(self, sink, monkeypatch):
+        monkeypatch.setitem(bench.PROFILES, "smoke", _TINY)
+        assert main(["--profile", "smoke"]) == 0
+        # a run checked against its own freshly-written numbers at a huge
+        # threshold must pass
+        assert (
+            main(["--profile", "smoke", "--check", "95", "--baseline", str(sink)])
+            == 0
+        )
+
+
+class TestRegressionCheck:
+    def _doc(self, ratio):
+        return {"records": {"engine_tc_dense": {"speedup_all_on": ratio}}}
+
+    def test_regression_detected(self):
+        failures = check_regression(self._doc(1.0), self._doc(4.0), 25)
+        assert len(failures) == 1
+        assert "engine_tc_dense" in failures[0]
+
+    def test_within_threshold_passes(self):
+        assert check_regression(self._doc(3.2), self._doc(4.0), 25) == []
+
+    def test_improvement_passes(self):
+        assert check_regression(self._doc(6.0), self._doc(4.0), 25) == []
+
+    def test_missing_fresh_record_ignored(self):
+        fresh = {"records": {}}
+        assert check_regression(fresh, self._doc(4.0), 25) == []
+
+    def test_non_engine_records_ignored(self):
+        baseline = {"records": {"datalog_dense_scaling": {"speedup_all_on": 9.9}}}
+        assert check_regression({"records": {}}, baseline, 25) == []

@@ -1,0 +1,102 @@
+"""JoinIndexPool: lazy build, incremental catch-up, probe soundness."""
+
+from fractions import Fraction
+
+from repro.constraints.dense_order import DenseOrderTheory
+from repro.constraints.equality import EqualityTheory
+from repro.core.generalized import GeneralizedDatabase, GeneralizedRelation
+from repro.indexing.pool import JoinIndexPool
+
+theory = DenseOrderTheory()
+
+
+def _relation(points):
+    db = GeneralizedDatabase(theory)
+    relation = db.create_relation("E", ("x", "y"))
+    for a, b in points:
+        relation.add_point([Fraction(a), Fraction(b)])
+    return relation
+
+
+class TestSupport:
+    def test_dense_order_supported(self):
+        assert JoinIndexPool(theory).supported
+
+    def test_equality_unsupported_probes_none(self):
+        pool = JoinIndexPool(EqualityTheory())
+        assert not pool.supported
+        assert pool.probe(_relation([(0, 1)]), "x", Fraction(0), Fraction(0)) is None
+
+    def test_unbounded_probe_is_none(self):
+        pool = JoinIndexPool(theory)
+        assert pool.probe(_relation([(0, 1)]), "x", None, None) is None
+
+    def test_unknown_attribute_is_none(self):
+        pool = JoinIndexPool(theory)
+        assert pool.probe(_relation([(0, 1)]), "zzz", Fraction(0), None) is None
+
+
+class TestProbeSoundness:
+    def test_exact_pin_finds_all_matches(self):
+        relation = _relation([(i, i + 1) for i in range(10)])
+        pool = JoinIndexPool(theory)
+        hits = pool.probe(relation, "x", Fraction(4), Fraction(4))
+        assert hits is not None
+        matching = [t for t in relation if t in hits]
+        # no false negatives: the only tuple with x = 4 is found
+        assert len([t for t in hits]) >= 1
+        assert any(
+            str(atom).find("4") >= 0 for t in matching for atom in t.atoms
+        )
+        assert len(hits) < len(relation)
+
+    def test_interval_tuples_candidate_when_satisfiable(self):
+        # a tuple with 2 < x < 5 must be a candidate for every probe that
+        # can meet its projection; a probe pinned to the open endpoint may
+        # be excluded (the join would be unsatisfiable anyway), never one
+        # inside the interval
+        db = GeneralizedDatabase(theory)
+        relation = db.create_relation("R", ("x",))
+        relation.add_tuple([theory.lt(Fraction(2), "x"), theory.lt("x", Fraction(5))])
+        pool = JoinIndexPool(theory)
+        hits = pool.probe(relation, "x", Fraction(3), Fraction(3))
+        assert hits is not None and len(hits) == 1
+        near_edge = pool.probe(relation, "x", Fraction("4.999"), Fraction("4.999"))
+        assert near_edge is not None and len(near_edge) == 1
+
+    def test_disjoint_probe_returns_empty(self):
+        relation = _relation([(i, i + 1) for i in range(6)])
+        pool = JoinIndexPool(theory)
+        hits = pool.probe(relation, "x", Fraction(100), Fraction(200))
+        assert hits == []
+
+
+class TestIncrementalMaintenance:
+    def test_index_catches_up_as_relation_grows(self):
+        relation = _relation([(0, 1), (1, 2)])
+        pool = JoinIndexPool(theory)
+        assert pool.probe(relation, "x", Fraction(5), Fraction(5)) == []
+        # grow the relation (fixpoint rounds only ever add)
+        relation.add_point([Fraction(5), Fraction(6)])
+        relation.add_point([Fraction(7), Fraction(8)])
+        hits = pool.probe(relation, "x", Fraction(5), Fraction(5))
+        assert hits is not None and len(hits) == 1
+        # the pool reused the same index rather than rebuilding
+        assert pool.index_count() == 1
+
+    def test_one_index_per_relation_attribute_pair(self):
+        relation = _relation([(0, 1)])
+        pool = JoinIndexPool(theory)
+        pool.probe(relation, "x", Fraction(0), None)
+        pool.probe(relation, "y", Fraction(1), None)
+        pool.probe(relation, "x", None, Fraction(3))
+        assert pool.index_count() == 2
+
+    def test_counters_accumulate(self):
+        relation = _relation([(i, i + 1) for i in range(8)])
+        pool = JoinIndexPool(theory)
+        pool.probe(relation, "x", Fraction(1), Fraction(1))
+        pool.probe(relation, "x", Fraction(2), Fraction(2))
+        assert pool.probes == 2
+        assert pool.candidates >= 2
+        assert pool.scan_avoided > 0

@@ -87,3 +87,27 @@ class TestClassicalRectangles:
             [Rect(1, Fraction(0), Fraction(0), Fraction(1), Fraction(1))]
         )
         assert relation.attributes == ("n", "a", "b", "c", "d")
+
+
+class TestRenameBudget:
+    """rename is metadata-only: no tuple ticks, no forced row re-admission."""
+
+    def test_rename_charges_no_tuple_budget(self):
+        from repro.relational.relation import FiniteRelation
+        from repro.runtime.budget import Budget, supervised
+
+        relation = FiniteRelation("R", ("a", "b"), [(i, i + 1) for i in range(10)])
+        with supervised(Budget(tuples=3)) as meter:
+            renamed = rename(relation, {"a": "x"})
+        assert renamed.attributes == ("x", "b")
+        assert len(renamed) == 10
+        assert meter.counts["tuple"] == 0
+
+    def test_rename_rows_independent_of_source(self):
+        from repro.relational.relation import FiniteRelation
+
+        relation = FiniteRelation("R", ("a",), [(1,), (2,)])
+        renamed = rename(relation, {"a": "x"})
+        relation.add((3,))
+        assert len(renamed) == 2
+        assert set(renamed) == {(1,), (2,)}
