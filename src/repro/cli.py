@@ -16,7 +16,7 @@ writing Python::
     cql> .quit
 
 Commands: ``.theory``, ``.relation``, ``.tuple``, ``.point``, ``.query``,
-``.rule``, ``.run``, ``.show``, ``.list``, ``.help``, ``.quit``.
+``.rule``, ``.run``, ``.plan``, ``.show``, ``.list``, ``.help``, ``.quit``.
 """
 
 from __future__ import annotations
@@ -55,7 +55,10 @@ HELP = """commands:
                           (.budget off clears it; bare .budget shows it)
   .engine [FLAG=on|off]   show or toggle fast-path flags for .run, e.g.
                           .engine index_probes=off parallel=on
-                          (.engine all_on / .engine all_off reset the lot)
+                          (.engine all_on / .engine all_off reset the lot;
+                          also reports the rule-compiler plan-cache state)
+  .plan RULE              pretty-print the lowered IR for a rule, by head
+                          predicate name or 1-based position in .list order
   .show R                 print a relation
   .list                   list relations and rules
   .help                   this text
@@ -127,6 +130,8 @@ class Shell:
         elif command == ".rule":
             self.rules.extend(parse_rules(rest, theory=self.theory))
             self.write(f"rule added ({len(self.rules)} total)")
+        elif command == ".plan":
+            self._plan(rest)
         elif command == ".show":
             self.write(str(self.db.relation(rest)))
         elif command == ".budget":
@@ -221,11 +226,19 @@ class Shell:
         from dataclasses import replace
 
         if not spec:
+            from repro.core.compile import PLAN_CACHE
+
             flags = ", ".join(
                 f"{name}={'on' if value else 'off'}"
                 for name, value in self.engine.as_dict().items()
             )
             self.write(f"engine: {flags}")
+            cache = PLAN_CACHE.stats()
+            self.write(
+                "plan cache: {entries} compiled program(s), "
+                "{hits} hits, {misses} misses, "
+                "{invalidations} invalidations".format(**cache)
+            )
             return
         if spec == "all_on":
             self.engine = EngineOptions.all_on()
@@ -273,6 +286,31 @@ class Shell:
         self.write(f"{status}, {stats.tuples_added} tuples added")
         for name in sorted(program.idb_predicates()):
             self.write(str(world.relation(name)))
+
+    def _plan(self, selector: str) -> None:
+        from repro.core.compile import render_plan
+
+        if not self.rules:
+            self.write("no rules; add some with .rule")
+            return
+        if not selector:
+            self.write("usage: .plan HEAD_NAME or .plan N (1-based .list order)")
+            return
+        if selector.isdigit():
+            index = int(selector)
+            if not 1 <= index <= len(self.rules):
+                self.write(f"rule index out of range (1..{len(self.rules)})")
+                return
+            chosen = [self.rules[index - 1]]
+        else:
+            chosen = [r for r in self.rules if r.head.name == selector]
+            if not chosen:
+                heads = sorted({r.head.name for r in self.rules})
+                self.write(f"no rule with head {selector!r}; heads: {heads}")
+                return
+        program = DatalogProgram(self.rules, self.theory, options=self.engine)
+        for rule in chosen:
+            self.write(render_plan(program, rule, self.db))
 
     def _list(self) -> None:
         self.write(f"theory: {self.theory_name}")

@@ -96,6 +96,12 @@ ABLATION_GRID: tuple[tuple[str, EngineOptions], ...] = (
     # on single-CPU runners, so the threaded round executor must be forced
     # to actually run multi-worker under conformance
     ("parallel_forced", replace(EngineOptions.all_on(), parallel_workers=3)),
+    # compiled vs interpreted differential pair: compiled_off is the
+    # interpreted oracle with every other layer live, compiled_forced runs
+    # compiled closures inside forced multi-worker rounds (worker count
+    # distinct from parallel_forced so the two strategies stay independent)
+    ("compiled_off", replace(EngineOptions.all_on(), compile_rules=False)),
+    ("compiled_forced", replace(EngineOptions.all_on(), parallel_workers=2)),
 )
 
 

@@ -30,12 +30,14 @@ from __future__ import annotations
 import contextvars
 import itertools
 import os
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Iterable, Sequence
 
 from repro.constraints.base import ConstraintTheory
+from repro.core import compile as rulecompile
 from repro.core.calculus import relation_complement_dnf
 from repro.core.generalized import (
     GeneralizedDatabase,
@@ -158,6 +160,10 @@ class EngineOptions:
     #: fan independent (rule, delta-position) firings of a round across a
     #: thread pool with a deterministic merge order
     parallel: bool = True
+    #: lower planned rules to specialized closures (:mod:`repro.core.compile`)
+    #: cached in the process-wide PlanCache; off, the interpreted join is the
+    #: differential oracle the compiled path is checked against
+    compile_rules: bool = True
     #: run the repro.analysis pre-flight at construction time and raise
     #: StaticAnalysisError on error diagnostics.  Not a perf flag, so it is
     #: deliberately absent from ``as_dict`` (the ablation grid).
@@ -186,6 +192,7 @@ class EngineOptions:
             join_planner=False,
             index_probes=False,
             parallel=False,
+            compile_rules=False,
         )
 
     def as_dict(self) -> dict[str, bool]:
@@ -198,6 +205,7 @@ class EngineOptions:
             "join_planner": self.join_planner,
             "index_probes": self.index_probes,
             "parallel": self.parallel,
+            "compile_rules": self.compile_rules,
         }
 
 
@@ -232,6 +240,18 @@ class EvaluationStats:
     index_scan_avoided: int = 0
     parallel_rounds: int = 0
     parallel_tasks: int = 0
+    #: PlanCache traffic for this evaluation (compiled path only)
+    compile_hits: int = 0
+    compile_misses: int = 0
+    compile_invalidations: int = 0
+    #: rule variants lowered to closures during this evaluation (0 on a
+    #: warm cache), compiled firings executed, and point-fast-path leaf
+    #: emissions that skipped quantifier elimination
+    compiled_rules: int = 0
+    compiled_firings: int = 0
+    fastpath_leaves: int = 0
+    #: wall-clock spent fetching/lowering compiled rules (setup overhead)
+    compile_seconds: float = 0.0
     per_round_new: list[int] = field(default_factory=list)
     #: True when a budget tripped in ``partial_results="fringe"`` mode and
     #: the returned database is the last sound under-approximation
@@ -272,6 +292,13 @@ class EvaluationStats:
             "index_scan_avoided": self.index_scan_avoided,
             "parallel_rounds": self.parallel_rounds,
             "parallel_tasks": self.parallel_tasks,
+            "compile_hits": self.compile_hits,
+            "compile_misses": self.compile_misses,
+            "compile_invalidations": self.compile_invalidations,
+            "compiled_rules": self.compiled_rules,
+            "compiled_firings": self.compiled_firings,
+            "fastpath_leaves": self.fastpath_leaves,
+            "compile_seconds": self.compile_seconds,
             "cache_hits": self.cache_hits,
             "per_round_new": list(self.per_round_new),
             "incomplete": self.incomplete,
@@ -297,6 +324,17 @@ class EvaluationStats:
         "index_probes",
         "index_candidates",
         "index_scan_avoided",
+        # compiler counters: workers lower variants and fire compiled rules
+        # against local stats, so these fold like the join counters; the
+        # PlanCache traffic counters are driver-side but merge harmlessly
+        # (workers never touch them)
+        "compile_hits",
+        "compile_misses",
+        "compile_invalidations",
+        "compiled_rules",
+        "compiled_firings",
+        "fastpath_leaves",
+        "compile_seconds",
     )
 
     def merge(self, other: "EvaluationStats") -> None:
@@ -322,15 +360,42 @@ class _EvalCaches:
     actually fans out and shut down by the drivers' ``finally`` via
     :meth:`close`.
 
+    ``compiled`` is the evaluation's :class:`repro.core.compile.
+    CompiledProgram` (None when ``compile_rules`` is off), fetched from the
+    process-wide PlanCache at construction.  Because each ``evaluate()``
+    builds a fresh ``_EvalCaches`` and the fetch keys on the *current*
+    ``EngineOptions``, closures specialized for stale options can never
+    leak into an evaluation whose options changed in between (the cache
+    invalidates the old entry and reports it in the stats).  ``centries``
+    (classified entry records per tuple), ``cscan`` (scan lists per
+    relation content version) and ``cprobe`` (probe results per content
+    version) are the compiled path's per-evaluation caches.
+
     Worker threads share this object.  The rename cache's mutations are
     single-dict operations on amortized-immutable values (atomic under the
     GIL), the complement cache is populated before the fan-out, and the
     pool takes its own lock.
     """
 
-    __slots__ = ("rename", "complement", "pool", "workers", "_executor")
+    __slots__ = (
+        "rename",
+        "complement",
+        "pool",
+        "workers",
+        "_executor",
+        "compiled",
+        "centries",
+        "cscan",
+        "cprobe",
+    )
 
-    def __init__(self, options: EngineOptions, theory: ConstraintTheory) -> None:
+    def __init__(
+        self,
+        options: EngineOptions,
+        theory: ConstraintTheory,
+        program: "DatalogProgram | None" = None,
+        stats: EvaluationStats | None = None,
+    ) -> None:
         self.rename: dict | None = {} if options.rename_cache else None
         self.complement: dict | None = {} if options.complement_cache else None
         self.pool: JoinIndexPool | None = None
@@ -339,6 +404,22 @@ class _EvalCaches:
             self.pool = pool if pool.supported else None
         self.workers = options.parallel_workers or min(4, os.cpu_count() or 1)
         self._executor: ThreadPoolExecutor | None = None
+        self.compiled: rulecompile.CompiledProgram | None = None
+        # entry/scan caches honor the rename-cache ablation flag (they are
+        # the compiled path's analogue of the interpreter's rename cache);
+        # the probe cache is version-keyed and always safe
+        self.centries: dict | None = {} if options.rename_cache else None
+        self.cscan: dict | None = {} if options.rename_cache else None
+        self.cprobe: dict | None = {}
+        if program is not None and options.compile_rules:
+            started = time.perf_counter()
+            compiled, hit, invalidated = rulecompile.PLAN_CACHE.fetch(program)
+            self.compiled = compiled
+            if stats is not None:
+                stats.compile_hits += 1 if hit else 0
+                stats.compile_misses += 0 if hit else 1
+                stats.compile_invalidations += 1 if invalidated else 0
+                stats.compile_seconds += time.perf_counter() - started
 
     @property
     def executor(self) -> ThreadPoolExecutor:
@@ -599,7 +680,7 @@ class DatalogProgram:
     ) -> tuple[GeneralizedDatabase, EvaluationStats]:
         world = self._prepare(database)
         stats = EvaluationStats()
-        caches = _EvalCaches(self.options, self.theory)
+        caches = _EvalCaches(self.options, self.theory, program=self, stats=stats)
         try:
             for stratum_rules in strata:
                 while True:
@@ -678,7 +759,7 @@ class DatalogProgram:
     ) -> tuple[GeneralizedDatabase, EvaluationStats]:
         world = self._prepare(database)
         stats = EvaluationStats()
-        caches = _EvalCaches(self.options, self.theory)
+        caches = _EvalCaches(self.options, self.theory, program=self, stats=stats)
         try:
             while True:
                 stats.iterations += 1
@@ -705,7 +786,7 @@ class DatalogProgram:
     ) -> tuple[GeneralizedDatabase, EvaluationStats]:
         world = self._prepare(database)
         stats = EvaluationStats()
-        caches = _EvalCaches(self.options, self.theory)
+        caches = _EvalCaches(self.options, self.theory, program=self, stats=stats)
         idbs = self.idb_predicates()
         # deltas: tuples added in the previous round
         delta: dict[str, list[GeneralizedTuple]] = {
@@ -773,7 +854,7 @@ class DatalogProgram:
     ) -> tuple[GeneralizedDatabase, EvaluationStats]:
         world = self._prepare(database)
         stats = EvaluationStats()
-        caches = _EvalCaches(self.options, self.theory)
+        caches = _EvalCaches(self.options, self.theory, program=self, stats=stats)
         try:
             while True:
                 stats.iterations += 1
@@ -898,21 +979,11 @@ class DatalogProgram:
         if n <= 1:
             return list(range(n))
         stats.plans_built += 1
-        bound = set(pinned)
-        remaining = list(range(n))
-        order: list[int] = []
-        while remaining:
-            best = min(
-                remaining,
-                key=lambda i: (
-                    -sum(1 for v in set(positives[i].args) if v in bound),
-                    sizes[i],
-                    i,
-                ),
-            )
-            remaining.remove(best)
-            order.append(best)
-            bound.update(positives[best].args)
+        # the greedy core lives in repro.core.compile (plan_order) so the
+        # compiled closures provably share the interpreter's ordering
+        order = rulecompile.plan_order(
+            [atom.args for atom in positives], sizes, pinned
+        )
         if order != sorted(order):
             stats.plan_reorders += 1
         return order
@@ -995,7 +1066,18 @@ class DatalogProgram:
         (semi-naive restriction).  The delta restriction survives the join
         planner's reordering because the delta source is attached to the
         atom *before* planning -- the plan permutes (atom, source) pairs.
+
+        With ``compile_rules`` on, the firing is delegated to the rule's
+        compiled closure chain (:mod:`repro.core.compile`), which enumerates
+        exactly the same candidates in the same order; the interpreted body
+        below is the differential oracle the compiled path is tested
+        against (and the fallback for rules the cache cannot resolve).
         """
+        compiled = caches.compiled
+        if compiled is not None:
+            fired = compiled.fire(rule, world, stats, caches, delta, delta_position)
+            if fired is not None:
+                return fired
         positives = rule.positive_atoms
         options = self.options
         pin_filter = options.pin_filter

@@ -13,17 +13,22 @@ and records stable, comparable records into ``BENCH_datalog.json`` (via
   lemma (Section 5).
 
 Every engine workload runs once per ablation column (all optimizations on,
-all off, and each of the three PR-5 layers -- join planner, index probes,
-parallel rounds -- individually off), asserts that *all columns produce the
-identical fixpoint*, and records per-column wall-clock plus the relevant
-engine counters.
+all off, each of the three PR-5 layers -- join planner, index probes,
+parallel rounds -- individually off, and the PR-6 rule compiler off),
+asserts that *all columns produce the identical fixpoint*, and records
+per-column wall-clock plus the relevant engine counters.  A separate
+``compile_stats`` record microbenches the PlanCache: cold ``evaluate()``
+setup (cleared cache: fetch + lowering) vs. warm (cache hit), the
+prepared-query pattern the planned server relies on.
 
 ``--check PCT`` turns the suite into a regression gate: the **speedup
-ratios** (all-off time / all-on time per workload) of the fresh run are
-compared against a baseline document (``--baseline``, default the committed
-``BENCH_datalog.json``), and the run fails if any ratio regressed by more
-than PCT percent.  Ratios, not absolute times, keep the gate meaningful
-across CI machines of different speeds.
+ratios** (all-off / all-on and no-compile / all-on per workload) of the
+fresh run are compared against a baseline document (``--baseline``, default
+the committed ``BENCH_datalog.json``), and the run fails if any ratio
+regressed by more than PCT percent.  Ratios, not absolute times, keep the
+gate meaningful across CI machines of different speeds.  The gate also
+enforces the plan-cache floor: a warm evaluate() must set up at least 5x
+faster than a cold one.
 """
 
 from __future__ import annotations
@@ -51,12 +56,13 @@ T(x, y) :- T(x, z), E(z, y).
 """
 
 #: ablation columns recorded per workload: the two extremes plus each of
-#: the three fast-path layers this engine generation added, individually off
+#: the four fast-path layers this engine generation added, individually off
 COLUMNS: tuple[tuple[str, EngineOptions], ...] = (
     ("all_on", EngineOptions.all_on()),
     ("no_join_planner", EngineOptions(join_planner=False)),
     ("no_index_probes", EngineOptions(index_probes=False)),
     ("no_parallel", EngineOptions(parallel=False)),
+    ("no_compile", EngineOptions(compile_rules=False)),
     ("all_off", EngineOptions.all_off()),
 )
 
@@ -70,6 +76,8 @@ _TRACKED = (
     "index_probes",
     "index_scan_avoided",
     "parallel_rounds",
+    "compiled_firings",
+    "fastpath_leaves",
     "cache_hits",
 )
 
@@ -113,10 +121,14 @@ def _run_columns(
             f"({len(fingerprints)} distinct answers)"
         )
     speedup = columns["all_off"]["time_s"] / max(columns["all_on"]["time_s"], 1e-9)
+    compile_speedup = columns["no_compile"]["time_s"] / max(
+        columns["all_on"]["time_s"], 1e-9
+    )
     return {
         "columns": columns,
         "identical_fixpoints": identical,
         "speedup_all_on": round(speedup, 3),
+        "speedup_compile": round(compile_speedup, 3),
     }
 
 
@@ -164,9 +176,10 @@ def _bench_dense(sizes: Iterable[int], repeat: int) -> dict[str, Any]:
         "workload": "dense-order transitive closure over point chains",
         "sizes": list(sizes),
         "per_size": per_size,
-        # headline ratio: the largest size is the one the acceptance gate
+        # headline ratios: the largest size is the one the acceptance gate
         # and the regression check track
         "speedup_all_on": per_size[str(max(sizes))]["speedup_all_on"],
+        "speedup_compile": per_size[str(max(sizes))]["speedup_compile"],
     }
 
 
@@ -182,6 +195,7 @@ def _bench_equality(sizes: Iterable[int], repeat: int) -> dict[str, Any]:
         "sizes": list(sizes),
         "per_size": per_size,
         "speedup_all_on": per_size[str(max(sizes))]["speedup_all_on"],
+        "speedup_compile": per_size[str(max(sizes))]["speedup_compile"],
     }
 
 
@@ -222,16 +236,66 @@ def _bench_boolean(n: int, repeat: int) -> dict[str, Any]:
     }
 
 
+def _bench_compile_cache(n: int, repeat: int) -> dict[str, Any]:
+    """PlanCache microbench: cold vs. warm ``evaluate()`` setup overhead.
+
+    Setup overhead is ``EvaluationStats.compile_seconds``: time spent
+    fetching from the PlanCache plus lowering rule variants to closures.
+    Cold runs clear the process-wide cache first (fingerprint + schema +
+    options + theory key all miss); warm runs hit the cached
+    ``CompiledProgram``, whose variants are already lowered -- the
+    prepared-query pattern.  Best-of timing keeps the microsecond-scale
+    warm numbers stable across noisy CI machines, and the program is a
+    server-shaped query (TC plus two derived views) rather than the bare
+    two-rule TC, so the cold side measures a realistic amount of lowering
+    work against the constant-time warm fetch.
+    """
+    from repro.core.compile import PLAN_CACHE
+
+    theory = DenseOrderTheory()
+    rules = parse_rules(
+        TC_RULES + "U(x, y) :- T(x, y), E(x, y).\nV(x) :- U(x, y).\n",
+        theory=theory,
+    )
+    program = DatalogProgram(rules, theory, options=EngineOptions.all_on())
+    rounds = max(repeat, 3)
+    cold = None
+    for _ in range(rounds):
+        PLAN_CACHE.clear()
+        _world, stats = program.evaluate(_dense_db(n))
+        assert stats.compile_misses == 1 and stats.compile_hits == 0
+        cold = stats.compile_seconds if cold is None else min(cold, stats.compile_seconds)
+    warm = None
+    for _ in range(rounds):
+        _world, stats = program.evaluate(_dense_db(n))
+        assert stats.compile_hits == 1 and stats.compiled_rules == 0
+        warm = stats.compile_seconds if warm is None else min(warm, stats.compile_seconds)
+    ratio = cold / max(warm, 1e-9)
+    return {
+        "workload": "plan-cache warm vs cold evaluate() setup overhead",
+        "size": n,
+        "cold_setup_s": round(cold, 9),
+        "warm_setup_s": round(warm, 9),
+        "setup_speedup_warm": round(ratio, 1),
+        "cache": PLAN_CACHE.stats(),
+    }
+
+
 # ------------------------------------------------------------------ checking
 def _collect_speedups(document: dict[str, Any]) -> dict[str, float]:
-    """name -> headline speedup ratio for every engine record in a document."""
+    """name -> headline speedup ratios for every engine record in a document.
+
+    The compile-ablation ratio of a record gates under ``<name>::compile``
+    so the two ratios regress (and report) independently.
+    """
     speedups: dict[str, float] = {}
     for name, record in document.get("records", {}).items():
         if not name.startswith("engine_"):
             continue
-        ratio = record.get("speedup_all_on")
-        if isinstance(ratio, (int, float)) and ratio > 0:
-            speedups[name] = float(ratio)
+        for field, suffix in (("speedup_all_on", ""), ("speedup_compile", "::compile")):
+            ratio = record.get(field)
+            if isinstance(ratio, (int, float)) and ratio > 0:
+                speedups[name + suffix] = float(ratio)
     return speedups
 
 
@@ -242,6 +306,10 @@ def check_regression(
 
     Compares ratios (machine-independent), only for records present in both
     documents; a missing baseline record is not a regression (new workload).
+    The fresh document's ``compile_stats`` records additionally gate on the
+    absolute plan-cache floor (warm setup at least 5x faster than cold) --
+    that ratio is so large when healthy that ratio-vs-ratio comparison
+    would be noise, while the floor catches a broken cache outright.
     """
     failures = []
     fresh_ratios = _collect_speedups(fresh)
@@ -253,6 +321,14 @@ def check_regression(
             failures.append(
                 f"{name}: speedup {after:.2f}x vs baseline {before:.2f}x "
                 f"(> {threshold_pct:.0f}% regression)"
+            )
+    for name, record in fresh.get("records", {}).items():
+        if not name.startswith("compile_stats"):
+            continue
+        ratio = record.get("setup_speedup_warm")
+        if not isinstance(ratio, (int, float)) or ratio < 5:
+            failures.append(
+                f"{name}: warm plan-cache setup speedup {ratio}x below the 5x floor"
             )
     return failures
 
@@ -306,6 +382,9 @@ def main(argv: list[str] | None = None) -> int:
         ),
         f"equality_econfig_baseline[{args.profile}]": _bench_equality_econfig(
             profile["econfig"]
+        ),
+        f"compile_stats[{args.profile}]": _bench_compile_cache(
+            max(profile["dense"]), args.repeat
         ),
     }
     for name, payload in records.items():

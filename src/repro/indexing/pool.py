@@ -95,6 +95,61 @@ class JoinIndexPool:
             self.scan_avoided += len(relation) - len(hits)
             return hits
 
+    def handle(
+        self, relation: GeneralizedRelation, attribute: str
+    ) -> IndexProbeHandle | None:
+        """A pre-resolved probe for one (relation, attribute) pair.
+
+        Compiled rule closures probe the same pair for every candidate
+        entry of a join step; a handle performs the pool's dict lookup
+        (and lazy index creation) once, so the per-probe path is just
+        catch-up + tree query.  Returns ``None`` exactly when
+        :meth:`probe` would (non-dense theory or unknown attribute), and
+        answers through the same shared index entry and counters, so
+        handle probes and direct probes are interchangeable.
+        """
+        if not self.supported or attribute not in relation.variables:
+            return None
+        with self._lock:
+            entry = self._indexes.get((relation.name, attribute))
+            if entry is None:
+                entry = [GeneralizedIndex1D(relation, attribute), len(relation)]
+                self._indexes[(relation.name, attribute)] = entry
+        return IndexProbeHandle(self, relation, entry)
+
     def index_count(self) -> int:
         with self._lock:
             return len(self._indexes)
+
+
+class IndexProbeHandle:
+    """A bound (relation, attribute) probe sharing its pool's index entry."""
+
+    __slots__ = ("_pool", "_relation", "_entry")
+
+    def __init__(
+        self, pool: JoinIndexPool, relation: GeneralizedRelation, entry: list
+    ) -> None:
+        self._pool = pool
+        self._relation = relation
+        self._entry = entry
+
+    def probe(
+        self, low: Fraction | None, high: Fraction | None
+    ) -> list[GeneralizedTuple] | None:
+        """Candidates for [low, high]; ``None`` when there is no usable bound."""
+        if low is None and high is None:
+            return None
+        pool = self._pool
+        relation = self._relation
+        with pool._lock:
+            index, cursor = self._entry
+            if cursor < len(relation):
+                for item in relation.tuples()[cursor:]:
+                    index.insert(item)
+                self._entry[1] = len(relation)
+            hits = index.candidates(low, high)
+            pool.probes += 1
+            pool.candidates += len(hits)
+            pool.scan_avoided += len(relation) - len(hits)
+            return hits

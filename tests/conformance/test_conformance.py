@@ -37,11 +37,12 @@ def test_every_ablation_config_is_exercised():
     """Acceptance criterion: each EngineOptions ablation runs in some pair."""
     report = run_conformance("dense_order", cases=20, seed=resolve_seed(0))
     exercised, total = report.options_coverage()
-    # coverage keys by as_dict, under which parallel_forced (a worker-count
-    # override, deliberately outside as_dict) collapses into all_on
+    # coverage keys by as_dict, under which parallel_forced and
+    # compiled_forced (worker-count overrides, deliberately outside as_dict)
+    # collapse into all_on, and compiled_off into no_compile_rules
     distinct = len({frozenset(o.as_dict().items()) for _, o in ABLATION_GRID})
     assert (exercised, total) == (distinct, distinct)
-    assert distinct == len(ABLATION_GRID) - 1
+    assert distinct == len(ABLATION_GRID) - 3
     assert report.ok, [f.discrepancy.describe() for f in report.failures]
 
 
@@ -49,15 +50,20 @@ def test_ablation_grid_shape():
     labels = [label for label, _ in ABLATION_GRID]
     assert labels[:2] == ["all_on", "all_off"]
     # all_on + all_off + one per as_dict flag + serial_scan + parallel_forced
+    # + compiled_off + compiled_forced
     flags = len(ABLATION_GRID[0][1].as_dict())
-    assert len(labels) == flags + 4
-    # every grid entry is distinct as a configuration (parallel_forced
-    # differs only in worker count, which as_dict deliberately omits)
+    assert len(labels) == flags + 6
+    # every grid entry is a distinct configuration (parallel_forced and
+    # compiled_forced differ only in worker count, which as_dict omits),
+    # except compiled_off: a stable public alias of the auto-generated
+    # no_compile_rules entry, so nightly tooling can reference the
+    # compiled/interpreted pair by name regardless of flag spelling
     distinct = {
         (frozenset(o.as_dict().items()), o.parallel_workers)
         for _, o in ABLATION_GRID
     }
-    assert len(distinct) == len(labels)
+    assert len(distinct) == len(labels) - 1
+    assert "compiled_off" in labels and "no_compile_rules" in labels
 
 
 @pytest.mark.parametrize(
@@ -94,6 +100,8 @@ def test_datalog_registry_contains_all_ablations_and_naive():
         assert sum(1 for n in names if n.startswith("datalog[no_")) == flags
         assert "datalog[serial_scan]" in names
         assert "datalog[parallel_forced]" in names
+        assert "datalog[compiled_off]" in names
+        assert "datalog[compiled_forced]" in names
         return
     pytest.fail("no datalog case generated in 200 seeds")
 

@@ -111,3 +111,58 @@ class TestEngineCommand:
     def test_bad_flag_reports_usage(self):
         output = run([".engine warp_drive=on"])
         assert "usage: .engine" in output
+
+    def test_reports_plan_cache_state(self):
+        from repro.core.compile import PLAN_CACHE
+
+        PLAN_CACHE.clear()
+        output = run([
+            ".relation E(x, y)",
+            ".point E: 1, 2",
+            ".rule T(x, y) :- E(x, y).",
+            ".run",
+            ".run",
+            ".engine",
+        ])
+        assert "compile_rules=on" in output
+        assert "plan cache: 1 compiled program(s)" in output
+        # first .run misses, second hits the prepared-query cache
+        assert "1 hits, 1 misses" in output
+
+
+class TestPlanCommand:
+    _SESSION = [
+        ".relation E(x, y)",
+        ".relation T(x, y)",
+        ".point E: 1, 2",
+        ".point E: 2, 3",
+        ".rule T(x, y) :- E(x, y).",
+        ".rule T(x, y) :- T(x, z), E(z, y).",
+    ]
+
+    def test_plan_by_head_name_prints_all_matching_rules(self):
+        output = run([*self._SESSION, ".plan T"])
+        assert output.count("rule: T(") == 2
+        assert "order: [0]" in output
+        assert "step 0:" in output and "step 1:" in output
+        assert "sizes: " in output
+
+    def test_plan_by_index(self):
+        output = run([*self._SESSION, ".plan 2"])
+        assert output.count("rule: T(") == 1
+        assert "T(x, z)" in output
+
+    def test_plan_uses_live_sizes_for_tie_breaks(self):
+        # T is empty before .run, populated after: the rendered sizes line
+        # (the planner's greedy inputs) must track the live database
+        before = run([*self._SESSION, ".plan 2"])
+        after = run([*self._SESSION, ".run", ".plan 2"])
+        assert "T=0" in before
+        assert "T=3" in after
+
+    def test_plan_errors(self):
+        assert "no rules" in run([".plan T"])
+        output = run([*self._SESSION, ".plan Q", ".plan 9", ".plan"])
+        assert "no rule with head 'Q'" in output
+        assert "out of range" in output
+        assert "usage: .plan" in output

@@ -1,0 +1,243 @@
+"""Property tests: compiled closures never change a fixpoint.
+
+The compiler's contract is stronger than "same answers": a compiled rule
+enumerates exactly the candidate entries the interpreted join enumerates,
+in the same order, under the same plan -- the fast paths only change *how*
+each per-entry decision is computed.  These tests check the observable
+half of that contract across all four theories and all four semantics
+(naive and semi-naive iteration under auto, stratified, and inflationary
+policies), and the stronger half via the shared counters: identical
+``join_steps`` and ``tuples_derived`` between the two engines, and
+identical sound under-approximations when a fringe budget trips.
+"""
+
+import random
+from dataclasses import replace
+from fractions import Fraction
+
+from hypothesis import given, settings, strategies as st
+
+from repro.constraints.dense_order import DenseOrderTheory
+from repro.constraints.equality import EqualityTheory
+from repro.core.datalog import DatalogProgram, EngineOptions
+from repro.core.generalized import GeneralizedDatabase
+from repro.logic.parser import parse_rules
+from repro.runtime.budget import Budget
+
+POSITIVE_RULES = """
+T(x, y) :- E(x, y).
+T(x, y) :- T(x, z), E(z, y).
+"""
+
+NEGATION_RULES = POSITIVE_RULES + """
+U(x, y) :- V(x), V(y), not T(x, y).
+"""
+
+SEMANTICS = ("auto", "stratified", "inflationary")
+
+COMPILED = EngineOptions.all_on()
+INTERPRETED = replace(EngineOptions.all_on(), compile_rules=False)
+
+
+def _random_dense_db(theory, rng, size):
+    db = GeneralizedDatabase(theory)
+    edges = db.create_relation("E", ("x", "y"))
+    nodes = max(2, size)
+    for _ in range(size + 1):
+        a = rng.randrange(nodes)
+        b = rng.randrange(nodes)
+        if a == b:
+            continue
+        edges.add_point([a, b])
+    if rng.random() < 0.5:
+        # a non-point tuple forces the general (context-building) path
+        lo = rng.randrange(nodes)
+        edges.add_tuple(
+            [
+                theory.le(Fraction(lo), "x"),
+                theory.lt("x", "y"),
+                theory.le("y", Fraction(lo + 1)),
+            ]
+        )
+    vertices = db.create_relation("V", ("x",))
+    for v in range(min(nodes, 4)):
+        vertices.add_point([v])
+    return db
+
+
+def _random_equality_db(theory, rng, size):
+    db = GeneralizedDatabase(theory)
+    edges = db.create_relation("E", ("x", "y"))
+    nodes = max(2, size)
+    for _ in range(size + 1):
+        a = rng.randrange(nodes)
+        b = rng.randrange(nodes)
+        if a == b:
+            continue
+        edges.add_point([a, b])
+    if rng.random() < 0.5:
+        edges.add_tuple([theory.eq("x", theory.const(0)), theory.ne("x", "y")])
+    vertices = db.create_relation("V", ("x",))
+    for v in range(min(nodes, 4)):
+        vertices.add_point([v])
+    return db
+
+
+def _fingerprint(world, names):
+    return {
+        name: frozenset(frozenset(t.atoms) for t in world.relation(name))
+        for name in names
+    }
+
+
+def _assert_compiled_equivalent(make_theory, make_db, seed, size):
+    rng = random.Random(seed)
+    for rules_text, names in (
+        (POSITIVE_RULES, ("T",)),
+        (NEGATION_RULES, ("T", "U")),
+    ):
+        layout_seed = rng.randrange(1 << 30)
+        for semantics in SEMANTICS:
+            for semi_naive in (True, False):
+                results = []
+                counters = []
+                for options in (COMPILED, INTERPRETED):
+                    theory = make_theory()
+                    db = make_db(theory, random.Random(layout_seed), size)
+                    program = DatalogProgram(
+                        parse_rules(rules_text, theory=theory),
+                        theory,
+                        options=options,
+                    )
+                    world, stats = program.evaluate(
+                        db, semi_naive=semi_naive, semantics=semantics
+                    )
+                    results.append(_fingerprint(world, names))
+                    counters.append((stats.join_steps, stats.tuples_derived))
+                label = (
+                    f"(semantics={semantics}, semi_naive={semi_naive}, "
+                    f"seed={seed})"
+                )
+                assert results[0] == results[1], (
+                    f"compilation changed the fixpoint {label}"
+                )
+                # the step-for-step contract: same entries enumerated,
+                # same tuples derived
+                assert counters[0] == counters[1], (
+                    f"compilation changed the join/derive counts {label}"
+                )
+
+
+class TestCompiledEquivalence:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 10_000), st.integers(2, 5))
+    def test_dense_order_programs(self, seed, size):
+        _assert_compiled_equivalent(
+            DenseOrderTheory, _random_dense_db, seed, size
+        )
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 10_000), st.integers(2, 5))
+    def test_equality_programs(self, seed, size):
+        _assert_compiled_equivalent(
+            EqualityTheory, _random_equality_db, seed, size
+        )
+
+
+class TestFourTheoryMatrix:
+    """Compiled vs interpreted over conformance-generated cases.
+
+    Covers all four theories (dense order, equality, boolean, real
+    polynomial) under both fixpoint orders and the generated case's own
+    semantics, including the theories the compiler forces onto the
+    general (non-pointwise) path.
+    """
+
+    @staticmethod
+    def _datalog_spec(theory_name, seed):
+        from repro.conformance.generators import generate_case
+
+        for probe in range(25):
+            spec = generate_case(theory_name, seed + probe)
+            if spec.kind == "datalog":
+                return spec
+        return None
+
+    def _assert_matrix(self, theory_name, seed):
+        from repro.conformance.spec import build_case
+
+        spec = self._datalog_spec(theory_name, seed)
+        if spec is None:
+            return
+        fingerprints = set()
+        for options in (COMPILED, INTERPRETED):
+            for semi_naive in (True, False):
+                case = build_case(spec)
+                program = DatalogProgram(
+                    case.rules, case.theory, options=options
+                )
+                world, _stats = program.evaluate(
+                    case.database,
+                    semi_naive=semi_naive,
+                    semantics=spec.semantics,
+                )
+                fingerprints.add(
+                    frozenset(
+                        frozenset(t.atoms)
+                        for t in world.relation(spec.target)
+                    )
+                )
+        assert len(fingerprints) == 1, (
+            f"{theory_name} fixpoint depends on compile_rules (seed={seed}, "
+            f"{len(fingerprints)} distinct answers)"
+        )
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_dense_order(self, seed):
+        self._assert_matrix("dense_order", seed)
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_equality(self, seed):
+        self._assert_matrix("equality", seed)
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_boolean(self, seed):
+        self._assert_matrix("boolean", seed)
+
+    @settings(max_examples=6, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_real_poly(self, seed):
+        self._assert_matrix("real_poly", seed)
+
+
+class TestBudgetedEquivalence:
+    """Fringe degradation under budgets is identical compiled vs not."""
+
+    def _chain_db(self, theory, n):
+        db = GeneralizedDatabase(theory)
+        edge = db.create_relation("E", ("x", "y"))
+        for i in range(n):
+            edge.add_point([i, i + 1])
+        return db
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(5, 40), st.integers(8, 20))
+    def test_fringe_partial_results_match(self, joins, size):
+        budget = Budget(joins=joins, partial_results="fringe")
+        worlds = []
+        for base in (COMPILED, INTERPRETED):
+            theory = DenseOrderTheory()
+            options = replace(base, budget=budget)
+            program = DatalogProgram(
+                parse_rules(POSITIVE_RULES, theory=theory),
+                theory,
+                options=options,
+            )
+            world, stats = program.evaluate(self._chain_db(theory, size))
+            worlds.append(_fingerprint(world, ("T",)))
+        # same ticks -> the budget trips at the same point -> the sound
+        # under-approximations are the same set of tuples
+        assert worlds[0] == worlds[1]

@@ -30,6 +30,7 @@ class TestBenchSuite:
             "engine_tc_equality[smoke]",
             "engine_tc_boolean[smoke]",
             "equality_econfig_baseline[smoke]",
+            "compile_stats[smoke]",
         }
         dense = records["engine_tc_dense[smoke]"]
         largest = dense["per_size"][str(max(_TINY["dense"]))]
@@ -40,8 +41,13 @@ class TestBenchSuite:
             "no_join_planner",
             "no_index_probes",
             "no_parallel",
+            "no_compile",
         }
+        assert largest["speedup_compile"] > 0
         assert records["equality_econfig_baseline[smoke]"]["agree"] is True
+        cache = records["compile_stats[smoke]"]
+        assert cache["setup_speedup_warm"] >= 5
+        assert cache["cold_setup_s"] > cache["warm_setup_s"] > 0
 
     def test_check_passes_against_own_baseline(self, sink, monkeypatch):
         monkeypatch.setitem(bench.PROFILES, "smoke", _TINY)
@@ -76,3 +82,25 @@ class TestRegressionCheck:
     def test_non_engine_records_ignored(self):
         baseline = {"records": {"datalog_dense_scaling": {"speedup_all_on": 9.9}}}
         assert check_regression({"records": {}}, baseline, 25) == []
+
+    def test_compile_ratio_gates_independently(self):
+        fresh = {
+            "records": {"engine_tc_dense": {"speedup_all_on": 4.0, "speedup_compile": 1.0}}
+        }
+        baseline = {
+            "records": {"engine_tc_dense": {"speedup_all_on": 4.0, "speedup_compile": 2.0}}
+        }
+        failures = check_regression(fresh, baseline, 25)
+        assert len(failures) == 1
+        assert "::compile" in failures[0]
+
+    def test_plan_cache_floor_enforced(self):
+        fresh = {"records": {"compile_stats[full]": {"setup_speedup_warm": 3.2}}}
+        failures = check_regression(fresh, {"records": {}}, 25)
+        assert failures == [
+            "compile_stats[full]: warm plan-cache setup speedup 3.2x below the 5x floor"
+        ]
+
+    def test_plan_cache_floor_passes(self):
+        fresh = {"records": {"compile_stats[full]": {"setup_speedup_warm": 12.0}}}
+        assert check_regression(fresh, {"records": {}}, 25) == []

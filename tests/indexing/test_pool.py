@@ -100,3 +100,43 @@ class TestIncrementalMaintenance:
         assert pool.probes == 2
         assert pool.candidates >= 2
         assert pool.scan_avoided > 0
+
+
+class TestProbeHandles:
+    """Pre-resolved handles: same answers and counters as direct probes."""
+
+    def test_handle_matches_direct_probe(self):
+        relation = _relation([(i, i + 1) for i in range(10)])
+        pool = JoinIndexPool(theory)
+        handle = pool.handle(relation, "x")
+        assert handle is not None
+        assert handle.probe(Fraction(4), Fraction(4)) == pool.probe(
+            relation, "x", Fraction(4), Fraction(4)
+        )
+
+    def test_handle_declines_like_probe(self):
+        relation = _relation([(0, 1)])
+        assert JoinIndexPool(EqualityTheory()).handle(relation, "x") is None
+        assert JoinIndexPool(theory).handle(relation, "zzz") is None
+        handle = JoinIndexPool(theory).handle(relation, "x")
+        assert handle.probe(None, None) is None
+
+    def test_handle_shares_index_and_counters(self):
+        relation = _relation([(i, i + 1) for i in range(6)])
+        pool = JoinIndexPool(theory)
+        handle = pool.handle(relation, "x")
+        handle.probe(Fraction(2), Fraction(2))
+        assert pool.index_count() == 1  # no second index behind the handle
+        assert pool.probes == 1 and pool.candidates >= 1
+        # and the direct path reuses the handle's index entry
+        pool.probe(relation, "x", Fraction(3), Fraction(3))
+        assert pool.index_count() == 1
+        assert pool.probes == 2
+
+    def test_handle_sees_incremental_growth(self):
+        relation = _relation([(0, 1)])
+        pool = JoinIndexPool(theory)
+        handle = pool.handle(relation, "x")
+        assert handle.probe(Fraction(7), Fraction(7)) == []
+        relation.add_point([Fraction(7), Fraction(8)])
+        assert len(handle.probe(Fraction(7), Fraction(7))) == 1
