@@ -16,13 +16,30 @@ writing Python::
     cql> .quit
 
 Commands: ``.theory``, ``.relation``, ``.tuple``, ``.point``, ``.query``,
-``.rule``, ``.run``, ``.plan``, ``.show``, ``.list``, ``.help``, ``.quit``.
+``.rule``, ``.run``, ``.view``, ``.insert``, ``.retract``, ``.plan``,
+``.show``, ``.list``, ``.help``, ``.quit``.
+
+``.view on`` registers the accumulated rules as a live materialized view
+over the current database; from then on ``.insert``/``.retract`` apply
+deltas and the derived relations are maintained incrementally (counting /
+DRed through the same compiled closures ``.run`` uses) instead of being
+recomputed::
+
+    cql> .rule T(a, b) :- E(a, b).
+    cql> .rule T(a, c) :- T(a, b), E(b, c).
+    cql> .view on
+    cql> .insert E: x = 1 and y = 2
+    cql> .retract E: x = 1 and y = 2
+    cql> .view
 """
 
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Callable, TextIO
+from typing import TYPE_CHECKING, Callable, TextIO
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.ivm import MaterializedView
 
 from repro.constraints.dense_order import DenseOrderTheory
 from repro.constraints.equality import EqualityTheory
@@ -50,6 +67,13 @@ HELP = """commands:
   .query FORMULA          evaluate a calculus query, e.g. exists x . R(n, x)
   .rule HEAD :- BODY.     add a Datalog rule
   .run                    evaluate the accumulated rules to their fixpoint
+  .view [on|off|refresh]  maintain the rules as a live materialized view:
+                          .view on registers it, .insert/.retract then update
+                          the fixpoint incrementally; bare .view shows status
+                          (mode, staleness, maintenance counters); .view
+                          refresh rebuilds a stale view from scratch
+  .insert R: CONSTRAINTS  insert a generalized tuple through the view
+  .retract R: CONSTRAINTS retract a generalized tuple through the view
   .budget SPEC            resource budget for .run/.query, e.g.
                           .budget deadline=0.05 rounds=100 fringe
                           (.budget off clears it; bare .budget shows it)
@@ -78,6 +102,7 @@ class Shell:
         self.rules: list[Rule] = []
         self.budget: Budget | None = None
         self.engine = EngineOptions()
+        self.view: MaterializedView | None = None
 
     def write(self, text: str) -> None:
         print(text, file=self.out)
@@ -109,6 +134,9 @@ class Shell:
         if line == ".run":
             self._run_rules()
             return True
+        if line == ".view":
+            self._view("")
+            return True
         if line == ".budget":
             self._set_budget("")
             return True
@@ -128,8 +156,16 @@ class Shell:
         elif command == ".query":
             self._query(rest)
         elif command == ".rule":
+            if self._view_blocks("rule changes"):
+                return True
             self.rules.extend(parse_rules(rest, theory=self.theory))
             self.write(f"rule added ({len(self.rules)} total)")
+        elif command == ".view":
+            self._view(rest)
+        elif command == ".insert":
+            self._delta("insert", rest)
+        elif command == ".retract":
+            self._delta("retract", rest)
         elif command == ".plan":
             self._plan(rest)
         elif command == ".show":
@@ -143,11 +179,22 @@ class Shell:
         return True
 
     # ------------------------------------------------------------- commands
+    def _view_blocks(self, action: str) -> bool:
+        """True (with a hint) when a live view forbids direct mutation."""
+        if self.view is None:
+            return False
+        self.write(
+            f"a live view is registered; {action} would bypass maintenance "
+            "-- use .insert/.retract, or .view off first"
+        )
+        return True
+
     def _set_theory(self, name: str) -> None:
         factory = THEORIES.get(name)
         if factory is None:
             self.write(f"unknown theory {name!r}; options: {sorted(THEORIES)}")
             return
+        self._drop_view()
         self.theory_name = name
         self.theory = factory()  # type: ignore[assignment]
         self.db = GeneralizedDatabase(self.theory)  # type: ignore[arg-type]
@@ -155,6 +202,8 @@ class Shell:
         self.write(f"theory set to {name}; database reset")
 
     def _declare_relation(self, spec: str) -> None:
+        if self._view_blocks("declaring relations"):
+            return
         name, _, args = spec.partition("(")
         if not args.endswith(")"):
             self.write("usage: .relation R(x, y)")
@@ -182,12 +231,16 @@ class Shell:
         return tuple(atoms)
 
     def _add_tuple(self, spec: str) -> None:
+        if self._view_blocks("direct tuple writes"):
+            return
         name, _, constraints = spec.partition(":")
         relation = self.db.relation(name.strip())
         added = relation.add_tuple(self._parse_conjunction(constraints.strip()))
         self.write("tuple added" if added else "tuple already present (or unsatisfiable)")
 
     def _add_point(self, spec: str) -> None:
+        if self._view_blocks("direct tuple writes"):
+            return
         name, _, values = spec.partition(":")
         relation = self.db.relation(name.strip())
         parsed = []
@@ -266,6 +319,12 @@ class Shell:
         self.write(str(result))
 
     def _run_rules(self) -> None:
+        if self.view is not None:
+            self.write(
+                "the live view already maintains the fixpoint; "
+                ".show/.view to inspect, .view off to go back to .run"
+            )
+            return
         if not self.rules:
             self.write("no rules; add some with .rule")
             return
@@ -286,6 +345,107 @@ class Shell:
         self.write(f"{status}, {stats.tuples_added} tuples added")
         for name in sorted(program.idb_predicates()):
             self.write(str(world.relation(name)))
+
+    # --------------------------------------------------- materialized views
+    def _drop_view(self) -> None:
+        if self.view is not None:
+            self.view.close()
+            self.view = None
+
+    def _view(self, spec: str) -> None:
+        from dataclasses import replace
+
+        from repro.core.ivm import MaterializedView
+
+        if spec == "on":
+            if self.view is not None:
+                self.write("a view is already registered; .view off first")
+                return
+            if not self.rules:
+                self.write("no rules; add some with .rule before .view on")
+                return
+            program = DatalogProgram(
+                self.rules,
+                self.theory,
+                options=replace(self.engine, budget=self.budget),
+            )
+            self.view = MaterializedView(program, self.db)
+            self.db = self.view.world
+            self._view("")
+            return
+        if spec == "off":
+            if self.view is None:
+                self.write("no view registered")
+                return
+            # the maintained world (EDB + derived relations) stays queryable
+            self.db = self.view.world
+            self._drop_view()
+            self.write("view dropped; database keeps the last maintained state")
+            return
+        if spec == "refresh":
+            if self.view is None:
+                self.write("no view registered")
+                return
+            stats = self.view.refresh()
+            self.db = self.view.world
+            state = "stale" if self.view.stale else "fresh"
+            self.write(
+                f"view rebuilt from scratch ({state}, "
+                f"{stats.tuples_added} tuples derived)"
+            )
+            return
+        if spec:
+            self.write("usage: .view [on|off|refresh]")
+            return
+        if self.view is None:
+            self.write("no view registered; .view on materializes the rules")
+            return
+        view = self.view
+        staleness = (
+            f"STALE ({view.stale_reason}); .view refresh to rebuild"
+            if view.stale
+            else "fresh"
+        )
+        self.write(f"view: mode={view.mode}, {staleness}")
+        totals = view.total_stats
+        self.write(
+            f"  maintenance: {totals.ivm_steps} batch(es), "
+            f"+{totals.ivm_inserts}/-{totals.ivm_retracts} base tuples, "
+            f"+{totals.ivm_derived_added}/-{totals.ivm_derived_removed} derived "
+            f"(rederived {totals.ivm_rederived} of {totals.ivm_overdeleted} "
+            f"overdeleted, {totals.ivm_recomputed_strata} strata recomputed, "
+            f"{totals.ivm_maintain_seconds:.4f}s)"
+        )
+
+    def _delta(self, op: str, spec: str) -> None:
+        if self.view is None:
+            self.write(f"no view registered; .view on enables .{op}")
+            return
+        name, sep, constraints = spec.partition(":")
+        if not sep:
+            self.write(f"usage: .{op} R: CONSTRAINTS")
+            return
+        atoms = self._parse_conjunction(constraints.strip())
+        if op == "insert":
+            stats = self.view.insert(name.strip(), atoms)
+        else:
+            stats = self.view.retract(name.strip(), atoms)
+        self.db = self.view.world
+        if self.view.stale:
+            self.write(
+                f"budget exhausted mid-maintenance: view is STALE "
+                f"({self.view.stale_reason}); .view refresh to rebuild"
+            )
+            return
+        applied = stats.ivm_inserts if op == "insert" else stats.ivm_retracts
+        if not applied:
+            self.write(f"no-op ({op} of a {'present' if op == 'insert' else 'missing'} tuple)")
+            return
+        self.write(
+            f"{op} applied: +{stats.ivm_derived_added}/"
+            f"-{stats.ivm_derived_removed} derived tuples "
+            f"in {stats.ivm_maintain_seconds:.4f}s"
+        )
 
     def _plan(self, selector: str) -> None:
         from repro.core.compile import render_plan

@@ -41,6 +41,7 @@ from repro.conformance.oracles import Discrepancy, compare_relations
 from repro.conformance.shrinker import shrink
 from repro.conformance.spec import CaseSpec
 from repro.conformance.strategies import ABLATION_GRID, strategies_for
+from repro.conformance.updates import IncrementalMismatchError
 from repro.errors import BudgetExceededError, TransientTheoryError
 from repro.runtime.budget import Budget, parse_budget_spec, supervised
 from repro.runtime.chaos import (
@@ -250,6 +251,13 @@ def run_case(
             if degraded is not None:
                 degraded[type(marker.error).__name__] += 1
             continue
+        except IncrementalMismatchError as error:
+            # the incremental strategies verify maintained == from-scratch
+            # after every update step; a stepwise divergence is a first-class
+            # discrepancy even though the final states might re-agree
+            return Discrepancy(
+                reference.name, route.name, "incremental", None, str(error)
+            )
         except Exception as error:  # noqa: BLE001 - reported, not swallowed
             return Discrepancy(
                 reference.name, route.name, "error", None, repr(error)

@@ -36,14 +36,22 @@ from repro.boolean_algebra.datalog_bool import (
     table_as_term,
 )
 from repro.boolean_algebra.terms import BoolTerm, BOr, BVar, BZero
-from repro.conformance.spec import BuiltCase, CaseSpec, SpecError, build_case
+from repro.conformance.spec import (
+    BuiltCase,
+    CaseSpec,
+    SpecError,
+    build_case,
+    decode_atom,
+)
+from repro.conformance.updates import IncrementalMismatchError, update_sequence
 from repro.constraints.boolean import BooleanConstraintAtom, BooleanTheory
 from repro.constraints.real_poly import PolyAtom
 from repro.core import algebra as ra
 from repro.core.calculus import evaluate_calculus
 from repro.core.datalog import DatalogProgram, EngineOptions
 from repro.core.econfig import evaluate_query_econfig
-from repro.core.generalized import GeneralizedRelation
+from repro.core.generalized import GeneralizedDatabase, GeneralizedRelation
+from repro.core.ivm import MaterializedView
 from repro.core.rconfig import evaluate_query_rconfig
 from repro.logic.syntax import (
     And,
@@ -135,6 +143,13 @@ def strategies_for(spec: CaseSpec) -> list[Strategy]:
         )
         if spec.theory == "boolean":
             routes.append(Strategy("boole_lemma", _run_boole_lemma))
+        # incremental maintenance: replay the EDB as an update stream,
+        # asserting maintained == from-scratch after every step; the chaos
+        # variant adds retract/reinsert churn (DRed + counting decrements)
+        routes.append(Strategy("incremental", _incremental_runner(churn=0)))
+        routes.append(
+            Strategy("incremental_chaos", _incremental_runner(churn=2))
+        )
         return routes
     if spec.kind == "qe":
         return [
@@ -261,6 +276,81 @@ def _datalog_runner(
         return result
 
     return run
+
+
+def _incremental_runner(churn: int) -> Callable[[CaseSpec], GeneralizedRelation]:
+    """Differentially-tested incremental maintenance over an update stream.
+
+    Starts a :class:`MaterializedView` on an *empty* EDB, replays the spec's
+    seeded update sequence one step at a time, and after every step compares
+    the maintained world against a from-scratch evaluation of the current
+    EDB state (canonical key sets, over the same theory instance, so the
+    comparison is exact).  The first divergence raises
+    :class:`IncrementalMismatchError`, which the runner reports as a
+    discrepancy of oracle ``"incremental"``.  The stream's net effect is the
+    spec's full EDB, so the returned target relation is comparable against
+    every other datalog strategy through the ordinary semantic oracles.
+    """
+
+    def run(spec: CaseSpec) -> GeneralizedRelation:
+        case = build_case(spec)
+        program = DatalogProgram(
+            case.rules, case.theory, options=EngineOptions.all_on()
+        )
+        initial = GeneralizedDatabase(case.theory)
+        for name, variables, _tuples in spec.relations:
+            initial.create_relation(name, variables)
+        tuple_atoms = {
+            (name, index): encoded
+            for name, _variables, tuples in spec.relations
+            for index, encoded in enumerate(tuples)
+        }
+        view = MaterializedView(program, initial, semantics=spec.semantics)
+        try:
+            for step, (op, name, index) in enumerate(
+                update_sequence(spec, churn=churn)
+            ):
+                atoms = [
+                    decode_atom(a, case.theory)
+                    for a in tuple_atoms[(name, index)]
+                ]
+                if op == "insert":
+                    view.insert(name, atoms)
+                else:
+                    view.retract(name, atoms)
+                _check_against_scratch(view, case, spec, step, (op, name, index))
+            result = GeneralizedRelation("result", case.output, case.theory)
+            for item in view.relation(spec.target):
+                result.add(item)
+            return result
+        finally:
+            view.close()
+
+    return run
+
+
+def _check_against_scratch(
+    view: MaterializedView,
+    case: BuiltCase,
+    spec: CaseSpec,
+    step: int,
+    op: tuple[str, str, int],
+) -> None:
+    """Assert the maintained world equals from-scratch over the current EDB."""
+    scratch_db = GeneralizedDatabase(case.theory)
+    for name, variables, _tuples in spec.relations:
+        relation = scratch_db.create_relation(name, variables)
+        for _key, item in view.relation(name).entries():
+            relation.adopt_canonical(item)
+    program = DatalogProgram(
+        case.rules, case.theory, options=EngineOptions.all_on()
+    )
+    world, _stats = program.evaluate(scratch_db, semantics=spec.semantics)
+    for name in world.names():
+        expected = frozenset(world.relation(name).keys())
+        maintained = frozenset(view.relation(name).keys())
+        if expected != maintained:
+            raise IncrementalMismatchError(step, op, name)
 
 
 def _run_boole_lemma(spec: CaseSpec) -> GeneralizedRelation:

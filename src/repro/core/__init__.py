@@ -13,7 +13,9 @@
   operator of Section 3.2 (Theorems 3.19/3.20);
 * :mod:`repro.core.fringe` -- generalized derivation trees, the polynomial
   fringe property and round-synchronous parallel evaluation (Section 3.3,
-  Theorem 3.21).
+  Theorem 3.21);
+* :mod:`repro.core.ivm` -- incremental view maintenance: live fixpoints
+  under insert/retract deltas (counting + DRed over the same engine).
 """
 
 from repro.core import algebra
@@ -24,9 +26,11 @@ from repro.core.generalized import (
     GeneralizedRelation,
     GeneralizedTuple,
 )
+from repro.core.ivm import MaterializedView
 
 __all__ = [
     "DatalogProgram",
+    "MaterializedView",
     "algebra",
     "GeneralizedDatabase",
     "GeneralizedRelation",

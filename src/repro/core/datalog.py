@@ -252,12 +252,40 @@ class EvaluationStats:
     fastpath_leaves: int = 0
     #: wall-clock spent fetching/lowering compiled rules (setup overhead)
     compile_seconds: float = 0.0
+    #: incremental view maintenance (:mod:`repro.core.ivm`): maintenance
+    #: passes run, EDB delta sizes consumed, derived-relation churn, DRed
+    #: overdeletion/rederivation traffic, counting-support clamps (0 unless
+    #: the support invariant broke), strata recomputed by the fallback
+    #: paths, and wall-clock spent maintaining (the bench compares this
+    #: against from-scratch evaluation time)
+    ivm_steps: int = 0
+    ivm_inserts: int = 0
+    ivm_retracts: int = 0
+    ivm_derived_added: int = 0
+    ivm_derived_removed: int = 0
+    ivm_overdeleted: int = 0
+    ivm_rederived: int = 0
+    ivm_count_clamps: int = 0
+    ivm_recomputed_strata: int = 0
+    ivm_maintain_seconds: float = 0.0
     per_round_new: list[int] = field(default_factory=list)
     #: True when a budget tripped in ``partial_results="fringe"`` mode and
     #: the returned database is the last sound under-approximation
     incomplete: bool = False
     #: the tripping budget's ResourceReport (as a dict) when ``incomplete``
     budget: dict | None = None
+
+    @property
+    def ivm_rederivation_ratio(self) -> float:
+        """Fraction of DRed-overdeleted tuples that were rederived.
+
+        High values mean the deletion overestimate was mostly wrong (tuples
+        had alternative derivations) -- the signature workload where counting
+        would have been cheaper; 0.0 when nothing was overdeleted.
+        """
+        if not self.ivm_overdeleted:
+            return 0.0
+        return self.ivm_rederived / self.ivm_overdeleted
 
     @property
     def cache_hits(self) -> int:
@@ -299,6 +327,17 @@ class EvaluationStats:
             "compiled_firings": self.compiled_firings,
             "fastpath_leaves": self.fastpath_leaves,
             "compile_seconds": self.compile_seconds,
+            "ivm_steps": self.ivm_steps,
+            "ivm_inserts": self.ivm_inserts,
+            "ivm_retracts": self.ivm_retracts,
+            "ivm_derived_added": self.ivm_derived_added,
+            "ivm_derived_removed": self.ivm_derived_removed,
+            "ivm_overdeleted": self.ivm_overdeleted,
+            "ivm_rederived": self.ivm_rederived,
+            "ivm_rederivation_ratio": self.ivm_rederivation_ratio,
+            "ivm_count_clamps": self.ivm_count_clamps,
+            "ivm_recomputed_strata": self.ivm_recomputed_strata,
+            "ivm_maintain_seconds": self.ivm_maintain_seconds,
             "cache_hits": self.cache_hits,
             "per_round_new": list(self.per_round_new),
             "incomplete": self.incomplete,
@@ -335,6 +374,18 @@ class EvaluationStats:
         "compiled_firings",
         "fastpath_leaves",
         "compile_seconds",
+        # ivm counters: workers never touch them mid-round, but the view's
+        # cumulative stats aggregate per-apply stats with the same merge()
+        "ivm_steps",
+        "ivm_inserts",
+        "ivm_retracts",
+        "ivm_derived_added",
+        "ivm_derived_removed",
+        "ivm_overdeleted",
+        "ivm_rederived",
+        "ivm_count_clamps",
+        "ivm_recomputed_strata",
+        "ivm_maintain_seconds",
     )
 
     def merge(self, other: "EvaluationStats") -> None:

@@ -92,6 +92,11 @@ class GeneralizedRelation:
         #: negated rule body needs) can be cached per (name, version) and
         #: reused until the relation actually changes
         self.version = 0
+        #: monotone count of removal events (``discard``/``clear``).  The
+        #: suffix-cursor index maintenance in :mod:`repro.indexing.pool`
+        #: assumes relations only grow; a change in this counter tells the
+        #: pool the append-only assumption broke and the index must rebuild.
+        self.removals = 0
         for item in tuples:
             self.add(item)
 
@@ -137,6 +142,37 @@ class GeneralizedRelation:
         tick("tuple")
         return stored
 
+    def adopt_canonical(self, item: GeneralizedTuple) -> GeneralizedTuple | None:
+        """Insert a tuple that is *already* in this relation's canonical form.
+
+        The incremental-maintenance delta relations shuttle canonical tuples
+        the dedup already computed (they come out of ``add_canonical`` of a
+        relation with the same variables); re-canonicalizing them would redo
+        the theory work and re-tick the tuple budget for pure bookkeeping.
+        The caller vouches for canonicality -- the atom set is used as the
+        key verbatim.  Returns the stored tuple if new, None on a duplicate.
+        """
+        if item.variables != self.variables:
+            item = item.rename(self.variables)
+        key = frozenset(item.atoms)
+        if key in self._tuples:
+            return None
+        self._tuples[key] = item
+        self.version += 1
+        return item
+
+    def lookup(self, key: frozenset[Atom]) -> GeneralizedTuple | None:
+        """The stored tuple with this canonical atom set, if present."""
+        return self._tuples.get(key)
+
+    def keys(self) -> list[frozenset[Atom]]:
+        """The canonical atom-set keys (the relation's identity as a set)."""
+        return list(self._tuples)
+
+    def entries(self) -> list[tuple[frozenset[Atom], GeneralizedTuple]]:
+        """(canonical key, stored tuple) pairs, in insertion order."""
+        return list(self._tuples.items())
+
     def add_tuple(self, atoms: Iterable[Atom]) -> bool:
         """Add a tuple given as a conjunction of atoms over this relation's variables."""
         return self.add(GeneralizedTuple(self.variables, tuple(atoms)))
@@ -162,7 +198,23 @@ class GeneralizedRelation:
         if self._tuples.pop(frozenset(canonical), None) is None:
             return False
         self.version += 1
+        self.removals += 1
         return True
+
+    def discard_key(self, key: frozenset[Atom]) -> GeneralizedTuple | None:
+        """Remove by canonical key; returns the removed tuple if present."""
+        removed = self._tuples.pop(key, None)
+        if removed is not None:
+            self.version += 1
+            self.removals += 1
+        return removed
+
+    def clear(self) -> None:
+        """Drop every tuple (a removal event: indexes over this relation rebuild)."""
+        if self._tuples:
+            self._tuples.clear()
+            self.version += 1
+            self.removals += 1
 
     # ------------------------------------------------------------- semantics
     def contains_point(self, assignment: Mapping[str, Any]) -> bool:

@@ -1,0 +1,965 @@
+"""Incremental view maintenance: live fixpoints under insert/retract deltas.
+
+The paper's evaluation machinery (Sections 1-3) recomputes every fixpoint
+from scratch.  A :class:`MaterializedView` instead registers a program's
+derived relations once and then *maintains* them under ``insert``/``retract``
+deltas of generalized tuples on the EDB relations, in time proportional to
+the change rather than the database:
+
+* **counting maintenance** for non-recursive strata: every derived canonical
+  tuple carries a support count (the number of distinct rule derivations
+  producing it).  Deltas fire *delta-expansion rules* -- for each rule and
+  each non-empty subset ``T`` of its positive body positions, a rewritten
+  rule draws the positions in ``T`` from the delta relation and the rest
+  from the pre-change content, so a derivation using delta tuples at exactly
+  the positions ``T`` is counted exactly once across the expansion.  Counts
+  decrement on retraction (a tuple leaves when its support hits zero) and
+  increment on insertion -- exact, no over-deletion;
+* **DRed (delete-rederive)** for recursive strata, where counting does not
+  terminate: over-delete everything with at least one derivation touching a
+  deleted tuple (iterated through the same expansion rules), then re-derive
+  survivors with alternative derivations and propagate semi-naive, then
+  apply insertions as a standard semi-naive continuation;
+* **stratum recomputation** for strata with negation (a complement's delta
+  has no useful relationship to the relation's delta) and for rule bodies
+  too wide for the expansion (> ``_EXPANSION_CAP`` positive atoms);
+* **full recomputation** for inflationary/non-stratifiable programs, whose
+  semantics is not monotone in the EDB -- the view keeps its API but each
+  batch re-evaluates (and says so in ``ivm_recomputed_strata``).
+
+Everything fires through :meth:`repro.core.datalog.DatalogProgram.
+_execute_round` -- the same planner, index pool, budget ticks, parallel
+round executor and PR 6 compiled closures as from-scratch evaluation; the
+maintenance programs are ordinary :class:`DatalogProgram` instances cached
+in the process-wide plan cache, and the per-view ``_EvalCaches`` persist
+across maintenance steps so :class:`repro.indexing.pool.JoinIndexPool`
+probes stay warm (retraction triggers the pool's versioned rebuild).
+
+**Canonical-form equality.**  Both the maintained and the from-scratch path
+admit tuples through ``theory.canonicalize``, a deterministic function of
+the atom *set*, so "maintained == scratch" is decidable as equality of the
+relations' canonical key sets -- the invariant the differential conformance
+strategy (``incremental``) asserts after every replayed update.
+
+**Staleness.**  A maintenance pass that trips its budget (or dies on a
+fault) mid-flight leaves relations between two fixpoints; the view is then
+*tagged stale* (:attr:`MaterializedView.stale`) instead of hanging or lying.
+Stale views still answer reads, refuse further deltas with
+:class:`repro.errors.StaleViewError`, and recover via :meth:`refresh`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Mapping, Sequence
+
+from repro.constraints.base import ConstraintTheory
+from repro.core.datalog import (
+    DatalogProgram,
+    EvaluationStats,
+    Rule,
+    _EvalCaches,
+)
+from repro.core.generalized import (
+    GeneralizedDatabase,
+    GeneralizedRelation,
+    GeneralizedTuple,
+)
+from repro.errors import (
+    BudgetExceededError,
+    EvaluationError,
+    FixpointDivergenceError,
+    StaleViewError,
+)
+from repro.logic.syntax import Atom, RelationAtom
+from repro.runtime.budget import active_meter, metered, tick
+
+#: suffixes of the maintenance-only predicates (delta / pre-change / head)
+_DELTA_SUFFIX = "__ivm_d"
+_MID_SUFFIX = "__ivm_m"
+_OUT_SUFFIX = "__ivm_out"
+#: widest rule body the subset expansion will take on (2^n - 1 rules per
+#: rule); wider strata fall back to recomputation
+_EXPANSION_CAP = 6
+
+Key = frozenset[Atom]
+#: (relation name, tuple) pairs -- the public delta format
+DeltaItem = tuple[str, "GeneralizedTuple | Iterable[Atom]"]
+
+
+@dataclass
+class _Stratum:
+    """One SCC of the IDB dependency graph, in dependencies-first order."""
+
+    preds: frozenset[str]
+    rules: list[Rule]
+    recursive: bool
+    #: maintained by re-evaluating the stratum (negation, or too-wide bodies)
+    recompute: bool
+    #: every relation name in rule bodies (positive and negated)
+    body_preds: frozenset[str]
+    #: positive body relation names only (what the expansion rewrites)
+    pos_body_preds: frozenset[str]
+    expansion: DatalogProgram | None = None
+    caches: _EvalCaches | None = field(default=None, repr=False)
+
+    @property
+    def counting(self) -> bool:
+        return not self.recursive and not self.recompute
+
+
+def _expansion_rules(rules: Sequence[Rule]) -> list[Rule]:
+    """The delta-expansion program of a stratum's rules.
+
+    For each rule and each non-empty subset ``T`` of its positive body
+    positions: positions in ``T`` read the ``__ivm_d`` delta relation,
+    positions outside read the ``__ivm_m`` pre-change relation, constraint
+    atoms stay put (literal order is preserved so the head-variable
+    elimination order matches the original rule exactly).  A derivation
+    over (pre-change + delta) content that uses delta tuples at exactly the
+    positions ``T`` fires exactly the ``T``-rule and no other, so summing
+    head multiplicities over the expansion counts each changed derivation
+    exactly once -- the exactness counting maintenance needs.
+    """
+    out: list[Rule] = []
+    for rule in rules:
+        n = len(rule.positive_atoms)
+        head = RelationAtom(rule.head.name + _OUT_SUFFIX, rule.head.args)
+        for mask in range(1, 2**n):
+            body: list[object] = []
+            position = 0
+            for literal in rule.body:
+                if isinstance(literal, RelationAtom):
+                    suffix = (
+                        _DELTA_SUFFIX if (mask >> position) & 1 else _MID_SUFFIX
+                    )
+                    body.append(RelationAtom(literal.name + suffix, literal.args))
+                    position += 1
+                else:
+                    body.append(literal)
+            out.append(Rule(head, tuple(body)))
+    return out
+
+
+class MaterializedView:
+    """A program's derived relations, maintained live under EDB deltas.
+
+    ``semantics``/``semi_naive`` mirror :meth:`DatalogProgram.evaluate` and
+    select the from-scratch semantics the view stays equal to.  For positive
+    and stratifiable programs maintenance is incremental (counting + DRed);
+    inflationary/non-stratifiable programs fall back to per-batch
+    recomputation behind the same API.
+
+    The view owns its world (the registration evaluation copies the input
+    database); reads go through :meth:`relation`.  Deltas target EDB
+    relations only -- derived relations change exclusively through
+    maintenance.  Close the view (or use it as a context manager) to shut
+    down its persistent executor/caches.
+    """
+
+    def __init__(
+        self,
+        program: DatalogProgram,
+        database: GeneralizedDatabase,
+        *,
+        semantics: str = "auto",
+        semi_naive: bool = True,
+        max_iterations: int = 100_000,
+    ) -> None:
+        self.program = program
+        self.theory: ConstraintTheory = program.theory
+        self.semantics = semantics
+        self.semi_naive = semi_naive
+        self.max_iterations = max_iterations
+        self.stale = False
+        self.stale_reason: str | None = None
+        self.total_stats = EvaluationStats()
+        self.last_stats = EvaluationStats()
+        self._idbs = program.idb_predicates()
+        for name in sorted(self._idbs):
+            if name in database and len(database.relation(name)):
+                raise EvaluationError(
+                    f"cannot materialize {name!r}: it is derived by rules but "
+                    "the database already holds facts for it"
+                )
+        for rule in program.rules:
+            for atom in [rule.head] + rule.positive_atoms + rule.negative_atoms:
+                if _DELTA_SUFFIX in atom.name or _MID_SUFFIX in atom.name:
+                    raise EvaluationError(
+                        f"predicate {atom.name!r} collides with the "
+                        "maintenance namespace"
+                    )
+        #: maintenance options: analysis ran (or not) at program construction,
+        #: and the ambient meter installed by ``apply`` covers the budget, so
+        #: sub-programs must not restart their own
+        self._opts = replace(program.options, analyze=False, budget=None)
+        self._mode = self._resolve_mode()
+        self._strata: list[_Stratum] = (
+            self._compute_strata() if self._mode == "incremental" else []
+        )
+        self._sub_programs: dict[int, DatalogProgram] = {}
+        self._mworld: GeneralizedDatabase | None = None
+        self._mid_rel: dict[str, GeneralizedRelation] = {}
+        self._delta_rel: dict[str, GeneralizedRelation] = {}
+        self._caches: _EvalCaches | None = None
+        self._counts: dict[str, dict[Key, int]] = {}
+        self.world: GeneralizedDatabase
+        self._materialize(database)
+
+    # ------------------------------------------------------------- lifecycle
+    def __enter__(self) -> "MaterializedView":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut down the view's persistent executors and caches."""
+        if self._caches is not None:
+            self._caches.close()
+            self._caches = None
+        for stratum in self._strata:
+            if stratum.caches is not None:
+                stratum.caches.close()
+                stratum.caches = None
+
+    def _resolve_mode(self) -> str:
+        if not self.program.has_negation():
+            return "incremental"
+        if self.semantics == "inflationary":
+            return "recompute"
+        if self.program.stratify() is None:
+            if self.semantics == "stratified":
+                raise EvaluationError(
+                    "program is not stratifiable (negation through recursion)"
+                )
+            return "recompute"
+        return "incremental"
+
+    def _mark_stale(self, reason: str) -> None:
+        self.stale = True
+        self.stale_reason = reason
+
+    # ----------------------------------------------------------------- reads
+    def relation(self, name: str) -> GeneralizedRelation:
+        """The current (possibly stale-tagged) content of a relation."""
+        return self.world.relation(name)
+
+    def fingerprint(self) -> dict[str, frozenset[Key]]:
+        """Canonical key sets per relation -- the view's identity as sets.
+
+        Canonicalization is a deterministic function of each tuple's atom
+        set, so two worlds are canonically equal iff their fingerprints are
+        equal; the differential tests compare these.
+        """
+        return {
+            name: frozenset(self.world.relation(name).keys())
+            for name in self.world.names()
+        }
+
+    @property
+    def mode(self) -> str:
+        """``"incremental"`` (counting/DRed) or ``"recompute"`` (fallback)."""
+        return self._mode
+
+    def support_count(self, name: str, item: GeneralizedTuple) -> int | None:
+        """The counting stratum's support for a derived tuple (tests/shell)."""
+        counts = self._counts.get(name)
+        if counts is None:
+            return None
+        key = self._key_of(self.world.relation(name), item)
+        return 0 if key is None else counts.get(key, 0)
+
+    # ---------------------------------------------------------------- deltas
+    def insert(self, name: str, item: GeneralizedTuple | Iterable[Atom]) -> EvaluationStats:
+        """Insert one generalized tuple into an EDB relation and maintain."""
+        return self.apply(inserts=[(name, item)])
+
+    def retract(self, name: str, item: GeneralizedTuple | Iterable[Atom]) -> EvaluationStats:
+        """Retract one generalized tuple from an EDB relation and maintain."""
+        return self.apply(retracts=[(name, item)])
+
+    def apply(
+        self,
+        inserts: Iterable[DeltaItem] = (),
+        retracts: Iterable[DeltaItem] = (),
+    ) -> EvaluationStats:
+        """Apply a batch of EDB deltas and maintain every derived relation.
+
+        Batch semantics: retracts land before inserts, so retract+insert of
+        the same tuple in one batch is a net no-op.  No-op deltas (retract
+        of an absent tuple, insert of a present one) cost nothing.  Raises
+        :class:`StaleViewError` if the view is stale; a budget trip inside
+        maintenance tags the view stale and degrades per the budget's
+        ``partial_results`` mode (fringe: return tagged stats; raise:
+        propagate after tagging).
+        """
+        if self.stale:
+            raise StaleViewError(
+                f"view is stale ({self.stale_reason}); call refresh() first"
+            )
+        stats = EvaluationStats()
+        stats.ivm_steps = 1
+        started = time.perf_counter()
+        budget = self.program.options.budget
+        meter = budget.start() if budget is not None else active_meter()
+        enabled = self._enable_theory_caches()
+        try:
+            with metered(meter):
+                self._apply_inner(list(inserts), list(retracts), stats)
+        except BudgetExceededError as error:
+            self._mark_stale(f"budget exceeded mid-maintenance: {error}")
+            stats.incomplete = True
+            report = getattr(error, "report", None)
+            stats.budget = report.as_dict() if report is not None else {}
+            stats.ivm_maintain_seconds = time.perf_counter() - started
+            self._finish(stats)
+            mode = meter.budget.partial_results if meter is not None else "raise"
+            if mode != "fringe":
+                raise
+            return stats
+        except Exception as error:
+            self._mark_stale(f"fault mid-maintenance: {error}")
+            raise
+        finally:
+            self._restore_theory_caches(enabled)
+        stats.ivm_maintain_seconds = time.perf_counter() - started
+        self._finish(stats)
+        return stats
+
+    def refresh(self) -> EvaluationStats:
+        """Rebuild the view from the current EDB content, clearing staleness."""
+        base = self._edb_database()
+        try:
+            return self._materialize(base)
+        except BudgetExceededError:
+            self._mark_stale("budget exceeded during refresh")
+            raise
+
+    # ------------------------------------------------------------- internals
+    def _enable_theory_caches(self) -> list[tuple[object, bool]]:
+        """Mirror ``evaluate``'s theory-cache bracketing for maintenance."""
+        saved: list[tuple[object, bool]] = []
+        cache = self.theory.cache
+        if cache is not None:
+            saved.append((cache, cache.enabled))
+            cache.enabled = self.program.options.theory_cache
+        return saved
+
+    @staticmethod
+    def _restore_theory_caches(saved: list[tuple[object, bool]]) -> None:
+        for cache, enabled in saved:
+            cache.enabled = enabled  # type: ignore[attr-defined]
+
+    def _accumulate(self, stats: EvaluationStats) -> None:
+        self.total_stats.merge(stats)
+        self.total_stats.iterations += stats.iterations
+        self.total_stats.tuples_added += stats.tuples_added
+        self.total_stats.incomplete = self.total_stats.incomplete or stats.incomplete
+
+    def _finish(self, stats: EvaluationStats) -> None:
+        self.last_stats = stats
+        self._accumulate(stats)
+
+    def _edb_database(self) -> GeneralizedDatabase:
+        base = GeneralizedDatabase(self.theory)
+        for name in self.world.names():
+            if name not in self._idbs:
+                base.add_relation(self.world.relation(name))
+        return base
+
+    def _materialize(self, database: GeneralizedDatabase) -> EvaluationStats:
+        self.close()
+        world, stats = self.program.evaluate(
+            database,
+            max_iterations=self.max_iterations,
+            semi_naive=self.semi_naive,
+            semantics=self.semantics,
+        )
+        self.world = world
+        self._finish(stats)
+        if stats.incomplete:
+            self._mark_stale("budget exceeded during (re)materialization")
+            return stats
+        self.stale = False
+        self.stale_reason = None
+        if self._mode == "incremental":
+            self._init_runtime()
+        return stats
+
+    def _init_runtime(self) -> None:
+        """(Re)build the per-view maintenance state against ``self.world``.
+
+        The maintenance programs and strata are static (they depend only on
+        the rules), but the caches/pools/counts reference relation content,
+        so a rematerialization rebuilds them.
+        """
+        if self._mworld is None:
+            self._mworld = GeneralizedDatabase(self.theory)
+            names: set[str] = set()
+            for stratum in self._strata:
+                if not stratum.recompute:
+                    names |= stratum.pos_body_preds
+            for name in sorted(names):
+                live = self.world.relation(name)
+                mid = GeneralizedRelation(
+                    name + _MID_SUFFIX, live.variables, self.theory
+                )
+                delta = GeneralizedRelation(
+                    name + _DELTA_SUFFIX, live.variables, self.theory
+                )
+                self._mworld.add_relation(mid)
+                self._mworld.add_relation(delta)
+                self._mid_rel[name] = mid
+                self._delta_rel[name] = delta
+        self._caches = _EvalCaches(
+            self._opts, self.theory, program=self.program, stats=self.total_stats
+        )
+        for stratum in self._strata:
+            if stratum.expansion is not None:
+                stratum.caches = _EvalCaches(
+                    self._opts,
+                    self.theory,
+                    program=stratum.expansion,
+                    stats=self.total_stats,
+                )
+        self._counts = {}
+        scratch = EvaluationStats()
+        for stratum in self._strata:
+            if not stratum.counting:
+                continue
+            for pred in stratum.preds:
+                self._counts[pred] = {}
+            tasks: list[tuple[Rule, dict | None, int | None]] = [
+                (rule, None, None) for rule in stratum.rules
+            ]
+            derived = self.program._execute_round(
+                tasks, self.world, scratch, self._require(self._caches)
+            )
+            for pred, item in derived:
+                key = self._key_of(self.world.relation(pred), item)
+                if key is not None:
+                    counts = self._counts[pred]
+                    counts[key] = counts.get(key, 0) + 1
+        self._warm_pool(scratch)
+
+    def _warm_pool(self, scratch: EvaluationStats) -> None:
+        """Pre-build the join indexes the maintenance loops will probe.
+
+        ``_semi_naive`` (DRed insertion/re-derivation) fires delta-at-
+        position tasks against the *live* relations; the pool builds each
+        (relation, projection) index lazily on first probe, which would
+        charge an O(|relation|) construction to the first delta.  Replaying
+        the same task shapes once here -- full live content standing in for
+        the delta, derivations discarded -- moves that cost into
+        registration, keeping ``apply`` delta-proportional from the first
+        call.  Suffix catch-up (and the retraction-versioned rebuild) keeps
+        the warmed indexes current afterwards.
+        """
+        for stratum in self._strata:
+            if stratum.recompute or not stratum.recursive:
+                continue
+            content = {
+                name: list(self.world.relation(name))
+                for name in sorted(stratum.pos_body_preds)
+            }
+            tasks: list[tuple[Rule, dict | None, int | None]] = []
+            for rule in stratum.rules:
+                for position, atom in enumerate(rule.positive_atoms):
+                    if content.get(atom.name):
+                        tasks.append((rule, content, position))
+            if tasks:
+                self.program._execute_round(
+                    tasks, self.world, scratch, self._require(self._caches)
+                )
+
+    @staticmethod
+    def _require(caches: _EvalCaches | None) -> _EvalCaches:
+        if caches is None:  # pragma: no cover - guarded by _materialize
+            raise EvaluationError("view runtime is not initialized")
+        return caches
+
+    def _key_of(
+        self, relation: GeneralizedRelation, item: GeneralizedTuple
+    ) -> Key | None:
+        """The canonical key ``add_canonical`` would store ``item`` under."""
+        renamed = (
+            item.rename(relation.variables)
+            if item.variables != relation.variables
+            else item
+        )
+        canonical = self.theory.canonicalize(renamed.atoms)
+        return None if canonical is None else frozenset(canonical)
+
+    def _to_tuple(
+        self,
+        relation: GeneralizedRelation,
+        item: GeneralizedTuple | Iterable[Atom],
+    ) -> GeneralizedTuple:
+        if isinstance(item, GeneralizedTuple):
+            return item
+        return GeneralizedTuple(relation.variables, tuple(item))
+
+    # ------------------------------------------------------- the maintenance
+    def _apply_inner(
+        self,
+        inserts: list[DeltaItem],
+        retracts: list[DeltaItem],
+        stats: EvaluationStats,
+    ) -> None:
+        dels: dict[str, list[GeneralizedTuple]] = {}
+        adds: dict[str, list[GeneralizedTuple]] = {}
+        removal_keys: dict[str, set[Key]] = {}
+        insert_items: dict[str, dict[Key, GeneralizedTuple]] = {}
+        for name, spec in retracts:
+            relation = self._edb_target(name)
+            key = self._key_of(relation, self._to_tuple(relation, spec))
+            if key is not None and relation.lookup(key) is not None:
+                removal_keys.setdefault(name, set()).add(key)
+        for name, spec in inserts:
+            relation = self._edb_target(name)
+            gt = self._to_tuple(relation, spec)
+            key = self._key_of(relation, gt)
+            if key is None:
+                continue  # unsatisfiable tuples denote the empty set
+            removed = removal_keys.get(name)
+            if removed is not None and key in removed:
+                removed.discard(key)  # retract + reinsert: net no-op
+                continue
+            if relation.lookup(key) is None:
+                insert_items.setdefault(name, {})[key] = gt
+        for name, keys in removal_keys.items():
+            relation = self.world.relation(name)
+            for key in keys:
+                removed_item = relation.discard_key(key)
+                if removed_item is not None:
+                    dels.setdefault(name, []).append(removed_item)
+        for name, items in insert_items.items():
+            relation = self.world.relation(name)
+            for gt in items.values():
+                stored = relation.add_canonical(gt)
+                if stored is not None:
+                    adds.setdefault(name, []).append(stored)
+        stats.ivm_retracts += sum(len(v) for v in dels.values())
+        stats.ivm_inserts += sum(len(v) for v in adds.values())
+        if not dels and not adds:
+            return
+        if self._mode == "recompute":
+            self._recompute_all(stats)
+            return
+        for index, stratum in enumerate(self._strata):
+            if not any(
+                dels.get(p) or adds.get(p) for p in stratum.body_preds
+            ):
+                continue
+            if stratum.recompute:
+                self._recompute_stratum(index, stratum, dels, adds, stats)
+            elif stratum.recursive:
+                self._dred(stratum, dels, adds, stats)
+            else:
+                self._counting(stratum, dels, adds, stats)
+
+    def _edb_target(self, name: str) -> GeneralizedRelation:
+        if name in self._idbs:
+            raise EvaluationError(
+                f"{name!r} is derived by rules; deltas apply to EDB relations"
+            )
+        return self.world.relation(name)
+
+    # ---------------------------------------------------- expansion plumbing
+    def _fill_mids(
+        self, refs: Iterable[str], adds: Mapping[str, list[GeneralizedTuple]]
+    ) -> None:
+        """Bind each ``X__ivm_m`` to the pre-change content ``live(X) - A_X``.
+
+        Lower strata have already applied this batch's additions by the time
+        a stratum fires its expansion, and the exact-count classification
+        needs the *other* positions drawn from content without them (both
+        sub-steps: old = pre + D, new = pre + A).  Pointer-copy only; no
+        canonicalization, no budget ticks.
+        """
+        for name in refs:
+            live = self.world.relation(name)
+            mid = self._mid_rel[name]
+            mid.clear()
+            added = adds.get(name)
+            skip = (
+                {frozenset(item.atoms) for item in added} if added else frozenset()
+            )
+            for key, item in live.entries():
+                if key not in skip:
+                    mid.adopt_canonical(item)
+
+    def _fire_expansion(
+        self,
+        stratum: _Stratum,
+        delta_map: Mapping[str, list[GeneralizedTuple]],
+        stats: EvaluationStats,
+    ) -> list[tuple[str, GeneralizedTuple]]:
+        """One pass of a stratum's expansion rules against (mid, delta)."""
+        if not any(delta_map.get(name) for name in stratum.pos_body_preds):
+            return []
+        expansion = stratum.expansion
+        if expansion is None:  # pragma: no cover - counting/dred imply it
+            raise EvaluationError("stratum has no expansion program")
+        for name in stratum.pos_body_preds:
+            delta = self._delta_rel[name]
+            delta.clear()
+            for item in delta_map.get(name) or ():
+                delta.adopt_canonical(item)
+        tick("round")
+        stats.iterations += 1
+        tasks: list[tuple[Rule, dict | None, int | None]] = [
+            (rule, None, None) for rule in expansion.rules
+        ]
+        derived = expansion._execute_round(
+            tasks, self._require(self._mworld), stats, self._require(stratum.caches)
+        )
+        strip = len(_OUT_SUFFIX)
+        return [(name[:-strip], item) for name, item in derived]
+
+    # ----------------------------------------------------- counting strata
+    def _counting(
+        self,
+        stratum: _Stratum,
+        dels: dict[str, list[GeneralizedTuple]],
+        adds: dict[str, list[GeneralizedTuple]],
+        stats: EvaluationStats,
+    ) -> None:
+        refs = sorted(stratum.pos_body_preds)
+        self._fill_mids(refs, adds)
+        del_map = {name: dels.get(name) or [] for name in refs}
+        add_map = {name: adds.get(name) or [] for name in refs}
+        # --- lost derivations: decrement supports, drop zero-support tuples
+        for pred, item in self._fire_expansion(stratum, del_map, stats):
+            live = self.world.relation(pred)
+            counts = self._counts[pred]
+            key = self._key_of(live, item)
+            if key is None:
+                continue
+            remaining = counts.get(key, 0) - 1
+            if remaining > 0:
+                counts[key] = remaining
+                continue
+            if remaining < 0:
+                stats.ivm_count_clamps += 1
+            counts.pop(key, None)
+            removed = live.discard_key(key)
+            if removed is not None:
+                dels.setdefault(pred, []).append(removed)
+                stats.ivm_derived_removed += 1
+        # --- new derivations: increment supports, admit first arrivals
+        for pred, item in self._fire_expansion(stratum, add_map, stats):
+            live = self.world.relation(pred)
+            counts = self._counts[pred]
+            key = self._key_of(live, item)
+            if key is None:
+                continue
+            counts[key] = counts.get(key, 0) + 1
+            if live.lookup(key) is None:
+                stored = live.add_canonical(item)
+                if stored is not None:
+                    adds.setdefault(pred, []).append(stored)
+                    stats.ivm_derived_added += 1
+
+    # --------------------------------------------------------- DRed strata
+    def _dred(
+        self,
+        stratum: _Stratum,
+        dels: dict[str, list[GeneralizedTuple]],
+        adds: dict[str, list[GeneralizedTuple]],
+        stats: EvaluationStats,
+    ) -> None:
+        refs = sorted(stratum.pos_body_preds)
+        self._fill_mids(refs, adds)
+        live_rels = {p: self.world.relation(p) for p in stratum.preds}
+        marked: dict[str, dict[Key, GeneralizedTuple]] = {
+            p: {} for p in stratum.preds
+        }
+        added: dict[str, dict[Key, GeneralizedTuple]] = {
+            p: {} for p in stratum.preds
+        }
+        lower_del = {
+            name: dels.get(name) or []
+            for name in refs
+            if name not in stratum.preds
+        }
+        # --- over-deletion: everything with a derivation through a deleted
+        # tuple, iterated to a fixpoint over the expansion (own relations
+        # still hold their old content, so non-delta positions see old)
+        if any(lower_del.values()):
+            rounds = 0
+            while True:
+                rounds += 1
+                if rounds > self.max_iterations:
+                    raise FixpointDivergenceError(self.max_iterations)
+                delta_map: dict[str, list[GeneralizedTuple]] = dict(lower_del)
+                for pred in stratum.preds:
+                    if marked[pred]:
+                        delta_map[pred] = list(marked[pred].values())
+                fresh = 0
+                for pred, item in self._fire_expansion(stratum, delta_map, stats):
+                    live = live_rels[pred]
+                    key = self._key_of(live, item)
+                    if key is None or key in marked[pred]:
+                        continue
+                    stored = live.lookup(key)
+                    if stored is not None:
+                        marked[pred][key] = stored
+                        fresh += 1
+                if fresh == 0:
+                    break
+            total_marked = sum(len(m) for m in marked.values())
+            if total_marked:
+                for pred, items in marked.items():
+                    live = live_rels[pred]
+                    for key in items:
+                        live.discard_key(key)
+                stats.ivm_overdeleted += total_marked
+                # --- re-derivation: one full round over the surviving
+                # content re-admits marked tuples with alternative
+                # derivations, then semi-naive propagation completes the
+                # stratum's fixpoint over its current inputs
+                tick("round")
+                stats.iterations += 1
+                tasks: list[tuple[Rule, dict | None, int | None]] = [
+                    (rule, None, None) for rule in stratum.rules
+                ]
+                derived = self.program._execute_round(
+                    tasks, self.world, stats, self._require(self._caches)
+                )
+                seeds: dict[str, list[GeneralizedTuple]] = {
+                    p: [] for p in stratum.preds
+                }
+                for pred, item in derived:
+                    stored = live_rels[pred].add_canonical(item)
+                    if stored is not None:
+                        seeds[pred].append(stored)
+                        added[pred][frozenset(stored.atoms)] = stored
+                for pred, items in self._semi_naive(stratum, seeds, stats).items():
+                    for stored in items:
+                        added[pred][frozenset(stored.atoms)] = stored
+        # --- insertion: standard semi-naive continuation seeded with the
+        # lower strata's (and EDB) additions
+        lower_add = {
+            name: adds.get(name) or []
+            for name in refs
+            if name not in stratum.preds
+        }
+        if any(lower_add.values()):
+            for pred, items in self._semi_naive(stratum, lower_add, stats).items():
+                for stored in items:
+                    added[pred][frozenset(stored.atoms)] = stored
+        # --- net deltas for the strata above
+        rederived = 0
+        for pred in stratum.preds:
+            live = live_rels[pred]
+            for key, stored in marked[pred].items():
+                if live.lookup(key) is None:
+                    dels.setdefault(pred, []).append(stored)
+                    stats.ivm_derived_removed += 1
+                else:
+                    rederived += 1
+            for key, stored in added[pred].items():
+                if key not in marked[pred]:
+                    adds.setdefault(pred, []).append(stored)
+                    stats.ivm_derived_added += 1
+        stats.ivm_rederived += rederived
+
+    def _semi_naive(
+        self,
+        stratum: _Stratum,
+        seeds: Mapping[str, list[GeneralizedTuple]],
+        stats: EvaluationStats,
+    ) -> dict[str, list[GeneralizedTuple]]:
+        """Semi-naive continuation of a stratum from already-applied seeds.
+
+        Seed tuples (lower-stratum additions and/or re-derived survivors)
+        are already in the live relations; each round fires every rule once
+        per delta-restricted position and feeds admissions back as the next
+        delta, exactly like the engine's own semi-naive loop.
+        """
+        admitted: dict[str, list[GeneralizedTuple]] = {p: [] for p in stratum.preds}
+        delta = {name: list(items) for name, items in seeds.items() if items}
+        rounds = 0
+        while delta:
+            rounds += 1
+            if rounds > self.max_iterations:
+                raise FixpointDivergenceError(self.max_iterations)
+            tick("round")
+            stats.iterations += 1
+            tasks: list[tuple[Rule, dict | None, int | None]] = []
+            for rule in stratum.rules:
+                for position, atom in enumerate(rule.positive_atoms):
+                    if delta.get(atom.name):
+                        tasks.append((rule, delta, position))
+            if not tasks:
+                break
+            derived = self.program._execute_round(
+                tasks, self.world, stats, self._require(self._caches)
+            )
+            new_delta: dict[str, list[GeneralizedTuple]] = {}
+            for pred, item in derived:
+                stored = self.world.relation(pred).add_canonical(item)
+                if stored is not None:
+                    admitted[pred].append(stored)
+                    new_delta.setdefault(pred, []).append(stored)
+            delta = new_delta
+        return admitted
+
+    # ---------------------------------------------------- recompute fallbacks
+    def _recompute_stratum(
+        self,
+        index: int,
+        stratum: _Stratum,
+        dels: dict[str, list[GeneralizedTuple]],
+        adds: dict[str, list[GeneralizedTuple]],
+        stats: EvaluationStats,
+    ) -> None:
+        """Re-evaluate one stratum against its (fully maintained) inputs.
+
+        Negation makes deltas useless (the complement of a changed relation
+        is not a function of the change), so the stratum recomputes; lower
+        strata are final by the time it runs, which is exactly the
+        stratified semantics' contract.  Deltas for the strata above come
+        from diffing the old and new canonical key sets.
+        """
+        sub = self._sub_programs.get(index)
+        if sub is None:
+            sub = DatalogProgram(
+                stratum.rules,
+                self.theory,
+                allow_unsafe_recursion=self.program.allow_unsafe_recursion,
+                options=self._opts,
+            )
+            self._sub_programs[index] = sub
+        old: dict[str, dict[Key, GeneralizedTuple]] = {}
+        for pred in stratum.preds:
+            live = self.world.relation(pred)
+            old[pred] = dict(live.entries())
+            live.clear()
+        world2, estats = sub.evaluate(
+            self.world,
+            max_iterations=self.max_iterations,
+            semi_naive=self.semi_naive,
+            semantics="auto",
+        )
+        stats.merge(estats)
+        stats.iterations += estats.iterations
+        if estats.incomplete:
+            raise BudgetExceededError(
+                "budget exceeded while recomputing a stratum"
+            )
+        for pred in stratum.preds:
+            live = self.world.relation(pred)
+            for key, item in world2.relation(pred).entries():
+                live.adopt_canonical(item)
+            for key, item in old[pred].items():
+                if live.lookup(key) is None:
+                    dels.setdefault(pred, []).append(item)
+                    stats.ivm_derived_removed += 1
+            for key, item in live.entries():
+                if key not in old[pred]:
+                    adds.setdefault(pred, []).append(item)
+                    stats.ivm_derived_added += 1
+        stats.ivm_recomputed_strata += 1
+
+    def _recompute_all(self, stats: EvaluationStats) -> None:
+        """Inflationary/non-stratifiable fallback: re-evaluate the program."""
+        world, estats = self.program.evaluate(
+            self._edb_database(),
+            max_iterations=self.max_iterations,
+            semi_naive=self.semi_naive,
+            semantics=self.semantics,
+        )
+        stats.merge(estats)
+        stats.iterations += estats.iterations
+        stats.ivm_recomputed_strata += 1
+        self.world = world
+        if estats.incomplete:
+            raise BudgetExceededError("budget exceeded while recomputing view")
+
+    # ------------------------------------------------------- stratum analysis
+    def _compute_strata(self) -> list[_Stratum]:
+        """SCC condensation of the IDB dependency graph, dependencies first.
+
+        Tarjan's algorithm emits SCCs in topological order of the
+        condensation with successors (body predicates) first -- exactly the
+        bottom-up maintenance order.  Iteration is over sorted names, so
+        the order is deterministic.
+        """
+        idbs = self._idbs
+        graph: dict[str, set[str]] = {p: set() for p in idbs}
+        for rule in self.program.rules:
+            for atom in rule.positive_atoms + rule.negative_atoms:
+                if atom.name in idbs:
+                    graph[rule.head.name].add(atom.name)
+        order: list[list[str]] = []
+        index_of: dict[str, int] = {}
+        low: dict[str, int] = {}
+        on_stack: set[str] = set()
+        stack: list[str] = []
+        counter = [0]
+
+        def strongconnect(node: str) -> None:
+            index_of[node] = low[node] = counter[0]
+            counter[0] += 1
+            stack.append(node)
+            on_stack.add(node)
+            for succ in sorted(graph[node]):
+                if succ not in index_of:
+                    strongconnect(succ)
+                    low[node] = min(low[node], low[succ])
+                elif succ in on_stack:
+                    low[node] = min(low[node], index_of[succ])
+            if low[node] == index_of[node]:
+                component: list[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                order.append(sorted(component))
+
+        for node in sorted(idbs):
+            if node not in index_of:
+                strongconnect(node)
+
+        strata: list[_Stratum] = []
+        for component in order:
+            preds = frozenset(component)
+            rules = [r for r in self.program.rules if r.head.name in preds]
+            recursive = len(component) > 1 or any(
+                atom.name in preds
+                for rule in rules
+                for atom in rule.positive_atoms + rule.negative_atoms
+            )
+            negated = any(rule.has_negation() for rule in rules)
+            too_wide = any(len(rule.positive_atoms) > _EXPANSION_CAP for rule in rules)
+            body_preds = frozenset(
+                atom.name
+                for rule in rules
+                for atom in rule.positive_atoms + rule.negative_atoms
+            )
+            pos_body_preds = frozenset(
+                atom.name for rule in rules for atom in rule.positive_atoms
+            )
+            stratum = _Stratum(
+                preds=preds,
+                rules=rules,
+                recursive=recursive,
+                recompute=negated or too_wide,
+                body_preds=body_preds,
+                pos_body_preds=pos_body_preds,
+            )
+            if not stratum.recompute:
+                stratum.expansion = DatalogProgram(
+                    _expansion_rules(rules),
+                    self.theory,
+                    allow_unsafe_recursion=True,
+                    options=self._opts,
+                )
+            strata.append(stratum)
+        return strata

@@ -122,6 +122,19 @@ class EvaluationError(ReproError):
     """A query could not be evaluated against the given database."""
 
 
+class StaleViewError(EvaluationError):
+    """A materialized view was used while tagged stale.
+
+    A maintenance pass that trips its budget in ``partial_results="fringe"``
+    mode (or dies mid-flight on a fault) leaves the view's relations in an
+    intermediate state that is neither the old nor the new fixpoint, so the
+    view is *tagged stale* instead of hanging or corrupting silently.  Stale
+    views still answer reads (callers see the tag via ``view.stale``), but
+    refuse further deltas until :meth:`repro.core.ivm.MaterializedView.refresh`
+    rebuilds them from scratch.
+    """
+
+
 class StaticAnalysisError(ReproError):
     """The opt-in engine pre-flight found error-severity diagnostics.
 

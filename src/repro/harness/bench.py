@@ -281,7 +281,83 @@ def _bench_compile_cache(n: int, repeat: int) -> dict[str, Any]:
     }
 
 
+def _bench_ivm(sizes: Iterable[int], repeat: int) -> dict[str, Any]:
+    """Incremental maintenance vs. from-scratch: one tuple into a dense TC.
+
+    The maintained side registers a :class:`MaterializedView` over the
+    N-edge chain, then times a single ``insert`` of the edge extending the
+    chain (DRed/counting maintenance through the same compiled closures the
+    scratch side uses).  The scratch side times a full ``evaluate()`` over
+    the (N+1)-edge chain.  Both must land on the identical canonical
+    fixpoint -- maintenance is only interesting if it is *exactly* the
+    from-scratch answer, faster.  Best-of timing; the ``--check`` gate
+    enforces the 5x maintenance floor at every size.
+    """
+    from fractions import Fraction
+
+    from repro.core.generalized import GeneralizedTuple
+    from repro.core.ivm import MaterializedView
+
+    rounds = max(repeat, 3)
+    per_size: dict[str, Any] = {}
+    for n in sizes:
+        maintained = scratch = None
+        maintained_world = None
+        last_stats = None
+        for _ in range(rounds):
+            db = _dense_db(n)
+            theory = db.theory
+            rules = parse_rules(TC_RULES, theory=theory)
+            program = DatalogProgram(rules, theory, options=EngineOptions.all_on())
+            view = MaterializedView(program, db)
+            delta = GeneralizedTuple(
+                ("x", "y"),
+                (
+                    theory.equality("x", theory.constant(Fraction(n))),
+                    theory.equality("y", theory.constant(Fraction(n + 1))),
+                ),
+            )
+            started = time.perf_counter()
+            last_stats = view.insert("E", delta)
+            elapsed = time.perf_counter() - started
+            maintained = elapsed if maintained is None else min(maintained, elapsed)
+            maintained_world = view.world
+            view.close()
+        scratch_world = None
+        for _ in range(rounds):
+            db = _dense_db(n + 1)
+            theory = db.theory
+            rules = parse_rules(TC_RULES, theory=theory)
+            program = DatalogProgram(rules, theory, options=EngineOptions.all_on())
+            started = time.perf_counter()
+            scratch_world, _stats = program.evaluate(db)
+            elapsed = time.perf_counter() - started
+            scratch = elapsed if scratch is None else min(scratch, elapsed)
+        if _fingerprint(maintained_world, "T") != _fingerprint(scratch_world, "T"):
+            raise BenchError(
+                f"maintained fixpoint differs from scratch at N={n}"
+            )
+        per_size[str(n)] = {
+            "maintained_s": round(maintained, 6),
+            "scratch_s": round(scratch, 6),
+            "speedup_maintained": round(scratch / max(maintained, 1e-9), 3),
+            "identical_fixpoints": True,
+            "ivm_derived_added": last_stats.ivm_derived_added,
+            "ivm_join_steps": last_stats.join_steps,
+        }
+    return {
+        "workload": "maintained vs. scratch: single-edge insert into dense TC",
+        "sizes": list(sizes),
+        "per_size": per_size,
+        "speedup_maintained": per_size[str(max(sizes))]["speedup_maintained"],
+    }
+
+
 # ------------------------------------------------------------------ checking
+#: smallest chain length at which the ivm_stats 5x floor applies
+_IVM_FLOOR_MIN_N = 32
+
+
 def _collect_speedups(document: dict[str, Any]) -> dict[str, float]:
     """name -> headline speedup ratios for every engine record in a document.
 
@@ -323,21 +399,46 @@ def check_regression(
                 f"(> {threshold_pct:.0f}% regression)"
             )
     for name, record in fresh.get("records", {}).items():
-        if not name.startswith("compile_stats"):
-            continue
-        ratio = record.get("setup_speedup_warm")
-        if not isinstance(ratio, (int, float)) or ratio < 5:
-            failures.append(
-                f"{name}: warm plan-cache setup speedup {ratio}x below the 5x floor"
-            )
+        if name.startswith("compile_stats"):
+            ratio = record.get("setup_speedup_warm")
+            if not isinstance(ratio, (int, float)) or ratio < 5:
+                failures.append(
+                    f"{name}: warm plan-cache setup speedup {ratio}x below the 5x floor"
+                )
+        elif name.startswith("ivm_stats"):
+            # same absolute-floor treatment: maintenance that is not at
+            # least 5x cheaper than recomputing is broken.  Only gated from
+            # N=32 up -- below that the from-scratch closure is so small
+            # that per-apply fixed costs dominate and the ratio is noise
+            for size, cell in record.get("per_size", {}).items():
+                if int(size) < _IVM_FLOOR_MIN_N:
+                    continue
+                ratio = cell.get("speedup_maintained")
+                if not isinstance(ratio, (int, float)) or ratio < 5:
+                    failures.append(
+                        f"{name}[N={size}]: maintained-vs-scratch speedup "
+                        f"{ratio}x below the 5x floor"
+                    )
     return failures
 
 
 # ----------------------------------------------------------------------- CLI
 PROFILES = {
     # small enough for a CI smoke job, large enough to exercise every layer
-    "smoke": {"dense": [12, 16], "equality": [12], "boolean": 6, "econfig": 24},
-    "full": {"dense": [16, 32, 64], "equality": [16, 32], "boolean": 10, "econfig": 48},
+    "smoke": {
+        "dense": [12, 16],
+        "equality": [12],
+        "boolean": 6,
+        "econfig": 24,
+        "ivm": [32],
+    },
+    "full": {
+        "dense": [16, 32, 64],
+        "equality": [16, 32],
+        "boolean": 10,
+        "econfig": 48,
+        "ivm": [32, 64],
+    },
 }
 
 
@@ -386,6 +487,7 @@ def main(argv: list[str] | None = None) -> int:
         f"compile_stats[{args.profile}]": _bench_compile_cache(
             max(profile["dense"]), args.repeat
         ),
+        f"ivm_stats[{args.profile}]": _bench_ivm(profile["ivm"], args.repeat),
     }
     for name, payload in records.items():
         record_bench(name, {"profile": args.profile, **payload})

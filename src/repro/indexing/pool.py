@@ -17,6 +17,17 @@ suffix of ``relation.tuples()`` past a per-index cursor.  Building from
 scratch each round would cost O(total tuples) per round -- the incremental
 cursor pays O(new tuples) instead.
 
+**Retraction.**  Incremental view maintenance breaks the append-only
+assumption: a retract shrinks the relation, so the suffix cursor would
+both miss later appends (the cursor can exceed the new length) and leave
+*stale* index entries whose tuples are no longer in the relation --
+candidates that are satisfiable with the probe bound but must not join.
+Every pool entry therefore remembers the relation's monotone ``removals``
+counter; when it moves, the entry's index is rebuilt from current content
+(a versioned rebuild, counted in ``rebuilds``).  Rebuilds cost O(relation)
+but only fire on retraction, so the append-only fast path is unchanged and
+a long run of insert-only maintenance steps never rebuilds.
+
 Thread safety: the parallel round executor probes the pool from worker
 threads.  A single lock serializes catch-up and query; probes are
 read-mostly after warm-up, and the tree query itself is cheap relative to
@@ -54,12 +65,38 @@ class JoinIndexPool:
 
         self.supported = isinstance(unwrap_theory(theory), DenseOrderTheory)  # type: ignore[arg-type]
         self._lock = threading.Lock()
-        #: (relation name, attribute) -> [index, cursor into relation.tuples()]
+        #: (relation name, attribute) ->
+        #: [index, cursor into relation.tuples(), relation.removals snapshot]
         self._indexes: dict[tuple[str, str], list] = {}
         #: probes answered / candidate tuples returned / scan entries avoided
         self.probes = 0
         self.candidates = 0
         self.scan_avoided = 0
+        #: versioned rebuilds forced by retraction (see module docstring)
+        self.rebuilds = 0
+
+    def _catch_up(
+        self, entry: list, relation: GeneralizedRelation, attribute: str
+    ) -> GeneralizedIndex1D:
+        """Bring an entry's index up to the relation's current content.
+
+        Append-only growth indexes the suffix past the cursor; a removal
+        event (``relation.removals`` moved) invalidates the suffix scheme
+        and rebuilds the index in place.  Callers hold the pool lock.  The
+        entry *list* is mutated, never replaced: probe handles share it.
+        """
+        index, cursor, removals = entry
+        if removals != relation.removals:
+            index = GeneralizedIndex1D(relation, attribute)
+            entry[0] = index
+            entry[1] = len(relation)
+            entry[2] = relation.removals
+            self.rebuilds += 1
+        elif cursor < len(relation):
+            for item in relation.tuples()[cursor:]:
+                index.insert(item)
+            entry[1] = len(relation)
+        return index
 
     def probe(
         self,
@@ -81,14 +118,10 @@ class JoinIndexPool:
             entry = self._indexes.get((relation.name, attribute))
             if entry is None:
                 index = GeneralizedIndex1D(relation, attribute)
-                entry = [index, len(relation)]
+                entry = [index, len(relation), relation.removals]
                 self._indexes[(relation.name, attribute)] = entry
             else:
-                index, cursor = entry
-                if cursor < len(relation):
-                    for item in relation.tuples()[cursor:]:
-                        index.insert(item)
-                    entry[1] = len(relation)
+                index = self._catch_up(entry, relation, attribute)
             hits = index.candidates(low, high)
             self.probes += 1
             self.candidates += len(hits)
@@ -113,9 +146,13 @@ class JoinIndexPool:
         with self._lock:
             entry = self._indexes.get((relation.name, attribute))
             if entry is None:
-                entry = [GeneralizedIndex1D(relation, attribute), len(relation)]
+                entry = [
+                    GeneralizedIndex1D(relation, attribute),
+                    len(relation),
+                    relation.removals,
+                ]
                 self._indexes[(relation.name, attribute)] = entry
-        return IndexProbeHandle(self, relation, entry)
+        return IndexProbeHandle(self, relation, attribute, entry)
 
     def index_count(self) -> int:
         with self._lock:
@@ -125,13 +162,18 @@ class JoinIndexPool:
 class IndexProbeHandle:
     """A bound (relation, attribute) probe sharing its pool's index entry."""
 
-    __slots__ = ("_pool", "_relation", "_entry")
+    __slots__ = ("_pool", "_relation", "_attribute", "_entry")
 
     def __init__(
-        self, pool: JoinIndexPool, relation: GeneralizedRelation, entry: list
+        self,
+        pool: JoinIndexPool,
+        relation: GeneralizedRelation,
+        attribute: str,
+        entry: list,
     ) -> None:
         self._pool = pool
         self._relation = relation
+        self._attribute = attribute
         self._entry = entry
 
     def probe(
@@ -143,11 +185,7 @@ class IndexProbeHandle:
         pool = self._pool
         relation = self._relation
         with pool._lock:
-            index, cursor = self._entry
-            if cursor < len(relation):
-                for item in relation.tuples()[cursor:]:
-                    index.insert(item)
-                self._entry[1] = len(relation)
+            index = pool._catch_up(self._entry, relation, self._attribute)
             hits = index.candidates(low, high)
             pool.probes += 1
             pool.candidates += len(hits)

@@ -1,0 +1,170 @@
+"""Conformance-harness coverage for the ``incremental`` strategies.
+
+Checks four things: the strategy registry offers ``incremental`` and
+``incremental_chaos`` for every datalog spec; the seeded update-sequence
+generator is deterministic, net-effect-preserving, and shrinks with the
+spec; sampled datalog specs across all four theories replay cleanly
+through ``run_case`` (zero discrepancies); and a stepwise divergence
+raised by a strategy surfaces as a first-class discrepancy of oracle
+``"incremental"``.  A seeded chaos variant (nightly, ``-m chaos``) runs
+the full differential loop with fault injection armed.
+"""
+
+import pytest
+
+from repro.conformance.generators import case_seed, generate_case
+from repro.conformance.runner import run_case, run_conformance
+from repro.conformance.strategies import Strategy, strategies_for
+from repro.conformance.updates import IncrementalMismatchError, update_sequence
+from repro.runtime.chaos import ChaosPolicy
+
+THEORIES = ("dense_order", "equality", "boolean", "real_poly")
+
+
+def _datalog_specs(theory, count, base_seed=0, probes=200):
+    specs = []
+    for probe in range(probes):
+        spec = generate_case(theory, case_seed(base_seed, theory, probe))
+        if spec.kind == "datalog":
+            specs.append(spec)
+        if len(specs) >= count:
+            break
+    return specs
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("theory", THEORIES)
+    def test_datalog_specs_get_both_incremental_routes(self, theory):
+        for spec in _datalog_specs(theory, 3):
+            names = [route.name for route in strategies_for(spec)]
+            assert "incremental" in names
+            assert "incremental_chaos" in names
+            # differential baseline: never the reference route
+            assert names[0] not in ("incremental", "incremental_chaos")
+
+    def test_non_datalog_specs_are_skipped(self):
+        for probe in range(200):
+            spec = generate_case("dense_order", probe)
+            if spec.kind != "datalog":
+                names = [route.name for route in strategies_for(spec)]
+                assert "incremental" not in names
+                return
+        pytest.skip("no non-datalog spec in probe range")
+
+
+class TestUpdateSequence:
+    def _spec(self):
+        (spec,) = _datalog_specs("dense_order", 1)
+        return spec
+
+    def test_deterministic(self):
+        spec = self._spec()
+        assert update_sequence(spec, churn=2) == update_sequence(spec, churn=2)
+
+    def test_net_effect_is_exactly_the_spec_edb(self):
+        # replay with set semantics (retract of an absent tuple is a no-op,
+        # like the view's): the final state must be the spec's full EDB
+        spec = self._spec()
+        expected = {
+            (name, index)
+            for name, _variables, tuples in spec.relations
+            for index in range(len(tuples))
+        }
+        for churn in (0, 1, 3):
+            present = set()
+            for op, name, index in update_sequence(spec, churn=churn):
+                if op == "insert":
+                    present.add((name, index))
+                else:
+                    present.discard((name, index))
+            assert present == expected, f"churn={churn}"
+
+    def test_churn_adds_retracts_and_noops(self):
+        spec = self._spec()
+        base = update_sequence(spec, churn=0)
+        assert all(op == "insert" for op, _n, _i in base)
+        churned = update_sequence(spec, churn=2)
+        retracts = [step for step in churned if step[0] == "retract"]
+        assert retracts  # at least the woven no-op retract
+        assert len(churned) > len(base)
+
+    def test_retract_only_targets_spec_tuples(self):
+        spec = self._spec()
+        valid = {
+            (name, index)
+            for name, _variables, tuples in spec.relations
+            for index in range(len(tuples))
+        }
+        for _op, name, index in update_sequence(spec, churn=3):
+            assert (name, index) in valid
+
+    def test_shrunk_spec_yields_shorter_sequence(self):
+        spec = self._spec()
+        total = sum(len(tuples) for _n, _v, tuples in spec.relations)
+        if total < 2:
+            pytest.skip("spec too small to shrink a tuple away")
+        from dataclasses import replace
+
+        name, variables, tuples = next(r for r in spec.relations if r[2])
+        shrunk_relations = tuple(
+            (name, variables, tuples[:-1]) if r[0] == name else r
+            for r in spec.relations
+        )
+        shrunk = replace(spec, relations=shrunk_relations)
+        assert len(update_sequence(shrunk, churn=0)) < len(
+            update_sequence(spec, churn=0)
+        )
+
+
+class TestDifferential:
+    @pytest.mark.parametrize("theory", THEORIES)
+    def test_sampled_specs_have_no_discrepancies(self, theory):
+        for spec in _datalog_specs(theory, 2):
+            found = run_case(spec)
+            assert found is None, (
+                f"discrepancy on {theory} seed={spec.seed}: {found}"
+            )
+
+    def test_stepwise_mismatch_maps_to_incremental_oracle(self, monkeypatch):
+        import repro.conformance.runner as runner_module
+
+        (spec,) = _datalog_specs("dense_order", 1)
+        real_routes = strategies_for(spec)
+
+        def _explode(_spec):
+            raise IncrementalMismatchError(
+                3, ("retract", "R0", 1), spec.target
+            )
+
+        def _fake_strategies(s):
+            return [real_routes[0], Strategy("incremental", _explode)]
+
+        monkeypatch.setattr(
+            runner_module, "strategies_for", _fake_strategies
+        )
+        found = runner_module.run_case(spec)
+        assert found is not None
+        assert found.oracle == "incremental"
+        assert found.right_name == "incremental"
+        assert "step 3" in found.detail
+
+
+@pytest.mark.chaos
+class TestIncrementalChaos:
+    """Seeded fault injection through the full differential loop.
+
+    The incremental strategies run inside the armed chaos scope like every
+    other route: injected faults may degrade a run (tallied, skipped) but
+    must never produce a maintained state that differs from scratch.
+    """
+
+    @pytest.mark.parametrize("theory", THEORIES)
+    def test_chaos_run_is_clean(self, theory):
+        report = run_conformance(
+            theory,
+            cases=6,
+            seed=11,
+            chaos=ChaosPolicy(seed=7, p=0.05),
+        )
+        assert report.ok, report.failures
+        assert report.strategy_runs.get("incremental", 0) >= 0

@@ -166,3 +166,91 @@ class TestPlanCommand:
         assert "no rule with head 'Q'" in output
         assert "out of range" in output
         assert "usage: .plan" in output
+
+
+class TestViewCommand:
+    _SESSION = [
+        ".relation E(x, y)",
+        ".point E: 0, 1",
+        ".point E: 1, 2",
+        ".rule T(x, y) :- E(x, y).",
+        ".rule T(x, y) :- T(x, z), E(z, y).",
+    ]
+
+    def test_view_lifecycle(self):
+        output = run([
+            *self._SESSION,
+            ".view on",
+            ".insert E: x = 2 and y = 3",
+            ".view",
+            ".view off",
+        ])
+        assert "mode=incremental" in output
+        assert "insert applied: +3/-0 derived" in output
+        assert "view dropped" in output
+
+    def test_retract_rederives_and_reports(self):
+        output = run([
+            *self._SESSION,
+            ".view on",
+            ".retract E: x = 0 and y = 1",
+            ".show T",
+        ])
+        assert "retract applied: +0/-2 derived" in output
+        assert "_0 = 0" not in output.split("retract applied")[1]
+
+    def test_noop_deltas_reported(self):
+        output = run([
+            *self._SESSION,
+            ".view on",
+            ".retract E: x = 9 and y = 9",
+            ".insert E: x = 0 and y = 1",
+        ])
+        assert "no-op (retract of a missing tuple)" in output
+        assert "no-op (insert of a present tuple)" in output
+
+    def test_view_blocks_direct_mutation(self):
+        output = run([
+            *self._SESSION,
+            ".view on",
+            ".point E: 7, 8",
+            ".tuple E: x = 7 and y = 8",
+            ".relation F(x)",
+            ".rule U(x) :- E(x, y).",
+            ".run",
+        ])
+        assert output.count("a live view is registered") == 4
+        assert "already maintains the fixpoint" in output
+
+    def test_view_usage_and_guards(self):
+        output = run([
+            ".view",
+            ".insert E: x = 1 and y = 2",
+            ".view banana",
+            ".view off",
+            ".view refresh",
+            ".rule T(x, y) :- E(x, y).",
+            ".view on",  # E does not exist yet -> shell error, not a crash
+        ])
+        assert "no view registered" in output
+        assert "usage: .view" in output
+        assert ".view on enables .insert" in output
+
+    def test_refresh_after_budget_trip(self):
+        output = run([
+            ".relation E(x, y)",
+            ".point E: 0, 1",
+            ".rule T(x, y) :- E(x, y).",
+            ".rule T(x, y) :- T(x, z), E(z, y).",
+            ".budget tuples=4 fringe",
+            ".view on",
+            ".point E: 1, 2",  # blocked (view active) -- state unchanged
+            ".insert E: x = 1 and y = 2",
+            ".insert E: x = 2 and y = 0",  # cycle: blows the 4-tuple budget
+            ".view",
+            ".insert E: x = 5 and y = 6",  # stale -> shell error line
+            ".budget off",
+            ".view refresh",
+        ])
+        assert "STALE" in output
+        assert "error:" in output  # StaleViewError surfaced as a shell error

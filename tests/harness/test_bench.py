@@ -16,7 +16,7 @@ def sink(tmp_path, monkeypatch):
 
 
 #: a tiny profile so the suite stays fast under pytest
-_TINY = {"dense": [6, 8], "equality": [6], "boolean": 4, "econfig": 8}
+_TINY = {"dense": [6, 8], "equality": [6], "boolean": 4, "econfig": 8, "ivm": [8]}
 
 
 class TestBenchSuite:
@@ -48,6 +48,11 @@ class TestBenchSuite:
         cache = records["compile_stats[smoke]"]
         assert cache["setup_speedup_warm"] >= 5
         assert cache["cold_setup_s"] > cache["warm_setup_s"] > 0
+        ivm = records["ivm_stats[smoke]"]
+        cell = ivm["per_size"][str(max(_TINY["ivm"]))]
+        assert cell["identical_fixpoints"] is True
+        assert cell["maintained_s"] > 0 and cell["scratch_s"] > 0
+        assert cell["ivm_derived_added"] == max(_TINY["ivm"]) + 1
 
     def test_check_passes_against_own_baseline(self, sink, monkeypatch):
         monkeypatch.setitem(bench.PROFILES, "smoke", _TINY)
@@ -104,3 +109,21 @@ class TestRegressionCheck:
     def test_plan_cache_floor_passes(self):
         fresh = {"records": {"compile_stats[full]": {"setup_speedup_warm": 12.0}}}
         assert check_regression(fresh, {"records": {}}, 25) == []
+
+    def test_ivm_floor_enforced_at_gated_sizes(self):
+        fresh = {
+            "records": {
+                "ivm_stats[full]": {
+                    "per_size": {
+                        "8": {"speedup_maintained": 2.0},   # below min N: exempt
+                        "32": {"speedup_maintained": 3.0},  # gated: fails
+                        "64": {"speedup_maintained": 9.0},  # gated: passes
+                    }
+                }
+            }
+        }
+        failures = check_regression(fresh, {"records": {}}, 25)
+        assert failures == [
+            "ivm_stats[full][N=32]: maintained-vs-scratch speedup 3.0x "
+            "below the 5x floor"
+        ]

@@ -1,0 +1,110 @@
+"""Regression: retraction must invalidate suffix-cursor index entries.
+
+The pool's incremental catch-up assumes relations only grow.  Before the
+versioned-rebuild path, a ``discard`` left the removed tuple in the index
+(a stale candidate that is satisfiable with the probe bound but no longer
+in the relation) and left the cursor pointing past the end, so later
+appends could be missed too.  Incremental view maintenance retracts all
+the time, so both failure modes get locked down here.
+"""
+
+from fractions import Fraction
+
+from repro.constraints.dense_order import DenseOrderTheory
+from repro.core.generalized import GeneralizedDatabase
+from repro.indexing.pool import JoinIndexPool
+
+theory = DenseOrderTheory()
+
+
+def _relation(points, name="E"):
+    db = GeneralizedDatabase(theory)
+    relation = db.create_relation(name, ("x", "y"))
+    for a, b in points:
+        relation.add_point([Fraction(a), Fraction(b)])
+    return relation
+
+
+def _point(relation, a, b):
+    """The stored tuple for the ground point (a, b)."""
+    for item in relation:
+        if item.holds({"x": Fraction(a), "y": Fraction(b)}):
+            return item
+    raise AssertionError(f"({a}, {b}) not in {relation.name}")
+
+
+class TestRetractInvalidation:
+    def test_retract_drops_stale_candidates(self):
+        relation = _relation([(i, i + 1) for i in range(6)])
+        pool = JoinIndexPool(theory)
+        hits = pool.probe(relation, "x", Fraction(3), Fraction(3))
+        assert hits is not None and len(hits) == 1
+        assert relation.discard(_point(relation, 3, 4))
+        hits = pool.probe(relation, "x", Fraction(3), Fraction(3))
+        assert hits == []  # the stale entry is gone after the rebuild
+        assert pool.rebuilds == 1
+
+    def test_append_after_retract_is_indexed(self):
+        # cursor == 3 > len == 2 after a discard: the suffix scheme would
+        # never index the re-appended tuple
+        relation = _relation([(0, 1), (1, 2), (2, 3)])
+        pool = JoinIndexPool(theory)
+        assert len(pool.probe(relation, "x", Fraction(2), Fraction(2))) == 1
+        assert relation.discard(_point(relation, 2, 3))
+        relation.add_point([Fraction(9), Fraction(10)])
+        hits = pool.probe(relation, "x", Fraction(9), Fraction(9))
+        assert hits is not None and len(hits) == 1
+        assert pool.probe(relation, "x", Fraction(2), Fraction(2)) == []
+
+    def test_retract_then_reinsert_round_trips(self):
+        relation = _relation([(i, i + 1) for i in range(4)])
+        pool = JoinIndexPool(theory)
+        pool.probe(relation, "x", Fraction(1), Fraction(1))
+        item = _point(relation, 1, 2)
+        assert relation.discard(item)
+        assert pool.probe(relation, "x", Fraction(1), Fraction(1)) == []
+        relation.add_point([Fraction(1), Fraction(2)])
+        hits = pool.probe(relation, "x", Fraction(1), Fraction(1))
+        assert hits is not None and len(hits) == 1
+
+    def test_insert_only_path_never_rebuilds(self):
+        relation = _relation([(0, 1)])
+        pool = JoinIndexPool(theory)
+        for i in range(1, 8):
+            pool.probe(relation, "x", Fraction(i - 1), Fraction(i - 1))
+            relation.add_point([Fraction(i), Fraction(i + 1)])
+        assert pool.rebuilds == 0
+        assert pool.index_count() == 1
+
+    def test_clear_invalidates(self):
+        relation = _relation([(i, i + 1) for i in range(5)])
+        pool = JoinIndexPool(theory)
+        assert len(pool.probe(relation, "x", Fraction(0), Fraction(4))) == 5
+        relation.clear()
+        assert pool.probe(relation, "x", Fraction(0), Fraction(4)) == []
+        relation.add_point([Fraction(2), Fraction(2)])
+        assert len(pool.probe(relation, "x", Fraction(0), Fraction(4))) == 1
+
+
+class TestHandleRetractInvalidation:
+    def test_handle_sees_retraction(self):
+        relation = _relation([(i, i + 1) for i in range(6)])
+        pool = JoinIndexPool(theory)
+        handle = pool.handle(relation, "x")
+        assert len(handle.probe(Fraction(4), Fraction(4))) == 1
+        assert relation.discard(_point(relation, 4, 5))
+        assert handle.probe(Fraction(4), Fraction(4)) == []
+        assert pool.rebuilds == 1
+
+    def test_handle_and_direct_probe_share_rebuild(self):
+        relation = _relation([(i, i + 1) for i in range(4)])
+        pool = JoinIndexPool(theory)
+        handle = pool.handle(relation, "x")
+        handle.probe(Fraction(0), Fraction(3))
+        assert relation.discard(_point(relation, 0, 1))
+        # the direct path rebuilds the shared entry ...
+        assert pool.probe(relation, "x", Fraction(0), Fraction(0)) == []
+        assert pool.rebuilds == 1
+        # ... and the handle sees the rebuilt index without a second rebuild
+        assert handle.probe(Fraction(0), Fraction(0)) == []
+        assert pool.rebuilds == 1
