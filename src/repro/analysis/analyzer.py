@@ -59,6 +59,8 @@ def analyze_program(
     edb_schemas: Mapping[str, int] | None = None,
     suppress: Iterable[str] = (),
     budget_declared: bool = False,
+    semantic: bool = False,
+    views: "Mapping[str, object] | None" = None,
 ) -> ProgramReport:
     """Run every pass over a Datalog(not) rule list and build the report.
 
@@ -68,7 +70,10 @@ def analyze_program(
     in the report but do not fail linting or the engine pre-flight);
     ``budget_declared`` records that the caller runs the program under an
     explicit resource budget, silencing the CQL031 advisory for programs
-    with no polynomial complexity bound.
+    with no polynomial complexity bound; ``semantic`` additionally runs the
+    containment-based optimizer (:mod:`repro.analysis.semantic`) in
+    report-only mode, surfacing its CQL040-range rewrites as info
+    diagnostics (``views`` feeds the view-answerability pass).
     """
     timings: dict[str, float] = {}
     diagnostics: list[Diagnostic] = []
@@ -76,6 +81,20 @@ def analyze_program(
     started = time.perf_counter()
     diagnostics.extend(check_safety(rules, theory, edb_schemas))
     timings["well_formedness"] = time.perf_counter() - started
+
+    if semantic:
+        from repro.analysis.semantic import ViewDefinition, optimize_program
+
+        started = time.perf_counter()
+        typed_views = {
+            name: view
+            for name, view in (views or {}).items()
+            if isinstance(view, ViewDefinition)
+        }
+        diagnostics.extend(
+            optimize_program(rules, theory, views=typed_views or None).diagnostics
+        )
+        timings["semantic"] = time.perf_counter() - started
 
     started = time.perf_counter()
     graph = build_dependency_graph(rules)

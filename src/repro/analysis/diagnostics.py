@@ -1,7 +1,7 @@
 """Diagnostic records, the stable error-code registry, and program reports.
 
 Every analysis pass produces :class:`Diagnostic` values with a *stable* code
-(``CQL001`` .. ``CQL030``): codes are part of the public contract -- tests,
+(``CQL000`` .. ``CQL049``): codes are part of the public contract -- tests,
 suppression pragmas (``# cqlint: allow(CQL010)``) and downstream tooling key
 on them, so a code is never reused for a different condition.  The registry
 :data:`CODES` maps every code to its kebab-case slug, default severity, and a
@@ -128,6 +128,44 @@ CODES: dict[str, CodeInfo] = {
             WARNING,
             "a program with no polynomial complexity bound runs without an "
             "explicit resource budget",
+        ),
+        # CQL040-CQL049: the semantic optimizer (repro.analysis.semantic).
+        # info severity -- each records a fixpoint-preserving rewrite the
+        # optimizer applied (or would apply), not a defect.
+        CodeInfo(
+            "CQL040",
+            "subsumed-rule",
+            INFO,
+            "a rule is contained in a sibling rule and contributes nothing "
+            "(Thm 2.6 homomorphism witness)",
+        ),
+        CodeInfo(
+            "CQL041",
+            "redundant-literal",
+            INFO,
+            "a body atom's removal yields a contained-equivalent rule "
+            "(tableau minimization)",
+        ),
+        CodeInfo(
+            "CQL042",
+            "constraint-tightened",
+            INFO,
+            "a rule's constraint conjunction was replaced by its canonical "
+            "equivalent at analysis time",
+        ),
+        CodeInfo(
+            "CQL043",
+            "view-answerable",
+            INFO,
+            "a predicate is containment-equivalent to a materialized view "
+            "and reads it instead of re-deriving",
+        ),
+        CodeInfo(
+            "CQL044",
+            "unsatisfiable-rule-removed",
+            INFO,
+            "a rule with an unsatisfiable constraint conjunction was removed "
+            "by the optimizer",
         ),
     )
 }

@@ -29,6 +29,14 @@ Exit status: 1 when any file has unsuppressed error diagnostics (or, with
 document; ``--stats`` appends per-pass timing and diagnostic counts and
 records them through :mod:`repro.harness.benchjson` (the ``lint_stats``
 record of ``BENCH_datalog.json``).
+
+``--semantic`` additionally runs the containment-based optimizer
+(:mod:`repro.analysis.semantic`) in report-only mode, surfacing CQL040-range
+rewrite opportunities as info diagnostics.  ``--fix`` (implies
+``--semantic``) rewrites textual ``.cql``/``.dl`` datalog programs in place
+with the minimized rule set -- comment and directive lines are preserved,
+and the file is only overwritten when the rendered program re-parses to the
+minimized rules (round-trip safety).
 """
 
 from __future__ import annotations
@@ -129,7 +137,7 @@ def _error_report(theory: str, kind: str, diagnostic: Diagnostic) -> ProgramRepo
     )
 
 
-def lint_text(text: str) -> ProgramReport:
+def lint_text(text: str, *, semantic: bool = False) -> ProgramReport:
     """Lint one textual program (see module docstring for the syntax)."""
     from repro.logic.parser import parse_query, parse_rules
 
@@ -173,7 +181,67 @@ def lint_text(text: str) -> ProgramReport:
         edb_schemas=directives.relations or None,
         suppress=directives.allow,
         budget_declared=directives.budget_declared,
+        semantic=semantic,
     )
+
+
+def _render_literal(literal: Any) -> str:
+    """Render one body literal in parser syntax.
+
+    ``Not.__str__`` emits ``not (B(x))``, which the parser rejects; the
+    parser wants ``not B(x)``.
+    """
+    from repro.logic.syntax import Not
+
+    if isinstance(literal, Not):
+        return f"not {literal.child}"
+    return str(literal)
+
+
+def _render_rule(rule: Any) -> str:
+    head = str(rule.head)
+    if not rule.body:
+        return f"{head}."
+    return f"{head} :- {', '.join(_render_literal(lit) for lit in rule.body)}."
+
+
+def fix_text(text: str) -> str | None:
+    """Minimize a textual datalog program; None when nothing changes.
+
+    Runs :func:`repro.analysis.semantic.optimize_program` over the parsed
+    rules and re-renders the file: full-line comments (directives included)
+    are preserved in order, rule lines are replaced by the minimized rule
+    set.  The rewritten text is re-parsed before being returned -- if the
+    rendering does not round-trip (count or structure mismatch), the fix is
+    abandoned and None is returned, leaving the file untouched.
+    """
+    from repro.analysis.semantic import optimize_program
+    from repro.logic.parser import parse_rules
+
+    stripped, directives = _strip_comments(text)
+    if directives.kind != "datalog":
+        return None
+    theory = _build_text_theory(directives.theory)
+    try:
+        rules = parse_rules(stripped, theory=theory)
+    except ReproError:
+        return None
+    result = optimize_program(rules, theory)
+    if not result.changed:
+        return None
+    comments = [
+        line for line in text.splitlines() if line.lstrip().startswith("#")
+    ]
+    rendered = [_render_rule(rule) for rule in result.rules]
+    lines = comments + [""] + rendered if comments else rendered
+    new_text = "\n".join(lines) + "\n"
+    try:
+        reparsed = parse_rules(_strip_comments(new_text)[0], theory=theory)
+    except ReproError:
+        return None
+    if [str(r) for r in reparsed] != [str(r) for r in result.rules]:
+        return None
+    return new_text
 
 
 def lint_spec_dict(data: dict[str, Any]) -> ProgramReport:
@@ -203,7 +271,7 @@ def lint_spec_dict(data: dict[str, Any]) -> ProgramReport:
     )
 
 
-def lint_path(path: Path) -> ProgramReport:
+def lint_path(path: Path, *, semantic: bool = False) -> ProgramReport:
     """Lint one file, dispatching on its suffix."""
     if path.suffix == ".json":
         try:
@@ -218,7 +286,7 @@ def lint_path(path: Path) -> ProgramReport:
             return _error_report(
                 "unknown", "datalog", Diagnostic("CQL000", str(error))
             )
-    return lint_text(path.read_text())
+    return lint_text(path.read_text(), semantic=semantic)
 
 
 def _collect(paths: Sequence[str]) -> list[Path]:
@@ -304,18 +372,37 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--verbose", action="store_true", help="show info diagnostics and hints"
     )
+    parser.add_argument(
+        "--semantic",
+        action="store_true",
+        help="also run the containment-based optimizer (CQL040-range "
+        "rewrite opportunities as info diagnostics)",
+    )
+    parser.add_argument(
+        "--fix",
+        action="store_true",
+        help="rewrite textual .cql/.dl programs in place with the minimized "
+        "rule set (implies --semantic; round-trip verified before writing)",
+    )
     args = parser.parse_args(argv)
+    semantic = args.semantic or args.fix
 
     files = _collect(args.paths)
     if not files:
         print("no lintable files found", file=sys.stderr)
         return 2
+    fixed: list[Path] = []
     reports: list[tuple[Path, ProgramReport]] = []
     for path in files:
         if not path.exists():
             print(f"{path}: no such file", file=sys.stderr)
             return 2
-        reports.append((path, lint_path(path)))
+        if args.fix and path.suffix in (".cql", ".dl"):
+            new_text = fix_text(path.read_text())
+            if new_text is not None:
+                path.write_text(new_text)
+                fixed.append(path)
+        reports.append((path, lint_path(path, semantic=semantic)))
 
     failed = any(
         report.errors() or (args.strict and report.warnings())
@@ -338,6 +425,8 @@ def main(argv: list[str] | None = None) -> int:
         for path, report in reports:
             for line in _render_text(path, report, args.verbose):
                 print(line)
+        for path in fixed:
+            print(f"{path}: rewritten with minimized rules")
         print(
             f"{len(reports)} file(s) linted: "
             + ("FAILED" if failed else "ok")

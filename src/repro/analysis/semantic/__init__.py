@@ -1,0 +1,35 @@
+"""Semantic analyzer + containment-based program optimizer ("cqlopt").
+
+Lifts the paper's Section 2.2 containment machinery (Theorem 2.6) into a
+whole-program rewrite layer between cqlint and the plan/compile pipeline:
+rule subsumption, redundant-literal elimination, constraint tightening,
+unsatisfiable-rule pruning, and view answerability.  See
+:mod:`repro.analysis.semantic.passes` for the pass pipeline and the
+soundness contract, and DESIGN.md §13 for the full argument.
+"""
+
+from repro.analysis.semantic.containment import (
+    CONTAINMENT_THEORIES,
+    SATISFIABILITY_THEORIES,
+    ContainmentWitness,
+    rule_contained_in,
+    rule_unsatisfiable,
+)
+from repro.analysis.semantic.passes import (
+    SemanticResult,
+    SemanticStats,
+    ViewDefinition,
+    optimize_program,
+)
+
+__all__ = [
+    "CONTAINMENT_THEORIES",
+    "SATISFIABILITY_THEORIES",
+    "ContainmentWitness",
+    "SemanticResult",
+    "SemanticStats",
+    "ViewDefinition",
+    "optimize_program",
+    "rule_contained_in",
+    "rule_unsatisfiable",
+]

@@ -1,0 +1,207 @@
+"""Rule-level containment checks for the semantic optimizer (Thm 2.6).
+
+A Datalog(+constraints) rule *is* a tableau query: the head is the summary
+row, the positive body atoms are the tagged rows, and the constraint atoms
+are the constraint set C.  Section 2.2's containment machinery therefore
+lifts directly to rules: ``r1 subseteq r2`` (same head predicate) holds iff
+some symbol mapping from r2 into r1 maps the head positionally, sends every
+positive atom of r2 onto a positive atom of r1, and r1's constraints entail
+the mapped constraints of r2 (Lemma 2.5 + the homomorphism collapse of
+Theorem 2.6).  The paper proves the collapse for linear-equation
+constraints; here the entailment side is delegated to
+:meth:`ConstraintTheory.entails_all`, which is exact for the *pointwise*
+theories (dense order, equality) -- the only theories this module decides.
+Everything else (boolean, real-polynomial, semiinterval shapes the
+homomorphism property provably misses, Theorem 2.8) answers "undecided" and
+the optimizer refuses to fire.
+
+The mapping search is budget-metered: one ``tick("join")`` per candidate
+extension and one ``tick("sat")`` per entailment check, so adversarial
+programs with many same-predicate atoms degrade gracefully under the PR 4
+supervisor instead of hanging.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping, Protocol, Sequence
+
+from repro.logic.syntax import Atom, Not, RelationAtom
+from repro.runtime.budget import tick
+
+#: theories whose ``entails_all`` is exact, hence where containment-based
+#: rewrites are sound to apply (ISSUE 8: polynomial theory must no-op)
+CONTAINMENT_THEORIES = frozenset({"dense_order", "equality"})
+
+#: theories whose ``is_satisfiable`` is exact, hence where unsatisfiable
+#: rules may be pruned outright (the CQL021 dead-code criterion)
+SATISFIABILITY_THEORIES = frozenset({"dense_order", "equality", "boolean"})
+
+
+class TheoryLike(Protocol):
+    """The slice of :class:`ConstraintTheory` the containment checks use."""
+
+    name: str
+
+    def is_satisfiable(self, atoms: Sequence[Atom]) -> bool: ...
+
+    def entails_all(
+        self, atoms: Sequence[Atom], consequences: Sequence[Atom]
+    ) -> bool: ...
+
+
+class RuleLike(Protocol):
+    """Structural protocol for :class:`repro.core.datalog.Rule`.
+
+    Mirrors :mod:`repro.analysis.graph`: the semantic package stays
+    import-independent of ``repro.core`` so the engine can import it lazily
+    without a cycle.
+    """
+
+    @property
+    def head(self) -> RelationAtom: ...
+
+    @property
+    def body(self) -> tuple[object, ...]: ...
+
+
+@dataclass(frozen=True)
+class ContainmentWitness:
+    """A homomorphism witnessing ``contained subseteq container``.
+
+    ``mapping`` sends every variable of the *container* rule into a variable
+    of the *contained* rule (head positions map positionally, Lemma 2.5);
+    ``atom_images`` records which positive body atom of the contained rule
+    each container atom landed on.
+    """
+
+    mapping: Mapping[str, str] = field(default_factory=dict)
+    atom_images: tuple[tuple[str, str], ...] = ()
+
+    def describe(self) -> str:
+        pairs = ", ".join(f"{k}->{v}" for k, v in sorted(self.mapping.items()))
+        return f"{{{pairs}}}" if pairs else "{}"
+
+
+def positive_atoms(rule: RuleLike) -> list[RelationAtom]:
+    return [lit for lit in rule.body if isinstance(lit, RelationAtom)]
+
+
+def constraint_atoms(rule: RuleLike) -> list[Atom]:
+    return [
+        lit
+        for lit in rule.body
+        if isinstance(lit, Atom) and not isinstance(lit, RelationAtom)
+    ]
+
+
+def has_negation(rule: RuleLike) -> bool:
+    return any(isinstance(lit, Not) for lit in rule.body)
+
+
+def rule_variables(rule: RuleLike) -> set[str]:
+    """Every variable of the rule (head, atoms, and constraint-only)."""
+    names: set[str] = set(rule.head.args)
+    for lit in rule.body:
+        if isinstance(lit, RelationAtom):
+            names.update(lit.args)
+        elif isinstance(lit, Not):
+            child = lit.child
+            if isinstance(child, RelationAtom):
+                names.update(child.args)
+        elif isinstance(lit, Atom):
+            names.update(lit.variables())
+    return names
+
+
+def _candidate_mappings(
+    container_atoms: Sequence[RelationAtom],
+    contained_atoms: Sequence[RelationAtom],
+    seed: dict[str, str],
+) -> Iterator[dict[str, str]]:
+    """Lazily extend ``seed`` by mapping container atoms onto contained atoms.
+
+    Depth-first over the container's positive atoms; a candidate image atom
+    must share the predicate name and arity, and the positional variable
+    bindings must be consistent with the mapping built so far (symbol
+    mappings are functions, Lemma 2.5).  One budget tick per candidate keeps
+    adversarial same-predicate fan-outs interruptible.
+    """
+    if not container_atoms:
+        yield dict(seed)
+        return
+    head_atom, *rest = container_atoms
+    for image in contained_atoms:
+        tick("join")
+        if image.name != head_atom.name or len(image.args) != len(head_atom.args):
+            continue
+        extended = dict(seed)
+        ok = True
+        for symbol, image_symbol in zip(head_atom.args, image.args):
+            bound = extended.get(symbol)
+            if bound is None:
+                extended[symbol] = image_symbol
+            elif bound != image_symbol:
+                ok = False
+                break
+        if ok:
+            yield from _candidate_mappings(rest, contained_atoms, extended)
+
+
+def rule_contained_in(
+    contained: RuleLike, container: RuleLike, theory: TheoryLike
+) -> ContainmentWitness | None:
+    """Decide ``contained subseteq container`` and return a witness, or None.
+
+    Sound but deliberately incomplete: a ``None`` answer means *undecided*,
+    never "not contained".  Preconditions enforced here:
+
+    * same head predicate and arity;
+    * the container is negation-free (its atoms must all find images; a
+      negated container atom has no sound image under a symbol mapping).
+      The *contained* rule may carry negation -- negative literals only
+      shrink its output, and shrinking preserves containment;
+    * the theory's entailment is exact (:data:`CONTAINMENT_THEORIES`);
+    * every container variable -- including constraint-only ones -- ends up
+      mapped, otherwise the mapped constraints would capture free variables.
+    """
+    if theory.name not in CONTAINMENT_THEORIES:
+        return None
+    if contained.head.name != container.head.name:
+        return None
+    if len(contained.head.args) != len(container.head.args):
+        return None
+    if has_negation(container):
+        return None
+    seed = dict(zip(container.head.args, contained.head.args))
+    if len(seed) != len(set(container.head.args)):
+        return None  # defensive: repeated head variables cannot seed a function
+    container_pos = positive_atoms(container)
+    contained_pos = positive_atoms(contained)
+    container_vars = rule_variables(container)
+    contained_constraints = constraint_atoms(contained)
+    container_constraints = constraint_atoms(container)
+    for mapping in _candidate_mappings(container_pos, contained_pos, seed):
+        if any(name not in mapping for name in container_vars):
+            # constraint-only container variables with no image: renaming
+            # would capture them as free variables of the contained rule
+            continue
+        tick("sat")
+        mapped = [atom.rename(mapping) for atom in container_constraints]
+        if theory.entails_all(contained_constraints, mapped):
+            images = tuple(
+                (str(atom), str(atom.rename(mapping))) for atom in container_pos
+            )
+            return ContainmentWitness(mapping=dict(mapping), atom_images=images)
+    return None
+
+
+def rule_unsatisfiable(rule: RuleLike, theory: TheoryLike) -> bool:
+    """Whether the rule's constraint conjunction is provably unsatisfiable."""
+    if theory.name not in SATISFIABILITY_THEORIES:
+        return False
+    atoms = constraint_atoms(rule)
+    if not atoms:
+        return False
+    tick("sat")
+    return not theory.is_satisfiable(atoms)

@@ -1,0 +1,537 @@
+"""The semantic optimizer: containment-based whole-program rewrites.
+
+Five passes, applied in a fixed order; every pass preserves the program's
+fixpoint *exactly*, under all four evaluation semantics, because each one
+preserves the immediate-consequence operator ``T_P`` pointwise on every
+database state ``J`` (DESIGN.md §13 gives the per-pass argument):
+
+1. **unsat-rule pruning** (CQL044) -- a rule whose constraint conjunction is
+   provably unsatisfiable never fires, on any state;
+2. **constraint tightening** (CQL042) -- each rule's constraint conjunction
+   is replaced by the theory's canonical equivalent, hoisting the narrowing
+   work the join would redo per firing to analysis time;
+3. **redundant-literal elimination** (CQL041) -- a positive body atom whose
+   removal yields a contained-equivalent rule is dropped (classic tableau
+   minimization: removal only relaxes, so one containment check decides
+   equivalence);
+4. **rule subsumption** (CQL040) -- a rule contained in a sibling rule of
+   the same head predicate contributes nothing to the union ``T_P`` and is
+   removed;
+5. **view answerability** (CQL043) -- when a predicate's rule set is
+   containment-equivalent to a registered materialized view's definition,
+   its rules are replaced by a copy rule reading the exported view relation.
+
+Passes 3-5 rely on :func:`rule_contained_in` and therefore fire only for
+theories with exact entailment (dense order, equality); pass 1 also covers
+the boolean theory; every pass is a silent no-op for the real-polynomial
+theory (containment undecided there, per ISSUE 8's soundness contract).
+Rules carrying negation are never removed by containment and never serve as
+containers, so no rewrite crosses a negation/stratum boundary.
+
+Budget behavior: the containment search ticks the ambient meter; a
+:class:`BudgetExceededError` aborts the *current* pass but keeps the
+completed passes' (consistent) rewrites -- graceful degradation, never a
+broken rule list.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.semantic.containment import (
+    CONTAINMENT_THEORIES,
+    ContainmentWitness,
+    RuleLike,
+    TheoryLike,
+    constraint_atoms,
+    has_negation,
+    positive_atoms,
+    rule_contained_in,
+    rule_unsatisfiable,
+    rule_variables,
+)
+from repro.errors import BudgetExceededError, ReproError
+from repro.logic.syntax import Atom, Not, RelationAtom
+
+
+@dataclass
+class SemanticStats:
+    """Counters mirrored into ``EvaluationStats.semantic_*`` by the engine."""
+
+    rules_subsumed: int = 0
+    literals_eliminated: int = 0
+    constraints_tightened: int = 0
+    unsat_rules_removed: int = 0
+    view_rewrites: int = 0
+    containment_checks: int = 0
+    containment_seconds: float = 0.0
+    #: a pass aborted on a tripped budget (completed passes kept)
+    budget_tripped: bool = False
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "rules_subsumed": self.rules_subsumed,
+            "literals_eliminated": self.literals_eliminated,
+            "constraints_tightened": self.constraints_tightened,
+            "unsat_rules_removed": self.unsat_rules_removed,
+            "view_rewrites": self.view_rewrites,
+            "containment_checks": self.containment_checks,
+            "containment_seconds": self.containment_seconds,
+            "budget_tripped": self.budget_tripped,
+        }
+
+
+@dataclass(frozen=True)
+class ViewDefinition:
+    """A materialized view the optimizer may answer from.
+
+    ``relation`` is the name the live materialization is exported under in
+    the evaluation database; ``predicate`` is the IDB predicate the view's
+    own program derives; ``rules`` is that program.  The caller owns the
+    contract that ``relation`` holds the *fresh* fixpoint of ``rules`` over
+    the same EDB the rewritten program will be evaluated against (the IVM
+    registry in :mod:`repro.core.ivm` maintains exactly this).
+    """
+
+    relation: str
+    predicate: str
+    rules: tuple[RuleLike, ...]
+
+
+@dataclass
+class SemanticResult:
+    """Outcome of :func:`optimize_program`.
+
+    ``rules`` is the rewritten program (possibly the original objects);
+    ``original`` the input; ``diagnostics`` one CQL04x record per rewrite;
+    ``witnesses`` maps a diagnostic's index in ``diagnostics`` to the
+    containment homomorphism justifying it, when one exists.
+    """
+
+    rules: list[RuleLike]
+    original: tuple[RuleLike, ...]
+    stats: SemanticStats = field(default_factory=SemanticStats)
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    witnesses: dict[int, ContainmentWitness] = field(default_factory=dict)
+
+    @property
+    def changed(self) -> bool:
+        return (
+            len(self.rules) != len(self.original)
+            or any(a is not b for a, b in zip(self.rules, self.original))
+        )
+
+
+def _checked_containment(
+    contained: RuleLike,
+    container: RuleLike,
+    theory: TheoryLike,
+    stats: SemanticStats,
+) -> ContainmentWitness | None:
+    stats.containment_checks += 1
+    started = time.perf_counter()
+    try:
+        return rule_contained_in(contained, container, theory)
+    finally:
+        stats.containment_seconds += time.perf_counter() - started
+
+
+def _literal_variables(literal: object) -> frozenset[str]:
+    if isinstance(literal, RelationAtom):
+        return frozenset(literal.args)
+    if isinstance(literal, Not):
+        child = literal.child
+        return frozenset(child.args) if isinstance(child, RelationAtom) else frozenset()
+    if isinstance(literal, Atom):
+        return literal.variables()
+    return frozenset()
+
+
+def _rebuild(rule: RuleLike, body: Sequence[object]) -> RuleLike:
+    """A rule of the same concrete class with a new body.
+
+    ``type(rule)(head, body)`` keeps this package import-independent of
+    :mod:`repro.core.datalog` (the graph-module idiom).
+    """
+    return type(rule)(rule.head, tuple(body))
+
+
+# ------------------------------------------------------------------- passes
+def _prune_unsatisfiable(
+    rules: list[RuleLike], theory: TheoryLike, result: SemanticResult
+) -> list[RuleLike]:
+    """Drop never-firing rules; a predicate always keeps at least one rule
+    (the IDB relation must exist even when provably empty)."""
+    remaining: dict[str, int] = {}
+    for rule in rules:
+        remaining[rule.head.name] = remaining.get(rule.head.name, 0) + 1
+    kept: list[RuleLike] = []
+    for index, rule in enumerate(rules):
+        if remaining[rule.head.name] > 1 and rule_unsatisfiable(rule, theory):
+            remaining[rule.head.name] -= 1
+            result.stats.unsat_rules_removed += 1
+            result.diagnostics.append(
+                Diagnostic(
+                    "CQL044",
+                    f"rule {index} ({rule.head.name}) removed: its constraint "
+                    "conjunction is unsatisfiable, so it can never fire",
+                    rule_index=index,
+                    predicate=rule.head.name,
+                )
+            )
+        else:
+            kept.append(rule)
+    return kept
+
+
+def _tighten_constraints(
+    rules: list[RuleLike], theory: TheoryLike, result: SemanticResult
+) -> list[RuleLike]:
+    """Replace each rule's constraints with the theory's canonical form.
+
+    Only for theories whose canonical forms are exact (the containment
+    theories): there ``canonicalize`` returns an equivalent conjunction over
+    the same solution set, so the rewritten rule fires on exactly the same
+    joins.  Skipped per-rule when canonicalization would strand a head
+    variable (a canonical form may drop a variable that turned out to be
+    unconstrained -- semantically fine, structurally unsafe for the head).
+    """
+    if theory.name not in CONTAINMENT_THEORIES:
+        return rules
+    out: list[RuleLike] = []
+    for index, rule in enumerate(rules):
+        atoms = constraint_atoms(rule)
+        if not atoms:
+            out.append(rule)
+            continue
+        canonical = theory.canonicalize(tuple(atoms))  # type: ignore[attr-defined]
+        if canonical is None or tuple(canonical) == tuple(atoms):
+            out.append(rule)
+            continue
+        relational = [
+            lit for lit in rule.body
+            if not (isinstance(lit, Atom) and not isinstance(lit, RelationAtom))
+        ]
+        body = tuple(relational) + tuple(canonical)
+        covered = set().union(*(_literal_variables(lit) for lit in body)) if body else set()
+        if not set(rule.head.args) <= covered:
+            out.append(rule)
+            continue
+        out.append(_rebuild(rule, body))
+        result.stats.constraints_tightened += 1
+        result.diagnostics.append(
+            Diagnostic(
+                "CQL042",
+                f"rule {index} ({rule.head.name}): constraint conjunction "
+                f"canonicalized from {len(atoms)} to {len(canonical)} atoms",
+                rule_index=index,
+                predicate=rule.head.name,
+            )
+        )
+    return out
+
+
+def _eliminate_literals(
+    rules: list[RuleLike], theory: TheoryLike, result: SemanticResult
+) -> list[RuleLike]:
+    """Tableau minimization: drop body atoms whose removal keeps equivalence.
+
+    Removing a positive atom only *relaxes* a rule (``r subseteq r'`` is
+    automatic), so one containment check -- ``r' subseteq r``, homomorphism
+    from ``r`` into ``r'`` -- decides equivalence.  Restricted to
+    negation-free rules with at least two positive atoms; a removal that
+    would strand a head variable is never attempted.
+    """
+    if theory.name not in CONTAINMENT_THEORIES:
+        return rules
+    out: list[RuleLike] = []
+    for index, rule in enumerate(rules):
+        if has_negation(rule):
+            out.append(rule)
+            continue
+        current = rule
+        removed: list[str] = []
+        changed = True
+        while changed:
+            changed = False
+            atoms = positive_atoms(current)
+            if len(atoms) < 2:
+                break
+            for atom in atoms:
+                body = list(current.body)
+                body.remove(atom)
+                covered: set[str] = set()
+                for lit in body:
+                    covered |= _literal_variables(lit)
+                if not set(current.head.args) <= covered:
+                    continue
+                candidate = _rebuild(current, body)
+                witness = _checked_containment(candidate, current, theory, result.stats)
+                if witness is not None:
+                    current = candidate
+                    removed.append(str(atom))
+                    changed = True
+                    break
+        if current is not rule:
+            result.stats.literals_eliminated += len(removed)
+            result.diagnostics.append(
+                Diagnostic(
+                    "CQL041",
+                    f"rule {index} ({rule.head.name}): redundant body "
+                    f"literal(s) {', '.join(removed)} eliminated "
+                    f"(minimized body is contained-equivalent)",
+                    rule_index=index,
+                    predicate=rule.head.name,
+                    atom=removed[0],
+                )
+            )
+        out.append(current)
+    return out
+
+
+def _subsume_rules(
+    rules: list[RuleLike], theory: TheoryLike, result: SemanticResult
+) -> list[RuleLike]:
+    """Remove rules contained in a kept sibling of the same head predicate.
+
+    Candidates are visited longest-body-first so that of an *equivalent*
+    pair the shorter rule survives; a rule is only removed against a rule
+    that is itself still kept, so equivalence classes keep exactly one
+    representative.  The last remaining rule of a predicate is never removed
+    (the IDB relation must still be created even if provably empty).
+    """
+    if theory.name not in CONTAINMENT_THEORIES:
+        return rules
+    by_head: dict[str, list[int]] = {}
+    for index, rule in enumerate(rules):
+        by_head.setdefault(rule.head.name, []).append(index)
+    dropped: dict[int, tuple[int, ContainmentWitness]] = {}
+    for head, indices in by_head.items():
+        if len(indices) < 2:
+            continue
+        order = sorted(
+            indices, key=lambda i: (len(positive_atoms(rules[i])), -i), reverse=True
+        )
+        for i in order:
+            kept_siblings = [j for j in indices if j != i and j not in dropped]
+            if not kept_siblings:
+                continue
+            for j in kept_siblings:
+                witness = _checked_containment(
+                    rules[i], rules[j], theory, result.stats
+                )
+                if witness is not None:
+                    dropped[i] = (j, witness)
+                    break
+    out: list[RuleLike] = []
+    for index, rule in enumerate(rules):
+        if index in dropped:
+            j, witness = dropped[index]
+            result.stats.rules_subsumed += 1
+            result.diagnostics.append(
+                Diagnostic(
+                    "CQL040",
+                    f"rule {index} ({rule.head.name}) subsumed by rule {j}: "
+                    f"containment homomorphism {witness.describe()}",
+                    rule_index=index,
+                    predicate=rule.head.name,
+                )
+            )
+            result.witnesses[len(result.diagnostics) - 1] = witness
+        else:
+            out.append(rule)
+    return out
+
+
+def _answer_from_views(
+    rules: list[RuleLike],
+    theory: TheoryLike,
+    views: Mapping[str, ViewDefinition],
+    result: SemanticResult,
+) -> list[RuleLike]:
+    """Rewrite a predicate to read a materialized view when equivalent.
+
+    A predicate ``P`` qualifies when its rule set and a view's rule set
+    (with the view predicate renamed to ``P``) are pairwise containment-
+    equivalent: every rule of each side contained in some rule of the other.
+    That makes the immediate-consequence operators equal on every state, so
+    the fixpoints agree -- including for recursive definitions.  Guards: all
+    rules on both sides negation-free; ``P``'s rules reference no other IDB
+    predicate (the view was materialized over the EDB alone); the exported
+    relation name must not collide with any predicate the program mentions.
+    """
+    if theory.name not in CONTAINMENT_THEORIES or not views:
+        return rules
+    idbs = {rule.head.name for rule in rules}
+    mentioned = set(idbs)
+    for rule in rules:
+        for lit in rule.body:
+            if isinstance(lit, RelationAtom):
+                mentioned.add(lit.name)
+            elif isinstance(lit, Not) and isinstance(lit.child, RelationAtom):
+                mentioned.add(lit.child.name)
+    out = list(rules)
+    for view in views.values():
+        if view.relation in mentioned or not view.rules:
+            continue
+        match = _match_view(out, idbs, view, theory, result.stats)
+        if match is None:
+            continue
+        target, program_rules = match
+        arity = len(program_rules[0].head.args)
+        args = tuple(f"v{i}" for i in range(arity))
+        copy_rule = _rebuild_with_head(
+            program_rules[0],
+            RelationAtom(target, args),
+            (RelationAtom(view.relation, args),),
+        )
+        rewritten: list[RuleLike] = []
+        replaced = False
+        for rule in out:
+            if rule.head.name == target:
+                if not replaced:
+                    rewritten.append(copy_rule)
+                    replaced = True
+            else:
+                rewritten.append(rule)
+        out = rewritten
+        mentioned.add(view.relation)
+        result.stats.view_rewrites += 1
+        result.diagnostics.append(
+            Diagnostic(
+                "CQL043",
+                f"predicate {target} is containment-equivalent to "
+                f"materialized view {view.relation!r}; rules replaced by a "
+                f"copy rule reading the view",
+                predicate=target,
+                hint=f"{target}({', '.join(args)}) :- {view.relation}({', '.join(args)}).",
+            )
+        )
+    return out
+
+
+def _match_view(
+    rules: Sequence[RuleLike],
+    idbs: set[str],
+    view: ViewDefinition,
+    theory: TheoryLike,
+    stats: SemanticStats,
+) -> tuple[str, list[RuleLike]] | None:
+    """The (predicate, its rules) a view answers, or None."""
+    for predicate in sorted(idbs):
+        if predicate != view.predicate and not _rename_ok(view, predicate):
+            continue
+        program_rules = [r for r in rules if r.head.name == predicate]
+        if not program_rules or any(has_negation(r) for r in program_rules):
+            continue
+        other_idbs = idbs - {predicate}
+        if any(
+            atom.name in other_idbs
+            for r in program_rules
+            for atom in positive_atoms(r)
+        ):
+            continue
+        renamed: list[RuleLike] = []
+        for rule in view.rules:
+            fixed = _rename_predicate(rule, view.predicate, predicate)
+            if fixed is None:
+                break
+            renamed.append(fixed)
+        else:
+            if _rule_sets_equivalent(program_rules, renamed, theory, stats):
+                return predicate, program_rules
+    return None
+
+
+def _rename_ok(view: ViewDefinition, predicate: str) -> bool:
+    """Whether renaming the view predicate to ``predicate`` is well-formed."""
+    names = {view.predicate}
+    for rule in view.rules:
+        names.add(rule.head.name)
+        for atom in positive_atoms(rule):
+            names.add(atom.name)
+    return predicate not in names - {view.predicate}
+
+
+def _rename_predicate(
+    rule: RuleLike, old: str, new: str
+) -> RuleLike | None:
+    """The rule with every occurrence of predicate ``old`` renamed to ``new``."""
+    if has_negation(rule):
+        return None
+    if old == new:
+        return rule
+
+    def fix(atom: RelationAtom) -> RelationAtom:
+        return RelationAtom(new, atom.args) if atom.name == old else atom
+
+    head = fix(rule.head)
+    body = tuple(
+        fix(lit) if isinstance(lit, RelationAtom) else lit for lit in rule.body
+    )
+    return _rebuild_with_head(rule, head, body)
+
+
+def _rebuild_with_head(
+    rule: RuleLike, head: RelationAtom, body: tuple[object, ...]
+) -> RuleLike:
+    return type(rule)(head, body)
+
+
+def _rule_sets_equivalent(
+    left: Sequence[RuleLike],
+    right: Sequence[RuleLike],
+    theory: TheoryLike,
+    stats: SemanticStats,
+) -> bool:
+    """Pairwise containment equivalence of two same-head rule sets."""
+    for a, b in ((left, right), (right, left)):
+        for rule in a:
+            if not any(
+                _checked_containment(rule, other, theory, stats) is not None
+                for other in b
+            ):
+                return False
+    return True
+
+
+# -------------------------------------------------------------------- driver
+def optimize_program(
+    rules: Sequence[RuleLike],
+    theory: TheoryLike,
+    *,
+    views: Mapping[str, ViewDefinition] | None = None,
+) -> SemanticResult:
+    """Run the five semantic passes over ``rules``; never raises on budget.
+
+    Rules are never mutated; the result's ``rules`` list shares unchanged
+    rule objects with the input.  Per-predicate last rules are preserved
+    (an IDB relation must exist even when provably empty), and a tripped
+    budget keeps whatever consistent prefix of passes completed.
+    """
+    result = SemanticResult(rules=list(rules), original=tuple(rules))
+    passes = [
+        lambda rs: _prune_unsatisfiable(rs, theory, result),
+        lambda rs: _tighten_constraints(rs, theory, result),
+        lambda rs: _eliminate_literals(rs, theory, result),
+        lambda rs: _subsume_rules(rs, theory, result),
+    ]
+    if views:
+        passes.append(lambda rs: _answer_from_views(rs, theory, views, result))
+    current = result.rules
+    for run in passes:
+        try:
+            current = run(list(current))
+        except BudgetExceededError:
+            result.stats.budget_tripped = True
+            break
+        except ReproError:
+            # a malformed program (wrong-theory atoms, bad arities, ...) is
+            # not the optimizer's to reject: evaluation or the pre-flight
+            # will surface the real error.  Keep the passes that completed.
+            break
+    result.rules = list(current)
+    return result

@@ -83,6 +83,10 @@ HELP = """commands:
                           also reports the rule-compiler plan-cache state)
   .plan RULE              pretty-print the lowered IR for a rule, by head
                           predicate name or 1-based position in .list order
+  .analyze                semantic analysis of the accumulated rules:
+                          subsumption, literal elimination, constraint
+                          tightening, unsat pruning (CQL040-range report
+                          plus the minimized rule set; report-only)
   .show R                 print a relation
   .list                   list relations and rules
   .help                   this text
@@ -133,6 +137,9 @@ class Shell:
             return True
         if line == ".run":
             self._run_rules()
+            return True
+        if line == ".analyze":
+            self._analyze()
             return True
         if line == ".view":
             self._view("")
@@ -446,6 +453,42 @@ class Shell:
             f"-{stats.ivm_derived_removed} derived tuples "
             f"in {stats.ivm_maintain_seconds:.4f}s"
         )
+
+    def _analyze(self) -> None:
+        from repro.analysis.semantic import CONTAINMENT_THEORIES, optimize_program
+
+        if not self.rules:
+            self.write("no rules; add some with .rule")
+            return
+        result = optimize_program(self.rules, self.theory)
+        stats = result.stats
+        self.write(
+            f"semantic analysis over {self.theory_name}: "
+            f"{len(result.original)} rule(s) -> {len(result.rules)} rule(s)"
+        )
+        if self.theory_name not in CONTAINMENT_THEORIES:
+            self.write(
+                f"  (containment is undecided for {self.theory_name}: the "
+                "subsumption/minimization passes are no-ops)"
+            )
+        self.write(
+            f"  subsumed={stats.rules_subsumed} "
+            f"literals_eliminated={stats.literals_eliminated} "
+            f"constraints_tightened={stats.constraints_tightened} "
+            f"unsat_removed={stats.unsat_rules_removed} "
+            f"containment_checks={stats.containment_checks} "
+            f"({stats.containment_seconds:.4f}s)"
+        )
+        if stats.budget_tripped:
+            self.write("  budget exhausted mid-analysis: partial report")
+        for diagnostic in result.diagnostics:
+            self.write(f"  {diagnostic.render()}")
+        if result.changed:
+            self.write("minimized rules:")
+            for rule in result.rules:
+                self.write(f"  {rule}")
+        else:
+            self.write("no rewrites: the program is already minimal")
 
     def _plan(self, selector: str) -> None:
         from repro.core.compile import render_plan

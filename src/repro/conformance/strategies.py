@@ -110,6 +110,14 @@ ABLATION_GRID: tuple[tuple[str, EngineOptions], ...] = (
     # distinct from parallel_forced so the two strategies stay independent)
     ("compiled_off", replace(EngineOptions.all_on(), compile_rules=False)),
     ("compiled_forced", replace(EngineOptions.all_on(), parallel_workers=2)),
+    # the semantic-optimizer differential pair: semantic_off is the
+    # unrewritten oracle (the auto-generated no_optimize_semantic ablation
+    # under its acceptance-criterion name) -- any fixpoint difference against
+    # all_on means a containment rewrite changed program semantics
+    (
+        "semantic_off",
+        replace(EngineOptions.all_on(), optimize_semantic=False),
+    ),
 )
 
 

@@ -164,6 +164,13 @@ class EngineOptions:
     #: cached in the process-wide PlanCache; off, the interpreted join is the
     #: differential oracle the compiled path is checked against
     compile_rules: bool = True
+    #: run the containment-based semantic optimizer
+    #: (:mod:`repro.analysis.semantic`) at program construction: subsumed
+    #: rules, redundant literals and unsatisfiable rules are removed and
+    #: constraints canonicalized *before* the PlanCache key is computed, so
+    #: minimized programs cache-hit.  Fixpoint-preserving by construction
+    #: (no-op for the polynomial theory, where containment is undecided).
+    optimize_semantic: bool = True
     #: run the repro.analysis pre-flight at construction time and raise
     #: StaticAnalysisError on error diagnostics.  Not a perf flag, so it is
     #: deliberately absent from ``as_dict`` (the ablation grid).
@@ -193,6 +200,7 @@ class EngineOptions:
             index_probes=False,
             parallel=False,
             compile_rules=False,
+            optimize_semantic=False,
         )
 
     def as_dict(self) -> dict[str, bool]:
@@ -206,6 +214,7 @@ class EngineOptions:
             "index_probes": self.index_probes,
             "parallel": self.parallel,
             "compile_rules": self.compile_rules,
+            "optimize_semantic": self.optimize_semantic,
         }
 
 
@@ -268,6 +277,16 @@ class EvaluationStats:
     ivm_count_clamps: int = 0
     ivm_recomputed_strata: int = 0
     ivm_maintain_seconds: float = 0.0
+    #: semantic-optimizer outcomes (:mod:`repro.analysis.semantic`), copied
+    #: from the program's construction-time rewrite into every evaluation's
+    #: stats.  Deliberately absent from ``_MERGE_FIELDS``: they describe the
+    #: program, not per-round work, so folding worker/apply stats would
+    #: double-count them.
+    semantic_rules_subsumed: int = 0
+    semantic_literals_eliminated: int = 0
+    semantic_view_rewrites: int = 0
+    semantic_containment_checks: int = 0
+    semantic_containment_seconds: float = 0.0
     per_round_new: list[int] = field(default_factory=list)
     #: True when a budget tripped in ``partial_results="fringe"`` mode and
     #: the returned database is the last sound under-approximation
@@ -338,6 +357,11 @@ class EvaluationStats:
             "ivm_count_clamps": self.ivm_count_clamps,
             "ivm_recomputed_strata": self.ivm_recomputed_strata,
             "ivm_maintain_seconds": self.ivm_maintain_seconds,
+            "semantic_rules_subsumed": self.semantic_rules_subsumed,
+            "semantic_literals_eliminated": self.semantic_literals_eliminated,
+            "semantic_view_rewrites": self.semantic_view_rewrites,
+            "semantic_containment_checks": self.semantic_containment_checks,
+            "semantic_containment_seconds": self.semantic_containment_seconds,
             "cache_hits": self.cache_hits,
             "per_round_new": list(self.per_round_new),
             "incomplete": self.incomplete,
@@ -495,11 +519,13 @@ class DatalogProgram:
         theory: ConstraintTheory,
         allow_unsafe_recursion: bool = False,
         options: EngineOptions | None = None,
+        views: "dict[str, object] | None" = None,
     ) -> None:
         self.rules = list(rules)
         self.theory = theory
         self.allow_unsafe_recursion = allow_unsafe_recursion
         self.options = options if options is not None else EngineOptions()
+        self.semantic_report = None
         self._check_arities()
         # the closure condition lives in repro.analysis.closure (single
         # source of truth, shared with the CQL010 lint pass)
@@ -507,6 +533,20 @@ class DatalogProgram:
 
         if not allow_unsafe_recursion and not_closed_recursion(self.rules, theory):
             raise NotClosedError(NOT_CLOSED_MESSAGE)
+        # the semantic optimizer rewrites self.rules *before* any PlanCache
+        # fetch (the cache keys on the rewritten fingerprint, so minimized
+        # programs cache-hit) and before the analysis pre-flight (which then
+        # sees the program it will actually run).  ``views`` maps exported
+        # relation names to repro.analysis.semantic.ViewDefinition; None
+        # means "no view answerability" (the ivm registry passes them in).
+        if self.options.optimize_semantic and self.rules:
+            from repro.analysis.semantic import optimize_program
+
+            report = optimize_program(self.rules, theory, views=views)
+            if report.changed:
+                self.rules = list(report.rules)
+                self._check_arities()
+            self.semantic_report = report
         if self.options.analyze:
             self._preflight()
 
@@ -659,6 +699,13 @@ class DatalogProgram:
             hits, misses = c.stats.snapshot()
             stats.theory_cache_hits += hits - hits_before
             stats.theory_cache_misses += misses - misses_before
+        if self.semantic_report is not None:
+            semantic = self.semantic_report.stats
+            stats.semantic_rules_subsumed = semantic.rules_subsumed
+            stats.semantic_literals_eliminated = semantic.literals_eliminated
+            stats.semantic_view_rewrites = semantic.view_rewrites
+            stats.semantic_containment_checks = semantic.containment_checks
+            stats.semantic_containment_seconds = semantic.containment_seconds
         return world, stats
 
     def _dispatch(

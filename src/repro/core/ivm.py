@@ -192,8 +192,14 @@ class MaterializedView:
                     )
         #: maintenance options: analysis ran (or not) at program construction,
         #: and the ambient meter installed by ``apply`` covers the budget, so
-        #: sub-programs must not restart their own
-        self._opts = replace(program.options, analyze=False, budget=None)
+        #: sub-programs must not restart their own.  The semantic optimizer
+        #: is forced off for the internal delta/expansion programs: counting
+        #: maintenance depends on *derivation counts*, which subsumption
+        #: removal would change, and delta rules carry non-standard
+        #: semantics the containment argument does not cover.
+        self._opts = replace(
+            program.options, analyze=False, budget=None, optimize_semantic=False
+        )
         self._mode = self._resolve_mode()
         self._strata: list[_Stratum] = (
             self._compute_strata() if self._mode == "incremental" else []
@@ -963,3 +969,92 @@ class MaterializedView:
                 )
             strata.append(stratum)
         return strata
+
+
+# ----------------------------------------------------------------- registry
+class ViewRegistry:
+    """Registered materialized views the semantic optimizer may answer from.
+
+    A view is registered under the *exported relation name* its
+    materialization will carry in evaluation databases.  The registry turns
+    live views into :class:`repro.analysis.semantic.ViewDefinition` records
+    (the optimizer's input) and exports their current fixpoints into a
+    database, so a program constructed with ``DatalogProgram(rules, theory,
+    views=registry.definitions())`` can read the already-maintained answer
+    instead of re-deriving it.
+
+    Only *fresh* views participate: a stale view (budget-degraded) no longer
+    equals its program's fixpoint, so answering from it would be unsound --
+    ``definitions()``/``export_to`` silently skip it until refreshed.  Views
+    deriving more than one IDB predicate are skipped too (the rewrite
+    replaces exactly one predicate's rules with a copy rule).
+    """
+
+    def __init__(self) -> None:
+        self._views: dict[str, MaterializedView] = {}
+
+    def register(self, name: str, view: MaterializedView) -> None:
+        if name in self._views:
+            raise EvaluationError(f"view name {name!r} already registered")
+        self._views[name] = view
+
+    def unregister(self, name: str) -> None:
+        self._views.pop(name, None)
+
+    def clear(self) -> None:
+        self._views.clear()
+
+    def names(self) -> list[str]:
+        return sorted(self._views)
+
+    def get(self, name: str) -> "MaterializedView | None":
+        return self._views.get(name)
+
+    def _eligible(self) -> dict[str, tuple[MaterializedView, str]]:
+        eligible: dict[str, tuple[MaterializedView, str]] = {}
+        for name, view in self._views.items():
+            if view.stale or len(view._idbs) != 1:
+                continue
+            (predicate,) = view._idbs
+            eligible[name] = (view, predicate)
+        return eligible
+
+    def definitions(self) -> "dict[str, object]":
+        """Exported name -> ``ViewDefinition`` for every fresh view."""
+        from repro.analysis.semantic import ViewDefinition
+
+        return {
+            name: ViewDefinition(
+                relation=name,
+                predicate=predicate,
+                rules=tuple(view.program.rules),
+            )
+            for name, (view, predicate) in self._eligible().items()
+        }
+
+    def export_to(self, database: GeneralizedDatabase) -> "dict[str, object]":
+        """Copy fresh views' fixpoints into ``database``; return definitions.
+
+        Each eligible view's derived relation lands under its exported name
+        (existing relations of that name are left alone and the view is
+        skipped -- the caller owns the collision).  The returned mapping is
+        exactly :meth:`definitions` restricted to the exported views, ready
+        to pass as ``DatalogProgram(views=...)``.
+        """
+        from repro.analysis.semantic import ViewDefinition
+
+        exported: dict[str, object] = {}
+        for name, (view, predicate) in self._eligible().items():
+            if name in database:
+                continue
+            database.add_relation(view.relation(predicate).copy(name))
+            exported[name] = ViewDefinition(
+                relation=name,
+                predicate=predicate,
+                rules=tuple(view.program.rules),
+            )
+        return exported
+
+
+#: process-wide registry (PR 8); the shell and tests share it
+VIEW_REGISTRY = ViewRegistry()

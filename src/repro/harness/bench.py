@@ -19,7 +19,10 @@ asserts that *all columns produce the identical fixpoint*, and records
 per-column wall-clock plus the relevant engine counters.  A separate
 ``compile_stats`` record microbenches the PlanCache: cold ``evaluate()``
 setup (cleared cache: fetch + lowering) vs. warm (cache hit), the
-prepared-query pattern the planned server relies on.
+prepared-query pattern the planned server relies on.  A ``semantic_stats``
+record exercises the containment optimizer: dense TC with 25% injected
+redundant rules (optimizer-on vs. off) plus the analysis overhead over the
+redundancy-free program.
 
 ``--check PCT`` turns the suite into a regression gate: the **speedup
 ratios** (all-off / all-on and no-compile / all-on per workload) of the
@@ -36,6 +39,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from dataclasses import replace
 from pathlib import Path
 from typing import Any, Callable, Iterable
 
@@ -281,6 +285,91 @@ def _bench_compile_cache(n: int, repeat: int) -> dict[str, Any]:
     }
 
 
+#: the clean semantic workload: TC plus derived views, no redundancy
+_SEMANTIC_CLEAN_RULES = TC_RULES + """
+U(x, y) :- T(x, y), E(x, y).
+V(x) :- U(x, y).
+W(x) :- V(x).
+W(x) :- T(x, y).
+"""
+
+
+def _bench_semantic(n: int, repeat: int) -> dict[str, Any]:
+    """Semantic-optimizer workload: dense TC with injected redundant rules.
+
+    The redundant program is the clean six-rule TC-plus-views program with
+    two narrowed rule copies injected (25% redundancy) -- each is contained
+    in its unconstrained original, so the containment optimizer must remove
+    exactly the injected rules.  Timing covers program construction *plus*
+    evaluation (the optimizer runs at construction), best-of-N, comparing
+    ``optimize_semantic`` on vs. off over the redundant program (the speedup
+    the rewrite buys) and over the clean program (the analysis overhead when
+    there is nothing to remove: one directly-timed ``optimize_program`` pass
+    relative to the clean construct+evaluate time; the ``--check`` gate caps
+    it at 5%).  Both redundant columns must land on the identical fixpoint.
+    """
+    theory = DenseOrderTheory()
+    injected = 2
+    redundant_rules = _SEMANTIC_CLEAN_RULES + (
+        f"T(x, y) :- E(x, y), x < {3 * n}.\n"
+        f"U(x, y) :- T(x, y), E(x, y), y < {3 * n}.\n"
+    )
+    rounds = max(repeat, 3)
+
+    def timed(text: str, options: EngineOptions) -> tuple[float, Any, Any]:
+        rules = parse_rules(text, theory=theory)
+        best = None
+        world = stats = None
+        for _ in range(rounds):
+            db = _dense_db(n)
+            started = time.perf_counter()
+            program = DatalogProgram(rules, theory, options=options)
+            world, stats = program.evaluate(db)
+            elapsed = time.perf_counter() - started
+            best = elapsed if best is None else min(best, elapsed)
+        return best, world, stats
+
+    on = EngineOptions.all_on()
+    off = replace(EngineOptions.all_on(), optimize_semantic=False)
+    optimized_s, opt_world, opt_stats = timed(redundant_rules, on)
+    unoptimized_s, plain_world, _stats = timed(redundant_rules, off)
+    for target in ("T", "W"):
+        if _fingerprint(opt_world, target) != _fingerprint(plain_world, target):
+            raise BenchError(
+                f"semantic optimizer changed the {target} fixpoint at N={n}"
+            )
+    clean_on_s, _w, _s = timed(_SEMANTIC_CLEAN_RULES, on)
+    clean_off_s, _w, _s = timed(_SEMANTIC_CLEAN_RULES, off)
+    # overhead = one optimize_program pass (the exact cost construction adds)
+    # relative to the clean construct+evaluate time; timed directly rather
+    # than as clean_on - clean_off, which is differential noise at this scale
+    from repro.analysis.semantic import optimize_program
+
+    clean_rules = parse_rules(_SEMANTIC_CLEAN_RULES, theory=theory)
+    analysis_s = None
+    for _ in range(rounds):
+        started = time.perf_counter()
+        optimize_program(clean_rules, theory)
+        elapsed = time.perf_counter() - started
+        analysis_s = elapsed if analysis_s is None else min(analysis_s, elapsed)
+    overhead_pct = analysis_s / max(clean_off_s, 1e-9) * 100
+    return {
+        "workload": "semantic optimizer: dense TC with 25% injected redundant rules",
+        "size": n,
+        "rules_injected": injected,
+        "rules_removed": opt_stats.semantic_rules_subsumed,
+        "containment_checks": opt_stats.semantic_containment_checks,
+        "optimized_s": round(optimized_s, 6),
+        "unoptimized_s": round(unoptimized_s, 6),
+        "speedup_semantic": round(unoptimized_s / max(optimized_s, 1e-9), 3),
+        "clean_on_s": round(clean_on_s, 6),
+        "clean_off_s": round(clean_off_s, 6),
+        "analysis_s": round(analysis_s, 6),
+        "overhead_pct": round(overhead_pct, 2),
+        "identical_fixpoints": True,
+    }
+
+
 def _bench_ivm(sizes: Iterable[int], repeat: int) -> dict[str, Any]:
     """Incremental maintenance vs. from-scratch: one tuple into a dense TC.
 
@@ -419,6 +508,27 @@ def check_regression(
                         f"{name}[N={size}]: maintained-vs-scratch speedup "
                         f"{ratio}x below the 5x floor"
                     )
+        elif name.startswith("semantic_stats"):
+            # absolute gates: every injected redundant rule must be removed,
+            # removing them must not make evaluation slower, and the analysis
+            # overhead on a clean (nothing-to-remove) program is capped at 5%
+            if record.get("rules_removed") != record.get("rules_injected"):
+                failures.append(
+                    f"{name}: removed {record.get('rules_removed')} of "
+                    f"{record.get('rules_injected')} injected redundant rules"
+                )
+            ratio = record.get("speedup_semantic")
+            if not isinstance(ratio, (int, float)) or ratio < 1:
+                failures.append(
+                    f"{name}: redundant-program speedup {ratio}x below 1x "
+                    "(optimizer made evaluation slower)"
+                )
+            overhead = record.get("overhead_pct")
+            if not isinstance(overhead, (int, float)) or overhead > 5:
+                failures.append(
+                    f"{name}: clean-program analysis overhead {overhead}% "
+                    "above the 5% cap"
+                )
     return failures
 
 
@@ -488,6 +598,9 @@ def main(argv: list[str] | None = None) -> int:
             max(profile["dense"]), args.repeat
         ),
         f"ivm_stats[{args.profile}]": _bench_ivm(profile["ivm"], args.repeat),
+        f"semantic_stats[{args.profile}]": _bench_semantic(
+            max(profile["dense"]), args.repeat
+        ),
     }
     for name, payload in records.items():
         record_bench(name, {"profile": args.profile, **payload})

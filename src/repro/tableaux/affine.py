@@ -10,7 +10,7 @@ thereby affine-subspace containment.  All of it is Gaussian elimination with
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Iterable, Mapping, Sequence
+from typing import Callable, Iterable, Mapping, Sequence
 
 #: a linear equation ``sum coeffs[v] * v = constant``
 Equation = tuple[dict[str, Fraction], Fraction]
@@ -112,7 +112,7 @@ class LinearSystem:
         return self.solve_generic(variables, lambda index: Fraction(0))
 
     def solve_generic(
-        self, variables: Sequence[str], free_value
+        self, variables: Sequence[str], free_value: Callable[[int], "Fraction | int"]
     ) -> dict[str, Fraction] | None:
         """A solution with the i-th free variable set to ``free_value(i)``.
 

@@ -16,15 +16,16 @@ two witness databases from the proof.
 
 from __future__ import annotations
 
-import itertools
+from fractions import Fraction
 from typing import Iterator, Sequence
 
 from repro.constraints.dense_order import DenseOrderTheory
 from repro.constraints.real_poly import PolyAtom, RealPolynomialTheory
-from repro.core.datalog import DatalogProgram
+from repro.core.datalog import DatalogProgram, Rule
 from repro.core.generalized import GeneralizedDatabase, GeneralizedRelation
 from repro.errors import ArityError
-from repro.tableaux.affine import LinearSystem, contains
+from repro.runtime.budget import tick
+from repro.tableaux.affine import Equation, LinearSystem, contains, equation
 from repro.tableaux.tableau import TableauQuery, TableauRow
 
 SymbolMapping = dict[str, str]
@@ -41,6 +42,13 @@ def symbol_mappings(
     of ``target`` maps onto a *similarly tagged* row of ``source``.  In
     normal form the cells are distinct variables, so a choice of row images
     determines the mapping with no clashes (Lemma 2.5's proof).
+
+    The enumeration is lazy -- one recursive row choice at a time, one
+    ambient budget ``tick("join")`` per candidate row -- so a consumer that
+    stops early (``find_homomorphism`` returning its first witness) never
+    pays for the full product, and adversarial tableaux with many
+    similarly-tagged rows degrade gracefully under a supervisor budget
+    instead of materializing an exponential choice list.
     """
     if len(target.summary) != len(source.summary):
         return
@@ -55,12 +63,22 @@ def symbol_mappings(
         if not candidates:
             return
         choices.append(candidates)
-    for combination in itertools.product(*choices):
-        mapping: SymbolMapping = dict(zip(target.summary, source.summary))
-        for row, image in zip(target.rows, combination):
+
+    base: SymbolMapping = dict(zip(target.summary, source.summary))
+
+    def extend(index: int, mapping: SymbolMapping) -> Iterator[SymbolMapping]:
+        if index == len(choices):
+            yield dict(mapping)
+            return
+        row = target.rows[index]
+        for image in choices[index]:
+            tick("join")
+            extended = dict(mapping)
             for symbol, image_symbol in zip(row.symbols, image.symbols):
-                mapping[symbol] = image_symbol
-        yield mapping
+                extended[symbol] = image_symbol
+            yield from extend(index + 1, extended)
+
+    yield from extend(0, base)
 
 
 def _apply_mapping(
@@ -80,7 +98,7 @@ def find_homomorphism(
     """
     system = LinearSystem(contained.constraint_equations())
     for mapping in symbol_mappings(container, contained):
-        mapped_equations = []
+        mapped_equations: list[Equation] = []
         ok = True
         for atom in _apply_mapping(container.constraints, mapping):
             if atom.op != "=":
@@ -91,8 +109,6 @@ def find_homomorphism(
                 ok = False
                 break
             coeffs, constant = linear
-            from repro.tableaux.affine import equation
-
             mapped_equations.append(equation(coeffs, -constant))
         if not ok:
             continue
@@ -129,7 +145,9 @@ def evaluate_tableau(
 
 
 # ---------------------------------------------------------------- Theorem 2.8
-def semiinterval_counterexample():
+def semiinterval_counterexample() -> (
+    "tuple[Rule, Rule, GeneralizedDatabase, GeneralizedDatabase]"
+):
     """The two semiinterval queries of the Theorem 2.8 proof.
 
     phi1:  R''(u) :- R'(u), R(x, y), R(y, z), x < 4, z > 4
@@ -141,7 +159,6 @@ def semiinterval_counterexample():
     theory as Datalog rules, plus the two witness databases of the proof.
     """
     from repro.constraints.dense_order import gt, lt
-    from repro.core.datalog import Rule
     from repro.logic.syntax import RelationAtom
 
     phi1 = Rule(
@@ -178,7 +195,7 @@ def semiinterval_counterexample():
     return phi1, phi2, witness1, witness2
 
 
-def rule_output(rule, database: GeneralizedDatabase) -> GeneralizedRelation:
+def rule_output(rule: Rule, database: GeneralizedDatabase) -> GeneralizedRelation:
     """Evaluate a single nonrecursive rule over a database."""
     program = DatalogProgram([rule], database.theory)
     world, _ = program.evaluate(database)
@@ -187,7 +204,7 @@ def rule_output(rule, database: GeneralizedDatabase) -> GeneralizedRelation:
 
 def canonical_database(
     query: TableauQuery, theory: RealPolynomialTheory | None = None
-) -> tuple[GeneralizedDatabase, dict[str, "Fraction"]] | None:
+) -> tuple[GeneralizedDatabase, dict[str, Fraction]] | None:
     """The *frozen* canonical database of a tableau (the Lemma 2.5 witness).
 
     Solve the constraint system C for one satisfying valuation theta, and
@@ -198,8 +215,6 @@ def canonical_database(
 
     Returns None when C is inconsistent (the query is empty).
     """
-    from fractions import Fraction
-
     theory = theory or RealPolynomialTheory()
     system = LinearSystem(query.constraint_equations())
     if not system.consistent:

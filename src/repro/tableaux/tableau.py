@@ -18,12 +18,16 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 from repro.constraints.real_poly import PolyAtom, poly_eq
 from repro.errors import ArityError
 from repro.logic.syntax import RelationAtom
 from repro.poly.polynomial import Polynomial
+
+if TYPE_CHECKING:  # deferred: tableau <-> engine imports stay lazy at runtime
+    from repro.core.datalog import Rule
+    from repro.tableaux.affine import Equation
 
 
 @dataclass(frozen=True)
@@ -71,11 +75,11 @@ class TableauQuery:
             grouped.setdefault(row.tag, []).append(row)
         return grouped
 
-    def constraint_equations(self):
+    def constraint_equations(self) -> "list[Equation]":
         """The constraints as affine equations (raises if not linear ``= 0``)."""
         from repro.tableaux.affine import equation
 
-        equations = []
+        equations: list[Equation] = []
         for atom in self.constraints:
             if atom.op != "=":
                 raise ArityError(f"{atom} is not an equation")
@@ -87,7 +91,7 @@ class TableauQuery:
         return equations
 
     # ------------------------------------------------------------- as a rule
-    def as_rule(self, head_name: str | None = None):
+    def as_rule(self, head_name: str | None = None) -> "Rule":
         """The tableau as a nonrecursive Datalog rule."""
         from repro.core.datalog import Rule
 
@@ -142,7 +146,7 @@ def normalize(
     new_rows = tuple(
         TableauRow(tag, tuple(cell(s) for s in symbols)) for tag, symbols in rows
     )
-    renamed_constraints = []
+    renamed_constraints: list[PolyAtom] = []
     for atom in constraints:
         mapping = {
             original: fresh for original, fresh in first_occurrence.items()
