@@ -158,6 +158,15 @@ def strategies_for(spec: CaseSpec) -> list[Strategy]:
         routes.append(
             Strategy("incremental_chaos", _incremental_runner(churn=2))
         )
+        # multi-process sharded evaluation: replay the case through the
+        # worker pool and demand a *byte-identical* fixpoint against the
+        # serial engine; the chaos variant additionally kills workers
+        # mid-round (supervised restart + re-dispatch must not change a
+        # single tuple)
+        routes.append(Strategy("sharded", _sharded_runner(process_chaos=False)))
+        routes.append(
+            Strategy("sharded_chaos", _sharded_runner(process_chaos=True))
+        )
         return routes
     if spec.kind == "qe":
         return [
@@ -333,6 +342,82 @@ def _incremental_runner(churn: int) -> Callable[[CaseSpec], GeneralizedRelation]
             return result
         finally:
             view.close()
+
+    return run
+
+
+class ShardedDivergenceError(Exception):
+    """The sharded fixpoint differed from serial, byte for byte."""
+
+
+def _sharded_runner(
+    process_chaos: bool,
+) -> Callable[[CaseSpec], GeneralizedRelation]:
+    """Multi-process sharded evaluation, differentially byte-checked.
+
+    Runs the case twice from fresh builds -- once on the serial engine,
+    once through the :class:`~repro.runtime.cluster.ShardedExecutor`
+    (``force=True`` so even single-shard rounds cross the process
+    boundary) -- and raises :class:`ShardedDivergenceError` unless every
+    relation's *insertion order* matches tuple for tuple.  With
+    ``process_chaos`` a seeded :class:`ProcessFaultPolicy` kills workers
+    mid-round; supervised restart and re-dispatch must leave the bytes
+    unchanged.  Pool-level degradation (the engine falling back to the
+    in-process path) is sound and intentionally *not* an error: the
+    fallback recomputes the round from the synced world.
+    """
+    from repro.runtime.chaos import ProcessFaultPolicy
+    from repro.runtime.cluster import ClusterConfig
+
+    def run(spec: CaseSpec) -> GeneralizedRelation:
+        base = replace(EngineOptions.all_on(), parallel=False)
+        serial_case = build_case(spec)
+        serial = DatalogProgram(
+            serial_case.rules, serial_case.theory, options=base
+        )
+        world_s, _stats = serial.evaluate(
+            serial_case.database, semantics=spec.semantics
+        )
+        faults = (
+            ProcessFaultPolicy(
+                p=0.08,
+                seed=spec.seed,
+                faults=("worker_kill",),
+                max_consecutive=2,
+            )
+            if process_chaos
+            else None
+        )
+        cluster = ClusterConfig(
+            workers=2,
+            min_slice=2,
+            force=True,
+            max_restarts=6,
+            max_task_retries=4,
+            backoff_base_seconds=0.001,
+            faults=faults,
+        )
+        case = build_case(spec)
+        program = DatalogProgram(
+            case.rules,
+            case.theory,
+            options=replace(base, sharded=True, cluster=cluster),
+        )
+        world_x, _stats_x = program.evaluate(
+            case.database, semantics=spec.semantics
+        )
+        for name in world_s.names():
+            left = world_s.relation(name).tuples()
+            right = world_x.relation(name).tuples()
+            if [t.atoms for t in left] != [t.atoms for t in right]:
+                raise ShardedDivergenceError(
+                    f"sharded fixpoint diverged from serial on {name!r} "
+                    f"(serial {len(left)} tuples, sharded {len(right)})"
+                )
+        result = GeneralizedRelation("result", case.output, case.theory)
+        for item in world_x.relation(spec.target):
+            result.add(item)
+        return result
 
     return run
 

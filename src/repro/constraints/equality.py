@@ -88,6 +88,11 @@ def eq(left: object, right: object) -> EqualityAtom:
     return EqualityAtom("=", _as_eq_term(left), _as_eq_term(right))
 
 
+def _default_fresh(i: int) -> int:
+    """The i-th synthetic domain element: integers counted down from -1."""
+    return -(i + 1)
+
+
 def ne(left: object, right: object) -> EqualityAtom:
     """``left != right``"""
     return EqualityAtom("!=", _as_eq_term(left), _as_eq_term(right))
@@ -142,7 +147,9 @@ class EqualityTheory(ConstraintTheory):
         downward from -1 are used (tests that care can inject a factory).
         """
         super().__init__(cache)
-        self._fresh_factory = fresh_factory or (lambda i: -(i + 1))
+        # module-level default (not a lambda) so the theory pickles across
+        # the sharded executor's process boundary
+        self._fresh_factory = fresh_factory or _default_fresh
 
     def validate_atom(self, atom: Atom) -> None:
         if not isinstance(atom, EqualityAtom):

@@ -330,6 +330,13 @@ class CompiledRule:
         self._root_ctx: Any = None
         self._root_sat: bool | None = None
 
+    def __reduce__(self) -> tuple[Any, ...]:
+        raise TypeError(
+            "CompiledRule is process-local (it holds locks and lowered "
+            "closures); ship the program fingerprint and re-lower in the "
+            "worker instead (see repro.runtime.cluster)"
+        )
+
     # ------------------------------------------------------------ entry cache
     def _record(
         self, item: GeneralizedTuple, args: tuple[str, ...]
@@ -827,9 +834,18 @@ class CompiledProgram:
         self._by_id: dict[int, CompiledRule] = {
             id(rule): self._by_str[str(rule)] for rule in self.rules
         }
+
         #: foreign rule objects registered in _by_id, kept alive so their
         #: ids stay valid keys
         self._pinned: list[Any] = []
+
+    def __reduce__(self) -> tuple[Any, ...]:
+        raise TypeError(
+            "CompiledProgram is process-local (its rules hold locks and "
+            "lowered closures); shard tasks carry the PlanCache program "
+            "fingerprint and workers re-lower locally "
+            "(see repro.runtime.cluster)"
+        )
 
     def compiled_for(self, rule: Any) -> CompiledRule | None:
         compiled = self._by_id.get(id(rule))

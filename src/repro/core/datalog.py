@@ -52,9 +52,11 @@ from repro.errors import (
     NotClosedError,
     StaticAnalysisError,
 )
+from repro.errors import ClusterError
 from repro.indexing.pool import JoinIndexPool
 from repro.logic.syntax import Atom, Not, RelationAtom
 from repro.runtime.budget import Budget, active_meter, metered, tick
+from repro.runtime.cluster import ClusterConfig, ShardedExecutor
 
 
 @dataclass(frozen=True)
@@ -183,6 +185,18 @@ class EngineOptions:
     #: worker-thread count for ``parallel`` (0 = derive from the CPU count).
     #: A sizing knob rather than an optimization, so absent from ``as_dict``.
     parallel_workers: int = 0
+    #: fan each round's shard tasks across a *process* pool
+    #: (:mod:`repro.runtime.cluster`) with a shard-order merge that is
+    #: byte-identical to serial; degrades to the in-process parallel path
+    #: (never an error) when the pool is unavailable or exhausted.  A
+    #: placement strategy rather than a grid optimization, so absent from
+    #: ``as_dict`` like ``parallel_workers``.
+    sharded: bool = False
+    #: worker-process count for ``sharded`` (0 = derive from the CPU count)
+    shard_workers: int = 0
+    #: supervision/liveness/fault-injection knobs for the sharded pool
+    #: (``None``: :class:`repro.runtime.cluster.ClusterConfig` defaults)
+    cluster: ClusterConfig | None = None
 
     @classmethod
     def all_on(cls) -> "EngineOptions":
@@ -287,6 +301,20 @@ class EvaluationStats:
     semantic_view_rewrites: int = 0
     semantic_containment_checks: int = 0
     semantic_containment_seconds: float = 0.0
+    #: sharded execution (:mod:`repro.runtime.cluster`): rounds dispatched
+    #: to the process pool, shard tasks shipped, shards re-dispatched
+    #: (straggler speculation, crash recovery, corrupt-result retries), and
+    #: worker restarts observed by the supervisor
+    shard_rounds: int = 0
+    shard_tasks: int = 0
+    shard_redispatches: int = 0
+    worker_restarts: int = 0
+    #: "" normally; "in-process" when the sharded pool degraded and the
+    #: engine fell back to the thread path (graceful, never an error)
+    shard_fallback: str = ""
+    #: last cluster summary (workers alive/restarted, shards dispatched /
+    #: re-dispatched) when sharded execution ran; None otherwise
+    cluster: dict | None = None
     per_round_new: list[int] = field(default_factory=list)
     #: True when a budget tripped in ``partial_results="fringe"`` mode and
     #: the returned database is the last sound under-approximation
@@ -363,6 +391,12 @@ class EvaluationStats:
             "semantic_containment_checks": self.semantic_containment_checks,
             "semantic_containment_seconds": self.semantic_containment_seconds,
             "cache_hits": self.cache_hits,
+            "shard_rounds": self.shard_rounds,
+            "shard_tasks": self.shard_tasks,
+            "shard_redispatches": self.shard_redispatches,
+            "worker_restarts": self.worker_restarts,
+            "shard_fallback": self.shard_fallback,
+            "cluster": dict(self.cluster) if self.cluster is not None else None,
             "per_round_new": list(self.per_round_new),
             "incomplete": self.incomplete,
             "budget": dict(self.budget) if self.budget is not None else None,
@@ -410,6 +444,13 @@ class EvaluationStats:
         "ivm_count_clamps",
         "ivm_recomputed_strata",
         "ivm_maintain_seconds",
+        # sharded-execution counters: per-shard worker stats never carry
+        # them, but aggregates-of-aggregates (the ivm view's cumulative
+        # stats, harness roll-ups) fold them additively like the rest
+        "shard_rounds",
+        "shard_tasks",
+        "shard_redispatches",
+        "worker_restarts",
     )
 
     def merge(self, other: "EvaluationStats") -> None:
@@ -462,6 +503,8 @@ class _EvalCaches:
         "centries",
         "cscan",
         "cprobe",
+        "sharded_exec",
+        "cluster_dead",
     )
 
     def __init__(
@@ -479,6 +522,11 @@ class _EvalCaches:
             self.pool = pool if pool.supported else None
         self.workers = options.parallel_workers or min(4, os.cpu_count() or 1)
         self._executor: ThreadPoolExecutor | None = None
+        #: the sharded process-pool executor (repro.runtime.cluster),
+        #: created lazily on the first sharded round; ``cluster_dead``
+        #: latches whole-pool degradation for the rest of the evaluation
+        self.sharded_exec: ShardedExecutor | None = None
+        self.cluster_dead = False
         self.compiled: rulecompile.CompiledProgram | None = None
         # entry/scan caches honor the rename-cache ablation flag (they are
         # the compiled path's analogue of the interpreter's rename cache);
@@ -508,6 +556,9 @@ class _EvalCaches:
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
+        if self.sharded_exec is not None:
+            self.sharded_exec.close()
+            self.sharded_exec = None
 
 
 class DatalogProgram:
@@ -994,7 +1045,17 @@ class DatalogProgram:
         :class:`BudgetExceededError` (or chaos fault) resurfaces here after
         all futures settle and flows into the drivers' existing handlers,
         preserving the supervisor's fringe semantics under parallelism.
+
+        With ``options.sharded`` the round is first offered to the
+        multi-process executor (:mod:`repro.runtime.cluster`), whose
+        shard-order merge is byte-identical by the same argument; a
+        declined round (too small to ship) or a degraded pool falls
+        through to the in-process paths below.
         """
+        if self.options.sharded and not caches.cluster_dead and tasks:
+            sharded = self._execute_round_sharded(tasks, world, stats, caches)
+            if sharded is not None:
+                return sharded
         if not self.options.parallel or caches.workers <= 1 or len(tasks) <= 1:
             derived: list[tuple[str, GeneralizedTuple]] = []
             for rule, delta, delta_position in tasks:
@@ -1038,6 +1099,44 @@ class DatalogProgram:
         if error is not None:
             raise error
         return derived
+
+    def _execute_round_sharded(
+        self,
+        tasks: list[tuple[Rule, dict | None, int | None]],
+        world: GeneralizedDatabase,
+        stats: EvaluationStats,
+        caches: _EvalCaches,
+    ) -> list[tuple[str, GeneralizedTuple]] | None:
+        """Offer one round to the process pool; ``None`` = use in-process.
+
+        Degradation ladder: any :class:`ClusterError` (spawn failure,
+        worker exhaustion after bounded restarts, retry budgets spent)
+        latches ``cluster_dead``, tags the stats, and returns ``None`` so
+        the caller re-executes the *whole* round in-process -- sound and
+        deterministic because a round is a pure function of the world and
+        delta, and no partial shard results were merged.  Budget trips
+        inside workers re-raise as :class:`BudgetExceededError` and flow
+        into the drivers' fringe handling unchanged.
+        """
+        executor = caches.sharded_exec
+        if executor is None:
+            try:
+                executor = ShardedExecutor(self, world)
+            except ClusterError:
+                caches.cluster_dead = True
+                stats.shard_fallback = "in-process"
+                return None
+            caches.sharded_exec = executor
+        try:
+            return executor.execute_round(tasks, world, stats)
+        except ClusterError:
+            caches.cluster_dead = True
+            caches.sharded_exec = None
+            executor.degraded = True
+            stats.shard_fallback = "in-process"
+            stats.cluster = executor.summary()
+            executor.close()
+            return None
 
     def _fire_chunk(
         self,

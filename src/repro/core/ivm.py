@@ -197,8 +197,16 @@ class MaterializedView:
         #: maintenance depends on *derivation counts*, which subsumption
         #: removal would change, and delta rules carry non-standard
         #: semantics the containment argument does not cover.
+        #: ``sharded`` is pinned off too: maintenance deltas are small and
+        #: latency-bound, so shipping them to a process pool would cost
+        #: more than the work it parallelizes
         self._opts = replace(
-            program.options, analyze=False, budget=None, optimize_semantic=False
+            program.options,
+            analyze=False,
+            budget=None,
+            optimize_semantic=False,
+            sharded=False,
+            cluster=None,
         )
         self._mode = self._resolve_mode()
         self._strata: list[_Stratum] = (

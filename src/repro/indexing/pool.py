@@ -47,7 +47,10 @@ from fractions import Fraction
 
 from repro.constraints.dense_order import DenseOrderTheory
 from repro.core.generalized import GeneralizedRelation, GeneralizedTuple
-from repro.indexing.generalized_index import GeneralizedIndex1D
+from repro.indexing.generalized_index import (
+    GeneralizedIndex1D,
+    tuple_projection_interval,
+)
 from repro.indexing.interval import Interval
 
 
@@ -191,3 +194,39 @@ class IndexProbeHandle:
             pool.candidates += len(hits)
             pool.scan_avoided += len(relation) - len(hits)
             return hits
+
+
+def shard_hull_key(
+    theory: object, item: GeneralizedTuple
+) -> tuple[str, float] | None:
+    """An affinity key for routing a shard that starts at ``item``.
+
+    The sharded executor (:mod:`repro.runtime.cluster`) range-partitions
+    dense-order work by the hull of each slice's first tuple -- the same
+    projection-interval hull the 1-d index keys on -- so slices covering
+    nearby regions of the order land on the same worker and its theory
+    caches stay hot.  For theories without interval projections (equality,
+    boolean) the key is a stable content hash for hash partitioning.
+
+    Affinity only: the deterministic merge is by shard order, so a key of
+    any quality (or ``None``: round-robin) never affects results.
+    """
+    from zlib import crc32
+
+    from repro.runtime.chaos import unwrap_theory
+
+    base = unwrap_theory(theory)  # type: ignore[arg-type]
+    if isinstance(base, DenseOrderTheory) and item.variables:
+        interval = tuple_projection_interval(item, item.variables[0], base)
+        if interval is not None:
+            low = interval.low
+            high = interval.high
+            if low is not None and high is not None:
+                return ("range", float((low + high) / 2))
+            if low is not None:
+                return ("range", float(low))
+            if high is not None:
+                return ("range", float(high))
+        return None
+    digest = crc32("|".join(sorted(str(a) for a in item.atoms)).encode())
+    return ("hash", float(digest))

@@ -1,0 +1,62 @@
+"""Sharded strategies in the conformance registry, replayed over the corpus.
+
+``sharded`` re-evaluates every datalog case through the multi-process
+executor and raises unless the fixpoint is byte-identical to the serial
+engine; ``sharded_chaos`` does the same while killing workers mid-round.
+The fast replays here run in the default suite; the wider chaos sweep is
+marked ``chaos`` for the nightly job.
+"""
+
+import pytest
+
+from repro.conformance.generators import case_seed, generate_case
+from repro.conformance.strategies import strategies_for
+
+THEORIES = ("dense_order", "equality", "boolean", "real_poly")
+
+
+def _datalog_specs(theory, count, base_seed=0):
+    out = []
+    for index in range(200):
+        spec = generate_case(theory, case_seed(base_seed, theory, index))
+        if spec.kind == "datalog":
+            out.append(spec)
+            if len(out) >= count:
+                break
+    return out
+
+
+def test_registry_contains_sharded_strategies():
+    (spec,) = _datalog_specs("dense_order", 1)
+    names = {route.name for route in strategies_for(spec)}
+    assert "sharded" in names
+    assert "sharded_chaos" in names
+
+
+def test_sharded_absent_outside_datalog():
+    for index in range(200):
+        spec = generate_case("dense_order", case_seed(0, "dense_order", index))
+        if spec.kind != "datalog":
+            names = {route.name for route in strategies_for(spec)}
+            assert "sharded" not in names
+            return
+    pytest.fail("no non-datalog case generated in 200 seeds")
+
+
+@pytest.mark.parametrize("theory", THEORIES)
+def test_sharded_byte_identical_over_corpus(theory):
+    # ShardedDivergenceError inside run() is the failure mode: any
+    # insertion-order difference against the serial engine raises
+    for spec in _datalog_specs(theory, 2):
+        route = next(r for r in strategies_for(spec) if r.name == "sharded")
+        route.run(spec)
+
+
+@pytest.mark.chaos
+@pytest.mark.parametrize("theory", THEORIES)
+def test_sharded_chaos_byte_identical_over_corpus(theory):
+    for spec in _datalog_specs(theory, 4, base_seed=7):
+        route = next(
+            r for r in strategies_for(spec) if r.name == "sharded_chaos"
+        )
+        route.run(spec)

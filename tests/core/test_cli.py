@@ -254,3 +254,36 @@ class TestViewCommand:
         ])
         assert "STALE" in output
         assert "error:" in output  # StaleViewError surfaced as a shell error
+
+
+class TestWorkersCommand:
+    def test_workers_toggle_and_engine_report(self):
+        output = run([".workers 2", ".engine", ".workers 0", ".engine"])
+        assert "sharding on" in output
+        assert "cluster: sharded over 2 worker process(es)" in output
+        assert "sharding off" in output
+        assert "cluster: off (in-process evaluation)" in output
+
+    def test_workers_usage(self):
+        output = run([".workers", ".workers nope", ".workers -3"])
+        assert output.count("usage: .workers N") == 3
+
+    def test_sharded_run_reports_cluster_state(self):
+        output = run([
+            ".relation E(x, y)",
+            ".point E: 1, 2",
+            ".point E: 2, 3",
+            ".point E: 3, 4",
+            ".rule T(x, y) :- E(x, y).",
+            ".rule T(x, y) :- T(x, z), E(z, y).",
+            ".workers 2",
+            ".run",
+            ".engine",
+        ])
+        assert "sharded round(s)" in output
+        assert "shard(s) dispatched" in output
+        assert "workers [live, live]" in output
+
+    def test_help_mentions_workers(self):
+        output = run([".help"])
+        assert ".workers N" in output

@@ -16,7 +16,14 @@ def sink(tmp_path, monkeypatch):
 
 
 #: a tiny profile so the suite stays fast under pytest
-_TINY = {"dense": [6, 8], "equality": [6], "boolean": 4, "econfig": 8, "ivm": [8]}
+_TINY = {
+    "dense": [6, 8],
+    "equality": [6],
+    "boolean": 4,
+    "econfig": 8,
+    "ivm": [8],
+    "sharded": 8,
+}
 
 
 class TestBenchSuite:
@@ -53,6 +60,10 @@ class TestBenchSuite:
         assert cell["identical_fixpoints"] is True
         assert cell["maintained_s"] > 0 and cell["scratch_s"] > 0
         assert cell["ivm_derived_added"] == max(_TINY["ivm"]) + 1
+        sharded = records["sharded_stats[smoke]"]
+        assert sharded["identical_fixpoints"] is True
+        assert sharded["degraded"] is False
+        assert sharded["shard_rounds"] > 0
 
     def test_check_passes_against_own_baseline(self, sink, monkeypatch):
         monkeypatch.setitem(bench.PROFILES, "smoke", _TINY)

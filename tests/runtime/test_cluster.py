@@ -1,0 +1,521 @@
+"""Sharded multi-process evaluation: determinism, supervision, recovery.
+
+The determinism matrix replays the same program under the sharded executor
+and the serial engine across all four constraint theories and all four
+evaluation semantics (naive, semi-naive, inflationary, stratified) and
+demands *byte-identical* fixpoints -- same tuples in the same insertion
+order.  The robustness tests inject process-level faults (worker kills,
+dropped and corrupted results, heartbeat stalls) and assert that recovery
+never changes the answer; exhaustion degrades to the in-process path, and
+worker-side budget trips surface as the ordinary tagged fringe.
+"""
+
+import pickle
+import pytest
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.boolean_algebra.algebra import FreeBooleanAlgebra
+from repro.boolean_algebra.terms import BConst, BVar, BXor
+from repro.constraints.boolean import BooleanTheory
+from repro.constraints.dense_order import DenseOrderTheory
+from repro.constraints.equality import EqualityTheory
+from repro.constraints.real_poly import RealPolynomialTheory
+from repro.poly.polynomial import poly_var
+from repro.core.datalog import DatalogProgram, EngineOptions, EvaluationStats
+from repro.core.generalized import GeneralizedDatabase
+from repro.errors import BudgetExceededError, ClusterError, WorkerCrashError
+from repro.logic.parser import parse_rules
+from repro.runtime.budget import Budget, ResourceReport
+from repro.runtime.chaos import PROCESS_FAULTS, ProcessFaultPolicy
+from repro.runtime.cluster import ClusterConfig, ShardTask
+from repro.workloads.equalities import random_equality_database
+from repro.workloads.orders import chain_edges
+
+#: tiny pool tuned for the test matrix: two workers, every delta slice
+#: shippable, even single-shard rounds routed through the pool
+TINY = ClusterConfig(workers=2, min_slice=1, force=True)
+
+#: transitive closure + a three-way join + stratified unreachability --
+#: enough distinct tasks per round to genuinely shard, with negation so
+#: the inflationary/stratified semantics are exercised for real
+TC_RULES = """
+T(x, y) :- E(x, y).
+T(x, y) :- T(x, z), E(z, y).
+S(x, w) :- E(x, y), T(y, z), E(z, w).
+U(x, y) :- V(x), V(y), not T(x, y).
+"""
+
+#: (semi_naive, semantics) pairs: the four evaluation modes of the matrix
+SEMANTICS = (
+    (False, "auto"),  # naive
+    (True, "auto"),  # semi-naive
+    (True, "inflationary"),
+    (True, "stratified"),
+)
+
+
+def _tc_database(theory, n, *, nodes=None):
+    db = chain_edges(n)
+    # chain_edges builds over its own DenseOrderTheory; rebuild over ours
+    rebuilt = GeneralizedDatabase(theory)
+    edge = rebuilt.create_relation("E", ("x", "y"))
+    for item in db.relation("E"):
+        edge.add(item)
+    vertices = rebuilt.create_relation("V", ("x",))
+    for v in nodes or range(1, min(n, 4)):
+        vertices.add_point([v])
+    return rebuilt
+
+
+def _equality_tc_database(theory, count, seed):
+    db = random_equality_database(count, seed=seed, domain=8, name="E")
+    rebuilt = GeneralizedDatabase(theory)
+    edge = rebuilt.create_relation("E", ("x", "y"))
+    for item in db.relation("E"):
+        edge.add(item)
+    vertices = rebuilt.create_relation("V", ("x",))
+    for v in range(3):
+        vertices.add_point([v])
+    return rebuilt
+
+
+def _boolean_database(theory, seed):
+    import random
+
+    rng = random.Random(seed)
+    db = GeneralizedDatabase(theory)
+    edge = db.create_relation("E", ("x", "y"))
+    from repro.boolean_algebra.terms import BNot, BZero
+
+    elements = [BConst("c0"), BNot(BConst("c0")), BZero()]
+    for _ in range(4):
+        a, b = rng.choice(elements), rng.choice(elements)
+        edge.add_tuple(
+            [theory.zero_of(BXor(BVar("x"), a)), theory.zero_of(BXor(BVar("y"), b))]
+        )
+    vertices = db.create_relation("V", ("x",))
+    vertices.add_tuple([theory.zero_of(BXor(BVar("x"), BConst("c0")))])
+    return db
+
+
+def _poly_database(theory, seed):
+    import random
+
+    rng = random.Random(seed)
+    x, y = poly_var("x"), poly_var("y")
+    from repro.constraints.real_poly import poly_eq, poly_le
+
+    db = GeneralizedDatabase(theory)
+    r = db.create_relation("R", ("x", "y"))
+    for _ in range(3):
+        a = rng.randrange(1, 4)
+        b = rng.randrange(-2, 3)
+        r.add_tuple([poly_eq(y, a * x + b)])
+    r.add_tuple([poly_le(x * x, 4), poly_eq(y, 0)])
+    return db
+
+
+#: non-recursive program for the polynomial theory (recursion is refused
+#: by the closure guard) -- three rules so a round still has several tasks
+POLY_RULES = """
+S(x) :- R(x, y), y = 0.
+W(x, y) :- R(x, y), x <= 1.
+Q(y) :- R(x, y), R(y, z).
+"""
+
+
+def _build(theory_name, seed):
+    """(rules, theory, database, derived-relation-names) per theory."""
+    if theory_name == "dense_order":
+        theory = DenseOrderTheory()
+        rules = parse_rules(TC_RULES, theory=theory)
+        return rules, theory, _tc_database(theory, 6 + seed % 5), ("T", "S", "U")
+    if theory_name == "equality":
+        theory = EqualityTheory()
+        rules = parse_rules(TC_RULES, theory=theory)
+        return rules, theory, _equality_tc_database(theory, 5, seed), ("T", "S", "U")
+    if theory_name == "boolean":
+        # boolean constraints are not closed under negation (Section 5):
+        # the boolean leg of the matrix stays positive Datalog
+        theory = BooleanTheory(FreeBooleanAlgebra.with_generators(1))
+        rules = parse_rules(
+            """
+            T(x, y) :- E(x, y).
+            T(x, y) :- T(x, z), E(z, y).
+            B(x) :- E(x, y), E(y, x).
+            """,
+            theory=theory,
+        )
+        return rules, theory, _boolean_database(theory, seed), ("T", "B")
+    theory = RealPolynomialTheory()
+    rules = parse_rules(POLY_RULES, theory=theory)
+    return rules, theory, _poly_database(theory, seed), ("S", "W", "Q")
+
+
+def _evaluate(rules, theory, db, *, semi_naive, semantics, cluster=None, **kw):
+    options = EngineOptions(**kw) if cluster is None else EngineOptions(
+        sharded=True, cluster=cluster, **kw
+    )
+    program = DatalogProgram(rules, theory, options=options)
+    return program.evaluate(db, semi_naive=semi_naive, semantics=semantics)
+
+
+def _bytes(world, names):
+    return {name: world.relation(name).tuples() for name in names}
+
+
+class TestDeterminismMatrix:
+    """Sharded == serial, byte for byte, across theories x semantics."""
+
+    @pytest.mark.parametrize(
+        "theory_name", ["dense_order", "equality", "boolean", "real_poly"]
+    )
+    @given(data=st.data())
+    @settings(
+        max_examples=2,
+        deadline=None,
+        suppress_health_check=[
+            HealthCheck.too_slow,
+            HealthCheck.function_scoped_fixture,
+        ],
+    )
+    def test_sharded_matches_serial(self, theory_name, data):
+        seed = data.draw(st.integers(min_value=0, max_value=2**16))
+        semi_naive, semantics = data.draw(st.sampled_from(SEMANTICS))
+        rules, theory, db, names = _build(theory_name, seed)
+        world_s, _ = _evaluate(
+            rules, theory, db, semi_naive=semi_naive, semantics=semantics
+        )
+        rules2, theory2, db2, _names = _build(theory_name, seed)
+        world_x, stats = _evaluate(
+            rules2,
+            theory2,
+            db2,
+            semi_naive=semi_naive,
+            semantics=semantics,
+            cluster=TINY,
+        )
+        assert _bytes(world_x, names) == _bytes(world_s, names)
+        assert stats.shard_rounds > 0
+        assert not stats.shard_fallback
+
+    def test_counter_parity_with_serial(self):
+        # shard-local meters merge back: join/firing totals match serial
+        theory = DenseOrderTheory()
+        rules = parse_rules(TC_RULES, theory=theory)
+        world_s, stats_s = _evaluate(
+            rules, theory, _tc_database(theory, 10), semi_naive=True, semantics="auto"
+        )
+        world_x, stats_x = _evaluate(
+            parse_rules(TC_RULES, theory=DenseOrderTheory()),
+            DenseOrderTheory(),
+            _tc_database(DenseOrderTheory(), 10),
+            semi_naive=True,
+            semantics="auto",
+            cluster=TINY,
+        )
+        assert _bytes(world_x, ("T", "S", "U")) == _bytes(world_s, ("T", "S", "U"))
+        assert stats_x.join_steps == stats_s.join_steps
+        assert stats_x.rule_firings == stats_s.rule_firings
+
+    def test_unforced_single_shard_rounds_stay_in_process(self):
+        # one rule + tiny deltas: every round is a single shard, and an
+        # unforced pool declines it -- in-process path, no fallback tag
+        # (declining is placement, not degradation)
+        theory = DenseOrderTheory()
+        cfg = ClusterConfig(workers=2, min_slice=10_000, force=False)
+        single = "T(x, y) :- E(x, y)."
+        world, stats = _evaluate(
+            parse_rules(single, theory=theory),
+            theory,
+            _tc_database(theory, 6),
+            semi_naive=True,
+            semantics="auto",
+            cluster=cfg,
+        )
+        reference, _ = _evaluate(
+            parse_rules(single, theory=DenseOrderTheory()),
+            DenseOrderTheory(),
+            _tc_database(DenseOrderTheory(), 6),
+            semi_naive=True,
+            semantics="auto",
+        )
+        assert stats.shard_rounds == 0
+        assert not stats.shard_fallback
+        assert _bytes(world, ("T",)) == _bytes(reference, ("T",))
+
+
+@pytest.mark.chaos
+class TestProcessFaults:
+    def _run_with_faults(self, faults, n=8, **cfg_kw):
+        theory = DenseOrderTheory()
+        knobs = dict(
+            workers=2,
+            min_slice=1,
+            force=True,
+            max_restarts=10,
+            max_task_retries=4,
+            backoff_base_seconds=0.001,
+            faults=faults,
+        )
+        knobs.update(cfg_kw)
+        cfg = ClusterConfig(**knobs)
+        rules = parse_rules(TC_RULES, theory=theory)
+        world, stats = _evaluate(
+            rules,
+            theory,
+            _tc_database(theory, n),
+            semi_naive=True,
+            semantics="auto",
+            cluster=cfg,
+        )
+        reference, _ = _evaluate(
+            parse_rules(TC_RULES, theory=DenseOrderTheory()),
+            DenseOrderTheory(),
+            _tc_database(DenseOrderTheory(), n),
+            semi_naive=True,
+            semantics="auto",
+        )
+        assert _bytes(world, ("T", "S", "U")) == _bytes(reference, ("T", "S", "U"))
+        return stats
+
+    def test_worker_kill_recovers_identically(self):
+        stats = self._run_with_faults(
+            ProcessFaultPolicy(p=0.2, seed=7, faults=("worker_kill",))
+        )
+        assert stats.worker_restarts > 0
+        assert stats.shard_redispatches > 0
+        assert not stats.shard_fallback
+
+    def test_dropped_and_corrupt_results_redispatched(self):
+        stats = self._run_with_faults(
+            ProcessFaultPolicy(
+                p=0.25, seed=3, faults=("drop_result", "corrupt_result")
+            ),
+            # dropped results only resurface via the straggler clock; keep
+            # it above single-core scheduling jitter so healthy shards are
+            # not speculated into retry exhaustion
+            straggler_timeout=1.0,
+            max_task_retries=6,
+        )
+        assert stats.shard_redispatches > 0
+        assert not stats.shard_fallback
+
+    def test_heartbeat_stall_triggers_speculation(self):
+        stats = self._run_with_faults(
+            ProcessFaultPolicy(
+                p=0.2, seed=5, faults=("heartbeat_stall",), stall_seconds=1.5
+            ),
+            n=6,
+            straggler_timeout=0.5,
+            liveness_timeout=10.0,
+        )
+        # first-valid-wins: stalled originals may still land after the
+        # speculative copy; either way the fixpoint above is identical
+        assert stats.shard_redispatches > 0
+
+    def test_exhaustion_degrades_without_error(self):
+        stats = self._run_with_faults(
+            ProcessFaultPolicy(p=1.0, seed=1, faults=("worker_kill",)),
+            n=6,
+            max_restarts=0,
+        )
+        assert stats.shard_fallback == "in-process"
+        assert stats.cluster is not None
+        assert stats.cluster["degraded"]
+
+
+class TestWorkerBudgets:
+    def test_worker_budget_trip_yields_tagged_fringe(self):
+        theory = DenseOrderTheory()
+        rules = parse_rules(TC_RULES, theory=theory)
+        world, stats = _evaluate(
+            rules,
+            theory,
+            _tc_database(theory, 10),
+            semi_naive=True,
+            semantics="auto",
+            cluster=TINY,
+            budget=Budget(joins=60, partial_results="fringe"),
+        )
+        assert stats.incomplete
+        assert stats.budget["budget_kind"] == "joins"
+        full, _ = _evaluate(
+            parse_rules(TC_RULES, theory=DenseOrderTheory()),
+            DenseOrderTheory(),
+            _tc_database(DenseOrderTheory(), 10),
+            semi_naive=True,
+            semantics="auto",
+        )
+        for name in ("T", "S"):
+            fringe = {t.atoms for t in world.relation(name)}
+            fixpoint = {t.atoms for t in full.relation(name)}
+            assert fringe <= fixpoint
+
+    def test_worker_budget_trip_raises_when_asked(self):
+        theory = DenseOrderTheory()
+        rules = parse_rules(TC_RULES, theory=theory)
+        with pytest.raises(BudgetExceededError) as excinfo:
+            _evaluate(
+                rules,
+                theory,
+                _tc_database(theory, 10),
+                semi_naive=True,
+                semantics="auto",
+                cluster=TINY,
+                budget=Budget(joins=60),
+            )
+        assert excinfo.value.report.budget_kind == "joins"
+
+    @given(
+        limit=st.integers(min_value=1, max_value=50),
+        parts=st.integers(min_value=1, max_value=6),
+        spent=st.integers(min_value=0, max_value=30),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_leases_never_over_grant(self, limit, parts, spent):
+        meter = Budget(joins=limit, partial_results="raise").start()
+        for _ in range(min(spent, limit)):
+            meter.tick("join")
+        remaining = limit - meter.counts.get("join", 0)
+        leases = meter.split_leases(parts)
+        assert len(leases) == parts
+        assert all(lease.joins == remaining // parts for lease in leases)
+        # workers burn their entire lease; the settled sum fits the parent
+        settled = []
+        for lease in leases:
+            child = lease.start()
+            try:
+                for _ in range(lease.joins + 5):
+                    child.tick("join")
+            except BudgetExceededError:
+                pass
+            counts = child.settled_counts()
+            assert counts.get("join", 0) <= lease.joins
+            settled.append(counts)
+        assert sum(c.get("join", 0) for c in settled) <= remaining
+        for counts in settled:
+            meter.absorb(counts)  # never trips: leases cannot over-grant
+
+    def test_rounds_excluded_from_leases(self):
+        meter = Budget(rounds=3, joins=10).start()
+        (lease,) = meter.split_leases(1)
+        assert lease.rounds is None
+        assert lease.joins == 10
+
+
+class TestPolicyDeterminism:
+    def test_decisions_are_deterministic(self):
+        policy = ProcessFaultPolicy(p=0.5, seed=9)
+        first = [policy.decide(r, s, 0) for r in range(6) for s in range(6)]
+        second = [policy.decide(r, s, 0) for r in range(6) for s in range(6)]
+        assert first == second
+        assert any(f is not None for f in first)
+
+    def test_fairness_bound_suppresses_retried_tasks(self):
+        policy = ProcessFaultPolicy(p=1.0, seed=0, max_consecutive=2)
+        assert policy.decide(1, 1, 0) in PROCESS_FAULTS
+        assert policy.decide(1, 1, 2) is None
+        assert policy.decide(1, 1, 5) is None
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            ProcessFaultPolicy(p=1.5)
+        with pytest.raises(ValueError):
+            ProcessFaultPolicy(faults=("bad_fault",))
+
+    def test_cluster_config_validation(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(workers=-1)
+        with pytest.raises(ValueError):
+            ClusterConfig(max_task_retries=0)
+        with pytest.raises(ValueError):
+            ClusterConfig(
+                max_task_retries=1,
+                faults=ProcessFaultPolicy(max_consecutive=2),
+            )
+
+    def test_worker_crash_error_carries_lineage(self):
+        error = WorkerCrashError("w1 exhausted", worker_id=1, restarts=3)
+        assert isinstance(error, ClusterError)
+        assert error.worker_id == 1
+        assert error.restarts == 3
+
+
+class TestWireFormat:
+    def test_resource_report_pickle_round_trip(self):
+        report = ResourceReport(
+            budget_kind="joins",
+            limit=10,
+            used=11,
+            elapsed_seconds=0.5,
+            counts={"join": 11},
+            scope="shard",
+        )
+        clone = pickle.loads(pickle.dumps(report))
+        assert clone == report
+        assert clone.as_dict() == report.as_dict()
+
+    def test_evaluation_stats_pickle_round_trip(self):
+        stats = EvaluationStats(
+            iterations=3,
+            join_steps=17,
+            shard_rounds=2,
+            shard_tasks=9,
+            shard_redispatches=1,
+            worker_restarts=1,
+            shard_fallback="in-process",
+            cluster={"workers": 2, "degraded": True},
+        )
+        clone = pickle.loads(pickle.dumps(stats))
+        assert clone.as_dict() == stats.as_dict()
+
+    def test_shard_task_pickle_round_trip(self):
+        task = ShardTask(
+            round_id=4,
+            shard_id=1,
+            attempt=0,
+            fingerprint=("T(x, y) :- E(x, y).",),
+            rule_index=0,
+            delta_position=0,
+            start=0,
+            stop=8,
+            lease=Budget(joins=5),
+            chaos=None,
+            fault=None,
+            stall_seconds=0.0,
+        )
+        clone = pickle.loads(pickle.dumps(task))
+        assert clone == task
+
+    def test_compiled_rules_refuse_to_pickle(self):
+        from repro.core.compile import CompiledProgram
+
+        theory = DenseOrderTheory()
+        program = DatalogProgram(
+            parse_rules("T(x, y) :- E(x, y).", theory=theory), theory
+        )
+        compiled = CompiledProgram(program)
+        with pytest.raises(TypeError, match="fingerprint"):
+            pickle.dumps(compiled)
+        with pytest.raises(TypeError, match="fingerprint"):
+            pickle.dumps(compiled.compiled_for(program.rules[0]))
+
+
+class TestStatsMerge:
+    def test_shard_counters_are_additive(self):
+        a = EvaluationStats(shard_rounds=1, shard_tasks=4, worker_restarts=1)
+        b = EvaluationStats(
+            shard_rounds=2, shard_tasks=3, shard_redispatches=2, worker_restarts=1
+        )
+        a.merge(b)
+        assert a.shard_rounds == 3
+        assert a.shard_tasks == 7
+        assert a.shard_redispatches == 2
+        assert a.worker_restarts == 2
+
+    def test_fallback_tag_survives_as_dict(self):
+        stats = EvaluationStats(shard_fallback="in-process")
+        assert stats.as_dict()["shard_fallback"] == "in-process"
