@@ -6,7 +6,9 @@
 * ``lint ...``: the cqlint static analyzer
   (``python -m repro lint examples/programs --json --stats``);
 * ``bench ...``: the engine benchmark suite
-  (``python -m repro bench --profile smoke --check 25``).
+  (``python -m repro bench --profile smoke --check 25``);
+* ``query ...``: demand-driven (magic-set) evaluation of one bound query
+  (``python -m repro query program.cql 'T(0, y)' --fact 'E(0, 1)' --json``).
 """
 
 import sys
@@ -26,6 +28,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.harness.bench import main as bench_main
 
         return bench_main(args[1:])
+    if args and args[0] == "query":
+        from repro.core.query import main as query_main
+
+        return query_main(args[1:])
     from repro.cli import main as shell_main
 
     shell_main()

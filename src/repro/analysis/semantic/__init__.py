@@ -12,6 +12,7 @@ from repro.analysis.semantic.containment import (
     CONTAINMENT_THEORIES,
     SATISFIABILITY_THEORIES,
     ContainmentWitness,
+    query_contained_in,
     rule_contained_in,
     rule_unsatisfiable,
 )
@@ -30,6 +31,7 @@ __all__ = [
     "SemanticStats",
     "ViewDefinition",
     "optimize_program",
+    "query_contained_in",
     "rule_contained_in",
     "rule_unsatisfiable",
 ]

@@ -196,6 +196,41 @@ def rule_contained_in(
     return None
 
 
+@dataclass(frozen=True)
+class _PseudoRule:
+    """A minimal :class:`RuleLike` for region-containment questions."""
+
+    head: RelationAtom
+    body: tuple[object, ...]
+
+
+def query_contained_in(
+    contained_atoms: Sequence[Atom],
+    container_atoms: Sequence[Atom],
+    variables: Sequence[str],
+    theory: TheoryLike,
+) -> ContainmentWitness | None:
+    """Decide whether the region ``contained_atoms`` selects lies inside the
+    region of ``container_atoms``, both over the positional ``variables``.
+
+    This is the query-result reuse question of the demand-driven query path
+    (:mod:`repro.core.query`): a cached answer for the *container* bindings
+    can serve a new query with *contained* bindings by re-selection alone.
+    It is the identity-homomorphism specialization of Theorem 2.6, phrased
+    through :func:`rule_contained_in` on two single-atom pseudo-rules
+    ``q(vars) :- base(vars), constraints`` -- the positional head seed forces
+    the identity mapping, leaving exactly the entailment
+    ``contained_atoms |= container_atoms`` to the theory.  Sound but
+    incomplete like the rule check: ``None`` means *undecided*, never
+    "not contained"; only :data:`CONTAINMENT_THEORIES` ever answer.
+    """
+    head = RelationAtom("__query", tuple(variables))
+    base = RelationAtom("__answers", tuple(variables))
+    contained = _PseudoRule(head, (base, *contained_atoms))
+    container = _PseudoRule(head, (base, *container_atoms))
+    return rule_contained_in(contained, container, theory)
+
+
 def rule_unsatisfiable(rule: RuleLike, theory: TheoryLike) -> bool:
     """Whether the rule's constraint conjunction is provably unsatisfiable."""
     if theory.name not in SATISFIABILITY_THEORIES:

@@ -64,7 +64,12 @@ HELP = """commands:
   .relation R(x, y)       declare a generalized relation
   .tuple R: CONSTRAINTS   add a generalized tuple, e.g. .tuple R: 0 <= x and x <= 4
   .point R: v1, v2        add a classical ground tuple
-  .query FORMULA          evaluate a calculus query, e.g. exists x . R(n, x)
+  .query FORMULA          evaluate a query.  A quantifier-free goal naming a
+                          rule head -- .query T(0, y) or .query T(x, y), x < 3
+                          -- runs demand-driven (magic sets): only the cone
+                          relevant to the bindings is derived, no .run needed.
+                          Anything else is a calculus query over the current
+                          database, e.g. exists x . R(n, x)
   .rule HEAD :- BODY.     add a Datalog rule
   .run                    evaluate the accumulated rules to their fixpoint
   .view [on|off|refresh]  maintain the rules as a live materialized view:
@@ -301,6 +306,10 @@ class Shell:
                 for name, value in self.engine.as_dict().items()
             )
             self.write(f"engine: {flags}")
+            self.write(
+                "query path: magic "
+                + ("on" if self.engine.magic else "off (full-fixpoint oracle)")
+            )
             cache = PLAN_CACHE.stats()
             self.write(
                 "plan cache: {entries} compiled program(s), "
@@ -337,6 +346,9 @@ class Shell:
             self.engine = EngineOptions.all_off()
         else:
             known = self.engine.as_dict()
+            # the demand-driven query path is togglable too, though it is
+            # not a fixpoint grid flag (absent from as_dict)
+            known["magic"] = self.engine.magic
             for token in spec.split():
                 name, sep, state = token.partition("=")
                 if not sep or name not in known or state not in ("on", "off"):
@@ -371,12 +383,64 @@ class Shell:
         )
 
     def _query(self, text: str) -> None:
+        if self._magic_query(text):
+            return
         query = parse_query(text, theory=self.theory)
         # a tripped budget raises BudgetExceededError (a ReproError), which
         # the dispatcher surfaces as a plain shell error
         with supervised(self.budget):
             result = evaluate_calculus(query, self.db)
         self.write(str(result))
+
+    def _magic_query(self, text: str) -> bool:
+        """Route a rule-goal query through the demand-driven engine.
+
+        Fires only for quantifier-free goals naming an IDB head of the
+        accumulated rules -- ``.query T(0, y)`` or ``.query T(x, y), x < 3``
+        evaluate just the relevant cone via the magic-set rewrite instead
+        of requiring a full ``.run`` first.  Everything else (calculus
+        formulas, EDB atoms, quantified queries) keeps the calculus path.
+        """
+        rules = self.view.program.rules if self.view is not None else self.rules
+        if not rules or any(word in text for word in ("exists", "forall")):
+            return False
+        from repro.core.magic import parse_goal
+
+        try:
+            goal = parse_goal(text, self.theory)
+        except ReproError:
+            return False
+        if goal.predicate not in {rule.head.name for rule in rules}:
+            return False
+        from dataclasses import replace
+
+        from repro.core.query import Engine
+
+        options = replace(self.engine, budget=self.budget)
+        if self.view is not None:
+            engine = Engine.from_view(self.view, options=options)
+        else:
+            engine = Engine(rules, self.theory, options=options, database=self.db)
+        with supervised(self.budget):
+            result = engine.query(text)
+        self.write(str(result.relation))
+        if result.full_fallback:
+            mode = "full-evaluation fallback"
+        elif not self.engine.magic:
+            mode = "full fixpoint (magic off)"
+        else:
+            mode = f"{result.magic_rules} magic rule(s)"
+        line = (
+            f"-- {len(result)} answer(s) "
+            f"[{goal.predicate}^{result.adornment}, {mode}, "
+            f"cone {result.cone_tuples} tuple(s)]"
+        )
+        if result.fallback_predicates:
+            line += " [full evaluation for negation strata: " + ", ".join(
+                result.fallback_predicates
+            ) + "]"
+        self.write(line)
+        return True
 
     def _run_rules(self) -> None:
         if self.view is not None:

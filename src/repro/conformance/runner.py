@@ -40,7 +40,11 @@ from repro.conformance.generators import (
 from repro.conformance.oracles import Discrepancy, compare_relations
 from repro.conformance.shrinker import shrink
 from repro.conformance.spec import CaseSpec
-from repro.conformance.strategies import ABLATION_GRID, strategies_for
+from repro.conformance.strategies import (
+    ABLATION_GRID,
+    MagicMismatchError,
+    strategies_for,
+)
 from repro.conformance.updates import IncrementalMismatchError
 from repro.errors import BudgetExceededError, TransientTheoryError
 from repro.runtime.budget import Budget, parse_budget_spec, supervised
@@ -257,6 +261,14 @@ def run_case(
             # discrepancy even though the final states might re-agree
             return Discrepancy(
                 reference.name, route.name, "incremental", None, str(error)
+            )
+        except MagicMismatchError as error:
+            # the magic strategies verify demand-driven answers against the
+            # filtered full fixpoint for every derived bound query; any
+            # divergence is a first-class discrepancy even though the
+            # strategy's returned (all-free) relation might still agree
+            return Discrepancy(
+                reference.name, route.name, "magic", None, str(error)
             )
         except Exception as error:  # noqa: BLE001 - reported, not swallowed
             return Discrepancy(

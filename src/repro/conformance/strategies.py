@@ -43,6 +43,7 @@ from repro.conformance.spec import (
     build_case,
     decode_atom,
 )
+from repro.conformance.oracles import compare_relations
 from repro.conformance.updates import IncrementalMismatchError, update_sequence
 from repro.constraints.boolean import BooleanConstraintAtom, BooleanTheory
 from repro.constraints.real_poly import PolyAtom
@@ -52,6 +53,8 @@ from repro.core.datalog import DatalogProgram, EngineOptions
 from repro.core.econfig import evaluate_query_econfig
 from repro.core.generalized import GeneralizedDatabase, GeneralizedRelation
 from repro.core.ivm import MaterializedView
+from repro.core.magic import Binding, MagicQuery, select_answers
+from repro.core.query import Engine
 from repro.core.rconfig import evaluate_query_rconfig
 from repro.logic.syntax import (
     And,
@@ -167,6 +170,12 @@ def strategies_for(spec: CaseSpec) -> list[Strategy]:
         routes.append(
             Strategy("sharded_chaos", _sharded_runner(process_chaos=True))
         )
+        # demand-driven magic-set queries: derive bound queries from the
+        # target's own fixpoint and demand answers identical to the filtered
+        # full fixpoint; the chaos variant keeps the containment-based
+        # result-reuse cache warm across the queries
+        routes.append(Strategy("magic", _magic_runner(reuse=False)))
+        routes.append(Strategy("magic_chaos", _magic_runner(reuse=True)))
         return routes
     if spec.kind == "qe":
         return [
@@ -417,6 +426,118 @@ def _sharded_runner(
         result = GeneralizedRelation("result", case.output, case.theory)
         for item in world_x.relation(spec.target):
             result.add(item)
+        return result
+
+    return run
+
+
+class MagicMismatchError(Exception):
+    """A demand-driven query's answers diverged from the filtered fixpoint."""
+
+
+def _magic_runner(reuse: bool) -> Callable[[CaseSpec], GeneralizedRelation]:
+    """Demand-driven (magic-set) query evaluation, differentially checked.
+
+    Evaluates the full fixpoint once (the oracle), then derives a small
+    deterministic family of queries from the target's first sample point --
+    the all-free query, a constant binding on the first position, an
+    all-positions point query, a repeated-variable query (positions 0 and 1
+    forced equal), and for dense order an interval binding -- and demands
+    that :meth:`repro.core.query.Engine.query` answers every one of them
+    with exactly the oracle's answers filtered by the same bindings
+    (:func:`repro.core.magic.select_answers`, compared with the semantic
+    oracles -- canonical keys are only unique up to the mentioned-variable
+    set, e.g. for boolean tables).  A divergence raises
+    :class:`MagicMismatchError`, which the runner reports as a discrepancy
+    of oracle ``"magic"``.
+
+    With ``reuse`` the engine's containment-based result cache stays warm
+    across the queries -- the all-free query runs first, so every later
+    bound query may legally be answered by cache containment, which is
+    exactly the path under test; without it the cache is cleared before
+    every query so the rewrite-and-evaluate path itself is exercised.  The
+    returned relation is the engine's own all-free answer, comparable
+    against every other datalog strategy through the standard oracles.
+    """
+
+    def normalized(
+        relation: GeneralizedRelation, output: Sequence[str], theory
+    ) -> GeneralizedRelation:
+        over_output = GeneralizedRelation("cmp", output, theory)
+        for item in relation:
+            over_output.add(item)
+        return over_output
+
+    def run(spec: CaseSpec) -> GeneralizedRelation:
+        case = build_case(spec)
+        theory = case.theory
+        oracle = DatalogProgram(
+            case.rules, theory, options=EngineOptions.all_on()
+        )
+        world, _stats = oracle.evaluate(case.database, semantics=spec.semantics)
+        full = world.relation(spec.target)
+        result = GeneralizedRelation("result", case.output, theory)
+        for item in full:
+            result.add(item)
+        if spec.target not in {rule.head.name for rule in case.rules}:
+            return result  # EDB-only target: nothing for a rewrite to do
+        arity = len(case.output)
+        engine = Engine(
+            case.rules,
+            theory,
+            options=EngineOptions.all_on(),
+            database=case.database,
+        )
+        queries = [MagicQuery(spec.target, arity, {})]
+        points = full.sample_points() if arity else []
+        if points:
+            values = [points[0][v] for v in full.variables]
+            queries.append(MagicQuery(spec.target, arity, {0: values[0]}))
+            queries.append(
+                MagicQuery(spec.target, arity, dict(enumerate(values)))
+            )
+            if arity >= 2:
+                queries.append(
+                    MagicQuery(
+                        spec.target,
+                        arity,
+                        {0: values[0]},
+                        equalities=((0, 1),),
+                    )
+                )
+            if spec.theory == "dense_order":
+                queries.append(
+                    MagicQuery(
+                        spec.target,
+                        arity,
+                        {0: Binding.interval(values[0] - 1, values[0] + 1)},
+                    )
+                )
+        answers: GeneralizedRelation | None = None
+        for query in queries:
+            if not reuse:
+                engine.cache.clear()
+            answered = engine.query(query, semantics=spec.semantics)
+            got = normalized(answered.relation, case.output, theory)
+            expected = normalized(
+                select_answers(full, query, theory), case.output, theory
+            )
+            found = compare_relations(
+                expected, got, "full-filter", "magic", spec.theory, spec.m
+            )
+            if found is not None:
+                raise MagicMismatchError(
+                    f"magic answers diverged from the filtered fixpoint on "
+                    f"{spec.target}^{query.adornment}"
+                    + (" (via reuse cache)" if answered.reused else "")
+                    + f": {found.detail}"
+                )
+            if not query.bindings:
+                answers = answered.relation
+        if answers is not None:
+            result = GeneralizedRelation("result", case.output, theory)
+            for item in answers:
+                result.add(item)
         return result
 
     return run

@@ -898,6 +898,14 @@ class PlanCache:
       ``pin_filter``/``incremental_join``/``index_probes`` decisions, so a
       fingerprint re-fetched under different options *invalidates* the
       stale entry (counted, surfaced through ``EvaluationStats``).
+
+    Adorned programs built by the magic-set query path fingerprint like
+    any other program: the rewrite puts binding *values* in the seeded
+    data rather than the rule text, so every query with the same
+    (predicate, adornment, semantics) shape re-fetches one cached entry
+    -- ``T(0, y)`` then ``T(3, y)`` is a warm hit, not a recompile
+    (``repro.core.query.Engine`` additionally memoizes the constructed
+    ``DatalogProgram`` per shape).
     """
 
     def __init__(self, maxsize: int = 256) -> None:

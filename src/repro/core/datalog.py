@@ -197,6 +197,13 @@ class EngineOptions:
     #: supervision/liveness/fault-injection knobs for the sharded pool
     #: (``None``: :class:`repro.runtime.cluster.ClusterConfig` defaults)
     cluster: ClusterConfig | None = None
+    #: demand-driven query evaluation (:mod:`repro.core.query`): rewrite
+    #: bound queries with constraint-generalized magic sets and reuse cached
+    #: answers via containment.  Off, ``Engine.query`` evaluates the full
+    #: fixpoint and filters -- the differential oracle the magic path is
+    #: checked against.  A query-path strategy, not a fixpoint grid flag, so
+    #: deliberately absent from ``as_dict`` like ``sharded``.
+    magic: bool = True
 
     @classmethod
     def all_on(cls) -> "EngineOptions":
@@ -312,6 +319,19 @@ class EvaluationStats:
     #: "" normally; "in-process" when the sharded pool degraded and the
     #: engine fell back to the thread path (graceful, never an error)
     shard_fallback: str = ""
+    #: demand-driven query path (:mod:`repro.core.query`): magic rules
+    #: generated by the rewrite, IDB predicates that fell back to full
+    #: evaluation because their derivation cone contains negation, whether
+    #: the whole plan degraded to full evaluation, the restricted cone's
+    #: tuple count vs the would-be full answer relation, and reuse-cache
+    #: traffic.  Like the semantic_* fields these describe the query plan,
+    #: not per-round work, so they are absent from ``_MERGE_FIELDS``.
+    magic_rules: int = 0
+    magic_fallback_predicates: tuple[str, ...] = ()
+    magic_full_fallback: bool = False
+    magic_cone_tuples: int = 0
+    magic_reuse_hits: int = 0
+    magic_reuse_misses: int = 0
     #: last cluster summary (workers alive/restarted, shards dispatched /
     #: re-dispatched) when sharded execution ran; None otherwise
     cluster: dict | None = None
@@ -396,6 +416,12 @@ class EvaluationStats:
             "shard_redispatches": self.shard_redispatches,
             "worker_restarts": self.worker_restarts,
             "shard_fallback": self.shard_fallback,
+            "magic_rules": self.magic_rules,
+            "magic_fallback_predicates": list(self.magic_fallback_predicates),
+            "magic_full_fallback": self.magic_full_fallback,
+            "magic_cone_tuples": self.magic_cone_tuples,
+            "magic_reuse_hits": self.magic_reuse_hits,
+            "magic_reuse_misses": self.magic_reuse_misses,
             "cluster": dict(self.cluster) if self.cluster is not None else None,
             "per_round_new": list(self.per_round_new),
             "incomplete": self.incomplete,

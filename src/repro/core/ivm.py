@@ -351,6 +351,34 @@ class MaterializedView:
             self._mark_stale("budget exceeded during refresh")
             raise
 
+    def edb_database(self) -> GeneralizedDatabase:
+        """A database *sharing* the view's live EDB relation objects.
+
+        The demand-driven query path (:mod:`repro.core.query`) evaluates
+        bound queries against this database: because the relation objects
+        are shared, every maintained delta bumps their monotone ``version``
+        counters in place, which is exactly the invalidation signal the
+        query-result reuse cache snapshots (:attr:`delta_version`).  Note a
+        :meth:`refresh` rebuilds ``self.world`` with *new* relation objects;
+        callers should re-request this database per query rather than hold
+        one across maintenance generations.
+        """
+        return self._edb_database()
+
+    @property
+    def delta_version(self) -> int:
+        """Monotone counter over every live EDB relation's mutation version.
+
+        Strictly increases whenever any maintained delta (insert *or*
+        retract) lands, so equality of two snapshots certifies the EDB --
+        and hence every cached query answer over it -- is unchanged.
+        """
+        return sum(
+            self.world.relation(name).version
+            for name in self.world.names()
+            if name not in self._idbs
+        )
+
     # ------------------------------------------------------------- internals
     def _enable_theory_caches(self) -> list[tuple[object, bool]]:
         """Mirror ``evaluate``'s theory-cache bracketing for maintenance."""

@@ -22,7 +22,10 @@ setup (cleared cache: fetch + lowering) vs. warm (cache hit), the
 prepared-query pattern the planned server relies on.  A ``semantic_stats``
 record exercises the containment optimizer: dense TC with 25% injected
 redundant rules (optimizer-on vs. off) plus the analysis overhead over the
-redundancy-free program.
+redundancy-free program.  A ``magic_stats`` record times the demand-driven
+query front door (``Engine.query`` of a bound TC query) against
+full-fixpoint-then-filter, asserting byte-identical answers and a warm
+plan-cache hit for the repeated adornment shape.
 
 ``--check PCT`` turns the suite into a regression gate: the **speedup
 ratios** (all-off / all-on and no-compile / all-on per workload) of the
@@ -510,6 +513,71 @@ def _bench_sharded(n: int, repeat: int) -> dict[str, Any]:
     }
 
 
+def _bench_magic(n: int, repeat: int) -> dict[str, Any]:
+    """Demand-driven magic query vs. full-fixpoint-then-filter on dense TC.
+
+    The acceptance workload of the query front door: the bound query
+    ``T(c, y)`` with ``c`` near the end of the N-edge chain only needs the
+    cone reachable from ``c`` -- O(N - c) tuples against the O(N^2) full
+    closure.  The magic column answers through :meth:`repro.core.query.
+    Engine.query` (the result-reuse cache is cleared every round, so the
+    rewrite-and-evaluate path is what gets timed); the oracle column
+    evaluates the full fixpoint and applies the same binding selection.
+    Canonical answer keys must be byte-identical, and the warm repeats must
+    hit the process-wide plan cache -- one compiled plan per adornment
+    shape, because the binding constant lives in the seeded magic data, not
+    the rule text.  The ``--check`` gate enforces the 5x speedup floor,
+    answer identity, and the warm plan-cache hit.
+    """
+    from repro.core.magic import select_answers
+    from repro.core.query import Engine
+
+    theory = DenseOrderTheory()
+    rules = parse_rules(TC_RULES, theory=theory)
+    db = _dense_db(n)
+    bound = n - 4
+    engine = Engine(rules, theory, options=EngineOptions.all_on(), database=db)
+    rounds = max(repeat, 3)
+    magic_s = None
+    result = None
+    for _ in range(rounds):
+        engine.cache.clear()
+        started = time.perf_counter()
+        result = engine.query(f"T({bound}, y)")
+        elapsed = time.perf_counter() - started
+        magic_s = elapsed if magic_s is None else min(magic_s, elapsed)
+    warm_plan_hit = result.stats.compile_hits >= 1
+    program = DatalogProgram(rules, theory, options=EngineOptions.all_on())
+    full_s = None
+    filtered = None
+    full_tuples = 0
+    for _ in range(rounds):
+        started = time.perf_counter()
+        world, _stats = program.evaluate(db)
+        filtered = select_answers(world.relation("T"), result.query, theory)
+        elapsed = time.perf_counter() - started
+        full_s = elapsed if full_s is None else min(full_s, elapsed)
+        full_tuples = len(world.relation("T"))
+    identical = frozenset(result.relation.keys()) == frozenset(filtered.keys())
+    if not identical:
+        raise BenchError(
+            f"magic answers differ from the filtered fixpoint at N={n}"
+        )
+    return {
+        "workload": "demand-driven magic query vs full-fixpoint-then-filter (dense TC)",
+        "size": n,
+        "bound": bound,
+        "query_s": round(magic_s, 6),
+        "full_filter_s": round(full_s, 6),
+        "speedup_magic": round(full_s / max(magic_s, 1e-9), 3),
+        "identical_answers": identical,
+        "magic_rules": result.magic_rules,
+        "cone_tuples": result.cone_tuples,
+        "full_tuples": full_tuples,
+        "warm_plan_hit": warm_plan_hit,
+    }
+
+
 # ------------------------------------------------------------------ checking
 #: smallest chain length at which the ivm_stats 5x floor applies
 _IVM_FLOOR_MIN_N = 32
@@ -624,6 +692,24 @@ def check_regression(
                     f"{name}: sharded speedup {ratio}x below the 3x floor "
                     f"on a {cores}-core recorder"
                 )
+        elif name.startswith("magic_stats"):
+            # absolute gates for the demand-driven query path: a bound TC
+            # query must beat full-fixpoint-then-filter by at least 5x with
+            # byte-identical canonical answers, and the warm repeat of the
+            # same adornment shape must hit the process-wide plan cache
+            if not record.get("identical_answers"):
+                failures.append(
+                    f"{name}: magic answers differ from the filtered fixpoint"
+                )
+            ratio = record.get("speedup_magic")
+            if not isinstance(ratio, (int, float)) or ratio < 5:
+                failures.append(
+                    f"{name}: magic speedup {ratio}x below the 5x floor"
+                )
+            if not record.get("warm_plan_hit"):
+                failures.append(
+                    f"{name}: repeated adornment missed the plan cache"
+                )
     return failures
 
 
@@ -637,6 +723,10 @@ PROFILES = {
         "econfig": 24,
         "ivm": [32],
         "sharded": 32,
+        # the acceptance criterion pins the magic workload at N=64 even in
+        # the smoke profile: the 5x floor is only meaningful against the
+        # quadratic full closure
+        "magic": 64,
     },
     "full": {
         "dense": [16, 32, 64],
@@ -645,6 +735,7 @@ PROFILES = {
         "econfig": 48,
         "ivm": [32, 64],
         "sharded": 64,
+        "magic": 64,
     },
 }
 
@@ -700,6 +791,9 @@ def main(argv: list[str] | None = None) -> int:
         ),
         f"sharded_stats[{args.profile}]": _bench_sharded(
             profile["sharded"], args.repeat
+        ),
+        f"magic_stats[{args.profile}]": _bench_magic(
+            profile["magic"], args.repeat
         ),
     }
     for name, payload in records.items():

@@ -1,0 +1,137 @@
+"""Magic strategies in the conformance registry, plus the query property.
+
+``magic`` derives bound queries from every generated datalog case and
+raises unless :meth:`repro.core.query.Engine.query` agrees with the
+full-fixpoint-then-filter oracle; ``magic_chaos`` does the same with the
+containment-based result-reuse cache kept warm across the queries.  The
+hypothesis property test widens the sweep over the conformance generators
+(every theory, every adornment the strategy derives, negation programs
+falling back); the chaos-marked sweep runs in the nightly job.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.conformance.generators import case_seed, generate_case
+from repro.conformance.strategies import MagicMismatchError, strategies_for
+
+THEORIES = ("dense_order", "equality", "boolean", "real_poly")
+
+
+def _datalog_specs(theory, count, base_seed=0):
+    out = []
+    for index in range(200):
+        spec = generate_case(theory, case_seed(base_seed, theory, index))
+        if spec.kind == "datalog":
+            out.append(spec)
+            if len(out) >= count:
+                break
+    return out
+
+
+def test_registry_contains_magic_strategies():
+    (spec,) = _datalog_specs("dense_order", 1)
+    names = {route.name for route in strategies_for(spec)}
+    assert "magic" in names
+    assert "magic_chaos" in names
+
+
+def test_magic_absent_outside_datalog():
+    for index in range(200):
+        spec = generate_case("dense_order", case_seed(0, "dense_order", index))
+        if spec.kind != "datalog":
+            names = {route.name for route in strategies_for(spec)}
+            assert "magic" not in names
+            return
+    pytest.fail("no non-datalog case generated in 200 seeds")
+
+
+@pytest.mark.parametrize("theory", THEORIES)
+def test_magic_matches_filtered_fixpoint_over_corpus(theory):
+    # MagicMismatchError inside run() is the failure mode: any divergence
+    # between Engine.query and the filtered full fixpoint raises
+    for spec in _datalog_specs(theory, 2):
+        route = next(r for r in strategies_for(spec) if r.name == "magic")
+        route.run(spec)
+
+
+@pytest.mark.parametrize("theory", THEORIES)
+@settings(
+    max_examples=8, deadline=None, suppress_health_check=list(HealthCheck)
+)
+@given(index=st.integers(min_value=0, max_value=400))
+def test_property_query_equals_full_then_filter(theory, index):
+    """The acceptance property, over the conformance generators.
+
+    For every generated datalog case the ``magic`` strategy checks each of
+    its derived bound queries (constant / all-bound / repeated-variable /
+    interval adornments, negation programs included -- those exercise the
+    tagged fallback) against full-fixpoint-then-filter and raises
+    :class:`MagicMismatchError` on the first divergence.
+    """
+    spec = generate_case(theory, case_seed(11, theory, index))
+    if spec.kind != "datalog":
+        return
+    route = next(r for r in strategies_for(spec) if r.name == "magic")
+    route.run(spec)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    edges=st.integers(min_value=1, max_value=5),
+    bound=st.integers(min_value=0, max_value=6),
+)
+def test_negation_fallback_equals_oracle(edges, bound):
+    """Queries landing in a negation stratum degrade to tagged, correct
+    full evaluation (never wrong answers)."""
+    from dataclasses import replace
+
+    from repro.constraints.dense_order import DenseOrderTheory
+    from repro.core.datalog import EngineOptions
+    from repro.core.generalized import GeneralizedDatabase
+    from repro.core.query import Engine
+    from repro.logic.parser import parse_rules
+
+    order = DenseOrderTheory()
+    rules = parse_rules(
+        """
+        T(x, y) :- E(x, y).
+        T(x, z) :- E(x, y), T(y, z).
+        U(x, y) :- V(x), V(y), not T(x, y).
+        """,
+        theory=order,
+    )
+    db = GeneralizedDatabase(order)
+    edge = db.create_relation("E", ("x", "y"))
+    for i in range(edges):
+        edge.add_point([i, i + 1])
+    vertex = db.create_relation("V", ("x",))
+    for i in range(edges + 2):
+        vertex.add_point([i])
+    goal = f"U({bound}, y)"
+    magic = Engine(rules, order, database=db).query(goal)
+    assert magic.full_fallback
+    assert "U" in magic.fallback_predicates
+    oracle = Engine(
+        rules,
+        order,
+        options=replace(EngineOptions(), magic=False),
+        database=db,
+    ).query(goal)
+    assert frozenset(magic.relation.keys()) == frozenset(
+        oracle.relation.keys()
+    )
+
+
+@pytest.mark.chaos
+@pytest.mark.parametrize("theory", THEORIES)
+def test_magic_chaos_reuse_cache_over_corpus(theory):
+    for spec in _datalog_specs(theory, 4, base_seed=7):
+        route = next(
+            r for r in strategies_for(spec) if r.name == "magic_chaos"
+        )
+        route.run(spec)
+
+
+def test_mismatch_error_is_exported():
+    assert issubclass(MagicMismatchError, Exception)

@@ -287,3 +287,58 @@ class TestWorkersCommand:
     def test_help_mentions_workers(self):
         output = run([".help"])
         assert ".workers N" in output
+
+
+class TestMagicQueryRouting:
+    SESSION = [
+        ".relation E(x, y)",
+        ".point E: 0, 1",
+        ".point E: 1, 2",
+        ".point E: 5, 6",
+        ".rule T(x, y) :- E(x, y).",
+        ".rule T(x, y) :- T(x, z), E(z, y).",
+    ]
+
+    def test_goal_routes_through_magic_without_run(self):
+        output = run([*self.SESSION, ".query T(0, y)"])
+        assert "2 answer(s) [T^bf" in output
+        assert "magic rule(s)" in output
+        assert "cone" in output
+
+    def test_constraint_goal_binds_by_interval(self):
+        output = run([*self.SESSION, ".query T(x, y), 4 < x, x < 6"])
+        assert "1 answer(s) [T^bf" in output
+
+    def test_magic_toggle_switches_to_oracle(self):
+        output = run([
+            *self.SESSION,
+            ".engine magic=off",
+            ".query T(0, y)",
+            ".engine",
+        ])
+        assert "full fixpoint (magic off)" in output
+        assert "query path: magic off (full-fixpoint oracle)" in output
+
+    def test_quantified_queries_keep_the_calculus_path(self):
+        output = run([*self.SESSION, ".query exists y . T(0, y) and y < 2"])
+        # the calculus path answers over the *current database* (no rules
+        # run), so the magic status line must not appear
+        assert "cone" not in output
+
+    def test_edb_goal_keeps_the_calculus_path(self):
+        output = run([*self.SESSION, ".query E(0, y)"])
+        assert "cone" not in output
+        assert "y = 1" in output
+
+    def test_view_goal_queries_live_edb(self):
+        output = run([
+            *self.SESSION,
+            ".view on",
+            ".insert E: x = 2 and y = 3",
+            ".query T(0, y)",
+        ])
+        assert "3 answer(s) [T^bf" in output
+
+    def test_help_documents_goal_routing(self):
+        output = run([".help"])
+        assert "demand-driven (magic sets)" in output

@@ -1,0 +1,254 @@
+"""Tests for the demand-driven query front door (``repro.core.query``).
+
+Covers the :class:`Engine` facade (goal parsing through answer selection),
+the containment-based result-reuse cache with its version-snapshot
+invalidation (including maintained IVM deltas through shared relations),
+plan warmth for repeated adornment shapes, the full-fixpoint oracle path
+(``EngineOptions.magic`` off), and the ``python -m repro query`` CLI.
+"""
+
+import json
+from dataclasses import replace
+from fractions import Fraction
+
+import pytest
+
+from repro.constraints.dense_order import DenseOrderTheory
+from repro.core.datalog import DatalogProgram, EngineOptions
+from repro.core.generalized import GeneralizedDatabase
+from repro.core.magic import select_answers
+from repro.core.query import Engine, main as query_main
+from repro.errors import EvaluationError
+from repro.logic.parser import parse_rules
+from repro.workloads.orders import chain_edges
+
+order = DenseOrderTheory()
+
+TC_RULES = """
+T(x, y) :- E(x, y).
+T(x, y) :- T(x, z), E(z, y).
+"""
+
+
+def tc_engine(n=8, **options):
+    rules = parse_rules(TC_RULES, theory=order)
+    return Engine(
+        rules,
+        order,
+        options=replace(EngineOptions(), **options),
+        database=chain_edges(n),
+    )
+
+
+def keys(relation):
+    return frozenset(relation.keys())
+
+
+class TestEngineQuery:
+    def test_bound_query_matches_oracle(self):
+        engine = tc_engine()
+        result = engine.query("T(0, y)")
+        assert result.adornment == "bf"
+        assert result.magic_rules >= 1
+        assert not result.full_fallback
+        full_world, _ = DatalogProgram(engine.rules, order).evaluate(
+            engine.database
+        )
+        expected = select_answers(
+            full_world.relation("T"), result.query, order
+        )
+        assert keys(result.relation) == keys(expected)
+
+    def test_cone_smaller_than_full_fixpoint(self):
+        engine = tc_engine(16)
+        result = engine.query("T(14, y)")
+        full_world, _ = DatalogProgram(engine.rules, order).evaluate(
+            engine.database
+        )
+        assert result.cone_tuples < len(full_world.relation("T"))
+
+    def test_interval_goal(self):
+        engine = tc_engine()
+        result = engine.query("T(x, y), 5 < x, x < 7")
+        assert result.adornment == "bf"
+        points = {
+            (point["_0"], point["_1"]) for point in result.sample_points()
+        }
+        assert all(Fraction(5) < a < Fraction(7) for a, _ in points)
+        assert len(result) > 0
+
+    def test_magic_off_is_the_full_oracle(self):
+        magic = tc_engine().query("T(0, y)")
+        oracle = tc_engine(magic=False).query("T(0, y)")
+        assert keys(magic.relation) == keys(oracle.relation)
+        assert oracle.magic_rules == 0
+
+    def test_non_idb_goal_rejected_both_paths(self):
+        for engine in (tc_engine(), tc_engine(magic=False)):
+            with pytest.raises(EvaluationError):
+                engine.query("E(0, y)")
+
+    def test_no_database_rejected(self):
+        rules = parse_rules(TC_RULES, theory=order)
+        with pytest.raises(EvaluationError):
+            Engine(rules, order).query("T(0, y)")
+
+    def test_explicit_database_argument(self):
+        rules = parse_rules(TC_RULES, theory=order)
+        engine = Engine(rules, order)
+        result = engine.query("T(0, y)", chain_edges(3))
+        assert len(result) == 3
+
+    def test_result_as_dict(self):
+        document = tc_engine().query("T(0, y)").as_dict()
+        assert document["predicate"] == "T"
+        assert document["adornment"] == "bf"
+        assert document["answers"] == len(document["answer_keys"])
+        assert "stats" in document
+
+    def test_repeated_adornment_hits_plan_cache(self):
+        engine = tc_engine()
+        engine.query("T(0, y)")
+        # same shape, different constant: the plan is memoized and the
+        # process-wide compiled-plan cache is warm
+        warm = engine.query("T(3, y)")
+        assert warm.stats.compile_hits >= 1
+        assert len(engine._prepared) == 1
+
+
+class TestReuseCache:
+    def test_exact_repeat_is_a_hit(self):
+        engine = tc_engine()
+        first = engine.query("T(0, y)")
+        assert not first.reused
+        second = engine.query("T(0, y)")
+        assert second.reused
+        assert second.stats.magic_reuse_hits == 1
+        assert keys(second.relation) == keys(first.relation)
+        assert engine.cache.stats()["hits"] == 1
+
+    def test_contained_query_reselects_cached_answers(self):
+        engine = tc_engine()
+        broad = engine.query("T(x, y), 0 < x, x < 6")
+        narrow = engine.query("T(x, y), 2 < x, x < 4")
+        assert narrow.reused
+        oracle = tc_engine(magic=False).query("T(x, y), 2 < x, x < 4")
+        assert keys(narrow.relation) == keys(oracle.relation)
+        assert len(narrow.relation) < len(broad.relation)
+
+    def test_edb_mutation_invalidates(self):
+        engine = tc_engine(4)
+        engine.query("T(0, y)")
+        engine.database.relation("E").add_point([4, 5])
+        result = engine.query("T(0, y)")
+        assert not result.reused
+        assert engine.cache.stats()["invalidations"] >= 1
+        assert result.relation.contains_values([Fraction(0), Fraction(5)])
+
+    def test_cache_disabled_without_magic(self):
+        engine = tc_engine(magic=False)
+        engine.query("T(0, y)")
+        second = engine.query("T(0, y)")
+        assert not second.reused
+        assert engine.cache.stats()["entries"] == 0
+
+
+class TestViewQueries:
+    def test_maintained_deltas_invalidate_cached_answers(self):
+        from repro.core.ivm import MaterializedView
+
+        rules = parse_rules(TC_RULES, theory=order)
+        program = DatalogProgram(rules, order, options=EngineOptions.all_on())
+        view = MaterializedView(program, chain_edges(3))
+        try:
+            engine = Engine.from_view(view)
+            before = engine.query("T(0, y)")
+            assert not before.reused
+            assert engine.query("T(0, y)").reused
+            version = view.delta_version
+            view.insert(
+                "E",
+                [
+                    order.equality("x", order.constant(3)),
+                    order.equality("y", order.constant(4)),
+                ],
+            )
+            assert view.delta_version > version
+            after = engine.query("T(0, y)")
+            assert not after.reused
+            assert after.relation.contains_values([Fraction(0), Fraction(4)])
+            assert not before.relation.contains_values(
+                [Fraction(0), Fraction(4)]
+            )
+        finally:
+            view.close()
+
+
+PROGRAM = """\
+# theory: dense_order
+# target: reach
+# relation: E/2
+
+reach(x, y) :- E(x, y).
+reach(x, z) :- E(x, y), reach(y, z).
+"""
+
+
+class TestQueryCli:
+    def write(self, tmp_path):
+        path = tmp_path / "reach.cql"
+        path.write_text(PROGRAM)
+        return str(path)
+
+    def test_text_output(self, tmp_path, capsys):
+        code = query_main(
+            [
+                self.write(tmp_path),
+                "reach(0, y)",
+                "--fact", "E(0, 1)",
+                "--fact", "E(1, 2)",
+                "--fact", "E(5, 6)",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "2 answer(s) [reach^bf, magic]" in out
+        assert "magic rule(s)" in out
+
+    def test_json_output(self, tmp_path, capsys):
+        code = query_main(
+            [
+                self.write(tmp_path),
+                "reach(x, y), 0 < x, x < 2",
+                "--fact", "E(0, 1)",
+                "--fact", "E(1, 2)",
+                "--json",
+            ]
+        )
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["predicate"] == "reach"
+        assert document["adornment"] == "bf"
+        assert document["answers"] == 1
+        assert document["full_fixpoint_tuples"] == 3
+        assert not document["full_fallback"]
+
+    def test_no_magic_oracle_mode(self, tmp_path, capsys):
+        code = query_main(
+            [
+                self.write(tmp_path),
+                "reach(0, y)",
+                "--fact", "E(0, 1)",
+                "--no-magic",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "full fixpoint (magic off)" in out
+
+    def test_bad_goal_reports_error(self, tmp_path, capsys):
+        code = query_main(
+            [self.write(tmp_path), "nope(0, y)", "--fact", "E(0, 1)"]
+        )
+        assert code == 2
+        assert "error" in capsys.readouterr().err

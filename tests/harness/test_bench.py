@@ -23,6 +23,9 @@ _TINY = {
     "econfig": 8,
     "ivm": [8],
     "sharded": 8,
+    # 32, not smaller: the --check gate's 5x floor vs the quadratic full
+    # closure only clears with comfortable margin from this size up
+    "magic": 32,
 }
 
 
@@ -64,6 +67,10 @@ class TestBenchSuite:
         assert sharded["identical_fixpoints"] is True
         assert sharded["degraded"] is False
         assert sharded["shard_rounds"] > 0
+        magic = records["magic_stats[smoke]"]
+        assert magic["identical_answers"] is True
+        assert magic["warm_plan_hit"] is True
+        assert magic["cone_tuples"] < magic["full_tuples"]
 
     def test_check_passes_against_own_baseline(self, sink, monkeypatch):
         monkeypatch.setitem(bench.PROFILES, "smoke", _TINY)

@@ -171,10 +171,12 @@ class TestProperties:
         if witness:
             assert holds, f"VS missed witness for {conds} at x={x_value}"
         # the converse cannot be checked exactly with a finite grid when the
-        # only witnesses are irrational *isolated* points; but for = atoms
-        # with rational roots the grid contains the roots, so check the easy
-        # direction too when every atom is an inequality
-        if holds and all(c.op in ("<", "<=") for c in conds):
+        # only witnesses are irrational *isolated* points; strict
+        # inequalities always have an interval of witnesses the grid can
+        # hit, so check the easy direction too in that case (weak pairs
+        # don't qualify: p <= 0 and -p <= 0 conjoin to p = 0, whose only
+        # witnesses may be irrational isolated roots)
+        if holds and all(c.op == "<" for c in conds):
             assert witness or self._interval_witness(conds, x_value)
 
     @staticmethod
